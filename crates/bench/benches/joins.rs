@@ -1,0 +1,45 @@
+//! Micro-benchmarks for the factor algebra (hash join + semiring
+//! elimination) underlying the FAQ engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpcq::eval::{Factor, Semiring};
+use dpcq::query::VarId;
+use dpcq::relation::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_factor(vars: &[usize], rows: usize, domain: i64, rng: &mut StdRng) -> Factor {
+    Factor::from_rows(
+        vars.iter().map(|&v| VarId(v)).collect(),
+        (0..rows).map(|_| {
+            (
+                vars.iter().map(|_| Value(rng.gen_range(0..domain))).collect(),
+                1u128,
+            )
+        }),
+        Semiring::Counting,
+    )
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let a = random_factor(&[0, 1], 20_000, 400, &mut rng);
+    let b = random_factor(&[1, 2], 20_000, 400, &mut rng);
+
+    let mut group = c.benchmark_group("factor");
+    group.sample_size(20);
+    group.bench_function("hash_join_20k_x_20k", |bch| {
+        bch.iter(|| a.join(&b, Semiring::Counting).len())
+    });
+    let joined = a.join(&b, Semiring::Counting);
+    group.bench_function("eliminate_middle_var", |bch| {
+        bch.iter(|| joined.eliminate(&[VarId(1)], Semiring::Counting).len())
+    });
+    group.bench_function("boolean_eliminate", |bch| {
+        bch.iter(|| joined.eliminate(&[VarId(1)], Semiring::Boolean).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Sampling throughput for the noise distributions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpcq::noise::{GeneralCauchy, Laplace, SmoothCauchyMechanism};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise");
+    let lap = Laplace::new(1.0);
+    let cau = GeneralCauchy::new(1.0);
+    let mech = SmoothCauchyMechanism::new(1.0);
+    group.bench_function("laplace_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| lap.sample(&mut rng))
+    });
+    group.bench_function("general_cauchy_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| cau.sample(&mut rng))
+    });
+    group.bench_function("smooth_release", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| mech.release(1000.0, 25.0, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_noise);
+criterion_main!(benches);

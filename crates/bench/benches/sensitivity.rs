@@ -1,0 +1,31 @@
+//! End-to-end sensitivity benchmarks: RS vs ES per Figure-2 query on a
+//! scaled dataset (the per-cell cost behind Table 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpcq::graph::{datasets::DatasetProfile, queries};
+use dpcq::query::Policy;
+use dpcq::sensitivity::{elastic_sensitivity, residual_sensitivity_report, RsParams};
+
+fn bench_sensitivities(c: &mut Criterion) {
+    let g = DatasetProfile::by_name("GrQc").unwrap().scaled(24.0).generate();
+    let db = g.to_database();
+    let policy = Policy::all_private();
+    let params = RsParams::new(0.1);
+
+    let mut group = c.benchmark_group("sensitivity");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for (name, q) in queries::all() {
+        group.bench_function(format!("rs_{name}"), |b| {
+            b.iter(|| residual_sensitivity_report(&q, &db, &policy, &params).unwrap().value)
+        });
+        group.bench_function(format!("es_{name}"), |b| {
+            b.iter(|| elastic_sensitivity(&q, &db, &policy, 0.1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivities);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for the `T_E` engine — the inner loop of
+//! residual sensitivity (every Table 1 RS timing is a handful of these).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpcq::eval::Evaluator;
+use dpcq::graph::{datasets::DatasetProfile, queries};
+
+fn bench_te(c: &mut Criterion) {
+    let g = DatasetProfile::by_name("GrQc").unwrap().scaled(16.0).generate();
+    let db = g.to_database();
+
+    let tri = queries::triangle();
+    let ev_tri = Evaluator::new(&tri, &db).unwrap();
+    let mut group = c.benchmark_group("t_e");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    // Two-atom residual of the triangle query: the max-common-neighbor
+    // aggregation (the dominant T in Table 1's q_triangle RS).
+    group.bench_function("triangle_two_atom_residual", |b| {
+        b.iter(|| ev_tri.t_e(&[1, 2]).unwrap())
+    });
+    group.bench_function("triangle_single_atom_residual", |b| {
+        b.iter(|| ev_tri.t_e(&[0]).unwrap())
+    });
+    group.bench_function("triangle_full_count", |b| {
+        b.iter(|| ev_tri.count().unwrap())
+    });
+
+    let rect = queries::rectangle();
+    let ev_rect = Evaluator::new(&rect, &db).unwrap();
+    // Three-atom residual of the rectangle query: a length-3 path count
+    // group-by endpoints (the expensive piece of q_rectangle's RS).
+    group.bench_function("rectangle_three_atom_residual", |b| {
+        b.iter(|| ev_rect.t_e(&[1, 2, 3]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_te);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Reproduces **Figure 3** of the paper: SS / RS / ES as functions of the
+//! smoothness parameter `β ∈ [0.05, 1]`, for every dataset × query panel
+//! (20 panels; SS only where a polynomial algorithm exists).
+//!
+//! Emits one CSV per panel under `--out <dir>` (default
+//! `bench_results/figure3/`) with columns `beta,ss,rs,es,result`, plus an
+//! ASCII log₁₀ summary so the shape is visible without plotting.
+//!
+//! The residual values `T_F` and elastic max-frequencies are β-independent
+//! and computed once per panel; only the decayed maxima are re-evaluated
+//! per β (this is why the sweep is cheap).
+//!
+//! ```text
+//! cargo run -p dpcq-bench --release --bin figure3 -- [--scale 8] [--full]
+//!     [--datasets GrQc] [--queries q_triangle] [--out dir]
+//! ```
+
+use dpcq::eval::Evaluator;
+use dpcq::graph::{datasets::DatasetProfile, queries, smooth_closed_form};
+use dpcq::prelude::*;
+use dpcq::sensitivity::prep::{compute_t_values, required_subsets};
+use dpcq::sensitivity::residual::residual_from_t;
+use dpcq::sensitivity::{elastic_sensitivity, gs_bound};
+use dpcq_bench::{fmt_count, Args, Table};
+
+const BETAS: [f64; 11] = [0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.85, 1.0];
+
+fn main() {
+    let args = Args::parse(&["full"]);
+    let scale = if args.has("full") {
+        1.0
+    } else {
+        args.get_f64("scale", 8.0)
+    };
+    let out_dir = args.get("out").unwrap_or("bench_results/figure3").to_string();
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let dataset_filter: Option<Vec<String>> = args
+        .get("datasets")
+        .map(|s| s.split(',').map(|x| x.trim().to_lowercase()).collect());
+    let query_filter: Option<Vec<String>> = args
+        .get("queries")
+        .map(|s| s.split(',').map(|x| x.trim().to_lowercase()).collect());
+
+    let policy = Policy::all_private();
+    println!("Figure 3 reproduction — scale 1/{scale}, beta sweep {BETAS:?}\n");
+
+    for profile in DatasetProfile::all() {
+        if dataset_filter
+            .as_ref()
+            .is_some_and(|f| !f.contains(&profile.name.to_lowercase()))
+        {
+            continue;
+        }
+        let p = profile.scaled(scale.max(1.0));
+        let g = p.generate();
+        let db = g.to_database();
+        println!(
+            "== {} ({} vertices, {} edges) ==",
+            p.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
+
+        for (qname, q) in queries::all() {
+            if query_filter
+                .as_ref()
+                .is_some_and(|f| !f.contains(&qname.to_lowercase()))
+            {
+                continue;
+            }
+            let ev = Evaluator::new(&q, &db).expect("bind");
+            let result = ev.count().expect("count");
+            // β-independent pieces, computed once.
+            let family = required_subsets(&q, &policy);
+            let threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            let t_values = compute_t_values(&ev, &family, threads).expect("T family");
+            let gs = gs_bound(&q, &policy).evaluate(db.total_tuples() as f64);
+
+            let mut csv = Table::new(&["beta", "ss", "rs", "es", "result", "gs_bound"]);
+            let mut series: Vec<(f64, Option<f64>, f64, f64)> = Vec::new();
+            for &beta in &BETAS {
+                let ss = match qname {
+                    "q_triangle" => Some(smooth_closed_form::triangle_ss(&g, beta).value),
+                    "q_3star" => Some(smooth_closed_form::three_star_ss(&g, beta).value),
+                    _ => None,
+                };
+                let (rs, _) = residual_from_t(&q, &policy, &t_values, beta);
+                let es = elastic_sensitivity(&q, &db, &policy, beta).expect("elastic");
+                series.push((beta, ss, rs, es));
+                csv.row(vec![
+                    beta.to_string(),
+                    ss.map_or(String::new(), |v| v.to_string()),
+                    rs.to_string(),
+                    es.to_string(),
+                    result.to_string(),
+                    gs.to_string(),
+                ]);
+            }
+            let path = format!("{out_dir}/{}_{qname}.csv", p.name.to_lowercase());
+            std::fs::write(&path, csv.to_csv()).expect("write csv");
+
+            // ASCII log-scale summary (one line per measure).
+            println!("  {qname}  (|q(I)| = {}) -> {path}", fmt_count(result as f64));
+            let line = |label: &str, vals: Vec<Option<f64>>| {
+                let cells: Vec<String> = vals
+                    .iter()
+                    .map(|v| match v {
+                        Some(x) if *x > 0.0 => format!("{:>5.1}", x.log10()),
+                        _ => "    -".into(),
+                    })
+                    .collect();
+                println!("    log10 {label:<3} {}", cells.join(" "));
+            };
+            line("SS", series.iter().map(|s| s.1).collect());
+            line("RS", series.iter().map(|s| Some(s.2)).collect());
+            line("ES", series.iter().map(|s| Some(s.3)).collect());
+        }
+        println!();
+    }
+    println!("done; CSVs in {out_dir}/");
+}

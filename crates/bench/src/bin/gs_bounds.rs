@@ -1,0 +1,100 @@
+//! Reproduces the in-text analyses of Section 3.3 and Section 4.4:
+//!
+//! * **Examples 1 & 2** — AGM-based global sensitivity bounds:
+//!   `GS(q△) = O(N)` and `GS(path-4) = O(N²)` (exponents computed by the
+//!   in-tree simplex over fractional edge covers);
+//! * **Example 3** — the instance family on which elastic sensitivity is
+//!   `Ω(N³)`, asymptotically *worse than the global bound* — i.e. ES is
+//!   not even worst-case optimal.
+//!
+//! ```text
+//! cargo run -p dpcq-bench --release --bin gs_bounds
+//! ```
+
+use dpcq::prelude::*;
+use dpcq::sensitivity::{elastic_sensitivity_report, gs_bound, residual_sensitivity_report, RsParams};
+use dpcq_bench::{fmt_count, Table};
+
+fn path4_query() -> dpcq::query::ConjunctiveQuery {
+    parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x3,x4), Edge(x4,x5)").unwrap()
+}
+
+/// Example 3's instance: Edge = {(0,1),…,(0,N/2)} ∪ {(N/2+1,N+1),…,(N,N+1)}.
+fn example3_db(n: i64) -> Database {
+    let mut db = Database::new();
+    let half = n / 2;
+    for i in 1..=half {
+        db.insert_tuple("Edge", &[Value(0), Value(i)]);
+    }
+    for i in (half + 1)..=n {
+        db.insert_tuple("Edge", &[Value(i), Value(n + 1)]);
+    }
+    db
+}
+
+fn main() {
+    let policy = Policy::all_private();
+
+    println!("== Examples 1 & 2: AGM-based GS bounds ==\n");
+    let mut t = Table::new(&["query", "GS exponent", "bound at N=10^5", "paper"]);
+    for (name, q, expected) in [
+        (
+            "triangle q_triangle",
+            parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3)").unwrap(),
+            ("O(N)", 1.0),
+        ),
+        ("path-4", path4_query(), ("O(N^2)", 2.0)),
+    ] {
+        let b = gs_bound(&q, &policy);
+        assert!(
+            (b.exponent - expected.1).abs() < 1e-6,
+            "{name}: exponent {} != {}",
+            b.exponent,
+            expected.1
+        );
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", b.exponent),
+            fmt_count(b.evaluate(1e5)),
+            expected.0.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("== Example 3: elastic sensitivity is not worst-case optimal ==\n");
+    let beta = 0.1;
+    let q = path4_query();
+    let mut t = Table::new(&[
+        "N", "ES LS_hat(0)", "4(N/2)^3", "GS bound (N^2 scale)", "RS", "ES/GS",
+    ]);
+    let mut prev_ratio = 0.0;
+    for n in [40i64, 80, 160, 320] {
+        let db = example3_db(n);
+        let es = elastic_sensitivity_report(&q, &db, &policy, beta).expect("elastic");
+        let rs = residual_sensitivity_report(&q, &db, &policy, &RsParams::new(beta))
+            .expect("residual");
+        let gs = gs_bound(&q, &policy).evaluate(db.total_tuples() as f64);
+        let half = (n / 2) as f64;
+        assert_eq!(es.ls_hat0, 4.0 * half * half * half, "Example 3 formula");
+        let ratio = es.ls_hat0 / gs;
+        t.row(vec![
+            n.to_string(),
+            fmt_count(es.ls_hat0),
+            fmt_count(4.0 * half * half * half),
+            fmt_count(gs),
+            fmt_count(rs.value),
+            format!("{ratio:.2}"),
+        ]);
+        assert!(
+            ratio > prev_ratio,
+            "ES/GS must grow with N (ES = Omega(N^3) vs GS = O(N^2))"
+        );
+        prev_ratio = ratio;
+    }
+    println!("{}", t.render());
+    println!(
+        "ES/GS grows linearly in N: elastic sensitivity exceeds even the\n\
+         worst-case-optimal global bound on this family (Section 4.4), while\n\
+         RS stays far below both."
+    );
+}

@@ -1,0 +1,235 @@
+//! Shared plumbing for the benchmark harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md §3 and EXPERIMENTS.md):
+//!
+//! * `table1` — Table 1 (SS/RS/ES values and timings on 5 datasets × 4
+//!   pattern queries);
+//! * `figure3` — Figure 3 (sensitivity-vs-β sweeps, CSV series);
+//! * `gs_bounds` — Examples 1–3 (AGM-based GS exponents and the elastic
+//!   sensitivity blow-up instance);
+//! * `nonfull_lb` — the Theorem 6.4 negative construction for non-full
+//!   queries.
+
+use std::time::{Duration, Instant};
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Minimal flag parser: `--key value` pairs and boolean `--key` switches.
+#[derive(Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments. `switch_names` lists the boolean
+    /// flags (all other `--key`s consume a value).
+    pub fn parse(switch_names: &[&str]) -> Args {
+        let mut args = Args::default();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(a) = iter.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                eprintln!("ignoring positional argument `{a}`");
+                continue;
+            };
+            if switch_names.contains(&key) {
+                args.switches.push(key.to_string());
+            } else if let Some(v) = iter.next() {
+                args.pairs.push((key.to_string(), v));
+            } else {
+                eprintln!("flag --{key} expects a value");
+            }
+        }
+        args
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A parsed numeric option with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .unwrap_or(default)
+    }
+
+    /// A parsed integer option with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+/// A simple markdown-ish table printer with right-aligned cells.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:>w$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = self
+            .headers
+            .iter()
+            .map(|h| esc(h))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a large value compactly (paper-style separators).
+pub fn fmt_count(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    if v.abs() >= 1e7 {
+        return format!("{v:.3e}");
+    }
+    let neg = v < 0.0;
+    let digits = format!("{:.0}", v.abs());
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if neg {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+/// Formats a duration in seconds with adaptive precision.
+pub fn fmt_secs(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.001 {
+        format!("{:.0}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let r = t.render();
+        assert!(r.contains("| longer |"));
+        assert!(r.lines().count() == 4);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,value\n"));
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(0.0), "0");
+        assert_eq!(fmt_count(1234.0), "1,234");
+        assert_eq!(fmt_count(1234567.0), "1,234,567");
+        assert_eq!(fmt_count(-1234.0), "-1,234");
+        assert!(fmt_count(1.5e9).contains('e'));
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert!(fmt_secs(Duration::from_micros(50)).ends_with("us"));
+        assert!(fmt_secs(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_secs(Duration::from_secs(2)).ends_with('s'));
+    }
+
+    #[test]
+    fn timer_measures() {
+        let (v, d) = time(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! `dpcq` — command-line private counting for conjunctive queries.
+//!
+//! ```text
+//! # Private triangle count over a SNAP-format edge list:
+//! dpcq --query "Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), \
+//!               x1 != x2, x2 != x3, x1 != x3" \
+//!      --edges ca-GrQc.txt --epsilon 1.0
+//!
+//! # Multi-relation CSV tables with a selective policy:
+//! dpcq --query "Q(*) :- Visit(p,h,d), Staff(s,h), d < 50" \
+//!      --table Visit=visits.csv --table Staff=staff.csv \
+//!      --private Visit,Staff --method residual --seed 7
+//! ```
+//!
+//! Flags: `--query <text>` (required), `--edges <path>` (loads a
+//! symmetric `Edge` relation), `--table NAME=<csv path>` (repeatable;
+//! integer CSV rows), `--private a,b` (default: all), `--epsilon <f>`
+//! (default 1.0), `--method residual|elastic|global` (default residual),
+//! `--seed <n>`, `--show-truth` (prints the exact count — for debugging,
+//! not for publication!).
+
+use dpcq::graph::io::read_edge_list_file;
+use dpcq::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    ExitCode::FAILURE
+}
+
+const HELP: &str = "\
+dpcq — differentially private conjunctive-query counting
+
+USAGE:
+  dpcq --query <text> (--edges <path> | --table NAME=<csv> ...) [options]
+
+OPTIONS:
+  --query <text>        datalog-style query, e.g. \"Q(*) :- Edge(x,y), x != y\"
+  --edges <path>        SNAP edge list loaded as a symmetric relation `Edge`
+  --table NAME=<path>   CSV of integer rows loaded as relation NAME (repeatable)
+  --private a,b         comma-separated private relations (default: all)
+  --epsilon <float>     privacy budget per release (default 1.0)
+  --method <name>       residual | elastic | global (default residual)
+  --seed <int>          RNG seed (default: entropy)
+  --show-truth          also print the exact count (debugging only)
+  --help                this text
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let mut query_text = None;
+    let mut edges_path = None;
+    let mut tables: Vec<(String, String)> = Vec::new();
+    let mut private: Option<Vec<String>> = None;
+    let mut epsilon = 1.0f64;
+    let mut method = "residual".to_string();
+    let mut seed: Option<u64> = None;
+    let mut show_truth = false;
+
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("--{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--query" => query_text = Some(match val("query") {
+                Ok(v) => v,
+                Err(e) => return fail(&e),
+            }),
+            "--edges" => edges_path = Some(match val("edges") {
+                Ok(v) => v,
+                Err(e) => return fail(&e),
+            }),
+            "--table" => {
+                let spec = match val("table") {
+                    Ok(v) => v,
+                    Err(e) => return fail(&e),
+                };
+                let Some((name, path)) = spec.split_once('=') else {
+                    return fail("--table expects NAME=path.csv");
+                };
+                tables.push((name.to_string(), path.to_string()));
+            }
+            "--private" => {
+                let spec = match val("private") {
+                    Ok(v) => v,
+                    Err(e) => return fail(&e),
+                };
+                private = Some(spec.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--epsilon" => match val("epsilon").and_then(|v| v.parse().map_err(|_| "bad --epsilon".into())) {
+                Ok(v) => epsilon = v,
+                Err(e) => return fail(&e),
+            },
+            "--method" => method = match val("method") {
+                Ok(v) => v,
+                Err(e) => return fail(&e),
+            },
+            "--seed" => match val("seed").and_then(|v| v.parse().map_err(|_| "bad --seed".into())) {
+                Ok(v) => seed = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--show-truth" => show_truth = true,
+            other => return fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let Some(query_text) = query_text else {
+        return fail("--query is required");
+    };
+    let query = match parse_query(&query_text) {
+        Ok(q) => q,
+        Err(e) => return fail(&format!("query does not parse: {e}")),
+    };
+
+    let mut db = Database::new();
+    if let Some(path) = edges_path {
+        let g = match read_edge_list_file(&path) {
+            Ok(g) => g,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        eprintln!(
+            "loaded {path}: {} vertices, {} undirected edges",
+            g.num_vertices(),
+            g.num_edges()
+        );
+        db = g.to_database();
+    }
+    for (name, path) in tables {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        };
+        let mut rows = 0usize;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let row: Result<Vec<Value>, _> = line
+                .split(',')
+                .map(|c| c.trim().parse::<i64>().map(Value))
+                .collect();
+            match row {
+                Ok(r) => {
+                    db.insert_tuple(&name, &r);
+                    rows += 1;
+                }
+                Err(_) => return fail(&format!("{path}: non-integer row `{line}`")),
+            }
+        }
+        eprintln!("loaded {name} from {path}: {rows} rows");
+    }
+    if db.num_relations() == 0 {
+        return fail("no data: pass --edges or --table");
+    }
+
+    let policy = match private {
+        Some(names) => Policy::private(names),
+        None => Policy::all_private(),
+    };
+    let sens_method = match method.as_str() {
+        "residual" => SensitivityMethod::Residual,
+        "elastic" => SensitivityMethod::Elastic,
+        "global" => SensitivityMethod::GlobalLaplace,
+        other => return fail(&format!("unknown method `{other}`")),
+    };
+
+    let engine = PrivateEngine::new(db, policy, epsilon);
+    let mut rng = match seed {
+        Some(s) => StdRng::seed_from_u64(s),
+        None => StdRng::from_entropy(),
+    };
+    if show_truth {
+        match engine.true_count(&query) {
+            Ok(c) => eprintln!("true count (debug): {c}"),
+            Err(e) => return fail(&format!("evaluation failed: {e}")),
+        }
+    }
+    match engine.release_with(&query, sens_method, &mut rng) {
+        Ok(release) => {
+            println!("{release}");
+            eprintln!(
+                "method = {}, sensitivity = {:.3}, noise scale = {:.3}",
+                sens_method.name(),
+                release.sensitivity,
+                release.scale
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("release failed: {e}")),
+    }
+}

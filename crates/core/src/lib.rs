@@ -1,0 +1,64 @@
+//! # dpcq — a nearly instance-optimal DP mechanism for conjunctive queries
+//!
+//! A complete Rust implementation of
+//! *Wei Dong and Ke Yi, "A Nearly Instance-optimal Differentially Private
+//! Mechanism for Conjunctive Queries", PODS 2022* — releasing the result
+//! size `|q(I)|` of a conjunctive query under ε-differential privacy with
+//! noise calibrated to **residual sensitivity** `RS(I)`, which is
+//! `O(1)`-neighborhood optimal (Theorem 1.1) and computable in polynomial
+//! time.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dpcq::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A small symmetric "friendship" graph stored the paper's way.
+//! let mut db = Database::new();
+//! for (u, v) in [(1, 2), (2, 3), (1, 3), (3, 4)] {
+//!     db.insert_tuple("Edge", &[Value(u), Value(v)]);
+//!     db.insert_tuple("Edge", &[Value(v), Value(u)]);
+//! }
+//!
+//! // Count triangles (up to the 6× automorphism factor) with ε = 1.
+//! let q = parse_query(
+//!     "Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), \
+//!      x1 != x2, x2 != x3, x1 != x3",
+//! ).unwrap();
+//! let engine = PrivateEngine::new(db, Policy::all_private(), 1.0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let release = engine.release(&q, &mut rng).unwrap();
+//! println!("noisy triangle-CQ count: {release}");
+//! assert!(release.expected_error > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`relation`] | values, set-semantics relations, instances, tuple-DP distance |
+//! | [`query`] | CQ AST + parser, predicates, projections, privacy policies |
+//! | [`eval`] | FAQ/AJAR engine: counts, `T_E`, predicate & projection handling |
+//! | [`sensitivity`] | `LS`, `GS` (AGM), `SS`, **`RS`**, `ES`, lower bounds |
+//! | [`noise`] | Laplace & general-Cauchy samplers, ε-DP mechanisms |
+//! | [`graph`] | generators, SNAP stand-ins, Figure-2 queries, closed-form SS |
+
+pub use dpcq_eval as eval;
+pub use dpcq_graph as graph;
+pub use dpcq_noise as noise;
+pub use dpcq_query as query;
+pub use dpcq_relation as relation;
+pub use dpcq_sensitivity as sensitivity;
+
+pub mod engine;
+
+pub use engine::{PrivateEngine, SensitivityMethod};
+
+/// The items most programs need.
+pub mod prelude {
+    pub use crate::engine::{PrivateEngine, SensitivityMethod};
+    pub use dpcq_noise::Release;
+    pub use dpcq_query::{parse_query, CqBuilder, Policy};
+    pub use dpcq_relation::{Database, Relation, Value};
+}

@@ -1,0 +1,321 @@
+//! The augmented active domain `Z+(q, I)` and comparison-predicate
+//! materialization (Section 5.2 of the paper).
+//!
+//! Comparison predicates that span a residual boundary cannot be dropped
+//! the way inequalities can (Example 5 in the paper shows `T_Ē` may be
+//! attained *between* two active-domain values). Lemma 5.2 shows it
+//! suffices to evaluate over the augmented domain `Z+(q, I)`: the active
+//! domain plus `2κ` fresh values inside every gap (and beyond both ends),
+//! where `κ` is the number of predicates. [`materialize_comparisons`] then
+//! turns each comparison into an ordinary **public** relation over
+//! `Z+(q, I)`, after which the whole Section 3 machinery applies verbatim
+//! (the CQP-as-CQ view of Eq. (35)).
+
+use crate::error::EvalError;
+use dpcq_query::{ConjunctiveQuery, CqBuilder, Term};
+use dpcq_relation::{Database, Value};
+
+/// Collects `Z*(q, I)`: every integer appearing in a relation referenced
+/// by `q` or as a constant in `q`'s atoms/predicates.
+///
+/// (The paper restricts to predicate attributes; using the superset keeps
+/// the code simple and only enlarges the materialized relations.)
+pub fn active_domain(query: &ConjunctiveQuery, db: &Database) -> Vec<Value> {
+    let mut vals: Vec<Value> = Vec::new();
+    for atom in query.atoms() {
+        if let Some(rel) = db.relation(&atom.relation) {
+            vals.extend(rel.iter().flatten().copied());
+        }
+        for t in &atom.terms {
+            if let Term::Const(c) = t {
+                vals.push(*c);
+            }
+        }
+    }
+    for p in query.predicates() {
+        for t in [p.lhs, p.rhs] {
+            if let Term::Const(c) = t {
+                vals.push(c);
+            }
+        }
+    }
+    vals.sort_unstable();
+    vals.dedup();
+    vals
+}
+
+/// Builds the augmented domain `Z+(q, I)`: the active domain plus up to
+/// `2κ` fresh integers strictly inside each gap between consecutive active
+/// values, plus `2κ` values below the minimum and above the maximum
+/// (realizing the paper's `±∞` sentinels with finite room to spare).
+pub fn augmented_active_domain(query: &ConjunctiveQuery, db: &Database) -> Vec<Value> {
+    let base = active_domain(query, db);
+    let kappa = query.predicates().len().max(1);
+    let pad = 2 * kappa as i64;
+    let mut out: Vec<Value> = Vec::with_capacity(base.len() * (1 + 2 * kappa));
+    if base.is_empty() {
+        // Degenerate instance: any 2κ+1 values will do.
+        return (0..=pad).map(Value).collect();
+    }
+    let lo = base[0].0;
+    for d in (1..=pad).rev() {
+        out.push(Value(lo.saturating_sub(d)));
+    }
+    for w in base.windows(2) {
+        out.push(w[0]);
+        let gap = w[1].0 - w[0].0;
+        for d in 1..=(gap - 1).min(pad) {
+            out.push(Value(w[0].0 + d));
+        }
+    }
+    let hi = *base.last().expect("non-empty");
+    out.push(hi);
+    for d in 1..=pad {
+        out.push(Value(hi.0.saturating_add(d)));
+    }
+    out.dedup();
+    out
+}
+
+/// Rewrites `q` into an equivalent CQ in which every *comparison*
+/// predicate is an ordinary public relation over `Z+(q, I)` (the Eq. (35)
+/// view), returning the rewritten query, the database extended with the
+/// materialized relations, and the list of added relation names (all
+/// public — keep them out of the privacy policy).
+///
+/// Inequality (`≠`) predicates are kept symbolic: Corollary 5.1 handles
+/// them exactly without materialization. Comparisons against constants are
+/// materialized as unary relations.
+///
+/// `domain_limit` bounds `|Z+(q, I)|`; var-var comparisons materialize
+/// `O(|Z+|²)` tuples.
+pub fn materialize_comparisons(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    domain_limit: usize,
+) -> Result<(ConjunctiveQuery, Database, Vec<String>), EvalError> {
+    let needs_materialization = query.predicates().iter().any(|p| p.is_comparison());
+    if !needs_materialization {
+        return Ok((query.clone(), db.clone(), Vec::new()));
+    }
+    let domain = augmented_active_domain(query, db);
+    if domain.len() > domain_limit {
+        return Err(EvalError::DomainTooLarge {
+            size: domain.len(),
+            limit: domain_limit,
+        });
+    }
+
+    let mut b = CqBuilder::new();
+    // Re-intern variables in id order so VarIds are preserved.
+    for i in 0..query.num_vars() {
+        b.var(query.var_name(dpcq_query::VarId(i)));
+    }
+    for atom in query.atoms() {
+        b.atom_terms(&atom.relation, atom.terms.iter().copied());
+    }
+
+    let mut new_db = db.clone();
+    let mut added = Vec::new();
+    for (j, p) in query.predicates().iter().enumerate() {
+        if !p.is_comparison() {
+            b.pred(*p);
+            continue;
+        }
+        let name = format!("__cmp{j}");
+        match (p.lhs, p.rhs) {
+            (Term::Var(x), Term::Var(y)) if x != y => {
+                let mut rel = dpcq_relation::Relation::new(2);
+                for &a in &domain {
+                    for &c in &domain {
+                        if p.op.apply(a, c) {
+                            rel.insert(&[a, c]);
+                        }
+                    }
+                }
+                new_db.insert_relation(&name, rel);
+                b.atom(&name, [x, y]);
+                added.push(name);
+            }
+            (Term::Var(x), Term::Var(_)) => {
+                // x op x: constant truth over any row; keep symbolic (it is
+                // contained in every residual mentioning x).
+                let _ = x;
+                b.pred(*p);
+            }
+            (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => {
+                let flipped = matches!(p.lhs, Term::Const(_));
+                let op = if flipped { p.op.flip() } else { p.op };
+                let mut rel = dpcq_relation::Relation::new(1);
+                for &a in &domain {
+                    if op.apply(a, c) {
+                        rel.insert(&[a]);
+                    }
+                }
+                new_db.insert_relation(&name, rel);
+                b.atom(&name, [x]);
+                added.push(name);
+            }
+            (Term::Const(a), Term::Const(c)) => {
+                // Evaluates to a constant; keep symbolic (contained
+                // everywhere, applied as a trivial filter).
+                let _ = (a, c);
+                b.pred(*p);
+            }
+        }
+    }
+    if let Some(proj) = query.projection() {
+        b.project(proj.iter().copied());
+    }
+    let q2 = b.build().expect("rewritten query is well-formed");
+    Ok((q2, new_db, added))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive, Evaluator};
+    use dpcq_query::parse_query;
+
+    fn db_small() -> Database {
+        let mut db = Database::new();
+        for e in [[1, 5], [2, 5], [2, 9], [7, 9]] {
+            db.insert_tuple("R", &[Value(e[0]), Value(e[1])]);
+        }
+        db
+    }
+
+    #[test]
+    fn active_domain_collects_relation_and_query_constants() {
+        let q = parse_query("Q(*) :- R(x, y), x < 42").unwrap();
+        let d = db_small();
+        let ad = active_domain(&q, &d);
+        assert!(ad.contains(&Value(1)));
+        assert!(ad.contains(&Value(9)));
+        assert!(ad.contains(&Value(42)));
+        assert!(ad.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn augmented_domain_fills_gaps_and_pads_ends() {
+        let q = parse_query("Q(*) :- R(x, y), x < y").unwrap();
+        let d = db_small();
+        let zp = augmented_active_domain(&q, &d);
+        // κ = 1 ⇒ pad = 2. Active = {1,2,5,7,9}.
+        assert!(zp.contains(&Value(-1)) && zp.contains(&Value(0))); // below
+        assert!(zp.contains(&Value(3)) && zp.contains(&Value(4))); // gap 2..5
+        assert!(zp.contains(&Value(6))); // gap 5..7
+        assert!(zp.contains(&Value(10)) && zp.contains(&Value(11))); // above
+        assert!(zp.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn augmented_domain_of_empty_instance() {
+        let q = parse_query("Q(*) :- R(x, y), x < y").unwrap();
+        let mut d = Database::new();
+        d.create_relation("R", 2);
+        let zp = augmented_active_domain(&q, &d);
+        assert!(!zp.is_empty());
+    }
+
+    #[test]
+    fn materialization_preserves_count() {
+        // x < y over R: pairs (1,5),(2,5),(2,9),(7,9) all satisfy.
+        let q = parse_query("Q(*) :- R(x, y), x < y").unwrap();
+        let d = db_small();
+        let (q2, d2, added) = materialize_comparisons(&q, &d, 1024).unwrap();
+        assert_eq!(added.len(), 1);
+        assert!(q2.predicates().is_empty());
+        let base = Evaluator::new(&q, &d).unwrap().count().unwrap();
+        let mat = Evaluator::new(&q2, &d2).unwrap().count().unwrap();
+        assert_eq!(base, mat);
+        assert_eq!(base, 4);
+    }
+
+    #[test]
+    fn materialization_enables_boundary_spanning_te() {
+        // q = R(x,y) ⋈ R(y,z), x < z spans any single-atom residual.
+        let mut d = Database::new();
+        for e in [[1, 2], [2, 3], [3, 1], [2, 9]] {
+            d.insert_tuple("R", &[Value(e[0]), Value(e[1])]);
+        }
+        let q = parse_query("Q(*) :- R(x, y), R(y, z), x < z").unwrap();
+        let ev = Evaluator::new(&q, &d).unwrap();
+        assert!(ev.t_e(&[0]).is_err()); // refused before materialization
+        let (q2, d2, _) = materialize_comparisons(&q, &d, 1024).unwrap();
+        let ev2 = Evaluator::new(&q2, &d2).unwrap();
+        // Counts agree.
+        assert_eq!(ev.count().unwrap(), ev2.count().unwrap());
+        // And every residual of the rewritten query is computable, matching
+        // the naive evaluator.
+        let n = q2.num_atoms();
+        for subset in dpcq_query::analysis::subsets(&(0..n).collect::<Vec<_>>()) {
+            assert_eq!(
+                ev2.t_e(&subset).unwrap(),
+                naive::t_e(&q2, &d2, &subset).unwrap(),
+                "E={subset:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_comparisons_materialize_unary() {
+        let q = parse_query("Q(*) :- R(x, y), x <= 2, 9 <= y").unwrap();
+        let d = db_small();
+        let (q2, d2, added) = materialize_comparisons(&q, &d, 1024).unwrap();
+        assert_eq!(added.len(), 2);
+        let got = Evaluator::new(&q2, &d2).unwrap().count().unwrap();
+        // Rows with x ≤ 2 and y ≥ 9: (2,9).
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn inequalities_stay_symbolic() {
+        let q = parse_query("Q(*) :- R(x, y), x != y, x < y").unwrap();
+        let d = db_small();
+        let (q2, _, added) = materialize_comparisons(&q, &d, 1024).unwrap();
+        assert_eq!(added.len(), 1);
+        assert_eq!(q2.predicates().len(), 1);
+        assert!(q2.predicates()[0].is_inequality());
+    }
+
+    #[test]
+    fn domain_limit_enforced() {
+        let q = parse_query("Q(*) :- R(x, y), x < y").unwrap();
+        let d = db_small();
+        assert!(matches!(
+            materialize_comparisons(&q, &d, 3).unwrap_err(),
+            EvalError::DomainTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn no_comparisons_is_identity() {
+        let q = parse_query("Q(*) :- R(x, y), x != y").unwrap();
+        let d = db_small();
+        let (q2, _, added) = materialize_comparisons(&q, &d, 8).unwrap();
+        assert!(added.is_empty());
+        assert_eq!(q2, q);
+    }
+
+    #[test]
+    fn example5_maximum_between_active_values() {
+        // Distilled from Example 5: the witness boundary value may fall in
+        // a gap of the active domain. q = A(x) ⋈ B(w, u), A/B over
+        // disjoint values, predicates x > w is a comparison spanning the
+        // B-only residual when A is removed.
+        let mut d = Database::new();
+        d.insert_tuple("A", &[Value(3)]);
+        d.insert_tuple("A", &[Value(5)]);
+        let mut rel = dpcq_relation::Relation::new(2);
+        for e in [[1, 1], [2, 1], [3, 1]] {
+            rel.insert(&[Value(e[0]), Value(e[1])]);
+        }
+        d.insert_relation("B", rel);
+        let q = parse_query("Q(*) :- A(x), B(w, u), w < x, x < 5").unwrap();
+        let (q2, d2, _) = materialize_comparisons(&q, &d, 1024).unwrap();
+        let ev2 = Evaluator::new(&q2, &d2).unwrap();
+        // Full count: x ∈ {3} (x<5), w < 3: rows (1,1),(2,1) ⇒ 2.
+        assert_eq!(ev2.count().unwrap(), 2);
+    }
+}

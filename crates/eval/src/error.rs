@@ -1,0 +1,94 @@
+//! Evaluation errors.
+
+use std::fmt;
+
+/// Errors raised while binding a query to a database or evaluating it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// An atom references a relation absent from the database.
+    UnknownRelation {
+        /// Relation name.
+        relation: String,
+    },
+    /// An atom's arity differs from the stored relation's arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity in the query atom.
+        atom_arity: usize,
+        /// Arity of the stored relation.
+        relation_arity: usize,
+    },
+    /// A comparison predicate is not contained in the residual query being
+    /// evaluated. Unlike inequalities (Corollary 5.1), comparisons cannot
+    /// simply be dropped; materialize them first
+    /// (see [`crate::active_domain::materialize_comparisons`]).
+    UncontainedComparison {
+        /// Rendered predicate.
+        predicate: String,
+    },
+    /// The active-domain materialization would exceed the configured size
+    /// budget.
+    DomainTooLarge {
+        /// Number of active-domain values.
+        size: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The general-predicate algorithm's exponential search would exceed
+    /// the configured instance-size budget.
+    InstanceTooLarge {
+        /// Number of residual rows in the largest boundary group.
+        size: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownRelation { relation } => {
+                write!(f, "relation `{relation}` not found in database")
+            }
+            EvalError::ArityMismatch {
+                relation,
+                atom_arity,
+                relation_arity,
+            } => write!(
+                f,
+                "atom over `{relation}` has arity {atom_arity}, stored relation has arity {relation_arity}"
+            ),
+            EvalError::UncontainedComparison { predicate } => write!(
+                f,
+                "comparison predicate `{predicate}` spans the residual boundary; materialize comparisons first (Section 5.2)"
+            ),
+            EvalError::DomainTooLarge { size, limit } => write!(
+                f,
+                "augmented active domain has {size} values, exceeding the limit {limit}"
+            ),
+            EvalError::InstanceTooLarge { size, limit } => write!(
+                f,
+                "general-predicate search over {size} rows exceeds the limit {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_facts() {
+        let e = EvalError::ArityMismatch {
+            relation: "R".into(),
+            atom_arity: 2,
+            relation_arity: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains('R') && s.contains('2') && s.contains('3'));
+    }
+}

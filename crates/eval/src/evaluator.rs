@@ -1,0 +1,966 @@
+//! The FAQ-style bucket-elimination engine.
+//!
+//! [`Evaluator`] binds a [`ConjunctiveQuery`] to a [`Database`] and answers
+//! the two questions the sensitivity machinery asks (Sections 3.1, 5, 6):
+//!
+//! * `|q(I)|` — the query's result size ([`Evaluator::count`]);
+//! * `T_E(I) = max_t |q_E(I) ⋈ t|` — the maximum boundary multiplicity of a
+//!   residual query ([`Evaluator::t_e`]), in the projected (distinct-count)
+//!   form when the query is non-full.
+//!
+//! The engine eliminates non-boundary variables one bucket at a time,
+//! joining the factors that contain the chosen variable and summing it out
+//! in the appropriate semiring. Predicates are applied as soon as all of
+//! their variables coexist in a factor; the bucket is *widened* (extra
+//! factors pulled in) when a predicate would otherwise lose its last
+//! variable, so predicate filters are never dropped silently. Predicates
+//! not contained in the residual's variables are handled per Corollary 5.1:
+//! inequalities are always satisfiable across the boundary and are dropped
+//! exactly; *comparisons* would be unsound to drop, so the engine refuses
+//! them (materialize via [`crate::active_domain`] first).
+//!
+//! The final `max` over the boundary is computed by a branch-and-bound
+//! search over the remaining factors (sorted by weight, pruned by the
+//! product of per-factor maxima) instead of materializing their join —
+//! residuals of disconnected patterns otherwise force huge cross products
+//! whose maximum is trivial.
+
+use crate::error::EvalError;
+use crate::factor::{Factor, Semiring};
+use dpcq_query::{ConjunctiveQuery, Predicate, Term, VarId};
+use dpcq_relation::{Database, Value};
+use std::collections::BTreeSet;
+
+/// A query bound to a database instance, ready to evaluate counts and
+/// residual boundary multiplicities.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    query: &'a ConjunctiveQuery,
+    db: &'a Database,
+    /// Base factor per atom (no predicates applied), built once.
+    atom_factors: Vec<Factor>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Binds `query` to `db`, validating that every referenced relation
+    /// exists with the right arity and materializing per-atom base factors.
+    pub fn new(query: &'a ConjunctiveQuery, db: &'a Database) -> Result<Self, EvalError> {
+        let mut atom_factors = Vec::with_capacity(query.num_atoms());
+        for atom in query.atoms() {
+            let rel = db
+                .relation(&atom.relation)
+                .ok_or_else(|| EvalError::UnknownRelation {
+                    relation: atom.relation.clone(),
+                })?;
+            if rel.arity() != atom.arity() {
+                return Err(EvalError::ArityMismatch {
+                    relation: atom.relation.clone(),
+                    atom_arity: atom.arity(),
+                    relation_arity: rel.arity(),
+                });
+            }
+            let vars = atom.variables();
+            let mut rows: Vec<(Vec<Value>, u128)> = Vec::with_capacity(rel.len());
+            'rows: for row in rel.iter() {
+                let mut bound: Vec<Option<Value>> = vec![None; vars.len()];
+                for (term, &val) in atom.terms.iter().zip(row) {
+                    match term {
+                        Term::Const(c) => {
+                            if *c != val {
+                                continue 'rows;
+                            }
+                        }
+                        Term::Var(v) => {
+                            let slot = vars.iter().position(|w| w == v).expect("var interned");
+                            match bound[slot] {
+                                None => bound[slot] = Some(val),
+                                Some(prev) if prev != val => continue 'rows,
+                                Some(_) => {}
+                            }
+                        }
+                    }
+                }
+                rows.push((bound.into_iter().map(|b| b.expect("all bound")).collect(), 1));
+            }
+            atom_factors.push(Factor::from_rows(vars, rows, Semiring::Counting));
+        }
+        Ok(Evaluator {
+            query,
+            db,
+            atom_factors,
+        })
+    }
+
+    /// The bound query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        self.query
+    }
+
+    /// The bound database.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// The base factor of atom `i` (constants filtered, repeated variables
+    /// unified; no predicates applied). Used by statistics consumers such
+    /// as elastic sensitivity's maximum-frequency computation.
+    pub fn atom_factor(&self, i: usize) -> &Factor {
+        &self.atom_factors[i]
+    }
+
+    /// `|q(I)|`: the number of results of the (possibly projected) query,
+    /// with all predicates applied.
+    pub fn count(&self) -> Result<u128, EvalError> {
+        let all: Vec<usize> = (0..self.query.num_atoms()).collect();
+        match self.query.projection() {
+            None => {
+                // Inequality predicates: inclusion–exclusion keeps the
+                // aggregation width low (safe here regardless of
+                // connectivity — the boundary is empty, so every term
+                // reduces to scalars).
+                if let Some(c) = self.t_e_inclusion_exclusion(&all, &BTreeSet::new()) {
+                    return Ok(c);
+                }
+                let f = self.residual_factor(&all, &BTreeSet::new(), false)?;
+                Ok(f.scalar())
+            }
+            Some(o) => {
+                let keep: BTreeSet<VarId> = o.iter().copied().collect();
+                let f = self.residual_factor(&all, &keep, true)?;
+                let drop: Vec<VarId> = keep.into_iter().collect();
+                Ok(f.eliminate(&drop, Semiring::Counting).scalar())
+            }
+        }
+    }
+
+    /// `T_E(I)` for the residual query on `subset = E` (atom indices).
+    ///
+    /// For full queries this is the paper's Section 3.1 definition; for
+    /// non-full queries the projected variant of Section 6
+    /// (`max_t |π_{o_E}(q_E(I) ⋈ t)|`). Predicates are handled per
+    /// Section 5 (see the module docs).
+    pub fn t_e(&self, subset: &[usize]) -> Result<u128, EvalError> {
+        if subset.is_empty() {
+            return Ok(1); // T_∅ = 1 by convention
+        }
+        self.check_comparisons(subset)?;
+        if self.query.residual_output(subset).is_some() {
+            return Ok(self.boundary_factor(subset)?.max_annotation());
+        }
+        let boundary: BTreeSet<VarId> = self.query.boundary(subset).into_iter().collect();
+        // Connected residuals whose predicates are inequalities evaluate
+        // through inclusion–exclusion: each term is a predicate-free FAQ
+        // with fused aggregation, keeping the width low (no bucket
+        // widening, no materialized predicate joins).
+        if self.query.subset_connected(subset) {
+            if let Some(max) = self.t_e_inclusion_exclusion(subset, &boundary) {
+                return Ok(max);
+            }
+        }
+        let (factors, pending) = self.eliminate_to_keep(subset, &boundary, false)?;
+        if let Some(max) = max_product(&factors, &pending, self.query.num_vars()) {
+            return Ok(max);
+        }
+        // Branch-and-bound exceeded its node budget (adversarial shapes);
+        // fall back to the materialized join.
+        Ok(finalize_join(factors, pending, Semiring::Counting).max_annotation())
+    }
+
+    /// Inclusion–exclusion over inequality predicates:
+    /// `count[all ≠ hold] = Σ_{S ⊆ preds} (−1)^{|S|} count[equalities S]`,
+    /// where each term merges the equated variables and evaluates a
+    /// predicate-free counting FAQ (fast: fused join-eliminate, no
+    /// widening). Returns `None` when the residual's contained predicates
+    /// are not all binary inequalities (or there are too many of them), in
+    /// which case the caller uses the direct path.
+    fn t_e_inclusion_exclusion(
+        &self,
+        subset: &[usize],
+        boundary: &BTreeSet<VarId>,
+    ) -> Option<u128> {
+        const MAX_IE_PREDS: usize = 14;
+        let contained = self.query.contained_predicates(subset);
+        let mut ie_pairs: Vec<(usize, usize)> = Vec::new();
+        let mut single: Vec<Predicate> = Vec::new();
+        for p in contained {
+            let vars = p.variables();
+            match vars.len() {
+                0 | 1 => single.push(p),
+                2 if p.is_inequality() => ie_pairs.push((vars[0].0, vars[1].0)),
+                _ => return None,
+            }
+        }
+        if ie_pairs.len() > MAX_IE_PREDS {
+            return None;
+        }
+
+        // Base factors with the single-variable filters applied.
+        let base: Vec<Factor> = subset
+            .iter()
+            .map(|&i| {
+                let mut f = self.atom_factors[i].clone();
+                let applicable: Vec<Predicate> = single
+                    .iter()
+                    .filter(|p| p.variables().iter().all(|v| f.mentions(*v)))
+                    .copied()
+                    .collect();
+                f.filter(&applicable);
+                f
+            })
+            .collect();
+
+        let nv = self.query.num_vars();
+        let boundary_vec: Vec<VarId> = boundary.iter().copied().collect();
+        let mut acc: dpcq_relation::FxHashMap<Box<[Value]>, i128> =
+            dpcq_relation::FxHashMap::default();
+        let mut key_buf: Vec<Value> = vec![Value::default(); boundary_vec.len()];
+
+        // Distinct predicate subsets can induce the same variable
+        // partition; their signed contributions collapse to one Möbius
+        // coefficient per partition (at most Bell(#vars) partitions vs
+        // 2^κ subsets — a large saving for the all-pairs-distinct
+        // pattern queries). Enumerate subsets cheaply, then evaluate each
+        // partition once.
+        fn find(rep: &mut [usize], x: usize) -> usize {
+            if rep[x] != x {
+                let r = find(rep, rep[x]);
+                rep[x] = r;
+            }
+            rep[x]
+        }
+        let mut partitions: dpcq_relation::FxHashMap<Vec<usize>, i128> =
+            dpcq_relation::FxHashMap::default();
+        for mask in 0u32..(1 << ie_pairs.len()) {
+            let mut rep: Vec<usize> = (0..nv).collect();
+            for (bit, &(a, b)) in ie_pairs.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    let (ra, rb) = (find(&mut rep, a), find(&mut rep, b));
+                    let (lo, hi) = (ra.min(rb), ra.max(rb));
+                    rep[hi] = lo;
+                }
+            }
+            for x in 0..nv {
+                find(&mut rep, x);
+            }
+            let sign: i128 = if mask.count_ones() % 2 == 0 { 1 } else { -1 };
+            *partitions.entry(rep).or_insert(0) += sign;
+        }
+
+        for (rep, coeff) in partitions {
+            if coeff == 0 {
+                continue;
+            }
+            let factors: Vec<Factor> = base
+                .iter()
+                .map(|f| f.merge_columns(&rep, Semiring::Counting))
+                .collect();
+            let keep: BTreeSet<VarId> =
+                boundary_vec.iter().map(|b| VarId(rep[b.0])).collect();
+            let reduced = eliminate_pure(factors, &keep, Semiring::Counting);
+            let combined = reduced
+                .into_iter()
+                .reduce(|a, b| a.join(&b, Semiring::Counting))
+                .unwrap_or_else(Factor::unit);
+
+            let positions: Vec<usize> = boundary_vec
+                .iter()
+                .map(|b| {
+                    combined
+                        .vars()
+                        .iter()
+                        .position(|v| *v == VarId(rep[b.0]))
+                        .expect("boundary representative appears in combined factor")
+                })
+                .collect();
+            for (row, w) in combined.iter() {
+                for (slot, &p) in key_buf.iter_mut().zip(&positions) {
+                    *slot = row[p];
+                }
+                let w = i128::try_from(w).expect("count fits in i128");
+                *acc.entry(key_buf.clone().into_boxed_slice()).or_insert(0) += coeff * w;
+            }
+        }
+
+        let max = acc.values().copied().max().unwrap_or(0);
+        debug_assert!(
+            acc.values().all(|&v| v >= 0),
+            "inclusion-exclusion produced a negative count"
+        );
+        Some(max.max(0) as u128)
+    }
+
+    /// The boundary count factor behind `T_E`: one row per boundary
+    /// valuation `t` with annotation `|q_E(I) ⋈ t|` (projected counts for
+    /// non-full queries). `T_E` is its maximum annotation; the paper's
+    /// witness `t_E(I)` is its argmax (see [`Evaluator::t_e_witness`]).
+    pub fn boundary_factor(&self, subset: &[usize]) -> Result<Factor, EvalError> {
+        if subset.is_empty() {
+            return Ok(Factor::unit());
+        }
+        self.check_comparisons(subset)?;
+        let boundary: BTreeSet<VarId> = self.query.boundary(subset).into_iter().collect();
+        match self.query.residual_output(subset) {
+            None => self.residual_factor(subset, &boundary, false),
+            Some(o) => {
+                let mut keep = boundary.clone();
+                keep.extend(o.iter().copied());
+                let f = self.residual_factor(subset, &keep, true)?;
+                if o.is_empty() {
+                    // π_∅ of a non-empty set is {⟨⟩}: annotation 1 per
+                    // boundary valuation that has any completion.
+                    return Ok(f.to_boolean());
+                }
+                let drop: Vec<VarId> =
+                    o.iter().copied().filter(|v| !boundary.contains(v)).collect();
+                Ok(f.eliminate(&drop, Semiring::Counting))
+            }
+        }
+    }
+
+    /// The witness `t_E(I)`: a boundary valuation achieving `T_E(I)`,
+    /// together with the value. `None` when the boundary factor is empty.
+    pub fn t_e_witness(&self, subset: &[usize]) -> Result<Option<(Vec<Value>, u128)>, EvalError> {
+        let f = self.boundary_factor(subset)?;
+        Ok(f.iter()
+            .max_by_key(|&(_, w)| w)
+            .map(|(row, w)| (row.to_vec(), w)))
+    }
+
+    /// Refuses comparison predicates that span the residual boundary
+    /// (Section 5.2: they must be materialized, not dropped).
+    fn check_comparisons(&self, subset: &[usize]) -> Result<(), EvalError> {
+        let vars = self.query.subset_vars(subset);
+        for p in self.query.predicates() {
+            if p.is_comparison() && !p.variables().iter().all(|v| vars.contains(v)) {
+                return Err(EvalError::UncontainedComparison {
+                    predicate: p.display(|v| self.query.var_name(v)).to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fully materialized residual factor over `keep`.
+    fn residual_factor(
+        &self,
+        subset: &[usize],
+        keep: &BTreeSet<VarId>,
+        distinct: bool,
+    ) -> Result<Factor, EvalError> {
+        let semiring = if distinct {
+            Semiring::Boolean
+        } else {
+            Semiring::Counting
+        };
+        let (factors, pending) = self.eliminate_to_keep(subset, keep, distinct)?;
+        Ok(finalize_join(factors, pending, semiring))
+    }
+
+    /// Core bucket elimination: evaluates the join of `subset`'s atoms,
+    /// applying all predicates contained in `var(q_subset)`, eliminating
+    /// every variable outside `keep`. Returns the remaining factors (over
+    /// subsets of `keep`) and the still-pending predicates (whose
+    /// variables are all in `keep`).
+    ///
+    /// `distinct` selects the Boolean semiring for the inner elimination
+    /// (set semantics — used by the projected queries of Section 6).
+    fn eliminate_to_keep(
+        &self,
+        subset: &[usize],
+        keep: &BTreeSet<VarId>,
+        distinct: bool,
+    ) -> Result<(Vec<Factor>, Vec<Predicate>), EvalError> {
+        let semiring = if distinct {
+            Semiring::Boolean
+        } else {
+            Semiring::Counting
+        };
+        let mut pending: Vec<Predicate> = self.query.contained_predicates(subset);
+        let mut factors: Vec<Factor> = Vec::with_capacity(subset.len());
+        for &i in subset {
+            let mut f = self.atom_factors[i].clone();
+            let applicable = take_applicable(&mut pending, f.vars());
+            f.filter(&applicable);
+            factors.push(f);
+        }
+
+        let mut elim: BTreeSet<VarId> = self
+            .query
+            .subset_vars(subset)
+            .into_iter()
+            .filter(|v| !keep.contains(v))
+            .collect();
+
+        while let Some(v) = pick_elimination_var(&elim, &factors) {
+            // Gather every factor containing v, then widen so each pending
+            // predicate mentioning v has all its variables present.
+            let mut in_bucket: Vec<bool> = factors.iter().map(|f| f.mentions(v)).collect();
+            loop {
+                let covered: BTreeSet<VarId> = factors
+                    .iter()
+                    .zip(&in_bucket)
+                    .filter(|(_, &inb)| inb)
+                    .flat_map(|(f, _)| f.vars().iter().copied())
+                    .collect();
+                let mut widened = false;
+                for p in pending.iter().filter(|p| p.variables().contains(&v)) {
+                    for pv in p.variables() {
+                        if !covered.contains(&pv) {
+                            let j = factors
+                                .iter()
+                                .enumerate()
+                                .position(|(j, f)| !in_bucket[j] && f.mentions(pv))
+                                .expect("predicate var bound by some atom of the subset");
+                            in_bucket[j] = true;
+                            widened = true;
+                        }
+                    }
+                }
+                if !widened {
+                    break;
+                }
+            }
+
+            // Join the bucket (smallest factors first to keep intermediates
+            // small), leaving the others in place.
+            let mut bucket: Vec<Factor> = Vec::new();
+            let mut rest: Vec<Factor> = Vec::new();
+            for (f, inb) in factors.drain(..).zip(in_bucket) {
+                if inb {
+                    bucket.push(f);
+                } else {
+                    rest.push(f);
+                }
+            }
+            bucket.sort_by_key(Factor::len);
+            let mut joined = bucket
+                .into_iter()
+                .reduce(|a, b| a.join(&b, semiring))
+                .expect("bucket contains at least the factor with v");
+            let applicable = take_applicable(&mut pending, joined.vars());
+            joined.filter(&applicable);
+
+            // Variables that die with this bucket: not kept, not referenced
+            // by any remaining factor or pending predicate.
+            let dead: Vec<VarId> = joined
+                .vars()
+                .iter()
+                .copied()
+                .filter(|u| {
+                    elim.contains(u)
+                        && !rest.iter().any(|f| f.mentions(*u))
+                        && !pending.iter().any(|p| p.variables().contains(u))
+                })
+                .collect();
+            debug_assert!(dead.contains(&v), "progress: v must be eliminable");
+            let reduced = joined.eliminate(&dead, semiring);
+            for u in dead {
+                elim.remove(&u);
+            }
+            rest.push(reduced);
+            factors = rest;
+        }
+        Ok((factors, pending))
+    }
+}
+
+/// Predicate-free bucket elimination with fused aggregation: repeatedly
+/// joins the factors containing the cheapest elimination variable and
+/// drops every variable that dies with the bucket *during the final join*
+/// (the intermediate join is never materialized). Used by the
+/// inclusion–exclusion terms, which have no predicates by construction.
+fn eliminate_pure(
+    mut factors: Vec<Factor>,
+    keep: &BTreeSet<VarId>,
+    semiring: Semiring,
+) -> Vec<Factor> {
+    let mut elim: BTreeSet<VarId> = factors
+        .iter()
+        .flat_map(|f| f.vars().iter().copied())
+        .filter(|v| !keep.contains(v))
+        .collect();
+    while let Some(v) = pick_elimination_var(&elim, &factors) {
+        let mut bucket: Vec<Factor> = Vec::new();
+        let mut rest: Vec<Factor> = Vec::new();
+        for f in factors.drain(..) {
+            if f.mentions(v) {
+                bucket.push(f);
+            } else {
+                rest.push(f);
+            }
+        }
+        let dead: Vec<VarId> = bucket
+            .iter()
+            .flat_map(|f| f.vars().iter().copied())
+            .filter(|u| elim.contains(u) && !rest.iter().any(|f| f.mentions(*u)))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        bucket.sort_by_key(Factor::len);
+        let reduced = if bucket.len() == 1 {
+            bucket.pop().expect("non-empty").eliminate(&dead, semiring)
+        } else {
+            let last = bucket.pop().expect("non-empty");
+            let prefix = bucket
+                .into_iter()
+                .reduce(|a, b| a.join(&b, semiring))
+                .expect("at least one more factor");
+            prefix.join_eliminate(&last, &dead, semiring)
+        };
+        for u in dead {
+            elim.remove(&u);
+        }
+        rest.push(reduced);
+        factors = rest;
+    }
+    factors
+}
+
+/// Joins the remaining factors (cross products if disconnected) and
+/// applies the leftover predicates.
+fn finalize_join(mut factors: Vec<Factor>, mut pending: Vec<Predicate>, semiring: Semiring) -> Factor {
+    factors.sort_by_key(Factor::len);
+    let mut result = factors
+        .into_iter()
+        .reduce(|a, b| a.join(&b, semiring))
+        .unwrap_or_else(Factor::unit);
+    let applicable = take_applicable(&mut pending, result.vars());
+    result.filter(&applicable);
+    debug_assert!(
+        pending.is_empty(),
+        "all contained predicates must have been applied"
+    );
+    result
+}
+
+/// Node budget for the final-stage branch-and-bound (rows examined);
+/// beyond this the caller falls back to the materialized join.
+const MAX_PRODUCT_NODE_BUDGET: u64 = 50_000_000;
+
+/// `max over joint rows of Π weights`, subject to shared-variable
+/// consistency and the pending predicates — without materializing the
+/// join. Factors' rows are visited in descending weight order, pruned by
+/// the product of the remaining factors' maxima; the search achieves the
+/// global upper bound immediately on typical boundary factors and on
+/// cross products of set-like factors.
+///
+/// Returns `None` if the node budget is exhausted.
+fn max_product(factors: &[Factor], preds: &[Predicate], num_vars: usize) -> Option<u128> {
+    if factors.is_empty() {
+        return Some(1); // the unit factor; pending preds are var-free here
+    }
+    if factors.iter().any(Factor::is_empty) {
+        return Some(0);
+    }
+    // Fast path: a single factor with no predicates left.
+    if factors.len() == 1 && preds.is_empty() {
+        return Some(factors[0].max_annotation());
+    }
+    let orders: Vec<Vec<u32>> = factors.iter().map(Factor::rows_by_weight_desc).collect();
+    // suffix_max[i] = Π_{j ≥ i} max weight of factor j.
+    let mut suffix_max = vec![1u128; factors.len() + 1];
+    for i in (0..factors.len()).rev() {
+        suffix_max[i] = suffix_max[i + 1].checked_mul(factors[i].max_annotation())?;
+    }
+
+    struct Search<'s> {
+        factors: &'s [Factor],
+        orders: &'s [Vec<u32>],
+        suffix_max: &'s [u128],
+        preds: &'s [Predicate],
+        bound: Vec<Option<Value>>,
+        best: u128,
+        nodes: u64,
+    }
+
+    impl Search<'_> {
+        /// Returns `false` when the node budget is exhausted.
+        fn recurse(&mut self, i: usize, acc: u128) -> bool {
+            if i == self.factors.len() {
+                self.best = self.best.max(acc);
+                return true;
+            }
+            if acc.saturating_mul(self.suffix_max[i]) <= self.best {
+                return true; // cannot improve
+            }
+            let factor = &self.factors[i];
+            let vars = factor.vars().to_vec();
+            'rows: for &ri in &self.orders[i] {
+                self.nodes += 1;
+                if self.nodes > MAX_PRODUCT_NODE_BUDGET {
+                    return false;
+                }
+                let ri = ri as usize;
+                let w = factor.weight(ri);
+                // Rows are weight-sorted: once even this row cannot beat
+                // `best`, no later row can.
+                if acc
+                    .saturating_mul(w)
+                    .saturating_mul(self.suffix_max[i + 1])
+                    <= self.best
+                {
+                    break;
+                }
+                let row = factor.row(ri);
+                let mut newly: Vec<VarId> = Vec::new();
+                for (v, &val) in vars.iter().zip(row) {
+                    match self.bound[v.0] {
+                        None => {
+                            self.bound[v.0] = Some(val);
+                            newly.push(*v);
+                        }
+                        Some(prev) if prev != val => {
+                            for u in newly.drain(..) {
+                                self.bound[u.0] = None;
+                            }
+                            continue 'rows;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                // Predicates that just became fully bound.
+                let ok = self.preds.iter().all(|p| {
+                    let pv = p.variables();
+                    if !pv.iter().any(|v| newly.contains(v)) {
+                        return true; // checked earlier or not yet bound
+                    }
+                    if pv.iter().any(|v| self.bound[v.0].is_none()) {
+                        return true; // not yet fully bound
+                    }
+                    p.eval(|v| self.bound[v.0].expect("checked bound"))
+                });
+                let go_on = !ok
+                    || self.recurse(i + 1, acc.checked_mul(w).expect("count overflow"));
+                for u in newly {
+                    self.bound[u.0] = None;
+                }
+                if !go_on {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+
+    let mut search = Search {
+        factors,
+        orders: &orders,
+        suffix_max: &suffix_max,
+        preds,
+        bound: vec![None; num_vars],
+        best: 0,
+        nodes: 0,
+    };
+    search.recurse(0, 1).then_some(search.best)
+}
+
+/// Removes and returns the predicates whose variables are all columns of a
+/// factor with variable list `vars`.
+fn take_applicable(pending: &mut Vec<Predicate>, vars: &[VarId]) -> Vec<Predicate> {
+    let mut applicable = Vec::new();
+    pending.retain(|p| {
+        if p.variables().iter().all(|v| vars.contains(v)) {
+            applicable.push(*p);
+            false
+        } else {
+            true
+        }
+    });
+    applicable
+}
+
+/// Chooses the next variable to eliminate: the one whose bucket (factors
+/// mentioning it) is cheapest by total row count. Returns `None` when no
+/// elimination variable remains.
+fn pick_elimination_var(elim: &BTreeSet<VarId>, factors: &[Factor]) -> Option<VarId> {
+    elim.iter().copied().min_by_key(|&v| {
+        let cost: usize = factors
+            .iter()
+            .filter(|f| f.mentions(v))
+            .map(Factor::len)
+            .sum();
+        (cost, v.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcq_query::{parse_query, CqBuilder};
+    use dpcq_relation::vals;
+
+    fn path_db() -> Database {
+        // Edge = {(1,2),(2,3),(3,4),(1,3)}
+        let mut db = Database::new();
+        for e in [[1, 2], [2, 3], [3, 4], [1, 3]] {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        db
+    }
+
+    #[test]
+    fn count_single_atom() {
+        let q = parse_query("Q(*) :- Edge(x, y)").unwrap();
+        let db = path_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.count().unwrap(), 4);
+    }
+
+    #[test]
+    fn count_two_hop_paths() {
+        // 1->2->3, 2->3->4, 1->3->4: three 2-paths.
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let db = path_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.count().unwrap(), 3);
+    }
+
+    #[test]
+    fn count_with_inequality() {
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z), x != z").unwrap();
+        let db = path_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.count().unwrap(), 3); // no 2-cycles in this instance
+    }
+
+    #[test]
+    fn count_projected() {
+        // Distinct sources of 2-paths: {1, 2}.
+        let q = parse_query("Q(x) :- Edge(x, y), Edge(y, z)").unwrap();
+        let db = path_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.count().unwrap(), 2);
+    }
+
+    #[test]
+    fn count_with_constant_atom() {
+        let q = parse_query("Q(*) :- Edge(1, y)").unwrap();
+        let db = path_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.count().unwrap(), 2); // (1,2) and (1,3)
+    }
+
+    #[test]
+    fn count_repeated_var_atom() {
+        let mut db = path_db();
+        db.insert_tuple("Edge", &vals![5, 5]);
+        let q = parse_query("Q(*) :- Edge(x, x)").unwrap();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.count().unwrap(), 1);
+    }
+
+    #[test]
+    fn te_of_empty_subset_is_one() {
+        let q = parse_query("Q(*) :- Edge(x, y)").unwrap();
+        let db = path_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.t_e(&[]).unwrap(), 1);
+    }
+
+    #[test]
+    fn te_single_atom_is_max_degree() {
+        // q = Edge(x,y) ⋈ Edge(y,z); E = {0}: boundary {y} (shared with
+        // atom 1). T_E = max over y of #x with (x,y) ∈ Edge = max in-degree.
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let db = path_db(); // in-degrees: 2:1, 3:2, 4:1
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.t_e(&[0]).unwrap(), 2);
+        // E = {1}: boundary {y}; max out-degree = 2 (node 1).
+        assert_eq!(ev.t_e(&[1]).unwrap(), 2);
+    }
+
+    #[test]
+    fn te_full_subset_has_empty_boundary() {
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let db = path_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        // Boundary empty: T = |q(I)| = 3.
+        assert_eq!(ev.t_e(&[0, 1]).unwrap(), 3);
+    }
+
+    #[test]
+    fn te_witness_matches_max() {
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let db = path_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        let (row, w) = ev.t_e_witness(&[0]).unwrap().unwrap();
+        assert_eq!(w, 2);
+        assert_eq!(row, vec![Value(3)]); // y = 3 has in-degree 2
+    }
+
+    #[test]
+    fn uncontained_comparison_is_refused() {
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z), x < z").unwrap();
+        let db = path_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        // Full count is fine (all predicate vars present).
+        assert_eq!(ev.count().unwrap(), 3);
+        // Residual on atom 0 loses z: comparison spans the boundary.
+        assert!(matches!(
+            ev.t_e(&[0]).unwrap_err(),
+            EvalError::UncontainedComparison { .. }
+        ));
+    }
+
+    #[test]
+    fn uncontained_inequality_is_dropped_exactly() {
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z), x != z").unwrap();
+        let db = path_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        // Corollary 5.1: T on atom 0 ignores x != z (z free over Z).
+        assert_eq!(ev.t_e(&[0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn projected_te_counts_distinct() {
+        // q = π_x (Edge(x,y) ⋈ Edge(y,z)); E = {0}: o_E = {x}, ∂ = {y}.
+        // T = max over y of #distinct x with (x,y) ∈ Edge.
+        let mut db = path_db();
+        db.insert_tuple("Edge", &vals![2, 4]); // in-neighbors of 4: {3, 2}
+        let q = parse_query("Q(x) :- Edge(x, y), Edge(y, z)").unwrap();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.t_e(&[0]).unwrap(), 2);
+        // E = {1}: o_E = {} (x not in atom 1), ∂ = {y}: T = 1 (π_∅ of a
+        // non-empty set is the empty tuple).
+        assert_eq!(ev.t_e(&[1]).unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_and_arity_errors() {
+        let q = parse_query("Q(*) :- Nope(x, y)").unwrap();
+        let db = path_db();
+        assert!(matches!(
+            Evaluator::new(&q, &db).unwrap_err(),
+            EvalError::UnknownRelation { .. }
+        ));
+        let q2 = parse_query("Q(*) :- Edge(x, y, z)").unwrap();
+        assert!(matches!(
+            Evaluator::new(&q2, &db).unwrap_err(),
+            EvalError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn triangle_count_on_k4() {
+        // Complete directed graph on 4 vertices (no self-loops): every
+        // ordered triple of distinct vertices forms a directed triangle,
+        // so the CQ count is 4·3·2 = 24.
+        let mut db = Database::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    db.insert_tuple("Edge", &[Value(i), Value(j)]);
+                }
+            }
+        }
+        let q = parse_query(
+            "Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), x1 != x2, x2 != x3, x1 != x3",
+        )
+        .unwrap();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.count().unwrap(), 24);
+    }
+
+    #[test]
+    fn disconnected_query_is_cross_product() {
+        let mut db = Database::new();
+        db.insert_tuple("R", &vals![1]);
+        db.insert_tuple("R", &vals![2]);
+        db.insert_tuple("S", &vals![7]);
+        let q = parse_query("Q(*) :- R(x), S(y)").unwrap();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.count().unwrap(), 2);
+    }
+
+    #[test]
+    fn predicate_spanning_disconnected_atoms() {
+        let mut db = Database::new();
+        db.insert_tuple("R", &vals![1]);
+        db.insert_tuple("R", &vals![7]);
+        db.insert_tuple("S", &vals![7]);
+        let q = parse_query("Q(*) :- R(x), S(y), x != y").unwrap();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.count().unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_relation_gives_zero() {
+        let mut db = Database::new();
+        db.create_relation("Edge", 2);
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        assert_eq!(ev.count().unwrap(), 0);
+        assert_eq!(ev.t_e(&[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn four_clique_te_values() {
+        // Triangle query on the symmetric K4.
+        let mut db = Database::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    db.insert_tuple("Edge", &[Value(i), Value(j)]);
+                }
+            }
+        }
+        let mut b = CqBuilder::new();
+        let (x1, x2, x3) = (b.var("x1"), b.var("x2"), b.var("x3"));
+        b.atom("Edge", [x1, x2]);
+        b.atom("Edge", [x2, x3]);
+        b.atom("Edge", [x1, x3]);
+        let q = b.build().unwrap();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        // E = {1,2}: residual Edge(x2,x3) ⋈ Edge(x1,x3), boundary {x1,x2};
+        // at x1 = x2 every out-neighbor of x1 joins: T = 3.
+        assert_eq!(ev.t_e(&[1, 2]).unwrap(), 3);
+        // Single-atom residual: boundary is both of its vars: T = 1.
+        assert_eq!(ev.t_e(&[0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn disconnected_residual_with_cross_predicates() {
+        // T over two disconnected atoms whose boundary is everything:
+        // the value is 1 iff a predicate-satisfying combination exists
+        // (exercises the branch-and-bound final stage).
+        let mut db = Database::new();
+        db.insert_tuple("R", &vals![1]);
+        db.insert_tuple("S", &vals![1]);
+        db.insert_tuple("T", &vals![1]);
+        db.insert_tuple("T", &vals![2]);
+        let q = parse_query("Q(*) :- R(x), S(y), T(x), T(y), x != y").unwrap();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        // Subset {0,1} = R(x), S(y): boundary {x,y}; contained pred x != y
+        // kills the only combination (1,1) ⇒ T = 0.
+        assert_eq!(ev.t_e(&[0, 1]).unwrap(), 0);
+        // Without the predicate constraint, subset {2,3} = T(x), T(y):
+        // combinations (1,2) or (2,1) satisfy x != y ⇒ T = 1.
+        assert_eq!(ev.t_e(&[2, 3]).unwrap(), 1);
+    }
+
+    #[test]
+    fn max_product_matches_materialized_join() {
+        // Randomized: B&B max equals max annotation of the real join.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..40 {
+            let mut db = Database::new();
+            for _ in 0..12 {
+                db.insert_tuple("A", &[Value(rng.gen_range(0..4)), Value(rng.gen_range(0..4))]);
+                db.insert_tuple("B", &[Value(rng.gen_range(0..4)), Value(rng.gen_range(0..4))]);
+                db.insert_tuple("C", &[Value(rng.gen_range(0..4))]);
+            }
+            let q = parse_query("Q(*) :- A(x, y), B(z, w), C(z), x != w").unwrap();
+            let ev = Evaluator::new(&q, &db).unwrap();
+            // Subset {0,1}: A and B disconnected, boundary = all vars.
+            let via_bb = ev.t_e(&[0, 1]).unwrap();
+            let via_join = ev.boundary_factor(&[0, 1]).unwrap().max_annotation();
+            assert_eq!(via_bb, via_join, "trial {trial}");
+            // Subset {1,2}: connected via z.
+            let via_bb2 = ev.t_e(&[1, 2]).unwrap();
+            let via_join2 = ev.boundary_factor(&[1, 2]).unwrap().max_annotation();
+            assert_eq!(via_bb2, via_join2, "trial {trial}");
+        }
+    }
+}

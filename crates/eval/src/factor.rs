@@ -1,0 +1,713 @@
+//! Annotated factors: the intermediate representation of the FAQ engine.
+//!
+//! A [`Factor`] is a relation over a set of query variables in which every
+//! row carries a semiring annotation. Two semirings are used (Section 3.1 /
+//! Section 6 of the paper):
+//!
+//! * **Counting** `(ℕ, +, ×)` — annotations are multiplicities; eliminating
+//!   a variable sums them. This computes `|q_E(I) ⋈ t|` group-by boundary.
+//! * **Boolean** `({0,1}, ∨, ∧)` — set semantics; eliminating a variable is
+//!   duplicate-eliminating projection. Used for the inner projection of
+//!   non-full queries before the final distinct count.
+//!
+//! Annotations are `u128`: saturating *down* would under-report sensitivity
+//! (a privacy bug), so we use a width that cannot overflow on realistic
+//! inputs and checked arithmetic.
+//!
+//! Storage is flat (one `Vec<Value>` for all rows, parallel weight vector,
+//! hash index from row-hash to indices) — factor rows are created and
+//! destroyed by the million inside `T_E` computations, so per-row boxing
+//! is the enemy.
+
+use dpcq_query::{Predicate, VarId};
+use dpcq_relation::fxhash::hash_row;
+use dpcq_relation::{FxHashMap, Value};
+
+/// The two aggregation semirings used by the engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Semiring {
+    /// `(ℕ, +, ×)`: bag counting.
+    Counting,
+    /// `({0,1}, ∨, ∧)`: set semantics (duplicate elimination).
+    Boolean,
+}
+
+impl Semiring {
+    #[inline]
+    fn add(self, a: u128, b: u128) -> u128 {
+        match self {
+            Semiring::Counting => a.checked_add(b).expect("count overflow"),
+            Semiring::Boolean => (a | b).min(1),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn mul(self, a: u128, b: u128) -> u128 {
+        match self {
+            Semiring::Counting => a.checked_mul(b).expect("count overflow"),
+            Semiring::Boolean => (a & b).min(1),
+        }
+    }
+}
+
+/// An annotated relation over a list of variables.
+#[derive(Clone, Debug)]
+pub struct Factor {
+    vars: Vec<VarId>,
+    /// Flat row storage: row `i` occupies `data[i*arity .. (i+1)*arity]`.
+    data: Vec<Value>,
+    weights: Vec<u128>,
+    /// Row hash -> row indices with that hash.
+    index: FxHashMap<u64, Vec<u32>>,
+}
+
+impl Factor {
+    /// The factor with no variables and a single empty row annotated `1`
+    /// (the multiplicative unit; also the paper's `q_∅(I) = {⟨⟩}`).
+    pub fn unit() -> Self {
+        let mut f = Factor::empty(Vec::new());
+        f.add_row(&[], 1, Semiring::Counting);
+        f
+    }
+
+    /// An empty factor (additive zero) over the given variables.
+    pub fn empty(vars: Vec<VarId>) -> Self {
+        Factor {
+            vars,
+            data: Vec::new(),
+            weights: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// An empty factor with row capacity reserved.
+    pub fn with_capacity(vars: Vec<VarId>, rows: usize) -> Self {
+        let arity = vars.len();
+        Factor {
+            vars,
+            data: Vec::with_capacity(rows * arity),
+            weights: Vec::with_capacity(rows),
+            index: FxHashMap::with_capacity_and_hasher(rows, Default::default()),
+        }
+    }
+
+    /// Builds a factor from rows; annotations of duplicate rows are added
+    /// in the given semiring.
+    pub fn from_rows<I>(vars: Vec<VarId>, rows: I, semiring: Semiring) -> Self
+    where
+        I: IntoIterator<Item = (Vec<Value>, u128)>,
+    {
+        let iter = rows.into_iter();
+        let mut f = Factor::with_capacity(vars, iter.size_hint().0);
+        for (row, w) in iter {
+            assert_eq!(row.len(), f.vars.len(), "factor row width mismatch");
+            f.add_row(&row, w, semiring);
+        }
+        f
+    }
+
+    /// The arity (number of columns).
+    #[inline]
+    fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        let a = self.arity();
+        &self.data[i * a..(i + 1) * a]
+    }
+
+    /// The weight of row `i`.
+    #[inline]
+    pub fn weight(&self, i: usize) -> u128 {
+        self.weights[i]
+    }
+
+    /// Inserts a row, combining with an existing equal row via the
+    /// semiring's `+`.
+    pub(crate) fn add_row(&mut self, row: &[Value], w: u128, semiring: Semiring) {
+        debug_assert_eq!(row.len(), self.arity());
+        if w == 0 {
+            return;
+        }
+        let w = match semiring {
+            Semiring::Counting => w,
+            Semiring::Boolean => w.min(1),
+        };
+        let h = hash_row(row);
+        let a = self.arity();
+        let bucket = self.index.entry(h).or_default();
+        for &i in bucket.iter() {
+            let i = i as usize;
+            if &self.data[i * a..(i + 1) * a] == row {
+                self.weights[i] = semiring.add(self.weights[i], w);
+                return;
+            }
+        }
+        bucket.push(self.weights.len() as u32);
+        self.data.extend_from_slice(row);
+        self.weights.push(w);
+    }
+
+    /// The factor's variables, in column order.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// Whether the factor mentions `v`.
+    pub fn mentions(&self, v: VarId) -> bool {
+        self.vars.contains(&v)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the factor has no rows (the additive zero).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Iterates over `(row, annotation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], u128)> {
+        (0..self.len()).map(|i| (self.row(i), self.weights[i]))
+    }
+
+    /// The largest annotation, or 0 for an empty factor. This is the final
+    /// `max` aggregation of `T_E`.
+    pub fn max_annotation(&self) -> u128 {
+        self.weights.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The total annotation (the `+` aggregation over everything).
+    pub fn total(&self) -> u128 {
+        self.weights.iter().sum()
+    }
+
+    /// The annotation of the single row of a nullary factor
+    /// (0 if the factor is empty).
+    ///
+    /// # Panics
+    /// Panics if the factor still has variables.
+    pub fn scalar(&self) -> u128 {
+        assert!(self.vars.is_empty(), "scalar() on non-nullary factor");
+        self.weights.first().copied().unwrap_or(0)
+    }
+
+    /// Natural join of two factors, multiplying annotations in the given
+    /// semiring. Columns of `self` come first, followed by `other`'s
+    /// non-shared columns. Disjoint variable sets produce a cross product.
+    pub fn join(&self, other: &Factor, semiring: Semiring) -> Factor {
+        // Hash the smaller side on the shared variables.
+        let (build, probe) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let shared: Vec<VarId> = build
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| probe.mentions(*v))
+            .collect();
+        let build_shared_pos: Vec<usize> = shared
+            .iter()
+            .map(|v| build.vars.iter().position(|w| w == v).expect("shared var"))
+            .collect();
+        let probe_shared_pos: Vec<usize> = shared
+            .iter()
+            .map(|v| probe.vars.iter().position(|w| w == v).expect("shared var"))
+            .collect();
+
+        let mut key = vec![Value::default(); shared.len()];
+        let mut index: FxHashMap<u64, Vec<u32>> =
+            FxHashMap::with_capacity_and_hasher(build.len(), Default::default());
+        for i in 0..build.len() {
+            let row = build.row(i);
+            for (k, &p) in key.iter_mut().zip(&build_shared_pos) {
+                *k = row[p];
+            }
+            index.entry(hash_row(&key)).or_default().push(i as u32);
+        }
+        let key_matches = |bi: usize, key: &[Value]| -> bool {
+            let row = build.row(bi);
+            build_shared_pos
+                .iter()
+                .zip(key)
+                .all(|(&p, k)| row[p] == *k)
+        };
+
+        // Output layout: self's vars then other's extras.
+        let out_vars: Vec<VarId> = self
+            .vars
+            .iter()
+            .copied()
+            .chain(other.vars.iter().copied().filter(|v| !self.mentions(*v)))
+            .collect();
+        // Positions of each output var: (true, p) = from build row.
+        let out_pos: Vec<(bool, usize)> = out_vars
+            .iter()
+            .map(|v| {
+                if let Some(p) = build.vars.iter().position(|w| w == v) {
+                    (true, p)
+                } else {
+                    (
+                        false,
+                        probe.vars.iter().position(|w| w == v).expect("var in probe"),
+                    )
+                }
+            })
+            .collect();
+
+        let mut out = Factor::with_capacity(out_vars, probe.len());
+        let mut out_row = vec![Value::default(); out.vars.len()];
+        for pi in 0..probe.len() {
+            let prow = probe.row(pi);
+            for (k, &p) in key.iter_mut().zip(&probe_shared_pos) {
+                *k = prow[p];
+            }
+            let Some(bucket) = index.get(&hash_row(&key)) else {
+                continue;
+            };
+            for &bi in bucket {
+                let bi = bi as usize;
+                if !key_matches(bi, &key) {
+                    continue;
+                }
+                let brow = build.row(bi);
+                for (slot, &(from_build, p)) in out_row.iter_mut().zip(&out_pos) {
+                    *slot = if from_build { brow[p] } else { prow[p] };
+                }
+                out.add_row(
+                    &out_row,
+                    semiring.mul(build.weights[bi], probe.weights[pi]),
+                    semiring,
+                );
+            }
+        }
+        out
+    }
+
+    /// Fused join + eliminate: like [`Factor::join`] followed by
+    /// [`Factor::eliminate`], but dropped columns never enter the output,
+    /// so the (often huge) intermediate join is never materialized. This
+    /// is the classic FAQ/AJAR aggregation push-down.
+    pub fn join_eliminate(&self, other: &Factor, drop: &[VarId], semiring: Semiring) -> Factor {
+        let (build, probe) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let shared: Vec<VarId> = build
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| probe.mentions(*v))
+            .collect();
+        let build_shared_pos: Vec<usize> = shared
+            .iter()
+            .map(|v| build.vars.iter().position(|w| w == v).expect("shared var"))
+            .collect();
+        let probe_shared_pos: Vec<usize> = shared
+            .iter()
+            .map(|v| probe.vars.iter().position(|w| w == v).expect("shared var"))
+            .collect();
+
+        let mut key = vec![Value::default(); shared.len()];
+        let mut index: FxHashMap<u64, Vec<u32>> =
+            FxHashMap::with_capacity_and_hasher(build.len(), Default::default());
+        for i in 0..build.len() {
+            let row = build.row(i);
+            for (k, &p) in key.iter_mut().zip(&build_shared_pos) {
+                *k = row[p];
+            }
+            index.entry(hash_row(&key)).or_default().push(i as u32);
+        }
+        let key_matches = |bi: usize, key: &[Value]| -> bool {
+            let row = build.row(bi);
+            build_shared_pos
+                .iter()
+                .zip(key)
+                .all(|(&p, k)| row[p] == *k)
+        };
+
+        let out_vars: Vec<VarId> = self
+            .vars
+            .iter()
+            .copied()
+            .chain(other.vars.iter().copied().filter(|v| !self.mentions(*v)))
+            .filter(|v| !drop.contains(v))
+            .collect();
+        let out_pos: Vec<(bool, usize)> = out_vars
+            .iter()
+            .map(|v| {
+                if let Some(p) = build.vars.iter().position(|w| w == v) {
+                    (true, p)
+                } else {
+                    (
+                        false,
+                        probe.vars.iter().position(|w| w == v).expect("var in probe"),
+                    )
+                }
+            })
+            .collect();
+
+        let mut out = Factor::with_capacity(out_vars, probe.len().min(1 << 16));
+        let mut out_row = vec![Value::default(); out.vars.len()];
+        for pi in 0..probe.len() {
+            let prow = probe.row(pi);
+            for (k, &p) in key.iter_mut().zip(&probe_shared_pos) {
+                *k = prow[p];
+            }
+            let Some(bucket) = index.get(&hash_row(&key)) else {
+                continue;
+            };
+            for &bi in bucket {
+                let bi = bi as usize;
+                if !key_matches(bi, &key) {
+                    continue;
+                }
+                let brow = build.row(bi);
+                for (slot, &(from_build, p)) in out_row.iter_mut().zip(&out_pos) {
+                    *slot = if from_build { brow[p] } else { prow[p] };
+                }
+                out.add_row(
+                    &out_row,
+                    semiring.mul(build.weights[bi], probe.weights[pi]),
+                    semiring,
+                );
+            }
+        }
+        out
+    }
+
+    /// Substitutes variables per the union-find representative table
+    /// `rep[var_id] = class representative var id`: columns falling into
+    /// the same class are checked for equality (rows violating it drop
+    /// out) and collapsed into one column named `VarId(rep)`.
+    ///
+    /// Used by the inclusion–exclusion evaluation of inequality
+    /// predicates, where each term imposes a set of variable equalities.
+    pub fn merge_columns(&self, rep: &[usize], semiring: Semiring) -> Factor {
+        let mut out_vars: Vec<VarId> = Vec::with_capacity(self.vars.len());
+        // For each column: the output position it feeds, or a column it
+        // must agree with.
+        let mut proj: Vec<usize> = Vec::with_capacity(self.vars.len());
+        for v in &self.vars {
+            let r = VarId(rep[v.0]);
+            match out_vars.iter().position(|w| *w == r) {
+                Some(p) => proj.push(p),
+                None => {
+                    out_vars.push(r);
+                    proj.push(out_vars.len() - 1);
+                }
+            }
+        }
+        let width = out_vars.len();
+        if width == self.vars.len() && out_vars.iter().zip(&self.vars).all(|(a, b)| a == b) {
+            return self.clone();
+        }
+        let mut out = Factor::with_capacity(out_vars, self.len());
+        let mut buf = vec![None::<Value>; width];
+        'rows: for i in 0..self.len() {
+            let row = self.row(i);
+            buf.iter_mut().for_each(|b| *b = None);
+            for (&val, &p) in row.iter().zip(&proj) {
+                match buf[p] {
+                    None => buf[p] = Some(val),
+                    Some(prev) if prev != val => continue 'rows,
+                    Some(_) => {}
+                }
+            }
+            let merged: Vec<Value> = buf.iter().map(|b| b.expect("all filled")).collect();
+            out.add_row(&merged, self.weights[i], semiring);
+        }
+        out
+    }
+
+    /// Eliminates (aggregates away) the given variables, combining
+    /// annotations of collapsing rows with the semiring's `+`.
+    pub fn eliminate(&self, drop: &[VarId], semiring: Semiring) -> Factor {
+        if drop.iter().all(|v| !self.mentions(*v)) {
+            return self.clone();
+        }
+        let keep_pos: Vec<usize> = (0..self.vars.len())
+            .filter(|&i| !drop.contains(&self.vars[i]))
+            .collect();
+        let out_vars: Vec<VarId> = keep_pos.iter().map(|&i| self.vars[i]).collect();
+        let mut out = Factor::with_capacity(out_vars, self.len());
+        let mut row_buf = vec![Value::default(); keep_pos.len()];
+        for i in 0..self.len() {
+            let row = self.row(i);
+            for (slot, &p) in row_buf.iter_mut().zip(&keep_pos) {
+                *slot = row[p];
+            }
+            out.add_row(&row_buf, self.weights[i], semiring);
+        }
+        out
+    }
+
+    /// Keeps only rows satisfying all predicates. Every predicate's
+    /// variables must be columns of this factor.
+    ///
+    /// # Panics
+    /// Panics if a predicate mentions a variable not in this factor.
+    pub fn filter(&mut self, preds: &[Predicate]) {
+        if preds.is_empty() {
+            return;
+        }
+        // Resolve predicate variables to column positions once.
+        let resolved: Vec<(Predicate, Vec<usize>)> = preds
+            .iter()
+            .map(|p| {
+                let pos = p
+                    .variables()
+                    .iter()
+                    .map(|v| {
+                        self.vars
+                            .iter()
+                            .position(|w| w == v)
+                            .expect("predicate variable not in factor during filter")
+                    })
+                    .collect();
+                (*p, pos)
+            })
+            .collect();
+        let a = self.arity();
+        let keep = |row: &[Value]| {
+            resolved.iter().all(|(p, pos)| {
+                p.eval(|v| {
+                    let vi = p.variables().iter().position(|w| *w == v).expect("own var");
+                    row[pos[vi]]
+                })
+            })
+        };
+        let mut out = Factor::with_capacity(self.vars.clone(), self.len());
+        for i in 0..self.len() {
+            let row = &self.data[i * a..(i + 1) * a];
+            if keep(row) {
+                out.add_row(row, self.weights[i], Semiring::Counting);
+            }
+        }
+        *self = out;
+    }
+
+    /// Clamps all annotations to 1 (converts a counting factor to Boolean).
+    pub fn to_boolean(&self) -> Factor {
+        let mut out = self.clone();
+        for w in out.weights.iter_mut() {
+            *w = 1;
+        }
+        out
+    }
+
+    /// Row indices sorted by descending weight (used by the final-stage
+    /// branch-and-bound maximizer).
+    pub(crate) fn rows_by_weight_desc(&self) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.len() as u32).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(self.weights[i as usize]));
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcq_query::{CmpOp, Term};
+
+    fn v(i: i64) -> Value {
+        Value(i)
+    }
+
+    fn fx(vars: &[usize], rows: &[(&[i64], u128)]) -> Factor {
+        Factor::from_rows(
+            vars.iter().map(|&i| VarId(i)).collect(),
+            rows.iter()
+                .map(|(r, w)| (r.iter().map(|&x| v(x)).collect(), *w)),
+            Semiring::Counting,
+        )
+    }
+
+    fn weight_at(f: &Factor, row: &[Value]) -> u128 {
+        f.iter().find(|(r, _)| *r == row).map(|(_, w)| w).unwrap_or(0)
+    }
+
+    #[test]
+    fn unit_and_scalar() {
+        let u = Factor::unit();
+        assert_eq!(u.scalar(), 1);
+        assert_eq!(u.len(), 1);
+        assert_eq!(Factor::empty(vec![]).scalar(), 0);
+    }
+
+    #[test]
+    fn from_rows_accumulates() {
+        let f = fx(&[0], &[(&[1], 2), (&[1], 3), (&[2], 1)]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.total(), 6);
+        assert_eq!(f.max_annotation(), 5);
+    }
+
+    #[test]
+    fn boolean_from_rows_clamps() {
+        let f = Factor::from_rows(
+            vec![VarId(0)],
+            [(vec![v(1)], 5), (vec![v(1)], 7)],
+            Semiring::Boolean,
+        );
+        assert_eq!(f.total(), 1);
+    }
+
+    #[test]
+    fn join_on_shared_var() {
+        // R(x,y) = {(1,2),(1,3),(2,3)}, S(y,z) = {(2,9),(3,9)}
+        let r = fx(&[0, 1], &[(&[1, 2], 1), (&[1, 3], 1), (&[2, 3], 1)]);
+        let s = fx(&[1, 2], &[(&[2, 9], 1), (&[3, 9], 1)]);
+        let j = r.join(&s, Semiring::Counting);
+        assert_eq!(j.vars(), &[VarId(0), VarId(1), VarId(2)]);
+        assert_eq!(j.total(), 3);
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn join_multiplies_annotations() {
+        let a = fx(&[0], &[(&[1], 2)]);
+        let b = fx(&[0], &[(&[1], 3)]);
+        let j = a.join(&b, Semiring::Counting);
+        assert_eq!(weight_at(&j, &[v(1)]), 6);
+    }
+
+    #[test]
+    fn cross_product_when_disjoint() {
+        let a = fx(&[0], &[(&[1], 1), (&[2], 1)]);
+        let b = fx(&[1], &[(&[7], 1), (&[8], 1), (&[9], 1)]);
+        let j = a.join(&b, Semiring::Counting);
+        assert_eq!(j.len(), 6);
+    }
+
+    #[test]
+    fn join_column_order_is_self_then_other() {
+        let a = fx(&[2], &[(&[5], 1)]);
+        let b = fx(&[0, 2], &[(&[1, 5], 1)]);
+        let j = a.join(&b, Semiring::Counting);
+        assert_eq!(j.vars(), &[VarId(2), VarId(0)]);
+    }
+
+    #[test]
+    fn eliminate_sums() {
+        let f = fx(&[0, 1], &[(&[1, 10], 2), (&[1, 20], 3), (&[2, 30], 4)]);
+        let g = f.eliminate(&[VarId(1)], Semiring::Counting);
+        assert_eq!(g.vars(), &[VarId(0)]);
+        assert_eq!(g.max_annotation(), 5);
+        assert_eq!(g.total(), 9);
+    }
+
+    #[test]
+    fn eliminate_boolean_dedups() {
+        let f = fx(&[0, 1], &[(&[1, 10], 1), (&[1, 20], 1)]);
+        let g = f.to_boolean().eliminate(&[VarId(1)], Semiring::Boolean);
+        assert_eq!(g.total(), 1);
+    }
+
+    #[test]
+    fn eliminate_everything_gives_scalar() {
+        let f = fx(&[0, 1], &[(&[1, 10], 2), (&[2, 20], 3)]);
+        let g = f.eliminate(&[VarId(0), VarId(1)], Semiring::Counting);
+        assert_eq!(g.scalar(), 5);
+    }
+
+    #[test]
+    fn eliminate_noop_when_vars_absent() {
+        let f = fx(&[0], &[(&[1], 1)]);
+        let g = f.eliminate(&[VarId(5)], Semiring::Counting);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.vars(), &[VarId(0)]);
+    }
+
+    #[test]
+    fn filter_applies_predicates() {
+        let mut f = fx(&[0, 1], &[(&[1, 1], 1), (&[1, 2], 1), (&[2, 1], 1)]);
+        f.filter(&[Predicate::neq(VarId(0), VarId(1))]);
+        assert_eq!(f.len(), 2);
+        let mut g = fx(&[0], &[(&[1], 1), (&[5], 1)]);
+        g.filter(&[Predicate::new(
+            Term::Var(VarId(0)),
+            CmpOp::Lt,
+            Term::Const(v(3)),
+        )]);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "predicate variable not in factor")]
+    fn filter_panics_on_foreign_var() {
+        let mut f = fx(&[0], &[(&[1], 1)]);
+        f.filter(&[Predicate::neq(VarId(0), VarId(9))]);
+    }
+
+    #[test]
+    fn rows_by_weight_desc_sorted() {
+        let f = fx(&[0], &[(&[1], 2), (&[2], 9), (&[3], 5)]);
+        let order = f.rows_by_weight_desc();
+        let weights: Vec<u128> = order.iter().map(|&i| f.weight(i as usize)).collect();
+        assert_eq!(weights, vec![9, 5, 2]);
+    }
+
+    #[test]
+    fn join_eliminate_matches_join_then_eliminate() {
+        let r = fx(&[0, 1], &[(&[1, 2], 1), (&[1, 3], 2), (&[2, 3], 1)]);
+        let s = fx(&[1, 2], &[(&[2, 9], 3), (&[3, 9], 1), (&[3, 8], 1)]);
+        for drop in [vec![VarId(1)], vec![VarId(0), VarId(1)], vec![], vec![VarId(2)]] {
+            let fused = r.join_eliminate(&s, &drop, Semiring::Counting);
+            let staged = r.join(&s, Semiring::Counting).eliminate(&drop, Semiring::Counting);
+            assert_eq!(fused.len(), staged.len(), "drop {drop:?}");
+            for (row, w) in staged.iter() {
+                assert_eq!(weight_at(&fused, row), w, "drop {drop:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_columns_identity_and_collapse() {
+        let f = fx(&[0, 1], &[(&[1, 1], 2), (&[1, 2], 1), (&[3, 3], 1)]);
+        let n = 4;
+        let identity: Vec<usize> = (0..n).collect();
+        let same = f.merge_columns(&identity, Semiring::Counting);
+        assert_eq!(same.len(), 3);
+        // Merge var 1 into var 0: keeps only diagonal rows.
+        let mut rep = identity.clone();
+        rep[1] = 0;
+        let merged = f.merge_columns(&rep, Semiring::Counting);
+        assert_eq!(merged.vars(), &[VarId(0)]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(weight_at(&merged, &[v(1)]), 2);
+        assert_eq!(weight_at(&merged, &[v(3)]), 1);
+    }
+
+    #[test]
+    fn merge_columns_renames_to_representative() {
+        let f = fx(&[2], &[(&[5], 1)]);
+        let mut rep: Vec<usize> = (0..4).collect();
+        rep[2] = 0; // class {0, 2} represented by 0
+        let merged = f.merge_columns(&rep, Semiring::Counting);
+        assert_eq!(merged.vars(), &[VarId(0)]);
+        assert_eq!(merged.len(), 1);
+    }
+
+    #[test]
+    fn large_factor_roundtrip() {
+        // Exercise the flat storage + collision chains a bit harder.
+        let rows: Vec<(Vec<Value>, u128)> = (0..10_000i64)
+            .map(|i| (vec![v(i % 500), v(i / 500)], 1))
+            .collect();
+        let f = Factor::from_rows(vec![VarId(0), VarId(1)], rows, Semiring::Counting);
+        assert_eq!(f.len(), 10_000);
+        assert_eq!(f.total(), 10_000);
+        let g = f.eliminate(&[VarId(1)], Semiring::Counting);
+        assert_eq!(g.len(), 500);
+        assert_eq!(g.max_annotation(), 20);
+    }
+}

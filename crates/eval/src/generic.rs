@@ -1,0 +1,419 @@
+//! General predicates and the exponential-time `T_E` algorithm of
+//! Section 5.1.
+//!
+//! For arbitrary computable predicates, `T_Ē(I)` is computed by flipping
+//! the problem around (Eqs. (36)–(37)): for a candidate set `B` of residual
+//! rows sharing a boundary valuation `t₁`, ask whether the conjunction of
+//! the predicates instantiated by every row of `B` — with the variables of
+//! the *removed* atoms left free (they are `∂q²`, shared across all rows) —
+//! is satisfiable. The largest satisfiable `|B|` over all boundary groups
+//! is `T_Ē(I)`.
+//!
+//! Satisfiability is delegated to a [`SatOracle`]; Theorem 1.2's condition
+//! is exactly that such an oracle exists. [`OrderOracle`] (backed by
+//! [`crate::order_csp`]) serves the inequality/comparison case; users may
+//! plug in their own oracle for richer predicate classes.
+//!
+//! The search is exponential in the residual size, as in the paper; it is
+//! guarded by an explicit row budget.
+
+use crate::error::EvalError;
+use crate::naive;
+use crate::order_csp::{Operand, OrderCsp};
+use dpcq_query::{CmpOp, ConjunctiveQuery, VarId};
+use dpcq_relation::{Database, FxHashMap, FxHashSet, Value};
+
+/// A computable predicate `P(y)` over query variables.
+pub trait GenericPredicate {
+    /// The predicate's variable tuple `y` (distinct variables).
+    fn variables(&self) -> Vec<VarId>;
+
+    /// Evaluates `P` on values aligned with [`GenericPredicate::variables`].
+    fn eval(&self, args: &[Value]) -> bool;
+
+    /// If the predicate is a binary order constraint, its normal form (for
+    /// [`OrderOracle`]): terms refer to positions in `variables()` or
+    /// constants.
+    fn order_form(&self) -> Option<(GTerm, CmpOp, GTerm)> {
+        None
+    }
+}
+
+/// A term of a generic predicate's normal form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GTerm {
+    /// Position into the predicate's variable list.
+    Slot(usize),
+    /// A constant.
+    Const(Value),
+}
+
+/// One slot of an instantiated predicate: bound by a residual row, or free
+/// (a `∂q²` variable ranging over the full domain).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Slot {
+    /// Fixed by the candidate row.
+    Bound(Value),
+    /// Free; equal occurrences of the same `VarId` must take equal values.
+    Free(VarId),
+}
+
+/// A predicate with some arguments instantiated — the `ϕᵢ = Pⱼ(uᵢ)` of
+/// Theorem 1.2.
+pub struct Constraint<'p> {
+    /// The underlying predicate.
+    pub pred: &'p dyn GenericPredicate,
+    /// Slots aligned with `pred.variables()`.
+    pub slots: Vec<Slot>,
+}
+
+/// Decides satisfiability of a conjunction of instantiated predicates over
+/// the infinite domain ℤ.
+pub trait SatOracle {
+    /// Returns `true` iff some assignment of the free variables satisfies
+    /// every constraint.
+    fn satisfiable(&self, constraints: &[Constraint<'_>]) -> bool;
+}
+
+/// A [`SatOracle`] for binary order constraints (`=`, `≠`, `<`, `≤`, `>`,
+/// `≥`), complete over ℤ via [`OrderCsp`].
+///
+/// # Panics
+/// Panics if a constraint's predicate does not expose an
+/// [`GenericPredicate::order_form`].
+#[derive(Default, Clone, Copy, Debug)]
+pub struct OrderOracle;
+
+impl SatOracle for OrderOracle {
+    fn satisfiable(&self, constraints: &[Constraint<'_>]) -> bool {
+        let mut csp = OrderCsp::new();
+        for c in constraints {
+            let (l, op, r) = c
+                .pred
+                .order_form()
+                .expect("OrderOracle requires order-form predicates");
+            let resolve = |t: GTerm| match t {
+                GTerm::Const(v) => Operand::Const(v.0),
+                GTerm::Slot(i) => match c.slots[i] {
+                    Slot::Bound(v) => Operand::Const(v.0),
+                    Slot::Free(var) => Operand::Var(var.0),
+                },
+            };
+            csp.add(resolve(l), op, resolve(r));
+        }
+        csp.satisfiable()
+    }
+}
+
+/// A binary order predicate in generic form (useful for exercising the
+/// Section 5.1 algorithm against the Section 5.2 materialization).
+#[derive(Clone, Debug)]
+pub struct OrderPredicate {
+    vars: Vec<VarId>,
+    lhs: GTerm,
+    op: CmpOp,
+    rhs: GTerm,
+}
+
+impl OrderPredicate {
+    /// `x op y` between two variables.
+    pub fn between(x: VarId, op: CmpOp, y: VarId) -> Self {
+        if x == y {
+            OrderPredicate {
+                vars: vec![x],
+                lhs: GTerm::Slot(0),
+                op,
+                rhs: GTerm::Slot(0),
+            }
+        } else {
+            OrderPredicate {
+                vars: vec![x, y],
+                lhs: GTerm::Slot(0),
+                op,
+                rhs: GTerm::Slot(1),
+            }
+        }
+    }
+
+    /// `x op c` against a constant.
+    pub fn against_const(x: VarId, op: CmpOp, c: Value) -> Self {
+        OrderPredicate {
+            vars: vec![x],
+            lhs: GTerm::Slot(0),
+            op,
+            rhs: GTerm::Const(c),
+        }
+    }
+}
+
+impl GenericPredicate for OrderPredicate {
+    fn variables(&self) -> Vec<VarId> {
+        self.vars.clone()
+    }
+
+    fn eval(&self, args: &[Value]) -> bool {
+        let get = |t: GTerm| match t {
+            GTerm::Slot(i) => args[i],
+            GTerm::Const(c) => c,
+        };
+        self.op.apply(get(self.lhs), get(self.rhs))
+    }
+
+    fn order_form(&self) -> Option<(GTerm, CmpOp, GTerm)> {
+        Some((self.lhs, self.op, self.rhs))
+    }
+}
+
+/// Computes `T_Ē(I)` for the residual on `subset` of a CQP whose
+/// predicates are the query's own (applied per Corollary 5.1) plus the
+/// given *generic* predicates, using the exponential algorithm of
+/// Section 5.1 with the provided satisfiability oracle.
+///
+/// `row_limit` bounds the number of residual rows per boundary group (the
+/// subset enumeration is `2^rows`).
+pub fn t_e_general(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    subset: &[usize],
+    generic_preds: &[&dyn GenericPredicate],
+    oracle: &dyn SatOracle,
+    row_limit: usize,
+) -> Result<u128, EvalError> {
+    if subset.is_empty() {
+        return Ok(1);
+    }
+    let subset_vars = query.subset_vars(subset);
+    let mut valuations = naive::satisfying_valuations(query, db, subset)?;
+
+    // Generic predicates fully bound by the residual act as row filters;
+    // the rest generate constraints with shared free variables.
+    let (contained, crossing): (Vec<&dyn GenericPredicate>, Vec<&dyn GenericPredicate>) =
+        generic_preds
+            .iter()
+            .copied()
+            .partition(|p| p.variables().iter().all(|v| subset_vars.contains(v)));
+    valuations.retain(|a| {
+        contained.iter().all(|p| {
+            let args: Vec<Value> = p
+                .variables()
+                .iter()
+                .map(|v| a[v.0].expect("contained generic predicate var bound"))
+                .collect();
+            p.eval(&args)
+        })
+    });
+
+    let boundary = query.boundary(subset);
+    let mut groups: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+    for (i, a) in valuations.iter().enumerate() {
+        let key: Vec<Value> = boundary
+            .iter()
+            .map(|v| a[v.0].expect("boundary var bound"))
+            .collect();
+        groups.entry(key).or_default().push(i);
+    }
+
+    let output = query.residual_output(subset);
+    let measure = |rows: &[usize]| -> u128 {
+        match &output {
+            None => rows.len() as u128,
+            Some(o) if o.is_empty() => u128::from(!rows.is_empty()),
+            Some(o) => {
+                let mut distinct: FxHashSet<Vec<Value>> = FxHashSet::default();
+                for &r in rows {
+                    distinct.insert(
+                        o.iter()
+                            .map(|v| valuations[r][v.0].expect("output var bound"))
+                            .collect(),
+                    );
+                }
+                distinct.len() as u128
+            }
+        }
+    };
+
+    let mut best: u128 = 0;
+    for rows in groups.values() {
+        if crossing.is_empty() {
+            best = best.max(measure(rows));
+            continue;
+        }
+        if rows.len() > row_limit {
+            return Err(EvalError::InstanceTooLarge {
+                size: rows.len(),
+                limit: row_limit,
+            });
+        }
+        let m = rows.len();
+        for mask in 1u64..(1 << m) {
+            let chosen: Vec<usize> = (0..m)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| rows[i])
+                .collect();
+            let value = measure(&chosen);
+            if value <= best {
+                continue;
+            }
+            let mut constraints = Vec::new();
+            for &r in &chosen {
+                for p in &crossing {
+                    let slots: Vec<Slot> = p
+                        .variables()
+                        .iter()
+                        .map(|v| match valuations[r][v.0] {
+                            Some(val) => Slot::Bound(val),
+                            None => Slot::Free(*v),
+                        })
+                        .collect();
+                    constraints.push(Constraint { pred: *p, slots });
+                }
+            }
+            if oracle.satisfiable(&constraints) {
+                best = value;
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::active_domain::materialize_comparisons;
+    use crate::Evaluator;
+    use dpcq_query::parse_query;
+
+    #[test]
+    fn matches_materialization_on_comparisons() {
+        // q = Edge(x,y) ⋈ Edge(y,z) with x < z spanning single-atom
+        // residuals. Ground truth via Section 5.2 materialization.
+        let mut d = Database::new();
+        for e in [[1, 2], [2, 3], [3, 1], [2, 9], [9, 1], [1, 9]] {
+            d.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let x = q.var_by_name("x").unwrap();
+        let z = q.var_by_name("z").unwrap();
+        let lt = OrderPredicate::between(x, CmpOp::Lt, z);
+        let preds: Vec<&dyn GenericPredicate> = vec![&lt];
+
+        let q_cmp = parse_query("Q(*) :- Edge(x, y), Edge(y, z), x < z").unwrap();
+        let (q2, d2, added) = materialize_comparisons(&q_cmp, &d, 4096).unwrap();
+        assert_eq!(added.len(), 1);
+        let ev2 = Evaluator::new(&q2, &d2).unwrap();
+
+        for subset in [vec![0usize], vec![1], vec![0, 1]] {
+            let general =
+                t_e_general(&q, &d, &subset, &preds, &OrderOracle, 20).unwrap();
+            // In the materialized query the comparison atom (index 2) is
+            // public and belongs to every residual.
+            let mut mat_subset = subset.clone();
+            mat_subset.push(2);
+            let materialized = ev2.t_e(&mat_subset).unwrap();
+            assert_eq!(general, materialized, "subset {subset:?}");
+        }
+    }
+
+    #[test]
+    fn contained_generic_predicates_filter_rows() {
+        let mut d = Database::new();
+        for e in [[1, 2], [1, 3], [1, 4]] {
+            d.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let x = q.var_by_name("x").unwrap();
+        let y = q.var_by_name("y").unwrap();
+        // Contained predicate on the atom-0 residual: x != y.
+        let neq = OrderPredicate::between(x, CmpOp::Neq, y);
+        let preds: Vec<&dyn GenericPredicate> = vec![&neq];
+        // E = {0}: boundary {y}; out-edges of 1 to y ∈ {2,3,4}, each group
+        // size 1; the filter does not remove them (1 != 2 etc.).
+        let t = t_e_general(&q, &d, &[0], &preds, &OrderOracle, 20).unwrap();
+        assert_eq!(t, 1);
+    }
+
+    #[test]
+    fn shared_free_variable_limits_selection() {
+        // R(x), S(w) disjoint; generic predicate x = w ties every chosen
+        // row to the SAME free w, so only rows with equal x can coexist.
+        let mut d = Database::new();
+        for v in [1, 1, 2, 3] {
+            d.insert_tuple("R", &[Value(v), Value(v * 10)]);
+        }
+        d.insert_tuple("S", &[Value(0)]);
+        let q = parse_query("Q(*) :- R(x, u), S(w)").unwrap();
+        let x = q.var_by_name("x").unwrap();
+        let w = q.var_by_name("w").unwrap();
+        let eq = OrderPredicate::between(x, CmpOp::Eq, w);
+        let preds: Vec<&dyn GenericPredicate> = vec![&eq];
+        // Residual on R alone: boundary ∅ (R and S share no vars). Rows of
+        // R: x values {1, 2, 3} (dedup by tuples: (1,10),(2,20),(3,30)).
+        // Max satisfiable B: rows with one common x ⇒ 1.
+        let t = t_e_general(&q, &d, &[0], &preds, &OrderOracle, 20).unwrap();
+        assert_eq!(t, 1);
+        // Without the predicate the whole residual counts.
+        let t_free = t_e_general(&q, &d, &[0], &[], &OrderOracle, 20).unwrap();
+        assert_eq!(t_free, 3);
+    }
+
+    #[test]
+    fn empty_subset_is_one_and_limits_enforced() {
+        let mut d = Database::new();
+        for v in 0..8 {
+            d.insert_tuple("R", &[Value(v)]);
+        }
+        let q = parse_query("Q(*) :- R(x), S0(w)").unwrap();
+        d.insert_tuple("S0", &[Value(0)]);
+        let x = q.var_by_name("x").unwrap();
+        let w = q.var_by_name("w").unwrap();
+        let p = OrderPredicate::between(x, CmpOp::Lt, w);
+        let preds: Vec<&dyn GenericPredicate> = vec![&p];
+        assert_eq!(t_e_general(&q, &d, &[], &preds, &OrderOracle, 4).unwrap(), 1);
+        assert!(matches!(
+            t_e_general(&q, &d, &[0], &preds, &OrderOracle, 4).unwrap_err(),
+            EvalError::InstanceTooLarge { .. }
+        ));
+        // With a sufficient budget, all 8 rows can sit below one w.
+        assert_eq!(
+            t_e_general(&q, &d, &[0], &preds, &OrderOracle, 8).unwrap(),
+            8
+        );
+    }
+
+    #[test]
+    fn custom_predicate_with_custom_oracle() {
+        // A non-order predicate: parity(x) — x must be even. Oracle: a
+        // constraint set is satisfiable iff every *bound* instance is even
+        // (free instances can pick an even value).
+        struct Even(VarId);
+        impl GenericPredicate for Even {
+            fn variables(&self) -> Vec<VarId> {
+                vec![self.0]
+            }
+            fn eval(&self, args: &[Value]) -> bool {
+                args[0].0 % 2 == 0
+            }
+        }
+        struct EvenOracle;
+        impl SatOracle for EvenOracle {
+            fn satisfiable(&self, cs: &[Constraint<'_>]) -> bool {
+                cs.iter().all(|c| match c.slots[0] {
+                    Slot::Bound(v) => v.0 % 2 == 0,
+                    Slot::Free(_) => true,
+                })
+            }
+        }
+        let mut d = Database::new();
+        for v in [1, 2, 3, 4, 6] {
+            d.insert_tuple("R", &[Value(v)]);
+        }
+        d.insert_tuple("S", &[Value(0)]);
+        let q = parse_query("Q(*) :- R(x), S(w)").unwrap();
+        let x = q.var_by_name("x").unwrap();
+        let even = Even(x);
+        let preds: Vec<&dyn GenericPredicate> = vec![&even];
+        // Contained in the R-residual: filters to {2,4,6} ⇒ T = 3.
+        let t = t_e_general(&q, &d, &[0], &preds, &EvenOracle, 20).unwrap();
+        assert_eq!(t, 3);
+    }
+}

@@ -1,0 +1,229 @@
+//! A naive nested-loop reference evaluator.
+//!
+//! Exponentially slower than [`crate::Evaluator`] but obviously correct;
+//! used by tests (including cross-crate property tests) to validate the
+//! bucket-elimination engine on small instances.
+
+use crate::error::EvalError;
+use dpcq_query::{ConjunctiveQuery, Term, VarId};
+use dpcq_relation::{Database, FxHashMap, FxHashSet, Value};
+
+/// All satisfying valuations of the residual query on `subset`, with the
+/// predicates *contained* in `var(q_subset)` applied (Corollary 5.1
+/// semantics, matching [`crate::Evaluator`]). Each valuation is a vector
+/// indexed by `VarId` with `Some` exactly on `var(q_subset)`.
+pub fn satisfying_valuations(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    subset: &[usize],
+) -> Result<Vec<Vec<Option<Value>>>, EvalError> {
+    for &i in subset {
+        let atom = &query.atoms()[i];
+        let rel = db
+            .relation(&atom.relation)
+            .ok_or_else(|| EvalError::UnknownRelation {
+                relation: atom.relation.clone(),
+            })?;
+        if rel.arity() != atom.arity() {
+            return Err(EvalError::ArityMismatch {
+                relation: atom.relation.clone(),
+                atom_arity: atom.arity(),
+                relation_arity: rel.arity(),
+            });
+        }
+    }
+    let preds = query.contained_predicates(subset);
+    let mut out = Vec::new();
+    let mut assignment: Vec<Option<Value>> = vec![None; query.num_vars()];
+    recurse(query, db, subset, 0, &mut assignment, &mut out);
+    out.retain(|a| {
+        preds
+            .iter()
+            .all(|p| p.eval(|v| a[v.0].expect("contained predicate var is bound")))
+    });
+    Ok(out)
+}
+
+fn recurse(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    subset: &[usize],
+    depth: usize,
+    assignment: &mut Vec<Option<Value>>,
+    out: &mut Vec<Vec<Option<Value>>>,
+) {
+    if depth == subset.len() {
+        out.push(assignment.clone());
+        return;
+    }
+    let atom = &query.atoms()[subset[depth]];
+    let rel = db.relation(&atom.relation).expect("validated");
+    'rows: for row in rel.iter() {
+        let mut newly_bound: Vec<VarId> = Vec::new();
+        let mut ok = true;
+        for (term, &val) in atom.terms.iter().zip(row) {
+            match term {
+                Term::Const(c) => {
+                    if *c != val {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match assignment[v.0] {
+                    None => {
+                        assignment[v.0] = Some(val);
+                        newly_bound.push(*v);
+                    }
+                    Some(prev) => {
+                        if prev != val {
+                            ok = false;
+                            break;
+                        }
+                    }
+                },
+            }
+        }
+        if ok {
+            recurse(query, db, subset, depth + 1, assignment, out);
+        }
+        for v in newly_bound {
+            assignment[v.0] = None;
+        }
+        continue 'rows;
+    }
+}
+
+/// `|q(I)|` by brute force (projection- and predicate-aware).
+pub fn count(query: &ConjunctiveQuery, db: &Database) -> Result<u128, EvalError> {
+    let all: Vec<usize> = (0..query.num_atoms()).collect();
+    let vals = satisfying_valuations(query, db, &all)?;
+    match query.projection() {
+        None => Ok(vals.len() as u128),
+        Some(o) => {
+            let mut distinct: FxHashSet<Vec<Value>> = FxHashSet::default();
+            for a in &vals {
+                distinct.insert(o.iter().map(|v| a[v.0].expect("output var bound")).collect());
+            }
+            Ok(distinct.len() as u128)
+        }
+    }
+}
+
+/// `T_E(I)` by brute force, matching [`crate::Evaluator::t_e`] semantics
+/// (including the Section 6 projected form and the `T_∅ = 1` convention).
+pub fn t_e(query: &ConjunctiveQuery, db: &Database, subset: &[usize]) -> Result<u128, EvalError> {
+    if subset.is_empty() {
+        return Ok(1);
+    }
+    let boundary = query.boundary(subset);
+    let vals = satisfying_valuations(query, db, subset)?;
+    let key = |a: &Vec<Option<Value>>| -> Vec<Value> {
+        boundary
+            .iter()
+            .map(|v| a[v.0].expect("boundary var bound"))
+            .collect()
+    };
+    match query.residual_output(subset) {
+        None => {
+            let mut groups: FxHashMap<Vec<Value>, u128> = FxHashMap::default();
+            for a in &vals {
+                *groups.entry(key(a)).or_insert(0) += 1;
+            }
+            Ok(groups.values().copied().max().unwrap_or(0))
+        }
+        Some(o) => {
+            if o.is_empty() {
+                return Ok(u128::from(!vals.is_empty()));
+            }
+            let mut groups: FxHashMap<Vec<Value>, FxHashSet<Vec<Value>>> = FxHashMap::default();
+            for a in &vals {
+                let proj: Vec<Value> = o.iter().map(|v| a[v.0].expect("output bound")).collect();
+                groups.entry(key(a)).or_default().insert(proj);
+            }
+            Ok(groups.values().map(|s| s.len() as u128).max().unwrap_or(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+    use dpcq_query::parse_query;
+    use dpcq_relation::vals;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for e in [[1, 2], [2, 3], [3, 4], [1, 3], [3, 1]] {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        db
+    }
+
+    #[test]
+    fn count_matches_engine() {
+        for text in [
+            "Q(*) :- Edge(x, y)",
+            "Q(*) :- Edge(x, y), Edge(y, z)",
+            "Q(*) :- Edge(x, y), Edge(y, z), x != z",
+            "Q(*) :- Edge(x, y), Edge(y, x)",
+            "Q(x) :- Edge(x, y), Edge(y, z)",
+            "Q(x, z) :- Edge(x, y), Edge(y, z)",
+            "Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3)",
+            "Q(*) :- Edge(x, y), x < y",
+            "Q(*) :- Edge(1, y)",
+        ] {
+            let q = parse_query(text).unwrap();
+            let d = db();
+            let ev = Evaluator::new(&q, &d).unwrap();
+            assert_eq!(ev.count().unwrap(), count(&q, &d).unwrap(), "{text}");
+        }
+    }
+
+    #[test]
+    fn te_matches_engine_on_all_subsets() {
+        for text in [
+            "Q(*) :- Edge(x, y), Edge(y, z)",
+            "Q(*) :- Edge(x, y), Edge(y, z), x != z, x != y",
+            "Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), x1 != x3",
+            "Q(x) :- Edge(x, y), Edge(y, z)",
+            "Q(z) :- Edge(x, y), Edge(y, z)",
+        ] {
+            let q = parse_query(text).unwrap();
+            let d = db();
+            let ev = Evaluator::new(&q, &d).unwrap();
+            let n = q.num_atoms();
+            for subset in dpcq_query::analysis::subsets(&(0..n).collect::<Vec<_>>()) {
+                assert_eq!(
+                    ev.t_e(&subset).unwrap(),
+                    t_e(&q, &d, &subset).unwrap(),
+                    "{text} E={subset:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_subset_is_unit() {
+        let q = parse_query("Q(*) :- Edge(x, y)").unwrap();
+        let d = db();
+        assert_eq!(t_e(&q, &d, &[]).unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_detected() {
+        let q = parse_query("Q(*) :- Missing(x)").unwrap();
+        let d = db();
+        assert!(satisfying_valuations(&q, &d, &[0]).is_err());
+    }
+
+    #[test]
+    fn repeated_variable_atoms() {
+        let mut d = db();
+        d.insert_tuple("Edge", &vals![7, 7]);
+        let q = parse_query("Q(*) :- Edge(x, x), Edge(x, y)").unwrap();
+        let ev = Evaluator::new(&q, &d).unwrap();
+        assert_eq!(ev.count().unwrap(), count(&q, &d).unwrap());
+        assert_eq!(ev.count().unwrap(), 1); // x=7, y=7 only
+    }
+}

@@ -1,0 +1,339 @@
+//! A satisfiability solver for conjunctions of order constraints over ℤ.
+//!
+//! Theorem 1.2 requires deciding satisfiability of `ϕ₁ ∧ … ∧ ϕ_S` where
+//! each `ϕ` is a predicate with some variables replaced by constants. For
+//! the paper's polynomial cases — inequalities (`≠`) and comparisons
+//! (`<`, `≤`) — this is the classic *difference-constraint* problem:
+//!
+//! * `x < y` ⇔ `x − y ≤ −1`, `x ≤ y` ⇔ `x − y ≤ 0` (over ℤ);
+//! * constants become offsets against a virtual zero node;
+//! * the conjunction of `≤`-constraints is satisfiable iff the constraint
+//!   graph has no negative cycle (Bellman–Ford / Floyd–Warshall);
+//! * a disequality `a ≠ b` can only fail if the `≤`-system *forces*
+//!   `a = b`, i.e. the tightest bounds give `a − b ≤ 0` and `b − a ≤ 0`;
+//!   over the infinite domain ℤ, non-forced disequalities can always be
+//!   satisfied simultaneously by a generic perturbation.
+//!
+//! This solver backs [`crate::generic::OrderOracle`] and is also usable on
+//! its own.
+
+use dpcq_query::CmpOp;
+
+/// One side of a constraint: a variable (by arbitrary `usize` id) or an
+/// integer constant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// A free variable.
+    Var(usize),
+    /// A fixed integer.
+    Const(i64),
+}
+
+/// A conjunction of binary order constraints over ℤ.
+#[derive(Clone, Debug, Default)]
+pub struct OrderCsp {
+    constraints: Vec<(Operand, CmpOp, Operand)>,
+}
+
+const INF: i64 = i64::MAX / 4;
+
+impl OrderCsp {
+    /// Creates an empty (trivially satisfiable) system.
+    pub fn new() -> Self {
+        OrderCsp::default()
+    }
+
+    /// Adds `lhs op rhs`.
+    pub fn add(&mut self, lhs: Operand, op: CmpOp, rhs: Operand) {
+        self.constraints.push((lhs, op, rhs));
+    }
+
+    /// Decides whether the system has an integer solution.
+    pub fn satisfiable(&self) -> bool {
+        // Dense node table: zero node (index 0) + variables.
+        let mut var_ids: Vec<usize> = self
+            .constraints
+            .iter()
+            .flat_map(|(a, _, b)| [a, b])
+            .filter_map(|o| match o {
+                Operand::Var(v) => Some(*v),
+                Operand::Const(_) => None,
+            })
+            .collect();
+        var_ids.sort_unstable();
+        var_ids.dedup();
+        let node_of = |o: &Operand| -> (usize, i64) {
+            // (node index, offset): value(operand) = value(node) + offset.
+            match o {
+                Operand::Var(v) => (1 + var_ids.binary_search(v).expect("var listed"), 0),
+                Operand::Const(c) => (0, *c),
+            }
+        };
+        let n = 1 + var_ids.len();
+
+        // dist[u][v] = tightest proven bound on value(v) − value(u).
+        let mut dist = vec![vec![INF; n]; n];
+        for (i, row) in dist.iter_mut().enumerate() {
+            row[i] = 0;
+        }
+        let mut neqs: Vec<((usize, i64), (usize, i64))> = Vec::new();
+        let mut contradiction = false;
+        for (lhs, op, rhs) in &self.constraints {
+            let l = node_of(lhs);
+            let r = node_of(rhs);
+            // Normalize to constraints of the form value(v) − value(u) ≤ w.
+            let mut add_le = |u: (usize, i64), v: (usize, i64), w: i64| {
+                // (value(v.0) + v.1) − (value(u.0) + u.1) ≤ w
+                //   ⇔ value(v.0) − value(u.0) ≤ w + u.1 − v.1
+                let bound = w + u.1 - v.1;
+                if u.0 == v.0 {
+                    if bound < 0 {
+                        contradiction = true;
+                    }
+                } else if bound < dist[u.0][v.0] {
+                    dist[u.0][v.0] = bound;
+                }
+            };
+            match op {
+                CmpOp::Lt => add_le(r, l, -1), // lhs − rhs ≤ −1
+                CmpOp::Le => add_le(r, l, 0),  // lhs − rhs ≤ 0
+                CmpOp::Gt => add_le(l, r, -1), // rhs − lhs ≤ −1
+                CmpOp::Ge => add_le(l, r, 0),  // rhs − lhs ≤ 0
+                CmpOp::Eq => {
+                    add_le(r, l, 0);
+                    add_le(l, r, 0);
+                }
+                CmpOp::Neq => neqs.push((l, r)),
+            }
+        }
+        if contradiction {
+            return false;
+        }
+
+        // Floyd–Warshall (node counts here are tiny: the predicate
+        // variables of one residual query).
+        for k in 0..n {
+            for i in 0..n {
+                if dist[i][k] == INF {
+                    continue;
+                }
+                for j in 0..n {
+                    if dist[k][j] == INF {
+                        continue;
+                    }
+                    let via = dist[i][k] + dist[k][j];
+                    if via < dist[i][j] {
+                        dist[i][j] = via;
+                    }
+                }
+            }
+        }
+        // Negative cycle ⇔ some dist[i][i] < 0.
+        if (0..n).any(|i| dist[i][i] < 0) {
+            return false;
+        }
+        // A disequality fails only when equality is forced.
+        for ((ln, lo), (rn, ro)) in neqs {
+            if ln == rn {
+                if lo == ro {
+                    return false; // syntactically identical operands
+                }
+                continue;
+            }
+            // Forced: value(lhs) == value(rhs), i.e. value(ln) − value(rn)
+            // pinned to exactly (ro − lo) from both sides.
+            let forced = dist[rn][ln] != INF
+                && dist[ln][rn] != INF
+                && dist[rn][ln] == ro - lo
+                && dist[ln][rn] == lo - ro;
+            if forced {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Operand::{Const, Var};
+
+    fn sat(cs: &[(Operand, CmpOp, Operand)]) -> bool {
+        let mut csp = OrderCsp::new();
+        for &(a, op, b) in cs {
+            csp.add(a, op, b);
+        }
+        csp.satisfiable()
+    }
+
+    #[test]
+    fn empty_is_sat() {
+        assert!(OrderCsp::new().satisfiable());
+    }
+
+    #[test]
+    fn simple_chain_sat() {
+        assert!(sat(&[
+            (Var(0), CmpOp::Lt, Var(1)),
+            (Var(1), CmpOp::Lt, Var(2)),
+        ]));
+    }
+
+    #[test]
+    fn strict_cycle_unsat() {
+        assert!(!sat(&[
+            (Var(0), CmpOp::Lt, Var(1)),
+            (Var(1), CmpOp::Lt, Var(0)),
+        ]));
+        assert!(!sat(&[(Var(0), CmpOp::Lt, Var(0))]));
+    }
+
+    #[test]
+    fn nonstrict_cycle_sat_but_forces_equality() {
+        // x ≤ y ∧ y ≤ x is satisfiable (x = y) …
+        assert!(sat(&[
+            (Var(0), CmpOp::Le, Var(1)),
+            (Var(1), CmpOp::Le, Var(0)),
+        ]));
+        // … but adding x ≠ y makes it unsat.
+        assert!(!sat(&[
+            (Var(0), CmpOp::Le, Var(1)),
+            (Var(1), CmpOp::Le, Var(0)),
+            (Var(0), CmpOp::Neq, Var(1)),
+        ]));
+    }
+
+    #[test]
+    fn neq_alone_is_sat() {
+        assert!(sat(&[(Var(0), CmpOp::Neq, Var(1))]));
+        assert!(!sat(&[(Var(0), CmpOp::Neq, Var(0))]));
+    }
+
+    #[test]
+    fn constants_checked_numerically() {
+        assert!(sat(&[(Const(3), CmpOp::Lt, Const(5))]));
+        assert!(!sat(&[(Const(5), CmpOp::Lt, Const(3))]));
+        assert!(sat(&[(Const(5), CmpOp::Neq, Const(3))]));
+        assert!(!sat(&[(Const(5), CmpOp::Neq, Const(5))]));
+    }
+
+    #[test]
+    fn var_pinned_between_constants() {
+        // 3 < x < 5 over Z: x = 4.
+        assert!(sat(&[
+            (Const(3), CmpOp::Lt, Var(0)),
+            (Var(0), CmpOp::Lt, Const(5)),
+        ]));
+        // 3 < x < 4 over Z: empty.
+        assert!(!sat(&[
+            (Const(3), CmpOp::Lt, Var(0)),
+            (Var(0), CmpOp::Lt, Const(4)),
+        ]));
+    }
+
+    #[test]
+    fn forced_equality_with_constant() {
+        // x ≤ 5 ∧ 5 ≤ x forces x = 5; x ≠ 5 contradicts.
+        assert!(!sat(&[
+            (Var(0), CmpOp::Le, Const(5)),
+            (Const(5), CmpOp::Le, Var(0)),
+            (Var(0), CmpOp::Neq, Const(5)),
+        ]));
+        // With slack it is fine: x ≤ 5 ∧ x ≠ 5.
+        assert!(sat(&[
+            (Var(0), CmpOp::Le, Const(5)),
+            (Var(0), CmpOp::Neq, Const(5)),
+        ]));
+    }
+
+    #[test]
+    fn equality_chains_propagate() {
+        // x = y, y = z, x ≠ z: unsat.
+        assert!(!sat(&[
+            (Var(0), CmpOp::Eq, Var(1)),
+            (Var(1), CmpOp::Eq, Var(2)),
+            (Var(0), CmpOp::Neq, Var(2)),
+        ]));
+    }
+
+    #[test]
+    fn sandwich_forces_equality_transitively() {
+        // x ≤ y ≤ z ≤ x forces all equal.
+        assert!(!sat(&[
+            (Var(0), CmpOp::Le, Var(1)),
+            (Var(1), CmpOp::Le, Var(2)),
+            (Var(2), CmpOp::Le, Var(0)),
+            (Var(0), CmpOp::Neq, Var(2)),
+        ]));
+    }
+
+    #[test]
+    fn ge_gt_work() {
+        assert!(sat(&[(Var(0), CmpOp::Gt, Const(10))]));
+        assert!(!sat(&[
+            (Var(0), CmpOp::Gt, Const(10)),
+            (Var(0), CmpOp::Lt, Const(11)),
+        ]));
+        assert!(sat(&[
+            (Var(0), CmpOp::Ge, Const(10)),
+            (Var(0), CmpOp::Le, Const(10)),
+        ]));
+    }
+
+    #[test]
+    fn randomized_cross_check_against_enumeration() {
+        // Small random systems over 3 variables with domain {0..4}:
+        // enumeration finding a solution implies solver-sat; solver-unsat
+        // must imply enumeration-unsat. (Bounded enumeration failing does
+        // not imply unsat over Z, so only these directions are checked.)
+        let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Neq, CmpOp::Eq];
+        let mut state = 42u64;
+        let mut rnd = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % m) as usize
+        };
+        for _ in 0..300 {
+            let mut cs = Vec::new();
+            for _ in 0..4 {
+                let a = Var(rnd(3));
+                let b = if rnd(4) == 0 {
+                    Const(rnd(5) as i64)
+                } else {
+                    Var(rnd(3))
+                };
+                cs.push((a, ops[rnd(4)], b));
+            }
+            let solver = sat(&cs);
+            let mut brute = false;
+            'outer: for x in 0..5i64 {
+                for y in 0..5i64 {
+                    for z in 0..5i64 {
+                        let val = |o: &Operand| match o {
+                            Var(0) => x,
+                            Var(1) => y,
+                            Var(2) => z,
+                            Const(c) => *c,
+                            _ => unreachable!(),
+                        };
+                        if cs
+                            .iter()
+                            .all(|(a, op, b)| op.apply(val(a).into(), val(b).into()))
+                        {
+                            brute = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if brute {
+                assert!(solver, "solver missed a solution for {cs:?}");
+            }
+            if !solver {
+                assert!(!brute, "solver wrongly refuted {cs:?}");
+            }
+        }
+    }
+}

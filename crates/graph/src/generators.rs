@@ -1,0 +1,254 @@
+//! Random graph generators for synthetic collaboration networks.
+//!
+//! The benchmark graphs (DESIGN.md §4) are built with a Chung–Lu model
+//! over power-law expected degrees — reproducing the heavy-tailed degree
+//! profile of the SNAP collaboration networks — followed by a
+//! triadic-closure pass that raises clustering (and hence the
+//! common-neighbor statistics the triangle sensitivities depend on) to
+//! collaboration-network levels.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct uniform edges.
+pub fn erdos_renyi(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    assert!(n >= 2, "need at least two vertices");
+    let max_edges = n * (n - 1) / 2;
+    assert!(m <= max_edges, "too many edges requested");
+    let mut g = Graph::new(n);
+    while g.num_edges() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        g.add_edge(u, v);
+    }
+    g
+}
+
+/// Power-law weight sequence `w_i ∝ (i + i₀)^{−1/(γ−1)}`, scaled so that
+/// `Σ w_i = 2·target_edges` and capped at `max_weight`.
+pub fn power_law_weights(
+    n: usize,
+    target_edges: usize,
+    gamma: f64,
+    max_weight: f64,
+) -> Vec<f64> {
+    assert!(gamma > 2.0, "gamma must exceed 2 for a finite mean");
+    let alpha = 1.0 / (gamma - 1.0);
+    let i0 = 1.0;
+    let mut w: Vec<f64> = (0..n).map(|i| (i as f64 + i0).powf(-alpha)).collect();
+    let sum: f64 = w.iter().sum();
+    let scale = 2.0 * target_edges as f64 / sum;
+    for x in w.iter_mut() {
+        *x = (*x * scale).min(max_weight);
+    }
+    w
+}
+
+/// Chung–Lu random graph: edge `{u, v}` present independently with
+/// probability `min(1, w_u w_v / Σw)`. Uses the Miller–Hagberg skipping
+/// construction (weights sorted descending internally), `O(n + m)`
+/// expected time.
+pub fn chung_lu(weights: &[f64], rng: &mut impl Rng) -> Graph {
+    let n = weights.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| weights[b as usize].total_cmp(&weights[a as usize]));
+    let w: Vec<f64> = order.iter().map(|&i| weights[i as usize]).collect();
+    let s: f64 = w.iter().sum();
+    let mut g = Graph::new(n);
+    if s <= 0.0 {
+        return g;
+    }
+    for u in 0..n {
+        if w[u] <= 0.0 {
+            break;
+        }
+        let mut v = u + 1;
+        let mut p = (w[u] * w[u + 1..].first().copied().unwrap_or(0.0) / s).min(1.0);
+        while v < n && p > 0.0 {
+            if p < 1.0 {
+                let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let skip = (r.ln() / (1.0 - p).ln()).floor() as usize;
+                v += skip;
+            }
+            if v >= n {
+                break;
+            }
+            let q = (w[u] * w[v] / s).min(1.0);
+            if rng.gen::<f64>() < q / p {
+                g.add_edge(order[u], order[v]);
+            }
+            p = q;
+            v += 1;
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices chosen proportionally to degree.
+pub fn preferential_attachment(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut g = Graph::new(n);
+    // Seed clique on m + 1 vertices.
+    for u in 0..=(m as u32) {
+        for v in (u + 1)..=(m as u32) {
+            g.add_edge(u, v);
+        }
+    }
+    // Repeated-endpoint list for degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::new();
+    for (u, v) in g.edges().collect::<Vec<_>>() {
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+    for new in (m + 1)..n {
+        let mut added = 0;
+        let mut guard = 0;
+        while added < m && guard < 100 * m {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if g.add_edge(new as u32, t) {
+                endpoints.push(new as u32);
+                endpoints.push(t);
+                added += 1;
+            }
+        }
+    }
+    g
+}
+
+/// Plants a clique on the given members (collaboration networks contain
+/// large author-list cliques — one paper with `c` authors contributes
+/// `K_c` — and these dominate the max-degree and common-neighbor
+/// statistics the sensitivities depend on).
+pub fn plant_clique(g: &mut Graph, members: &[u32]) -> usize {
+    let mut added = 0;
+    for (i, &u) in members.iter().enumerate() {
+        for &v in &members[i + 1..] {
+            if g.add_edge(u, v) {
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+/// Plants a clique on `size` distinct random vertices; returns edges added.
+pub fn plant_random_clique(g: &mut Graph, size: usize, rng: &mut impl Rng) -> usize {
+    let n = g.num_vertices();
+    if size < 2 || n < size {
+        return 0;
+    }
+    // Partial Fisher–Yates for a distinct sample.
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+    for i in 0..size {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    plant_clique(g, &pool[..size])
+}
+
+/// Triadic closure: adds up to `extra_edges` edges closing random wedges
+/// (two neighbors of a common vertex), raising clustering and the
+/// common-neighbor counts without changing the degree profile much.
+pub fn close_triads(g: &mut Graph, extra_edges: usize, rng: &mut impl Rng) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return;
+    }
+    let mut added = 0;
+    let mut guard = 0;
+    let budget = 200 * extra_edges.max(1);
+    while added < extra_edges && guard < budget {
+        guard += 1;
+        let m = rng.gen_range(0..n as u32);
+        let d = g.degree(m);
+        if d < 2 {
+            continue;
+        }
+        let i = rng.gen_range(0..d);
+        let j = rng.gen_range(0..d);
+        if i == j {
+            continue;
+        }
+        let (u, v) = (g.neighbors(m)[i], g.neighbors(m)[j]);
+        if g.add_edge(u, v) {
+            added += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(50, 100, &mut rng);
+        assert_eq!(g.num_edges(), 100);
+        assert_eq!(g.num_vertices(), 50);
+    }
+
+    #[test]
+    fn power_law_weights_sum_and_cap() {
+        let w = power_law_weights(1000, 5000, 2.5, 60.0);
+        let sum: f64 = w.iter().sum();
+        // Capping loses a little mass; stay within 25%.
+        assert!(sum > 0.75 * 10_000.0 && sum <= 10_000.0 + 1e-6, "sum {sum}");
+        assert!(w.iter().all(|&x| x <= 60.0));
+        assert!(w[0] > w[999], "weights must decay");
+    }
+
+    #[test]
+    fn chung_lu_hits_target_edge_count_approximately() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let target = 4000;
+        let w = power_law_weights(2000, target, 2.5, 50.0);
+        let g = chung_lu(&w, &mut rng);
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - target as f64).abs() < 0.25 * target as f64,
+            "edges {m} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn chung_lu_degree_correlates_with_weight() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = vec![2.0; 500];
+        w[0] = 80.0;
+        let g = chung_lu(&w, &mut rng);
+        let mean: f64 =
+            g.degrees().iter().map(|&d| d as f64).sum::<f64>() / g.num_vertices() as f64;
+        assert!(
+            g.degree(0) as f64 > 5.0 * mean,
+            "hub degree {} vs mean {mean}",
+            g.degree(0)
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = preferential_attachment(300, 3, &mut rng);
+        assert_eq!(g.num_vertices(), 300);
+        // m·(n − m − 1) + clique edges, minus occasional duplicates.
+        assert!(g.num_edges() >= 3 * (300 - 4) - 30);
+        assert!(g.max_degree() > 10, "hubs should emerge");
+    }
+
+    #[test]
+    fn triadic_closure_raises_triangle_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = power_law_weights(800, 2400, 2.5, 40.0);
+        let mut g = chung_lu(&w, &mut rng);
+        let before = patterns::count_triangles(&g);
+        close_triads(&mut g, 400, &mut rng);
+        let after = patterns::count_triangles(&g);
+        assert!(after > before, "triangles {before} -> {after}");
+    }
+}

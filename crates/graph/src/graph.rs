@@ -1,0 +1,211 @@
+//! Undirected simple graphs with sorted adjacency lists.
+
+use dpcq_relation::{Database, Relation, Value};
+
+/// An undirected simple graph (no self-loops, no multi-edges) over
+/// vertices `0..n`.
+///
+/// The paper stores collaboration graphs as a directed relation
+/// `Edge(From, To)` containing both orientations of every edge;
+/// [`Graph::to_database`] produces exactly that representation.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list, ignoring self-loops and
+    /// duplicates. Vertices are sized to the largest endpoint.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds edge `{u, v}`; returns `false` for self-loops, out-of-range
+    /// endpoints and duplicates.
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        if u == v || u as usize >= self.adj.len() || v as usize >= self.adj.len() {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos_u) => {
+                self.adj[u as usize].insert(pos_u, v);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect_err("symmetric adjacency out of sync");
+                self.adj[v as usize].insert(pos_v, u);
+                self.num_edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        (u as usize) < self.adj.len() && self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// The sorted neighbor list of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// The degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// All degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adj.iter().map(Vec::len).collect()
+    }
+
+    /// The largest degree (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .copied()
+                .filter(move |&v| (u as u32) < v)
+                .map(move |v| (u as u32, v))
+        })
+    }
+
+    /// `|N(u) ∩ N(v)|` via sorted-list intersection.
+    pub fn common_neighbors(&self, u: u32, v: u32) -> usize {
+        let (mut a, mut b) = (self.neighbors(u).iter(), self.neighbors(v).iter());
+        let (mut x, mut y) = (a.next(), b.next());
+        let mut count = 0;
+        while let (Some(&p), Some(&q)) = (x, y) {
+            match p.cmp(&q) {
+                std::cmp::Ordering::Less => x = a.next(),
+                std::cmp::Ordering::Greater => y = b.next(),
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    x = a.next();
+                    y = b.next();
+                }
+            }
+        }
+        count
+    }
+
+    /// The paper's storage format: a [`Database`] with a single relation
+    /// `Edge(From, To)` holding both orientations of every edge.
+    pub fn to_database(&self) -> Database {
+        let mut rel = Relation::with_capacity(2, 2 * self.num_edges);
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &v in nbrs {
+                rel.insert(&[Value(u as i64), Value(v as i64)]);
+            }
+        }
+        let mut db = Database::new();
+        db.insert_relation("Edge", rel);
+        db
+    }
+
+    /// A complete graph `K_n`.
+    pub fn complete(n: usize) -> Self {
+        let mut g = Graph::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// A cycle `C_n`.
+    pub fn cycle(n: usize) -> Self {
+        let mut g = Graph::new(n);
+        for u in 0..n as u32 {
+            g.add_edge(u, (u + 1) % n as u32);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_dedups_and_rejects_loops() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert!(!g.add_edge(2, 2));
+        assert!(!g.add_edge(0, 9));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn degrees_and_neighbors_sorted() {
+        let g = Graph::from_edges(5, [(0, 3), (0, 1), (0, 2), (1, 2)]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.degrees(), vec![3, 2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn edges_iterate_once() {
+        let g = Graph::complete(4);
+        assert_eq!(g.edges().count(), 6);
+        assert!(g.edges().all(|(u, v)| u < v));
+    }
+
+    #[test]
+    fn common_neighbors_intersection() {
+        let g = Graph::from_edges(5, [(0, 2), (0, 3), (1, 2), (1, 3), (1, 4)]);
+        assert_eq!(g.common_neighbors(0, 1), 2);
+        assert_eq!(g.common_neighbors(0, 4), 0);
+        assert_eq!(Graph::complete(5).common_neighbors(0, 1), 3);
+    }
+
+    #[test]
+    fn database_is_symmetric_directed() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let db = g.to_database();
+        let rel = db.relation("Edge").unwrap();
+        assert_eq!(rel.len(), 4);
+        assert!(rel.contains(&[Value(0), Value(1)]));
+        assert!(rel.contains(&[Value(1), Value(0)]));
+    }
+
+    #[test]
+    fn complete_and_cycle_shapes() {
+        assert_eq!(Graph::complete(5).num_edges(), 10);
+        let c = Graph::cycle(6);
+        assert_eq!(c.num_edges(), 6);
+        assert!(c.degrees().iter().all(|&d| d == 2));
+    }
+}

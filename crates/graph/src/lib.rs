@@ -1,0 +1,34 @@
+//! # dpcq-graph — graph substrate for the paper's evaluation
+//!
+//! Section 7 evaluates residual sensitivity on sub-graph counting queries
+//! over five SNAP collaboration networks. Those datasets cannot be
+//! downloaded here, so this crate provides (see DESIGN.md §4 for the
+//! substitution argument):
+//!
+//! * [`graph::Graph`] — undirected simple graphs with sorted adjacency,
+//!   convertible to the paper's symmetric directed `Edge(From, To)`
+//!   relation;
+//! * [`generators`] — Erdős–Rényi, Chung–Lu (power-law expected degrees),
+//!   preferential attachment, and a triadic-closure pass to reach
+//!   collaboration-network clustering levels;
+//! * [`datasets`] — named profiles matching each SNAP dataset's node and
+//!   edge counts;
+//! * [`queries`] — the four pattern queries of Figure 2 (`q△`, `q3∗`,
+//!   `q□`, `q2△`) as CQs with all-pairs inequality predicates;
+//! * [`patterns`] — direct (non-relational) counters for the same
+//!   patterns, used to cross-validate the CQ engine, plus the degree and
+//!   common-neighbor statistics the closed-form sensitivities need;
+//! * [`smooth_closed_form`] — the known polynomial-time smooth
+//!   sensitivities for triangle counting (NRS'07) and star counting
+//!   (Karwa et al.), adapted to the directed-CQ scale used in Table 1.
+
+pub mod datasets;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod patterns;
+pub mod queries;
+pub mod smooth_closed_form;
+
+pub use datasets::DatasetProfile;
+pub use graph::Graph;

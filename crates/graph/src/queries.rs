@@ -1,0 +1,169 @@
+//! The four pattern-counting queries of the paper's Figure 2, as full CQs
+//! with all-pairs inequality predicates (Section 1.4's device for
+//! excluding degenerate matches).
+//!
+//! Join structures (Figure 2):
+//!
+//! ```text
+//!   q△ (triangle)        q3∗ (3-star)        q□ (rectangle)      q2△ (2-triangle)
+//!
+//!     x1 ─── x2            x1                 x1 ─── x2            x1
+//!       ╲    │              │                  │      │            ╱│╲
+//!        ╲   │            x0 ── x2             │      │          x2─┼─x3
+//!         ╲  │              │                  │      │            ╲│╱
+//!           x3              x3                x4 ─── x3             x4
+//! ```
+//!
+//! On a symmetric directed edge relation each pattern is counted once per
+//! automorphism-directed embedding; see [`crate::patterns::cq_factor`].
+
+use dpcq_query::{ConjunctiveQuery, CqBuilder};
+
+/// The relation name the graph queries use.
+pub const EDGE: &str = "Edge";
+
+/// `q△`: `Edge(x1,x2) ⋈ Edge(x2,x3) ⋈ Edge(x1,x3)`, all variables
+/// pairwise distinct.
+pub fn triangle() -> ConjunctiveQuery {
+    let mut b = CqBuilder::new();
+    let v = b.vars("x", 3);
+    b.atom(EDGE, [v[0], v[1]]);
+    b.atom(EDGE, [v[1], v[2]]);
+    b.atom(EDGE, [v[0], v[2]]);
+    b.all_distinct(&v);
+    b.build().expect("triangle query is well-formed")
+}
+
+/// `q3∗`: `Edge(x0,x1) ⋈ Edge(x0,x2) ⋈ Edge(x0,x3)`, all distinct.
+pub fn three_star() -> ConjunctiveQuery {
+    let mut b = CqBuilder::new();
+    let c = b.var("x0");
+    let v = b.vars("x", 3);
+    b.atom(EDGE, [c, v[0]]);
+    b.atom(EDGE, [c, v[1]]);
+    b.atom(EDGE, [c, v[2]]);
+    b.all_distinct(&[c, v[0], v[1], v[2]]);
+    b.build().expect("3-star query is well-formed")
+}
+
+/// `q□`: `Edge(x1,x2) ⋈ Edge(x2,x3) ⋈ Edge(x3,x4) ⋈ Edge(x4,x1)`, all
+/// distinct.
+pub fn rectangle() -> ConjunctiveQuery {
+    let mut b = CqBuilder::new();
+    let v = b.vars("x", 4);
+    b.atom(EDGE, [v[0], v[1]]);
+    b.atom(EDGE, [v[1], v[2]]);
+    b.atom(EDGE, [v[2], v[3]]);
+    b.atom(EDGE, [v[3], v[0]]);
+    b.all_distinct(&v);
+    b.build().expect("rectangle query is well-formed")
+}
+
+/// `q2△`: two triangles sharing the edge `(x2,x3)` —
+/// `Edge(x1,x2) ⋈ Edge(x2,x3) ⋈ Edge(x1,x3) ⋈ Edge(x2,x4) ⋈ Edge(x3,x4)`,
+/// all distinct.
+pub fn two_triangle() -> ConjunctiveQuery {
+    let mut b = CqBuilder::new();
+    let v = b.vars("x", 4);
+    b.atom(EDGE, [v[0], v[1]]);
+    b.atom(EDGE, [v[1], v[2]]);
+    b.atom(EDGE, [v[0], v[2]]);
+    b.atom(EDGE, [v[1], v[3]]);
+    b.atom(EDGE, [v[2], v[3]]);
+    b.all_distinct(&v);
+    b.build().expect("2-triangle query is well-formed")
+}
+
+/// All four Figure-2 queries with their display names, in the paper's
+/// order.
+pub fn all() -> Vec<(&'static str, ConjunctiveQuery)> {
+    vec![
+        ("q_triangle", triangle()),
+        ("q_3star", three_star()),
+        ("q_rectangle", rectangle()),
+        ("q_2triangle", two_triangle()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::patterns::{self, cq_factor};
+    use dpcq_eval::Evaluator;
+
+    #[test]
+    fn query_shapes() {
+        assert_eq!(triangle().num_atoms(), 3);
+        assert_eq!(triangle().predicates().len(), 3);
+        assert_eq!(three_star().num_atoms(), 3);
+        assert_eq!(three_star().predicates().len(), 6);
+        assert_eq!(rectangle().num_atoms(), 4);
+        assert_eq!(rectangle().predicates().len(), 6);
+        assert_eq!(two_triangle().num_atoms(), 5);
+        assert_eq!(two_triangle().predicates().len(), 6);
+        for (_, q) in all() {
+            assert!(q.is_full());
+            assert!(q.has_self_joins());
+        }
+    }
+
+    /// The central cross-validation: FAQ-engine counts equal direct
+    /// combinatorial counts times the automorphism factors.
+    #[test]
+    fn cq_counts_match_direct_counters() {
+        let graphs = [
+            Graph::complete(5),
+            Graph::cycle(4),
+            Graph::cycle(7),
+            Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 4), (4, 5)]),
+        ];
+        for g in &graphs {
+            let db = g.to_database();
+            let check = |q: &dpcq_query::ConjunctiveQuery, expect: u64| {
+                let got = Evaluator::new(q, &db).unwrap().count().unwrap();
+                assert_eq!(got, expect as u128, "query {q} on {g:?}");
+            };
+            check(
+                &triangle(),
+                cq_factor::TRIANGLE * patterns::count_triangles(g),
+            );
+            check(
+                &three_star(),
+                cq_factor::THREE_STAR * patterns::count_three_stars(g),
+            );
+            check(
+                &rectangle(),
+                cq_factor::RECTANGLE * patterns::count_rectangles(g),
+            );
+            check(
+                &two_triangle(),
+                cq_factor::TWO_TRIANGLE * patterns::count_two_triangles(g),
+            );
+        }
+    }
+
+    #[test]
+    fn cq_counts_match_on_random_graph() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = crate::generators::erdos_renyi(14, 30, &mut rng);
+        let db = g.to_database();
+        let tri = Evaluator::new(&triangle(), &db).unwrap().count().unwrap();
+        assert_eq!(
+            tri,
+            (cq_factor::TRIANGLE * patterns::count_triangles(&g)) as u128
+        );
+        let rect = Evaluator::new(&rectangle(), &db).unwrap().count().unwrap();
+        assert_eq!(
+            rect,
+            (cq_factor::RECTANGLE * patterns::count_rectangles(&g)) as u128
+        );
+        let tt = Evaluator::new(&two_triangle(), &db).unwrap().count().unwrap();
+        assert_eq!(
+            tt,
+            (cq_factor::TWO_TRIANGLE * patterns::count_two_triangles(&g)) as u128
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Closed-form smooth sensitivities for triangle and 3-star CQs.
+//!
+//! Polynomial-time smooth sensitivity is known only for special queries;
+//! the paper's Table 1 uses the triangle formula of NRS'07 and the star
+//! formula of Karwa et al., so we implement both, adapted to the scale of
+//! the Figure-2 CQs over the symmetric directed edge relation:
+//!
+//! * **Triangle** (`q△` counts each triangle 6×): flipping one directed
+//!   tuple `(u,v)` on a symmetric instance changes the CQ count by
+//!   `3·a_uv` (the common neighbors appear in all three atom slots), so
+//!   `LS(I) = 3·max_{u,v} a_uv` — exact at `k = 0`. For `k ≥ 1` we use the
+//!   NRS'07 distance-`k` formula on pair statistics:
+//!   `LS⁽ᵏ⁾ = 3·max_{u,v} [a_uv + min(b_uv, k) + ⌊(k − min(b_uv,k))/2⌋]`
+//!   (each half-attached vertex becomes a common neighbor with one edit,
+//!   each fresh vertex with two). On the directed encoding this is the
+//!   natural upper envelope of the per-slot gains; `EXPERIMENTS.md`
+//!   records it as the SS reference, exactly as Table 1 does.
+//! * **3-star** (`q3∗` counts each 3-star 6×): the CQ count is
+//!   `Σ_v d_v(d_v−1)(d_v−2)` over out-degrees; inserting one tuple at a
+//!   degree-`d` vertex changes it by `3·d(d−1)`, and `k` edits can pump
+//!   the top degree, so `LS⁽ᵏ⁾ = 3·(d₁+k)(d₁+k−1)` — exact for the
+//!   directed encoding.
+//!
+//! Both then take `SS_β = max_k e^{−βk}·LS⁽ᵏ⁾` with the analytic
+//! truncation of `dpcq_sensitivity::smooth`.
+
+use crate::graph::Graph;
+use crate::patterns::{pair_stats_pareto, PairStats};
+use dpcq_sensitivity::smooth::{k_max_for_polynomial_growth, truncated_smooth};
+
+/// A closed-form smooth sensitivity value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClosedFormSs {
+    /// `SS_β(I)` on the CQ scale.
+    pub value: f64,
+    /// The maximizing distance `k`.
+    pub argmax_k: usize,
+    /// The `β` used.
+    pub beta: f64,
+}
+
+/// `LS⁽ᵏ⁾` for the triangle CQ from pair statistics (see module docs).
+pub fn triangle_ls_at(front: &[PairStats], k: usize) -> f64 {
+    front
+        .iter()
+        .map(|p| {
+            let used = (p.one_sided as usize).min(k);
+            let a = p.common as usize + used + (k - used) / 2;
+            3.0 * a as f64
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Smooth sensitivity of the triangle CQ `q△` at smoothness `β`.
+pub fn triangle_ss(g: &Graph, beta: f64) -> ClosedFormSs {
+    let front = pair_stats_pareto(g);
+    // LS⁽ᵏ⁾ grows at slope ≤ 1 in k (after ×3, still polynomial deg 1).
+    let k_max = k_max_for_polynomial_growth(beta, 1) + 2;
+    let (value, argmax_k) = truncated_smooth(beta, k_max, |k| triangle_ls_at(&front, k));
+    ClosedFormSs {
+        value,
+        argmax_k,
+        beta,
+    }
+}
+
+/// `LS⁽ᵏ⁾` for the 3-star CQ: `3·(d₁+k)(d₁+k−1)`.
+pub fn three_star_ls_at(max_degree: usize, k: usize) -> f64 {
+    let d = (max_degree + k) as f64;
+    3.0 * d * (d - 1.0)
+}
+
+/// Smooth sensitivity of the 3-star CQ `q3∗` at smoothness `β`.
+pub fn three_star_ss(g: &Graph, beta: f64) -> ClosedFormSs {
+    let d1 = g.max_degree();
+    let k_max = k_max_for_polynomial_growth(beta, 2) + 2;
+    let (value, argmax_k) = truncated_smooth(beta, k_max, |k| three_star_ls_at(d1, k));
+    ClosedFormSs {
+        value,
+        argmax_k,
+        beta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+    use dpcq_query::Policy;
+    use dpcq_relation::Value;
+    use dpcq_sensitivity::exact::{local_sensitivity, BruteForceConfig};
+
+    #[test]
+    fn triangle_ls0_matches_brute_force_on_small_graphs() {
+        // Symmetric instances; brute force flips *directed* tuples.
+        let graphs = [
+            Graph::complete(4),
+            Graph::cycle(5),
+            Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)]),
+        ];
+        for g in &graphs {
+            let db = g.to_database();
+            let q = crate::queries::triangle();
+            let domain: Vec<Value> = (0..g.num_vertices() as i64 + 1).map(Value).collect();
+            let brute =
+                local_sensitivity(&q, &db, &Policy::all_private(), &BruteForceConfig::new(domain))
+                    .unwrap() as f64;
+            let front = patterns::pair_stats_pareto(g);
+            let closed = triangle_ls_at(&front, 0);
+            assert_eq!(closed, brute, "graph {g:?}");
+        }
+    }
+
+    #[test]
+    fn three_star_ls0_matches_brute_force_on_small_graphs() {
+        let graphs = [
+            Graph::complete(4),
+            Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]),
+        ];
+        for g in &graphs {
+            let db = g.to_database();
+            let q = crate::queries::three_star();
+            let domain: Vec<Value> = (0..g.num_vertices() as i64 + 1).map(Value).collect();
+            let brute =
+                local_sensitivity(&q, &db, &Policy::all_private(), &BruteForceConfig::new(domain))
+                    .unwrap() as f64;
+            let closed = three_star_ls_at(g.max_degree(), 0);
+            assert_eq!(closed, brute, "graph {g:?}");
+        }
+    }
+
+    #[test]
+    fn triangle_ls_k_is_monotone_and_correctly_shaped() {
+        let g = Graph::complete(5);
+        let front = patterns::pair_stats_pareto(&g);
+        let mut prev = 0.0;
+        for k in 0..20 {
+            let v = triangle_ls_at(&front, k);
+            assert!(v >= prev);
+            prev = v;
+        }
+        // K5: a_max = 3 (b = 0 for in-graph pairs; fresh pair has b = 4):
+        // k = 0: 3·3 = 9; k = 4 adds min(b,k) on the fresh/half pairs.
+        assert_eq!(triangle_ls_at(&front, 0), 9.0);
+        // With k = 2 the best pair gains ⌊2/2⌋ = 1 (b = 0 on a=3 pairs):
+        // 3·(3+1) = 12.
+        assert_eq!(triangle_ls_at(&front, 2), 12.0);
+    }
+
+    #[test]
+    fn ss_attains_max_at_zero_for_large_counts() {
+        // High-degree graph, moderate β: decay dominates growth → k* = 0.
+        let g = Graph::complete(12);
+        let ss = three_star_ss(&g, 0.5);
+        assert_eq!(ss.argmax_k, 0);
+        assert_eq!(ss.value, three_star_ls_at(11, 0));
+    }
+
+    #[test]
+    fn ss_moves_interior_for_small_beta() {
+        // Tiny graph, tiny β: pumping degrees wins.
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let ss = three_star_ss(&g, 0.05);
+        assert!(ss.argmax_k > 0, "argmax {}", ss.argmax_k);
+        assert!(ss.value > three_star_ls_at(1, 0));
+    }
+
+    #[test]
+    fn ss_decreases_in_beta() {
+        let g = Graph::complete(6);
+        let lo = triangle_ss(&g, 0.05).value;
+        let hi = triangle_ss(&g, 1.0).value;
+        assert!(lo >= hi);
+        let lo_s = three_star_ss(&g, 0.05).value;
+        let hi_s = three_star_ss(&g, 1.0).value;
+        assert!(lo_s >= hi_s);
+    }
+}

@@ -1,0 +1,157 @@
+//! The general Cauchy distribution `h(z) ∝ 1/(1+z⁴)` (NRS'07).
+//!
+//! Smooth-sensitivity mechanisms need a noise distribution whose density
+//! changes by at most an `e^{O(β)}` factor under *dilation* as well as
+//! translation; the polynomial-tailed family `1/(1+|z|^γ)` has this
+//! property, and `γ = 4` is the smallest even choice with finite variance.
+//! Facts used here (all checked in tests):
+//!
+//! * normalizing constant: `∫ dz/(1+z⁴) = π/√2`;
+//! * variance: `∫ z²/(1+z⁴) dz = π/√2` too, so `Var[Z] = 1` exactly —
+//!   the paper's `Err(M, I) = ŜS(I)/β` for noise `(ŜS/β)·Z`;
+//! * the fourth moment is infinite (tails `z⁻⁴`), so empirical variances
+//!   converge slowly — tests use quantiles.
+//!
+//! Sampling is by rejection from the standard Cauchy
+//! (`g(z) = 1/(π(1+z²))`): since `(1+z²)² ≤ 2(1+z⁴)`, the envelope
+//! constant is `M = 2√2` and the acceptance probability is
+//! `(1+z²)/(2(1+z⁴)) ∈ (0, 0.61]`, giving ≈ 35% acceptance.
+
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// The zero-mean distribution with density `√2/(π(1+z⁴))`, scaled by
+/// `scale` (variance = `scale²`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeneralCauchy {
+    scale: f64,
+}
+
+impl GeneralCauchy {
+    /// A general Cauchy with the given scale (standard deviation).
+    pub fn new(scale: f64) -> Self {
+        assert!(scale >= 0.0 && scale.is_finite(), "scale must be finite and >= 0");
+        GeneralCauchy { scale }
+    }
+
+    /// The scale (also the standard deviation).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The variance (`scale²`; the unit distribution has variance exactly 1).
+    pub fn variance(&self) -> f64 {
+        self.scale * self.scale
+    }
+
+    /// The density at `z`.
+    pub fn pdf(&self, z: f64) -> f64 {
+        if self.scale == 0.0 {
+            return if z == 0.0 { f64::INFINITY } else { 0.0 };
+        }
+        let u = z / self.scale;
+        (2.0f64).sqrt() / (PI * (1.0 + u * u * u * u)) / self.scale
+    }
+
+    /// Draws one sample by rejection from the standard Cauchy.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.scale == 0.0 {
+            return 0.0;
+        }
+        loop {
+            // Standard Cauchy via inverse CDF.
+            let u: f64 = rng.gen();
+            let z = (PI * (u - 0.5)).tan();
+            let z2 = z * z;
+            let accept = (1.0 + z2) / (2.0 * (1.0 + z2 * z2));
+            if rng.gen::<f64>() < accept {
+                return self.scale * z;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Numerically integrates `f` over [-hi, hi] (Simpson).
+    fn integrate(f: impl Fn(f64) -> f64, hi: f64, steps: usize) -> f64 {
+        let a = -hi;
+        let h = (hi - a) / steps as f64;
+        let mut s = f(a) + f(hi);
+        for i in 1..steps {
+            let x = a + i as f64 * h;
+            s += f(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+        }
+        s * h / 3.0
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let d = GeneralCauchy::new(1.0);
+        // Tails beyond 200 contribute ~ ∫ √2/(π z⁴) ≈ 2·√2/(3π·200³).
+        let total = integrate(|z| d.pdf(z), 200.0, 2_000_000);
+        assert!((total - 1.0).abs() < 1e-4, "integral {total}");
+    }
+
+    #[test]
+    fn unit_variance_numerically() {
+        let d = GeneralCauchy::new(1.0);
+        // ∫ z² h(z) dz over [-T, T]: converges like 1/T.
+        let v = integrate(|z| z * z * d.pdf(z), 20_000.0, 4_000_000);
+        assert!((v - 1.0).abs() < 2e-4, "variance {v}");
+    }
+
+    #[test]
+    fn samples_match_quantiles() {
+        // P(|Z| ≤ 1) = ∫₀¹ h / ∫₀^∞ h ≈ 0.7806.
+        let d = GeneralCauchy::new(1.0);
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 200_000;
+        let mut within = 0usize;
+        let mut pos = 0usize;
+        for _ in 0..n {
+            let z = d.sample(&mut rng);
+            if z.abs() <= 1.0 {
+                within += 1;
+            }
+            if z > 0.0 {
+                pos += 1;
+            }
+        }
+        let frac = within as f64 / n as f64;
+        assert!((frac - 0.7806).abs() < 0.01, "P(|Z|<=1) ≈ {frac}");
+        let sym = pos as f64 / n as f64;
+        assert!((sym - 0.5).abs() < 0.01, "P(Z>0) ≈ {sym}");
+    }
+
+    #[test]
+    fn scale_scales_quantiles() {
+        let d = GeneralCauchy::new(10.0);
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 100_000;
+        let within = (0..n).filter(|_| d.sample(&mut rng).abs() <= 10.0).count();
+        let frac = within as f64 / n as f64;
+        assert!((frac - 0.7806).abs() < 0.012, "P(|Z|<=scale) ≈ {frac}");
+    }
+
+    #[test]
+    fn zero_scale_point_mass() {
+        let d = GeneralCauchy::new(0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(d.sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn pdf_symmetry_and_tails() {
+        let d = GeneralCauchy::new(1.0);
+        assert!((d.pdf(2.0) - d.pdf(-2.0)).abs() < 1e-15);
+        assert!(d.pdf(0.0) > d.pdf(1.0));
+        // Heavy tails: much fatter than a Gaussian at 6σ.
+        let gauss_6sigma = (-18.0f64).exp() / (2.0 * PI).sqrt();
+        assert!(d.pdf(6.0) > gauss_6sigma * 100.0);
+    }
+}

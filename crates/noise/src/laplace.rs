@@ -1,0 +1,103 @@
+//! The Laplace distribution.
+
+use rand::Rng;
+
+/// A zero-mean Laplace distribution with the given scale `b`
+/// (density `exp(−|z|/b) / 2b`, variance `2b²`).
+///
+/// Releasing `count + Laplace(GS/ε)` is the classic ε-DP mechanism for a
+/// query with global sensitivity `GS` (Dwork et al. 2006; Section 2.3 of
+/// the paper).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with scale `b > 0` (or `b = 0` for a
+    /// point mass at zero, useful for trivial queries).
+    pub fn new(scale: f64) -> Self {
+        assert!(scale >= 0.0 && scale.is_finite(), "scale must be finite and >= 0");
+        Laplace { scale }
+    }
+
+    /// The scale parameter `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The variance `2b²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// The density at `z`.
+    pub fn pdf(&self, z: f64) -> f64 {
+        if self.scale == 0.0 {
+            return if z == 0.0 { f64::INFINITY } else { 0.0 };
+        }
+        (-z.abs() / self.scale).exp() / (2.0 * self.scale)
+    }
+
+    /// Draws one sample (inverse-CDF method).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.scale == 0.0 {
+            return 0.0;
+        }
+        // u uniform in (-0.5, 0.5); inverse CDF: −b·sgn(u)·ln(1 − 2|u|).
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match() {
+        let d = Laplace::new(2.0);
+        assert_eq!(d.variance(), 8.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 8.0).abs() < 0.4, "var {var}");
+    }
+
+    #[test]
+    fn median_is_zero_and_symmetric() {
+        let d = Laplace::new(1.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 100_000;
+        let pos = (0..n).filter(|_| d.sample(&mut rng) > 0.0).count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn pdf_shape() {
+        let d = Laplace::new(1.0);
+        assert!((d.pdf(0.0) - 0.5).abs() < 1e-12);
+        assert!(d.pdf(1.0) < d.pdf(0.0));
+        assert!((d.pdf(1.0) - d.pdf(-1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_scale_is_point_mass() {
+        let d = Laplace::new(0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(d.sample(&mut rng), 0.0);
+        assert_eq!(d.variance(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_scale_rejected() {
+        let _ = Laplace::new(-1.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # dpcq-noise — noise distributions and DP release mechanisms
+//!
+//! All mechanisms in the paper are *sensitivity-calibrated additive noise*
+//! (Section 2.3): compute a sensitivity measure `S(I)`, then release
+//! `|q(I)| + scale·Z` for a zero-mean `Z`. This crate supplies:
+//!
+//! * [`laplace::Laplace`] — the classic distribution for global-sensitivity
+//!   calibration (`Err = √2·GS/ε`);
+//! * [`cauchy::GeneralCauchy`] — the NRS'07 heavy-tailed distribution with
+//!   density `h(z) ∝ 1/(1+z⁴)` used with *smooth* upper bounds: it has
+//!   finite variance (exactly 1) but infinite fourth moment, and its
+//!   dilation stability is what makes instance-specific scales private;
+//! * [`mechanism`] — the ε-DP release wiring: `LaplaceMechanism` (GS-based)
+//!   and `SmoothCauchyMechanism` (β = ε/10, scale `S_β(I)/β`, matching the
+//!   paper's `Err(M, I) = 10·ŜS(I)/ε`).
+//!
+//! Every sampler takes an explicit `&mut impl Rng` so callers control
+//! determinism.
+
+pub mod cauchy;
+pub mod laplace;
+pub mod mechanism;
+
+pub use cauchy::GeneralCauchy;
+pub use laplace::Laplace;
+pub use mechanism::{LaplaceMechanism, Release, SmoothCauchyMechanism};

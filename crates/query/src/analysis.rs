@@ -1,0 +1,294 @@
+//! Structural analysis of conjunctive queries: self-join groups `D_i`,
+//! residual-query boundaries `∂q_E`, connectivity, and subset enumeration.
+//!
+//! Notation (Section 2.1): the query has `n` atoms over `m` distinct
+//! relation names; `D_i` is the set of atom indices carrying the `i`-th
+//! relation name and `n_i = |D_i|`. For `E ⊆ [n]`, the *residual query*
+//! `q_E = ⋈_{i∈E} R_i(x_i)` has boundary
+//! `∂q_E = {x | x ∈ x_i ∩ x_j, i ∈ E, j ∈ Ē}`.
+
+use crate::cq::{ConjunctiveQuery, VarId};
+use crate::predicate::Predicate;
+
+/// One self-join group `D_i`: all atoms carrying the same relation name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SelfJoinGroup {
+    /// The shared relation name.
+    pub relation: String,
+    /// Atom indices (into [`ConjunctiveQuery::atoms`]) in ascending order.
+    pub atoms: Vec<usize>,
+}
+
+impl ConjunctiveQuery {
+    /// The self-join groups `D_1, …, D_m`, sorted by relation name
+    /// (deterministic; the paper's "rearrange the atoms so that equal names
+    /// are consecutive" is realized by grouping rather than reordering).
+    pub fn self_join_groups(&self) -> Vec<SelfJoinGroup> {
+        let mut groups: Vec<SelfJoinGroup> = Vec::new();
+        for (i, a) in self.atoms.iter().enumerate() {
+            match groups.iter_mut().find(|g| g.relation == a.relation) {
+                Some(g) => g.atoms.push(i),
+                None => groups.push(SelfJoinGroup {
+                    relation: a.relation.clone(),
+                    atoms: vec![i],
+                }),
+            }
+        }
+        groups.sort_by(|a, b| a.relation.cmp(&b.relation));
+        groups
+    }
+
+    /// `max_i n_i`: the largest number of copies of one relation name
+    /// (used by the Lemma 3.10 cutoff `k̂`).
+    pub fn max_copies(&self) -> usize {
+        self.self_join_groups()
+            .iter()
+            .map(|g| g.atoms.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The distinct variables appearing in the atoms listed by `subset`
+    /// (i.e. `var(q_E)`), in variable-id order.
+    pub fn subset_vars(&self, subset: &[usize]) -> Vec<VarId> {
+        let mut seen = vec![false; self.num_vars()];
+        for &i in subset {
+            for v in self.atoms[i].variables() {
+                seen[v.0] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(VarId(i)))
+            .collect()
+    }
+
+    /// The boundary `∂q_E` of the residual query on `subset = E`:
+    /// variables shared between an atom in `E` and an atom outside `E`.
+    ///
+    /// Predicates do **not** contribute here; this is the `∂q¹` of
+    /// Section 5 (predicate-induced boundary variables `∂q²` are handled
+    /// by the evaluation layer via Corollary 5.1 / Lemma 5.2).
+    pub fn boundary(&self, subset: &[usize]) -> Vec<VarId> {
+        let mut inside = vec![false; self.num_vars()];
+        let mut in_subset = vec![false; self.num_atoms()];
+        for &i in subset {
+            in_subset[i] = true;
+            for v in self.atoms[i].variables() {
+                inside[v.0] = true;
+            }
+        }
+        let mut outside = vec![false; self.num_vars()];
+        for (i, a) in self.atoms.iter().enumerate() {
+            if !in_subset[i] {
+                for v in a.variables() {
+                    outside[v.0] = true;
+                }
+            }
+        }
+        (0..self.num_vars())
+            .filter(|&i| inside[i] && outside[i])
+            .map(VarId)
+            .collect()
+    }
+
+    /// The projected output variables of the residual query on `subset`:
+    /// `o_E = o ∩ var(q_E)` (Section 6). Returns `None` for full queries.
+    pub fn residual_output(&self, subset: &[usize]) -> Option<Vec<VarId>> {
+        let proj = self.projection()?;
+        let vars = self.subset_vars(subset);
+        Some(proj.iter().copied().filter(|v| vars.contains(v)).collect())
+    }
+
+    /// The predicates whose variables are all contained in
+    /// `var(q_E)` for `subset = E` — the ones Corollary 5.1 applies inside
+    /// the residual evaluation.
+    pub fn contained_predicates(&self, subset: &[usize]) -> Vec<Predicate> {
+        let vars = self.subset_vars(subset);
+        self.predicates
+            .iter()
+            .filter(|p| p.variables().iter().all(|v| vars.contains(v)))
+            .copied()
+            .collect()
+    }
+
+    /// For each variable, the list of atoms mentioning it.
+    pub fn var_occurrences(&self) -> Vec<Vec<usize>> {
+        let mut occ = vec![Vec::new(); self.num_vars()];
+        for (i, a) in self.atoms.iter().enumerate() {
+            for v in a.variables() {
+                occ[v.0].push(i);
+            }
+        }
+        occ
+    }
+
+    /// Whether the atoms in `subset` form a connected join graph
+    /// (atoms adjacent iff they share a variable). The empty subset and
+    /// singletons are connected.
+    pub fn subset_connected(&self, subset: &[usize]) -> bool {
+        if subset.len() <= 1 {
+            return true;
+        }
+        let mut visited = vec![false; subset.len()];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        let shares = |a: usize, b: usize| {
+            self.atoms[a]
+                .variables()
+                .iter()
+                .any(|v| self.atoms[b].mentions(*v))
+        };
+        while let Some(i) = stack.pop() {
+            for j in 0..subset.len() {
+                if !visited[j] && shares(subset[i], subset[j]) {
+                    visited[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        visited.into_iter().all(|v| v)
+    }
+}
+
+/// Enumerates every subset of `items` (including the empty set), as sorted
+/// vectors. Intended for the small atom-index universes of data-complexity
+/// analysis (`n` is a query-size constant).
+pub fn subsets(items: &[usize]) -> Vec<Vec<usize>> {
+    let n = items.len();
+    assert!(n < 26, "subset enumeration over more than 25 atoms");
+    (0u32..(1 << n))
+        .map(|mask| {
+            (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| items[i])
+                .collect()
+        })
+        .collect()
+}
+
+/// Enumerates the non-empty subsets of `items`.
+pub fn nonempty_subsets(items: &[usize]) -> Vec<Vec<usize>> {
+    subsets(items).into_iter().filter(|s| !s.is_empty()).collect()
+}
+
+/// The sorted complement `[n] − subset`.
+pub fn complement(n: usize, subset: &[usize]) -> Vec<usize> {
+    (0..n).filter(|i| !subset.contains(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CqBuilder;
+
+    fn triangle() -> ConjunctiveQuery {
+        let mut b = CqBuilder::new();
+        let (x1, x2, x3) = (b.var("x1"), b.var("x2"), b.var("x3"));
+        b.atom("Edge", [x1, x2]);
+        b.atom("Edge", [x2, x3]);
+        b.atom("Edge", [x1, x3]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn self_join_groups_of_triangle() {
+        let q = triangle();
+        let g = q.self_join_groups();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].relation, "Edge");
+        assert_eq!(g[0].atoms, vec![0, 1, 2]);
+        assert_eq!(q.max_copies(), 3);
+    }
+
+    #[test]
+    fn groups_sorted_by_name() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        b.atom("Zeta", [x]);
+        b.atom("Alpha", [x]);
+        let q = b.build().unwrap();
+        let g = q.self_join_groups();
+        assert_eq!(g[0].relation, "Alpha");
+        assert_eq!(g[1].relation, "Zeta");
+    }
+
+    #[test]
+    fn boundary_of_triangle_residuals() {
+        let q = triangle();
+        let x1 = q.var_by_name("x1").unwrap();
+        let x2 = q.var_by_name("x2").unwrap();
+        let x3 = q.var_by_name("x3").unwrap();
+        // E = {0,1} (atoms Edge(x1,x2), Edge(x2,x3)); outside atom has x1, x3.
+        assert_eq!(q.boundary(&[0, 1]), vec![x1, x3]);
+        // E = {0}: the other atoms mention all three variables.
+        assert_eq!(q.boundary(&[0]), vec![x1, x2]);
+        // E = everything: no boundary.
+        assert_eq!(q.boundary(&[0, 1, 2]), Vec::<VarId>::new());
+        // E = {}: no boundary.
+        assert_eq!(q.boundary(&[]), Vec::<VarId>::new());
+    }
+
+    #[test]
+    fn subset_vars_and_connectivity() {
+        let mut b = CqBuilder::new();
+        let (x, y, z, w) = (b.var("x"), b.var("y"), b.var("z"), b.var("w"));
+        b.atom("R", [x, y]);
+        b.atom("S", [y, z]);
+        b.atom("T", [w]);
+        let q = b.build().unwrap();
+        assert_eq!(q.subset_vars(&[0, 1]), vec![x, y, z]);
+        assert!(q.subset_connected(&[0, 1]));
+        assert!(!q.subset_connected(&[0, 2]));
+        assert!(q.subset_connected(&[2]));
+        assert!(q.subset_connected(&[]));
+    }
+
+    #[test]
+    fn contained_predicates_filtering() {
+        let mut b = CqBuilder::new();
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("R", [x, y]);
+        b.atom("S", [y, z]);
+        b.neq(x, y); // contained in atom 0's closure
+        b.neq(x, z); // spans both atoms
+        let q = b.build().unwrap();
+        assert_eq!(q.contained_predicates(&[0]).len(), 1);
+        assert_eq!(q.contained_predicates(&[0, 1]).len(), 2);
+        assert_eq!(q.contained_predicates(&[1]).len(), 0);
+    }
+
+    #[test]
+    fn residual_output_intersects_projection() {
+        let mut b = CqBuilder::new();
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("R", [x, y]);
+        b.atom("S", [y, z]);
+        b.project([x, z]);
+        let q = b.build().unwrap();
+        assert_eq!(q.residual_output(&[0]), Some(vec![x]));
+        assert_eq!(q.residual_output(&[1]), Some(vec![z]));
+        assert_eq!(q.residual_output(&[0, 1]), Some(vec![x, z]));
+        assert_eq!(triangle().residual_output(&[0]), None);
+    }
+
+    #[test]
+    fn subset_enumeration() {
+        let s = subsets(&[4, 7]);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(&vec![]));
+        assert!(s.contains(&vec![4]));
+        assert!(s.contains(&vec![7]));
+        assert!(s.contains(&vec![4, 7]));
+        assert_eq!(nonempty_subsets(&[4, 7]).len(), 3);
+        assert_eq!(complement(4, &[1, 3]), vec![0, 2]);
+    }
+
+    #[test]
+    fn var_occurrences_map() {
+        let q = triangle();
+        let occ = q.var_occurrences();
+        let x2 = q.var_by_name("x2").unwrap();
+        assert_eq!(occ[x2.0], vec![0, 1]);
+    }
+}

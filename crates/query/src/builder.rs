@@ -1,0 +1,286 @@
+//! Programmatic construction of conjunctive queries.
+
+use crate::cq::{Atom, ConjunctiveQuery, Term, VarId};
+use crate::error::QueryError;
+use crate::predicate::{CmpOp, Predicate};
+use dpcq_relation::Value;
+
+/// Builder for [`ConjunctiveQuery`].
+///
+/// ```
+/// use dpcq_query::CqBuilder;
+///
+/// // Triangle query: Edge(x1,x2) ⋈ Edge(x2,x3) ⋈ Edge(x1,x3), all vars distinct.
+/// let mut b = CqBuilder::new();
+/// let (x1, x2, x3) = (b.var("x1"), b.var("x2"), b.var("x3"));
+/// b.atom("Edge", [x1, x2]);
+/// b.atom("Edge", [x2, x3]);
+/// b.atom("Edge", [x1, x3]);
+/// b.neq(x1, x2);
+/// b.neq(x2, x3);
+/// b.neq(x1, x3);
+/// let q = b.build().unwrap();
+/// assert_eq!(q.num_atoms(), 3);
+/// assert!(q.has_self_joins());
+/// ```
+#[derive(Default, Debug)]
+pub struct CqBuilder {
+    atoms: Vec<Atom>,
+    predicates: Vec<Predicate>,
+    projection: Option<Vec<VarId>>,
+    var_names: Vec<String>,
+}
+
+impl CqBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CqBuilder::default()
+    }
+
+    /// Interns a variable by display name, returning its id. Repeated calls
+    /// with the same name return the same id.
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(i) = self.var_names.iter().position(|n| n == name) {
+            return VarId(i);
+        }
+        self.var_names.push(name.to_string());
+        VarId(self.var_names.len() - 1)
+    }
+
+    /// Interns `k` fresh variables named `prefix1..prefixk`.
+    pub fn vars(&mut self, prefix: &str, k: usize) -> Vec<VarId> {
+        (1..=k).map(|i| self.var(&format!("{prefix}{i}"))).collect()
+    }
+
+    /// Adds an atom whose terms are all variables.
+    pub fn atom<I: IntoIterator<Item = VarId>>(&mut self, relation: &str, vars: I) -> &mut Self {
+        self.atoms.push(Atom {
+            relation: relation.to_string(),
+            terms: vars.into_iter().map(Term::Var).collect(),
+        });
+        self
+    }
+
+    /// Adds an atom with arbitrary terms (variables and constants).
+    pub fn atom_terms<I: IntoIterator<Item = Term>>(
+        &mut self,
+        relation: &str,
+        terms: I,
+    ) -> &mut Self {
+        self.atoms.push(Atom {
+            relation: relation.to_string(),
+            terms: terms.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Adds a predicate.
+    pub fn pred(&mut self, p: Predicate) -> &mut Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Adds `x ≠ y`.
+    pub fn neq(&mut self, x: VarId, y: VarId) -> &mut Self {
+        self.pred(Predicate::neq(x, y))
+    }
+
+    /// Adds `x < y`.
+    pub fn lt(&mut self, x: VarId, y: VarId) -> &mut Self {
+        self.pred(Predicate::lt(x, y))
+    }
+
+    /// Adds `x op c` against a constant.
+    pub fn cmp_const(&mut self, x: VarId, op: CmpOp, c: i64) -> &mut Self {
+        self.pred(Predicate::new(Term::Var(x), op, Term::Const(Value(c))))
+    }
+
+    /// Adds pairwise `≠` between all listed variables (the standard device
+    /// for graph-pattern counting, Section 1.4).
+    pub fn all_distinct(&mut self, vars: &[VarId]) -> &mut Self {
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                self.neq(vars[i], vars[j]);
+            }
+        }
+        self
+    }
+
+    /// Sets the projection `π_o`; omit for a full CQ.
+    pub fn project<I: IntoIterator<Item = VarId>>(&mut self, vars: I) -> &mut Self {
+        self.projection = Some(vars.into_iter().collect());
+        self
+    }
+
+    /// Validates and produces the query.
+    pub fn build(self) -> Result<ConjunctiveQuery, QueryError> {
+        if self.atoms.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        // Arity consistency per relation name.
+        for (i, a) in self.atoms.iter().enumerate() {
+            for b in &self.atoms[..i] {
+                if a.relation == b.relation {
+                    if a.arity() != b.arity() {
+                        return Err(QueryError::InconsistentArity {
+                            relation: a.relation.clone(),
+                            first: b.arity(),
+                            second: a.arity(),
+                        });
+                    }
+                    if a.terms == b.terms {
+                        return Err(QueryError::RedundantAtom {
+                            relation: a.relation.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Safety: predicate and projection variables must occur in atoms.
+        let mut bound = vec![false; self.var_names.len()];
+        for a in &self.atoms {
+            for v in a.variables() {
+                bound[v.0] = true;
+            }
+        }
+        for p in &self.predicates {
+            for v in p.variables() {
+                if !bound[v.0] {
+                    return Err(QueryError::UnboundPredicateVar {
+                        var: self.var_names[v.0].clone(),
+                    });
+                }
+            }
+        }
+        if let Some(proj) = &self.projection {
+            for v in proj {
+                if !bound[v.0] {
+                    return Err(QueryError::UnboundProjectionVar {
+                        var: self.var_names[v.0].clone(),
+                    });
+                }
+            }
+        }
+        // Normalize: projecting onto *all* atom variables is the full query
+        // (counting distinct full rows equals counting join results), and
+        // the full-CQ optimality guarantees then apply.
+        let mut projection = self.projection;
+        if let Some(proj) = &projection {
+            let all_bound = bound
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| b.then_some(VarId(i)))
+                .collect::<std::collections::BTreeSet<_>>();
+            let proj_set: std::collections::BTreeSet<VarId> = proj.iter().copied().collect();
+            if proj_set == all_bound {
+                projection = None;
+            }
+        }
+        Ok(ConjunctiveQuery {
+            atoms: self.atoms,
+            predicates: self.predicates,
+            projection,
+            var_names: self.var_names,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_interning() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        assert_eq!(b.var("x"), x);
+        assert_ne!(b.var("y"), x);
+    }
+
+    #[test]
+    fn vars_helper_names() {
+        let mut b = CqBuilder::new();
+        let vs = b.vars("x", 3);
+        b.atom("R", vs.clone());
+        let q = b.build().unwrap();
+        assert_eq!(q.var_name(vs[0]), "x1");
+        assert_eq!(q.var_name(vs[2]), "x3");
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert_eq!(CqBuilder::new().build().unwrap_err(), QueryError::EmptyQuery);
+    }
+
+    #[test]
+    fn inconsistent_arity_rejected() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom("R", [x, y]);
+        b.atom("R", [x]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            QueryError::InconsistentArity { .. }
+        ));
+    }
+
+    #[test]
+    fn redundant_self_join_rejected() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom("R", [x, y]);
+        b.atom("R", [x, y]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            QueryError::RedundantAtom { .. }
+        ));
+    }
+
+    #[test]
+    fn unbound_predicate_var_rejected() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let z = b.var("z");
+        b.atom("R", [x]);
+        b.neq(x, z);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            QueryError::UnboundPredicateVar { .. }
+        ));
+    }
+
+    #[test]
+    fn unbound_projection_var_rejected() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let z = b.var("z");
+        b.atom("R", [x]);
+        b.project([z]);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            QueryError::UnboundProjectionVar { .. }
+        ));
+    }
+
+    #[test]
+    fn all_distinct_adds_pairs() {
+        let mut b = CqBuilder::new();
+        let vs = b.vars("x", 4);
+        b.atom("R", vs.clone());
+        b.all_distinct(&vs);
+        let q = b.build().unwrap();
+        assert_eq!(q.predicates().len(), 6);
+    }
+
+    #[test]
+    fn constants_in_atoms_allowed() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        b.atom_terms("R", [Term::Var(x), Term::Const(Value(7))]);
+        let q = b.build().unwrap();
+        assert_eq!(q.atoms()[0].variables(), vec![x]);
+        assert_eq!(q.atoms()[0].arity(), 2);
+    }
+}

@@ -1,0 +1,273 @@
+//! Core conjunctive-query types.
+
+use crate::predicate::Predicate;
+use dpcq_relation::Value;
+use std::fmt;
+
+/// A query variable, identified by its index in the query's variable table.
+///
+/// Variables are interned per query by [`crate::CqBuilder`]; the display
+/// name is kept for parsing/printing only.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// The underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A term in an atom: either a variable or a constant.
+///
+/// Constants in atoms are handled by the footnote to Section 2.1: atoms are
+/// pre-filtered in linear time so that only matching tuples remain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Term {
+    /// A query variable.
+    Var(VarId),
+    /// A constant the corresponding attribute must equal.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// One atom `Rᵢ(xᵢ)` of a conjunctive query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    /// The (physical) relation name `Rᵢ`.
+    pub relation: String,
+    /// The terms, one per attribute of `Rᵢ`.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// The distinct variables of this atom, in first-occurrence order.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut out = Vec::with_capacity(self.terms.len());
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the atom mentions `v`.
+    pub fn mentions(&self, v: VarId) -> bool {
+        self.terms.iter().any(|t| t.as_var() == Some(v))
+    }
+
+    /// The relation arity implied by this atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// A conjunctive query, possibly with predicates (Section 5) and a
+/// projection (Section 6).
+///
+/// Invariants (established by [`crate::CqBuilder::build`] /
+/// [`crate::parse_query`]):
+/// * at least one atom;
+/// * all atoms of the same relation name have equal arity;
+/// * every predicate variable and every projection variable occurs in some
+///   atom (safety);
+/// * no two atoms of the same relation have identical term lists (the paper
+///   assumes `xᵢ ≠ xⱼ` for repeated names — one copy would be redundant).
+#[derive(Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    pub(crate) atoms: Vec<Atom>,
+    pub(crate) predicates: Vec<Predicate>,
+    /// `None` for a full CQ; `Some(o)` for `π_o(…)`.
+    pub(crate) projection: Option<Vec<VarId>>,
+    pub(crate) var_names: Vec<String>,
+}
+
+impl ConjunctiveQuery {
+    /// The atoms `R₁(x₁), …, Rₙ(xₙ)`.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms `n`.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The predicates `P₁(y₁), …, P_κ(y_κ)`.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// The projection list `o`, or `None` if the query is full.
+    pub fn projection(&self) -> Option<&[VarId]> {
+        self.projection.as_deref()
+    }
+
+    /// Whether this is a full CQ (no projection).
+    pub fn is_full(&self) -> bool {
+        self.projection.is_none()
+    }
+
+    /// Whether the query has self-joins (a repeated relation name).
+    pub fn has_self_joins(&self) -> bool {
+        self.self_join_groups().iter().any(|g| g.atoms.len() > 1)
+    }
+
+    /// Number of variables in the query's variable table.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.0]
+    }
+
+    /// Looks up a variable by display name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.var_names.iter().position(|n| n == name).map(VarId)
+    }
+
+    /// All variables mentioned by atoms, i.e. `var(q)`, in id order.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut seen = vec![false; self.var_names.len()];
+        for a in &self.atoms {
+            for v in a.variables() {
+                seen[v.0] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(VarId(i)))
+            .collect()
+    }
+
+    /// Returns a copy of the query with the projection removed (the full
+    /// version of a non-full CQ — what prior work computes sensitivity on).
+    pub fn to_full(&self) -> ConjunctiveQuery {
+        let mut q = self.clone();
+        q.projection = None;
+        q
+    }
+
+    /// Returns a copy with the predicates removed (the "ignore predicates"
+    /// baseline discussed at the start of Section 5).
+    pub fn without_predicates(&self) -> ConjunctiveQuery {
+        let mut q = self.clone();
+        q.predicates.clear();
+        q
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.projection {
+            None => write!(f, "Q(*) :- ")?,
+            Some(o) => {
+                write!(f, "Q(")?;
+                for (i, v) in o.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", self.var_name(*v))?;
+                }
+                write!(f, ") :- ")?;
+            }
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}(", a.relation)?;
+            for (j, t) in a.terms.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                match t {
+                    Term::Var(v) => write!(f, "{}", self.var_name(*v))?,
+                    Term::Const(c) => write!(f, "{c}")?,
+                }
+            }
+            write!(f, ")")?;
+        }
+        for p in &self.predicates {
+            write!(f, ", {}", p.display(|v| self.var_name(v)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::CqBuilder;
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom("R", [x, y]);
+        b.atom("S", [y, x]);
+        b.neq(x, y);
+        let q = b.build().unwrap();
+        let s = q.to_string();
+        let q2 = crate::parse_query(&s).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn to_full_strips_projection() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom("R", [x, y]);
+        b.project([x]);
+        let q = b.build().unwrap();
+        assert!(!q.is_full());
+        assert!(q.to_full().is_full());
+    }
+
+    #[test]
+    fn variables_and_names() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        b.atom("R", [x, y]);
+        let q = b.build().unwrap();
+        assert_eq!(q.variables(), vec![x, y]);
+        assert_eq!(q.var_name(x), "x");
+        assert_eq!(q.var_by_name("y"), Some(y));
+        assert_eq!(q.var_by_name("zz"), None);
+    }
+
+    #[test]
+    fn self_join_detection() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let z = b.var("z");
+        b.atom("E", [x, y]);
+        b.atom("E", [y, z]);
+        let q = b.build().unwrap();
+        assert!(q.has_self_joins());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for query construction and parsing.
+
+use std::fmt;
+
+/// Errors raised while building or parsing a conjunctive query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryError {
+    /// The query has no atoms.
+    EmptyQuery,
+    /// Two atoms of the same relation name have different arities.
+    InconsistentArity {
+        /// Relation name.
+        relation: String,
+        /// First observed arity.
+        first: usize,
+        /// Conflicting arity.
+        second: usize,
+    },
+    /// Two atoms of the same relation have identical term lists (the paper
+    /// assumes `xᵢ ≠ xⱼ` for self-joins; one copy is redundant).
+    RedundantAtom {
+        /// Relation name.
+        relation: String,
+    },
+    /// A predicate mentions a variable that occurs in no atom.
+    UnboundPredicateVar {
+        /// Variable display name.
+        var: String,
+    },
+    /// A projection variable occurs in no atom.
+    UnboundProjectionVar {
+        /// Variable display name.
+        var: String,
+    },
+    /// Parse error, with a human-readable message.
+    Parse {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyQuery => write!(f, "query has no atoms"),
+            QueryError::InconsistentArity {
+                relation,
+                first,
+                second,
+            } => write!(
+                f,
+                "relation `{relation}` used with arities {first} and {second}"
+            ),
+            QueryError::RedundantAtom { relation } => write!(
+                f,
+                "two atoms of `{relation}` have identical term lists (redundant self-join)"
+            ),
+            QueryError::UnboundPredicateVar { var } => {
+                write!(f, "predicate variable `{var}` occurs in no atom")
+            }
+            QueryError::UnboundProjectionVar { var } => {
+                write!(f, "projection variable `{var}` occurs in no atom")
+            }
+            QueryError::Parse { message } => write!(f, "parse error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = QueryError::InconsistentArity {
+            relation: "R".into(),
+            first: 2,
+            second: 3,
+        };
+        assert!(e.to_string().contains("arities 2 and 3"));
+        assert!(QueryError::EmptyQuery.to_string().contains("no atoms"));
+    }
+}

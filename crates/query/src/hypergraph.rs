@@ -1,0 +1,199 @@
+//! Query hypergraph analysis: acyclicity (GYO reduction) and elimination
+//! width.
+//!
+//! The paper's complexity claim (Section 3.5) is that `RS(·)` costs
+//! `O(N^{w_max})` where `w_max` is the maximum AJAR/FAQ width over the
+//! residual queries of `q`. This module provides the structural side of
+//! that statement:
+//!
+//! * [`ConjunctiveQuery::is_acyclic`] — α-acyclicity of an atom subset via
+//!   the classic GYO ear-removal reduction (acyclic queries have width 1:
+//!   Yannakakis-style evaluation touches only single atoms);
+//! * [`ConjunctiveQuery::elimination_width`] — the induced width of the
+//!   bucket-elimination schedule the engine actually runs (max number of
+//!   atoms' worth of variables co-materialized in a bucket), a standard
+//!   upper bound on the evaluation exponent;
+//! * [`ConjunctiveQuery::residual_width_bound`] — the max elimination
+//!   width over all residuals residual sensitivity needs, i.e. the
+//!   concrete `w_max` of the `O(N^{w_max})` bound for this query.
+
+use crate::cq::{ConjunctiveQuery, VarId};
+use std::collections::BTreeSet;
+
+impl ConjunctiveQuery {
+    /// GYO reduction: the residual on `subset` is α-acyclic iff repeating
+    /// "remove variables occurring in one atom; remove atoms contained in
+    /// another atom" empties the hypergraph. Empty and single-atom
+    /// subsets are acyclic.
+    pub fn is_acyclic(&self, subset: &[usize]) -> bool {
+        let mut edges: Vec<BTreeSet<VarId>> = subset
+            .iter()
+            .map(|&i| self.atoms()[i].variables().into_iter().collect())
+            .collect();
+        loop {
+            let mut changed = false;
+            // Remove vertices occurring in exactly one edge.
+            let mut var_count: std::collections::BTreeMap<VarId, usize> = Default::default();
+            for e in &edges {
+                for &v in e {
+                    *var_count.entry(v).or_insert(0) += 1;
+                }
+            }
+            for e in edges.iter_mut() {
+                let before = e.len();
+                e.retain(|v| var_count[v] > 1);
+                if e.len() != before {
+                    changed = true;
+                }
+            }
+            // Remove edges contained in another edge (and empty edges).
+            let mut keep: Vec<BTreeSet<VarId>> = Vec::with_capacity(edges.len());
+            for (i, e) in edges.iter().enumerate() {
+                let contained = e.is_empty()
+                    || edges
+                        .iter()
+                        .enumerate()
+                        .any(|(j, f)| j != i && e.is_subset(f) && !(f.is_subset(e) && j > i));
+                if contained {
+                    changed = true;
+                } else {
+                    keep.push(e.clone());
+                }
+            }
+            edges = keep;
+            if edges.is_empty() {
+                return true;
+            }
+            if !changed {
+                return false;
+            }
+        }
+    }
+
+    /// The width of a greedy (min-degree) bucket elimination of the
+    /// residual on `subset`, keeping `keep` variables to the end: the
+    /// maximum number of *variables* co-materialized in one bucket
+    /// (induced width + 1 in treewidth terms). The engine's intermediate
+    /// factors have at most `(active domain)^width` rows, so this bounds
+    /// the evaluation exponent of the schedule `dpcq-eval` runs.
+    pub fn elimination_width(&self, subset: &[usize], keep: &[VarId]) -> usize {
+        // Represent each current factor by (vars, atom_count).
+        let mut factors: Vec<(BTreeSet<VarId>, usize)> = subset
+            .iter()
+            .map(|&i| (self.atoms()[i].variables().into_iter().collect(), 1))
+            .collect();
+        let mut elim: BTreeSet<VarId> = self
+            .subset_vars(subset)
+            .into_iter()
+            .filter(|v| !keep.contains(v))
+            .collect();
+        let mut width = factors.iter().map(|(vs, _)| vs.len()).max().unwrap_or(0);
+        while let Some(&v) = elim.iter().min_by_key(|&&v| {
+            factors
+                .iter()
+                .filter(|(vs, _)| vs.contains(&v))
+                .map(|(_, c)| *c)
+                .sum::<usize>()
+        }) {
+            let (bucket, rest): (Vec<_>, Vec<_>) =
+                factors.into_iter().partition(|(vs, _)| vs.contains(&v));
+            let mut merged_vars: BTreeSet<VarId> = BTreeSet::new();
+            let mut merged_count = 0;
+            for (vs, c) in bucket {
+                merged_vars.extend(vs);
+                merged_count += c;
+            }
+            width = width.max(merged_vars.len());
+            let dead: Vec<VarId> = merged_vars
+                .iter()
+                .copied()
+                .filter(|u| elim.contains(u) && !rest.iter().any(|(vs, _)| vs.contains(u)))
+                .collect();
+            for u in &dead {
+                merged_vars.remove(u);
+                elim.remove(u);
+            }
+            factors = rest;
+            factors.push((merged_vars, merged_count));
+        }
+        width
+    }
+
+    /// `w_max`: the largest elimination width over every residual that
+    /// residual sensitivity evaluates for this query when every listed
+    /// atom group is private — the concrete exponent of the paper's
+    /// `O(N^{w_max})` running-time bound (Section 3.5 remark).
+    pub fn residual_width_bound(&self, private_atoms: &[usize]) -> usize {
+        let n = self.num_atoms();
+        let mut worst = 1;
+        for e in crate::analysis::nonempty_subsets(private_atoms) {
+            let f: Vec<usize> = (0..n).filter(|j| !e.contains(j)).collect();
+            let keep = self.boundary(&f);
+            worst = worst.max(self.elimination_width(&f, &keep));
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_query;
+
+    #[test]
+    fn acyclicity_of_classic_shapes() {
+        let path = parse_query("Q(*) :- E(x,y), E(y,z), E(z,w)").unwrap();
+        assert!(path.is_acyclic(&[0, 1, 2]));
+        let tri = parse_query("Q(*) :- E(x,y), E(y,z), E(x,z)").unwrap();
+        assert!(!tri.is_acyclic(&[0, 1, 2]));
+        // Every 2-atom sub-residual of the triangle is acyclic.
+        assert!(tri.is_acyclic(&[0, 1]));
+        assert!(tri.is_acyclic(&[0]));
+        assert!(tri.is_acyclic(&[]));
+        let star = parse_query("Q(*) :- E(c,a), E(c,b), E(c,d)").unwrap();
+        assert!(star.is_acyclic(&[0, 1, 2]));
+        let rect = parse_query("Q(*) :- E(a,b), E(b,c), E(c,d), E(d,a)").unwrap();
+        assert!(!rect.is_acyclic(&[0, 1, 2, 3]));
+        assert!(rect.is_acyclic(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_confuse_gyo() {
+        // Two atoms over identical variable sets: mutually contained,
+        // must still reduce away.
+        let q = parse_query("Q(*) :- E(x,y), F(x,y)").unwrap();
+        assert!(q.is_acyclic(&[0, 1]));
+    }
+
+    #[test]
+    fn elimination_width_of_paths_and_cycles() {
+        let path = parse_query("Q(*) :- E(x,y), E(y,z), E(z,w)").unwrap();
+        // Keeping the two endpoints, buckets hold at most 3 variables.
+        let x = path.var_by_name("x").unwrap();
+        let w = path.var_by_name("w").unwrap();
+        let pw = path.elimination_width(&[0, 1, 2], &[x, w]);
+        assert!((2..=3).contains(&pw), "path width {pw}");
+        let tri = parse_query("Q(*) :- E(x,y), E(y,z), E(x,z)").unwrap();
+        // Full triangle with empty keep: one bucket holds all 3 variables.
+        assert_eq!(tri.elimination_width(&[0, 1, 2], &[]), 3);
+    }
+
+    #[test]
+    fn residual_width_bounds_for_figure2_queries() {
+        // Residuals of the triangle are 2-paths/singletons: at most 3
+        // variables ever co-occur.
+        let tri = parse_query("Q(*) :- E(x,y), E(y,z), E(x,z)").unwrap();
+        let w_tri = tri.residual_width_bound(&[0, 1, 2]);
+        assert!(w_tri <= 3, "triangle residual width {w_tri}");
+        // Rectangle residuals include 3-paths: one more variable.
+        let rect = parse_query("Q(*) :- E(a,b), E(b,c), E(c,d), E(d,a)").unwrap();
+        let w_rect = rect.residual_width_bound(&[0, 1, 2, 3]);
+        assert!(w_rect <= 4, "rectangle residual width {w_rect}");
+        assert!(w_rect >= w_tri);
+    }
+
+    #[test]
+    fn width_zero_for_empty_subset() {
+        let q = parse_query("Q(*) :- E(x,y)").unwrap();
+        assert_eq!(q.elimination_width(&[], &[]), 0);
+    }
+}

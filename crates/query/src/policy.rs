@@ -1,0 +1,121 @@
+//! Privacy policies: which physical relations are private (Section 2.2).
+
+use crate::cq::ConjunctiveQuery;
+use std::collections::BTreeSet;
+
+/// A tuple-DP privacy policy: the set `P_m` of private physical relations.
+///
+/// Neighboring instances may differ only in private relations; public
+/// relations are fixed. The default used throughout the paper's experiments
+/// is "everything private" ([`Policy::all_private`]).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Policy {
+    private: BTreeSet<String>,
+    all: bool,
+}
+
+impl Policy {
+    /// Every relation is private.
+    pub fn all_private() -> Self {
+        Policy {
+            private: BTreeSet::new(),
+            all: true,
+        }
+    }
+
+    /// Only the listed relations are private.
+    pub fn private<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Policy {
+            private: names.into_iter().map(Into::into).collect(),
+            all: false,
+        }
+    }
+
+    /// Whether the named relation is private.
+    pub fn is_private(&self, name: &str) -> bool {
+        self.all || self.private.contains(name)
+    }
+
+    /// Indices (into [`ConjunctiveQuery::self_join_groups`]) of the private
+    /// groups — the paper's `P_m`.
+    pub fn private_groups(&self, q: &ConjunctiveQuery) -> Vec<usize> {
+        q.self_join_groups()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| self.is_private(&g.relation).then_some(i))
+            .collect()
+    }
+
+    /// Indices of the private *logical* atoms — the paper's `P_n`
+    /// (`P_n = ∪_{i∈P_m} D_i`).
+    pub fn private_atoms(&self, q: &ConjunctiveQuery) -> Vec<usize> {
+        let mut out: Vec<usize> = q
+            .self_join_groups()
+            .iter()
+            .filter(|g| self.is_private(&g.relation))
+            .flat_map(|g| g.atoms.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// `m_P = |P_m|` for the given query.
+    pub fn num_private_groups(&self, q: &ConjunctiveQuery) -> usize {
+        self.private_groups(q).len()
+    }
+
+    /// `n_P = |P_n|` for the given query.
+    pub fn num_private_atoms(&self, q: &ConjunctiveQuery) -> usize {
+        self.private_atoms(q).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CqBuilder;
+
+    fn two_rel_query() -> ConjunctiveQuery {
+        let mut b = CqBuilder::new();
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.atom("E", [x, y]);
+        b.atom("E", [y, z]);
+        b.atom("Pub", [z]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_private_covers_everything() {
+        let q = two_rel_query();
+        let p = Policy::all_private();
+        assert!(p.is_private("E"));
+        assert!(p.is_private("Anything"));
+        assert_eq!(p.private_groups(&q).len(), 2);
+        assert_eq!(p.private_atoms(&q), vec![0, 1, 2]);
+        assert_eq!(p.num_private_atoms(&q), 3);
+    }
+
+    #[test]
+    fn selective_policy() {
+        let q = two_rel_query();
+        let p = Policy::private(["E"]);
+        assert!(p.is_private("E"));
+        assert!(!p.is_private("Pub"));
+        // Groups sorted by name: ["E", "Pub"] -> group 0 is E.
+        assert_eq!(p.private_groups(&q), vec![0]);
+        assert_eq!(p.private_atoms(&q), vec![0, 1]);
+        assert_eq!(p.num_private_groups(&q), 1);
+        assert_eq!(p.num_private_atoms(&q), 2);
+    }
+
+    #[test]
+    fn empty_policy_has_no_private_atoms() {
+        let q = two_rel_query();
+        let p = Policy::private(Vec::<String>::new());
+        assert!(p.private_atoms(&q).is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Database instances: named collections of physical relations.
+
+use crate::{Relation, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A database instance `I` over a schema `R`: a map from physical relation
+/// names to [`Relation`] instances.
+///
+/// The paper distinguishes *physical* relation instances (what is stored,
+/// and what the DP distance is measured on) from *logical* instances
+/// (per-atom renamings used when a query contains self-joins). `Database`
+/// stores only physical instances; the logical view lives in `dpcq-query` /
+/// `dpcq-eval`.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Inserts (or replaces) a relation instance under `name`.
+    pub fn insert_relation(&mut self, name: impl Into<String>, rel: Relation) -> Option<Relation> {
+        self.relations.insert(name.into(), rel)
+    }
+
+    /// Convenience: creates an empty relation of the given arity under
+    /// `name` and returns a mutable reference to it.
+    pub fn create_relation(&mut self, name: impl Into<String>, arity: usize) -> &mut Relation {
+        let name = name.into();
+        self.relations.entry(name).or_insert_with(|| Relation::new(arity))
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Mutable lookup.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Iterates over `(name, relation)` pairs in name order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// All relation names, in sorted order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Whether a relation with this name exists.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples `N = |I|` across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Inserts a tuple into the named relation, creating the relation with
+    /// the row's arity if absent. Returns `true` if the tuple was new.
+    pub fn insert_tuple(&mut self, name: &str, row: &[Value]) -> bool {
+        self.relations
+            .entry(name.to_string())
+            .or_insert_with(|| Relation::new(row.len()))
+            .insert(row)
+    }
+
+    /// Removes a tuple from the named relation. Returns `true` if present.
+    pub fn remove_tuple(&mut self, name: &str, row: &[Value]) -> bool {
+        self.relations.get_mut(name).is_some_and(|r| r.remove(row))
+    }
+
+    /// The set of integers appearing anywhere in the listed relations
+    /// (used to build active domains, Section 5.2). Attribute positions are
+    /// not distinguished: the paper's `Z*(I)` collects the integers
+    /// appearing in `I` on the predicate attributes; callers that need a
+    /// finer grain can scan relations directly.
+    pub fn active_values(&self) -> Vec<Value> {
+        let mut vs: Vec<Value> = self
+            .relations
+            .values()
+            .flat_map(|r| r.iter().flatten().copied())
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Database");
+        for (name, rel) in &self.relations {
+            s.field(name, rel);
+        }
+        s.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vals;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut db = Database::new();
+        db.insert_tuple("R", &vals![1, 2]);
+        db.insert_tuple("R", &vals![1, 2]);
+        db.insert_tuple("S", &vals![7]);
+        assert_eq!(db.relation("R").unwrap().len(), 1);
+        assert_eq!(db.relation("S").unwrap().len(), 1);
+        assert_eq!(db.total_tuples(), 2);
+        assert!(db.has_relation("R"));
+        assert!(!db.has_relation("T"));
+    }
+
+    #[test]
+    fn remove_tuple_works() {
+        let mut db = Database::new();
+        db.insert_tuple("R", &vals![1, 2]);
+        assert!(db.remove_tuple("R", &vals![1, 2]));
+        assert!(!db.remove_tuple("R", &vals![1, 2]));
+        assert!(!db.remove_tuple("Missing", &vals![1, 2]));
+    }
+
+    #[test]
+    fn active_values_sorted_dedup() {
+        let mut db = Database::new();
+        db.insert_tuple("R", &vals![3, 1]);
+        db.insert_tuple("S", &vals![1, 9]);
+        assert_eq!(
+            db.active_values(),
+            vec![Value(1), Value(3), Value(9)]
+        );
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut db = Database::new();
+        db.create_relation("Zeta", 1);
+        db.create_relation("Alpha", 1);
+        let names: Vec<&str> = db.relation_names().collect();
+        assert_eq!(names, vec!["Alpha", "Zeta"]);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let mut a = Database::new();
+        a.insert_tuple("R", &vals![1, 2]);
+        let mut b = Database::new();
+        b.insert_tuple("R", &vals![1, 2]);
+        assert_eq!(a, b);
+        b.insert_tuple("R", &vals![2, 2]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,89 @@
+//! Dictionary encoding of non-integer source data into the [`Value`] space.
+
+use crate::{FxHashMap, Value};
+
+/// A bidirectional mapping between strings and dense integer codes.
+///
+/// The sensitivity machinery works over integer domains; real datasets often
+/// carry string keys (author names, labels). `Dictionary` assigns each
+/// distinct string a dense code `0, 1, 2, …` so relations can be loaded as
+/// integer tuples and decoded back for display.
+#[derive(Clone, Default, Debug)]
+pub struct Dictionary {
+    to_code: FxHashMap<String, i64>,
+    to_str: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Encodes `s`, assigning a fresh code on first sight.
+    pub fn encode(&mut self, s: &str) -> Value {
+        if let Some(&c) = self.to_code.get(s) {
+            return Value(c);
+        }
+        let c = self.to_str.len() as i64;
+        self.to_code.insert(s.to_string(), c);
+        self.to_str.push(s.to_string());
+        Value(c)
+    }
+
+    /// Looks up the code for `s` without inserting.
+    pub fn get(&self, s: &str) -> Option<Value> {
+        self.to_code.get(s).map(|&c| Value(c))
+    }
+
+    /// Decodes a value previously produced by [`Dictionary::encode`].
+    pub fn decode(&self, v: Value) -> Option<&str> {
+        usize::try_from(v.0)
+            .ok()
+            .and_then(|i| self.to_str.get(i))
+            .map(String::as_str)
+    }
+
+    /// Number of distinct strings seen.
+    pub fn len(&self) -> usize {
+        self.to_str.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_str.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode("alice");
+        let b = d.encode("bob");
+        assert_ne!(a, b);
+        assert_eq!(d.encode("alice"), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut d = Dictionary::new();
+        let a = d.encode("x");
+        assert_eq!(d.decode(a), Some("x"));
+        assert_eq!(d.decode(Value(99)), None);
+        assert_eq!(d.decode(Value(-1)), None);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.get("nope"), None);
+        d.encode("yes");
+        assert_eq!(d.get("yes"), Some(Value(0)));
+        assert_eq!(d.len(), 1);
+    }
+}

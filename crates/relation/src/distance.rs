@@ -1,0 +1,140 @@
+//! Tuple-DP distances (Section 2.2 of the paper).
+//!
+//! A "step" turns one instance into a neighboring one by inserting,
+//! deleting, or substituting a single tuple. For two *sets* of tuples `A`
+//! and `B`, the minimum number of steps is
+//!
+//! ```text
+//! d(A, B) = max(|A \ B|, |B \ A|)
+//! ```
+//!
+//! (match up as many removals with insertions as possible into
+//! substitutions; the remainder are plain inserts or deletes). The distance
+//! between database instances is the sum over physical relations:
+//! `d(I, I') = Σ_i d(I_i, I'_i)`.
+
+use crate::{Database, Relation};
+
+/// Returns `(|A \ B|, |B \ A|)` for two relations of equal arity.
+///
+/// # Panics
+/// Panics if the arities differ.
+pub fn set_difference_sizes(a: &Relation, b: &Relation) -> (usize, usize) {
+    assert_eq!(a.arity(), b.arity(), "relation arity mismatch");
+    let a_minus_b = a.iter().filter(|row| !b.contains(row)).count();
+    let b_minus_a = b.iter().filter(|row| !a.contains(row)).count();
+    (a_minus_b, b_minus_a)
+}
+
+/// The tuple-DP edit distance between two relation instances:
+/// `max(|A \ B|, |B \ A|)`.
+pub fn relation_distance(a: &Relation, b: &Relation) -> usize {
+    let (ab, ba) = set_difference_sizes(a, b);
+    ab.max(ba)
+}
+
+/// The tuple-DP distance between database instances:
+/// `d(I, I') = Σ over physical relations of relation_distance`.
+///
+/// Relations present in only one of the two databases contribute their full
+/// size (every tuple must be inserted/deleted).
+pub fn database_distance(a: &Database, b: &Database) -> usize {
+    let mut total = 0usize;
+    for (name, ra) in a.iter() {
+        match b.relation(name) {
+            Some(rb) => total += relation_distance(ra, rb),
+            None => total += ra.len(),
+        }
+    }
+    for (name, rb) in b.iter() {
+        if !a.has_relation(name) {
+            total += rb.len();
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vals;
+
+    fn rel(rows: &[[i64; 2]]) -> Relation {
+        let mut r = Relation::new(2);
+        for row in rows {
+            r.insert(&[crate::Value(row[0]), crate::Value(row[1])]);
+        }
+        r
+    }
+
+    #[test]
+    fn identical_relations_have_distance_zero() {
+        let a = rel(&[[1, 2], [3, 4]]);
+        assert_eq!(relation_distance(&a, &a.clone()), 0);
+    }
+
+    #[test]
+    fn substitution_counts_once() {
+        // {1,2} -> {1,3}: one substitution.
+        let a = rel(&[[1, 1], [2, 2]]);
+        let b = rel(&[[1, 1], [3, 3]]);
+        assert_eq!(relation_distance(&a, &b), 1);
+    }
+
+    #[test]
+    fn pure_insertions() {
+        let a = rel(&[[1, 1]]);
+        let b = rel(&[[1, 1], [2, 2], [3, 3]]);
+        assert_eq!(relation_distance(&a, &b), 2);
+        assert_eq!(relation_distance(&b, &a), 2); // symmetric
+    }
+
+    #[test]
+    fn mixed_edits_take_max() {
+        // A has 3 private rows, B has 1 private row: 1 subst + 2 deletes = 3.
+        let a = rel(&[[1, 1], [2, 2], [3, 3], [9, 9]]);
+        let b = rel(&[[4, 4], [9, 9]]);
+        assert_eq!(set_difference_sizes(&a, &b), (3, 1));
+        assert_eq!(relation_distance(&a, &b), 3);
+    }
+
+    #[test]
+    fn database_distance_sums_relations() {
+        let mut da = Database::new();
+        da.insert_tuple("R", &vals![1, 1]);
+        da.insert_tuple("S", &vals![5]);
+        let mut db = Database::new();
+        db.insert_tuple("R", &vals![2, 2]);
+        db.insert_tuple("S", &vals![5]);
+        assert_eq!(database_distance(&da, &db), 1);
+        db.insert_tuple("T", &vals![0]);
+        assert_eq!(database_distance(&da, &db), 2);
+        assert_eq!(database_distance(&db, &da), 2);
+    }
+
+    #[test]
+    fn triangle_inequality_on_random_instances() {
+        // d is a metric on relation sets; spot-check the triangle inequality.
+        let mut state = 7u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as i64 % 6
+        };
+        for _ in 0..50 {
+            let mk = |rnd: &mut dyn FnMut() -> i64| {
+                let mut r = Relation::new(2);
+                for _ in 0..8 {
+                    r.insert(&[crate::Value(rnd()), crate::Value(rnd())]);
+                }
+                r
+            };
+            let a = mk(&mut rnd);
+            let b = mk(&mut rnd);
+            let c = mk(&mut rnd);
+            assert!(
+                relation_distance(&a, &c)
+                    <= relation_distance(&a, &b) + relation_distance(&b, &c)
+            );
+        }
+    }
+}

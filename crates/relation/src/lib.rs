@@ -1,0 +1,33 @@
+//! # dpcq-relation — relational substrate
+//!
+//! This crate provides the data model underlying the `dpcq` differential
+//! privacy library, following Section 2 of Dong & Yi, *"A Nearly
+//! Instance-optimal Differentially Private Mechanism for Conjunctive
+//! Queries"* (PODS 2022):
+//!
+//! * [`Value`] — a dictionary-encodable attribute value (an `i64` under the
+//!   hood; integer domains are all the paper's predicates need, and
+//!   [`Dictionary`] maps arbitrary strings into the value space).
+//! * [`Relation`] — a **set-semantics** relation of fixed arity with O(1)
+//!   insert/remove/contains. Conjunctive queries in the paper are evaluated
+//!   under set semantics, and the tuple-DP neighborhood is defined by
+//!   inserting/deleting/substituting tuples.
+//! * [`Database`] — a named collection of physical relation instances `I`.
+//! * [`distance`] — the tuple-DP distance `d(I, I')` (minimum number of
+//!   insert/delete/substitute steps), per relation and per database.
+//! * [`fxhash`] — a fast FxHash-style hasher used throughout the workspace
+//!   for integer-keyed hash maps (implemented in-tree; see DESIGN.md).
+
+pub mod database;
+pub mod dictionary;
+pub mod distance;
+pub mod fxhash;
+pub mod relation;
+pub mod value;
+
+pub use database::Database;
+pub use dictionary::Dictionary;
+pub use distance::{database_distance, relation_distance, set_difference_sizes};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use relation::Relation;
+pub use value::Value;

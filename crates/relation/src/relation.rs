@@ -1,0 +1,442 @@
+//! Set-semantics relations of fixed arity.
+//!
+//! A [`Relation`] stores its rows in a single flat `Vec<Value>` (rows are
+//! `arity`-sized windows) plus a hash index mapping row hashes to row
+//! positions, giving O(1) expected insert / remove / membership while
+//! keeping the row payload contiguous for fast scans during joins.
+
+use crate::fxhash::{hash_row, FxHashMap};
+use crate::Value;
+use std::fmt;
+
+/// A relation instance: a *set* of `arity`-tuples over [`Value`].
+///
+/// Conjunctive queries in the paper are evaluated under set semantics, and
+/// the tuple-DP distance (Section 2.2) counts inserted / deleted /
+/// substituted tuples, so duplicate suppression is part of the data model
+/// rather than a query-time concern.
+#[derive(Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    /// Flat row storage: row `i` is `data[i*arity .. (i+1)*arity]`.
+    data: Vec<Value>,
+    /// Row hash -> indices of rows with that hash (collision chain).
+    index: FxHashMap<u64, Vec<u32>>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    ///
+    /// # Panics
+    /// Panics if `arity == 0`; nullary relations are represented at the
+    /// query level (the empty residual query has `T_∅ = 1` by convention).
+    pub fn new(arity: usize) -> Self {
+        assert!(arity > 0, "Relation arity must be at least 1");
+        Relation {
+            arity,
+            data: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// Creates an empty relation with pre-reserved capacity for `rows` rows.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        assert!(arity > 0, "Relation arity must be at least 1");
+        Relation {
+            arity,
+            data: Vec::with_capacity(rows * arity),
+            index: FxHashMap::with_capacity_and_hasher(rows, Default::default()),
+        }
+    }
+
+    /// Builds a relation from an iterator of rows, deduplicating.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `arity`.
+    pub fn from_rows<R, I>(arity: usize, rows: I) -> Self
+    where
+        R: AsRef<[Value]>,
+        I: IntoIterator<Item = R>,
+    {
+        let iter = rows.into_iter();
+        let mut rel = Relation::with_capacity(arity, iter.size_hint().0);
+        for r in iter {
+            rel.insert(r.as_ref());
+        }
+        rel
+    }
+
+    /// The number of attributes per row.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number of (distinct) rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// Whether the relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates over all rows in insertion order (perturbed by removals,
+    /// which use swap-remove).
+    #[inline]
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[Value]> + Clone {
+        self.data.chunks_exact(self.arity)
+    }
+
+    /// Finds the position of `row`, if present.
+    fn position(&self, row: &[Value]) -> Option<usize> {
+        let h = hash_row(row);
+        let bucket = self.index.get(&h)?;
+        bucket
+            .iter()
+            .copied()
+            .map(|i| i as usize)
+            .find(|&i| self.row(i) == row)
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.arity()`.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        self.position(row).is_some()
+    }
+
+    /// Inserts a row; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.arity()`.
+    pub fn insert(&mut self, row: &[Value]) -> bool {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        let h = hash_row(row);
+        if let Some(bucket) = self.index.get(&h) {
+            if bucket
+                .iter()
+                .any(|&i| &self.data[i as usize * self.arity..(i as usize + 1) * self.arity] == row)
+            {
+                return false;
+            }
+        }
+        let pos = self.len() as u32;
+        self.data.extend_from_slice(row);
+        self.index.entry(h).or_default().push(pos);
+        true
+    }
+
+    /// Removes a row; returns `true` if it was present.
+    ///
+    /// Uses swap-remove: the last row moves into the removed slot.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.arity()`.
+    pub fn remove(&mut self, row: &[Value]) -> bool {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        let Some(pos) = self.position(row) else {
+            return false;
+        };
+        let h = hash_row(row);
+        // Unlink `pos` from its bucket.
+        let bucket = self.index.get_mut(&h).expect("bucket exists for found row");
+        bucket.retain(|&i| i as usize != pos);
+        if bucket.is_empty() {
+            self.index.remove(&h);
+        }
+        let last = self.len() - 1;
+        if pos != last {
+            // Move the last row into the hole and retarget its index entry.
+            let (head, tail) = self.data.split_at_mut(last * self.arity);
+            head[pos * self.arity..(pos + 1) * self.arity].copy_from_slice(tail);
+            let moved_hash = hash_row(&self.data[pos * self.arity..(pos + 1) * self.arity]);
+            let moved_bucket = self
+                .index
+                .get_mut(&moved_hash)
+                .expect("bucket exists for moved row");
+            for slot in moved_bucket.iter_mut() {
+                if *slot as usize == last {
+                    *slot = pos as u32;
+                    break;
+                }
+            }
+        }
+        self.data.truncate(last * self.arity);
+        true
+    }
+
+    /// Substitutes `old` by `new` (one tuple-DP "change" step).
+    ///
+    /// Returns `true` if `old` was present (it is removed and `new`
+    /// inserted); `false` leaves the relation untouched.
+    pub fn substitute(&mut self, old: &[Value], new: &[Value]) -> bool {
+        if !self.remove(old) {
+            return false;
+        }
+        self.insert(new);
+        true
+    }
+
+    /// Projects the relation onto the given column positions, deduplicating.
+    ///
+    /// # Panics
+    /// Panics if `cols` is empty or any position is out of range.
+    pub fn project(&self, cols: &[usize]) -> Relation {
+        assert!(!cols.is_empty(), "projection onto zero columns");
+        let mut out = Relation::with_capacity(cols.len(), self.len());
+        let mut buf = vec![Value::default(); cols.len()];
+        for row in self.iter() {
+            for (b, &c) in buf.iter_mut().zip(cols) {
+                *b = row[c];
+            }
+            out.insert(&buf);
+        }
+        out
+    }
+
+    /// Returns all rows as owned vectors (test/debug helper).
+    pub fn to_sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = self.iter().map(|r| r.to_vec()).collect();
+        rows.sort();
+        rows
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation(arity={}, {} rows)", self.arity, self.len())?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.to_sorted_rows())?;
+        }
+        Ok(())
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && self.len() == other.len()
+            && self.iter().all(|r| other.contains(r))
+    }
+}
+
+impl Eq for Relation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vals;
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(&vals![1, 2]));
+        assert!(!r.insert(&vals![1, 2]));
+        assert!(r.insert(&vals![2, 1]));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn contains_and_remove() {
+        let mut r = Relation::new(2);
+        r.insert(&vals![1, 2]);
+        r.insert(&vals![3, 4]);
+        r.insert(&vals![5, 6]);
+        assert!(r.contains(&vals![3, 4]));
+        assert!(r.remove(&vals![3, 4]));
+        assert!(!r.contains(&vals![3, 4]));
+        assert!(!r.remove(&vals![3, 4]));
+        assert_eq!(r.len(), 2);
+        // The swap-removed last row is still reachable.
+        assert!(r.contains(&vals![5, 6]));
+        assert!(r.contains(&vals![1, 2]));
+    }
+
+    #[test]
+    fn remove_last_row() {
+        let mut r = Relation::new(1);
+        r.insert(&vals![1]);
+        r.insert(&vals![2]);
+        assert!(r.remove(&vals![2]));
+        assert!(r.contains(&vals![1]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn substitute_is_remove_plus_insert() {
+        let mut r = Relation::new(2);
+        r.insert(&vals![1, 1]);
+        assert!(r.substitute(&vals![1, 1], &vals![2, 2]));
+        assert!(r.contains(&vals![2, 2]));
+        assert!(!r.contains(&vals![1, 1]));
+        assert!(!r.substitute(&vals![9, 9], &vals![0, 0]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn substitute_to_existing_row_shrinks() {
+        let mut r = Relation::new(1);
+        r.insert(&vals![1]);
+        r.insert(&vals![2]);
+        assert!(r.substitute(&vals![1], &vals![2]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn project_dedups() {
+        let r = Relation::from_rows(2, [vals![1, 9], vals![1, 8], vals![2, 7]]);
+        let p = r.project(&[0]);
+        assert_eq!(p.to_sorted_rows(), vec![vec![Value(1)], vec![Value(2)]]);
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let r = Relation::from_rows(2, [vals![1, 9]]);
+        let p = r.project(&[1, 0]);
+        assert_eq!(p.to_sorted_rows(), vec![vec![Value(9), Value(1)]]);
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let a = Relation::from_rows(2, [vals![1, 2], vals![3, 4]]);
+        let b = Relation::from_rows(2, [vals![3, 4], vals![1, 2]]);
+        assert_eq!(a, b);
+        let c = Relation::from_rows(2, [vals![1, 2]]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert(&vals![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_arity_panics() {
+        let _ = Relation::new(0);
+    }
+
+    mod proptests {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// Operations applied to both the Relation and a BTreeSet model.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Insert(i64, i64),
+            Remove(i64, i64),
+            Substitute(i64, i64, i64, i64),
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0i64..8, 0i64..8).prop_map(|(a, b)| Op::Insert(a, b)),
+                (0i64..8, 0i64..8).prop_map(|(a, b)| Op::Remove(a, b)),
+                (0i64..8, 0i64..8, 0i64..8, 0i64..8)
+                    .prop_map(|(a, b, c, d)| Op::Substitute(a, b, c, d)),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn behaves_like_a_set(ops in proptest::collection::vec(arb_op(), 0..120)) {
+                use std::collections::BTreeSet;
+                let mut model: BTreeSet<(i64, i64)> = BTreeSet::new();
+                let mut rel = Relation::new(2);
+                for op in ops {
+                    match op {
+                        Op::Insert(a, b) => {
+                            prop_assert_eq!(
+                                rel.insert(&[Value(a), Value(b)]),
+                                model.insert((a, b))
+                            );
+                        }
+                        Op::Remove(a, b) => {
+                            prop_assert_eq!(
+                                rel.remove(&[Value(a), Value(b)]),
+                                model.remove(&(a, b))
+                            );
+                        }
+                        Op::Substitute(a, b, c, d) => {
+                            let had = model.remove(&(a, b));
+                            if had {
+                                model.insert((c, d));
+                            }
+                            prop_assert_eq!(
+                                rel.substitute(&[Value(a), Value(b)], &[Value(c), Value(d)]),
+                                had
+                            );
+                        }
+                    }
+                    prop_assert_eq!(rel.len(), model.len());
+                }
+                let got = rel.to_sorted_rows();
+                let want: Vec<Vec<Value>> =
+                    model.into_iter().map(|(a, b)| vec![Value(a), Value(b)]).collect();
+                prop_assert_eq!(got, want);
+            }
+
+            #[test]
+            fn distance_is_a_metric(
+                a in proptest::collection::btree_set((0i64..5, 0i64..5), 0..10),
+                b in proptest::collection::btree_set((0i64..5, 0i64..5), 0..10),
+                c in proptest::collection::btree_set((0i64..5, 0i64..5), 0..10),
+            ) {
+                let mk = |s: &std::collections::BTreeSet<(i64, i64)>| {
+                    Relation::from_rows(2, s.iter().map(|&(x, y)| [Value(x), Value(y)]))
+                };
+                let (ra, rb, rc) = (mk(&a), mk(&b), mk(&c));
+                let d = crate::distance::relation_distance;
+                prop_assert_eq!(d(&ra, &rb), d(&rb, &ra));
+                prop_assert_eq!(d(&ra, &ra), 0);
+                prop_assert!(d(&ra, &rc) <= d(&ra, &rb) + d(&rb, &rc));
+                // Identity of indiscernibles.
+                if d(&ra, &rb) == 0 {
+                    prop_assert_eq!(ra.to_sorted_rows(), rb.to_sorted_rows());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_against_model() {
+        // Deterministic pseudo-random churn cross-checked against a BTreeSet.
+        use std::collections::BTreeSet;
+        let mut model: BTreeSet<Vec<Value>> = BTreeSet::new();
+        let mut r = Relation::new(2);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for step in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = Value((state >> 33) as i64 % 20);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = Value((state >> 33) as i64 % 20);
+            let row = vec![a, b];
+            if step % 3 == 0 {
+                assert_eq!(r.remove(&row), model.remove(&row), "step {step}");
+            } else {
+                assert_eq!(r.insert(&row), model.insert(row.clone()), "step {step}");
+            }
+            assert_eq!(r.len(), model.len(), "step {step}");
+        }
+        let got = r.to_sorted_rows();
+        let want: Vec<Vec<Value>> = model.into_iter().collect();
+        assert_eq!(got, want);
+    }
+}

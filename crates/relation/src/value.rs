@@ -1,0 +1,122 @@
+//! Attribute values.
+//!
+//! The paper works over abstract domains `dom(x)`; all of its concrete
+//! predicates (inequalities `x ≠ y` and comparisons `x < y`, `x ≤ y`,
+//! Section 5.2) assume a totally ordered, effectively integer domain
+//! ("we may without loss of generality assume that the domain ... is Z").
+//! We therefore represent every attribute value as a signed 64-bit integer.
+//! Non-integer source data (strings, labels) is dictionary-encoded via
+//! [`crate::Dictionary`].
+
+use std::fmt;
+
+/// A single attribute value: a point of the (conceptually infinite) domain Z.
+///
+/// `Value` is `Copy`, totally ordered and hashable, which is what the join
+/// and sensitivity machinery needs. Construction is cheap: `Value::from(7)`
+/// or `Value(7)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(pub i64);
+
+impl Value {
+    /// The smallest representable value; used as the `-∞` sentinel when
+    /// building the augmented active domain `Z+(q, I)` of Section 5.2.
+    pub const NEG_INFINITY: Value = Value(i64::MIN);
+    /// The largest representable value; the `+∞` sentinel of Section 5.2.
+    pub const INFINITY: Value = Value(i64::MAX);
+
+    /// Returns the raw integer.
+    #[inline]
+    pub const fn get(self) -> i64 {
+        self.0
+    }
+}
+
+impl From<i64> for Value {
+    #[inline]
+    fn from(v: i64) -> Self {
+        Value(v)
+    }
+}
+
+impl From<i32> for Value {
+    #[inline]
+    fn from(v: i32) -> Self {
+        Value(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    #[inline]
+    fn from(v: u32) -> Self {
+        Value(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    #[inline]
+    fn from(v: usize) -> Self {
+        Value(v as i64)
+    }
+}
+
+impl From<Value> for i64 {
+    #[inline]
+    fn from(v: Value) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Convenience constructor for a row of values: `row![1, 2, 3]` equivalent.
+///
+/// Used pervasively in tests and examples.
+#[macro_export]
+macro_rules! vals {
+    ($($v:expr),* $(,)?) => {
+        [$($crate::value::Value($v as i64)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_conversion() {
+        assert!(Value(-3) < Value(0));
+        assert!(Value(0) < Value(9));
+        assert_eq!(Value::from(7i64).get(), 7);
+        assert_eq!(i64::from(Value(12)), 12);
+        assert_eq!(Value::from(5u32), Value(5));
+    }
+
+    #[test]
+    fn sentinels_bracket_everything() {
+        assert!(Value::NEG_INFINITY < Value(i64::MIN + 1));
+        assert!(Value::INFINITY > Value(i64::MAX - 1));
+    }
+
+    #[test]
+    fn vals_macro_builds_rows() {
+        let r = vals![1, 2, 3];
+        assert_eq!(r, [Value(1), Value(2), Value(3)]);
+    }
+
+    #[test]
+    fn display_matches_inner() {
+        assert_eq!(Value(42).to_string(), "42");
+        assert_eq!(format!("{:?}", Value(-1)), "-1");
+    }
+}

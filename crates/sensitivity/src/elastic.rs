@@ -1,0 +1,268 @@
+//! Elastic sensitivity `ES(·)` (Johnson, Near & Song, VLDB'18), the
+//! baseline the paper compares against in Section 4.4 and Table 1.
+//!
+//! Elastic sensitivity replaces the residual values `T_E` by products of
+//! per-atom *maximum frequencies*: for each private logical atom `j`, the
+//! local sensitivity at distance `k` is bounded by the product, over the
+//! other atoms, of the largest number of tuples agreeing on a join
+//! variable (`mf`), inflated by `k` for private atoms:
+//!
+//! ```text
+//! ĹS_ES⁽ᵏ⁾(I) = Σ_{j∈P_n}  Π_{j'≠j} (mf(j') + k·[j' private])
+//! ES(I)       = max_{k≥0} e^{−βk} ĹS_ES⁽ᵏ⁾(I)
+//! ```
+//!
+//! This matches the paper's Example 3 (`ĹS⁽⁰⁾ = 4(N/2)³` for the path-4
+//! query) and the Table 1 identity `ES(q△) = ES(q3∗)` — the formula sees
+//! only degree information, not the join structure, which is exactly why
+//! Section 4.4 shows `ES` is not even worst-case optimal.
+//!
+//! Like the original system (which predates the predicate-aware and
+//! projection-aware treatments of Sections 5–6), `ES` ignores predicates
+//! and projections.
+
+use crate::error::SensitivityError;
+use dpcq_eval::Evaluator;
+use dpcq_query::{ConjunctiveQuery, Policy, VarId};
+use dpcq_relation::{Database, FxHashMap, Value};
+
+/// Per-atom maximum frequencies, the statistic `mf(x, I_j)` of Section 4.4
+/// maximized over the atom's join variables.
+#[derive(Clone, Debug)]
+pub struct ElasticReport {
+    /// `ES(I)`.
+    pub value: f64,
+    /// The `β` used.
+    pub beta: f64,
+    /// The maximizing `k`.
+    pub argmax_k: usize,
+    /// `mf(j)` for every atom `j`.
+    pub max_frequencies: Vec<u128>,
+    /// `ĹS_ES⁽ᵏ⁾` at `k = 0` (the headline number in Example 3).
+    pub ls_hat0: f64,
+}
+
+/// `ES(I)` for `query` on `db` under `policy` with smoothness `β`.
+pub fn elastic_sensitivity(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    policy: &Policy,
+    beta: f64,
+) -> Result<f64, SensitivityError> {
+    Ok(elastic_sensitivity_report(query, db, policy, beta)?.value)
+}
+
+/// Full-detail variant of [`elastic_sensitivity`].
+pub fn elastic_sensitivity_report(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    policy: &Policy,
+    beta: f64,
+) -> Result<ElasticReport, SensitivityError> {
+    assert!(beta > 0.0, "beta must be positive");
+    let stripped = query.without_predicates().to_full();
+    let ev = Evaluator::new(&stripped, db)?;
+    let n = stripped.num_atoms();
+    let occurrences = stripped.var_occurrences();
+    let mfs: Vec<u128> = (0..n)
+        .map(|j| max_frequency(&ev, &stripped, &occurrences, j))
+        .collect();
+    let private: Vec<bool> = {
+        let pn = policy.private_atoms(&stripped);
+        (0..n).map(|j| pn.contains(&j)).collect()
+    };
+    if !private.iter().any(|&p| p) {
+        return Ok(ElasticReport {
+            value: 0.0,
+            beta,
+            argmax_k: 0,
+            max_frequencies: mfs,
+            ls_hat0: 0.0,
+        });
+    }
+
+    let ls_hat = |k: usize| -> f64 {
+        let mut total = 0.0f64;
+        for j in 0..n {
+            if !private[j] {
+                continue;
+            }
+            let mut prod = 1.0f64;
+            for (j2, &mf) in mfs.iter().enumerate() {
+                if j2 != j {
+                    prod *= mf as f64 + if private[j2] { k as f64 } else { 0.0 };
+                }
+            }
+            total += prod;
+        }
+        total
+    };
+
+    // f(k) = e^{−βk}·Π(mf+k)-sums decays once Σ 1/(mf+k) < β, certainly
+    // for k ≥ n/β.
+    let k_max = ((n as f64 / beta).ceil() as usize) + 1;
+    let (argmax_k, value) = (0..=k_max)
+        .map(|k| (k, (-beta * k as f64).exp() * ls_hat(k)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty range");
+    let ls_hat0 = ls_hat(0);
+    Ok(ElasticReport {
+        value,
+        beta,
+        argmax_k,
+        max_frequencies: mfs,
+        ls_hat0,
+    })
+}
+
+/// `mf(j)`: the maximum, over atom `j`'s join variables (variables shared
+/// with another atom), of the highest frequency of a single value in that
+/// variable's column of the logical instance. Atoms sharing no variable
+/// join as a cross product, so their full size is the multiplier.
+fn max_frequency(
+    ev: &Evaluator<'_>,
+    query: &ConjunctiveQuery,
+    occurrences: &[Vec<usize>],
+    j: usize,
+) -> u128 {
+    let factor = ev.atom_factor(j);
+    let join_vars: Vec<VarId> = factor
+        .vars()
+        .iter()
+        .copied()
+        .filter(|v| occurrences[v.0].iter().any(|&a| a != j))
+        .collect();
+    let _ = query;
+    if join_vars.is_empty() {
+        return factor.len() as u128;
+    }
+    let mut best = 0u128;
+    for v in join_vars {
+        let pos = factor
+            .vars()
+            .iter()
+            .position(|w| *w == v)
+            .expect("join var in factor");
+        let mut counts: FxHashMap<Value, u128> = FxHashMap::default();
+        for (row, _) in factor.iter() {
+            *counts.entry(row[pos]).or_insert(0) += 1;
+        }
+        best = best.max(counts.values().copied().max().unwrap_or(0));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcq_query::parse_query;
+
+    /// The paper's Example 3 instance: a path-4 self-join over
+    /// Edge = {(0,1),…,(0,N/2)} ∪ {(N/2+1, N+1),…,(N, N+1)}.
+    fn example3_db(n: i64) -> Database {
+        let mut db = Database::new();
+        let half = n / 2;
+        for i in 1..=half {
+            db.insert_tuple("Edge", &[Value(0), Value(i)]);
+        }
+        for i in (half + 1)..=n {
+            db.insert_tuple("Edge", &[Value(i), Value(n + 1)]);
+        }
+        db
+    }
+
+    fn path4() -> ConjunctiveQuery {
+        parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x3,x4), Edge(x4,x5)").unwrap()
+    }
+
+    #[test]
+    fn example3_ls_hat0_is_4_halfn_cubed() {
+        let n = 40i64;
+        let db = example3_db(n);
+        let report =
+            elastic_sensitivity_report(&path4(), &db, &Policy::all_private(), 0.1).unwrap();
+        let half = (n / 2) as f64;
+        assert_eq!(report.ls_hat0, 4.0 * half * half * half);
+        assert!(report.value >= report.ls_hat0);
+    }
+
+    #[test]
+    fn triangle_and_star_have_equal_es() {
+        // Table 1 observation: ES(q△) = ES(q3∗) — both reduce to the same
+        // degree statistic.
+        let mut db = Database::new();
+        for e in [[1, 2], [1, 3], [1, 4], [2, 3], [2, 1], [3, 1], [4, 1], [3, 2]] {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        let tri = parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3)").unwrap();
+        let star = parse_query("Q(*) :- Edge(x0,x1), Edge(x0,x2), Edge(x0,x3)").unwrap();
+        let pol = Policy::all_private();
+        let es_tri = elastic_sensitivity(&tri, &db, &pol, 0.1).unwrap();
+        let es_star = elastic_sensitivity(&star, &db, &pol, 0.1).unwrap();
+        assert_eq!(es_tri, es_star);
+    }
+
+    #[test]
+    fn predicates_are_ignored() {
+        let mut db = Database::new();
+        for e in [[1, 2], [1, 3], [2, 3]] {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        let plain = parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3)").unwrap();
+        let with_preds = parse_query(
+            "Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), x1 != x2, x2 != x3, x1 != x3",
+        )
+        .unwrap();
+        let pol = Policy::all_private();
+        assert_eq!(
+            elastic_sensitivity(&plain, &db, &pol, 0.1).unwrap(),
+            elastic_sensitivity(&with_preds, &db, &pol, 0.1).unwrap()
+        );
+    }
+
+    #[test]
+    fn public_atoms_contribute_frequency_but_no_terms() {
+        let q = parse_query("Q(*) :- R(x), S(x)").unwrap();
+        let mut db = Database::new();
+        for v in [1, 2, 3] {
+            db.insert_tuple("R", &[Value(v)]);
+            db.insert_tuple("S", &[Value(v)]);
+        }
+        // All private: ĹS⁽⁰⁾ = mf(S) + mf(R) = 1 + 1 = 2.
+        let both = elastic_sensitivity_report(&q, &db, &Policy::all_private(), 0.1).unwrap();
+        assert_eq!(both.ls_hat0, 2.0);
+        // Only R private: one term.
+        let r_only = elastic_sensitivity_report(&q, &db, &Policy::private(["R"]), 0.1).unwrap();
+        assert_eq!(r_only.ls_hat0, 1.0);
+        // Nothing private: zero.
+        let none =
+            elastic_sensitivity_report(&q, &db, &Policy::private(Vec::<String>::new()), 0.1)
+                .unwrap();
+        assert_eq!(none.value, 0.0);
+    }
+
+    #[test]
+    fn disconnected_atom_multiplies_by_size() {
+        let q = parse_query("Q(*) :- R(x), S(y)").unwrap();
+        let mut db = Database::new();
+        for v in [1, 2, 3, 4] {
+            db.insert_tuple("R", &[Value(v)]);
+        }
+        db.insert_tuple("S", &[Value(9)]);
+        let r = elastic_sensitivity_report(&q, &db, &Policy::all_private(), 0.1).unwrap();
+        // Term for R: |S| = 1; term for S: |R| = 4.
+        assert_eq!(r.ls_hat0, 5.0);
+    }
+
+    #[test]
+    fn es_dominates_ls_hat0_single_relation() {
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let mut db = Database::new();
+        for e in [[1, 2], [2, 3], [2, 4]] {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        let r = elastic_sensitivity_report(&q, &db, &Policy::all_private(), 0.5).unwrap();
+        assert!(r.value >= r.ls_hat0);
+        assert_eq!(r.max_frequencies.len(), 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Errors for sensitivity computation.
+
+use dpcq_eval::EvalError;
+use std::fmt;
+
+/// Errors raised by the sensitivity machinery.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SensitivityError {
+    /// An underlying evaluation error (unknown relation, arity mismatch,
+    /// refused boundary-spanning comparison, size guards).
+    Eval(EvalError),
+    /// The requested exact computation is only defined for self-join-free
+    /// queries (Lemma 3.3).
+    RequiresSelfJoinFree,
+    /// A brute-force computation would exceed its configured budget.
+    BudgetExceeded {
+        /// What was being enumerated.
+        what: &'static str,
+        /// The offending size.
+        size: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SensitivityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensitivityError::Eval(e) => write!(f, "evaluation error: {e}"),
+            SensitivityError::RequiresSelfJoinFree => {
+                write!(f, "exact local sensitivity requires a self-join-free query (Lemma 3.3)")
+            }
+            SensitivityError::BudgetExceeded { what, size, limit } => {
+                write!(f, "brute-force budget exceeded: {what} has size {size} > limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SensitivityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SensitivityError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvalError> for SensitivityError {
+    fn from(e: EvalError) -> Self {
+        SensitivityError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SensitivityError::from(EvalError::UnknownRelation {
+            relation: "R".into(),
+        });
+        assert!(e.to_string().contains('R'));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&SensitivityError::RequiresSelfJoinFree).is_none());
+    }
+}

@@ -1,0 +1,330 @@
+//! Brute-force exact sensitivities over bounded domains.
+//!
+//! The definitions (3)–(6) of the paper quantify over *all* neighboring
+//! instances; for tiny domains they can be evaluated literally, which is
+//! how the polynomial machinery (`ĹS⁽ᵏ⁾`, `RS`) is validated in tests:
+//!
+//! * `LS(I)` — maximize `| |q(I)| − |q(I')| |` over every instance at
+//!   distance 1 (insert / delete / substitute in a private relation, with
+//!   inserted tuples drawn from a finite domain);
+//! * `LS⁽ᵏ⁾(I)` — maximize `LS` over the distance-`k` ball;
+//! * a truncated `SS(I)` — `max_{k≤k_max} e^{−βk} LS⁽ᵏ⁾(I)`, a *lower*
+//!   bound on the true smooth sensitivity (sufficient for the inequality
+//!   `RS ≥ SS_trunc` the tests check).
+//!
+//! Everything here is exponential and guarded by explicit budgets.
+
+use crate::error::SensitivityError;
+use dpcq_eval::Evaluator;
+use dpcq_query::{ConjunctiveQuery, Policy};
+use dpcq_relation::{Database, FxHashSet, Value};
+
+/// Budgets and the insertion domain for brute-force search.
+#[derive(Clone, Debug)]
+pub struct BruteForceConfig {
+    /// Values from which inserted tuples are built.
+    pub domain: Vec<Value>,
+    /// Hard cap on the number of distinct instances visited.
+    pub max_instances: usize,
+}
+
+impl BruteForceConfig {
+    /// A config with the given domain and a 20 000-instance budget.
+    pub fn new(domain: Vec<Value>) -> Self {
+        BruteForceConfig {
+            domain,
+            max_instances: 20_000,
+        }
+    }
+}
+
+fn query_count(query: &ConjunctiveQuery, db: &Database) -> Result<u128, SensitivityError> {
+    Ok(Evaluator::new(query, db)?.count()?)
+}
+
+/// All tuples of the given arity over the config's domain.
+fn all_tuples(domain: &[Value], arity: usize) -> Vec<Vec<Value>> {
+    let mut out: Vec<Vec<Value>> = vec![Vec::new()];
+    for _ in 0..arity {
+        out = out
+            .into_iter()
+            .flat_map(|t| {
+                domain.iter().map(move |&v| {
+                    let mut t2 = t.clone();
+                    t2.push(v);
+                    t2
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+/// The relations of `db` that the policy marks private.
+fn private_relations(db: &Database, policy: &Policy) -> Vec<String> {
+    db.relation_names()
+        .filter(|r| policy.is_private(r))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Every instance at distance exactly ≤ 1 from `db` (excluding `db`
+/// itself): one insertion, deletion, or substitution in a private relation.
+pub fn neighbors(db: &Database, policy: &Policy, domain: &[Value]) -> Vec<Database> {
+    let mut out = Vec::new();
+    for name in private_relations(db, policy) {
+        let rel = db.relation(&name).expect("listed relation");
+        let arity = rel.arity();
+        let candidates = all_tuples(domain, arity);
+        // Deletions.
+        for row in rel.iter() {
+            let mut d2 = db.clone();
+            d2.remove_tuple(&name, row);
+            out.push(d2);
+        }
+        // Insertions.
+        for t in &candidates {
+            if !rel.contains(t) {
+                let mut d2 = db.clone();
+                d2.insert_tuple(&name, t);
+                out.push(d2);
+            }
+        }
+        // Substitutions.
+        for row in rel.iter() {
+            for t in &candidates {
+                if !rel.contains(t) {
+                    let mut d2 = db.clone();
+                    d2.remove_tuple(&name, row);
+                    d2.insert_tuple(&name, t);
+                    out.push(d2);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Canonical fingerprint for deduplicating instances.
+fn fingerprint(db: &Database) -> Vec<(String, Vec<Vec<Value>>)> {
+    db.iter()
+        .map(|(name, rel)| (name.to_string(), rel.to_sorted_rows()))
+        .collect()
+}
+
+/// All distinct instances within distance `k` of `db` (including `db`).
+pub fn instances_within(
+    db: &Database,
+    policy: &Policy,
+    cfg: &BruteForceConfig,
+    k: usize,
+) -> Result<Vec<Database>, SensitivityError> {
+    let mut seen: FxHashSet<Vec<(String, Vec<Vec<Value>>)>> = FxHashSet::default();
+    seen.insert(fingerprint(db));
+    let mut all = vec![db.clone()];
+    let mut frontier = vec![db.clone()];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for inst in &frontier {
+            for nb in neighbors(inst, policy, &cfg.domain) {
+                if seen.insert(fingerprint(&nb)) {
+                    if seen.len() > cfg.max_instances {
+                        return Err(SensitivityError::BudgetExceeded {
+                            what: "instance ball",
+                            size: seen.len(),
+                            limit: cfg.max_instances,
+                        });
+                    }
+                    all.push(nb.clone());
+                    next.push(nb);
+                }
+            }
+        }
+        frontier = next;
+    }
+    Ok(all)
+}
+
+/// Exact `LS(I)` by definition (3).
+pub fn local_sensitivity(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    policy: &Policy,
+    cfg: &BruteForceConfig,
+) -> Result<u128, SensitivityError> {
+    let base = query_count(query, db)?;
+    let mut best = 0u128;
+    for nb in neighbors(db, policy, &cfg.domain) {
+        best = best.max(query_count(query, &nb)?.abs_diff(base));
+    }
+    Ok(best)
+}
+
+/// Exact `LS⁽ᵏ⁾(I)` by definition (4).
+pub fn ls_at_distance(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    policy: &Policy,
+    cfg: &BruteForceConfig,
+    k: usize,
+) -> Result<u128, SensitivityError> {
+    let mut best = 0u128;
+    for inst in instances_within(db, policy, cfg, k)? {
+        best = best.max(local_sensitivity(query, &inst, policy, cfg)?);
+    }
+    Ok(best)
+}
+
+/// `max_{k ≤ k_max} e^{−βk} LS⁽ᵏ⁾(I)` — a lower bound on the true smooth
+/// sensitivity (6) (which maximizes over all `k`).
+pub fn smooth_sensitivity_truncated(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    policy: &Policy,
+    cfg: &BruteForceConfig,
+    beta: f64,
+    k_max: usize,
+) -> Result<f64, SensitivityError> {
+    let mut best = 0.0f64;
+    for k in 0..=k_max {
+        let ls = ls_at_distance(query, db, policy, cfg, k)? as f64;
+        best = best.max((-beta * k as f64).exp() * ls);
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::{local_sensitivity_bound, local_sensitivity_exact};
+    use crate::residual::{residual_sensitivity_report, RsParams};
+    use dpcq_query::parse_query;
+
+    fn dom(k: i64) -> Vec<Value> {
+        (0..k).map(Value).collect()
+    }
+
+    fn tiny_join_db() -> Database {
+        let mut db = Database::new();
+        db.insert_tuple("R", &[Value(0)]);
+        db.insert_tuple("R", &[Value(1)]);
+        for e in [[0, 0], [0, 1], [1, 2]] {
+            db.insert_tuple("S", &[Value(e[0]), Value(e[1])]);
+        }
+        db
+    }
+
+    #[test]
+    fn brute_ls_matches_lemma_3_3_exact() {
+        let q = parse_query("Q(*) :- R(x), S(x, y)").unwrap();
+        let db = tiny_join_db();
+        let pol = Policy::all_private();
+        let cfg = BruteForceConfig::new(dom(3));
+        let brute = local_sensitivity(&q, &db, &pol, &cfg).unwrap();
+        let exact = local_sensitivity_exact(&q, &db, &pol).unwrap();
+        assert_eq!(brute, exact);
+        assert_eq!(brute, 2); // R(0) joins with two S tuples
+    }
+
+    #[test]
+    fn brute_ls_respects_policy() {
+        let q = parse_query("Q(*) :- R(x), S(x, y)").unwrap();
+        let db = tiny_join_db();
+        let cfg = BruteForceConfig::new(dom(3));
+        let s_only = local_sensitivity(&q, &db, &Policy::private(["S"]), &cfg).unwrap();
+        assert_eq!(s_only, 1);
+    }
+
+    #[test]
+    fn theorem_3_5_bound_dominates_brute_ls_with_self_joins() {
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let mut db = Database::new();
+        for e in [[0, 1], [1, 2], [1, 0]] {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        let pol = Policy::all_private();
+        let cfg = BruteForceConfig::new(dom(3));
+        let brute = local_sensitivity(&q, &db, &pol, &cfg).unwrap() as f64;
+        let bound = local_sensitivity_bound(&q, &db, &pol).unwrap();
+        assert!(!bound.exact);
+        assert!(bound.value >= brute, "{} < {brute}", bound.value);
+        assert!(brute >= 1.0);
+    }
+
+    #[test]
+    fn ls_at_distance_is_monotone_in_k() {
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let mut db = Database::new();
+        db.insert_tuple("Edge", &[Value(0), Value(1)]);
+        let pol = Policy::all_private();
+        let cfg = BruteForceConfig::new(dom(2));
+        let l0 = ls_at_distance(&q, &db, &pol, &cfg, 0).unwrap();
+        let l1 = ls_at_distance(&q, &db, &pol, &cfg, 1).unwrap();
+        let l2 = ls_at_distance(&q, &db, &pol, &cfg, 2).unwrap();
+        assert!(l0 <= l1 && l1 <= l2);
+        assert_eq!(l0, local_sensitivity(&q, &db, &pol, &cfg).unwrap());
+    }
+
+    #[test]
+    fn ls_hat_k_upper_bounds_brute_ls_k() {
+        // Lemma 3.6: ĹS⁽ᵏ⁾ ≥ LS⁽ᵏ⁾, on a 2-path self-join over a tiny
+        // domain for k = 0, 1, 2.
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let mut db = Database::new();
+        for e in [[0, 1], [1, 0]] {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        let pol = Policy::all_private();
+        let cfg = BruteForceConfig::new(dom(2));
+        let report = residual_sensitivity_report(&q, &db, &pol, &RsParams::new(0.4)).unwrap();
+        for k in 0..=2usize {
+            let brute = ls_at_distance(&q, &db, &pol, &cfg, k).unwrap() as f64;
+            assert!(
+                report.ls_hat[k] >= brute,
+                "k={k}: hat {} < brute {brute}",
+                report.ls_hat[k]
+            );
+        }
+    }
+
+    #[test]
+    fn rs_dominates_truncated_smooth_sensitivity() {
+        // RS ≥ SS (Lemma: RS uses upper bounds per k), checked against the
+        // truncated brute-force SS.
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let mut db = Database::new();
+        for e in [[0, 1], [1, 2]] {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        let pol = Policy::all_private();
+        let cfg = BruteForceConfig::new(dom(3));
+        let beta = 0.4;
+        let ss_trunc =
+            smooth_sensitivity_truncated(&q, &db, &pol, &cfg, beta, 2).unwrap();
+        let rs = residual_sensitivity_report(&q, &db, &pol, &RsParams::new(beta))
+            .unwrap()
+            .value;
+        assert!(rs >= ss_trunc, "RS {rs} < SS_trunc {ss_trunc}");
+        assert!(ss_trunc > 0.0);
+    }
+
+    #[test]
+    fn budget_guard_fires() {
+        let mut db = Database::new();
+        db.insert_tuple("R", &[Value(0), Value(0)]);
+        let mut cfg = BruteForceConfig::new(dom(3));
+        cfg.max_instances = 5;
+        let err = instances_within(&db, &Policy::all_private(), &cfg, 2).unwrap_err();
+        assert!(matches!(err, SensitivityError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn neighbors_count_structure() {
+        // One unary private relation {0} over domain {0,1}: 1 deletion,
+        // 1 insertion, 1 substitution.
+        let mut db = Database::new();
+        db.insert_tuple("R", &[Value(0)]);
+        let nbs = neighbors(&db, &Policy::all_private(), &dom(2));
+        assert_eq!(nbs.len(), 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! Global sensitivity bounds via the AGM bound (Section 3.3).
+//!
+//! `GS = max_I LS(I)` is unbounded for joins under strict DP, but under
+//! relaxed DP (instance size `N` public) Theorem 3.5 gives
+//!
+//! ```text
+//! GS ≤ max_{i∈P_m} Σ_{E⊆D_i, E≠∅} max_I T_Ē(I)
+//! ```
+//!
+//! and `max_I T_Ē(I)` is at most the AGM bound of the residual query with
+//! its boundary variables fixed (domain size 1): `N^{ρ*}`, where `ρ*` is
+//! the fractional edge cover number of the residual hypergraph restricted
+//! to the non-boundary variables, with each logical atom a separate edge
+//! of size `N`. `ρ*` is computed exactly with the in-tree simplex
+//! ([`crate::simplex`]).
+//!
+//! This module reproduces the paper's Examples 1 and 2:
+//! `GS(q△) = O(N)` and `GS(path-4) = O(N²)`.
+
+use crate::simplex::fractional_edge_cover;
+use dpcq_query::{analysis, ConjunctiveQuery, Policy};
+
+/// The AGM-based global sensitivity bound, in symbolic form.
+#[derive(Clone, Debug)]
+pub struct GsBound {
+    /// Per private group: the list of `(E, ρ*(Ē))` terms.
+    pub terms: Vec<Vec<(Vec<usize>, f64)>>,
+    /// The dominating exponent: `GS = O(N^exponent)`.
+    pub exponent: f64,
+}
+
+impl GsBound {
+    /// Evaluates the bound at instance size `n`:
+    /// `max_i Σ_E n^{ρ*(Ē)}`.
+    pub fn evaluate(&self, n: f64) -> f64 {
+        self.terms
+            .iter()
+            .map(|group| group.iter().map(|(_, rho)| n.powf(*rho)).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The fractional edge cover number `ρ*` of the residual `q_F` after
+/// removing the boundary `∂q_F` (per Section 3.3: boundary domains are set
+/// to 1, which is equivalent to deleting those vertices). Returns 0 for
+/// the empty residual.
+pub fn residual_agm_exponent(query: &ConjunctiveQuery, subset: &[usize]) -> f64 {
+    if subset.is_empty() {
+        return 0.0;
+    }
+    let boundary = query.boundary(subset);
+    let target: Vec<usize> = query
+        .subset_vars(subset)
+        .into_iter()
+        .filter(|v| !boundary.contains(v))
+        .map(|v| v.0)
+        .collect();
+    let edges: Vec<Vec<usize>> = subset
+        .iter()
+        .map(|&i| {
+            query.atoms()[i]
+                .variables()
+                .into_iter()
+                .map(|v| v.0)
+                .collect()
+        })
+        .collect();
+    fractional_edge_cover(&target, &edges)
+        .expect("residual variables are covered by residual atoms")
+}
+
+/// Computes the Section 3.3 GS bound for `query` under `policy`.
+pub fn gs_bound(query: &ConjunctiveQuery, policy: &Policy) -> GsBound {
+    let n = query.num_atoms();
+    let groups = query.self_join_groups();
+    let mut terms = Vec::new();
+    let mut exponent = 0.0f64;
+    for gi in policy.private_groups(query) {
+        let mut group_terms = Vec::new();
+        for e in analysis::nonempty_subsets(&groups[gi].atoms) {
+            let e_bar: Vec<usize> = (0..n).filter(|j| !e.contains(j)).collect();
+            let rho = residual_agm_exponent(query, &e_bar);
+            exponent = exponent.max(rho);
+            group_terms.push((e, rho));
+        }
+        terms.push(group_terms);
+    }
+    GsBound { terms, exponent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcq_query::parse_query;
+
+    #[test]
+    fn example1_triangle_gs_is_linear() {
+        let q = parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3)").unwrap();
+        let b = gs_bound(&q, &Policy::all_private());
+        assert!((b.exponent - 1.0).abs() < 1e-6, "exponent {}", b.exponent);
+        // 3 single-removal terms at N¹ + 3 pair-removal terms at N⁰ + 1
+        // full-removal term at N⁰ → 3N + 4.
+        let v = b.evaluate(100.0);
+        assert!((v - 304.0).abs() < 1e-3, "value {v}");
+    }
+
+    #[test]
+    fn example2_path4_gs_is_quadratic() {
+        let q =
+            parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x3,x4), Edge(x4,x5)").unwrap();
+        let b = gs_bound(&q, &Policy::all_private());
+        assert!((b.exponent - 2.0).abs() < 1e-6, "exponent {}", b.exponent);
+    }
+
+    #[test]
+    fn two_path_gs_is_linear() {
+        let q = parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3)").unwrap();
+        let b = gs_bound(&q, &Policy::all_private());
+        assert!((b.exponent - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_atom_gs_is_constant() {
+        let q = parse_query("Q(*) :- R(x, y)").unwrap();
+        let b = gs_bound(&q, &Policy::all_private());
+        assert_eq!(b.exponent, 0.0);
+        assert_eq!(b.evaluate(1e6), 1.0);
+    }
+
+    #[test]
+    fn public_relations_shrink_the_bound() {
+        // q = R(x) ⋈ S(x, y) with only R private: removing R leaves S with
+        // boundary {x}; free vars {y} covered by S: ρ* = 1.
+        let q = parse_query("Q(*) :- R(x), S(x, y)").unwrap();
+        let b = gs_bound(&q, &Policy::private(["R"]));
+        assert!((b.exponent - 1.0).abs() < 1e-6);
+        assert_eq!(b.terms.len(), 1);
+        assert_eq!(b.terms[0].len(), 1);
+    }
+
+    #[test]
+    fn empty_policy_bound_is_zero_terms() {
+        let q = parse_query("Q(*) :- R(x)").unwrap();
+        let b = gs_bound(&q, &Policy::private(Vec::<String>::new()));
+        assert!(b.terms.is_empty());
+        assert_eq!(b.evaluate(10.0), 0.0);
+    }
+
+    #[test]
+    fn residual_exponent_of_disconnected_pieces_adds() {
+        // Removing the middle atom of R(x)–S(x,y)–T(y) leaves R(x), T(y)
+        // with boundary {x, y}: nothing free → 0. Removing R leaves
+        // S ⋈ T with boundary {x}: free {y} → 1.
+        let q = parse_query("Q(*) :- R(x), S(x, y), T(y)").unwrap();
+        assert_eq!(residual_agm_exponent(&q, &[0, 2]), 0.0);
+        assert_eq!(residual_agm_exponent(&q, &[1, 2]), 1.0);
+        assert_eq!(residual_agm_exponent(&q, &[]), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dpcq-sensitivity — sensitivity measures for conjunctive queries
+//!
+//! The paper's core machinery (Dong & Yi, PODS 2022):
+//!
+//! | Measure | Module | Paper |
+//! |---------|--------|-------|
+//! | Local sensitivity `LS(I)` (exact, self-join-free) | [`local`] | Lemma 3.3 |
+//! | `LS(I)` upper bound with self-joins | [`local`] | Theorem 3.5 |
+//! | Global sensitivity via AGM bounds (+ in-tree simplex) | [`global`], [`simplex`] | Section 3.3 |
+//! | **Residual sensitivity** `RS(I)` | [`residual`] | Eqs. (19)–(21), Lemma 3.10 |
+//! | Smooth sensitivity scaffolding | [`smooth`] | NRS'07 / Section 2.3 |
+//! | Brute-force `LS`, `LS⁽ᵏ⁾`, truncated `SS` | [`exact`] | Definitions (3)–(6) |
+//! | Elastic sensitivity `ES(I)` (the baseline) | [`elastic`] | Section 4.4 |
+//! | Neighborhood lower bounds & optimality certificates | [`lower_bound`] | Lemmas 4.2/4.5, Thm 4.7 |
+//!
+//! Predicates are handled per Section 5 (inequalities exactly via
+//! Corollary 5.1; comparisons through automatic Section 5.2
+//! materialization), and projections per Section 6 — both transparently,
+//! through `dpcq-eval`.
+
+pub mod elastic;
+pub mod error;
+pub mod exact;
+pub mod global;
+pub mod local;
+pub mod lower_bound;
+pub mod prep;
+pub mod residual;
+pub mod simplex;
+pub mod smooth;
+
+pub use elastic::{elastic_sensitivity, elastic_sensitivity_report, ElasticReport};
+pub use error::SensitivityError;
+pub use global::{gs_bound, GsBound};
+pub use local::{local_sensitivity_bound, local_sensitivity_exact, LocalBound};
+pub use lower_bound::{rs_optimality_certificate, OptimalityCertificate};
+pub use residual::{residual_sensitivity, residual_sensitivity_report, RsParams, RsReport};
+pub use smooth::beta_from_epsilon;

@@ -1,0 +1,146 @@
+//! Local sensitivity: the exact characterization for self-join-free CQs
+//! (Lemma 3.3) and the upper bound for CQs with self-joins (Theorem 3.5).
+
+use crate::error::SensitivityError;
+use crate::prep::{compute_t_values, required_subsets, Prepared, DEFAULT_DOMAIN_LIMIT};
+use crate::residual::ls_hat_k;
+use dpcq_eval::Evaluator;
+use dpcq_query::{ConjunctiveQuery, Policy};
+use dpcq_relation::Database;
+use std::collections::BTreeSet;
+
+/// A bound on the local sensitivity `LS(I)`, tagged with exactness.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LocalBound {
+    /// The bound's value.
+    pub value: f64,
+    /// `true` iff the query is self-join-free, in which case Lemma 3.3
+    /// makes the bound exact.
+    pub exact: bool,
+}
+
+/// The Theorem 3.5 bound
+/// `LS(I) ≤ max_{i∈P_m} Σ_{E⊆D_i, E≠∅} T_Ē(I)`,
+/// which coincides with Lemma 3.3's exact
+/// `LS(I) = max_{i∈P_n} T_{[n]−{i}}(I)` when the query has no self-joins
+/// (every `D_i` is then a singleton).
+pub fn local_sensitivity_bound(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    policy: &Policy,
+) -> Result<LocalBound, SensitivityError> {
+    let prep = Prepared::new(query, db, policy, DEFAULT_DOMAIN_LIMIT)?;
+    let q = prep.query();
+    let family = required_subsets(q, &prep.policy);
+    let ev = Evaluator::new(q, prep.db())?;
+    let t = compute_t_values(&ev, &family, 1)?;
+    Ok(LocalBound {
+        value: ls_hat_k(q, &prep.policy, &t, 0),
+        exact: !q.has_self_joins(),
+    })
+}
+
+/// Lemma 3.3's exact local sensitivity for self-join-free CQs:
+/// `LS(I) = max_{i∈P_n} T_{[n]−{i}}(I)`.
+///
+/// Returns [`SensitivityError::RequiresSelfJoinFree`] when the query has a
+/// repeated relation name (use [`local_sensitivity_bound`] instead).
+pub fn local_sensitivity_exact(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    policy: &Policy,
+) -> Result<u128, SensitivityError> {
+    let prep = Prepared::new(query, db, policy, DEFAULT_DOMAIN_LIMIT)?;
+    let q = prep.query();
+    if q.has_self_joins() {
+        return Err(SensitivityError::RequiresSelfJoinFree);
+    }
+    let n = q.num_atoms();
+    let pn = prep.policy.private_atoms(q);
+    let family: BTreeSet<Vec<usize>> = pn
+        .iter()
+        .map(|&i| (0..n).filter(|&j| j != i).collect())
+        .collect();
+    let ev = Evaluator::new(q, prep.db())?;
+    let t = compute_t_values(&ev, &family, 1)?;
+    Ok(family.iter().map(|f| t.get(f)).max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcq_query::parse_query;
+    use dpcq_relation::Value;
+
+    fn star_db() -> Database {
+        // S(x,y): center 1 with fan-out 3, center 2 with fan-out 1.
+        let mut db = Database::new();
+        for v in [1, 2] {
+            db.insert_tuple("R", &[Value(v)]);
+        }
+        for e in [[1, 10], [1, 20], [1, 30], [2, 40]] {
+            db.insert_tuple("S", &[Value(e[0]), Value(e[1])]);
+        }
+        db
+    }
+
+    #[test]
+    fn exact_matches_lemma_3_3() {
+        // q = R(x) ⋈ S(x,y). Changing a tuple of R changes the count by
+        // its fan-out in S (max 3); changing a tuple of S by ≤ 1.
+        let q = parse_query("Q(*) :- R(x), S(x, y)").unwrap();
+        let db = star_db();
+        assert_eq!(
+            local_sensitivity_exact(&q, &db, &Policy::all_private()).unwrap(),
+            3
+        );
+        assert_eq!(
+            local_sensitivity_exact(&q, &db, &Policy::private(["S"])).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn bound_equals_exact_for_self_join_free() {
+        let q = parse_query("Q(*) :- R(x), S(x, y)").unwrap();
+        let db = star_db();
+        let b = local_sensitivity_bound(&q, &db, &Policy::all_private()).unwrap();
+        assert!(b.exact);
+        assert_eq!(b.value, 3.0);
+    }
+
+    #[test]
+    fn self_join_rejected_by_exact() {
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let mut db = Database::new();
+        db.insert_tuple("Edge", &[Value(1), Value(2)]);
+        assert!(matches!(
+            local_sensitivity_exact(&q, &db, &Policy::all_private()),
+            Err(SensitivityError::RequiresSelfJoinFree)
+        ));
+        let b = local_sensitivity_bound(&q, &db, &Policy::all_private()).unwrap();
+        assert!(!b.exact);
+        assert!(b.value >= 1.0);
+    }
+
+    #[test]
+    fn bound_dominates_true_change_on_path_query() {
+        // 2-path query on a small graph: verify Theorem 3.5's bound
+        // dominates the observed |Δ count| for a specific single-tuple
+        // change (inserting the hub-adjacent edge).
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z)").unwrap();
+        let mut db = Database::new();
+        for e in [[1, 2], [2, 3], [2, 4], [2, 5]] {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        let base = Evaluator::new(&q, &db).unwrap().count().unwrap();
+        let bound = local_sensitivity_bound(&q, &db, &Policy::all_private())
+            .unwrap()
+            .value;
+        let mut db2 = db.clone();
+        db2.insert_tuple("Edge", &[Value(5), Value(2)]);
+        let after = Evaluator::new(&q, &db2).unwrap().count().unwrap();
+        let delta = after.abs_diff(base) as f64;
+        assert!(bound >= delta, "bound {bound} < delta {delta}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Neighborhood lower bounds and optimality certificates (Section 4).
+//!
+//! * Lemma 4.2: every ε-DP mechanism has, somewhere in the `r`-ball of `I`,
+//!   error at least `LS⁽ʳ⁻¹⁾(I) / (2√(1+e^ε))`.
+//! * Lemma 4.5: `LS⁽ⁿᴾ⁻¹⁾(I) ≥ T_Ē(I)` for every non-empty `E ⊆ P_n` —
+//!   a *computable* stand-in for the brute-force `LS⁽ᵏ⁾`.
+//! * Theorem 4.7: with `r = max{4, n_P, ⌈(2(n_P−1)/β)·ln(2(n_P−1)/β)⌉}`,
+//!   the smooth sensitivity itself is an `r`-neighborhood lower bound.
+//!
+//! Together these let us attach an empirical **optimality certificate** to
+//! a residual-sensitivity release: the ratio between the mechanism's error
+//! and the neighborhood lower bound, which Theorem 1.1 promises is `O(1)`.
+
+use crate::error::SensitivityError;
+use crate::prep::{compute_t_values, Prepared, DEFAULT_DOMAIN_LIMIT};
+use crate::residual::{residual_sensitivity_report, RsParams};
+use dpcq_eval::Evaluator;
+use dpcq_query::{analysis, ConjunctiveQuery, Policy};
+use dpcq_relation::Database;
+use std::collections::BTreeSet;
+
+/// Lemma 4.2's error floor: `ls_at_r_minus_1 / (2√(1+e^ε))`.
+pub fn neighborhood_error_floor(ls_at_r_minus_1: f64, epsilon: f64) -> f64 {
+    ls_at_r_minus_1 / (2.0 * (1.0 + epsilon.exp()).sqrt())
+}
+
+/// Theorem 4.7's neighborhood radius for a query with `n_p` private
+/// logical atoms and smoothness `β`.
+pub fn theorem_4_7_radius(n_p: usize, beta: f64) -> usize {
+    assert!(beta > 0.0, "beta must be positive");
+    if n_p <= 1 {
+        return 4;
+    }
+    let c = 2.0 * (n_p as f64 - 1.0) / beta;
+    let log_term = if c > 1.0 { (c * c.ln()).ceil() as usize } else { 0 };
+    4usize.max(n_p).max(log_term)
+}
+
+/// Lemma 4.5's computable lower bound on `LS⁽ⁿᴾ⁻¹⁾(I)`:
+/// `max_{∅≠E⊆P_n} T_Ē(I)`.
+pub fn ls_lower_bound_lemma_4_5(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    policy: &Policy,
+) -> Result<u128, SensitivityError> {
+    let prep = Prepared::new(query, db, policy, DEFAULT_DOMAIN_LIMIT)?;
+    let q = prep.query();
+    let n = q.num_atoms();
+    let pn = prep.policy.private_atoms(q);
+    if pn.is_empty() {
+        return Ok(0);
+    }
+    let family: BTreeSet<Vec<usize>> = analysis::nonempty_subsets(&pn)
+        .into_iter()
+        .map(|e| (0..n).filter(|j| !e.contains(j)).collect())
+        .collect();
+    let ev = Evaluator::new(q, prep.db())?;
+    let t = compute_t_values(&ev, &family, 1)?;
+    Ok(family.iter().map(|f| t.get(f)).max().unwrap_or(0))
+}
+
+/// An empirical optimality certificate for the RS-based mechanism on one
+/// instance.
+#[derive(Clone, Debug)]
+pub struct OptimalityCertificate {
+    /// The privacy parameter ε.
+    pub epsilon: f64,
+    /// `β = ε/10`.
+    pub beta: f64,
+    /// Theorem 4.7's neighborhood radius.
+    pub radius: usize,
+    /// The mechanism's error `RS(I)/β` (general-Cauchy noise has unit
+    /// variance).
+    pub mechanism_error: f64,
+    /// The Lemma 4.2 + 4.5 neighborhood error floor.
+    pub error_floor: f64,
+    /// `mechanism_error / error_floor` (`∞` if the floor is 0) — the
+    /// empirical optimality ratio `c`.
+    pub ratio: f64,
+}
+
+/// Computes the certificate: runs RS, the Lemma 4.5 bound, and combines
+/// them per Lemma 4.2.
+pub fn rs_optimality_certificate(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    policy: &Policy,
+    epsilon: f64,
+) -> Result<OptimalityCertificate, SensitivityError> {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let beta = epsilon / 10.0;
+    let rs = residual_sensitivity_report(query, db, policy, &RsParams::new(beta))?;
+    let ls_lb = ls_lower_bound_lemma_4_5(query, db, policy)? as f64;
+    let floor = neighborhood_error_floor(ls_lb, epsilon);
+    let err = rs.value / beta;
+    Ok(OptimalityCertificate {
+        epsilon,
+        beta,
+        radius: theorem_4_7_radius(policy.num_private_atoms(query), beta),
+        mechanism_error: err,
+        error_floor: floor,
+        ratio: if floor > 0.0 { err / floor } else { f64::INFINITY },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcq_query::parse_query;
+    use dpcq_relation::Value;
+
+    fn sym_triangle_plus() -> Database {
+        let mut db = Database::new();
+        for e in [[1, 2], [2, 3], [1, 3], [1, 4], [2, 4]] {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+            db.insert_tuple("Edge", &[Value(e[1]), Value(e[0])]);
+        }
+        db
+    }
+
+    #[test]
+    fn error_floor_formula() {
+        let f = neighborhood_error_floor(10.0, 1.0);
+        let expected = 10.0 / (2.0 * (1.0 + 1f64.exp()).sqrt());
+        assert!((f - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_grows_with_np_and_shrinking_beta() {
+        assert_eq!(theorem_4_7_radius(1, 0.1), 4);
+        let r3 = theorem_4_7_radius(3, 0.1);
+        assert!(r3 >= 40, "r = {r3}"); // 40·ln 40 ≈ 147
+        assert!(theorem_4_7_radius(3, 0.01) > r3);
+        assert!(theorem_4_7_radius(5, 0.1) > r3);
+    }
+
+    #[test]
+    fn lemma_4_5_bound_on_triangle() {
+        // Max over residuals includes the 2-atom residual whose T is the
+        // max boundary-pair multiplicity (= max degree 3 at x1 = x2,
+        // vertex 1 or 2 adjacent to 3 others).
+        let q = parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3)").unwrap();
+        let db = sym_triangle_plus();
+        let lb = ls_lower_bound_lemma_4_5(&q, &db, &Policy::all_private()).unwrap();
+        assert_eq!(lb, 3);
+    }
+
+    #[test]
+    fn lemma_4_5_zero_when_nothing_private() {
+        let q = parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3)").unwrap();
+        let db = sym_triangle_plus();
+        assert_eq!(
+            ls_lower_bound_lemma_4_5(&q, &db, &Policy::private(Vec::<String>::new())).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn certificate_ratio_is_finite_and_bounded_on_triangle() {
+        let q = parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3)").unwrap();
+        let db = sym_triangle_plus();
+        let cert =
+            rs_optimality_certificate(&q, &db, &Policy::all_private(), 1.0).unwrap();
+        assert!(cert.ratio.is_finite());
+        assert!(cert.ratio >= 1.0, "mechanism can't beat the floor");
+        assert!(cert.mechanism_error > 0.0);
+        assert!(cert.error_floor > 0.0);
+        assert_eq!(cert.beta, 0.1);
+    }
+}

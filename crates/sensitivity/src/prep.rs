@@ -1,0 +1,267 @@
+//! Shared preparation for sensitivity computations.
+//!
+//! Two concerns are factored out here:
+//!
+//! 1. **Comparison materialization.** Queries whose comparison predicates
+//!    span residual boundaries are rewritten via Section 5.2
+//!    ([`dpcq_eval::active_domain::materialize_comparisons`]) before any
+//!    `T_E` is computed; the privacy policy is pinned to an explicit list
+//!    so the synthesized public predicate relations stay public.
+//! 2. **The `T` family.** Residual sensitivity needs `T_F(I)` for every
+//!    `F = [n] − E − E'` (Eq. (19)/(20)); these are independent FAQ queries
+//!    and are computed in parallel with scoped threads.
+
+use crate::error::SensitivityError;
+use dpcq_eval::{active_domain, Evaluator};
+use dpcq_query::{ConjunctiveQuery, Policy};
+use dpcq_relation::{Database, FxHashMap};
+use std::collections::BTreeSet;
+
+/// Default cap on `|Z+(q, I)|` for comparison materialization.
+pub const DEFAULT_DOMAIN_LIMIT: usize = 1024;
+
+/// A query/database pair ready for residual evaluation: comparisons
+/// materialized if necessary, policy resolved to an explicit relation list.
+pub struct Prepared<'a> {
+    query_owned: Option<ConjunctiveQuery>,
+    db_owned: Option<Database>,
+    query_ref: &'a ConjunctiveQuery,
+    db_ref: &'a Database,
+    /// The effective policy over the (possibly rewritten) query.
+    pub policy: Policy,
+    /// Whether comparison predicates were materialized.
+    pub materialized: bool,
+}
+
+impl<'a> Prepared<'a> {
+    /// Prepares `query` against `db` under `policy`.
+    pub fn new(
+        query: &'a ConjunctiveQuery,
+        db: &'a Database,
+        policy: &Policy,
+        domain_limit: usize,
+    ) -> Result<Self, SensitivityError> {
+        let has_var_comparisons = query
+            .predicates()
+            .iter()
+            .any(|p| p.is_comparison() && !p.variables().is_empty());
+        if !has_var_comparisons {
+            return Ok(Prepared {
+                query_owned: None,
+                db_owned: None,
+                query_ref: query,
+                db_ref: db,
+                policy: policy.clone(),
+                materialized: false,
+            });
+        }
+        // Pin the policy to the original private relations so the
+        // synthesized `__cmp*` relations are public.
+        let original_private: BTreeSet<String> = query
+            .atoms()
+            .iter()
+            .map(|a| a.relation.clone())
+            .filter(|r| policy.is_private(r))
+            .collect();
+        let (q2, db2, _added) =
+            active_domain::materialize_comparisons(query, db, domain_limit)?;
+        Ok(Prepared {
+            query_owned: Some(q2),
+            db_owned: Some(db2),
+            query_ref: query,
+            db_ref: db,
+            policy: Policy::private(original_private),
+            materialized: true,
+        })
+    }
+
+    /// The effective query (rewritten if materialization happened).
+    pub fn query(&self) -> &ConjunctiveQuery {
+        self.query_owned.as_ref().unwrap_or(self.query_ref)
+    }
+
+    /// The effective database.
+    pub fn db(&self) -> &Database {
+        self.db_owned.as_ref().unwrap_or(self.db_ref)
+    }
+}
+
+/// The values `T_F(I)` for a family of atom subsets, keyed by the sorted
+/// subset.
+#[derive(Clone, Debug, Default)]
+pub struct TValues {
+    map: FxHashMap<Vec<usize>, u128>,
+}
+
+impl TValues {
+    /// Looks up `T_F`; panics if `F` was not in the computed family.
+    pub fn get(&self, subset: &[usize]) -> u128 {
+        *self
+            .map
+            .get(subset)
+            .unwrap_or_else(|| panic!("T value for subset {subset:?} was not computed"))
+    }
+
+    /// Iterates over `(subset, value)` pairs in sorted subset order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<usize>, u128)> {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort();
+        entries.into_iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Number of computed residuals.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// One worker's share of computed `(subset, T_F)` pairs.
+type TChunk = Result<Vec<(Vec<usize>, u128)>, SensitivityError>;
+
+/// Computes `T_F` for every subset in `family` against the evaluator,
+/// fanning out over scoped threads when the family is large enough to
+/// benefit.
+pub fn compute_t_values(
+    ev: &Evaluator<'_>,
+    family: &BTreeSet<Vec<usize>>,
+    threads: usize,
+) -> Result<TValues, SensitivityError> {
+    let subsets: Vec<&Vec<usize>> = family.iter().collect();
+    let threads = threads.clamp(1, subsets.len().max(1));
+    let mut map = FxHashMap::default();
+    if threads <= 1 || subsets.len() < 4 {
+        for s in subsets {
+            map.insert(s.clone(), ev.t_e(s)?);
+        }
+        return Ok(TValues { map });
+    }
+    let chunk = subsets.len().div_ceil(threads);
+    let results: Vec<TChunk> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = subsets
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|s| Ok(((*s).clone(), ev.t_e(s)?)))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("T_E worker panicked"))
+                .collect()
+        });
+    for r in results {
+        for (k, v) in r? {
+            map.insert(k, v);
+        }
+    }
+    Ok(TValues { map })
+}
+
+/// The family of subsets `F = [n] − E − E'` needed by Eqs. (19)/(20):
+/// `E ⊆ D_i` non-empty for a private group `i`, `E' ⊆ P_n − E`.
+pub fn required_subsets(query: &ConjunctiveQuery, policy: &Policy) -> BTreeSet<Vec<usize>> {
+    let n = query.num_atoms();
+    let groups = query.self_join_groups();
+    let pn: Vec<usize> = policy.private_atoms(query);
+    let mut family = BTreeSet::new();
+    for gi in policy.private_groups(query) {
+        for e in dpcq_query::analysis::nonempty_subsets(&groups[gi].atoms) {
+            let rest: Vec<usize> = pn.iter().copied().filter(|j| !e.contains(j)).collect();
+            for e2 in dpcq_query::analysis::subsets(&rest) {
+                let f: Vec<usize> = (0..n)
+                    .filter(|j| !e.contains(j) && !e2.contains(j))
+                    .collect();
+                family.insert(f);
+            }
+        }
+    }
+    family
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcq_query::parse_query;
+    use dpcq_relation::Value;
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new();
+        for e in [[1, 2], [2, 3], [1, 3]] {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        db
+    }
+
+    #[test]
+    fn prepared_borrows_without_comparisons() {
+        let q = parse_query("Q(*) :- Edge(x, y), x != y").unwrap();
+        let db = tiny_db();
+        let p = Prepared::new(&q, &db, &Policy::all_private(), 64).unwrap();
+        assert!(!p.materialized);
+        assert_eq!(p.query(), &q);
+    }
+
+    #[test]
+    fn prepared_materializes_and_pins_policy() {
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z), x < z").unwrap();
+        let db = tiny_db();
+        let p = Prepared::new(&q, &db, &Policy::all_private(), 64).unwrap();
+        assert!(p.materialized);
+        assert!(p.query().num_atoms() > q.num_atoms());
+        assert!(p.policy.is_private("Edge"));
+        assert!(!p.policy.is_private("__cmp0"));
+    }
+
+    #[test]
+    fn required_subsets_triangle() {
+        // Triangle with one private group D = {0,1,2}: E over 7 non-empty
+        // subsets, E' ⊆ P_n − E; residuals are all proper subsets of atoms
+        // (including ∅).
+        let q = parse_query("Q(*) :- Edge(a,b), Edge(b,c), Edge(a,c)").unwrap();
+        let fam = required_subsets(&q, &Policy::all_private());
+        // All subsets of {0,1,2} except the full set.
+        assert_eq!(fam.len(), 7);
+        assert!(fam.contains(&vec![]));
+        assert!(fam.contains(&vec![0, 1]));
+        assert!(!fam.contains(&vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn required_subsets_respects_public_relations() {
+        let q = parse_query("Q(*) :- R(x, y), Pub(y)").unwrap();
+        let fam = required_subsets(&q, &Policy::private(["R"]));
+        // Only E = {0} possible; E' ⊆ ∅: residual = {1}.
+        assert_eq!(fam.len(), 1);
+        assert!(fam.contains(&vec![1]));
+    }
+
+    #[test]
+    fn t_values_computed_in_parallel_match_serial() {
+        let q = parse_query("Q(*) :- Edge(a,b), Edge(b,c), Edge(a,c)").unwrap();
+        let db = tiny_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        let fam = required_subsets(&q, &Policy::all_private());
+        let serial = compute_t_values(&ev, &fam, 1).unwrap();
+        let parallel = compute_t_values(&ev, &fam, 4).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (k, v) in serial.iter() {
+            assert_eq!(parallel.get(k), v);
+        }
+    }
+
+    #[test]
+    fn empty_policy_gives_empty_family() {
+        let q = parse_query("Q(*) :- Edge(x, y)").unwrap();
+        let fam = required_subsets(&q, &Policy::private(Vec::<String>::new()));
+        assert!(fam.is_empty());
+    }
+}

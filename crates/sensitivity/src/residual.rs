@@ -1,0 +1,464 @@
+//! Residual sensitivity `RS(·)` — the paper's main construction
+//! (Section 3, Eqs. (19), (20), (21)).
+//!
+//! For a full CQ `q` (predicates handled per Section 5, projections per
+//! Section 6) and instance `I`:
+//!
+//! ```text
+//! ŤE,s(I)   = Σ_{E'⊆E} T_{E−E'}(I) · Π_{j∈E'} s_j                    (20)
+//! ĹS⁽ᵏ⁾(I)  = max_{s∈S_k} max_{i∈P_m} Σ_{E⊆D_i, E≠∅} Ť_{Ē,s}(I)      (19)
+//! RS(I)     = max_{k≥0} e^{−βk} · ĹS⁽ᵏ⁾(I)                           (21)
+//! ```
+//!
+//! where `S_k` is the set of valid distance vectors at total distance `k`
+//! (all logical copies of one physical relation move together, public
+//! relations don't move), and Lemma 3.10 bounds the `k` range by
+//! `k̂ = m_P / (1 − e^{−β / maxᵢ nᵢ})`.
+//!
+//! `ĹS⁽ᵏ⁾` is smooth (Theorem 3.9) and upper-bounds `LS⁽ᵏ⁾`
+//! (Lemma 3.6), so calibrating general-Cauchy noise to `RS(I)/β` is
+//! ε-DP (NRS'07 wiring, see `dpcq-noise`), and `RS` is at most a constant
+//! factor above smooth sensitivity (Lemma 4.8) — hence
+//! `O(1)`-neighborhood optimal (Theorem 1.1).
+
+use crate::error::SensitivityError;
+use crate::prep::{compute_t_values, required_subsets, Prepared, TValues, DEFAULT_DOMAIN_LIMIT};
+use dpcq_eval::Evaluator;
+use dpcq_query::{analysis, ConjunctiveQuery, Policy};
+use dpcq_relation::Database;
+
+/// Tuning knobs for residual-sensitivity computation.
+#[derive(Clone, Debug)]
+pub struct RsParams {
+    /// The smoothness parameter `β` (the paper uses `β = ε/10`).
+    pub beta: f64,
+    /// Cap on `|Z+(q, I)|` when comparison predicates must be materialized.
+    pub domain_limit: usize,
+    /// Worker threads for the `T_F` family (1 = serial).
+    pub threads: usize,
+}
+
+impl RsParams {
+    /// Parameters with the given `β` and sensible defaults.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0, "beta must be positive");
+        RsParams {
+            beta,
+            domain_limit: DEFAULT_DOMAIN_LIMIT,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// The paper's calibration `β = ε/10` (Section 2.3).
+    pub fn from_epsilon(epsilon: f64) -> Self {
+        RsParams::new(epsilon / 10.0)
+    }
+}
+
+/// The result of a residual-sensitivity computation, with enough detail to
+/// reproduce the paper's tables.
+#[derive(Clone, Debug)]
+pub struct RsReport {
+    /// `RS(I) = max_k e^{−βk} ĹS⁽ᵏ⁾(I)`.
+    pub value: f64,
+    /// The `β` used.
+    pub beta: f64,
+    /// The Lemma 3.10 cutoff actually used (`k` ranged over `0..=k_max`).
+    pub k_max: usize,
+    /// The maximizing `k`.
+    pub argmax_k: usize,
+    /// `ĹS⁽ᵏ⁾(I)` for `k = 0..=k_max`.
+    pub ls_hat: Vec<f64>,
+    /// The residual values `T_F(I)` (sorted by subset).
+    pub t_values: Vec<(Vec<usize>, u128)>,
+    /// Whether Section 5.2 comparison materialization was applied.
+    pub materialized: bool,
+}
+
+/// Lemma 3.10's cutoff: for `k ≥ k̂ = m_P / (1 − e^{−β/maxᵢ nᵢ})` the
+/// objective `e^{−βk} ĹS⁽ᵏ⁾` is non-increasing.
+pub fn k_cutoff(num_private_groups: usize, max_copies: usize, beta: f64) -> usize {
+    if num_private_groups == 0 {
+        return 0;
+    }
+    let denom = 1.0 - (-beta / max_copies.max(1) as f64).exp();
+    (num_private_groups as f64 / denom).ceil() as usize + 1
+}
+
+/// `RS(I)` for `query` on `db` under `policy`, with `β = params.beta`.
+pub fn residual_sensitivity(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    policy: &Policy,
+    beta: f64,
+) -> Result<f64, SensitivityError> {
+    Ok(residual_sensitivity_report(query, db, policy, &RsParams::new(beta))?.value)
+}
+
+/// Full-detail variant of [`residual_sensitivity`].
+pub fn residual_sensitivity_report(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    policy: &Policy,
+    params: &RsParams,
+) -> Result<RsReport, SensitivityError> {
+    let prep = Prepared::new(query, db, policy, params.domain_limit)?;
+    let q = prep.query();
+    let d = prep.db();
+    let pol = &prep.policy;
+
+    let family = required_subsets(q, pol);
+    let ev = Evaluator::new(q, d)?;
+    let t = compute_t_values(&ev, &family, params.threads)?;
+
+    let m_p = pol.num_private_groups(q);
+    let k_max = k_cutoff(m_p, q.max_copies(), params.beta);
+    let mut ls_hat = Vec::with_capacity(k_max + 1);
+    for k in 0..=k_max {
+        ls_hat.push(ls_hat_k(q, pol, &t, k));
+    }
+    let (argmax_k, value) = ls_hat
+        .iter()
+        .enumerate()
+        .map(|(k, &v)| (k, (-params.beta * k as f64).exp() * v))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((0, 0.0));
+    Ok(RsReport {
+        value,
+        beta: params.beta,
+        k_max,
+        argmax_k,
+        ls_hat,
+        t_values: t.iter().map(|(k, v)| (k.clone(), v)).collect(),
+        materialized: prep.materialized,
+    })
+}
+
+/// `RS(I)` from a precomputed `T` family (the `T_F` values are
+/// β-independent, so parameter sweeps — e.g. the paper's Figure 3 — can
+/// compute them once and re-evaluate the decayed maximum per β).
+/// Returns `(value, argmax_k)`.
+pub fn residual_from_t(
+    query: &ConjunctiveQuery,
+    policy: &Policy,
+    t: &TValues,
+    beta: f64,
+) -> (f64, usize) {
+    assert!(beta > 0.0, "beta must be positive");
+    let m_p = policy.num_private_groups(query);
+    let k_max = k_cutoff(m_p, query.max_copies(), beta);
+    (0..=k_max)
+        .map(|k| ((-beta * k as f64).exp() * ls_hat_k(query, policy, t, k), k))
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap_or((0.0, 0))
+}
+
+/// `ĹS⁽ᵏ⁾(I)` per Eq. (19), maximizing over the valid distance vectors
+/// `S_k` (compositions of `k` over the private physical relations, with
+/// every logical copy of a relation sharing its group's distance).
+///
+/// Exposed for tests and for the Theorem 3.9 smoothness property checks.
+pub fn ls_hat_k(query: &ConjunctiveQuery, policy: &Policy, t: &TValues, k: usize) -> f64 {
+    let n = query.num_atoms();
+    let groups = query.self_join_groups();
+    let pm = policy.private_groups(query);
+    if pm.is_empty() {
+        return 0.0;
+    }
+    let pn = policy.private_atoms(query);
+    // Atom -> index into `pm` (its private slot), if private.
+    let mut private_slot: Vec<Option<usize>> = vec![None; n];
+    for (slot, &gi) in pm.iter().enumerate() {
+        for &a in &groups[gi].atoms {
+            private_slot[a] = Some(slot);
+        }
+    }
+
+    let mut best = 0.0f64;
+    for comp in compositions(k, pm.len()) {
+        let s_of_atom = |j: usize| -> usize { private_slot[j].map(|sl| comp[sl]).unwrap_or(0) };
+        for &gi in &pm {
+            let mut total = 0.0f64;
+            for e in analysis::nonempty_subsets(&groups[gi].atoms) {
+                let e_bar: Vec<usize> = (0..n).filter(|j| !e.contains(j)).collect();
+                total += t_hat(&e_bar, &pn, &s_of_atom, t);
+            }
+            best = best.max(total);
+        }
+    }
+    best
+}
+
+/// `Ť_{E,s}(I)` per Eq. (20): `Σ_{E'⊆E} T_{E−E'} Π_{j∈E'} s_j`.
+/// Terms with any `s_j = 0` in `E'` vanish, so `E'` effectively ranges over
+/// the private atoms of `E` with positive distance.
+fn t_hat(e: &[usize], pn: &[usize], s_of_atom: &dyn Fn(usize) -> usize, t: &TValues) -> f64 {
+    let movable: Vec<usize> = e
+        .iter()
+        .copied()
+        .filter(|j| pn.contains(j) && s_of_atom(*j) > 0)
+        .collect();
+    let mut total = 0.0f64;
+    for e_prime in analysis::subsets(&movable) {
+        let rest: Vec<usize> = e.iter().copied().filter(|j| !e_prime.contains(j)).collect();
+        let mut term = t.get(&rest) as f64;
+        for &j in &e_prime {
+            term *= s_of_atom(j) as f64;
+        }
+        total += term;
+    }
+    total
+}
+
+/// All vectors of `parts` non-negative integers summing to `total`.
+fn compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
+    if parts == 0 {
+        return if total == 0 { vec![Vec::new()] } else { Vec::new() };
+    }
+    if parts == 1 {
+        return vec![vec![total]];
+    }
+    let mut out = Vec::new();
+    for first in 0..=total {
+        for mut tail in compositions(total - first, parts - 1) {
+            tail.insert(0, first);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcq_query::parse_query;
+    use dpcq_relation::Value;
+
+    fn edge_db(edges: &[[i64; 2]]) -> Database {
+        let mut db = Database::new();
+        db.create_relation("Edge", 2);
+        for e in edges {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+        }
+        db
+    }
+
+    /// Symmetric (both directions) edge database.
+    fn sym_db(edges: &[[i64; 2]]) -> Database {
+        let mut db = Database::new();
+        db.create_relation("Edge", 2);
+        for e in edges {
+            db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
+            db.insert_tuple("Edge", &[Value(e[1]), Value(e[0])]);
+        }
+        db
+    }
+
+    fn triangle_query() -> ConjunctiveQuery {
+        parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3)").unwrap()
+    }
+
+    #[test]
+    fn compositions_enumerate_correctly() {
+        assert_eq!(compositions(0, 0), vec![Vec::<usize>::new()]);
+        assert!(compositions(2, 0).is_empty());
+        assert_eq!(compositions(3, 1), vec![vec![3]]);
+        let c = compositions(2, 2);
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(&vec![0, 2]) && c.contains(&vec![1, 1]) && c.contains(&vec![2, 0]));
+        assert_eq!(compositions(4, 3).len(), 15); // C(4+2,2)
+    }
+
+    #[test]
+    fn k_cutoff_matches_lemma_3_10() {
+        // m_P = 1, max copies 3, β = 0.1: 1/(1−e^{−1/30}) ≈ 30.5 → 32.
+        let k = k_cutoff(1, 3, 0.1);
+        assert!((31..=33).contains(&k), "k = {k}");
+        assert_eq!(k_cutoff(0, 3, 0.1), 0);
+    }
+
+    #[test]
+    fn rs_zero_when_nothing_private() {
+        let q = triangle_query();
+        let db = sym_db(&[[1, 2], [2, 3], [1, 3]]);
+        let rs =
+            residual_sensitivity(&q, &db, &Policy::private(Vec::<String>::new()), 0.1).unwrap();
+        assert_eq!(rs, 0.0);
+    }
+
+    #[test]
+    fn triangle_ls_hat0_formula() {
+        // ĹS⁽⁰⁾ for the triangle CQ = Σ over E ⊆ D non-empty of T_Ē:
+        // 3 two-atom residuals (T = max over boundary pairs (x1,x2) —
+        // including x1 = x2 since the query carries no inequality
+        // predicates — of common out-neighbors; on one symmetric triangle
+        // the max is the degree 2, at x1 = x2)
+        // + 3 single-atom residuals (boundary = both vars → T = 1)
+        // + T_∅ = 1.
+        let q = triangle_query();
+        let db = sym_db(&[[1, 2], [2, 3], [1, 3]]);
+        let report =
+            residual_sensitivity_report(&q, &db, &Policy::all_private(), &RsParams::new(0.1))
+                .unwrap();
+        assert_eq!(report.ls_hat[0], 3.0 * 2.0 + 3.0 * 1.0 + 1.0);
+    }
+
+    #[test]
+    fn triangle_ls_hat_k_growth_is_quadratic() {
+        // Ť for a 2-atom residual Ē with s on all atoms: T_Ē + 2s·T_single
+        // + s²·T_∅ where T_single = 1: quadratic in s = k (single group).
+        let q = triangle_query();
+        let db = sym_db(&[[1, 2], [2, 3], [1, 3]]);
+        let report =
+            residual_sensitivity_report(&q, &db, &Policy::all_private(), &RsParams::new(0.1))
+                .unwrap();
+        let a = 2.0; // max boundary-pair multiplicity (attained at x1 = x2)
+        for k in 0..=report.k_max {
+            let s = k as f64;
+            let expected = 3.0 * (a + 2.0 * s + s * s) + 3.0 * (1.0 + s) + 1.0;
+            assert!(
+                (report.ls_hat[k] - expected).abs() < 1e-9,
+                "k={k}: {} vs {expected}",
+                report.ls_hat[k]
+            );
+        }
+    }
+
+    #[test]
+    fn rs_at_least_ls_hat0() {
+        let q = triangle_query();
+        let db = sym_db(&[[1, 2], [2, 3], [1, 3], [2, 4], [3, 4]]);
+        let report =
+            residual_sensitivity_report(&q, &db, &Policy::all_private(), &RsParams::new(0.1))
+                .unwrap();
+        assert!(report.value >= report.ls_hat[0]);
+        assert_eq!(report.value, {
+            // independently recompute the max
+            let mut best = 0.0f64;
+            for (k, &v) in report.ls_hat.iter().enumerate() {
+                best = best.max((-0.1 * k as f64).exp() * v);
+            }
+            best
+        });
+    }
+
+    #[test]
+    fn self_join_free_two_relations() {
+        // q = R(x) ⋈ S(x, y): per-atom singleton groups.
+        // ĹS⁽⁰⁾ = max(T_{[n]−{0}}, T_{[n]−{1}}):
+        //   remove R: residual S(x,y), boundary {x}: max x-frequency in S;
+        //   remove S: residual R(x), boundary {x}: T = 1.
+        let q = parse_query("Q(*) :- R(x), S(x, y)").unwrap();
+        let mut db = Database::new();
+        for v in [1, 2] {
+            db.insert_tuple("R", &[Value(v)]);
+        }
+        for e in [[1, 10], [1, 20], [1, 30], [2, 40]] {
+            db.insert_tuple("S", &[Value(e[0]), Value(e[1])]);
+        }
+        let report =
+            residual_sensitivity_report(&q, &db, &Policy::all_private(), &RsParams::new(0.1))
+                .unwrap();
+        assert_eq!(report.ls_hat[0], 3.0);
+        // With only R private, the removable atom is R alone.
+        let r_only =
+            residual_sensitivity_report(&q, &db, &Policy::private(["R"]), &RsParams::new(0.1))
+                .unwrap();
+        assert_eq!(r_only.ls_hat[0], 3.0);
+        // With only S private: bound is T_{R residual} = 1 at k = 0.
+        let s_only =
+            residual_sensitivity_report(&q, &db, &Policy::private(["S"]), &RsParams::new(0.1))
+                .unwrap();
+        assert_eq!(s_only.ls_hat[0], 1.0);
+    }
+
+    #[test]
+    fn two_private_groups_use_joint_compositions() {
+        // q = R(x) ⋈ S(x): ĹS⁽ᵏ⁾ must consider distributing k between R
+        // and S. ĹS⁽¹⁾ with the change in R: Ť_{ {S},s } = T_{S} + s_S·1;
+        // putting the distance on S (s_S = 1) gives T_S + 1.
+        let q = parse_query("Q(*) :- R(x), S(x)").unwrap();
+        let mut db = Database::new();
+        for v in [1, 2, 3] {
+            db.insert_tuple("R", &[Value(v)]);
+            db.insert_tuple("S", &[Value(v)]);
+        }
+        let report =
+            residual_sensitivity_report(&q, &db, &Policy::all_private(), &RsParams::new(0.1))
+                .unwrap();
+        // T_{ {S} } (boundary {x}) = 1; T_{ {R} } = 1; T_∅ = 1.
+        assert_eq!(report.ls_hat[0], 1.0);
+        assert_eq!(report.ls_hat[1], 2.0); // 1 + 1·1
+        assert_eq!(report.ls_hat[2], 3.0); // 1 + 2·1
+    }
+
+    #[test]
+    fn residual_from_t_matches_report_across_betas() {
+        let q = triangle_query();
+        let db = sym_db(&[[1, 2], [2, 3], [1, 3], [2, 4], [3, 4], [1, 4]]);
+        let pol = Policy::all_private();
+        for beta in [0.05, 0.1, 0.3, 0.7, 1.0] {
+            let report =
+                residual_sensitivity_report(&q, &db, &pol, &RsParams::new(beta)).unwrap();
+            let fam = crate::prep::required_subsets(&q, &pol);
+            let ev = dpcq_eval::Evaluator::new(&q, &db).unwrap();
+            let t = crate::prep::compute_t_values(&ev, &fam, 1).unwrap();
+            let (v, k) = residual_from_t(&q, &pol, &t, beta);
+            assert_eq!(v, report.value, "beta {beta}");
+            assert_eq!(k, report.argmax_k, "beta {beta}");
+        }
+    }
+
+    #[test]
+    fn rs_decreases_in_beta() {
+        let q = triangle_query();
+        let db = sym_db(&[[1, 2], [2, 3], [1, 3], [2, 4]]);
+        let pol = Policy::all_private();
+        let mut prev = f64::INFINITY;
+        for beta in [0.05, 0.1, 0.2, 0.5, 1.0] {
+            let v = residual_sensitivity(&q, &db, &pol, beta).unwrap();
+            assert!(v <= prev + 1e-9, "RS must shrink as beta grows");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn report_t_values_cover_family() {
+        let q = triangle_query();
+        let db = sym_db(&[[1, 2], [2, 3], [1, 3]]);
+        let report =
+            residual_sensitivity_report(&q, &db, &Policy::all_private(), &RsParams::new(0.1))
+                .unwrap();
+        assert_eq!(report.t_values.len(), 7);
+        assert!(!report.materialized);
+    }
+
+    #[test]
+    fn comparison_predicates_are_materialized_transparently() {
+        let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z), x < z").unwrap();
+        let db = edge_db(&[[1, 2], [2, 3], [3, 4]]);
+        let report =
+            residual_sensitivity_report(&q, &db, &Policy::all_private(), &RsParams::new(0.1))
+                .unwrap();
+        assert!(report.materialized);
+        assert!(report.value >= 1.0);
+    }
+
+    #[test]
+    fn rs_monotone_under_instance_growth_at_k0() {
+        // Lemma 3.1: T_E monotone under adding tuples, hence ĹS⁽⁰⁾ too.
+        let q = triangle_query();
+        let small = sym_db(&[[1, 2], [2, 3], [1, 3]]);
+        let big = sym_db(&[[1, 2], [2, 3], [1, 3], [1, 4], [2, 4], [3, 4]]);
+        let pol = Policy::all_private();
+        let p = RsParams::new(0.1);
+        let rs_small = residual_sensitivity_report(&q, &small, &pol, &p).unwrap();
+        let rs_big = residual_sensitivity_report(&q, &big, &pol, &p).unwrap();
+        for k in 0..=rs_small.k_max.min(rs_big.k_max) {
+            assert!(rs_small.ls_hat[k] <= rs_big.ls_hat[k]);
+        }
+        assert!(rs_small.value <= rs_big.value);
+    }
+}

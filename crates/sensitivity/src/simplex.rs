@@ -1,0 +1,277 @@
+//! A small dense simplex solver.
+//!
+//! Section 3.3 bounds the global sensitivity of a CQ through the AGM bound
+//! [AGM'08], whose exponent is the optimal value of the *fractional edge
+//! cover* LP. Mature LP crates are outside this project's dependency
+//! budget, so we solve the (tiny: one variable per atom, one constraint
+//! per query variable) programs with a textbook primal simplex on the
+//! dual packing form, which has a trivially feasible origin.
+//!
+//! Solves `max cᵀx  s.t.  Ax ≤ b, x ≥ 0` with `b ≥ 0`, using Bland's rule
+//! (no cycling). By LP duality the optimum equals the covering LP's
+//! optimum, which is all the AGM machinery needs.
+
+/// Outcome of a solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpResult {
+    /// Optimal value and an optimal solution vector.
+    Optimal {
+        /// The optimal objective value.
+        value: f64,
+        /// An optimal assignment of the structural variables.
+        solution: Vec<f64>,
+    },
+    /// The objective is unbounded above.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Maximizes `cᵀx` subject to `Ax ≤ b`, `x ≥ 0`.
+///
+/// # Panics
+/// Panics if any `b[i] < 0` (the origin must be feasible; the covering
+/// problems this crate generates always satisfy this) or if dimensions
+/// are inconsistent.
+pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpResult {
+    let m = a.len();
+    let n = c.len();
+    assert_eq!(b.len(), m, "b must have one entry per constraint");
+    for (i, row) in a.iter().enumerate() {
+        assert_eq!(row.len(), n, "A row {i} has wrong width");
+        assert!(b[i] >= -EPS, "origin must be feasible (b >= 0)");
+    }
+
+    // Tableau: rows = m constraints + objective; columns = n structural
+    // vars + m slacks + rhs.
+    let width = n + m + 1;
+    let mut t = vec![vec![0.0f64; width]; m + 1];
+    for i in 0..m {
+        t[i][..n].copy_from_slice(&a[i]);
+        t[i][n + i] = 1.0;
+        t[i][width - 1] = b[i].max(0.0);
+    }
+    for j in 0..n {
+        t[m][j] = -c[j]; // maximize: drive negatives out of the objective row
+    }
+    // basis[i] = column basic in row i.
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    loop {
+        // Bland: entering column = lowest index with negative reduced cost.
+        let Some(pivot_col) = (0..n + m).find(|&j| t[m][j] < -EPS) else {
+            // Optimal.
+            let mut solution = vec![0.0; n];
+            for (i, &bj) in basis.iter().enumerate() {
+                if bj < n {
+                    solution[bj] = t[i][width - 1];
+                }
+            }
+            return LpResult::Optimal {
+                value: t[m][width - 1],
+                solution,
+            };
+        };
+        // Ratio test; Bland tie-break on basis index.
+        let mut pivot_row: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][pivot_col] > EPS {
+                let ratio = t[i][width - 1] / t[i][pivot_col];
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && pivot_row.is_some_and(|r| basis[i] < basis[r]));
+                if better {
+                    best_ratio = ratio;
+                    pivot_row = Some(i);
+                }
+            }
+        }
+        let Some(r) = pivot_row else {
+            return LpResult::Unbounded;
+        };
+        // Pivot.
+        let pv = t[r][pivot_col];
+        for x in t[r].iter_mut() {
+            *x /= pv;
+        }
+        for i in 0..=m {
+            if i != r {
+                let f = t[i][pivot_col];
+                if f.abs() > EPS {
+                    let pivot_row_copy = t[r].clone();
+                    for (x, p) in t[i].iter_mut().zip(&pivot_row_copy) {
+                        *x -= f * p;
+                    }
+                }
+            }
+        }
+        basis[r] = pivot_col;
+    }
+}
+
+/// The fractional edge cover number `ρ*` of a hypergraph: the minimum of
+/// `Σ_e w_e` over `w ≥ 0` with `Σ_{e ∋ v} w_e ≥ 1` for every vertex.
+///
+/// Computed through the LP dual (fractional vertex packing
+/// `max Σ y_v  s.t.  Σ_{v∈e} y_v ≤ 1`), whose origin is feasible.
+/// Vertices covered by **no** edge make the cover infeasible; this returns
+/// `None` in that case.
+///
+/// `edges[e]` lists the vertex ids of edge `e`; `vertices` is the set to
+/// cover (vertex ids are arbitrary `usize`s).
+pub fn fractional_edge_cover(vertices: &[usize], edges: &[Vec<usize>]) -> Option<f64> {
+    if vertices.is_empty() {
+        return Some(0.0);
+    }
+    for v in vertices {
+        if !edges.iter().any(|e| e.contains(v)) {
+            return None;
+        }
+    }
+    // Dual: one variable per vertex, one ≤1 constraint per edge; but edges
+    // not touching any target vertex yield the vacuous constraint 0 ≤ 1 —
+    // drop them.
+    let n = vertices.len();
+    let c = vec![1.0; n];
+    let mut a = Vec::new();
+    for e in edges {
+        let row: Vec<f64> = vertices
+            .iter()
+            .map(|v| if e.contains(v) { 1.0 } else { 0.0 })
+            .collect();
+        if row.iter().any(|&x| x > 0.0) {
+            a.push(row);
+        }
+    }
+    let b = vec![1.0; a.len()];
+    match maximize(&c, &a, &b) {
+        LpResult::Optimal { value, .. } => Some(value),
+        // The packing LP is bounded iff every target vertex lies in some
+        // edge, which was checked above.
+        LpResult::Unbounded => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_lp() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36 at (2, 6).
+        let r = maximize(
+            &[3.0, 5.0],
+            &[
+                vec![1.0, 0.0],
+                vec![0.0, 2.0],
+                vec![3.0, 2.0],
+            ],
+            &[4.0, 12.0, 18.0],
+        );
+        let LpResult::Optimal { value, solution } = r else {
+            panic!("expected optimal")
+        };
+        assert_close(value, 36.0);
+        assert_close(solution[0], 2.0);
+        assert_close(solution[1], 6.0);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with no constraints binding it.
+        let r = maximize(&[1.0, 0.0], &[vec![0.0, 1.0]], &[1.0]);
+        assert_eq!(r, LpResult::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_zero_rhs_terminates() {
+        // Degenerate pivot exercise (Bland's rule must not cycle).
+        let r = maximize(
+            &[1.0, 1.0],
+            &[vec![1.0, -1.0], vec![-1.0, 1.0], vec![1.0, 1.0]],
+            &[0.0, 0.0, 2.0],
+        );
+        let LpResult::Optimal { value, .. } = r else {
+            panic!("expected optimal")
+        };
+        assert_close(value, 2.0);
+    }
+
+    #[test]
+    fn cover_single_edge() {
+        // One edge covering both vertices: ρ* = 1.
+        assert_close(
+            fractional_edge_cover(&[0, 1], &[vec![0, 1]]).unwrap(),
+            1.0,
+        );
+    }
+
+    #[test]
+    fn cover_triangle_is_three_halves() {
+        // The classic: triangle hypergraph ρ* = 3/2.
+        let edges = vec![vec![0, 1], vec![1, 2], vec![0, 2]];
+        assert_close(fractional_edge_cover(&[0, 1, 2], &edges).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn cover_path_query() {
+        // Path of 3 edges over 4 vertices: ρ* = 2 (ends must each be
+        // covered; middle edge free).
+        let edges = vec![vec![0, 1], vec![1, 2], vec![2, 3]];
+        assert_close(fractional_edge_cover(&[0, 1, 2, 3], &edges).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn cover_star() {
+        // Star: center + 3 leaves, edges {c,l1},{c,l2},{c,l3}: ρ* = 3
+        // minus savings? Each leaf needs its own edge at weight 1 → 3.
+        let edges = vec![vec![0, 1], vec![0, 2], vec![0, 3]];
+        assert_close(fractional_edge_cover(&[0, 1, 2, 3], &edges).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn cover_subset_of_vertices_only() {
+        // Covering only the middle vertices of a path is cheap.
+        let edges = vec![vec![0, 1], vec![1, 2], vec![2, 3]];
+        assert_close(fractional_edge_cover(&[1, 2], &edges).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn cover_empty_vertex_set_is_zero() {
+        assert_close(fractional_edge_cover(&[], &[vec![0]]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn uncoverable_vertex_gives_none() {
+        assert_eq!(fractional_edge_cover(&[5], &[vec![0, 1]]), None);
+    }
+
+    #[test]
+    fn cover_4_cycle() {
+        // C4: ρ* = 2 (two opposite edges).
+        let edges = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]];
+        assert_close(fractional_edge_cover(&[0, 1, 2, 3], &edges).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn cover_5_cycle_fractional() {
+        // Odd cycle C5: ρ* = 5/2 · (1/... ) — each edge weight 1/2 covers
+        // each vertex exactly once: total 5/2.
+        let edges = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 4],
+            vec![4, 0],
+        ];
+        assert_close(
+            fractional_edge_cover(&[0, 1, 2, 3, 4], &edges).unwrap(),
+            2.5,
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Smooth sensitivity scaffolding (NRS'07; Section 2.3 of the paper).
+//!
+//! The smooth sensitivity of `q` at `I` is
+//! `SS_β(I) = max_{k≥0} e^{−βk} LS⁽ᵏ⁾(I)` (Eq. (6)); any smooth upper
+//! bound `max_k e^{−βk} ĹS⁽ᵏ⁾(I)` with the smoothness property (8) may be
+//! used in its place (Eq. (7)) — residual sensitivity is one such
+//! instantiation. This module provides the shared "decayed maximum"
+//! computation used by closed forms (`dpcq-graph`), the brute-force
+//! reference ([`crate::exact`]), and residual sensitivity itself.
+
+/// `max_{0 ≤ k ≤ k_max} e^{−βk}·ls(k)`, returning `(value, argmax k)`.
+///
+/// Callers must choose `k_max` so that the tail is dominated; for
+/// polynomially growing `ls` this is a constant multiple of `1/β` (compare
+/// Lemma 3.10 and Theorem 4.7 in the paper). See
+/// [`k_max_for_polynomial_growth`].
+pub fn truncated_smooth<F: FnMut(usize) -> f64>(
+    beta: f64,
+    k_max: usize,
+    mut ls: F,
+) -> (f64, usize) {
+    assert!(beta > 0.0, "beta must be positive");
+    let mut best = f64::NEG_INFINITY;
+    let mut arg = 0;
+    for k in 0..=k_max {
+        let v = (-beta * k as f64).exp() * ls(k);
+        if v > best {
+            best = v;
+            arg = k;
+        }
+    }
+    (best.max(0.0), arg)
+}
+
+/// A sound truncation point for `ls(k) ≤ c·(A + k)^degree`: beyond
+/// `k* = degree/β`, the map `k ↦ e^{−βk}(A + k)^degree` is decreasing in
+/// `k` (its log-derivative `−β + degree/(A+k)` is negative once
+/// `k > degree/β − A ≥ k*`… conservatively we return
+/// `⌈degree/β⌉ + 1`).
+pub fn k_max_for_polynomial_growth(beta: f64, degree: u32) -> usize {
+    assert!(beta > 0.0, "beta must be positive");
+    (degree as f64 / beta).ceil() as usize + 1
+}
+
+/// The paper's calibration of the smoothness parameter: `β = ε/10`
+/// (Section 2.3; the constant 10 is arbitrary but fixed throughout the
+/// experiments).
+pub fn beta_from_epsilon(epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    epsilon / 10.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_ls_peaks_at_zero() {
+        let (v, k) = truncated_smooth(0.1, 50, |_| 7.0);
+        assert_eq!(v, 7.0);
+        assert_eq!(k, 0);
+    }
+
+    #[test]
+    fn linear_ls_peaks_in_the_interior() {
+        // e^{−βk}(A + k) with A = 1, β = 0.1 peaks near k = 1/β − A = 9.
+        let (v, k) = truncated_smooth(0.1, 100, |k| 1.0 + k as f64);
+        assert!((8..=10).contains(&k), "argmax {k}");
+        assert!((v - 4.0657).abs() < 1e-3, "value {v}"); // e^{−0.9}·10
+    }
+
+    #[test]
+    fn k_max_bound_is_safe_for_linear_growth() {
+        // Compare truncation at the analytic bound vs a much larger one.
+        let beta = 0.07;
+        let k_small = k_max_for_polynomial_growth(beta, 1);
+        let (v1, _) = truncated_smooth(beta, k_small, |k| 3.0 + k as f64);
+        let (v2, _) = truncated_smooth(beta, k_small * 20, |k| 3.0 + k as f64);
+        assert!((v1 - v2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_max_bound_is_safe_for_quadratic_growth() {
+        let beta = 0.1;
+        let k_small = k_max_for_polynomial_growth(beta, 2);
+        let f = |k: usize| 5.0 + (k as f64) + (k as f64) * (k as f64);
+        let (v1, _) = truncated_smooth(beta, k_small, f);
+        let (v2, _) = truncated_smooth(beta, k_small * 20, f);
+        assert!((v1 - v2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_epsilon_wiring() {
+        assert_eq!(beta_from_epsilon(1.0), 0.1);
+    }
+
+    #[test]
+    fn zero_ls_gives_zero() {
+        let (v, _) = truncated_smooth(0.5, 10, |_| 0.0);
+        assert_eq!(v, 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Non-full CQs (Section 6): projection-aware residual sensitivity vs the
+//! prior practice of ignoring the projection.
+//!
+//! The query counts *distinct sources* that can reach something in two
+//! hops: `π_{x}(Edge(x,y) ⋈ Edge(y,z))`. A hub multiplies the full join
+//! count enormously, but contributes just one projected result — the
+//! projection-aware `T_E` of Section 6 sees this, the full-CQ sensitivity
+//! does not. The example also sketches why optimality is provably lost
+//! (Theorem 6.4): the paper's `π_{x1}(R1(x1,x2) ⋈ R2(x2))` construction.
+//!
+//! ```text
+//! cargo run --example projections
+//! ```
+
+use dpcq::prelude::*;
+use dpcq::sensitivity::{residual_sensitivity, SensitivityError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), SensitivityError> {
+    // A hub graph: vertex 0 points at 40 spokes, each spoke points at 0.
+    let mut db = Database::new();
+    for s in 1..=40 {
+        db.insert_tuple("Edge", &[Value(0), Value(s)]);
+        db.insert_tuple("Edge", &[Value(s), Value(0)]);
+    }
+
+    let beta = 0.1; // ε = 1
+    let projected = parse_query("Q(x) :- Edge(x, y), Edge(y, z)").unwrap();
+    let full = projected.to_full();
+    let policy = Policy::all_private();
+
+    let rs_projected = residual_sensitivity(&projected, &db, &policy, beta)?;
+    let rs_full = residual_sensitivity(&full, &db, &policy, beta)?;
+
+    let engine = PrivateEngine::new(db, policy, 1.0);
+    let count_projected = engine.true_count(&projected)?;
+    let count_full = engine.true_count(&full)?;
+
+    println!("full join:  |q(I)| = {count_full},  RS = {rs_full:.1}");
+    println!("projected:  |q(I)| = {count_projected},  RS = {rs_projected:.1}");
+    println!(
+        "projection-aware noise is {:.1}x smaller on this instance",
+        rs_full / rs_projected
+    );
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let release = engine.release(&projected, &mut rng)?;
+    println!("released distinct-source count: {release}");
+
+    // Theorem 6.4's instance family: π_{x1}(R1(x1,x2) ⋈ R2(x2)) with
+    // I1 = [N/r] × [r]: the projected count N/r is constant across the
+    // whole r-neighborhood, so every mechanism faces a c·r² ≥ N trade-off.
+    let (n, r) = (64i64, 4i64);
+    let mut db_lb = Database::new();
+    for a in 0..n / r {
+        for b in 0..r {
+            db_lb.insert_tuple("R1", &[Value(a), Value(b)]);
+        }
+    }
+    for b in 0..r {
+        db_lb.insert_tuple("R2", &[Value(b)]);
+    }
+    let q_lb = parse_query("Q(x1) :- R1(x1, x2), R2(x2)").unwrap();
+    let pol_lb = Policy::private(["R1"]);
+    let rs_lb = residual_sensitivity(&q_lb, &db_lb, &pol_lb, beta)?;
+    println!(
+        "\nTheorem 6.4 instance (N = {n}, r = {r}): projected count = {}, RS = {rs_lb:.1}",
+        n / r
+    );
+    println!("(no o(sqrt(N))-neighborhood-optimal mechanism exists here — Section 6)");
+    Ok(())
+}

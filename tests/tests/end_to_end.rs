@@ -1,0 +1,165 @@
+//! End-to-end engine behaviour: releases, policies, predicates,
+//! projections, and the paper-identity spot checks.
+
+use dpcq::graph::{datasets::DatasetProfile, patterns, queries};
+use dpcq::prelude::*;
+use dpcq::sensitivity::{elastic_sensitivity, residual_sensitivity};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn benchmark_db() -> (dpcq::graph::Graph, Database) {
+    let g = DatasetProfile::by_name("GrQc").unwrap().scaled(24.0).generate();
+    let db = g.to_database();
+    (g, db)
+}
+
+#[test]
+fn cq_counts_equal_scaled_pattern_counts() {
+    let (g, db) = benchmark_db();
+    let engine = PrivateEngine::new(db, Policy::all_private(), 1.0);
+    assert_eq!(
+        engine.true_count(&queries::triangle()).unwrap(),
+        (patterns::cq_factor::TRIANGLE * patterns::count_triangles(&g)) as u128
+    );
+    assert_eq!(
+        engine.true_count(&queries::three_star()).unwrap(),
+        (patterns::cq_factor::THREE_STAR * patterns::count_three_stars(&g)) as u128
+    );
+    assert_eq!(
+        engine.true_count(&queries::rectangle()).unwrap(),
+        (patterns::cq_factor::RECTANGLE * patterns::count_rectangles(&g)) as u128
+    );
+    assert_eq!(
+        engine.true_count(&queries::two_triangle()).unwrap(),
+        (patterns::cq_factor::TWO_TRIANGLE * patterns::count_two_triangles(&g)) as u128
+    );
+}
+
+#[test]
+fn elastic_equal_for_triangle_and_star() {
+    // Table 1 identity: ES sees only degree statistics.
+    let (_, db) = benchmark_db();
+    let policy = Policy::all_private();
+    let es_tri = elastic_sensitivity(&queries::triangle(), &db, &policy, 0.1).unwrap();
+    let es_star = elastic_sensitivity(&queries::three_star(), &db, &policy, 0.1).unwrap();
+    assert_eq!(es_tri, es_star);
+}
+
+#[test]
+fn residual_beats_elastic_on_structured_queries() {
+    let (_, db) = benchmark_db();
+    let policy = Policy::all_private();
+    for q in [queries::triangle(), queries::rectangle(), queries::two_triangle()] {
+        let rs = residual_sensitivity(&q, &db, &policy, 0.1).unwrap();
+        let es = elastic_sensitivity(&q, &db, &policy, 0.1).unwrap();
+        assert!(rs < es, "RS {rs} !< ES {es} for {q}");
+    }
+}
+
+#[test]
+fn releases_have_expected_shape() {
+    let (_, db) = benchmark_db();
+    let engine = PrivateEngine::new(db, Policy::all_private(), 1.0);
+    let q = queries::triangle();
+    let truth = engine.true_count(&q).unwrap() as f64;
+    let mut rng = StdRng::seed_from_u64(99);
+    // Median of noisy releases tracks the true count (unbiased, symmetric
+    // noise); 200 samples keep the test fast but stable with this seed.
+    let mut samples: Vec<f64> = (0..200)
+        .map(|_| engine.release(&q, &mut rng).unwrap().value)
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let scale = engine.release(&q, &mut rng).unwrap().scale;
+    assert!(
+        (median - truth).abs() < scale,
+        "median {median} too far from truth {truth} (scale {scale})"
+    );
+}
+
+#[test]
+fn public_relations_reduce_noise() {
+    // A two-relation query where marking one relation public must shrink
+    // (or at least not grow) the sensitivity.
+    let mut db = Database::new();
+    for i in 0..20 {
+        db.insert_tuple("R", &[Value(i % 5)]);
+        db.insert_tuple("S", &[Value(i % 5), Value(i)]);
+    }
+    let q = parse_query("Q(*) :- R(x), S(x, y)").unwrap();
+    let all = residual_sensitivity(&q, &db, &Policy::all_private(), 0.1).unwrap();
+    let r_only = residual_sensitivity(&q, &db, &Policy::private(["R"]), 0.1).unwrap();
+    let s_only = residual_sensitivity(&q, &db, &Policy::private(["S"]), 0.1).unwrap();
+    assert!(r_only <= all);
+    assert!(s_only <= all);
+}
+
+#[test]
+fn comparison_predicates_roundtrip_through_engine() {
+    let mut db = Database::new();
+    for (a, b) in [(1, 5), (2, 4), (3, 3), (4, 2), (5, 1), (2, 9)] {
+        db.insert_tuple("R", &[Value(a), Value(b)]);
+    }
+    let q = parse_query("Q(*) :- R(x, y), R(y, z), x < z").unwrap();
+    let engine = PrivateEngine::new(db, Policy::all_private(), 1.0);
+    let truth = engine.true_count(&q).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let release = engine.release(&q, &mut rng).unwrap();
+    assert!(release.sensitivity > 0.0);
+    assert!(release.value.is_finite());
+    // Truth must match a hand-computed count: joins (x,y),(y,z) with x<z.
+    let mut manual = 0u128;
+    let rows = [(1, 5), (2, 4), (3, 3), (4, 2), (5, 1), (2, 9)];
+    for (x, y) in rows {
+        for (y2, z) in rows {
+            if y == y2 && x < z {
+                manual += 1;
+            }
+        }
+    }
+    assert_eq!(truth, manual);
+}
+
+#[test]
+fn projection_reduces_sensitivity_on_hub_instance() {
+    // Section 6: projection-aware RS sees through hubs.
+    let mut db = Database::new();
+    for s in 1..=30 {
+        db.insert_tuple("Edge", &[Value(0), Value(s)]);
+        db.insert_tuple("Edge", &[Value(s), Value(0)]);
+    }
+    let projected = parse_query("Q(x) :- Edge(x, y), Edge(y, z)").unwrap();
+    let full = projected.to_full();
+    let policy = Policy::all_private();
+    let rs_proj = residual_sensitivity(&projected, &db, &policy, 0.1).unwrap();
+    let rs_full = residual_sensitivity(&full, &db, &policy, 0.1).unwrap();
+    assert!(
+        rs_proj < rs_full,
+        "projected RS {rs_proj} should beat full RS {rs_full}"
+    );
+}
+
+#[test]
+fn deterministic_generation_and_release() {
+    let (_, db) = benchmark_db();
+    let e1 = PrivateEngine::new(db.clone(), Policy::all_private(), 1.0);
+    let e2 = PrivateEngine::new(db, Policy::all_private(), 1.0);
+    let q = queries::triangle();
+    let a = e1.release(&q, &mut StdRng::seed_from_u64(1)).unwrap();
+    let b = e2.release(&q, &mut StdRng::seed_from_u64(1)).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn epsilon_scales_noise_inversely() {
+    let (_, db) = benchmark_db();
+    let q = queries::triangle();
+    let lo = PrivateEngine::new(db.clone(), Policy::all_private(), 0.5);
+    let hi = PrivateEngine::new(db, Policy::all_private(), 2.0);
+    let mut rng = StdRng::seed_from_u64(2);
+    let r_lo = lo.release(&q, &mut rng).unwrap();
+    let r_hi = hi.release(&q, &mut rng).unwrap();
+    // Smaller ε ⇒ larger expected error. (Sensitivities differ too since
+    // β = ε/10 enters RS, but monotonicity must hold.)
+    assert!(r_lo.expected_error > r_hi.expected_error);
+}

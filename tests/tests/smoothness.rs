@@ -1,0 +1,155 @@
+//! Property tests for the privacy-critical inequalities of Section 3:
+//!
+//! * **Theorem 3.9 (smoothness)**: for neighbors `d(I, I') = 1`,
+//!   `ĹS⁽ᵏ⁾(I) ≤ ĹS⁽ᵏ⁺¹⁾(I')` — this is exactly property (8), the
+//!   condition under which `RS` may calibrate noise while preserving ε-DP.
+//!   Its corollary `RS(I) ≤ e^β·RS(I')` is checked too.
+//! * **Lemma 3.1 (monotonicity)**: `T_E` does not decrease when tuples are
+//!   added.
+//! * **Lemma 3.2 (Lipschitz bound)**: `|T_E(I) − T_E(I')|` is bounded by
+//!   the residual expansion formula.
+
+use dpcq::eval::Evaluator;
+use dpcq::query::analysis::subsets;
+use dpcq::query::{parse_query, ConjunctiveQuery, Policy};
+use dpcq::relation::{Database, Value};
+use dpcq::sensitivity::prep::{compute_t_values, required_subsets};
+use dpcq::sensitivity::residual::{ls_hat_k, residual_from_t};
+use proptest::prelude::*;
+
+fn queries() -> Vec<ConjunctiveQuery> {
+    [
+        "Q(*) :- E(x, y), E(y, z)",
+        "Q(*) :- E(x1,x2), E(x2,x3), E(x1,x3), x1 != x2, x2 != x3, x1 != x3",
+        "Q(*) :- E(x, y), U(y)",
+        "Q(*) :- E(x, y), E(y, z), x != z",
+    ]
+    .iter()
+    .map(|s| parse_query(s).unwrap())
+    .collect()
+}
+
+fn arb_db() -> impl Strategy<Value = Database> {
+    (
+        prop::collection::vec((0i64..5, 0i64..5), 0..12),
+        prop::collection::vec(0i64..5, 0..5),
+    )
+        .prop_map(|(edges, unary)| {
+            let mut db = Database::new();
+            db.create_relation("E", 2);
+            db.create_relation("U", 1);
+            for (a, b) in edges {
+                db.insert_tuple("E", &[Value(a), Value(b)]);
+            }
+            for a in unary {
+                db.insert_tuple("U", &[Value(a)]);
+            }
+            db
+        })
+}
+
+/// One tuple-DP edit applied to relation `E` (insert/delete/substitute).
+#[derive(Debug, Clone)]
+enum Edit {
+    Insert(i64, i64),
+    DeleteIdx(usize),
+    Substitute(usize, i64, i64),
+}
+
+fn arb_edit() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        (0i64..5, 0i64..5).prop_map(|(a, b)| Edit::Insert(a, b)),
+        (0usize..32).prop_map(Edit::DeleteIdx),
+        (0usize..32, 0i64..5, 0i64..5).prop_map(|(i, a, b)| Edit::Substitute(i, a, b)),
+    ]
+}
+
+fn apply_edit(db: &Database, edit: &Edit) -> Database {
+    let mut db2 = db.clone();
+    let rel = db.relation("E").expect("E exists");
+    match edit {
+        Edit::Insert(a, b) => {
+            db2.insert_tuple("E", &[Value(*a), Value(*b)]);
+        }
+        Edit::DeleteIdx(i) => {
+            if !rel.is_empty() {
+                let row = rel.row(i % rel.len()).to_vec();
+                db2.remove_tuple("E", &row);
+            }
+        }
+        Edit::Substitute(i, a, b) => {
+            if !rel.is_empty() {
+                let row = rel.row(i % rel.len()).to_vec();
+                db2.remove_tuple("E", &row);
+                db2.insert_tuple("E", &[Value(*a), Value(*b)]);
+            }
+        }
+    }
+    db2
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn theorem_3_9_smoothness(db in arb_db(), edit in arb_edit(), qi in 0usize..4) {
+        let q = &queries()[qi];
+        let db2 = apply_edit(&db, &edit);
+        prop_assume!(dpcq::relation::database_distance(&db, &db2) <= 1);
+        let policy = Policy::all_private();
+        let family = required_subsets(q, &policy);
+        let t1 = compute_t_values(&Evaluator::new(q, &db).unwrap(), &family, 1).unwrap();
+        let t2 = compute_t_values(&Evaluator::new(q, &db2).unwrap(), &family, 1).unwrap();
+        for k in 0..6usize {
+            let a = ls_hat_k(q, &policy, &t1, k);
+            let b = ls_hat_k(q, &policy, &t2, k + 1);
+            prop_assert!(
+                a <= b + 1e-9,
+                "smoothness violated at k={}: {} > {} (query {})", k, a, b, q
+            );
+        }
+        // Corollary: RS(I) ≤ e^β RS(I').
+        let beta = 0.4;
+        let (rs1, _) = residual_from_t(q, &policy, &t1, beta);
+        let (rs2, _) = residual_from_t(q, &policy, &t2, beta);
+        prop_assert!(rs1 <= beta.exp() * rs2 + 1e-9, "RS smoothness: {} > e^b * {}", rs1, rs2);
+        prop_assert!(rs2 <= beta.exp() * rs1 + 1e-9, "RS smoothness (sym): {} > e^b * {}", rs2, rs1);
+    }
+
+    #[test]
+    fn lemma_3_1_monotonicity(db in arb_db(), extra in (0i64..5, 0i64..5), qi in 0usize..4) {
+        let q = &queries()[qi];
+        let mut db2 = db.clone();
+        db2.insert_tuple("E", &[Value(extra.0), Value(extra.1)]);
+        let ev1 = Evaluator::new(q, &db).unwrap();
+        let ev2 = Evaluator::new(q, &db2).unwrap();
+        let n = q.num_atoms();
+        for subset in subsets(&(0..n).collect::<Vec<_>>()) {
+            prop_assert!(
+                ev1.t_e(&subset).unwrap() <= ev2.t_e(&subset).unwrap(),
+                "T_E must be monotone under insertion (subset {:?})", subset
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_3_2_lipschitz(db in arb_db(), edit in arb_edit()) {
+        // For a single-tuple change, |T_E(I) − T_E(I')| ≤
+        // Σ_{∅≠E'⊆E∩moved} T_{E−E'}(I) (distance products are 1).
+        let q = parse_query("Q(*) :- E(x, y), E(y, z)").unwrap();
+        let db2 = apply_edit(&db, &edit);
+        prop_assume!(dpcq::relation::database_distance(&db, &db2) <= 1);
+        let ev1 = Evaluator::new(&q, &db).unwrap();
+        let ev2 = Evaluator::new(&q, &db2).unwrap();
+        // E = {0,1} (whole query): bound by T_{1} + T_{0} + T_∅ of I.
+        let t_full_1 = ev1.t_e(&[0, 1]).unwrap() as i128;
+        let t_full_2 = ev2.t_e(&[0, 1]).unwrap() as i128;
+        let bound = ev1.t_e(&[1]).unwrap() as i128
+            + ev1.t_e(&[0]).unwrap() as i128
+            + 1;
+        prop_assert!(
+            (t_full_1 - t_full_2).abs() <= bound,
+            "Lipschitz: |{} - {}| > {}", t_full_1, t_full_2, bound
+        );
+    }
+}
