@@ -13,7 +13,9 @@ fn random_factor(vars: &[usize], rows: usize, domain: i64, rng: &mut StdRng) -> 
         vars.iter().map(|&v| VarId(v)).collect(),
         (0..rows).map(|_| {
             (
-                vars.iter().map(|_| Value(rng.gen_range(0..domain))).collect(),
+                vars.iter()
+                    .map(|_| Value(rng.gen_range(0..domain)))
+                    .collect(),
                 1u128,
             )
         }),

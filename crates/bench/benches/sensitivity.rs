@@ -7,7 +7,10 @@ use dpcq::query::Policy;
 use dpcq::sensitivity::{elastic_sensitivity, residual_sensitivity_report, RsParams};
 
 fn bench_sensitivities(c: &mut Criterion) {
-    let g = DatasetProfile::by_name("GrQc").unwrap().scaled(24.0).generate();
+    let g = DatasetProfile::by_name("GrQc")
+        .unwrap()
+        .scaled(24.0)
+        .generate();
     let db = g.to_database();
     let policy = Policy::all_private();
     let params = RsParams::new(0.1);
@@ -18,7 +21,11 @@ fn bench_sensitivities(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(800));
     for (name, q) in queries::all() {
         group.bench_function(format!("rs_{name}"), |b| {
-            b.iter(|| residual_sensitivity_report(&q, &db, &policy, &params).unwrap().value)
+            b.iter(|| {
+                residual_sensitivity_report(&q, &db, &policy, &params)
+                    .unwrap()
+                    .value
+            })
         });
         group.bench_function(format!("es_{name}"), |b| {
             b.iter(|| elastic_sensitivity(&q, &db, &policy, 0.1).unwrap())

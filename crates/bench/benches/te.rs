@@ -6,7 +6,10 @@ use dpcq::eval::Evaluator;
 use dpcq::graph::{datasets::DatasetProfile, queries};
 
 fn bench_te(c: &mut Criterion) {
-    let g = DatasetProfile::by_name("GrQc").unwrap().scaled(16.0).generate();
+    let g = DatasetProfile::by_name("GrQc")
+        .unwrap()
+        .scaled(16.0)
+        .generate();
     let db = g.to_database();
 
     let tri = queries::triangle();

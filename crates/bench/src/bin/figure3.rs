@@ -32,7 +32,10 @@ fn main() {
     } else {
         args.get_f64("scale", 8.0)
     };
-    let out_dir = args.get("out").unwrap_or("bench_results/figure3").to_string();
+    let out_dir = args
+        .get("out")
+        .unwrap_or("bench_results/figure3")
+        .to_string();
     std::fs::create_dir_all(&out_dir).expect("create output dir");
 
     let dataset_filter: Option<Vec<String>> = args
@@ -103,7 +106,10 @@ fn main() {
             std::fs::write(&path, csv.to_csv()).expect("write csv");
 
             // ASCII log-scale summary (one line per measure).
-            println!("  {qname}  (|q(I)| = {}) -> {path}", fmt_count(result as f64));
+            println!(
+                "  {qname}  (|q(I)| = {}) -> {path}",
+                fmt_count(result as f64)
+            );
             let line = |label: &str, vals: Vec<Option<f64>>| {
                 let cells: Vec<String> = vals
                     .iter()

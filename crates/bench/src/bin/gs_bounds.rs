@@ -12,7 +12,9 @@
 //! ```
 
 use dpcq::prelude::*;
-use dpcq::sensitivity::{elastic_sensitivity_report, gs_bound, residual_sensitivity_report, RsParams};
+use dpcq::sensitivity::{
+    elastic_sensitivity_report, gs_bound, residual_sensitivity_report, RsParams,
+};
 use dpcq_bench::{fmt_count, Table};
 
 fn path4_query() -> dpcq::query::ConjunctiveQuery {
@@ -65,14 +67,19 @@ fn main() {
     let beta = 0.1;
     let q = path4_query();
     let mut t = Table::new(&[
-        "N", "ES LS_hat(0)", "4(N/2)^3", "GS bound (N^2 scale)", "RS", "ES/GS",
+        "N",
+        "ES LS_hat(0)",
+        "4(N/2)^3",
+        "GS bound (N^2 scale)",
+        "RS",
+        "ES/GS",
     ]);
     let mut prev_ratio = 0.0;
     for n in [40i64, 80, 160, 320] {
         let db = example3_db(n);
         let es = elastic_sensitivity_report(&q, &db, &policy, beta).expect("elastic");
-        let rs = residual_sensitivity_report(&q, &db, &policy, &RsParams::new(beta))
-            .expect("residual");
+        let rs =
+            residual_sensitivity_report(&q, &db, &policy, &RsParams::new(beta)).expect("residual");
         let gs = gs_bound(&q, &policy).evaluate(db.total_tuples() as f64);
         let half = (n / 2) as f64;
         assert_eq!(es.ls_hat0, 4.0 * half * half * half, "Example 3 formula");

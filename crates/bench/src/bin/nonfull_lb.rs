@@ -56,18 +56,19 @@ fn main() {
     println!("o(sqrt(N))-neighborhood optimal mechanism.\n");
 
     let mut t = Table::new(&[
-        "N", "r", "count(I)", "count(I')", "c >= N/r^2", "RS(I)", "RS(I')",
+        "N",
+        "r",
+        "count(I)",
+        "count(I')",
+        "c >= N/r^2",
+        "RS(I)",
+        "RS(I')",
     ]);
     for n in [64i64, 256, 1024, 4096] {
         let r = (n as f64).sqrt() as i64 / 2;
         let flat = instance_flat(n, r);
         let zero = instance_zero(n, r);
-        let count = |db: &Database| {
-            dpcq::eval::Evaluator::new(&q, db)
-                .unwrap()
-                .count()
-                .unwrap()
-        };
+        let count = |db: &Database| dpcq::eval::Evaluator::new(&q, db).unwrap().count().unwrap();
         let c_flat = count(&flat);
         let c_zero = count(&zero);
         assert_eq!(c_flat as i64, n / r);
@@ -92,7 +93,10 @@ fn main() {
     // — that is the step of the proof that forces M(I) ≈ N/r.
     let (n, r) = (16i64, 2i64);
     let flat = instance_flat(n, r);
-    let base = dpcq::eval::Evaluator::new(&q, &flat).unwrap().count().unwrap() as i128;
+    let base = dpcq::eval::Evaluator::new(&q, &flat)
+        .unwrap()
+        .count()
+        .unwrap() as i128;
     let domain: Vec<Value> = (-1..=n).map(Value).collect();
     let nbs = dpcq::sensitivity::exact::neighbors(&flat, &policy, &domain);
     let max_dev = nbs
@@ -103,7 +107,10 @@ fn main() {
         })
         .max()
         .unwrap_or(0);
-    assert!(max_dev <= 1, "single edits move the projected count by <= 1");
+    assert!(
+        max_dev <= 1,
+        "single edits move the projected count by <= 1"
+    );
     println!(
         "near-flatness witness (N = {n}, r = {r}): max |count - N/r| over all {} \
          single-edit neighbors = {max_dev}",

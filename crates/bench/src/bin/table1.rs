@@ -67,9 +67,7 @@ fn main() {
         })
         .collect();
 
-    println!(
-        "Table 1 reproduction — scale 1/{scale}, beta = {beta} (epsilon = {epsilon})\n"
-    );
+    println!("Table 1 reproduction — scale 1/{scale}, beta = {beta} (epsilon = {epsilon})\n");
 
     let graphs: Vec<(String, Graph)> = profiles
         .iter()
@@ -90,8 +88,18 @@ fn main() {
 
     let policy = Policy::all_private();
     let mut csv = Table::new(&[
-        "query", "dataset", "result", "ss", "ss_secs", "rs", "rs_secs", "es", "es_secs",
-        "rs_over_ss", "es_over_rs", "opt_ratio",
+        "query",
+        "dataset",
+        "result",
+        "ss",
+        "ss_secs",
+        "rs",
+        "rs_secs",
+        "es",
+        "es_secs",
+        "rs_over_ss",
+        "es_over_rs",
+        "opt_ratio",
     ]);
 
     for (qname, q) in &query_list {
@@ -143,8 +151,9 @@ fn main() {
             headers.push(d);
         }
         let mut t = Table::new(&headers);
-        let datum =
-            |f: &dyn Fn(&Cell) -> String| -> Vec<String> { cells.iter().map(|(_, c)| f(c)).collect() };
+        let datum = |f: &dyn Fn(&Cell) -> String| -> Vec<String> {
+            cells.iter().map(|(_, c)| f(c)).collect()
+        };
         let mut push_row = |label: &str, vals: Vec<String>| {
             let mut row = vec![label.to_string()];
             row.extend(vals);
@@ -166,7 +175,9 @@ fn main() {
         push_row(
             "RS/SS",
             datum(&|c| {
-                c.ss.map_or("-".into(), |(v, _)| format!("{:.2}x", c.rs.0 / v.max(1e-12)))
+                c.ss.map_or("-".into(), |(v, _)| {
+                    format!("{:.2}x", c.rs.0 / v.max(1e-12))
+                })
             }),
         );
         push_row(

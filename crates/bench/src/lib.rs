@@ -61,14 +61,20 @@ impl Args {
     /// A parsed numeric option with default.
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number"))
+            })
             .unwrap_or(default)
     }
 
     /// A parsed integer option with default.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer"))
+            })
             .unwrap_or(default)
     }
 

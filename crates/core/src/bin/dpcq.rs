@@ -66,19 +66,20 @@ fn main() -> ExitCode {
 
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("--{name} expects a value"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("--{name} expects a value"));
         match flag.as_str() {
-            "--query" => query_text = Some(match val("query") {
-                Ok(v) => v,
-                Err(e) => return fail(&e),
-            }),
-            "--edges" => edges_path = Some(match val("edges") {
-                Ok(v) => v,
-                Err(e) => return fail(&e),
-            }),
+            "--query" => {
+                query_text = Some(match val("query") {
+                    Ok(v) => v,
+                    Err(e) => return fail(&e),
+                })
+            }
+            "--edges" => {
+                edges_path = Some(match val("edges") {
+                    Ok(v) => v,
+                    Err(e) => return fail(&e),
+                })
+            }
             "--table" => {
                 let spec = match val("table") {
                     Ok(v) => v,
@@ -96,18 +97,24 @@ fn main() -> ExitCode {
                 };
                 private = Some(spec.split(',').map(|s| s.trim().to_string()).collect());
             }
-            "--epsilon" => match val("epsilon").and_then(|v| v.parse().map_err(|_| "bad --epsilon".into())) {
-                Ok(v) => epsilon = v,
-                Err(e) => return fail(&e),
-            },
-            "--method" => method = match val("method") {
-                Ok(v) => v,
-                Err(e) => return fail(&e),
-            },
-            "--seed" => match val("seed").and_then(|v| v.parse().map_err(|_| "bad --seed".into())) {
-                Ok(v) => seed = Some(v),
-                Err(e) => return fail(&e),
-            },
+            "--epsilon" => {
+                match val("epsilon").and_then(|v| v.parse().map_err(|_| "bad --epsilon".into())) {
+                    Ok(v) => epsilon = v,
+                    Err(e) => return fail(&e),
+                }
+            }
+            "--method" => {
+                method = match val("method") {
+                    Ok(v) => v,
+                    Err(e) => return fail(&e),
+                }
+            }
+            "--seed" => {
+                match val("seed").and_then(|v| v.parse().map_err(|_| "bad --seed".into())) {
+                    Ok(v) => seed = Some(v),
+                    Err(e) => return fail(&e),
+                }
+            }
             "--show-truth" => show_truth = true,
             other => return fail(&format!("unknown flag `{other}`")),
         }

@@ -55,7 +55,10 @@ impl PrivateEngine {
     /// Creates an engine over `db` with the given policy and per-release
     /// privacy budget ε.
     pub fn new(db: Database, policy: Policy, epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         PrivateEngine {
             db,
             policy,
@@ -116,8 +119,7 @@ impl PrivateEngine {
             }
             SensitivityMethod::Elastic => {
                 let mech = SmoothCauchyMechanism::new(self.epsilon);
-                let es =
-                    elastic_sensitivity(query, &self.db, &self.policy, mech.beta())?;
+                let es = elastic_sensitivity(query, &self.db, &self.policy, mech.beta())?;
                 Ok(mech.release(count, es, rng))
             }
             SensitivityMethod::GlobalLaplace => {
@@ -164,8 +166,7 @@ impl PrivateEngine {
     ) -> Result<Vec<(SensitivityMethod, f64)>, SensitivityError> {
         let beta = self.epsilon / 10.0;
         let rs =
-            residual_sensitivity_report(query, &self.db, &self.policy, &RsParams::new(beta))?
-                .value;
+            residual_sensitivity_report(query, &self.db, &self.policy, &RsParams::new(beta))?.value;
         let es = elastic_sensitivity(query, &self.db, &self.policy, beta)?;
         let gs = gs_bound(query, &self.policy).evaluate(self.db.total_tuples() as f64);
         Ok(vec![
@@ -197,10 +198,8 @@ mod tests {
     }
 
     fn triangle() -> ConjunctiveQuery {
-        parse_query(
-            "Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), x1 != x2, x2 != x3, x1 != x3",
-        )
-        .unwrap()
+        parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), x1 != x2, x2 != x3, x1 != x3")
+            .unwrap()
     }
 
     #[test]
@@ -220,12 +219,8 @@ mod tests {
     fn releases_are_deterministic_given_seed() {
         let engine = PrivateEngine::new(sym_db(), Policy::all_private(), 1.0);
         let q = triangle();
-        let a = engine
-            .release(&q, &mut StdRng::seed_from_u64(9))
-            .unwrap();
-        let b = engine
-            .release(&q, &mut StdRng::seed_from_u64(9))
-            .unwrap();
+        let a = engine.release(&q, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = engine.release(&q, &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(a, b);
     }
 
@@ -273,9 +268,7 @@ mod tests {
         }
         // Halving ε both rescales the noise and recomputes RS at β = ε/10,
         // so each batched release is strictly noisier than a solo one.
-        let solo = engine
-            .release(&q1, &mut StdRng::seed_from_u64(12))
-            .unwrap();
+        let solo = engine.release(&q1, &mut StdRng::seed_from_u64(12)).unwrap();
         assert!(batch[0].expected_error > solo.expected_error);
         assert!(engine
             .release_batch(&[], SensitivityMethod::Residual, &mut rng)
@@ -285,8 +278,7 @@ mod tests {
 
     #[test]
     fn public_only_policy_gives_zero_noise() {
-        let engine =
-            PrivateEngine::new(sym_db(), Policy::private(Vec::<String>::new()), 1.0);
+        let engine = PrivateEngine::new(sym_db(), Policy::private(Vec::<String>::new()), 1.0);
         let q = triangle();
         let mut rng = StdRng::seed_from_u64(4);
         let r = engine.release(&q, &mut rng).unwrap();

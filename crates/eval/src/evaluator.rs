@@ -80,7 +80,10 @@ impl<'a> Evaluator<'a> {
                         }
                     }
                 }
-                rows.push((bound.into_iter().map(|b| b.expect("all bound")).collect(), 1));
+                rows.push((
+                    bound.into_iter().map(|b| b.expect("all bound")).collect(),
+                    1,
+                ));
             }
             atom_factors.push(Factor::from_rows(vars, rows, Semiring::Counting));
         }
@@ -254,8 +257,7 @@ impl<'a> Evaluator<'a> {
                 .iter()
                 .map(|f| f.merge_columns(&rep, Semiring::Counting))
                 .collect();
-            let keep: BTreeSet<VarId> =
-                boundary_vec.iter().map(|b| VarId(rep[b.0])).collect();
+            let keep: BTreeSet<VarId> = boundary_vec.iter().map(|b| VarId(rep[b.0])).collect();
             let reduced = eliminate_pure(factors, &keep, Semiring::Counting);
             let combined = reduced
                 .into_iter()
@@ -310,8 +312,11 @@ impl<'a> Evaluator<'a> {
                     // boundary valuation that has any completion.
                     return Ok(f.to_boolean());
                 }
-                let drop: Vec<VarId> =
-                    o.iter().copied().filter(|v| !boundary.contains(v)).collect();
+                let drop: Vec<VarId> = o
+                    .iter()
+                    .copied()
+                    .filter(|v| !boundary.contains(v))
+                    .collect();
                 Ok(f.eliminate(&drop, Semiring::Counting))
             }
         }
@@ -518,7 +523,11 @@ fn eliminate_pure(
 
 /// Joins the remaining factors (cross products if disconnected) and
 /// applies the leftover predicates.
-fn finalize_join(mut factors: Vec<Factor>, mut pending: Vec<Predicate>, semiring: Semiring) -> Factor {
+fn finalize_join(
+    mut factors: Vec<Factor>,
+    mut pending: Vec<Predicate>,
+    semiring: Semiring,
+) -> Factor {
     factors.sort_by_key(Factor::len);
     let mut result = factors
         .into_iter()
@@ -594,11 +603,7 @@ fn max_product(factors: &[Factor], preds: &[Predicate], num_vars: usize) -> Opti
                 let w = factor.weight(ri);
                 // Rows are weight-sorted: once even this row cannot beat
                 // `best`, no later row can.
-                if acc
-                    .saturating_mul(w)
-                    .saturating_mul(self.suffix_max[i + 1])
-                    <= self.best
-                {
+                if acc.saturating_mul(w).saturating_mul(self.suffix_max[i + 1]) <= self.best {
                     break;
                 }
                 let row = factor.row(ri);
@@ -629,8 +634,7 @@ fn max_product(factors: &[Factor], preds: &[Predicate], num_vars: usize) -> Opti
                     }
                     p.eval(|v| self.bound[v.0].expect("checked bound"))
                 });
-                let go_on = !ok
-                    || self.recurse(i + 1, acc.checked_mul(w).expect("count overflow"));
+                let go_on = !ok || self.recurse(i + 1, acc.checked_mul(w).expect("count overflow"));
                 for u in newly {
                     self.bound[u.0] = None;
                 }
@@ -947,8 +951,14 @@ mod tests {
         for trial in 0..40 {
             let mut db = Database::new();
             for _ in 0..12 {
-                db.insert_tuple("A", &[Value(rng.gen_range(0..4)), Value(rng.gen_range(0..4))]);
-                db.insert_tuple("B", &[Value(rng.gen_range(0..4)), Value(rng.gen_range(0..4))]);
+                db.insert_tuple(
+                    "A",
+                    &[Value(rng.gen_range(0..4)), Value(rng.gen_range(0..4))],
+                );
+                db.insert_tuple(
+                    "B",
+                    &[Value(rng.gen_range(0..4)), Value(rng.gen_range(0..4))],
+                );
                 db.insert_tuple("C", &[Value(rng.gen_range(0..4))]);
             }
             let q = parse_query("Q(*) :- A(x, y), B(z, w), C(z), x != w").unwrap();

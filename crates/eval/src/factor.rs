@@ -234,10 +234,7 @@ impl Factor {
         }
         let key_matches = |bi: usize, key: &[Value]| -> bool {
             let row = build.row(bi);
-            build_shared_pos
-                .iter()
-                .zip(key)
-                .all(|(&p, k)| row[p] == *k)
+            build_shared_pos.iter().zip(key).all(|(&p, k)| row[p] == *k)
         };
 
         // Output layout: self's vars then other's extras.
@@ -256,7 +253,11 @@ impl Factor {
                 } else {
                     (
                         false,
-                        probe.vars.iter().position(|w| w == v).expect("var in probe"),
+                        probe
+                            .vars
+                            .iter()
+                            .position(|w| w == v)
+                            .expect("var in probe"),
                     )
                 }
             })
@@ -328,10 +329,7 @@ impl Factor {
         }
         let key_matches = |bi: usize, key: &[Value]| -> bool {
             let row = build.row(bi);
-            build_shared_pos
-                .iter()
-                .zip(key)
-                .all(|(&p, k)| row[p] == *k)
+            build_shared_pos.iter().zip(key).all(|(&p, k)| row[p] == *k)
         };
 
         let out_vars: Vec<VarId> = self
@@ -349,7 +347,11 @@ impl Factor {
                 } else {
                     (
                         false,
-                        probe.vars.iter().position(|w| w == v).expect("var in probe"),
+                        probe
+                            .vars
+                            .iter()
+                            .position(|w| w == v)
+                            .expect("var in probe"),
                     )
                 }
             })
@@ -532,7 +534,10 @@ mod tests {
     }
 
     fn weight_at(f: &Factor, row: &[Value]) -> u128 {
-        f.iter().find(|(r, _)| *r == row).map(|(_, w)| w).unwrap_or(0)
+        f.iter()
+            .find(|(r, _)| *r == row)
+            .map(|(_, w)| w)
+            .unwrap_or(0)
     }
 
     #[test]
@@ -660,9 +665,16 @@ mod tests {
     fn join_eliminate_matches_join_then_eliminate() {
         let r = fx(&[0, 1], &[(&[1, 2], 1), (&[1, 3], 2), (&[2, 3], 1)]);
         let s = fx(&[1, 2], &[(&[2, 9], 3), (&[3, 9], 1), (&[3, 8], 1)]);
-        for drop in [vec![VarId(1)], vec![VarId(0), VarId(1)], vec![], vec![VarId(2)]] {
+        for drop in [
+            vec![VarId(1)],
+            vec![VarId(0), VarId(1)],
+            vec![],
+            vec![VarId(2)],
+        ] {
             let fused = r.join_eliminate(&s, &drop, Semiring::Counting);
-            let staged = r.join(&s, Semiring::Counting).eliminate(&drop, Semiring::Counting);
+            let staged = r
+                .join(&s, Semiring::Counting)
+                .eliminate(&drop, Semiring::Counting);
             assert_eq!(fused.len(), staged.len(), "drop {drop:?}");
             for (row, w) in staged.iter() {
                 assert_eq!(weight_at(&fused, row), w, "drop {drop:?}");

@@ -303,8 +303,7 @@ mod tests {
         let ev2 = Evaluator::new(&q2, &d2).unwrap();
 
         for subset in [vec![0usize], vec![1], vec![0, 1]] {
-            let general =
-                t_e_general(&q, &d, &subset, &preds, &OrderOracle, 20).unwrap();
+            let general = t_e_general(&q, &d, &subset, &preds, &OrderOracle, 20).unwrap();
             // In the materialized query the comparison atom (index 2) is
             // public and belongs to every residual.
             let mut mat_subset = subset.clone();
@@ -368,7 +367,10 @@ mod tests {
         let w = q.var_by_name("w").unwrap();
         let p = OrderPredicate::between(x, CmpOp::Lt, w);
         let preds: Vec<&dyn GenericPredicate> = vec![&p];
-        assert_eq!(t_e_general(&q, &d, &[], &preds, &OrderOracle, 4).unwrap(), 1);
+        assert_eq!(
+            t_e_general(&q, &d, &[], &preds, &OrderOracle, 4).unwrap(),
+            1
+        );
         assert!(matches!(
             t_e_general(&q, &d, &[0], &preds, &OrderOracle, 4).unwrap_err(),
             EvalError::InstanceTooLarge { .. }

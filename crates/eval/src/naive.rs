@@ -102,7 +102,11 @@ pub fn count(query: &ConjunctiveQuery, db: &Database) -> Result<u128, EvalError>
         Some(o) => {
             let mut distinct: FxHashSet<Vec<Value>> = FxHashSet::default();
             for a in &vals {
-                distinct.insert(o.iter().map(|v| a[v.0].expect("output var bound")).collect());
+                distinct.insert(
+                    o.iter()
+                        .map(|v| a[v.0].expect("output var bound"))
+                        .collect(),
+                );
             }
             Ok(distinct.len() as u128)
         }

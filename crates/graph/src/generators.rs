@@ -26,12 +26,7 @@ pub fn erdos_renyi(n: usize, m: usize, rng: &mut impl Rng) -> Graph {
 
 /// Power-law weight sequence `w_i ∝ (i + i₀)^{−1/(γ−1)}`, scaled so that
 /// `Σ w_i = 2·target_edges` and capped at `max_weight`.
-pub fn power_law_weights(
-    n: usize,
-    target_edges: usize,
-    gamma: f64,
-    max_weight: f64,
-) -> Vec<f64> {
+pub fn power_law_weights(n: usize, target_edges: usize, gamma: f64, max_weight: f64) -> Vec<f64> {
     assert!(gamma > 2.0, "gamma must exceed 2 for a finite mean");
     let alpha = 1.0 / (gamma - 1.0);
     let i0 = 1.0;

@@ -65,7 +65,11 @@ pub fn count_rectangles(g: &Graph) -> u64 {
         .values()
         .map(|&a| {
             let a = a as u64;
-            if a >= 2 { a * (a - 1) / 2 } else { 0 }
+            if a >= 2 {
+                a * (a - 1) / 2
+            } else {
+                0
+            }
         })
         .sum();
     total / 2
@@ -77,7 +81,11 @@ pub fn count_two_triangles(g: &Graph) -> u64 {
     g.edges()
         .map(|(u, v)| {
             let a = g.common_neighbors(u, v) as u64;
-            if a >= 2 { a * (a - 1) / 2 } else { 0 }
+            if a >= 2 {
+                a * (a - 1) / 2
+            } else {
+                0
+            }
         })
         .sum()
 }
@@ -119,9 +127,7 @@ pub fn pair_stats_pareto(g: &Graph) -> Vec<PairStats> {
         let dv = g.degree(v) as u32;
         // |N(u) △ N(v)| minus the endpoints themselves when adjacent.
         let b = du + dv - 2 * a - 2 * adjacent;
-        map.entry(a)
-            .and_modify(|e| *e = (*e).max(b))
-            .or_insert(b);
+        map.entry(a).and_modify(|e| *e = (*e).max(b)).or_insert(b);
     };
     for (&(u, v), &a) in &counts {
         consider(&mut best_b_for_a, g, u, v, a);
@@ -165,7 +171,11 @@ pub fn pair_stats_pareto(g: &Graph) -> Vec<PairStats> {
 /// The largest common-neighbor count over all pairs (`a_max`), 0 for
 /// graphs without wedges.
 pub fn max_common_neighbors(g: &Graph) -> u32 {
-    common_neighbor_counts(g).values().copied().max().unwrap_or(0)
+    common_neighbor_counts(g)
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

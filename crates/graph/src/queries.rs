@@ -160,7 +160,10 @@ mod tests {
             rect,
             (cq_factor::RECTANGLE * patterns::count_rectangles(&g)) as u128
         );
-        let tt = Evaluator::new(&two_triangle(), &db).unwrap().count().unwrap();
+        let tt = Evaluator::new(&two_triangle(), &db)
+            .unwrap()
+            .count()
+            .unwrap();
         assert_eq!(
             tt,
             (cq_factor::TWO_TRIANGLE * patterns::count_two_triangles(&g)) as u128

@@ -102,9 +102,13 @@ mod tests {
             let db = g.to_database();
             let q = crate::queries::triangle();
             let domain: Vec<Value> = (0..g.num_vertices() as i64 + 1).map(Value).collect();
-            let brute =
-                local_sensitivity(&q, &db, &Policy::all_private(), &BruteForceConfig::new(domain))
-                    .unwrap() as f64;
+            let brute = local_sensitivity(
+                &q,
+                &db,
+                &Policy::all_private(),
+                &BruteForceConfig::new(domain),
+            )
+            .unwrap() as f64;
             let front = patterns::pair_stats_pareto(g);
             let closed = triangle_ls_at(&front, 0);
             assert_eq!(closed, brute, "graph {g:?}");
@@ -121,9 +125,13 @@ mod tests {
             let db = g.to_database();
             let q = crate::queries::three_star();
             let domain: Vec<Value> = (0..g.num_vertices() as i64 + 1).map(Value).collect();
-            let brute =
-                local_sensitivity(&q, &db, &Policy::all_private(), &BruteForceConfig::new(domain))
-                    .unwrap() as f64;
+            let brute = local_sensitivity(
+                &q,
+                &db,
+                &Policy::all_private(),
+                &BruteForceConfig::new(domain),
+            )
+            .unwrap() as f64;
             let closed = three_star_ls_at(g.max_degree(), 0);
             assert_eq!(closed, brute, "graph {g:?}");
         }

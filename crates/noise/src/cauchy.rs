@@ -30,7 +30,10 @@ pub struct GeneralCauchy {
 impl GeneralCauchy {
     /// A general Cauchy with the given scale (standard deviation).
     pub fn new(scale: f64) -> Self {
-        assert!(scale >= 0.0 && scale.is_finite(), "scale must be finite and >= 0");
+        assert!(
+            scale >= 0.0 && scale.is_finite(),
+            "scale must be finite and >= 0"
+        );
         GeneralCauchy { scale }
     }
 

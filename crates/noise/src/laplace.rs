@@ -17,7 +17,10 @@ impl Laplace {
     /// Creates a Laplace distribution with scale `b > 0` (or `b = 0` for a
     /// point mass at zero, useful for trivial queries).
     pub fn new(scale: f64) -> Self {
-        assert!(scale >= 0.0 && scale.is_finite(), "scale must be finite and >= 0");
+        assert!(
+            scale >= 0.0 && scale.is_finite(),
+            "scale must be finite and >= 0"
+        );
         Laplace { scale }
     }
 

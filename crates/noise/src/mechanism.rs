@@ -41,7 +41,10 @@ pub struct LaplaceMechanism {
 impl LaplaceMechanism {
     /// An ε-DP Laplace mechanism.
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         LaplaceMechanism { epsilon }
     }
 
@@ -82,7 +85,10 @@ pub struct SmoothCauchyMechanism {
 impl SmoothCauchyMechanism {
     /// An ε-DP mechanism with the paper's `β = ε/10`.
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         SmoothCauchyMechanism {
             epsilon,
             beta: epsilon / 10.0,
@@ -169,7 +175,10 @@ mod tests {
             .filter(|_| m.release(42.0, 1.0, &mut rng).value > 42.0)
             .count();
         let frac = above as f64 / n as f64;
-        assert!((frac - 0.5).abs() < 0.01, "fraction above true count {frac}");
+        assert!(
+            (frac - 0.5).abs() < 0.01,
+            "fraction above true count {frac}"
+        );
     }
 
     #[test]

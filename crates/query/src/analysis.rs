@@ -169,7 +169,10 @@ pub fn subsets(items: &[usize]) -> Vec<Vec<usize>> {
 
 /// Enumerates the non-empty subsets of `items`.
 pub fn nonempty_subsets(items: &[usize]) -> Vec<Vec<usize>> {
-    subsets(items).into_iter().filter(|s| !s.is_empty()).collect()
+    subsets(items)
+        .into_iter()
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 /// The sorted complement `[n] − subset`.

@@ -209,7 +209,10 @@ mod tests {
 
     #[test]
     fn empty_query_rejected() {
-        assert_eq!(CqBuilder::new().build().unwrap_err(), QueryError::EmptyQuery);
+        assert_eq!(
+            CqBuilder::new().build().unwrap_err(),
+            QueryError::EmptyQuery
+        );
     }
 
     #[test]

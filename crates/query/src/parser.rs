@@ -295,8 +295,8 @@ mod tests {
 
     #[test]
     fn parses_all_operators() {
-        let q = parse_query("Q(*) :- R(x, y), x != y, x < y, x <= y, x > y, x >= y, x = y")
-            .unwrap();
+        let q =
+            parse_query("Q(*) :- R(x, y), x != y, x < y, x <= y, x > y, x >= y, x = y").unwrap();
         assert_eq!(q.predicates().len(), 6);
     }
 
@@ -338,7 +338,14 @@ mod tests {
             ((state >> 33) % m) as usize
         };
         let rels = ["R", "S", "T"];
-        let ops = [CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq];
+        let ops = [
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+        ];
         for _ in 0..120 {
             let mut b = CqBuilder::new();
             let vars: Vec<_> = (0..4).map(|i| b.var(&format!("v{i}"))).collect();
@@ -361,8 +368,8 @@ mod tests {
                 }
             }
             let Ok(q) = b.build() else { continue }; // skip redundant atoms
-            // Variable tables may differ (unused generated names), so the
-            // round trip is checked at the textual level plus shape.
+                                                     // Variable tables may differ (unused generated names), so the
+                                                     // round trip is checked at the textual level plus shape.
             let reparsed = parse_query(&q.to_string()).unwrap();
             assert_eq!(q.to_string(), reparsed.to_string(), "round trip failed");
             assert_eq!(q.num_atoms(), reparsed.num_atoms());

@@ -201,7 +201,14 @@ mod tests {
 
     #[test]
     fn flip_is_involution_and_correct() {
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.flip().flip(), op);
             for (a, b) in [(1, 2), (2, 1), (3, 3)] {
                 assert_eq!(

@@ -32,7 +32,9 @@ impl Database {
     /// `name` and returns a mutable reference to it.
     pub fn create_relation(&mut self, name: impl Into<String>, arity: usize) -> &mut Relation {
         let name = name.into();
-        self.relations.entry(name).or_insert_with(|| Relation::new(arity))
+        self.relations
+            .entry(name)
+            .or_insert_with(|| Relation::new(arity))
     }
 
     /// Looks up a relation by name.
@@ -143,10 +145,7 @@ mod tests {
         let mut db = Database::new();
         db.insert_tuple("R", &vals![3, 1]);
         db.insert_tuple("S", &vals![1, 9]);
-        assert_eq!(
-            db.active_values(),
-            vec![Value(1), Value(3), Value(9)]
-        );
+        assert_eq!(db.active_values(), vec![Value(1), Value(3), Value(9)]);
     }
 
     #[test]

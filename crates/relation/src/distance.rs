@@ -132,8 +132,7 @@ mod tests {
             let b = mk(&mut rnd);
             let c = mk(&mut rnd);
             assert!(
-                relation_distance(&a, &c)
-                    <= relation_distance(&a, &b) + relation_distance(&b, &c)
+                relation_distance(&a, &c) <= relation_distance(&a, &b) + relation_distance(&b, &c)
             );
         }
     }

@@ -423,9 +423,13 @@ mod tests {
         let mut r = Relation::new(2);
         let mut state = 0x9e3779b97f4a7c15u64;
         for step in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = Value((state >> 33) as i64 % 20);
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = Value((state >> 33) as i64 % 20);
             let row = vec![a, b];
             if step % 3 == 0 {

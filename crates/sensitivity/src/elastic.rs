@@ -191,7 +191,16 @@ mod tests {
         // Table 1 observation: ES(q△) = ES(q3∗) — both reduce to the same
         // degree statistic.
         let mut db = Database::new();
-        for e in [[1, 2], [1, 3], [1, 4], [2, 3], [2, 1], [3, 1], [4, 1], [3, 2]] {
+        for e in [
+            [1, 2],
+            [1, 3],
+            [1, 4],
+            [2, 3],
+            [2, 1],
+            [3, 1],
+            [4, 1],
+            [3, 2],
+        ] {
             db.insert_tuple("Edge", &[Value(e[0]), Value(e[1])]);
         }
         let tri = parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3)").unwrap();
@@ -235,9 +244,8 @@ mod tests {
         let r_only = elastic_sensitivity_report(&q, &db, &Policy::private(["R"]), 0.1).unwrap();
         assert_eq!(r_only.ls_hat0, 1.0);
         // Nothing private: zero.
-        let none =
-            elastic_sensitivity_report(&q, &db, &Policy::private(Vec::<String>::new()), 0.1)
-                .unwrap();
+        let none = elastic_sensitivity_report(&q, &db, &Policy::private(Vec::<String>::new()), 0.1)
+            .unwrap();
         assert_eq!(none.value, 0.0);
     }
 

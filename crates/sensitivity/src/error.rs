@@ -28,10 +28,16 @@ impl fmt::Display for SensitivityError {
         match self {
             SensitivityError::Eval(e) => write!(f, "evaluation error: {e}"),
             SensitivityError::RequiresSelfJoinFree => {
-                write!(f, "exact local sensitivity requires a self-join-free query (Lemma 3.3)")
+                write!(
+                    f,
+                    "exact local sensitivity requires a self-join-free query (Lemma 3.3)"
+                )
             }
             SensitivityError::BudgetExceeded { what, size, limit } => {
-                write!(f, "brute-force budget exceeded: {what} has size {size} > limit {limit}")
+                write!(
+                    f,
+                    "brute-force budget exceeded: {what} has size {size} > limit {limit}"
+                )
             }
         }
     }

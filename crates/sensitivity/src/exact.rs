@@ -299,8 +299,7 @@ mod tests {
         let pol = Policy::all_private();
         let cfg = BruteForceConfig::new(dom(3));
         let beta = 0.4;
-        let ss_trunc =
-            smooth_sensitivity_truncated(&q, &db, &pol, &cfg, beta, 2).unwrap();
+        let ss_trunc = smooth_sensitivity_truncated(&q, &db, &pol, &cfg, beta, 2).unwrap();
         let rs = residual_sensitivity_report(&q, &db, &pol, &RsParams::new(beta))
             .unwrap()
             .value;

@@ -106,8 +106,7 @@ mod tests {
 
     #[test]
     fn example2_path4_gs_is_quadratic() {
-        let q =
-            parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x3,x4), Edge(x4,x5)").unwrap();
+        let q = parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x3,x4), Edge(x4,x5)").unwrap();
         let b = gs_bound(&q, &Policy::all_private());
         assert!((b.exponent - 2.0).abs() < 1e-6, "exponent {}", b.exponent);
     }

@@ -32,7 +32,11 @@ pub fn theorem_4_7_radius(n_p: usize, beta: f64) -> usize {
         return 4;
     }
     let c = 2.0 * (n_p as f64 - 1.0) / beta;
-    let log_term = if c > 1.0 { (c * c.ln()).ceil() as usize } else { 0 };
+    let log_term = if c > 1.0 {
+        (c * c.ln()).ceil() as usize
+    } else {
+        0
+    };
     4usize.max(n_p).max(log_term)
 }
 
@@ -99,7 +103,11 @@ pub fn rs_optimality_certificate(
         radius: theorem_4_7_radius(policy.num_private_atoms(query), beta),
         mechanism_error: err,
         error_floor: floor,
-        ratio: if floor > 0.0 { err / floor } else { f64::INFINITY },
+        ratio: if floor > 0.0 {
+            err / floor
+        } else {
+            f64::INFINITY
+        },
     })
 }
 
@@ -159,8 +167,7 @@ mod tests {
     fn certificate_ratio_is_finite_and_bounded_on_triangle() {
         let q = parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3)").unwrap();
         let db = sym_triangle_plus();
-        let cert =
-            rs_optimality_certificate(&q, &db, &Policy::all_private(), 1.0).unwrap();
+        let cert = rs_optimality_certificate(&q, &db, &Policy::all_private(), 1.0).unwrap();
         assert!(cert.ratio.is_finite());
         assert!(cert.ratio >= 1.0, "mechanism can't beat the floor");
         assert!(cert.mechanism_error > 0.0);

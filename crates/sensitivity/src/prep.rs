@@ -63,8 +63,7 @@ impl<'a> Prepared<'a> {
             .map(|a| a.relation.clone())
             .filter(|r| policy.is_private(r))
             .collect();
-        let (q2, db2, _added) =
-            active_domain::materialize_comparisons(query, db, domain_limit)?;
+        let (q2, db2, _added) = active_domain::materialize_comparisons(query, db, domain_limit)?;
         Ok(Prepared {
             query_owned: Some(q2),
             db_owned: Some(db2),
@@ -141,23 +140,22 @@ pub fn compute_t_values(
         return Ok(TValues { map });
     }
     let chunk = subsets.len().div_ceil(threads);
-    let results: Vec<TChunk> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = subsets
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || {
-                        part.iter()
-                            .map(|s| Ok(((*s).clone(), ev.t_e(s)?)))
-                            .collect()
-                    })
+    let results: Vec<TChunk> = std::thread::scope(|scope| {
+        let handles: Vec<_> = subsets
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|s| Ok(((*s).clone(), ev.t_e(s)?)))
+                        .collect()
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("T_E worker panicked"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("T_E worker panicked"))
+            .collect()
+    });
     for r in results {
         for (k, v) in r? {
             map.insert(k, v);

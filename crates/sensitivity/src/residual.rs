@@ -215,7 +215,11 @@ fn t_hat(e: &[usize], pn: &[usize], s_of_atom: &dyn Fn(usize) -> usize, t: &TVal
 /// All vectors of `parts` non-negative integers summing to `total`.
 fn compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
     if parts == 0 {
-        return if total == 0 { vec![Vec::new()] } else { Vec::new() };
+        return if total == 0 {
+            vec![Vec::new()]
+        } else {
+            Vec::new()
+        };
     }
     if parts == 1 {
         return vec![vec![total]];
@@ -400,8 +404,7 @@ mod tests {
         let db = sym_db(&[[1, 2], [2, 3], [1, 3], [2, 4], [3, 4], [1, 4]]);
         let pol = Policy::all_private();
         for beta in [0.05, 0.1, 0.3, 0.7, 1.0] {
-            let report =
-                residual_sensitivity_report(&q, &db, &pol, &RsParams::new(beta)).unwrap();
+            let report = residual_sensitivity_report(&q, &db, &pol, &RsParams::new(beta)).unwrap();
             let fam = crate::prep::required_subsets(&q, &pol);
             let ev = dpcq_eval::Evaluator::new(&q, &db).unwrap();
             let t = crate::prep::compute_t_values(&ev, &fam, 1).unwrap();

@@ -79,8 +79,7 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpResult {
             if t[i][pivot_col] > EPS {
                 let ratio = t[i][width - 1] / t[i][pivot_col];
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && pivot_row.is_some_and(|r| basis[i] < basis[r]));
+                    || (ratio < best_ratio + EPS && pivot_row.is_some_and(|r| basis[i] < basis[r]));
                 if better {
                     best_ratio = ratio;
                     pivot_row = Some(i);
@@ -166,11 +165,7 @@ mod tests {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36 at (2, 6).
         let r = maximize(
             &[3.0, 5.0],
-            &[
-                vec![1.0, 0.0],
-                vec![0.0, 2.0],
-                vec![3.0, 2.0],
-            ],
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
             &[4.0, 12.0, 18.0],
         );
         let LpResult::Optimal { value, solution } = r else {
@@ -205,10 +200,7 @@ mod tests {
     #[test]
     fn cover_single_edge() {
         // One edge covering both vertices: ρ* = 1.
-        assert_close(
-            fractional_edge_cover(&[0, 1], &[vec![0, 1]]).unwrap(),
-            1.0,
-        );
+        assert_close(fractional_edge_cover(&[0, 1], &[vec![0, 1]]).unwrap(), 1.0);
     }
 
     #[test]
@@ -262,13 +254,7 @@ mod tests {
     fn cover_5_cycle_fractional() {
         // Odd cycle C5: ρ* = 5/2 · (1/... ) — each edge weight 1/2 covers
         // each vertex exactly once: total 5/2.
-        let edges = vec![
-            vec![0, 1],
-            vec![1, 2],
-            vec![2, 3],
-            vec![3, 4],
-            vec![4, 0],
-        ];
+        let edges = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 0]];
         assert_close(
             fractional_edge_cover(&[0, 1, 2, 3, 4], &edges).unwrap(),
             2.5,

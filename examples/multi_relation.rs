@@ -35,7 +35,7 @@ fn main() {
     }
     // Patient visits: (patient, hospital, day).
     for p in 0..60 {
-        let h = 1 + rng.gen_range(0..3);
+        let h = 1 + rng.gen_range(0..3i64);
         let day = rng.gen_range(0..100);
         db.insert_tuple("Visit", &[Value(1000 + p), Value(h), Value(day)]);
     }

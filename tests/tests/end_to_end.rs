@@ -8,7 +8,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn benchmark_db() -> (dpcq::graph::Graph, Database) {
-    let g = DatasetProfile::by_name("GrQc").unwrap().scaled(24.0).generate();
+    let g = DatasetProfile::by_name("GrQc")
+        .unwrap()
+        .scaled(24.0)
+        .generate();
     let db = g.to_database();
     (g, db)
 }
@@ -49,7 +52,11 @@ fn elastic_equal_for_triangle_and_star() {
 fn residual_beats_elastic_on_structured_queries() {
     let (_, db) = benchmark_db();
     let policy = Policy::all_private();
-    for q in [queries::triangle(), queries::rectangle(), queries::two_triangle()] {
+    for q in [
+        queries::triangle(),
+        queries::rectangle(),
+        queries::two_triangle(),
+    ] {
         let rs = residual_sensitivity(&q, &db, &policy, 0.1).unwrap();
         let es = elastic_sensitivity(&q, &db, &policy, 0.1).unwrap();
         assert!(rs < es, "RS {rs} !< ES {es} for {q}");

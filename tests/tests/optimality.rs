@@ -14,9 +14,7 @@ use dpcq::relation::{Database, Value};
 use dpcq::sensitivity::exact::{self, BruteForceConfig};
 use dpcq::sensitivity::prep::{compute_t_values, required_subsets};
 use dpcq::sensitivity::residual::ls_hat_k;
-use dpcq::sensitivity::{
-    residual_sensitivity_report, rs_optimality_certificate, RsParams,
-};
+use dpcq::sensitivity::{residual_sensitivity_report, rs_optimality_certificate, RsParams};
 use proptest::prelude::*;
 
 fn arb_small_db() -> impl Strategy<Value = Database> {
@@ -76,7 +74,10 @@ proptest! {
 
 #[test]
 fn certificate_is_coherent_on_benchmark_graph() {
-    let g = DatasetProfile::by_name("GrQc").unwrap().scaled(24.0).generate();
+    let g = DatasetProfile::by_name("GrQc")
+        .unwrap()
+        .scaled(24.0)
+        .generate();
     let db = g.to_database();
     for (name, q) in queries::all() {
         let cert = rs_optimality_certificate(&q, &db, &Policy::all_private(), 1.0).unwrap();
@@ -94,7 +95,10 @@ fn closed_form_triangle_ls0_is_residual_dominant_term() {
     // On the stand-in graphs, RS(q△) at k = 0 is 3·a_max + 4 (three
     // two-atom residuals at a_max, three single-atom residuals at 1, and
     // T_∅) and the closed-form SS's k = 0 value is exactly 3·a_max.
-    let g = DatasetProfile::by_name("GrQc").unwrap().scaled(16.0).generate();
+    let g = DatasetProfile::by_name("GrQc")
+        .unwrap()
+        .scaled(16.0)
+        .generate();
     let db = g.to_database();
     let q = queries::triangle();
     let policy = Policy::all_private();
@@ -109,7 +113,10 @@ fn closed_form_triangle_ls0_is_residual_dominant_term() {
 fn rs_tracks_ss_on_clique_heavy_graphs() {
     // The paper's headline: RS within a small constant of SS when the
     // instance has genuine structure (Table 1: 1.00–2.01×).
-    let g = DatasetProfile::by_name("CondMat").unwrap().scaled(16.0).generate();
+    let g = DatasetProfile::by_name("CondMat")
+        .unwrap()
+        .scaled(16.0)
+        .generate();
     let db = g.to_database();
     let policy = Policy::all_private();
     let beta = 0.1;

@@ -1,0 +1,70 @@
+//! Smoke tests for the workspace's public surface: the `dpcq::prelude`
+//! re-exports the quick start, examples, and downstream crates assume.
+//! If a refactor accidentally drops or renames one of these, this fails
+//! at compile time rather than in a consumer.
+
+use dpcq::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn prelude_exports_database_parse_query_engine_policy() {
+    // Each binding below pins both the name and the shape of a prelude
+    // export; the assertions exercise them together end to end.
+    let mut db: Database = Database::new();
+    for (u, v) in [(1, 2), (2, 3), (1, 3)] {
+        db.insert_tuple("Edge", &[Value(u), Value(v)]);
+        db.insert_tuple("Edge", &[Value(v), Value(u)]);
+    }
+
+    let q = parse_query("Q(*) :- Edge(x, y), Edge(y, z), x != z").unwrap();
+    let policy: Policy = Policy::all_private();
+    let engine: PrivateEngine = PrivateEngine::new(db, policy, 1.0);
+
+    let mut rng = StdRng::seed_from_u64(2022);
+    let release: Release = engine.release(&q, &mut rng).unwrap();
+    assert!(release.expected_error > 0.0);
+
+    // `Release` must stay `Display` — the quick-start doctest and the CLI
+    // both format it with `{release}`.
+    let shown = format!("{release}");
+    assert!(!shown.is_empty());
+}
+
+#[test]
+fn prelude_exports_relation_and_builder() {
+    // `Relation` is constructible and behaves as a set.
+    let mut rel: Relation = Relation::new(2);
+    assert!(rel.insert(&[Value(1), Value(2)]));
+    assert!(!rel.insert(&[Value(1), Value(2)]));
+    assert_eq!(rel.len(), 1);
+
+    // `CqBuilder` assembles the same query the parser produces.
+    let mut b = CqBuilder::new();
+    let (x, y) = (b.var("x"), b.var("y"));
+    b.atom("E", [x, y]);
+    let built = b.build().unwrap();
+    let parsed = parse_query("Q(*) :- E(x, y)").unwrap();
+    assert_eq!(built.to_string(), parsed.to_string());
+}
+
+#[test]
+fn engine_sensitivity_methods_are_selectable() {
+    // `SensitivityMethod` rides along in the prelude via `PrivateEngine`'s
+    // module; verify the non-default calibrations stay reachable.
+    use dpcq::SensitivityMethod;
+
+    let mut db = Database::new();
+    db.insert_tuple("E", &[Value(1), Value(2)]);
+    let engine = PrivateEngine::new(db, Policy::all_private(), 1.0);
+    let q = parse_query("Q(*) :- E(x, y)").unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    for method in [
+        SensitivityMethod::Residual,
+        SensitivityMethod::Elastic,
+        SensitivityMethod::GlobalLaplace,
+    ] {
+        let r = engine.release_with(&q, method, &mut rng).unwrap();
+        assert!(r.expected_error.is_finite());
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Compiles the workspace's `[[bench]]` targets unchanged and runs each
+//! registered benchmark on a short fixed schedule (a warm-up pass, then a
+//! bounded measurement loop), printing median per-iteration timings. It
+//! is deliberately lightweight: no statistics, plots, or baselines — the
+//! goal is that `cargo bench` produces orders-of-magnitude-correct
+//! numbers quickly and `cargo bench --no-run` / `cargo test` stay cheap.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(measurement_time: Duration, warm_up_time: Duration, sample_size: usize) -> Bencher {
+        Bencher {
+            last: None,
+            measurement_time,
+            warm_up_time,
+            sample_size,
+        }
+    }
+
+    /// Times `routine`, storing the median over the sample schedule.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: `sample_size` samples or until the budget is spent.
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            samples.push(t.elapsed());
+            if budget_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        samples.sort();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            // Short defaults: the stand-in favors fast smoke runs over
+            // statistical power (real criterion uses 5s / 3s / 100).
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Honors harness flags cargo forwards (`--bench`, `--test`, filters
+    /// are accepted and ignored), mirroring `Criterion::configure_from_args`.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_one(
+            &name,
+            self.measurement_time,
+            self.warm_up_time,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(
+            &full,
+            self.measurement_time,
+            self.warm_up_time,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut b = Bencher::new(measurement_time, warm_up_time, sample_size);
+    f(&mut b);
+    match b.last {
+        Some(t) => println!("bench {name:<48} time: {t:>12.3?} (median)"),
+        None => println!("bench {name:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_median() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(1));
+        group.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`), the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple
+//! strategies, [`prop_oneof!`], [`collection::vec`] /
+//! [`collection::btree_set`], and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: failing
+//! cases are **not shrunk** (the first counterexample is reported
+//! verbatim), and rejected cases (`prop_assume!`) simply skip to the next
+//! iteration without a rejection quota.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (`vec`, `btree_set`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with *up to* `size.end - 1`
+    /// elements (duplicates collapse, as in real proptest's minimum-size
+    /// best effort — our tests only bound sizes from above).
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The single-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Alias so `prop::collection::vec(..)` works, as in real proptest.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        Small(i64),
+        Pair(i64, i64),
+    }
+
+    fn arb_pick() -> impl Strategy<Value = Pick> {
+        prop_oneof![
+            (0i64..10).prop_map(Pick::Small),
+            (0i64..10, 10i64..20).prop_map(|(a, b)| Pick::Pair(a, b)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 3i64..9, pair in (0usize..4, 0i64..2)) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(pair.0 < 4 && (0..2).contains(&pair.1));
+        }
+
+        #[test]
+        fn oneof_and_map(p in arb_pick(), v in prop::collection::vec(0i64..5, 0..7)) {
+            match p {
+                Pick::Small(a) => prop_assert!((0..10).contains(&a)),
+                Pick::Pair(a, b) => {
+                    prop_assert!((0..10).contains(&a));
+                    prop_assert!((10..20).contains(&b));
+                }
+            }
+            prop_assert!(v.len() < 7);
+            prop_assert_eq!(v.iter().filter(|&&x| x >= 5).count(), 0);
+        }
+
+        #[test]
+        fn assume_skips(n in 0i64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+
+        #[test]
+        fn sets_respect_bounds(s in prop::collection::btree_set((0i64..3, 0i64..3), 0..10)) {
+            prop_assert!(s.len() < 10);
+        }
+    }
+
+    #[test]
+    fn just_clones() {
+        let s = Just(41);
+        let mut rng = crate::test_runner::new_rng("just_clones");
+        assert_eq!(crate::strategy::Strategy::generate(&s, &mut rng), 41);
+    }
+}

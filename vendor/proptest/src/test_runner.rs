@@ -1,0 +1,147 @@
+//! Configuration, the per-test RNG, and the `proptest!` macro family.
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Run configuration; only `cases` is interpreted by this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic RNG seeded from the test's name, so every test explores
+/// a distinct but reproducible stream.
+pub fn new_rng(test_name: &str) -> TestRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(seed)
+}
+
+/// Defines property tests.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]` followed by
+/// any number of `#[test] fn name(binding in strategy, ...) { body }`
+/// items. Each expands to a plain `#[test]` that draws `cases` inputs
+/// and runs the body; `prop_assume!` skips a case, `prop_assert*` fails
+/// the test (without shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($binding:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng = $crate::test_runner::new_rng(stringify!($name));
+                for __case_no in 0..__config.cases {
+                    // Snapshot the RNG so a failing case can replay its own
+                    // generation to echo the counterexample (there is no
+                    // shrinking, so this is the only reproduction aid);
+                    // passing cases pay nothing beyond the 32-byte copy.
+                    let __rng_snapshot = __rng.clone();
+                    $(
+                        let $binding =
+                            $crate::strategy::Strategy::generate(&($strategy), &mut __rng);
+                    )*
+                    // The closure gives `prop_assume!` an early exit that
+                    // skips just this case.
+                    let __case_fn = move || -> () {
+                        $body
+                    };
+                    if let ::std::result::Result::Err(__panic) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(__case_fn),
+                    ) {
+                        let mut __replay = __rng_snapshot;
+                        let __inputs: ::std::string::String = [
+                            $(format!(
+                                "  {} = {:?}",
+                                stringify!($binding),
+                                $crate::strategy::Strategy::generate(
+                                    &($strategy),
+                                    &mut __replay,
+                                ),
+                            ),)*
+                        ]
+                        .join("\n");
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} with inputs:\n{}",
+                            stringify!($name),
+                            __case_no + 1,
+                            __config.cases,
+                            __inputs,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
