@@ -1,9 +1,13 @@
 //! Criterion micro-benchmarks for the `T_E` engine — the inner loop of
-//! residual sensitivity (every Table 1 RS timing is a handful of these).
+//! residual sensitivity (every Table 1 RS timing is a handful of these) —
+//! and for whole-`T`-family evaluation (`BENCH_te.json` tracks the same
+//! comparison with medians and speedups; see `src/bin/bench_json.rs`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dpcq::eval::Evaluator;
+use dpcq::eval::{Evaluator, FamilyEvaluator};
 use dpcq::graph::{datasets::DatasetProfile, queries};
+use dpcq::query::Policy;
+use dpcq::sensitivity::prep::required_subsets;
 
 fn bench_te(c: &mut Criterion) {
     let g = DatasetProfile::by_name("GrQc")
@@ -40,5 +44,42 @@ fn bench_te(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_te);
+/// Whole-family evaluation: per-subset `t_e` versus the shared-
+/// intermediate [`FamilyEvaluator`] (cold caches per iteration).
+fn bench_t_family(c: &mut Criterion) {
+    let g = DatasetProfile::by_name("GrQc")
+        .unwrap()
+        .scaled(16.0)
+        .generate();
+    let db = g.to_database();
+    let tri = queries::triangle();
+    let family = required_subsets(&tri, &Policy::all_private());
+    let ev = Evaluator::new(&tri, &db).unwrap();
+
+    let mut group = c.benchmark_group("t_family");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.bench_function("triangle_family_per_subset", |b| {
+        b.iter(|| {
+            family
+                .iter()
+                .map(|s| ev.t_e(s).unwrap())
+                .fold(0u128, u128::wrapping_add)
+        })
+    });
+    group.bench_function("triangle_family_shared", |b| {
+        b.iter(|| {
+            FamilyEvaluator::new(&ev)
+                .t_family(&family, 1)
+                .unwrap()
+                .into_iter()
+                .map(|(_, v)| v)
+                .fold(0u128, u128::wrapping_add)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_te, bench_t_family);
 criterion_main!(benches);

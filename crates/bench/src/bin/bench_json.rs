@@ -1,0 +1,308 @@
+//! Machine-readable `T`-family benchmark: writes `BENCH_te.json`.
+//!
+//! Measures the three evaluation strategies for a residual `T`-family on
+//! self-join workloads (triangle, 4-clique) and a multi-relation chain:
+//!
+//! * **naive** — every subset evaluated as an independent query: a fresh
+//!   [`Evaluator`] per subset (atom factors rebuilt from the database,
+//!   nothing shared), then `t_e`. This is the per-subset baseline the
+//!   speedups are quoted against.
+//! * **shared-evaluator** — one `Evaluator` for the family, `t_e` per
+//!   subset (base factors built once, but every residual still clones and
+//!   re-eliminates from scratch). This was `compute_t_values`' serial
+//!   behavior before the family evaluator existed.
+//! * **family** — [`FamilyEvaluator::t_family`]: shared intermediate memo
+//!   store, isomorphic residuals collapsed, work-stealing over cost-sorted
+//!   classes. Timed at 1 thread and at `--threads` (default: available
+//!   parallelism, capped at 8).
+//!
+//! Every strategy's values are cross-checked for equality each repetition.
+//! Usage: `bench_json [--quick] [--threads N] [--reps N] [--seed N]
+//! [--out PATH] [--check]`; `--check` exits non-zero if the tracked
+//! speedup floors (≥2× family-vs-naive on the self-join workloads, ≥1.5×
+//! multi-thread-vs-single) are not met.
+
+use dpcq::eval::{Evaluator, FamilyEvaluator};
+use dpcq::graph::queries;
+use dpcq::query::{parse_query, ConjunctiveQuery, Policy};
+use dpcq::relation::{Database, Value};
+use dpcq::sensitivity::prep::{default_threads, required_subsets};
+use dpcq_bench::{fmt_secs, median_ns, time, Args, Json, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// One workload: a query, a database, and the subset family to evaluate.
+struct Workload {
+    name: &'static str,
+    query: ConjunctiveQuery,
+    db: Database,
+    family: BTreeSet<Vec<usize>>,
+    /// Whether this workload's single-thread family speedup is a tracked
+    /// acceptance floor (the self-join families).
+    track_selfjoin_floor: bool,
+}
+
+/// A symmetric random graph with a planted clique (the clique pins the
+/// interesting boundary multiplicities, like the SNAP stand-ins do).
+fn graph_db(rng: &mut StdRng, nodes: i64, edges: usize, clique: i64) -> Database {
+    let mut db = Database::new();
+    let add = |db: &mut Database, u: i64, v: i64| {
+        if u != v {
+            db.insert_tuple("Edge", &[Value(u), Value(v)]);
+            db.insert_tuple("Edge", &[Value(v), Value(u)]);
+        }
+    };
+    for _ in 0..edges {
+        let u = rng.gen_range(0..nodes);
+        let v = rng.gen_range(0..nodes);
+        add(&mut db, u, v);
+    }
+    for i in 0..clique {
+        for j in (i + 1)..clique {
+            add(&mut db, i, j);
+        }
+    }
+    db
+}
+
+/// Four distinct many-to-many relations chained on shared columns.
+fn chain_db(rng: &mut StdRng, domain: i64, rows: usize) -> Database {
+    let mut db = Database::new();
+    for rel in ["R0", "R1", "R2", "R3"] {
+        db.create_relation(rel, 2);
+        for _ in 0..rows {
+            db.insert_tuple(
+                rel,
+                &[
+                    Value(rng.gen_range(0..domain)),
+                    Value(rng.gen_range(0..domain)),
+                ],
+            );
+        }
+    }
+    db
+}
+
+fn workloads(quick: bool, seed: u64) -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pol = Policy::all_private();
+
+    // Sparse graphs in the SNAP collaboration regime (average degree ≈ 4)
+    // with a planted clique pinning the max common-neighborhood.
+    let tri = queries::triangle();
+    let tri_db = if quick {
+        graph_db(&mut rng, 1_500, 3_000, 10)
+    } else {
+        graph_db(&mut rng, 4_000, 8_000, 12)
+    };
+    let tri_family = required_subsets(&tri, &pol);
+
+    let k4 = queries::four_clique();
+    let k4_db = if quick {
+        graph_db(&mut rng, 150, 500, 8)
+    } else {
+        graph_db(&mut rng, 250, 1_000, 10)
+    };
+    let k4_family = required_subsets(&k4, &pol);
+
+    // The chain's residual classes are all distinct (four relation names),
+    // so this family exercises the work-stealing scheduler rather than the
+    // isomorphism collapse: all 2- and 3-atom subsets.
+    let chain = parse_query("Q(*) :- R0(a,b), R1(b,c), R2(c,d), R3(d,e)").unwrap();
+    let chain_db = chain_db(&mut rng, 400, if quick { 20_000 } else { 40_000 });
+    let mut chain_family: BTreeSet<Vec<usize>> = BTreeSet::new();
+    for i in 0..4usize {
+        for j in (i + 1)..4 {
+            chain_family.insert(vec![i, j]);
+            for k in (j + 1)..4 {
+                chain_family.insert(vec![i, j, k]);
+            }
+        }
+    }
+
+    vec![
+        Workload {
+            name: "triangle_family",
+            query: tri,
+            db: tri_db,
+            family: tri_family,
+            track_selfjoin_floor: true,
+        },
+        Workload {
+            name: "four_clique_family",
+            query: k4,
+            db: k4_db,
+            family: k4_family,
+            track_selfjoin_floor: true,
+        },
+        Workload {
+            name: "chain4_family",
+            query: chain,
+            db: chain_db,
+            family: chain_family,
+            track_selfjoin_floor: false,
+        },
+    ]
+}
+
+/// `(subset, value)` pairs in family order, for cross-strategy checking.
+type Values = Vec<(Vec<usize>, u128)>;
+
+fn run_naive(w: &Workload) -> Values {
+    w.family
+        .iter()
+        .map(|s| {
+            let ev = Evaluator::new(&w.query, &w.db).expect("workload query binds");
+            (s.clone(), ev.t_e(s).expect("workload residual evaluates"))
+        })
+        .collect()
+}
+
+fn run_shared(w: &Workload) -> Values {
+    let ev = Evaluator::new(&w.query, &w.db).expect("workload query binds");
+    w.family
+        .iter()
+        .map(|s| (s.clone(), ev.t_e(s).expect("workload residual evaluates")))
+        .collect()
+}
+
+fn run_family(w: &Workload, threads: usize) -> (Values, u64) {
+    let ev = Evaluator::new(&w.query, &w.db).expect("workload query binds");
+    let fe = FamilyEvaluator::new(&ev);
+    let values = fe
+        .t_family(&w.family, threads)
+        .expect("workload family evaluates");
+    (values, fe.stats().values_computed)
+}
+
+fn main() {
+    let args = Args::parse(&["quick", "check"]);
+    let quick = args.has("quick");
+    let reps = args.get_usize("reps", if quick { 3 } else { 5 });
+    // An explicit --threads is honored verbatim; the default measures the
+    // multi-threaded path with at least 2 workers even on a 1-CPU host
+    // (so the scheduling overhead stays visible in the artifact there).
+    let threads = args.get_usize("threads", default_threads().clamp(2, 8));
+    let seed = args.get_usize("seed", 42) as u64;
+    let out_path = args.get("out").unwrap_or("BENCH_te.json").to_string();
+
+    let mut table = Table::new(&[
+        "workload",
+        "subsets",
+        "classes",
+        "naive",
+        "shared",
+        "family x1",
+        &format!("family x{threads}"),
+        "vs naive",
+        "mt vs 1t",
+    ]);
+    let mut entries: Vec<Json> = Vec::new();
+    let mut floors_ok = true;
+
+    for w in workloads(quick, seed) {
+        let mut naive_t: Vec<Duration> = Vec::new();
+        let mut shared_t: Vec<Duration> = Vec::new();
+        let mut fam1_t: Vec<Duration> = Vec::new();
+        let mut famn_t: Vec<Duration> = Vec::new();
+        let mut classes = 0u64;
+        for _ in 0..reps {
+            let (naive, d_naive) = time(|| run_naive(&w));
+            let (shared, d_shared) = time(|| run_shared(&w));
+            let ((fam1, c), d_fam1) = time(|| run_family(&w, 1));
+            let ((famn, _), d_famn) = time(|| run_family(&w, threads));
+            assert_eq!(naive, shared, "{}: shared != naive", w.name);
+            assert_eq!(naive, fam1, "{}: family(1) != naive", w.name);
+            assert_eq!(naive, famn, "{}: family({threads}) != naive", w.name);
+            naive_t.push(d_naive);
+            shared_t.push(d_shared);
+            fam1_t.push(d_fam1);
+            famn_t.push(d_famn);
+            classes = c;
+        }
+        let naive_ns = median_ns(&naive_t);
+        let shared_ns = median_ns(&shared_t);
+        let fam1_ns = median_ns(&fam1_t);
+        let famn_ns = median_ns(&famn_t);
+        let vs_naive = naive_ns as f64 / fam1_ns.max(1) as f64;
+        let mt_vs_1t = fam1_ns as f64 / famn_ns.max(1) as f64;
+        if w.track_selfjoin_floor && vs_naive < 2.0 {
+            eprintln!(
+                "FLOOR MISSED: {} family-vs-naive {vs_naive:.2}x < 2x",
+                w.name
+            );
+            floors_ok = false;
+        }
+        if !w.track_selfjoin_floor && mt_vs_1t < 1.5 {
+            // A host with a single CPU cannot show thread scaling; the
+            // floor only binds where parallel hardware exists.
+            if default_threads() >= 2 {
+                eprintln!("FLOOR MISSED: {} mt-vs-1t {mt_vs_1t:.2}x < 1.5x", w.name);
+                floors_ok = false;
+            } else {
+                eprintln!(
+                    "NOTE: {} mt-vs-1t {mt_vs_1t:.2}x measured on a 1-CPU host \
+                     (floor requires parallel hardware)",
+                    w.name
+                );
+            }
+        }
+        table.row(vec![
+            w.name.to_string(),
+            w.family.len().to_string(),
+            classes.to_string(),
+            fmt_secs(Duration::from_nanos(naive_ns as u64)),
+            fmt_secs(Duration::from_nanos(shared_ns as u64)),
+            fmt_secs(Duration::from_nanos(fam1_ns as u64)),
+            fmt_secs(Duration::from_nanos(famn_ns as u64)),
+            format!("{vs_naive:.2}x"),
+            format!("{mt_vs_1t:.2}x"),
+        ]);
+        entries.push(Json::obj([
+            ("workload", Json::Str(w.name.to_string())),
+            ("subsets", Json::Int(w.family.len() as i128)),
+            ("iso_classes", Json::Int(classes as i128)),
+            ("naive_median_ns", Json::Int(naive_ns as i128)),
+            ("shared_evaluator_median_ns", Json::Int(shared_ns as i128)),
+            ("family_1thread_median_ns", Json::Int(fam1_ns as i128)),
+            ("family_multithread_median_ns", Json::Int(famn_ns as i128)),
+            ("speedup_family_vs_naive", Json::Num(vs_naive)),
+            ("speedup_multithread_vs_1thread", Json::Num(mt_vs_1t)),
+            (
+                "tracked_floor",
+                Json::Str(if w.track_selfjoin_floor {
+                    "family_vs_naive >= 2.0".to_string()
+                } else {
+                    "multithread_vs_1thread >= 1.5".to_string()
+                }),
+            ),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("schema", Json::Str("dpcq-bench-te/v1".to_string())),
+        ("quick", Json::Bool(quick)),
+        ("reps", Json::Int(reps as i128)),
+        ("threads", Json::Int(threads as i128)),
+        ("host_parallelism", Json::Int(default_threads() as i128)),
+        ("seed", Json::Int(seed as i128)),
+        (
+            "baseline",
+            Json::Str(
+                "naive = fresh Evaluator per subset (atom factors rebuilt, no sharing); \
+                 shared_evaluator = one Evaluator, per-subset t_e; \
+                 family = FamilyEvaluator::t_family"
+                    .to_string(),
+            ),
+        ),
+        ("workloads", Json::Arr(entries)),
+    ]);
+    std::fs::write(&out_path, doc.render()).expect("write benchmark artifact");
+    println!("{}", table.render());
+    println!("wrote {out_path}");
+    if args.has("check") && !floors_ok {
+        std::process::exit(1);
+    }
+}

@@ -20,6 +20,120 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (out, start.elapsed())
 }
 
+/// The median of a sample set of durations, in nanoseconds (0 for an
+/// empty set). Sorts a copy; samples here number in the tens.
+pub fn median_ns(samples: &[Duration]) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut ns: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    ns.sort_unstable();
+    let mid = ns.len() / 2;
+    if ns.len() % 2 == 1 {
+        ns[mid]
+    } else {
+        (ns[mid - 1] + ns[mid]) / 2
+    }
+}
+
+/// A minimal JSON document builder — just enough for the machine-readable
+/// benchmark artifacts (`BENCH_te.json`), with no external dependency.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (benchmark medians in ns are exact integers).
+    Int(i128),
+    /// A float; non-finite values render as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object field list.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    fn escape(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write(&self, indent: usize, out: &mut String) {
+        let pad = |n: usize, out: &mut String| out.push_str(&"  ".repeat(n));
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(f) if f.is_finite() => out.push_str(&format!("{f}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => Json::escape(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(indent + 1, out);
+                    item.write(indent + 1, out);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(indent, out);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(indent + 1, out);
+                    Json::escape(k, out);
+                    out.push_str(": ");
+                    v.write(indent + 1, out);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(indent, out);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders the document (pretty-printed, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
 /// Minimal flag parser: `--key value` pairs and boolean `--key` switches.
 #[derive(Debug, Default)]
 pub struct Args {
@@ -237,5 +351,34 @@ mod tests {
         let (v, d) = time(|| 41 + 1);
         assert_eq!(v, 42);
         assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median_ns(&[]), 0);
+        let d = |n: u64| Duration::from_nanos(n);
+        assert_eq!(median_ns(&[d(5)]), 5);
+        assert_eq!(median_ns(&[d(5), d(1), d(9)]), 5);
+        assert_eq!(median_ns(&[d(4), d(8)]), 6);
+    }
+
+    #[test]
+    fn json_renders_and_escapes() {
+        let doc = Json::obj([
+            ("name", Json::Str("a \"b\"\n".into())),
+            ("n", Json::Int(42)),
+            ("ratio", Json::Num(2.5)),
+            ("nan", Json::Num(f64::NAN)),
+            ("flag", Json::Bool(true)),
+            ("items", Json::Arr(vec![Json::Int(1), Json::Null])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = doc.render();
+        assert!(s.contains("\"a \\\"b\\\"\\n\""));
+        assert!(s.contains("\"n\": 42"));
+        assert!(s.contains("\"ratio\": 2.5"));
+        assert!(s.contains("\"nan\": null"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
     }
 }

@@ -49,6 +49,9 @@ pub struct PrivateEngine {
     db: Database,
     policy: Policy,
     epsilon: f64,
+    /// Worker threads for the residual `T`-family (see
+    /// [`RsParams::threads`]); defaults to the machine's parallelism.
+    threads: usize,
 }
 
 impl PrivateEngine {
@@ -63,7 +66,21 @@ impl PrivateEngine {
             db,
             policy,
             epsilon,
+            threads: dpcq_sensitivity::prep::default_threads(),
         }
+    }
+
+    /// The same engine with an explicit worker-thread count for residual-
+    /// sensitivity `T`-family evaluation (1 = serial; intermediates are
+    /// still shared across the family's subsets).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The underlying database (non-private access, for testing and
@@ -113,7 +130,7 @@ impl PrivateEngine {
                     query,
                     &self.db,
                     &self.policy,
-                    &RsParams::new(mech.beta()),
+                    &RsParams::new(mech.beta()).with_threads(self.threads),
                 )?;
                 Ok(mech.release(count, rs.value, rng))
             }
@@ -150,6 +167,7 @@ impl PrivateEngine {
             db: self.db.clone(),
             policy: self.policy.clone(),
             epsilon: self.epsilon / queries.len() as f64,
+            threads: self.threads,
         };
         queries
             .iter()
@@ -165,8 +183,13 @@ impl PrivateEngine {
         query: &ConjunctiveQuery,
     ) -> Result<Vec<(SensitivityMethod, f64)>, SensitivityError> {
         let beta = self.epsilon / 10.0;
-        let rs =
-            residual_sensitivity_report(query, &self.db, &self.policy, &RsParams::new(beta))?.value;
+        let rs = residual_sensitivity_report(
+            query,
+            &self.db,
+            &self.policy,
+            &RsParams::new(beta).with_threads(self.threads),
+        )?
+        .value;
         let es = elastic_sensitivity(query, &self.db, &self.policy, beta)?;
         let gs = gs_bound(query, &self.policy).evaluate(self.db.total_tuples() as f64);
         Ok(vec![
@@ -284,6 +307,21 @@ mod tests {
         let r = engine.release(&q, &mut rng).unwrap();
         assert_eq!(r.value, 12.0);
         assert_eq!(r.expected_error, 0.0);
+    }
+
+    #[test]
+    fn thread_count_plumbs_through_without_changing_results() {
+        let q = triangle();
+        let serial = PrivateEngine::new(sym_db(), Policy::all_private(), 1.0).with_threads(1);
+        let parallel = PrivateEngine::new(sym_db(), Policy::all_private(), 1.0).with_threads(4);
+        assert_eq!(serial.threads(), 1);
+        assert_eq!(parallel.threads(), 4);
+        let a = serial.release(&q, &mut StdRng::seed_from_u64(21)).unwrap();
+        let b = parallel
+            .release(&q, &mut StdRng::seed_from_u64(21))
+            .unwrap();
+        // Same sensitivity, same noise stream: identical releases.
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -26,10 +26,12 @@
 //! whose maximum is trivial.
 
 use crate::error::EvalError;
-use crate::factor::{Factor, Semiring};
+use crate::factor::{vars_mask, Factor, Semiring};
+use crate::family::{cached, restrict_rep, FactorStore, Sig, TF};
 use dpcq_query::{ConjunctiveQuery, Predicate, Term, VarId};
 use dpcq_relation::{Database, Value};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A query bound to a database instance, ready to evaluate counts and
 /// residual boundary multiplicities.
@@ -37,8 +39,9 @@ use std::collections::BTreeSet;
 pub struct Evaluator<'a> {
     query: &'a ConjunctiveQuery,
     db: &'a Database,
-    /// Base factor per atom (no predicates applied), built once.
-    atom_factors: Vec<Factor>,
+    /// Base factor per atom (no predicates applied), built once and shared
+    /// (`Arc`) with residual evaluations instead of cloned into them.
+    atom_factors: Vec<Arc<Factor>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -60,18 +63,29 @@ impl<'a> Evaluator<'a> {
                 });
             }
             let vars = atom.variables();
+            // Column slot of each term, resolved once ahead of the row
+            // loop (a per-row `position()` scan shows up in profiles).
+            let slots: Vec<Option<usize>> = atom
+                .terms
+                .iter()
+                .map(|t| {
+                    t.as_var()
+                        .map(|v| vars.iter().position(|w| *w == v).expect("var interned"))
+                })
+                .collect();
             let mut rows: Vec<(Vec<Value>, u128)> = Vec::with_capacity(rel.len());
+            let mut bound: Vec<Option<Value>> = vec![None; vars.len()];
             'rows: for row in rel.iter() {
-                let mut bound: Vec<Option<Value>> = vec![None; vars.len()];
-                for (term, &val) in atom.terms.iter().zip(row) {
+                bound.fill(None);
+                for ((term, &val), slot) in atom.terms.iter().zip(row).zip(&slots) {
                     match term {
                         Term::Const(c) => {
                             if *c != val {
                                 continue 'rows;
                             }
                         }
-                        Term::Var(v) => {
-                            let slot = vars.iter().position(|w| w == v).expect("var interned");
+                        Term::Var(_) => {
+                            let slot = slot.expect("variable term has a slot");
                             match bound[slot] {
                                 None => bound[slot] = Some(val),
                                 Some(prev) if prev != val => continue 'rows,
@@ -80,12 +94,9 @@ impl<'a> Evaluator<'a> {
                         }
                     }
                 }
-                rows.push((
-                    bound.into_iter().map(|b| b.expect("all bound")).collect(),
-                    1,
-                ));
+                rows.push((bound.iter().map(|b| b.expect("all bound")).collect(), 1));
             }
-            atom_factors.push(Factor::from_rows(vars, rows, Semiring::Counting));
+            atom_factors.push(Arc::new(Factor::from_rows(vars, rows, Semiring::Counting)));
         }
         Ok(Evaluator {
             query,
@@ -108,7 +119,12 @@ impl<'a> Evaluator<'a> {
     /// unified; no predicates applied). Used by statistics consumers such
     /// as elastic sensitivity's maximum-frequency computation.
     pub fn atom_factor(&self, i: usize) -> &Factor {
-        &self.atom_factors[i]
+        self.atom_factors[i].as_ref()
+    }
+
+    /// The base factor of atom `i` as a shareable handle.
+    pub(crate) fn atom_factor_arc(&self, i: usize) -> Arc<Factor> {
+        Arc::clone(&self.atom_factors[i])
     }
 
     /// `|q(I)|`: the number of results of the (possibly projected) query,
@@ -121,15 +137,15 @@ impl<'a> Evaluator<'a> {
                 // aggregation width low (safe here regardless of
                 // connectivity — the boundary is empty, so every term
                 // reduces to scalars).
-                if let Some(c) = self.t_e_inclusion_exclusion(&all, &BTreeSet::new()) {
+                if let Some(c) = self.t_e_inclusion_exclusion(None, &all, &BTreeSet::new()) {
                     return Ok(c);
                 }
-                let f = self.residual_factor(&all, &BTreeSet::new(), false)?;
+                let f = self.residual_factor(None, &all, &BTreeSet::new(), false)?;
                 Ok(f.scalar())
             }
             Some(o) => {
                 let keep: BTreeSet<VarId> = o.iter().copied().collect();
-                let f = self.residual_factor(&all, &keep, true)?;
+                let f = self.residual_factor(None, &all, &keep, true)?;
                 let drop: Vec<VarId> = keep.into_iter().collect();
                 Ok(f.eliminate(&drop, Semiring::Counting).scalar())
             }
@@ -143,12 +159,22 @@ impl<'a> Evaluator<'a> {
     /// (`max_t |π_{o_E}(q_E(I) ⋈ t)|`). Predicates are handled per
     /// Section 5 (see the module docs).
     pub fn t_e(&self, subset: &[usize]) -> Result<u128, EvalError> {
+        self.t_e_memo(None, subset)
+    }
+
+    /// [`Evaluator::t_e`] with an optional shared-intermediate store (the
+    /// family-evaluation entry point, see [`crate::family`]).
+    pub(crate) fn t_e_memo(
+        &self,
+        memo: Option<&FactorStore>,
+        subset: &[usize],
+    ) -> Result<u128, EvalError> {
         if subset.is_empty() {
             return Ok(1); // T_∅ = 1 by convention
         }
         self.check_comparisons(subset)?;
         if self.query.residual_output(subset).is_some() {
-            return Ok(self.boundary_factor(subset)?.max_annotation());
+            return Ok(self.boundary_factor_memo(memo, subset)?.max_annotation());
         }
         let boundary: BTreeSet<VarId> = self.query.boundary(subset).into_iter().collect();
         // Connected residuals whose predicates are inequalities evaluate
@@ -156,11 +182,11 @@ impl<'a> Evaluator<'a> {
         // with fused aggregation, keeping the width low (no bucket
         // widening, no materialized predicate joins).
         if self.query.subset_connected(subset) {
-            if let Some(max) = self.t_e_inclusion_exclusion(subset, &boundary) {
+            if let Some(max) = self.t_e_inclusion_exclusion(memo, subset, &boundary) {
                 return Ok(max);
             }
         }
-        let (factors, pending) = self.eliminate_to_keep(subset, &boundary, false)?;
+        let (factors, pending) = self.eliminate_to_keep(memo, subset, &boundary, false)?;
         if let Some(max) = max_product(&factors, &pending, self.query.num_vars()) {
             return Ok(max);
         }
@@ -178,6 +204,7 @@ impl<'a> Evaluator<'a> {
     /// which case the caller uses the direct path.
     fn t_e_inclusion_exclusion(
         &self,
+        memo: Option<&FactorStore>,
         subset: &[usize],
         boundary: &BTreeSet<VarId>,
     ) -> Option<u128> {
@@ -197,18 +224,46 @@ impl<'a> Evaluator<'a> {
             return None;
         }
 
-        // Base factors with the single-variable filters applied.
-        let base: Vec<Factor> = subset
+        // Base factors with the single-variable filters applied; atoms
+        // without applicable filters are shared, not cloned, and filtered
+        // atoms are memoized across the family.
+        let base: Vec<TF> = subset
             .iter()
             .map(|&i| {
-                let mut f = self.atom_factors[i].clone();
-                let applicable: Vec<Predicate> = single
+                let af = self.atom_factor(i);
+                let mut applicable: Vec<Predicate> = single
                     .iter()
-                    .filter(|p| p.variables().iter().all(|v| f.mentions(*v)))
+                    .filter(|p| p.variables().iter().all(|v| af.mentions(*v)))
                     .copied()
                     .collect();
-                f.filter(&applicable);
-                f
+                if applicable.is_empty() {
+                    return TF {
+                        f: self.atom_factor_arc(i),
+                        atoms: vec![i as u32],
+                        preds: Vec::new(),
+                    };
+                }
+                applicable.sort_unstable();
+                let f = cached(
+                    memo,
+                    || Sig {
+                        atoms: vec![i as u32],
+                        keep: var_ids_sorted(af.vars()),
+                        boolean: false,
+                        preds: applicable.clone(),
+                        rep: Vec::new(),
+                    },
+                    || {
+                        let mut f = af.clone();
+                        f.filter(&applicable);
+                        f
+                    },
+                );
+                TF {
+                    f,
+                    atoms: vec![i as u32],
+                    preds: applicable,
+                }
             })
             .collect();
 
@@ -253,16 +308,56 @@ impl<'a> Evaluator<'a> {
             if coeff == 0 {
                 continue;
             }
-            let factors: Vec<Factor> = base
+            let identity = rep.iter().enumerate().all(|(i, &r)| i == r);
+            let factors: Vec<TF> = base
                 .iter()
-                .map(|f| f.merge_columns(&rep, Semiring::Counting))
+                .map(|tf| {
+                    let avars = self.query.atoms()[tf.atoms[0] as usize].variables();
+                    let rpairs = restrict_rep(&rep, &avars);
+                    if rpairs.is_empty() {
+                        // The partition is the identity on this atom's
+                        // columns: share the (possibly filtered) base.
+                        return TF {
+                            f: Arc::clone(&tf.f),
+                            atoms: tf.atoms.clone(),
+                            preds: tf.preds.clone(),
+                        };
+                    }
+                    let f = cached(
+                        memo,
+                        || {
+                            let mut keep: Vec<u32> =
+                                avars.iter().map(|v| rep[v.0] as u32).collect();
+                            keep.sort_unstable();
+                            keep.dedup();
+                            Sig {
+                                atoms: tf.atoms.clone(),
+                                keep,
+                                boolean: false,
+                                preds: tf.preds.clone(),
+                                rep: rpairs.clone(),
+                            }
+                        },
+                        || tf.f.merge_columns(&rep, Semiring::Counting),
+                    );
+                    TF {
+                        f,
+                        atoms: tf.atoms.clone(),
+                        preds: tf.preds.clone(),
+                    }
+                })
                 .collect();
             let keep: BTreeSet<VarId> = boundary_vec.iter().map(|b| VarId(rep[b.0])).collect();
-            let reduced = eliminate_pure(factors, &keep, Semiring::Counting);
-            let combined = reduced
-                .into_iter()
-                .reduce(|a, b| a.join(&b, Semiring::Counting))
-                .unwrap_or_else(Factor::unit);
+            let reduced = eliminate_pure(
+                memo,
+                factors,
+                &keep,
+                Semiring::Counting,
+                if identity { None } else { Some(&rep) },
+                self.query,
+            );
+            let fs: Vec<Arc<Factor>> = reduced.into_iter().map(|t| t.f).collect();
+            let combined = join_all(&fs, Semiring::Counting);
 
             let positions: Vec<usize> = boundary_vec
                 .iter()
@@ -296,17 +391,26 @@ impl<'a> Evaluator<'a> {
     /// non-full queries). `T_E` is its maximum annotation; the paper's
     /// witness `t_E(I)` is its argmax (see [`Evaluator::t_e_witness`]).
     pub fn boundary_factor(&self, subset: &[usize]) -> Result<Factor, EvalError> {
+        self.boundary_factor_memo(None, subset)
+    }
+
+    /// [`Evaluator::boundary_factor`] with an optional shared store.
+    fn boundary_factor_memo(
+        &self,
+        memo: Option<&FactorStore>,
+        subset: &[usize],
+    ) -> Result<Factor, EvalError> {
         if subset.is_empty() {
             return Ok(Factor::unit());
         }
         self.check_comparisons(subset)?;
         let boundary: BTreeSet<VarId> = self.query.boundary(subset).into_iter().collect();
         match self.query.residual_output(subset) {
-            None => self.residual_factor(subset, &boundary, false),
+            None => self.residual_factor(memo, subset, &boundary, false),
             Some(o) => {
                 let mut keep = boundary.clone();
                 keep.extend(o.iter().copied());
-                let f = self.residual_factor(subset, &keep, true)?;
+                let f = self.residual_factor(memo, subset, &keep, true)?;
                 if o.is_empty() {
                     // π_∅ of a non-empty set is {⟨⟩}: annotation 1 per
                     // boundary valuation that has any completion.
@@ -348,6 +452,7 @@ impl<'a> Evaluator<'a> {
     /// Fully materialized residual factor over `keep`.
     fn residual_factor(
         &self,
+        memo: Option<&FactorStore>,
         subset: &[usize],
         keep: &BTreeSet<VarId>,
         distinct: bool,
@@ -357,7 +462,7 @@ impl<'a> Evaluator<'a> {
         } else {
             Semiring::Counting
         };
-        let (factors, pending) = self.eliminate_to_keep(subset, keep, distinct)?;
+        let (factors, pending) = self.eliminate_to_keep(memo, subset, keep, distinct)?;
         Ok(finalize_join(factors, pending, semiring))
     }
 
@@ -371,22 +476,51 @@ impl<'a> Evaluator<'a> {
     /// (set semantics — used by the projected queries of Section 6).
     fn eliminate_to_keep(
         &self,
+        memo: Option<&FactorStore>,
         subset: &[usize],
         keep: &BTreeSet<VarId>,
         distinct: bool,
-    ) -> Result<(Vec<Factor>, Vec<Predicate>), EvalError> {
+    ) -> Result<(Vec<TF>, Vec<Predicate>), EvalError> {
         let semiring = if distinct {
             Semiring::Boolean
         } else {
             Semiring::Counting
         };
+        let boolean = semiring == Semiring::Boolean;
         let mut pending: Vec<Predicate> = self.query.contained_predicates(subset);
-        let mut factors: Vec<Factor> = Vec::with_capacity(subset.len());
+        let mut factors: Vec<TF> = Vec::with_capacity(subset.len());
         for &i in subset {
-            let mut f = self.atom_factors[i].clone();
-            let applicable = take_applicable(&mut pending, f.vars());
-            f.filter(&applicable);
-            factors.push(f);
+            let af = self.atom_factor(i);
+            let mut applicable = take_applicable(&mut pending, af.vars());
+            if applicable.is_empty() {
+                factors.push(TF {
+                    f: self.atom_factor_arc(i),
+                    atoms: vec![i as u32],
+                    preds: Vec::new(),
+                });
+                continue;
+            }
+            applicable.sort_unstable();
+            let f = cached(
+                memo,
+                || Sig {
+                    atoms: vec![i as u32],
+                    keep: var_ids_sorted(af.vars()),
+                    boolean,
+                    preds: applicable.clone(),
+                    rep: Vec::new(),
+                },
+                || {
+                    let mut f = af.clone();
+                    f.filter(&applicable);
+                    f
+                },
+            );
+            factors.push(TF {
+                f,
+                atoms: vec![i as u32],
+                preds: applicable,
+            });
         }
 
         let mut elim: BTreeSet<VarId> = self
@@ -399,13 +533,13 @@ impl<'a> Evaluator<'a> {
         while let Some(v) = pick_elimination_var(&elim, &factors) {
             // Gather every factor containing v, then widen so each pending
             // predicate mentioning v has all its variables present.
-            let mut in_bucket: Vec<bool> = factors.iter().map(|f| f.mentions(v)).collect();
+            let mut in_bucket: Vec<bool> = factors.iter().map(|t| t.f.mentions(v)).collect();
             loop {
                 let covered: BTreeSet<VarId> = factors
                     .iter()
                     .zip(&in_bucket)
                     .filter(|(_, &inb)| inb)
-                    .flat_map(|(f, _)| f.vars().iter().copied())
+                    .flat_map(|(t, _)| t.f.vars().iter().copied())
                     .collect();
                 let mut widened = false;
                 for p in pending.iter().filter(|p| p.variables().contains(&v)) {
@@ -414,7 +548,7 @@ impl<'a> Evaluator<'a> {
                             let j = factors
                                 .iter()
                                 .enumerate()
-                                .position(|(j, f)| !in_bucket[j] && f.mentions(pv))
+                                .position(|(j, t)| !in_bucket[j] && t.f.mentions(pv))
                                 .expect("predicate var bound by some atom of the subset");
                             in_bucket[j] = true;
                             widened = true;
@@ -426,96 +560,199 @@ impl<'a> Evaluator<'a> {
                 }
             }
 
-            // Join the bucket (smallest factors first to keep intermediates
-            // small), leaving the others in place.
-            let mut bucket: Vec<Factor> = Vec::new();
-            let mut rest: Vec<Factor> = Vec::new();
-            for (f, inb) in factors.drain(..).zip(in_bucket) {
+            // Split the bucket off, leaving the others in place.
+            let mut bucket: Vec<TF> = Vec::new();
+            let mut rest: Vec<TF> = Vec::new();
+            for (t, inb) in factors.drain(..).zip(in_bucket) {
                 if inb {
-                    bucket.push(f);
+                    bucket.push(t);
                 } else {
-                    rest.push(f);
+                    rest.push(t);
                 }
             }
-            bucket.sort_by_key(Factor::len);
-            let mut joined = bucket
+            // The joined factor's variable set (the union) is known before
+            // joining, so predicate routing, the dead-variable set, and
+            // the memo signature can all be derived up front — a cache hit
+            // skips the join entirely.
+            let joined_vars: Vec<VarId> = bucket
+                .iter()
+                .flat_map(|t| t.f.vars().iter().copied())
+                .collect::<BTreeSet<_>>()
                 .into_iter()
-                .reduce(|a, b| a.join(&b, semiring))
-                .expect("bucket contains at least the factor with v");
-            let applicable = take_applicable(&mut pending, joined.vars());
-            joined.filter(&applicable);
+                .collect();
+            let mut applicable = take_applicable(&mut pending, &joined_vars);
+            applicable.sort_unstable();
 
             // Variables that die with this bucket: not kept, not referenced
             // by any remaining factor or pending predicate.
-            let dead: Vec<VarId> = joined
-                .vars()
+            let dead: Vec<VarId> = joined_vars
                 .iter()
                 .copied()
                 .filter(|u| {
                     elim.contains(u)
-                        && !rest.iter().any(|f| f.mentions(*u))
+                        && !rest.iter().any(|t| t.f.mentions(*u))
                         && !pending.iter().any(|p| p.variables().contains(u))
                 })
                 .collect();
             debug_assert!(dead.contains(&v), "progress: v must be eliminable");
-            let reduced = joined.eliminate(&dead, semiring);
+
+            let atoms = union_atoms(&bucket);
+            let preds = union_preds(&bucket, &applicable);
+            let f = cached(
+                memo,
+                || Sig {
+                    atoms: atoms.clone(),
+                    keep: joined_vars
+                        .iter()
+                        .filter(|u| !dead.contains(u))
+                        .map(|u| u.0 as u32)
+                        .collect(),
+                    boolean,
+                    preds: preds.clone(),
+                    rep: Vec::new(),
+                },
+                || {
+                    // Join smallest factors first to keep intermediates
+                    // small.
+                    let mut fs: Vec<Arc<Factor>> =
+                        bucket.iter().map(|t| Arc::clone(&t.f)).collect();
+                    fs.sort_by_key(|f| f.len());
+                    let mut joined = unshare(join_all(&fs, semiring));
+                    joined.filter(&applicable);
+                    joined.eliminate(&dead, semiring)
+                },
+            );
             for u in dead {
                 elim.remove(&u);
             }
-            rest.push(reduced);
+            rest.push(TF { f, atoms, preds });
             factors = rest;
         }
         Ok((factors, pending))
     }
 }
 
+/// Sorted ids of a variable list (memo-signature component).
+fn var_ids_sorted(vars: &[VarId]) -> Vec<u32> {
+    let mut ids: Vec<u32> = vars.iter().map(|v| v.0 as u32).collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// The sorted union of the tagged factors' base atoms.
+fn union_atoms(bucket: &[TF]) -> Vec<u32> {
+    let mut atoms: Vec<u32> = bucket
+        .iter()
+        .flat_map(|t| t.atoms.iter().copied())
+        .collect();
+    atoms.sort_unstable();
+    atoms.dedup();
+    atoms
+}
+
+/// The canonically sorted, deduplicated union of applied predicates
+/// (the inclusion–exclusion path applies a single-variable filter to
+/// every atom mentioning its variable, so inputs can repeat a predicate;
+/// deduplicating keeps the memo key canonical).
+fn union_preds(bucket: &[TF], extra: &[Predicate]) -> Vec<Predicate> {
+    let mut preds: Vec<Predicate> = bucket
+        .iter()
+        .flat_map(|t| t.preds.iter().copied())
+        .chain(extra.iter().copied())
+        .collect();
+    preds.sort_unstable();
+    preds.dedup();
+    preds
+}
+
 /// Predicate-free bucket elimination with fused aggregation: repeatedly
 /// joins the factors containing the cheapest elimination variable and
 /// drops every variable that dies with the bucket *during the final join*
 /// (the intermediate join is never materialized). Used by the
-/// inclusion–exclusion terms, which have no predicates by construction.
+/// inclusion–exclusion terms, which carry no pending predicates by
+/// construction; `rep` is the IE term's column-merge partition (`None`
+/// for the identity), threaded into the memo signatures.
 fn eliminate_pure(
-    mut factors: Vec<Factor>,
+    memo: Option<&FactorStore>,
+    mut factors: Vec<TF>,
     keep: &BTreeSet<VarId>,
     semiring: Semiring,
-) -> Vec<Factor> {
+    rep: Option<&[usize]>,
+    query: &ConjunctiveQuery,
+) -> Vec<TF> {
+    let boolean = semiring == Semiring::Boolean;
     let mut elim: BTreeSet<VarId> = factors
         .iter()
-        .flat_map(|f| f.vars().iter().copied())
+        .flat_map(|t| t.f.vars().iter().copied())
         .filter(|v| !keep.contains(v))
         .collect();
     while let Some(v) = pick_elimination_var(&elim, &factors) {
-        let mut bucket: Vec<Factor> = Vec::new();
-        let mut rest: Vec<Factor> = Vec::new();
-        for f in factors.drain(..) {
-            if f.mentions(v) {
-                bucket.push(f);
+        let mut bucket: Vec<TF> = Vec::new();
+        let mut rest: Vec<TF> = Vec::new();
+        for t in factors.drain(..) {
+            if t.f.mentions(v) {
+                bucket.push(t);
             } else {
-                rest.push(f);
+                rest.push(t);
             }
         }
         let dead: Vec<VarId> = bucket
             .iter()
-            .flat_map(|f| f.vars().iter().copied())
-            .filter(|u| elim.contains(u) && !rest.iter().any(|f| f.mentions(*u)))
+            .flat_map(|t| t.f.vars().iter().copied())
+            .filter(|u| elim.contains(u) && !rest.iter().any(|t| t.f.mentions(*u)))
             .collect::<BTreeSet<_>>()
             .into_iter()
             .collect();
-        bucket.sort_by_key(Factor::len);
-        let reduced = if bucket.len() == 1 {
-            bucket.pop().expect("non-empty").eliminate(&dead, semiring)
-        } else {
-            let last = bucket.pop().expect("non-empty");
-            let prefix = bucket
-                .into_iter()
-                .reduce(|a, b| a.join(&b, semiring))
-                .expect("at least one more factor");
-            prefix.join_eliminate(&last, &dead, semiring)
-        };
+        let atoms = union_atoms(&bucket);
+        let preds = union_preds(&bucket, &[]);
+        let f = cached(
+            memo,
+            || {
+                let mut keep_ids: Vec<u32> = bucket
+                    .iter()
+                    .flat_map(|t| t.f.vars().iter().copied())
+                    .filter(|u| !dead.contains(u))
+                    .map(|u| u.0 as u32)
+                    .collect();
+                keep_ids.sort_unstable();
+                keep_ids.dedup();
+                // Restrict the partition to the atoms' original columns:
+                // two IE terms agreeing there share the factor.
+                let rep_pairs = rep
+                    .map(|r| {
+                        let orig: Vec<VarId> = atoms
+                            .iter()
+                            .flat_map(|&i| query.atoms()[i as usize].variables())
+                            .collect();
+                        restrict_rep(r, &orig)
+                    })
+                    .unwrap_or_default();
+                Sig {
+                    atoms: atoms.clone(),
+                    keep: keep_ids,
+                    boolean,
+                    preds: preds.clone(),
+                    rep: rep_pairs,
+                }
+            },
+            || {
+                let mut fs: Vec<Arc<Factor>> = bucket.iter().map(|t| Arc::clone(&t.f)).collect();
+                fs.sort_by_key(|f| f.len());
+                match fs.len() {
+                    1 => fs[0].eliminate(&dead, semiring),
+                    n => {
+                        // Fuse the elimination into the final (largest)
+                        // join so the intermediate never materializes.
+                        let prefix = join_all(&fs[..n - 1], semiring);
+                        prefix.join_eliminate(&fs[n - 1], &dead, semiring)
+                    }
+                }
+            },
+        );
         for u in dead {
             elim.remove(&u);
         }
-        rest.push(reduced);
+        rest.push(TF { f, atoms, preds });
         factors = rest;
     }
     factors
@@ -523,16 +760,10 @@ fn eliminate_pure(
 
 /// Joins the remaining factors (cross products if disconnected) and
 /// applies the leftover predicates.
-fn finalize_join(
-    mut factors: Vec<Factor>,
-    mut pending: Vec<Predicate>,
-    semiring: Semiring,
-) -> Factor {
-    factors.sort_by_key(Factor::len);
-    let mut result = factors
-        .into_iter()
-        .reduce(|a, b| a.join(&b, semiring))
-        .unwrap_or_else(Factor::unit);
+fn finalize_join(factors: Vec<TF>, mut pending: Vec<Predicate>, semiring: Semiring) -> Factor {
+    let mut fs: Vec<Arc<Factor>> = factors.into_iter().map(|t| t.f).collect();
+    fs.sort_by_key(|f| f.len());
+    let mut result = unshare(join_all(&fs, semiring));
     let applicable = take_applicable(&mut pending, result.vars());
     result.filter(&applicable);
     debug_assert!(
@@ -540,6 +771,29 @@ fn finalize_join(
         "all contained predicates must have been applied"
     );
     result
+}
+
+/// Joins the factors left to right (the unit factor for an empty list; a
+/// shared handle to the single factor for one). Callers pre-sort when a
+/// smallest-first order matters.
+fn join_all(fs: &[Arc<Factor>], semiring: Semiring) -> Arc<Factor> {
+    match fs.len() {
+        0 => Arc::new(Factor::unit()),
+        1 => Arc::clone(&fs[0]),
+        _ => {
+            let mut acc = fs[0].join(&fs[1], semiring);
+            for f in &fs[2..] {
+                acc = acc.join(f, semiring);
+            }
+            Arc::new(acc)
+        }
+    }
+}
+
+/// An owned factor out of a possibly-shared handle (clones only when the
+/// factor is genuinely shared, e.g. a single-element [`join_all`]).
+fn unshare(f: Arc<Factor>) -> Factor {
+    Arc::try_unwrap(f).unwrap_or_else(|shared| (*shared).clone())
 }
 
 /// Node budget for the final-stage branch-and-bound (rows examined);
@@ -554,27 +808,29 @@ const MAX_PRODUCT_NODE_BUDGET: u64 = 50_000_000;
 /// cross products of set-like factors.
 ///
 /// Returns `None` if the node budget is exhausted.
-fn max_product(factors: &[Factor], preds: &[Predicate], num_vars: usize) -> Option<u128> {
+fn max_product(factors: &[TF], preds: &[Predicate], num_vars: usize) -> Option<u128> {
     if factors.is_empty() {
         return Some(1); // the unit factor; pending preds are var-free here
     }
-    if factors.iter().any(Factor::is_empty) {
+    if factors.iter().any(|t| t.f.is_empty()) {
         return Some(0);
     }
     // Fast path: a single factor with no predicates left.
     if factors.len() == 1 && preds.is_empty() {
-        return Some(factors[0].max_annotation());
+        return Some(factors[0].f.max_annotation());
     }
-    let orders: Vec<Vec<u32>> = factors.iter().map(Factor::rows_by_weight_desc).collect();
+    // Descending-weight orders are cached per factor, so shared factors
+    // sort once across every branch-and-bound that visits them.
+    let orders: Vec<&[u32]> = factors.iter().map(|t| t.f.rows_by_weight_desc()).collect();
     // suffix_max[i] = Π_{j ≥ i} max weight of factor j.
     let mut suffix_max = vec![1u128; factors.len() + 1];
     for i in (0..factors.len()).rev() {
-        suffix_max[i] = suffix_max[i + 1].checked_mul(factors[i].max_annotation())?;
+        suffix_max[i] = suffix_max[i + 1].checked_mul(factors[i].f.max_annotation())?;
     }
 
     struct Search<'s> {
-        factors: &'s [Factor],
-        orders: &'s [Vec<u32>],
+        factors: &'s [TF],
+        orders: &'s [&'s [u32]],
         suffix_max: &'s [u128],
         preds: &'s [Predicate],
         bound: Vec<Option<Value>>,
@@ -592,9 +848,9 @@ fn max_product(factors: &[Factor], preds: &[Predicate], num_vars: usize) -> Opti
             if acc.saturating_mul(self.suffix_max[i]) <= self.best {
                 return true; // cannot improve
             }
-            let factor = &self.factors[i];
+            let factor = self.factors[i].f.as_ref();
             let vars = factor.vars().to_vec();
-            'rows: for &ri in &self.orders[i] {
+            'rows: for &ri in self.orders[i] {
                 self.nodes += 1;
                 if self.nodes > MAX_PRODUCT_NODE_BUDGET {
                     return false;
@@ -659,11 +915,23 @@ fn max_product(factors: &[Factor], preds: &[Predicate], num_vars: usize) -> Opti
 }
 
 /// Removes and returns the predicates whose variables are all columns of a
-/// factor with variable list `vars`.
+/// factor with variable list `vars` (bitset membership tests, with a
+/// linear-scan fallback for variable ids past the mask width).
 fn take_applicable(pending: &mut Vec<Predicate>, vars: &[VarId]) -> Vec<Predicate> {
+    if pending.is_empty() {
+        return Vec::new();
+    }
+    let mask = vars_mask(vars);
+    let contains = |v: &VarId| {
+        if v.0 < 64 {
+            mask & (1u64 << v.0) != 0
+        } else {
+            vars.contains(v)
+        }
+    };
     let mut applicable = Vec::new();
     pending.retain(|p| {
-        if p.variables().iter().all(|v| vars.contains(v)) {
+        if p.variables().iter().all(contains) {
             applicable.push(*p);
             false
         } else {
@@ -676,12 +944,12 @@ fn take_applicable(pending: &mut Vec<Predicate>, vars: &[VarId]) -> Vec<Predicat
 /// Chooses the next variable to eliminate: the one whose bucket (factors
 /// mentioning it) is cheapest by total row count. Returns `None` when no
 /// elimination variable remains.
-fn pick_elimination_var(elim: &BTreeSet<VarId>, factors: &[Factor]) -> Option<VarId> {
+fn pick_elimination_var(elim: &BTreeSet<VarId>, factors: &[TF]) -> Option<VarId> {
     elim.iter().copied().min_by_key(|&v| {
         let cost: usize = factors
             .iter()
-            .filter(|f| f.mentions(v))
-            .map(Factor::len)
+            .filter(|t| t.f.mentions(v))
+            .map(|t| t.f.len())
             .sum();
         (cost, v.0)
     })

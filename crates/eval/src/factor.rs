@@ -22,6 +22,24 @@
 use dpcq_query::{Predicate, VarId};
 use dpcq_relation::fxhash::hash_row;
 use dpcq_relation::{FxHashMap, Value};
+use std::sync::OnceLock;
+
+/// The bit of `v` in a variable bitset, or 0 for ids past the mask width.
+#[inline]
+fn var_bit(v: VarId) -> u64 {
+    if v.0 < 64 {
+        1u64 << v.0
+    } else {
+        0
+    }
+}
+
+/// The bitset of a variable list (ids ≥ 64 are not representable and fall
+/// back to linear scans in [`Factor::mentions`]).
+#[inline]
+pub(crate) fn vars_mask(vars: &[VarId]) -> u64 {
+    vars.iter().fold(0u64, |m, &v| m | var_bit(v))
+}
 
 /// The two aggregation semirings used by the engine.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -51,14 +69,38 @@ impl Semiring {
 }
 
 /// An annotated relation over a list of variables.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Factor {
     vars: Vec<VarId>,
+    /// Bitset of `vars` (ids < 64) so [`Factor::mentions`] is one AND
+    /// instead of a linear scan — variable-membership tests dominate the
+    /// bucket-selection and predicate-routing inner loops.
+    mask: u64,
     /// Flat row storage: row `i` occupies `data[i*arity .. (i+1)*arity]`.
     data: Vec<Value>,
     weights: Vec<u128>,
     /// Row hash -> row indices with that hash.
     index: FxHashMap<u64, Vec<u32>>,
+    /// Lazily computed descending-weight row order (see
+    /// [`Factor::rows_by_weight_desc`]). Shared `Arc<Factor>`s in the
+    /// family memo store thus sort once across all branch-and-bound calls.
+    order: OnceLock<Box<[u32]>>,
+}
+
+impl Clone for Factor {
+    fn clone(&self) -> Self {
+        Factor {
+            vars: self.vars.clone(),
+            mask: self.mask,
+            data: self.data.clone(),
+            weights: self.weights.clone(),
+            index: self.index.clone(),
+            // The order is a pure function of `weights`, so carrying it
+            // over is sound — but clones are usually about to be mutated,
+            // so start fresh rather than copy a cache most clones drop.
+            order: OnceLock::new(),
+        }
+    }
 }
 
 impl Factor {
@@ -72,22 +114,28 @@ impl Factor {
 
     /// An empty factor (additive zero) over the given variables.
     pub fn empty(vars: Vec<VarId>) -> Self {
+        let mask = vars_mask(&vars);
         Factor {
             vars,
+            mask,
             data: Vec::new(),
             weights: Vec::new(),
             index: FxHashMap::default(),
+            order: OnceLock::new(),
         }
     }
 
     /// An empty factor with row capacity reserved.
     pub fn with_capacity(vars: Vec<VarId>, rows: usize) -> Self {
         let arity = vars.len();
+        let mask = vars_mask(&vars);
         Factor {
             vars,
+            mask,
             data: Vec::with_capacity(rows * arity),
             weights: Vec::with_capacity(rows),
             index: FxHashMap::with_capacity_and_hasher(rows, Default::default()),
+            order: OnceLock::new(),
         }
     }
 
@@ -136,6 +184,10 @@ impl Factor {
             Semiring::Counting => w,
             Semiring::Boolean => w.min(1),
         };
+        if self.order.get().is_some() {
+            // Weight updates invalidate the cached descending-weight order.
+            self.order = OnceLock::new();
+        }
         let h = hash_row(row);
         let a = self.arity();
         let bucket = self.index.entry(h).or_default();
@@ -157,8 +209,13 @@ impl Factor {
     }
 
     /// Whether the factor mentions `v`.
+    #[inline]
     pub fn mentions(&self, v: VarId) -> bool {
-        self.vars.contains(&v)
+        if v.0 < 64 {
+            self.mask & (1u64 << v.0) != 0
+        } else {
+            self.vars.contains(&v)
+        }
     }
 
     /// Number of rows.
@@ -183,8 +240,13 @@ impl Factor {
     }
 
     /// The total annotation (the `+` aggregation over everything).
+    ///
+    /// Checked, like every other annotation combination in this module:
+    /// silently wrapping here would under-report a sensitivity.
     pub fn total(&self) -> u128 {
-        self.weights.iter().sum()
+        self.weights
+            .iter()
+            .fold(0u128, |acc, &w| acc.checked_add(w).expect("count overflow"))
     }
 
     /// The annotation of the single row of a nullary factor
@@ -200,96 +262,10 @@ impl Factor {
     /// Natural join of two factors, multiplying annotations in the given
     /// semiring. Columns of `self` come first, followed by `other`'s
     /// non-shared columns. Disjoint variable sets produce a cross product.
+    ///
+    /// This is [`Factor::join_eliminate`] with an empty drop set.
     pub fn join(&self, other: &Factor, semiring: Semiring) -> Factor {
-        // Hash the smaller side on the shared variables.
-        let (build, probe) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        let shared: Vec<VarId> = build
-            .vars
-            .iter()
-            .copied()
-            .filter(|v| probe.mentions(*v))
-            .collect();
-        let build_shared_pos: Vec<usize> = shared
-            .iter()
-            .map(|v| build.vars.iter().position(|w| w == v).expect("shared var"))
-            .collect();
-        let probe_shared_pos: Vec<usize> = shared
-            .iter()
-            .map(|v| probe.vars.iter().position(|w| w == v).expect("shared var"))
-            .collect();
-
-        let mut key = vec![Value::default(); shared.len()];
-        let mut index: FxHashMap<u64, Vec<u32>> =
-            FxHashMap::with_capacity_and_hasher(build.len(), Default::default());
-        for i in 0..build.len() {
-            let row = build.row(i);
-            for (k, &p) in key.iter_mut().zip(&build_shared_pos) {
-                *k = row[p];
-            }
-            index.entry(hash_row(&key)).or_default().push(i as u32);
-        }
-        let key_matches = |bi: usize, key: &[Value]| -> bool {
-            let row = build.row(bi);
-            build_shared_pos.iter().zip(key).all(|(&p, k)| row[p] == *k)
-        };
-
-        // Output layout: self's vars then other's extras.
-        let out_vars: Vec<VarId> = self
-            .vars
-            .iter()
-            .copied()
-            .chain(other.vars.iter().copied().filter(|v| !self.mentions(*v)))
-            .collect();
-        // Positions of each output var: (true, p) = from build row.
-        let out_pos: Vec<(bool, usize)> = out_vars
-            .iter()
-            .map(|v| {
-                if let Some(p) = build.vars.iter().position(|w| w == v) {
-                    (true, p)
-                } else {
-                    (
-                        false,
-                        probe
-                            .vars
-                            .iter()
-                            .position(|w| w == v)
-                            .expect("var in probe"),
-                    )
-                }
-            })
-            .collect();
-
-        let mut out = Factor::with_capacity(out_vars, probe.len());
-        let mut out_row = vec![Value::default(); out.vars.len()];
-        for pi in 0..probe.len() {
-            let prow = probe.row(pi);
-            for (k, &p) in key.iter_mut().zip(&probe_shared_pos) {
-                *k = prow[p];
-            }
-            let Some(bucket) = index.get(&hash_row(&key)) else {
-                continue;
-            };
-            for &bi in bucket {
-                let bi = bi as usize;
-                if !key_matches(bi, &key) {
-                    continue;
-                }
-                let brow = build.row(bi);
-                for (slot, &(from_build, p)) in out_row.iter_mut().zip(&out_pos) {
-                    *slot = if from_build { brow[p] } else { prow[p] };
-                }
-                out.add_row(
-                    &out_row,
-                    semiring.mul(build.weights[bi], probe.weights[pi]),
-                    semiring,
-                );
-            }
-        }
-        out
+        self.join_core(other, &[], semiring)
     }
 
     /// Fused join + eliminate: like [`Factor::join`] followed by
@@ -297,6 +273,15 @@ impl Factor {
     /// so the (often huge) intermediate join is never materialized. This
     /// is the classic FAQ/AJAR aggregation push-down.
     pub fn join_eliminate(&self, other: &Factor, drop: &[VarId], semiring: Semiring) -> Factor {
+        self.join_core(other, drop, semiring)
+    }
+
+    /// Shared build/probe hash-join body behind [`Factor::join`] and
+    /// [`Factor::join_eliminate`]: hash the smaller side on the shared
+    /// variables, stream the larger side, and keep only the output columns
+    /// not listed in `drop` (annotations of collapsing rows combine via
+    /// the semiring's `+`).
+    fn join_core(&self, other: &Factor, drop: &[VarId], semiring: Semiring) -> Factor {
         let (build, probe) = if self.len() <= other.len() {
             (self, other)
         } else {
@@ -503,15 +488,23 @@ impl Factor {
         for w in out.weights.iter_mut() {
             *w = 1;
         }
+        // Direct weight mutation: the cached order (had clone carried one)
+        // would no longer be descending, which the branch-and-bound's
+        // early-exit pruning relies on.
+        out.order = OnceLock::new();
         out
     }
 
     /// Row indices sorted by descending weight (used by the final-stage
-    /// branch-and-bound maximizer).
-    pub(crate) fn rows_by_weight_desc(&self) -> Vec<u32> {
-        let mut idx: Vec<u32> = (0..self.len() as u32).collect();
-        idx.sort_by_key(|&i| std::cmp::Reverse(self.weights[i as usize]));
-        idx
+    /// branch-and-bound maximizer). Computed once per factor and cached;
+    /// factors shared through the family memo store amortize the sort
+    /// across every branch-and-bound that visits them.
+    pub(crate) fn rows_by_weight_desc(&self) -> &[u32] {
+        self.order.get_or_init(|| {
+            let mut idx: Vec<u32> = (0..self.len() as u32).collect();
+            idx.sort_by_key(|&i| std::cmp::Reverse(self.weights[i as usize]));
+            idx.into_boxed_slice()
+        })
     }
 }
 

@@ -1,0 +1,778 @@
+//! Shared-intermediate evaluation of whole `T`-families.
+//!
+//! Residual sensitivity (paper Eqs. (19)–(21)) needs `T_F(I)` for every
+//! subset `F = [n] − E − E'` — up to `2^n` residual queries per release.
+//! Evaluating each subset independently repeats enormous amounts of work:
+//! the subsets of a family overlap heavily, so the same base factors, the
+//! same filtered atom factors, and the same partial eliminations are
+//! rebuilt over and over. [`FamilyEvaluator`] answers the whole family
+//! through two layers of sharing:
+//!
+//! 1. **A factor memo store** ([`FactorStore`]). Every intermediate factor
+//!    the bucket-elimination engine produces is a *pure function* of
+//!    `(atom subset, retained variables, semiring, applied predicates,
+//!    column-merge partition)`: it equals
+//!    `π^Σ_keep (σ_preds (⋈_{i ∈ atoms} Fᵢ))` in the chosen semiring,
+//!    regardless of the order in which variables were eliminated — semiring
+//!    aggregations commute, and the engine only drops a variable once
+//!    nothing else (factor or pending predicate) mentions it. That tuple
+//!    is therefore a sound memo key ([`Sig`]); the store maps it to an
+//!    `Arc<Factor>` behind a sharded mutex so base atom factors, filtered
+//!    atoms, and common sub-eliminations are computed once and shared
+//!    across subsets *and* across worker threads. (Column *order* of a
+//!    cached factor can differ from what a caller would have produced
+//!    locally; every consumer resolves columns by `VarId`, so only the
+//!    content matters.)
+//!
+//! 2. **A residual-isomorphism value cache.** Two subsets whose residual
+//!    queries are isomorphic — identical atoms/boundary/predicates/
+//!    projection up to a variable renaming — have equal `T` values on the
+//!    same database. Self-join families are full of such twins (all six
+//!    single-atom residuals of the 4-clique query are one class). Each
+//!    subset is keyed by a canonical serialization of its residual
+//!    ([`canonical_subset_key`]), minimized over atom orderings within
+//!    same-relation groups, and only one representative per class is
+//!    evaluated. The key additionally exploits *relation column
+//!    symmetries*: when the stored relation is invariant under a column
+//!    permutation (checked exactly, e.g. a symmetric edge relation with
+//!    `R = Rᵀ`), atoms may be rewritten through that permutation, which
+//!    collapses e.g. the out-star / in-star / path two-atom residuals of
+//!    the triangle query into a single class on undirected graphs.
+//!
+//! [`FamilyEvaluator::t_family`] combines both layers with **work-stealing
+//! parallelism**: the isomorphism classes are sorted by estimated cost
+//! (width · base rows, largest first) and worker threads pull the next
+//! class off a shared atomic index, so no thread strands behind a chunk of
+//! expensive subsets the way a fixed chunking would.
+
+use crate::error::EvalError;
+use crate::evaluator::Evaluator;
+use crate::factor::Factor;
+use dpcq_query::{ConjunctiveQuery, Predicate, Term, VarId};
+use dpcq_relation::FxHashMap;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards in a [`FactorStore`].
+const SHARDS: usize = 16;
+
+/// Cap on the atom-ordering search when canonicalizing a subset: families
+/// with larger self-join groups fall back to the (still sound) identity
+/// ordering, which only collapses syntactically identical residuals.
+const MAX_CANON_ORDERINGS: usize = 1440;
+
+/// Cap on the total serialization count (atom orderings × per-atom column
+/// permutations); above it, column symmetries are ignored for the subset.
+const MAX_CANON_SERIALIZATIONS: usize = 8192;
+
+/// Largest relation arity for which column symmetries are searched
+/// (`arity!` permutations are checked exactly against the stored rows).
+const MAX_SYM_ARITY: usize = 3;
+
+/// Memoization key of one intermediate factor: the factor equals
+/// `π^Σ_keep (σ_preds (⋈_{i ∈ atoms} Fᵢ))` with atom columns merged per
+/// `rep`, which determines its content completely (see the module docs for
+/// why this is sound).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct Sig {
+    /// Sorted indices of the base atoms joined into this factor.
+    pub atoms: Vec<u32>,
+    /// Sorted ids of the variables the factor retains.
+    pub keep: Vec<u32>,
+    /// Whether aggregation runs in the Boolean semiring.
+    pub boolean: bool,
+    /// The predicates applied so far, in canonical (`Ord`) order.
+    pub preds: Vec<Predicate>,
+    /// The column-merge partition restricted to the atoms' original
+    /// variables: sorted `(var, representative)` pairs with
+    /// `var ≠ representative`; empty for the identity partition.
+    pub rep: Vec<(u32, u32)>,
+}
+
+/// A factor tagged with the provenance that determines its content —
+/// enough to build the [`Sig`] of anything derived from it.
+pub(crate) struct TF {
+    /// The factor (shared with the memo store when one is active).
+    pub f: Arc<Factor>,
+    /// Sorted base atom indices this factor derives from.
+    pub atoms: Vec<u32>,
+    /// Canonically sorted predicates already applied.
+    pub preds: Vec<Predicate>,
+}
+
+/// The partition `rep` restricted to `vars`, as sorted non-identity pairs.
+pub(crate) fn restrict_rep(rep: &[usize], vars: &[VarId]) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = vars
+        .iter()
+        .filter(|v| rep[v.0] != v.0)
+        .map(|v| (v.0 as u32, rep[v.0] as u32))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// A sharded signature → factor cache. Lookups lock only one shard, and
+/// misses compute *outside* the lock (two threads racing on the same
+/// signature may duplicate work, but never serialize unrelated lookups
+/// behind a long join).
+#[derive(Debug)]
+pub struct FactorStore {
+    shards: Vec<Mutex<FxHashMap<Sig, Arc<Factor>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for FactorStore {
+    fn default() -> Self {
+        FactorStore::new()
+    }
+}
+
+impl FactorStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        FactorStore {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, sig: &Sig) -> &Mutex<FxHashMap<Sig, Arc<Factor>>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        sig.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// The cached factor for `sig`, computing and inserting it on a miss.
+    pub(crate) fn get_or_compute(&self, sig: Sig, compute: impl FnOnce() -> Factor) -> Arc<Factor> {
+        let shard = self.shard(&sig);
+        if let Some(f) = shard.lock().expect("factor cache lock poisoned").get(&sig) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(f);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let f = Arc::new(compute());
+        let mut guard = shard.lock().expect("factor cache lock poisoned");
+        Arc::clone(guard.entry(sig).or_insert(f))
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Builds a factor through the optional memo store: with `None` the
+/// signature is never constructed and the factor is computed directly.
+pub(crate) fn cached(
+    memo: Option<&FactorStore>,
+    sig: impl FnOnce() -> Sig,
+    compute: impl FnOnce() -> Factor,
+) -> Arc<Factor> {
+    match memo {
+        None => Arc::new(compute()),
+        Some(store) => store.get_or_compute(sig(), compute),
+    }
+}
+
+/// Cache-effectiveness counters of a [`FamilyEvaluator`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FamilyStats {
+    /// Intermediate-factor cache hits.
+    pub factor_hits: u64,
+    /// Intermediate-factor cache misses (factors actually computed).
+    pub factor_misses: u64,
+    /// Distinct residual values computed (isomorphism classes evaluated).
+    pub values_computed: u64,
+    /// `T` lookups answered from the isomorphism value cache.
+    pub value_hits: u64,
+}
+
+/// Evaluates `T_F` for whole subset families with shared intermediates and
+/// work-stealing parallelism. See the module docs for the design.
+#[derive(Debug)]
+pub struct FamilyEvaluator<'e> {
+    ev: &'e Evaluator<'e>,
+    store: FactorStore,
+    values: Mutex<FxHashMap<Vec<u64>, u128>>,
+    value_hits: AtomicU64,
+    /// Per-atom column permutations under which the atom's stored
+    /// relation is invariant (always at least the identity).
+    syms: Vec<Vec<Vec<u8>>>,
+}
+
+impl<'e> FamilyEvaluator<'e> {
+    /// Wraps an evaluator with fresh (empty) caches. Detects each stored
+    /// relation's column symmetries once (exact row-set checks) so the
+    /// isomorphism keys can exploit e.g. symmetric edge relations.
+    pub fn new(ev: &'e Evaluator<'e>) -> Self {
+        FamilyEvaluator {
+            syms: column_symmetries(ev.query(), ev.database()),
+            ev,
+            store: FactorStore::new(),
+            values: Mutex::new(FxHashMap::default()),
+            value_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped evaluator.
+    pub fn evaluator(&self) -> &Evaluator<'e> {
+        self.ev
+    }
+
+    /// `T_E(I)` for one subset, sharing intermediates with every previous
+    /// call on this `FamilyEvaluator`.
+    pub fn t_e(&self, subset: &[usize]) -> Result<u128, EvalError> {
+        let key = canonical_subset_key(self.ev.query(), subset, &self.syms);
+        self.t_e_keyed(key, subset)
+    }
+
+    /// [`FamilyEvaluator::t_e`] with the canonical key already computed
+    /// (`t_family` derives keys while grouping classes; recomputing the
+    /// ordering minimization per representative would double that work).
+    fn t_e_keyed(&self, key: Vec<u64>, subset: &[usize]) -> Result<u128, EvalError> {
+        if let Some(&v) = self
+            .values
+            .lock()
+            .expect("value cache lock poisoned")
+            .get(&key)
+        {
+            self.value_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        let v = self.ev.t_e_memo(Some(&self.store), subset)?;
+        self.values
+            .lock()
+            .expect("value cache lock poisoned")
+            .insert(key, v);
+        Ok(v)
+    }
+
+    /// `T_F(I)` for every subset in `family`, returned in the family's
+    /// (sorted) iteration order.
+    ///
+    /// Isomorphic subsets are grouped and evaluated once; classes are
+    /// processed largest-estimated-cost first by `threads` work-stealing
+    /// workers (`threads ≤ 1`, or a single class, runs serially). The
+    /// empty family yields an empty result.
+    pub fn t_family(
+        &self,
+        family: &BTreeSet<Vec<usize>>,
+        threads: usize,
+    ) -> Result<Vec<(Vec<usize>, u128)>, EvalError> {
+        let subsets: Vec<&Vec<usize>> = family.iter().collect();
+        if subsets.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Group isomorphic residuals; each class evaluates once, reusing
+        // the key computed here for its value-cache entry.
+        let mut class_of_key: FxHashMap<Vec<u64>, usize> = FxHashMap::default();
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        let mut class_keys: Vec<Vec<u64>> = Vec::new();
+        for (i, s) in subsets.iter().enumerate() {
+            let key = canonical_subset_key(self.ev.query(), s, &self.syms);
+            match class_of_key.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => classes[*e.get()].push(i),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    class_keys.push(e.key().clone());
+                    e.insert(classes.len());
+                    classes.push(vec![i]);
+                }
+            }
+        }
+
+        // Largest estimated cost first, so work-stealing never strands a
+        // worker behind one expensive class picked up last.
+        let mut order: Vec<usize> = (0..classes.len()).collect();
+        order.sort_by_key(|&ci| {
+            let rep = subsets[classes[ci][0]];
+            std::cmp::Reverse((self.estimated_cost(rep), ci))
+        });
+
+        let threads = threads.clamp(1, classes.len());
+        let results: Mutex<Vec<Option<Result<u128, EvalError>>>> =
+            Mutex::new(vec![None; classes.len()]);
+        if threads <= 1 {
+            for &ci in &order {
+                let v = self.t_e_keyed(class_keys[ci].clone(), subsets[classes[ci][0]]);
+                results.lock().expect("result lock poisoned")[ci] = Some(v);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= order.len() {
+                            break;
+                        }
+                        let ci = order[k];
+                        let v = self.t_e_keyed(class_keys[ci].clone(), subsets[classes[ci][0]]);
+                        results.lock().expect("result lock poisoned")[ci] = Some(v);
+                    });
+                }
+            });
+        }
+
+        let results = results.into_inner().expect("result lock poisoned");
+        let mut value_of: Vec<Option<u128>> = vec![None; subsets.len()];
+        for (ci, members) in classes.iter().enumerate() {
+            let v = results[ci].clone().expect("every class was evaluated")?;
+            for &m in members {
+                value_of[m] = Some(v);
+            }
+        }
+        Ok(subsets
+            .into_iter()
+            .zip(value_of)
+            .map(|(s, v)| (s.clone(), v.expect("every subset belongs to a class")))
+            .collect())
+    }
+
+    /// Cache-effectiveness counters.
+    pub fn stats(&self) -> FamilyStats {
+        let (factor_hits, factor_misses) = self.store.counters();
+        FamilyStats {
+            factor_hits,
+            factor_misses,
+            values_computed: self.values.lock().expect("value cache lock poisoned").len() as u64,
+            value_hits: self.value_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Crude per-subset cost estimate used only for scheduling:
+    /// residual width · total base rows.
+    fn estimated_cost(&self, subset: &[usize]) -> u128 {
+        let width = self.ev.query().subset_vars(subset).len() as u128;
+        let rows: u128 = subset
+            .iter()
+            .map(|&i| self.ev.atom_factor(i).len() as u128)
+            .sum();
+        width.max(1).saturating_mul(rows.max(1))
+    }
+}
+
+// --- canonical residual serialization -----------------------------------
+
+const TAG_ATOM: u64 = u64::MAX;
+const TAG_VAR: u64 = 0;
+const TAG_CONST: u64 = 1;
+
+/// All permutations of `items`.
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (k, &first) in items.iter().enumerate() {
+        let mut rest: Vec<usize> = items.to_vec();
+        rest.remove(k);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, first);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+/// Per-atom column permutations under which the atom's stored relation is
+/// invariant as a row set (always at least the identity; the search is
+/// limited to arity ≤ [`MAX_SYM_ARITY`]). Rewriting an atom's term list
+/// through such a permutation does not change the constraint the atom
+/// expresses, so the canonicalization may minimize over these rewrites —
+/// on a symmetric edge relation this identifies `Edge(x,y)` with
+/// `Edge(y,x)`.
+fn column_symmetries(q: &ConjunctiveQuery, db: &dpcq_relation::Database) -> Vec<Vec<Vec<u8>>> {
+    let mut by_relation: FxHashMap<&str, Vec<Vec<u8>>> = FxHashMap::default();
+    q.atoms()
+        .iter()
+        .map(|atom| {
+            by_relation
+                .entry(atom.relation.as_str())
+                .or_insert_with(|| {
+                    let arity = atom.arity();
+                    let identity: Vec<u8> = (0..arity as u8).collect();
+                    let Some(rel) = db.relation(&atom.relation) else {
+                        return vec![identity];
+                    };
+                    if arity > MAX_SYM_ARITY || rel.arity() != arity {
+                        return vec![identity];
+                    }
+                    let cols: Vec<usize> = (0..arity).collect();
+                    let mut perms = Vec::new();
+                    let mut buf = vec![dpcq_relation::Value::default(); arity];
+                    for p in permutations(&cols) {
+                        let invariant = rel.iter().all(|row| {
+                            for (slot, &c) in buf.iter_mut().zip(&p) {
+                                *slot = row[c];
+                            }
+                            rel.contains(&buf)
+                        });
+                        if invariant {
+                            perms.push(p.iter().map(|&c| c as u8).collect());
+                        }
+                    }
+                    perms
+                })
+                .clone()
+        })
+        .collect()
+}
+
+/// A canonical token stream describing the residual query on `subset` —
+/// its atoms, boundary, projected output, and contained predicates — up to
+/// a renaming of variables and column-symmetric atom rewrites. Equal keys
+/// imply isomorphic residuals, hence equal `T` values on the same
+/// database (the converse need not hold; a missed isomorphism only costs
+/// a duplicate evaluation).
+///
+/// The stream is self-delimiting (every variable-length section is length-
+/// prefixed), and the variable renaming is minimized over all orderings of
+/// atoms within same-relation groups (capped at [`MAX_CANON_ORDERINGS`]
+/// orderings, beyond which the identity ordering is used) combined with
+/// the atoms' relation column symmetries in `syms` (the combination is
+/// capped at [`MAX_CANON_SERIALIZATIONS`], beyond which only orderings
+/// are searched).
+pub(crate) fn canonical_subset_key(
+    q: &ConjunctiveQuery,
+    subset: &[usize],
+    syms: &[Vec<Vec<u8>>],
+) -> Vec<u64> {
+    // Stable relation ids: the first atom index carrying the name.
+    let rel_id = |i: usize| -> u64 {
+        let name = &q.atoms()[i].relation;
+        q.atoms()
+            .iter()
+            .position(|a| &a.relation == name)
+            .expect("atom's own relation occurs in the query") as u64
+    };
+
+    // Same-relation groups, ordered by relation id.
+    let mut sorted: Vec<usize> = subset.to_vec();
+    sorted.sort_unstable();
+    let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+    for &i in &sorted {
+        let r = rel_id(i);
+        match groups.iter_mut().find(|(g, _)| *g == r) {
+            Some((_, v)) => v.push(i),
+            None => groups.push((r, vec![i])),
+        }
+    }
+    groups.sort_by_key(|(r, _)| *r);
+
+    let boundary = q.boundary(subset);
+    let output = q.residual_output(subset);
+    let preds = q.contained_predicates(subset);
+
+    // `flips[k]` selects the column permutation applied to the k-th atom
+    // of the ordering (an index into that atom's symmetry list).
+    let serialize = |ordering: &[usize], flips: &[usize]| -> Vec<u64> {
+        let mut canon: Vec<Option<u32>> = vec![None; q.num_vars()];
+        let mut next = 0u32;
+        let mut out: Vec<u64> = Vec::with_capacity(8 + 4 * ordering.len());
+        out.push(ordering.len() as u64);
+        for (k, &i) in ordering.iter().enumerate() {
+            let atom = &q.atoms()[i];
+            let perm: &[u8] = &syms[i][flips.get(k).copied().unwrap_or(0)];
+            out.push(TAG_ATOM);
+            out.push(rel_id(i));
+            out.push(atom.terms.len() as u64);
+            for &c in perm {
+                match &atom.terms[c as usize] {
+                    Term::Var(v) => {
+                        let id = *canon[v.0].get_or_insert_with(|| {
+                            let id = next;
+                            next += 1;
+                            id
+                        });
+                        out.push(TAG_VAR);
+                        out.push(id as u64);
+                    }
+                    Term::Const(c) => {
+                        out.push(TAG_CONST);
+                        out.push(c.0 as u64);
+                    }
+                }
+            }
+        }
+        let canon_id = |v: &VarId| -> u64 {
+            canon[v.0].expect("boundary/output/predicate var occurs in the subset") as u64
+        };
+        let mut b: Vec<u64> = boundary.iter().map(canon_id).collect();
+        b.sort_unstable();
+        out.push(b.len() as u64);
+        out.extend(b);
+        match &output {
+            None => out.push(u64::MAX),
+            Some(o) => {
+                let mut ids: Vec<u64> = o.iter().map(canon_id).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                out.push(ids.len() as u64);
+                out.extend(ids);
+            }
+        }
+        let term_tok = |t: &Term| -> [u64; 2] {
+            match t {
+                Term::Var(v) => [TAG_VAR, canon_id(v)],
+                Term::Const(c) => [TAG_CONST, c.0 as u64],
+            }
+        };
+        let mut ps: Vec<[u64; 5]> = preds
+            .iter()
+            .map(|p| {
+                let l = term_tok(&p.lhs);
+                let r = term_tok(&p.rhs);
+                // Orientation-normalize: `a op b` ≡ `b op.flip() a`.
+                let fwd = [p.op as u64, l[0], l[1], r[0], r[1]];
+                let rev = [p.op.flip() as u64, r[0], r[1], l[0], l[1]];
+                fwd.min(rev)
+            })
+            .collect();
+        ps.sort_unstable();
+        out.push(ps.len() as u64);
+        for p in ps {
+            out.extend(p);
+        }
+        out
+    };
+
+    let orderings_count: usize = groups
+        .iter()
+        .map(|(_, g)| (1..=g.len()).product::<usize>())
+        .try_fold(1usize, |a, b: usize| a.checked_mul(b))
+        .unwrap_or(usize::MAX);
+    if orderings_count > MAX_CANON_ORDERINGS {
+        return serialize(&sorted, &[]);
+    }
+    let flip_count: usize = sorted
+        .iter()
+        .map(|&i| syms[i].len())
+        .try_fold(1usize, |a, b| a.checked_mul(b))
+        .unwrap_or(usize::MAX);
+    let search_flips = orderings_count
+        .checked_mul(flip_count)
+        .is_some_and(|n| n <= MAX_CANON_SERIALIZATIONS);
+    if orderings_count <= 1 && !search_flips {
+        return serialize(&sorted, &[]);
+    }
+
+    let mut best: Option<Vec<u64>> = None;
+    for ordering in group_orderings(&groups) {
+        // Odometer over the per-atom column-permutation choices (a single
+        // all-identity pass when the flip search is capped out).
+        let radixes: Vec<usize> = if search_flips {
+            ordering.iter().map(|&i| syms[i].len()).collect()
+        } else {
+            vec![1; ordering.len()]
+        };
+        let mut flips = vec![0usize; ordering.len()];
+        loop {
+            let key = serialize(&ordering, &flips);
+            if best.as_ref().is_none_or(|b| key < *b) {
+                best = Some(key);
+            }
+            let mut pos = 0;
+            loop {
+                if pos == flips.len() {
+                    break;
+                }
+                flips[pos] += 1;
+                if flips[pos] < radixes[pos] {
+                    break;
+                }
+                flips[pos] = 0;
+                pos += 1;
+            }
+            if pos == flips.len() {
+                break;
+            }
+        }
+    }
+    best.expect("at least one ordering exists")
+}
+
+/// All concatenations of per-group permutations, groups kept in order.
+fn group_orderings(groups: &[(u64, Vec<usize>)]) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = vec![Vec::new()];
+    for (_, g) in groups {
+        let g_perms = permutations(g);
+        let mut grown = Vec::with_capacity(out.len() * g_perms.len());
+        for prefix in &out {
+            for p in &g_perms {
+                let mut o = prefix.clone();
+                o.extend_from_slice(p);
+                grown.push(o);
+            }
+        }
+        out = grown;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcq_query::parse_query;
+    use dpcq_relation::{Database, Value};
+
+    fn k4_db() -> Database {
+        let mut db = Database::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    db.insert_tuple("Edge", &[Value(i), Value(j)]);
+                }
+            }
+        }
+        db
+    }
+
+    /// Identity-only column symmetries (what an asymmetric db yields).
+    fn id_syms(q: &dpcq_query::ConjunctiveQuery) -> Vec<Vec<Vec<u8>>> {
+        q.atoms()
+            .iter()
+            .map(|a| vec![(0..a.arity() as u8).collect()])
+            .collect()
+    }
+
+    #[test]
+    fn canonical_key_collapses_isomorphic_singletons() {
+        let q = parse_query("Q(*) :- Edge(a,b), Edge(b,c), Edge(a,c)").unwrap();
+        let s = id_syms(&q);
+        let k0 = canonical_subset_key(&q, &[0], &s);
+        let k1 = canonical_subset_key(&q, &[1], &s);
+        let k2 = canonical_subset_key(&q, &[2], &s);
+        // Every single-atom residual has boundary = both vars: one class.
+        assert_eq!(k0, k1);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_orientation() {
+        // Path a→b→c with keep {a,c} vs out-star: different directed
+        // shapes, different keys — unless the relation is symmetric.
+        let q = parse_query("Q(*) :- Edge(a,b), Edge(b,c), Edge(a,c)").unwrap();
+        let s = id_syms(&q);
+        let path = canonical_subset_key(&q, &[0, 1], &s); // Edge(a,b),Edge(b,c)
+        let star = canonical_subset_key(&q, &[0, 2], &s); // Edge(a,b),Edge(a,c)
+        assert_ne!(path, star);
+    }
+
+    #[test]
+    fn symmetric_relation_collapses_orientation_classes() {
+        // On a symmetric edge relation the path / out-star / in-star pair
+        // residuals of the triangle are all "two edges sharing a vertex,
+        // keep the far endpoints": one class.
+        let q = parse_query("Q(*) :- Edge(a,b), Edge(b,c), Edge(a,c)").unwrap();
+        let db = k4_db(); // symmetric by construction
+        let syms = column_symmetries(&q, &db);
+        assert!(syms.iter().all(|s| s.len() == 2), "swap detected");
+        let k01 = canonical_subset_key(&q, &[0, 1], &syms);
+        let k02 = canonical_subset_key(&q, &[0, 2], &syms);
+        let k12 = canonical_subset_key(&q, &[1, 2], &syms);
+        assert_eq!(k01, k02);
+        assert_eq!(k02, k12);
+        // An asymmetric instance must not collapse them.
+        let mut directed = Database::new();
+        directed.insert_tuple("Edge", &[Value(1), Value(2)]);
+        let dsyms = column_symmetries(&q, &directed);
+        assert!(dsyms.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn canonical_key_collapses_four_clique_pairs() {
+        // 4-clique query: Edge(xi,xj) for i<j. The "out-out" pairs
+        // {(x1,x2),(x1,x3)} and {(x2,x3),(x2,x4)} are isomorphic even
+        // without column symmetries.
+        let q = parse_query(
+            "Q(*) :- Edge(x1,x2), Edge(x1,x3), Edge(x1,x4), Edge(x2,x3), Edge(x2,x4), Edge(x3,x4)",
+        )
+        .unwrap();
+        let s = id_syms(&q);
+        let a = canonical_subset_key(&q, &[0, 1], &s); // (x1,x2),(x1,x3)
+        let b = canonical_subset_key(&q, &[3, 4], &s); // (x2,x3),(x2,x4)
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn family_matches_per_subset_evaluator() {
+        let q = parse_query("Q(*) :- Edge(a,b), Edge(b,c), Edge(a,c)").unwrap();
+        let db = k4_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        let fam: BTreeSet<Vec<usize>> = [
+            vec![],
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+        ]
+        .into_iter()
+        .collect();
+        let fe = FamilyEvaluator::new(&ev);
+        for threads in [1, 4] {
+            let got = fe.t_family(&fam, threads).unwrap();
+            assert_eq!(got.len(), fam.len());
+            for (s, v) in &got {
+                assert_eq!(*v, ev.t_e(s).unwrap(), "subset {s:?}");
+            }
+        }
+        let stats = fe.stats();
+        // 7 subsets collapse to ≤ 5 classes (∅, singletons, 3 pair shapes)
+        // and the second t_family call is answered from the value cache.
+        assert!(stats.values_computed <= 5, "stats {stats:?}");
+        assert!(stats.value_hits >= stats.values_computed, "stats {stats:?}");
+    }
+
+    #[test]
+    fn empty_family_is_empty() {
+        let q = parse_query("Q(*) :- Edge(a,b)").unwrap();
+        let db = k4_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        let fe = FamilyEvaluator::new(&ev);
+        assert!(fe.t_family(&BTreeSet::new(), 8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn factor_store_shares_across_subsets() {
+        let q = parse_query(
+            "Q(*) :- Edge(x1,x2), Edge(x1,x3), Edge(x1,x4), Edge(x2,x3), Edge(x2,x4), Edge(x3,x4)",
+        )
+        .unwrap();
+        let db = k4_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        // Two overlapping 4-atom subsets eliminate the same bucket
+        // (atoms {0,1,2} summing out x1): the second evaluation must hit.
+        // Drive the store directly — through `FamilyEvaluator::t_e` these
+        // two subsets are isomorphic and the value cache would answer
+        // before the factor store is ever consulted.
+        let store = FactorStore::new();
+        let a = ev.t_e_memo(Some(&store), &[0, 1, 2, 3]).unwrap();
+        let b = ev.t_e_memo(Some(&store), &[0, 1, 2, 4]).unwrap();
+        assert_eq!(a, ev.t_e(&[0, 1, 2, 3]).unwrap());
+        assert_eq!(b, ev.t_e(&[0, 1, 2, 4]).unwrap());
+        let (hits, misses) = store.counters();
+        assert!(hits > 0, "hits {hits}, misses {misses}");
+    }
+
+    #[test]
+    fn projected_queries_key_on_output() {
+        let q_full = parse_query("Q(*) :- Edge(a,b), Edge(b,c)").unwrap();
+        let q_proj = parse_query("Q(a) :- Edge(a,b), Edge(b,c)").unwrap();
+        let kf = canonical_subset_key(&q_full, &[0], &id_syms(&q_full));
+        let kp = canonical_subset_key(&q_proj, &[0], &id_syms(&q_proj));
+        assert_ne!(kf, kp);
+    }
+}

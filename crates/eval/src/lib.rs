@@ -19,6 +19,9 @@
 //!   `|q(I)|`, `T_E(I)` and boundary count factors, with predicate-aware
 //!   bucket widening (every predicate is applied before its last variable
 //!   is eliminated) and Corollary 5.1 handling of inequality predicates;
+//! * [`FamilyEvaluator`] — whole-`T`-family evaluation through a shared
+//!   intermediate-factor memo store, residual-isomorphism value caching,
+//!   and work-stealing parallelism (see [`family`]);
 //! * [`naive`] — a nested-loop reference evaluator used to validate the
 //!   engine in tests;
 //! * [`active_domain`] — the augmented active domain `Z+(q, I)` of
@@ -32,6 +35,7 @@ pub mod active_domain;
 pub mod error;
 pub mod evaluator;
 pub mod factor;
+pub mod family;
 pub mod generic;
 pub mod naive;
 pub mod order_csp;
@@ -39,3 +43,4 @@ pub mod order_csp;
 pub use error::EvalError;
 pub use evaluator::Evaluator;
 pub use factor::{Factor, Semiring};
+pub use family::{FamilyEvaluator, FamilyStats};

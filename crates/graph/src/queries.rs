@@ -74,6 +74,22 @@ pub fn two_triangle() -> ConjunctiveQuery {
     b.build().expect("2-triangle query is well-formed")
 }
 
+/// `q⧉`: the 4-clique — `Edge(xi,xj)` for every `1 ≤ i < j ≤ 4`, all
+/// distinct. Not one of the paper's Figure-2 queries, but the canonical
+/// stress test for `T`-family evaluation: its residual family has 63
+/// subsets with heavy overlap and many isomorphic classes.
+pub fn four_clique() -> ConjunctiveQuery {
+    let mut b = CqBuilder::new();
+    let v = b.vars("x", 4);
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            b.atom(EDGE, [v[i], v[j]]);
+        }
+    }
+    b.all_distinct(&v);
+    b.build().expect("4-clique query is well-formed")
+}
+
 /// All four Figure-2 queries with their display names, in the paper's
 /// order.
 pub fn all() -> Vec<(&'static str, ConjunctiveQuery)> {

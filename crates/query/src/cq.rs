@@ -23,7 +23,7 @@ impl VarId {
 ///
 /// Constants in atoms are handled by the footnote to Section 2.1: atoms are
 /// pre-filtered in linear time so that only matching tuples remain.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Term {
     /// A query variable.
     Var(VarId),

@@ -13,7 +13,7 @@ use dpcq_relation::Value;
 use std::fmt;
 
 /// Comparison operators.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
 pub enum CmpOp {
     /// `=` (useful as a filter; variable-variable equality could also be
     /// compiled away by unification, which we deliberately do not do).
@@ -70,7 +70,11 @@ impl CmpOp {
 }
 
 /// A binary predicate `lhs op rhs` over terms.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// The derived `Ord`/`Hash` give predicates a canonical total order, which
+/// the evaluation layer uses to build deterministic memoization keys for
+/// shared intermediate factors (see `dpcq_eval::family`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
 pub struct Predicate {
     /// Left operand.
     pub lhs: Term,

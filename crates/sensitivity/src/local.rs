@@ -2,7 +2,9 @@
 //! (Lemma 3.3) and the upper bound for CQs with self-joins (Theorem 3.5).
 
 use crate::error::SensitivityError;
-use crate::prep::{compute_t_values, required_subsets, Prepared, DEFAULT_DOMAIN_LIMIT};
+use crate::prep::{
+    compute_t_values, default_threads, required_subsets, Prepared, DEFAULT_DOMAIN_LIMIT,
+};
 use crate::residual::ls_hat_k;
 use dpcq_eval::Evaluator;
 use dpcq_query::{ConjunctiveQuery, Policy};
@@ -33,7 +35,7 @@ pub fn local_sensitivity_bound(
     let q = prep.query();
     let family = required_subsets(q, &prep.policy);
     let ev = Evaluator::new(q, prep.db())?;
-    let t = compute_t_values(&ev, &family, 1)?;
+    let t = compute_t_values(&ev, &family, default_threads())?;
     Ok(LocalBound {
         value: ls_hat_k(q, &prep.policy, &t, 0),
         exact: !q.has_self_joins(),
@@ -62,7 +64,7 @@ pub fn local_sensitivity_exact(
         .map(|&i| (0..n).filter(|&j| j != i).collect())
         .collect();
     let ev = Evaluator::new(q, prep.db())?;
-    let t = compute_t_values(&ev, &family, 1)?;
+    let t = compute_t_values(&ev, &family, default_threads())?;
     Ok(family.iter().map(|f| t.get(f)).max().unwrap_or(0))
 }
 

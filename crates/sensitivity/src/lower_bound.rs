@@ -12,7 +12,7 @@
 //! and the neighborhood lower bound, which Theorem 1.1 promises is `O(1)`.
 
 use crate::error::SensitivityError;
-use crate::prep::{compute_t_values, Prepared, DEFAULT_DOMAIN_LIMIT};
+use crate::prep::{compute_t_values, default_threads, Prepared, DEFAULT_DOMAIN_LIMIT};
 use crate::residual::{residual_sensitivity_report, RsParams};
 use dpcq_eval::Evaluator;
 use dpcq_query::{analysis, ConjunctiveQuery, Policy};
@@ -59,7 +59,7 @@ pub fn ls_lower_bound_lemma_4_5(
         .map(|e| (0..n).filter(|j| !e.contains(j)).collect())
         .collect();
     let ev = Evaluator::new(q, prep.db())?;
-    let t = compute_t_values(&ev, &family, 1)?;
+    let t = compute_t_values(&ev, &family, default_threads())?;
     Ok(family.iter().map(|f| t.get(f)).max().unwrap_or(0))
 }
 

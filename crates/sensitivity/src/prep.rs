@@ -8,11 +8,14 @@
 //!    `T_E` is computed; the privacy policy is pinned to an explicit list
 //!    so the synthesized public predicate relations stay public.
 //! 2. **The `T` family.** Residual sensitivity needs `T_F(I)` for every
-//!    `F = [n] − E − E'` (Eq. (19)/(20)); these are independent FAQ queries
-//!    and are computed in parallel with scoped threads.
+//!    `F = [n] − E − E'` (Eq. (19)/(20)); the family is handed as a whole
+//!    to [`dpcq_eval::FamilyEvaluator`], which shares base factors and
+//!    common sub-eliminations across the subsets through a memo store,
+//!    collapses isomorphic residuals to one evaluation, and fans the
+//!    remaining work out to work-stealing threads.
 
 use crate::error::SensitivityError;
-use dpcq_eval::{active_domain, Evaluator};
+use dpcq_eval::{active_domain, Evaluator, FamilyEvaluator};
 use dpcq_query::{ConjunctiveQuery, Policy};
 use dpcq_relation::{Database, FxHashMap};
 use std::collections::BTreeSet;
@@ -119,47 +122,46 @@ impl TValues {
     }
 }
 
-/// One worker's share of computed `(subset, T_F)` pairs.
-type TChunk = Result<Vec<(Vec<usize>, u128)>, SensitivityError>;
+/// The number of worker threads to use when the caller has no explicit
+/// preference: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
 
-/// Computes `T_F` for every subset in `family` against the evaluator,
-/// fanning out over scoped threads when the family is large enough to
-/// benefit.
+/// Computes `T_F` for every subset in `family` through a shared-
+/// intermediate [`FamilyEvaluator`]: base factors and common
+/// sub-eliminations are memoized across subsets, isomorphic residuals
+/// evaluate once, and `threads` work-stealing workers pull cost-sorted
+/// subsets off a shared queue (`threads ≤ 1` runs serially, still with
+/// full sharing).
+///
+/// The empty family returns an empty [`TValues`] without touching the
+/// evaluator (and regardless of `threads`, including 0).
 pub fn compute_t_values(
     ev: &Evaluator<'_>,
     family: &BTreeSet<Vec<usize>>,
     threads: usize,
 ) -> Result<TValues, SensitivityError> {
-    let subsets: Vec<&Vec<usize>> = family.iter().collect();
-    let threads = threads.clamp(1, subsets.len().max(1));
-    let mut map = FxHashMap::default();
-    if threads <= 1 || subsets.len() < 4 {
-        for s in subsets {
-            map.insert(s.clone(), ev.t_e(s)?);
-        }
-        return Ok(TValues { map });
+    if family.is_empty() {
+        return Ok(TValues::default());
     }
-    let chunk = subsets.len().div_ceil(threads);
-    let results: Vec<TChunk> = std::thread::scope(|scope| {
-        let handles: Vec<_> = subsets
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    part.iter()
-                        .map(|s| Ok(((*s).clone(), ev.t_e(s)?)))
-                        .collect()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("T_E worker panicked"))
-            .collect()
-    });
-    for r in results {
-        for (k, v) in r? {
-            map.insert(k, v);
-        }
+    let fe = FamilyEvaluator::new(ev);
+    compute_t_values_with(&fe, family, threads)
+}
+
+/// [`compute_t_values`] against a caller-managed [`FamilyEvaluator`], so
+/// several families over the same instance (e.g. a β sweep or repeated
+/// releases) share one memo store.
+pub fn compute_t_values_with(
+    fe: &FamilyEvaluator<'_>,
+    family: &BTreeSet<Vec<usize>>,
+    threads: usize,
+) -> Result<TValues, SensitivityError> {
+    let mut map = FxHashMap::default();
+    for (subset, value) in fe.t_family(family, threads)? {
+        map.insert(subset, value);
     }
     Ok(TValues { map })
 }
@@ -261,5 +263,51 @@ mod tests {
         let q = parse_query("Q(*) :- Edge(x, y)").unwrap();
         let fam = required_subsets(&q, &Policy::private(Vec::<String>::new()));
         assert!(fam.is_empty());
+    }
+
+    #[test]
+    fn empty_family_is_explicit_for_any_thread_count() {
+        let q = parse_query("Q(*) :- Edge(x, y)").unwrap();
+        let db = tiny_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        let empty = BTreeSet::new();
+        for threads in [0, 1, 4, 64] {
+            let t = compute_t_values(&ev, &empty, threads).unwrap();
+            assert!(t.is_empty(), "threads = {threads}");
+            assert_eq!(t.len(), 0);
+        }
+    }
+
+    #[test]
+    fn degenerate_thread_counts_are_clamped() {
+        let q = parse_query("Q(*) :- Edge(a,b), Edge(b,c), Edge(a,c)").unwrap();
+        let db = tiny_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        let fam = required_subsets(&q, &Policy::all_private());
+        let serial = compute_t_values(&ev, &fam, 1).unwrap();
+        // 0 threads and absurdly many threads both behave like a clamp.
+        for threads in [0, 1024] {
+            let t = compute_t_values(&ev, &fam, threads).unwrap();
+            assert_eq!(t.len(), serial.len(), "threads = {threads}");
+            for (k, v) in serial.iter() {
+                assert_eq!(t.get(k), v, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_family_evaluator_reuses_the_store() {
+        let q = parse_query("Q(*) :- Edge(a,b), Edge(b,c), Edge(a,c)").unwrap();
+        let db = tiny_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        let fam = required_subsets(&q, &Policy::all_private());
+        let fe = dpcq_eval::FamilyEvaluator::new(&ev);
+        let first = compute_t_values_with(&fe, &fam, 1).unwrap();
+        let second = compute_t_values_with(&fe, &fam, 2).unwrap();
+        for (k, v) in first.iter() {
+            assert_eq!(second.get(k), v);
+        }
+        // The second pass is answered entirely from the value cache.
+        assert!(fe.stats().value_hits >= fe.stats().values_computed);
     }
 }

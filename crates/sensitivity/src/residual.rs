@@ -45,10 +45,15 @@ impl RsParams {
         RsParams {
             beta,
             domain_limit: DEFAULT_DOMAIN_LIMIT,
-            threads: std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1),
+            threads: crate::prep::default_threads(),
         }
+    }
+
+    /// The same parameters with an explicit worker-thread count for the
+    /// `T` family (1 = serial; still shares intermediates).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The paper's calibration `β = ε/10` (Section 2.3).

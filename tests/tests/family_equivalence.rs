@@ -1,0 +1,159 @@
+//! Property tests: [`FamilyEvaluator`] agrees with per-subset
+//! [`Evaluator::t_e`] on random databases and random subset families —
+//! across the Counting (full queries) and Boolean (projected queries)
+//! semirings, with and without predicates, at 1 and 4 worker threads.
+//!
+//! This pins down the two sharing layers the family evaluator adds on top
+//! of the plain engine: the intermediate-factor memo store (keyed by
+//! (atoms, keep, semiring, predicates, merge partition)) and the
+//! residual-isomorphism value cache (including relation column-symmetry
+//! collapsing, which random symmetric instances exercise).
+
+use dpcq::eval::{Evaluator, FamilyEvaluator};
+use dpcq::query::analysis::subsets;
+use dpcq::query::parse_query;
+use dpcq::relation::{Database, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Queries over a binary `E` and unary `U`, chosen to hit every family-
+/// relevant engine path: self-joins (isomorphic residuals), inequality
+/// predicates (inclusion–exclusion partitions), projections (Boolean
+/// inner semiring), repeated variables, constants, and disconnected
+/// residuals (branch-and-bound finalization). Comparison predicates are
+/// excluded: they error on boundary-spanning residuals by design.
+fn query_pool() -> Vec<&'static str> {
+    vec![
+        "Q(*) :- E(x, y)",
+        "Q(*) :- E(x, y), E(y, z)",
+        "Q(*) :- E(x, y), E(y, z), x != z",
+        "Q(*) :- E(x, y), E(y, z), x != y, y != z, x != z",
+        "Q(*) :- E(x1,x2), E(x2,x3), E(x1,x3), x1 != x2, x2 != x3, x1 != x3",
+        "Q(*) :- E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x1), x1 != x3, x2 != x4",
+        "Q(*) :- E(x, y), U(y)",
+        "Q(*) :- E(x, y), U(x), U(y), x != y",
+        "Q(*) :- E(x, x), E(x, y)",
+        "Q(*) :- E(x, y), E(y, x)",
+        "Q(x) :- E(x, y), E(y, z)",
+        "Q(x, z) :- E(x, y), E(y, z), x != z",
+        "Q(y) :- E(x, y), U(x)",
+        "Q(*) :- E(1, y), E(y, z)",
+        "Q(*) :- E(x, y), E(z, w), U(z)",
+        "Q(x) :- E(x, y), E(x, z), y != z",
+    ]
+}
+
+/// A random database; `symmetric` mirrors every edge so the relation
+/// column-symmetry collapse actually fires on some instances.
+fn arb_db() -> impl Strategy<Value = Database> {
+    (
+        prop::collection::vec((0i64..6, 0i64..6), 0..14),
+        prop::collection::vec(0i64..6, 0..6),
+        0u8..2,
+    )
+        .prop_map(|(edges, unary, symmetric)| {
+            let symmetric = symmetric == 1;
+            let mut db = Database::new();
+            db.create_relation("E", 2);
+            db.create_relation("U", 1);
+            for (a, b) in edges {
+                db.insert_tuple("E", &[Value(a), Value(b)]);
+                if symmetric {
+                    db.insert_tuple("E", &[Value(b), Value(a)]);
+                }
+            }
+            for a in unary {
+                db.insert_tuple("U", &[Value(a)]);
+            }
+            db
+        })
+}
+
+/// A random subset family drawn from all atom subsets of the query
+/// (mask-selected so the family size varies, always including the full
+/// power set when `mask` has all bits set).
+fn family_for(num_atoms: usize, mask: u64) -> BTreeSet<Vec<usize>> {
+    let atoms: Vec<usize> = (0..num_atoms).collect();
+    subsets(&atoms)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, s)| s.is_empty() || mask & (1 << (i % 64)) != 0)
+        .map(|(_, s)| s)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn family_values_match_per_subset_t_e(
+        db in arb_db(),
+        qi in 0usize..16,
+        mask in 0u64..u64::MAX,
+    ) {
+        let q = parse_query(query_pool()[qi]).unwrap();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        let family = family_for(q.num_atoms(), mask);
+        let fe = FamilyEvaluator::new(&ev);
+        let got = fe.t_family(&family, 1).unwrap();
+        prop_assert_eq!(got.len(), family.len());
+        for (s, v) in got {
+            prop_assert_eq!(v, ev.t_e(&s).unwrap(), "subset {:?}", s);
+        }
+    }
+
+    #[test]
+    fn family_values_independent_of_thread_count(
+        db in arb_db(),
+        qi in 0usize..16,
+        mask in 0u64..u64::MAX,
+    ) {
+        let q = parse_query(query_pool()[qi]).unwrap();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        let family = family_for(q.num_atoms(), mask);
+        // Fresh evaluators: the 4-thread run must not depend on a warm
+        // cache, scheduling order, or work-stealing interleavings.
+        let serial = FamilyEvaluator::new(&ev).t_family(&family, 1).unwrap();
+        let parallel = FamilyEvaluator::new(&ev).t_family(&family, 4).unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn repeated_family_calls_hit_the_value_cache(
+        db in arb_db(),
+        qi in 0usize..16,
+    ) {
+        let q = parse_query(query_pool()[qi]).unwrap();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        let family = family_for(q.num_atoms(), u64::MAX);
+        let fe = FamilyEvaluator::new(&ev);
+        let first = fe.t_family(&family, 1).unwrap();
+        let computed = fe.stats().values_computed;
+        let second = fe.t_family(&family, 2).unwrap();
+        prop_assert_eq!(first, second);
+        // No new residual evaluations on the second pass.
+        prop_assert_eq!(fe.stats().values_computed, computed);
+        // Classes never exceed subsets; the cache never over-computes.
+        prop_assert!(computed as usize <= family.len());
+    }
+}
+
+#[test]
+fn single_subset_t_e_matches_engine() {
+    // Deterministic spot-check of `FamilyEvaluator::t_e` (the incremental
+    // entry point) including an isomorphism-cache hit.
+    let mut db = Database::new();
+    for (u, v) in [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4)] {
+        db.insert_tuple("E", &[Value(u), Value(v)]);
+        db.insert_tuple("E", &[Value(v), Value(u)]);
+    }
+    let q = parse_query("Q(*) :- E(x1,x2), E(x2,x3), E(x1,x3)").unwrap();
+    let ev = Evaluator::new(&q, &db).unwrap();
+    let fe = FamilyEvaluator::new(&ev);
+    for s in [vec![], vec![0], vec![1], vec![0, 1], vec![0, 2], vec![1, 2]] {
+        assert_eq!(fe.t_e(&s).unwrap(), ev.t_e(&s).unwrap(), "subset {s:?}");
+    }
+    let stats = fe.stats();
+    // Symmetric instance: the three pair residuals are one class.
+    assert!(stats.value_hits >= 2, "stats {stats:?}");
+}
