@@ -17,17 +17,28 @@
 //!   parallelism, capped at 8).
 //!
 //! Every strategy's values are cross-checked for equality each repetition.
+//! When the crate is built with `--features count-allocs`, an untimed
+//! extra run records per-workload allocation counts (naive and 1-thread
+//! family) so scratch-reuse regressions are visible even on hosts whose
+//! wall-clock is noisy.
+//!
 //! Usage: `bench_json [--quick] [--threads N] [--reps N] [--seed N]
-//! [--out PATH] [--check]`; `--check` exits non-zero if the tracked
-//! speedup floors (≥2× family-vs-naive on the self-join workloads, ≥1.5×
-//! multi-thread-vs-single) are not met.
+//! [--out PATH] [--check] [--baseline PATH] [--compare PATH]`.
+//!
+//! Each workload entry embeds its `tracked_floors` (speedup floors).
+//! `--check` compares a fresh run against the floors committed in
+//! `--baseline` (default `BENCH_te.json`) and exits non-zero on any
+//! regression; multithread floors are skipped when the measured host has
+//! `host_parallelism == 1`. `--compare PATH` skips benching and checks an
+//! already-written fresh artifact instead (the CI wiring: bench once,
+//! upload, then compare against the committed baseline).
 
 use dpcq::eval::{Evaluator, FamilyEvaluator};
 use dpcq::graph::queries;
 use dpcq::query::{parse_query, ConjunctiveQuery, Policy};
 use dpcq::relation::{Database, Value};
 use dpcq::sensitivity::prep::{default_threads, required_subsets};
-use dpcq_bench::{fmt_secs, median_ns, time, Args, Json, Table};
+use dpcq_bench::{current_thread_allocs, fmt_secs, median_ns, time, Args, Json, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -39,9 +50,10 @@ struct Workload {
     query: ConjunctiveQuery,
     db: Database,
     family: BTreeSet<Vec<usize>>,
-    /// Whether this workload's single-thread family speedup is a tracked
-    /// acceptance floor (the self-join families).
-    track_selfjoin_floor: bool,
+    /// Speedup floors (`(metric, floor)`) embedded in this workload's
+    /// artifact entry and enforced by `--check` against the committed
+    /// baseline. Metrics name the `speedup_*` fields without the prefix.
+    floors: &'static [(&'static str, f64)],
 }
 
 /// A symmetric random graph with a planted clique (the clique pins the
@@ -128,21 +140,26 @@ fn workloads(quick: bool, seed: u64) -> Vec<Workload> {
             query: tri,
             db: tri_db,
             family: tri_family,
-            track_selfjoin_floor: true,
+            floors: &[("family_vs_naive", 2.5)],
         },
         Workload {
             name: "four_clique_family",
             query: k4,
             db: k4_db,
             family: k4_family,
-            track_selfjoin_floor: true,
+            floors: &[("family_vs_naive", 8.0)],
         },
         Workload {
             name: "chain4_family",
             query: chain,
             db: chain_db,
             family: chain_family,
-            track_selfjoin_floor: false,
+            // A non-regression gate only ("threads must not lose to
+            // serial on multicore"): thread scaling has never been
+            // measured on parallel hardware (every committed run is from
+            // a 1-CPU container, where the check self-skips). Raise after
+            // re-baselining on a multicore host — see ROADMAP.md.
+            floors: &[("multithread_vs_1thread", 1.1)],
         },
     ]
 }
@@ -177,8 +194,86 @@ fn run_family(w: &Workload, threads: usize) -> (Values, u64) {
     (values, fe.stats().values_computed)
 }
 
+/// Allocations performed by `f` on this thread (0 without `count-allocs`).
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = current_thread_allocs();
+    let out = f();
+    (out, current_thread_allocs().saturating_sub(before))
+}
+
+/// Verifies the fresh run's speedups against the baseline's committed
+/// `tracked_floors`. Multithread floors are skipped on 1-CPU fresh hosts.
+fn check_floors(baseline: &Json, fresh: &Json) -> bool {
+    let mut ok = true;
+    let fresh_host = fresh
+        .get("host_parallelism")
+        .and_then(Json::as_i128)
+        .unwrap_or(1);
+    let Some(base_workloads) = baseline.get("workloads").and_then(Json::as_array) else {
+        eprintln!("CHECK FAILED: baseline has no `workloads` array");
+        return false;
+    };
+    let empty: [Json; 0] = [];
+    let fresh_workloads = fresh
+        .get("workloads")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    for bw in base_workloads {
+        let name = bw.get("workload").and_then(Json::as_str).unwrap_or("?");
+        let Some(floors) = bw.get("tracked_floors").and_then(Json::entries) else {
+            continue;
+        };
+        let Some(fw) = fresh_workloads
+            .iter()
+            .find(|w| w.get("workload").and_then(Json::as_str) == Some(name))
+        else {
+            eprintln!("CHECK FAILED: workload `{name}` missing from the fresh run");
+            ok = false;
+            continue;
+        };
+        for (metric, floor) in floors {
+            let Some(floor) = floor.as_f64() else {
+                continue;
+            };
+            if metric == "multithread_vs_1thread" && fresh_host <= 1 {
+                println!("check: {name} {metric} floor skipped (host_parallelism == 1)");
+                continue;
+            }
+            let field = format!("speedup_{metric}");
+            let got = fw.get(&field).and_then(Json::as_f64).unwrap_or(0.0);
+            if got < floor {
+                eprintln!("CHECK FAILED: {name} {metric} {got:.2}x < floor {floor:.2}x");
+                ok = false;
+            } else {
+                println!("check: {name} {metric} {got:.2}x >= floor {floor:.2}x");
+            }
+        }
+    }
+    ok
+}
+
+fn load_json(path: &str, what: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {what} `{path}`: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {what} `{path}`: {e}"))
+}
+
 fn main() {
     let args = Args::parse(&["quick", "check"]);
+    let baseline_path = args.get("baseline").unwrap_or("BENCH_te.json").to_string();
+
+    // Pure comparison mode: check an already-written fresh artifact
+    // against the committed baseline floors, without re-benching.
+    if let Some(fresh_path) = args.get("compare") {
+        let fresh = load_json(fresh_path, "fresh artifact");
+        let baseline = load_json(&baseline_path, "baseline");
+        if !check_floors(&baseline, &fresh) {
+            std::process::exit(1);
+        }
+        println!("check: all tracked floors hold");
+        return;
+    }
+
     let quick = args.has("quick");
     let reps = args.get_usize("reps", if quick { 3 } else { 5 });
     // An explicit --threads is honored verbatim; the default measures the
@@ -187,6 +282,22 @@ fn main() {
     let threads = args.get_usize("threads", default_threads().clamp(2, 8));
     let seed = args.get_usize("seed", 42) as u64;
     let out_path = args.get("out").unwrap_or("BENCH_te.json").to_string();
+
+    // Load the committed baseline *before* benching: writing the artifact
+    // must never clobber the floors the check is about to read (the
+    // default --out and --baseline are the same path), and a missing
+    // baseline should fail fast, not after minutes of benching.
+    let check_baseline = if args.has("check") {
+        if out_path == baseline_path {
+            eprintln!(
+                "warning: --out and --baseline are both `{out_path}`; checking against \
+                 the floors as committed before this run overwrites them"
+            );
+        }
+        Some(load_json(&baseline_path, "baseline"))
+    } else {
+        None
+    };
 
     let mut table = Table::new(&[
         "workload",
@@ -200,7 +311,6 @@ fn main() {
         "mt vs 1t",
     ]);
     let mut entries: Vec<Json> = Vec::new();
-    let mut floors_ok = true;
 
     for w in workloads(quick, seed) {
         let mut naive_t: Vec<Duration> = Vec::new();
@@ -222,33 +332,24 @@ fn main() {
             famn_t.push(d_famn);
             classes = c;
         }
+        // Untimed instrumented runs (scratch arenas warm after the timed
+        // reps): allocation counts are scheduling-noise-free evidence for
+        // the scratch-reuse story even where wall-clock is not. Skipped
+        // entirely when the counting allocator is not compiled in — the
+        // counts would read 0 and the extra runs would be wasted time.
+        let (allocs_naive, allocs_fam1) = if dpcq_bench::ALLOC_COUNTING {
+            let (_, a) = count_allocs(|| run_naive(&w));
+            let (_, b) = count_allocs(|| run_family(&w, 1));
+            (a, b)
+        } else {
+            (0, 0)
+        };
         let naive_ns = median_ns(&naive_t);
         let shared_ns = median_ns(&shared_t);
         let fam1_ns = median_ns(&fam1_t);
         let famn_ns = median_ns(&famn_t);
         let vs_naive = naive_ns as f64 / fam1_ns.max(1) as f64;
         let mt_vs_1t = fam1_ns as f64 / famn_ns.max(1) as f64;
-        if w.track_selfjoin_floor && vs_naive < 2.0 {
-            eprintln!(
-                "FLOOR MISSED: {} family-vs-naive {vs_naive:.2}x < 2x",
-                w.name
-            );
-            floors_ok = false;
-        }
-        if !w.track_selfjoin_floor && mt_vs_1t < 1.5 {
-            // A host with a single CPU cannot show thread scaling; the
-            // floor only binds where parallel hardware exists.
-            if default_threads() >= 2 {
-                eprintln!("FLOOR MISSED: {} mt-vs-1t {mt_vs_1t:.2}x < 1.5x", w.name);
-                floors_ok = false;
-            } else {
-                eprintln!(
-                    "NOTE: {} mt-vs-1t {mt_vs_1t:.2}x measured on a 1-CPU host \
-                     (floor requires parallel hardware)",
-                    w.name
-                );
-            }
-        }
         table.row(vec![
             w.name.to_string(),
             w.family.len().to_string(),
@@ -260,7 +361,7 @@ fn main() {
             format!("{vs_naive:.2}x"),
             format!("{mt_vs_1t:.2}x"),
         ]);
-        entries.push(Json::obj([
+        let mut fields = vec![
             ("workload", Json::Str(w.name.to_string())),
             ("subsets", Json::Int(w.family.len() as i128)),
             ("iso_classes", Json::Int(classes as i128)),
@@ -271,23 +372,25 @@ fn main() {
             ("speedup_family_vs_naive", Json::Num(vs_naive)),
             ("speedup_multithread_vs_1thread", Json::Num(mt_vs_1t)),
             (
-                "tracked_floor",
-                Json::Str(if w.track_selfjoin_floor {
-                    "family_vs_naive >= 2.0".to_string()
-                } else {
-                    "multithread_vs_1thread >= 1.5".to_string()
-                }),
+                "tracked_floors",
+                Json::obj(w.floors.iter().map(|&(k, v)| (k, Json::Num(v)))),
             ),
-        ]));
+        ];
+        if dpcq_bench::ALLOC_COUNTING {
+            fields.push(("allocs_naive", Json::Int(allocs_naive as i128)));
+            fields.push(("allocs_family_1thread", Json::Int(allocs_fam1 as i128)));
+        }
+        entries.push(Json::obj(fields));
     }
 
     let doc = Json::obj([
-        ("schema", Json::Str("dpcq-bench-te/v1".to_string())),
+        ("schema", Json::Str("dpcq-bench-te/v2".to_string())),
         ("quick", Json::Bool(quick)),
         ("reps", Json::Int(reps as i128)),
         ("threads", Json::Int(threads as i128)),
         ("host_parallelism", Json::Int(default_threads() as i128)),
         ("seed", Json::Int(seed as i128)),
+        ("alloc_counting", Json::Bool(dpcq_bench::ALLOC_COUNTING)),
         (
             "baseline",
             Json::Str(
@@ -302,7 +405,11 @@ fn main() {
     std::fs::write(&out_path, doc.render()).expect("write benchmark artifact");
     println!("{}", table.render());
     println!("wrote {out_path}");
-    if args.has("check") && !floors_ok {
-        std::process::exit(1);
+
+    if let Some(baseline) = check_baseline {
+        if !check_floors(&baseline, &doc) {
+            std::process::exit(1);
+        }
+        println!("check: all tracked floors hold");
     }
 }

@@ -1,0 +1,158 @@
+//! Eval-scoped value compression and per-thread scratch arenas.
+//!
+//! The columnar factor kernel ([`crate::factor`]) does not operate on raw
+//! [`Value`]s (`i64`): every value appearing in an evaluation is interned
+//! once into a [`Domain`] — a dense `Value ↔ u32` code map scoped to one
+//! [`crate::Evaluator`] — and factors store rows of `u32` codes. Joins,
+//! eliminations and column merges only ever *combine* existing values, so
+//! the domain is frozen (`Arc<Domain>`) right after the atom factors are
+//! built and shared read-only across every derived factor and worker
+//! thread. Codes decode back to values only at the consumer boundary
+//! (`Factor::row`/`Factor::iter`, predicate evaluation, witnesses).
+//!
+//! [`Scratch`] is the kernel's per-thread arena: the unaggregated output
+//! rows, sort-key buffers, and probe-key buffer every kernel call needs.
+//! It lives in a thread local, so the steady state of a long release —
+//! including the work-stealing workers of
+//! [`crate::FamilyEvaluator::t_family`] — reuses the same buffers instead
+//! of reallocating them per join.
+
+use dpcq_relation::{FxHashMap, Value};
+use std::cell::RefCell;
+
+/// A frozen, evaluation-scoped bijection between the values occurring in
+/// the instance and dense `u32` codes.
+///
+/// Codes are assigned in interning order; equality of codes is equality of
+/// values (within one domain), which is all the join/elimination kernel
+/// needs. Order comparisons decode first.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Domain {
+    values: Vec<Value>,
+    codes: FxHashMap<Value, u32>,
+}
+
+impl Domain {
+    /// An empty domain.
+    pub(crate) fn new() -> Self {
+        Domain::default()
+    }
+
+    /// Interns `v`, assigning the next dense code on first sight.
+    pub(crate) fn intern(&mut self, v: Value) -> u32 {
+        if let Some(&c) = self.codes.get(&v) {
+            return c;
+        }
+        let c = u32::try_from(self.values.len()).expect("active domain exceeds u32 codes");
+        self.codes.insert(v, c);
+        self.values.push(v);
+        c
+    }
+
+    /// Decodes a code. Codes are only ever produced by [`Domain::intern`]
+    /// on this same domain, so this is a plain array load.
+    #[inline]
+    pub(crate) fn value(&self, code: u32) -> Value {
+        self.values[code as usize]
+    }
+
+    /// All interned values in code order (used when merging two domains).
+    pub(crate) fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Whether nothing has been interned.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Sort-buffer portion of the scratch arena (separate struct so the
+/// aggregation routine can borrow it while reading the emit buffers).
+#[derive(Default, Debug)]
+pub(crate) struct SortBuf {
+    /// `(packed key, row index)` pairs for output arities ≤ 2.
+    pub(crate) k64: Vec<(u64, u32)>,
+    /// `(packed key, row index)` pairs for output arities 3–4.
+    pub(crate) k128: Vec<(u128, u32)>,
+    /// Plain row-index permutation for wider outputs.
+    pub(crate) idx: Vec<u32>,
+}
+
+/// Emit-buffer portion of the scratch arena: unaggregated output rows.
+#[derive(Default, Debug)]
+pub(crate) struct Emit {
+    /// Flat code storage of the emitted (pre-aggregation) rows.
+    pub(crate) codes: Vec<u32>,
+    /// Parallel emitted weights.
+    pub(crate) weights: Vec<u128>,
+}
+
+/// The per-thread arena threaded through every factor-kernel call.
+#[derive(Default, Debug)]
+pub(crate) struct Scratch {
+    pub(crate) emit: Emit,
+    pub(crate) sort: SortBuf,
+    /// Join-key buffer (probe side).
+    pub(crate) key: Vec<u32>,
+    /// `(key id, row index)` pairs for join-index construction.
+    pub(crate) hashes: Vec<(u64, u32)>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Runs `f` with this thread's scratch arena. Kernel entry points call
+/// this exactly once and pass the arena down by `&mut`, so the borrow is
+/// never held reentrantly; if a future refactor nests entry points anyway,
+/// the inner call falls back to a fresh arena instead of panicking.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut s) => f(&mut s),
+        Err(_) => f(&mut Scratch::default()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut d = Domain::new();
+        assert!(d.is_empty());
+        let a = d.intern(Value(42));
+        let b = d.intern(Value(-7));
+        assert_eq!(d.intern(Value(42)), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d.values().len(), 2);
+        assert_eq!(d.value(a), Value(42));
+        assert_eq!(d.value(b), Value(-7));
+        assert_eq!(d.values(), &[Value(42), Value(-7)]);
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_thread() {
+        let ptr1 = with_scratch(|s| {
+            s.emit.codes.push(1);
+            s.emit.codes.as_ptr() as usize
+        });
+        let ptr2 = with_scratch(|s| {
+            assert_eq!(s.emit.codes, vec![1]);
+            s.emit.codes.as_ptr() as usize
+        });
+        assert_eq!(ptr1, ptr2);
+    }
+
+    #[test]
+    fn reentrant_scratch_does_not_panic() {
+        with_scratch(|_outer| {
+            let v = with_scratch(|inner| {
+                inner.key.push(9);
+                inner.key.len()
+            });
+            assert_eq!(v, 1);
+        });
+    }
+}

@@ -25,6 +25,7 @@
 //! residuals of disconnected patterns otherwise force huge cross products
 //! whose maximum is trivial.
 
+use crate::domain::Domain;
 use crate::error::EvalError;
 use crate::factor::{vars_mask, Factor, Semiring};
 use crate::family::{cached, restrict_rep, FactorStore, Sig, TF};
@@ -47,8 +48,15 @@ pub struct Evaluator<'a> {
 impl<'a> Evaluator<'a> {
     /// Binds `query` to `db`, validating that every referenced relation
     /// exists with the right arity and materializing per-atom base factors.
+    ///
+    /// Every value appearing in any atom's rows is interned into one
+    /// evaluation-scoped [`Domain`], frozen here and shared by every
+    /// factor this evaluator (and any [`crate::FamilyEvaluator`] over it)
+    /// will ever derive — the code-compressed kernel's single value map.
     pub fn new(query: &'a ConjunctiveQuery, db: &'a Database) -> Result<Self, EvalError> {
-        let mut atom_factors = Vec::with_capacity(query.num_atoms());
+        let mut domain = Domain::new();
+        let mut staged: Vec<(Vec<VarId>, Vec<u32>, Vec<u128>)> =
+            Vec::with_capacity(query.num_atoms());
         for atom in query.atoms() {
             let rel = db
                 .relation(&atom.relation)
@@ -73,7 +81,8 @@ impl<'a> Evaluator<'a> {
                         .map(|v| vars.iter().position(|w| *w == v).expect("var interned"))
                 })
                 .collect();
-            let mut rows: Vec<(Vec<Value>, u128)> = Vec::with_capacity(rel.len());
+            let mut codes: Vec<u32> = Vec::with_capacity(rel.len() * vars.len());
+            let mut weights: Vec<u128> = Vec::with_capacity(rel.len());
             let mut bound: Vec<Option<Value>> = vec![None; vars.len()];
             'rows: for row in rel.iter() {
                 bound.fill(None);
@@ -94,10 +103,26 @@ impl<'a> Evaluator<'a> {
                         }
                     }
                 }
-                rows.push((bound.iter().map(|b| b.expect("all bound")).collect(), 1));
+                for b in &bound {
+                    codes.push(domain.intern(b.expect("all bound")));
+                }
+                weights.push(1);
             }
-            atom_factors.push(Arc::new(Factor::from_rows(vars, rows, Semiring::Counting)));
+            staged.push((vars, codes, weights));
         }
+        let domain = Arc::new(domain);
+        let atom_factors = staged
+            .into_iter()
+            .map(|(vars, codes, weights)| {
+                Arc::new(Factor::from_coded(
+                    vars,
+                    Arc::clone(&domain),
+                    codes,
+                    weights,
+                    Semiring::Counting,
+                ))
+            })
+            .collect();
         Ok(Evaluator {
             query,
             db,
@@ -269,9 +294,12 @@ impl<'a> Evaluator<'a> {
 
         let nv = self.query.num_vars();
         let boundary_vec: Vec<VarId> = boundary.iter().copied().collect();
-        let mut acc: dpcq_relation::FxHashMap<Box<[Value]>, i128> =
+        // Boundary valuations key on dictionary codes: every factor of this
+        // evaluation shares one domain, so code tuples identify value
+        // tuples across all inclusion–exclusion terms.
+        let mut acc: dpcq_relation::FxHashMap<Box<[u32]>, i128> =
             dpcq_relation::FxHashMap::default();
-        let mut key_buf: Vec<Value> = vec![Value::default(); boundary_vec.len()];
+        let mut key_buf: Vec<u32> = vec![0; boundary_vec.len()];
 
         // Distinct predicate subsets can induce the same variable
         // partition; their signed contributions collapse to one Möbius
@@ -369,11 +397,12 @@ impl<'a> Evaluator<'a> {
                         .expect("boundary representative appears in combined factor")
                 })
                 .collect();
-            for (row, w) in combined.iter() {
+            for i in 0..combined.len() {
+                let row = combined.row_codes(i);
                 for (slot, &p) in key_buf.iter_mut().zip(&positions) {
                     *slot = row[p];
                 }
-                let w = i128::try_from(w).expect("count fits in i128");
+                let w = i128::try_from(combined.weight(i)).expect("count fits in i128");
                 *acc.entry(key_buf.clone().into_boxed_slice()).or_insert(0) += coeff * w;
             }
         }
@@ -827,13 +856,24 @@ fn max_product(factors: &[TF], preds: &[Predicate], num_vars: usize) -> Option<u
     for i in (0..factors.len()).rev() {
         suffix_max[i] = suffix_max[i + 1].checked_mul(factors[i].f.max_annotation())?;
     }
+    // The search binds dictionary codes (single-word equality); all the
+    // factors of one evaluation share a domain, decoded only when an order
+    // predicate needs the underlying values.
+    let domain = factors[0].f.domain();
+    debug_assert!(
+        factors
+            .iter()
+            .all(|t| std::sync::Arc::ptr_eq(t.f.domain(), domain)),
+        "max_product factors must share one evaluation domain"
+    );
 
     struct Search<'s> {
         factors: &'s [TF],
         orders: &'s [&'s [u32]],
         suffix_max: &'s [u128],
         preds: &'s [Predicate],
-        bound: Vec<Option<Value>>,
+        domain: &'s crate::domain::Domain,
+        bound: Vec<Option<u32>>,
         best: u128,
         nodes: u64,
     }
@@ -862,15 +902,15 @@ fn max_product(factors: &[TF], preds: &[Predicate], num_vars: usize) -> Option<u
                 if acc.saturating_mul(w).saturating_mul(self.suffix_max[i + 1]) <= self.best {
                     break;
                 }
-                let row = factor.row(ri);
+                let row = factor.row_codes(ri);
                 let mut newly: Vec<VarId> = Vec::new();
-                for (v, &val) in vars.iter().zip(row) {
+                for (v, &code) in vars.iter().zip(row) {
                     match self.bound[v.0] {
                         None => {
-                            self.bound[v.0] = Some(val);
+                            self.bound[v.0] = Some(code);
                             newly.push(*v);
                         }
-                        Some(prev) if prev != val => {
+                        Some(prev) if prev != code => {
                             for u in newly.drain(..) {
                                 self.bound[u.0] = None;
                             }
@@ -888,7 +928,7 @@ fn max_product(factors: &[TF], preds: &[Predicate], num_vars: usize) -> Option<u
                     if pv.iter().any(|v| self.bound[v.0].is_none()) {
                         return true; // not yet fully bound
                     }
-                    p.eval(|v| self.bound[v.0].expect("checked bound"))
+                    p.eval(|v| self.domain.value(self.bound[v.0].expect("checked bound")))
                 });
                 let go_on = !ok || self.recurse(i + 1, acc.checked_mul(w).expect("count overflow"));
                 for u in newly {
@@ -907,6 +947,7 @@ fn max_product(factors: &[TF], preds: &[Predicate], num_vars: usize) -> Option<u
         orders: &orders,
         suffix_max: &suffix_max,
         preds,
+        domain,
         bound: vec![None; num_vars],
         best: 0,
         nodes: 0,
@@ -923,8 +964,8 @@ fn take_applicable(pending: &mut Vec<Predicate>, vars: &[VarId]) -> Vec<Predicat
     }
     let mask = vars_mask(vars);
     let contains = |v: &VarId| {
-        if v.0 < 64 {
-            mask & (1u64 << v.0) != 0
+        if v.0 < 128 {
+            mask & (1u128 << v.0) != 0
         } else {
             vars.contains(v)
         }

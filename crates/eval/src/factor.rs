@@ -1,4 +1,5 @@
-//! Annotated factors: the intermediate representation of the FAQ engine.
+//! Annotated factors: the columnar intermediate representation of the FAQ
+//! engine.
 //!
 //! A [`Factor`] is a relation over a set of query variables in which every
 //! row carries a semiring annotation. Two semirings are used (Section 3.1 /
@@ -14,31 +15,58 @@
 //! (a privacy bug), so we use a width that cannot overflow on realistic
 //! inputs and checked arithmetic.
 //!
-//! Storage is flat (one `Vec<Value>` for all rows, parallel weight vector,
-//! hash index from row-hash to indices) — factor rows are created and
-//! destroyed by the million inside `T_E` computations, so per-row boxing
-//! is the enemy.
+//! # Storage: code-compressed columnar rows
+//!
+//! Rows are stored flat — row `i` occupies `codes[i*arity .. (i+1)*arity]`
+//! with a parallel weight vector — and the cells are **`u32` dictionary
+//! codes**, not raw [`Value`]s: every value is interned once into an
+//! evaluation-scoped [`Domain`](crate::domain) (built by
+//! [`crate::Evaluator::new`] and frozen behind an `Arc`). Tuples are half
+//! the size of the old `i64` layout, cell comparisons are single-word, and
+//! join keys of up to two columns pack into one `u64`. Codes decode back
+//! to values only at the consumer boundary: [`Factor::row`]/[`Factor::iter`]
+//! materialize a lazy decoded view, and predicate evaluation decodes cell
+//! by cell (order predicates must compare *values*, not codes).
+//!
+//! # Aggregation: sort-based run merging
+//!
+//! `join`/`join_eliminate`/`eliminate`/`merge_columns` do not dedup output
+//! rows through a hash table. They emit unaggregated rows into a per-thread
+//! [`Scratch`](crate::domain) arena, sort by the packed key (`u64` for
+//! arities ≤ 2, `u128` for ≤ 4, index-permutation otherwise), and merge
+//! equal-key runs with the semiring's `+` in one pass — no per-row hashing,
+//! no hash-map churn, exact-size output allocations.
+//!
+//! # Indexes and caches materialize lazily, once
+//!
+//! The build-side hash join index is **retained on the factor** per key
+//! set (like the cached descending-weight order): memoized `Arc<Factor>`
+//! intermediates in the family store are indexed once and probed many
+//! times across subsets and worker threads. The decoded value view and
+//! the weight order are `OnceLock`s with the same lifecycle. All three
+//! caches reset on mutation (`filter`) and are not carried by `clone()`.
 
+use crate::domain::{with_scratch, Domain, Scratch, SortBuf};
 use dpcq_query::{Predicate, VarId};
-use dpcq_relation::fxhash::hash_row;
+use dpcq_relation::fxhash::hash_codes;
 use dpcq_relation::{FxHashMap, Value};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The bit of `v` in a variable bitset, or 0 for ids past the mask width.
 #[inline]
-fn var_bit(v: VarId) -> u64 {
-    if v.0 < 64 {
-        1u64 << v.0
+fn var_bit(v: VarId) -> u128 {
+    if v.0 < 128 {
+        1u128 << v.0
     } else {
         0
     }
 }
 
-/// The bitset of a variable list (ids ≥ 64 are not representable and fall
+/// The bitset of a variable list (ids ≥ 128 are not representable and fall
 /// back to linear scans in [`Factor::mentions`]).
 #[inline]
-pub(crate) fn vars_mask(vars: &[VarId]) -> u64 {
-    vars.iter().fold(0u64, |m, &v| m | var_bit(v))
+pub(crate) fn vars_mask(vars: &[VarId]) -> u128 {
+    vars.iter().fold(0u128, |m, &v| m | var_bit(v))
 }
 
 /// The two aggregation semirings used by the engine.
@@ -51,8 +79,18 @@ pub enum Semiring {
 }
 
 impl Semiring {
+    /// Canonicalizes an externally supplied annotation into the semiring
+    /// (Boolean clamps to `{0, 1}`).
     #[inline]
-    fn add(self, a: u128, b: u128) -> u128 {
+    pub(crate) fn lift(self, w: u128) -> u128 {
+        match self {
+            Semiring::Counting => w,
+            Semiring::Boolean => w.min(1),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn add(self, a: u128, b: u128) -> u128 {
         match self {
             Semiring::Counting => a.checked_add(b).expect("count overflow"),
             Semiring::Boolean => (a | b).min(1),
@@ -68,19 +106,210 @@ impl Semiring {
     }
 }
 
-/// An annotated relation over a list of variables.
+/// A retained build-side join index: row indices grouped by join-key id.
+///
+/// Key ids are the packed key codes when the key has ≤ 2 columns (exact —
+/// no per-row verification needed at probe time) and [`hash_codes`] hashes
+/// otherwise (probes verify the actual key codes within the bucket).
+#[derive(Debug)]
+struct JoinIndex {
+    /// Build-side row indices, all rows of one key id contiguous.
+    rows: Box<[u32]>,
+    /// Key id → `(start, len)` run in `rows`.
+    buckets: FxHashMap<u64, (u32, u32)>,
+}
+
+/// Retained join indexes of one factor: `(key column positions, index)`
+/// pairs (usually one or two entries, scanned linearly).
+type JoinIndexCache = Mutex<Vec<(Box<[u32]>, Arc<JoinIndex>)>>;
+
+/// The id of a join key: packed codes when `exact`, a hash otherwise.
+#[inline]
+fn key_id(key: &[u32], exact: bool) -> u64 {
+    if exact {
+        match *key {
+            [] => 0,
+            [a] => a as u64,
+            [a, b] => ((a as u64) << 32) | b as u64,
+            _ => unreachable!("exact join keys have at most 2 columns"),
+        }
+    } else {
+        hash_codes(key)
+    }
+}
+
+/// Aggregates unaggregated `(row, weight)` pairs (flat `codes` of the given
+/// `arity`, parallel `weights`) into exact-size deduplicated storage:
+/// sort by key, merge equal runs with the semiring's `+`. Zero-weight rows
+/// are dropped; Boolean annotations are clamped.
+fn aggregate(
+    arity: usize,
+    semiring: Semiring,
+    codes: &[u32],
+    weights: &[u128],
+    sort: &mut SortBuf,
+) -> (Vec<u32>, Vec<u128>) {
+    let n = weights.len();
+    debug_assert_eq!(codes.len(), arity * n);
+    if arity == 0 {
+        let mut acc = 0u128;
+        let mut any = false;
+        for &w in weights {
+            if w != 0 {
+                acc = if any {
+                    semiring.add(acc, semiring.lift(w))
+                } else {
+                    semiring.lift(w)
+                };
+                any = true;
+            }
+        }
+        return if any {
+            (Vec::new(), vec![acc])
+        } else {
+            (Vec::new(), Vec::new())
+        };
+    }
+
+    /// Merges the sorted `(key, row)` pairs into exact-size output; `emit`
+    /// copies the representative row of a run from the source codes.
+    fn merge_runs<K: Copy + PartialEq>(
+        pairs: &[(K, u32)],
+        arity: usize,
+        semiring: Semiring,
+        codes: &[u32],
+        weights: &[u128],
+    ) -> (Vec<u32>, Vec<u128>) {
+        let m = pairs.len();
+        let mut runs = 0usize;
+        let mut i = 0;
+        while i < m {
+            let k = pairs[i].0;
+            while i < m && pairs[i].0 == k {
+                i += 1;
+            }
+            runs += 1;
+        }
+        let mut out_codes = Vec::with_capacity(runs * arity);
+        let mut out_weights = Vec::with_capacity(runs);
+        let mut i = 0;
+        while i < m {
+            let k = pairs[i].0;
+            let first = pairs[i].1 as usize;
+            let mut acc = semiring.lift(weights[first]);
+            i += 1;
+            while i < m && pairs[i].0 == k {
+                acc = semiring.add(acc, semiring.lift(weights[pairs[i].1 as usize]));
+                i += 1;
+            }
+            out_codes.extend_from_slice(&codes[first * arity..(first + 1) * arity]);
+            out_weights.push(acc);
+        }
+        (out_codes, out_weights)
+    }
+
+    match arity {
+        1 | 2 => {
+            let pairs = &mut sort.k64;
+            pairs.clear();
+            pairs.reserve(n);
+            for i in 0..n {
+                if weights[i] == 0 {
+                    continue;
+                }
+                let key = if arity == 1 {
+                    codes[i] as u64
+                } else {
+                    ((codes[2 * i] as u64) << 32) | codes[2 * i + 1] as u64
+                };
+                pairs.push((key, i as u32));
+            }
+            pairs.sort_unstable();
+            merge_runs(pairs, arity, semiring, codes, weights)
+        }
+        3 | 4 => {
+            let pairs = &mut sort.k128;
+            pairs.clear();
+            pairs.reserve(n);
+            for i in 0..n {
+                if weights[i] == 0 {
+                    continue;
+                }
+                let row = &codes[i * arity..(i + 1) * arity];
+                let mut key = 0u128;
+                for &c in row {
+                    key = (key << 32) | c as u128;
+                }
+                pairs.push((key, i as u32));
+            }
+            pairs.sort_unstable();
+            merge_runs(pairs, arity, semiring, codes, weights)
+        }
+        _ => {
+            let idx = &mut sort.idx;
+            idx.clear();
+            idx.reserve(n);
+            for (i, &w) in weights.iter().enumerate() {
+                if w != 0 {
+                    idx.push(i as u32);
+                }
+            }
+            let row = |i: u32| &codes[i as usize * arity..(i as usize + 1) * arity];
+            idx.sort_unstable_by(|&a, &b| row(a).cmp(row(b)));
+            // Reuse the run merger by pairing each index with itself as the
+            // key surrogate is impossible (keys are slices), so merge here.
+            let m = idx.len();
+            let mut runs = 0usize;
+            let mut i = 0;
+            while i < m {
+                let r = row(idx[i]);
+                while i < m && row(idx[i]) == r {
+                    i += 1;
+                }
+                runs += 1;
+            }
+            let mut out_codes = Vec::with_capacity(runs * arity);
+            let mut out_weights = Vec::with_capacity(runs);
+            let mut i = 0;
+            while i < m {
+                let first = idx[i];
+                let r = row(first);
+                let mut acc = semiring.lift(weights[first as usize]);
+                i += 1;
+                while i < m && row(idx[i]) == r {
+                    acc = semiring.add(acc, semiring.lift(weights[idx[i] as usize]));
+                    i += 1;
+                }
+                out_codes.extend_from_slice(r);
+                out_weights.push(acc);
+            }
+            (out_codes, out_weights)
+        }
+    }
+}
+
+/// An annotated relation over a list of variables (columnar, code-
+/// compressed storage — see the module docs).
 #[derive(Debug)]
 pub struct Factor {
     vars: Vec<VarId>,
-    /// Bitset of `vars` (ids < 64) so [`Factor::mentions`] is one AND
+    /// Bitset of `vars` (ids < 128) so [`Factor::mentions`] is one AND
     /// instead of a linear scan — variable-membership tests dominate the
     /// bucket-selection and predicate-routing inner loops.
-    mask: u64,
-    /// Flat row storage: row `i` occupies `data[i*arity .. (i+1)*arity]`.
-    data: Vec<Value>,
+    mask: u128,
+    /// Flat code storage: row `i` occupies `codes[i*arity .. (i+1)*arity]`.
+    codes: Vec<u32>,
     weights: Vec<u128>,
-    /// Row hash -> row indices with that hash.
-    index: FxHashMap<u64, Vec<u32>>,
+    /// The value ↔ code map these rows are encoded against (shared with
+    /// every factor of the same evaluation).
+    domain: Arc<Domain>,
+    /// Lazily decoded value view backing the public [`Factor::row`] /
+    /// [`Factor::iter`] API; the kernel itself never touches it.
+    decoded: OnceLock<Box<[Value]>>,
+    /// Retained build-side join indexes, one per key-column set. Shared
+    /// `Arc<Factor>`s in the family memo store index once, probe many
+    /// times across subsets and threads.
+    joins: JoinIndexCache,
     /// Lazily computed descending-weight row order (see
     /// [`Factor::rows_by_weight_desc`]). Shared `Arc<Factor>`s in the
     /// family memo store thus sort once across all branch-and-bound calls.
@@ -89,69 +318,92 @@ pub struct Factor {
 
 impl Clone for Factor {
     fn clone(&self) -> Self {
-        Factor {
-            vars: self.vars.clone(),
-            mask: self.mask,
-            data: self.data.clone(),
-            weights: self.weights.clone(),
-            index: self.index.clone(),
-            // The order is a pure function of `weights`, so carrying it
-            // over is sound — but clones are usually about to be mutated,
-            // so start fresh rather than copy a cache most clones drop.
-            order: OnceLock::new(),
-        }
+        // Caches (decoded view, join indexes, weight order) are pure
+        // functions of the rows, so carrying them over would be sound —
+        // but clones are usually about to be mutated, so start fresh
+        // rather than copy caches most clones drop.
+        Factor::from_parts(
+            self.vars.clone(),
+            Arc::clone(&self.domain),
+            self.codes.clone(),
+            self.weights.clone(),
+        )
     }
 }
 
 impl Factor {
+    /// Assembles a factor from already aggregated parts with fresh caches.
+    fn from_parts(
+        vars: Vec<VarId>,
+        domain: Arc<Domain>,
+        codes: Vec<u32>,
+        weights: Vec<u128>,
+    ) -> Self {
+        let mask = vars_mask(&vars);
+        Factor {
+            vars,
+            mask,
+            codes,
+            weights,
+            domain,
+            decoded: OnceLock::new(),
+            joins: Mutex::new(Vec::new()),
+            order: OnceLock::new(),
+        }
+    }
+
+    /// Builds a factor from raw (possibly duplicated, possibly zero-weight)
+    /// coded rows: annotations of equal rows combine via the semiring's `+`
+    /// through one sort-and-merge pass.
+    pub(crate) fn from_coded(
+        vars: Vec<VarId>,
+        domain: Arc<Domain>,
+        codes: Vec<u32>,
+        weights: Vec<u128>,
+        semiring: Semiring,
+    ) -> Self {
+        let arity = vars.len();
+        let (codes, weights) =
+            with_scratch(|s| aggregate(arity, semiring, &codes, &weights, &mut s.sort));
+        Factor::from_parts(vars, domain, codes, weights)
+    }
+
     /// The factor with no variables and a single empty row annotated `1`
     /// (the multiplicative unit; also the paper's `q_∅(I) = {⟨⟩}`).
     pub fn unit() -> Self {
-        let mut f = Factor::empty(Vec::new());
-        f.add_row(&[], 1, Semiring::Counting);
-        f
+        Factor::from_parts(Vec::new(), Arc::new(Domain::new()), Vec::new(), vec![1])
     }
 
     /// An empty factor (additive zero) over the given variables.
     pub fn empty(vars: Vec<VarId>) -> Self {
-        let mask = vars_mask(&vars);
-        Factor {
-            vars,
-            mask,
-            data: Vec::new(),
-            weights: Vec::new(),
-            index: FxHashMap::default(),
-            order: OnceLock::new(),
-        }
+        Factor::from_parts(vars, Arc::new(Domain::new()), Vec::new(), Vec::new())
     }
 
-    /// An empty factor with row capacity reserved.
-    pub fn with_capacity(vars: Vec<VarId>, rows: usize) -> Self {
-        let arity = vars.len();
-        let mask = vars_mask(&vars);
-        Factor {
-            vars,
-            mask,
-            data: Vec::with_capacity(rows * arity),
-            weights: Vec::with_capacity(rows),
-            index: FxHashMap::with_capacity_and_hasher(rows, Default::default()),
-            order: OnceLock::new(),
-        }
-    }
-
-    /// Builds a factor from rows; annotations of duplicate rows are added
-    /// in the given semiring.
+    /// Builds a factor from value rows; annotations of duplicate rows are
+    /// added in the given semiring. The factor gets its own private domain
+    /// — factors meant to be joined against an evaluator's factors are
+    /// built through the evaluator instead, sharing its domain.
     pub fn from_rows<I>(vars: Vec<VarId>, rows: I, semiring: Semiring) -> Self
     where
         I: IntoIterator<Item = (Vec<Value>, u128)>,
     {
+        let arity = vars.len();
         let iter = rows.into_iter();
-        let mut f = Factor::with_capacity(vars, iter.size_hint().0);
+        let hint = iter.size_hint().0;
+        let mut domain = Domain::new();
+        let mut codes: Vec<u32> = Vec::with_capacity(hint * arity);
+        let mut weights: Vec<u128> = Vec::with_capacity(hint);
         for (row, w) in iter {
-            assert_eq!(row.len(), f.vars.len(), "factor row width mismatch");
-            f.add_row(&row, w, semiring);
+            assert_eq!(row.len(), arity, "factor row width mismatch");
+            if w == 0 {
+                continue;
+            }
+            for &v in &row {
+                codes.push(domain.intern(v));
+            }
+            weights.push(w);
         }
-        f
+        Factor::from_coded(vars, Arc::new(domain), codes, weights, semiring)
     }
 
     /// The arity (number of columns).
@@ -160,47 +412,38 @@ impl Factor {
         self.vars.len()
     }
 
-    /// Row `i` as a slice.
+    /// The shared value ↔ code map.
+    #[inline]
+    pub(crate) fn domain(&self) -> &Arc<Domain> {
+        &self.domain
+    }
+
+    /// Row `i` as a slice of codes (the kernel-internal view).
+    #[inline]
+    pub(crate) fn row_codes(&self, i: usize) -> &[u32] {
+        let a = self.arity();
+        &self.codes[i * a..(i + 1) * a]
+    }
+
+    /// The lazily decoded value view (built once per factor, only when a
+    /// consumer asks for values).
+    fn decoded(&self) -> &[Value] {
+        self.decoded
+            .get_or_init(|| self.codes.iter().map(|&c| self.domain.value(c)).collect())
+    }
+
+    /// Row `i` as a slice of values (decoded lazily; the hot kernel runs
+    /// on [`Factor::row_codes`]).
     #[inline]
     pub fn row(&self, i: usize) -> &[Value] {
         let a = self.arity();
-        &self.data[i * a..(i + 1) * a]
+        &self.decoded()[i * a..(i + 1) * a]
     }
 
     /// The weight of row `i`.
     #[inline]
     pub fn weight(&self, i: usize) -> u128 {
         self.weights[i]
-    }
-
-    /// Inserts a row, combining with an existing equal row via the
-    /// semiring's `+`.
-    pub(crate) fn add_row(&mut self, row: &[Value], w: u128, semiring: Semiring) {
-        debug_assert_eq!(row.len(), self.arity());
-        if w == 0 {
-            return;
-        }
-        let w = match semiring {
-            Semiring::Counting => w,
-            Semiring::Boolean => w.min(1),
-        };
-        if self.order.get().is_some() {
-            // Weight updates invalidate the cached descending-weight order.
-            self.order = OnceLock::new();
-        }
-        let h = hash_row(row);
-        let a = self.arity();
-        let bucket = self.index.entry(h).or_default();
-        for &i in bucket.iter() {
-            let i = i as usize;
-            if &self.data[i * a..(i + 1) * a] == row {
-                self.weights[i] = semiring.add(self.weights[i], w);
-                return;
-            }
-        }
-        bucket.push(self.weights.len() as u32);
-        self.data.extend_from_slice(row);
-        self.weights.push(w);
     }
 
     /// The factor's variables, in column order.
@@ -211,8 +454,8 @@ impl Factor {
     /// Whether the factor mentions `v`.
     #[inline]
     pub fn mentions(&self, v: VarId) -> bool {
-        if v.0 < 64 {
-            self.mask & (1u64 << v.0) != 0
+        if v.0 < 128 {
+            self.mask & (1u128 << v.0) != 0
         } else {
             self.vars.contains(&v)
         }
@@ -228,7 +471,7 @@ impl Factor {
         self.weights.is_empty()
     }
 
-    /// Iterates over `(row, annotation)` pairs.
+    /// Iterates over `(row, annotation)` pairs (values, decoded lazily).
     pub fn iter(&self) -> impl Iterator<Item = (&[Value], u128)> {
         (0..self.len()).map(|i| (self.row(i), self.weights[i]))
     }
@@ -276,46 +519,63 @@ impl Factor {
         self.join_core(other, drop, semiring)
     }
 
-    /// Shared build/probe hash-join body behind [`Factor::join`] and
-    /// [`Factor::join_eliminate`]: hash the smaller side on the shared
-    /// variables, stream the larger side, and keep only the output columns
-    /// not listed in `drop` (annotations of collapsing rows combine via
-    /// the semiring's `+`).
+    /// Shared join body behind [`Factor::join`] and
+    /// [`Factor::join_eliminate`]: probe the smaller side's retained hash
+    /// index with the larger side, emit only the output columns not listed
+    /// in `drop` into the scratch arena, and run aggregation merges
+    /// collapsing rows via the semiring's `+`.
     fn join_core(&self, other: &Factor, drop: &[VarId], semiring: Semiring) -> Factor {
+        // Domain unification. The hot path — every factor of one
+        // evaluation — shares a single `Arc<Domain>` and takes the
+        // pointer-equality branch; independently built factors (tests,
+        // ad hoc use) merge domains and re-encode the other side once.
+        let other_remapped: Factor;
+        let (domain, other) = if Arc::ptr_eq(&self.domain, &other.domain) || other.domain.is_empty()
+        {
+            (Arc::clone(&self.domain), other)
+        } else if self.domain.is_empty() {
+            (Arc::clone(&other.domain), other)
+        } else {
+            let mut merged = (*self.domain).clone();
+            let remap: Vec<u32> = other
+                .domain
+                .values()
+                .iter()
+                .map(|&v| merged.intern(v))
+                .collect();
+            let merged = Arc::new(merged);
+            other_remapped = Factor::from_parts(
+                other.vars.clone(),
+                Arc::clone(&merged),
+                other.codes.iter().map(|&c| remap[c as usize]).collect(),
+                other.weights.clone(),
+            );
+            (merged, &other_remapped)
+        };
+
         let (build, probe) = if self.len() <= other.len() {
             (self, other)
         } else {
             (other, self)
         };
-        let shared: Vec<VarId> = build
+        // Canonical (sorted) shared-variable order so the retained build
+        // index is keyed identically no matter which side probes it.
+        let mut shared: Vec<VarId> = build
             .vars
             .iter()
             .copied()
             .filter(|v| probe.mentions(*v))
             .collect();
-        let build_shared_pos: Vec<usize> = shared
+        shared.sort_unstable();
+        let build_key_pos: Vec<usize> = shared
             .iter()
             .map(|v| build.vars.iter().position(|w| w == v).expect("shared var"))
             .collect();
-        let probe_shared_pos: Vec<usize> = shared
+        let probe_key_pos: Vec<usize> = shared
             .iter()
             .map(|v| probe.vars.iter().position(|w| w == v).expect("shared var"))
             .collect();
-
-        let mut key = vec![Value::default(); shared.len()];
-        let mut index: FxHashMap<u64, Vec<u32>> =
-            FxHashMap::with_capacity_and_hasher(build.len(), Default::default());
-        for i in 0..build.len() {
-            let row = build.row(i);
-            for (k, &p) in key.iter_mut().zip(&build_shared_pos) {
-                *k = row[p];
-            }
-            index.entry(hash_row(&key)).or_default().push(i as u32);
-        }
-        let key_matches = |bi: usize, key: &[Value]| -> bool {
-            let row = build.row(bi);
-            build_shared_pos.iter().zip(key).all(|(&p, k)| row[p] == *k)
-        };
+        let exact = shared.len() <= 2;
 
         let out_vars: Vec<VarId> = self
             .vars
@@ -324,6 +584,7 @@ impl Factor {
             .chain(other.vars.iter().copied().filter(|v| !self.mentions(*v)))
             .filter(|v| !drop.contains(v))
             .collect();
+        let out_arity = out_vars.len();
         let out_pos: Vec<(bool, usize)> = out_vars
             .iter()
             .map(|v| {
@@ -342,33 +603,101 @@ impl Factor {
             })
             .collect();
 
-        let mut out = Factor::with_capacity(out_vars, probe.len().min(1 << 16));
-        let mut out_row = vec![Value::default(); out.vars.len()];
-        for pi in 0..probe.len() {
-            let prow = probe.row(pi);
-            for (k, &p) in key.iter_mut().zip(&probe_shared_pos) {
-                *k = prow[p];
-            }
-            let Some(bucket) = index.get(&hash_row(&key)) else {
-                continue;
-            };
-            for &bi in bucket {
-                let bi = bi as usize;
-                if !key_matches(bi, &key) {
+        with_scratch(|s| {
+            let index = build.join_index(&build_key_pos, exact, s);
+            let Scratch {
+                emit, sort, key, ..
+            } = s;
+            emit.codes.clear();
+            emit.weights.clear();
+            key.clear();
+            key.resize(shared.len(), 0);
+            for pi in 0..probe.len() {
+                let prow = probe.row_codes(pi);
+                for (slot, &p) in key.iter_mut().zip(&probe_key_pos) {
+                    *slot = prow[p];
+                }
+                let Some(&(start, len)) = index.buckets.get(&key_id(key, exact)) else {
                     continue;
+                };
+                let pw = probe.weights[pi];
+                for &bi in &index.rows[start as usize..(start + len) as usize] {
+                    let bi = bi as usize;
+                    let brow = build.row_codes(bi);
+                    if !exact
+                        && !build_key_pos
+                            .iter()
+                            .zip(key.iter())
+                            .all(|(&p, &k)| brow[p] == k)
+                    {
+                        continue;
+                    }
+                    for &(from_build, p) in &out_pos {
+                        emit.codes.push(if from_build { brow[p] } else { prow[p] });
+                    }
+                    emit.weights.push(semiring.mul(build.weights[bi], pw));
                 }
-                let brow = build.row(bi);
-                for (slot, &(from_build, p)) in out_row.iter_mut().zip(&out_pos) {
-                    *slot = if from_build { brow[p] } else { prow[p] };
-                }
-                out.add_row(
-                    &out_row,
-                    semiring.mul(build.weights[bi], probe.weights[pi]),
-                    semiring,
-                );
+            }
+            let (codes, weights) = aggregate(out_arity, semiring, &emit.codes, &emit.weights, sort);
+            Factor::from_parts(out_vars, domain, codes, weights)
+        })
+    }
+
+    /// The retained join index for the given build key columns, built on
+    /// first use and shared across all subsequent joins (and threads)
+    /// probing this factor on the same key set.
+    fn join_index(&self, key_pos: &[usize], exact: bool, s: &mut Scratch) -> Arc<JoinIndex> {
+        let cache_key: Box<[u32]> = key_pos.iter().map(|&p| p as u32).collect();
+        {
+            let guard = self.joins.lock().expect("join index lock poisoned");
+            if let Some((_, idx)) = guard.iter().find(|(k, _)| *k == cache_key) {
+                return Arc::clone(idx);
             }
         }
-        out
+        // Build outside the lock (mirrors the family FactorStore: two
+        // threads racing on one key set may duplicate work, but never
+        // serialize unrelated probes behind an index build).
+        let built = Arc::new(self.build_join_index(key_pos, exact, s));
+        let mut guard = self.joins.lock().expect("join index lock poisoned");
+        if let Some((_, idx)) = guard.iter().find(|(k, _)| *k == cache_key) {
+            return Arc::clone(idx);
+        }
+        guard.push((cache_key, Arc::clone(&built)));
+        built
+    }
+
+    fn build_join_index(&self, key_pos: &[usize], exact: bool, s: &mut Scratch) -> JoinIndex {
+        let n = self.len();
+        let Scratch { key, hashes, .. } = s;
+        hashes.clear();
+        hashes.reserve(n);
+        key.clear();
+        key.resize(key_pos.len(), 0);
+        for i in 0..n {
+            let row = self.row_codes(i);
+            for (slot, &p) in key.iter_mut().zip(key_pos) {
+                *slot = row[p];
+            }
+            hashes.push((key_id(key, exact), i as u32));
+        }
+        hashes.sort_unstable();
+        let mut rows = Vec::with_capacity(n);
+        let mut buckets: FxHashMap<u64, (u32, u32)> =
+            FxHashMap::with_capacity_and_hasher(n, Default::default());
+        let mut i = 0;
+        while i < n {
+            let kid = hashes[i].0;
+            let start = i;
+            while i < n && hashes[i].0 == kid {
+                rows.push(hashes[i].1);
+                i += 1;
+            }
+            buckets.insert(kid, (start as u32, (i - start) as u32));
+        }
+        JoinIndex {
+            rows: rows.into_boxed_slice(),
+            buckets,
+        }
     }
 
     /// Substitutes variables per the union-find representative table
@@ -397,22 +726,29 @@ impl Factor {
         if width == self.vars.len() && out_vars.iter().zip(&self.vars).all(|(a, b)| a == b) {
             return self.clone();
         }
-        let mut out = Factor::with_capacity(out_vars, self.len());
-        let mut buf = vec![None::<Value>; width];
-        'rows: for i in 0..self.len() {
-            let row = self.row(i);
-            buf.iter_mut().for_each(|b| *b = None);
-            for (&val, &p) in row.iter().zip(&proj) {
-                match buf[p] {
-                    None => buf[p] = Some(val),
-                    Some(prev) if prev != val => continue 'rows,
-                    Some(_) => {}
+        with_scratch(|s| {
+            let Scratch { emit, sort, .. } = s;
+            emit.codes.clear();
+            emit.weights.clear();
+            let mut buf = vec![None::<u32>; width];
+            'rows: for i in 0..self.len() {
+                let row = self.row_codes(i);
+                buf.iter_mut().for_each(|b| *b = None);
+                for (&c, &p) in row.iter().zip(&proj) {
+                    match buf[p] {
+                        None => buf[p] = Some(c),
+                        Some(prev) if prev != c => continue 'rows,
+                        Some(_) => {}
+                    }
                 }
+                for b in &buf {
+                    emit.codes.push(b.expect("all filled"));
+                }
+                emit.weights.push(self.weights[i]);
             }
-            let merged: Vec<Value> = buf.iter().map(|b| b.expect("all filled")).collect();
-            out.add_row(&merged, self.weights[i], semiring);
-        }
-        out
+            let (codes, weights) = aggregate(width, semiring, &emit.codes, &emit.weights, sort);
+            Factor::from_parts(out_vars, Arc::clone(&self.domain), codes, weights)
+        })
     }
 
     /// Eliminates (aggregates away) the given variables, combining
@@ -425,20 +761,27 @@ impl Factor {
             .filter(|&i| !drop.contains(&self.vars[i]))
             .collect();
         let out_vars: Vec<VarId> = keep_pos.iter().map(|&i| self.vars[i]).collect();
-        let mut out = Factor::with_capacity(out_vars, self.len());
-        let mut row_buf = vec![Value::default(); keep_pos.len()];
-        for i in 0..self.len() {
-            let row = self.row(i);
-            for (slot, &p) in row_buf.iter_mut().zip(&keep_pos) {
-                *slot = row[p];
+        with_scratch(|s| {
+            let Scratch { emit, sort, .. } = s;
+            emit.codes.clear();
+            emit.weights.clear();
+            for i in 0..self.len() {
+                let row = self.row_codes(i);
+                for &p in &keep_pos {
+                    emit.codes.push(row[p]);
+                }
+                emit.weights.push(self.weights[i]);
             }
-            out.add_row(&row_buf, self.weights[i], semiring);
-        }
-        out
+            let (codes, weights) =
+                aggregate(keep_pos.len(), semiring, &emit.codes, &emit.weights, sort);
+            Factor::from_parts(out_vars, Arc::clone(&self.domain), codes, weights)
+        })
     }
 
     /// Keeps only rows satisfying all predicates. Every predicate's
-    /// variables must be columns of this factor.
+    /// variables must be columns of this factor. Predicates compare
+    /// *values*, so cells decode through the domain here (the boundary
+    /// between the code-compressed kernel and the ordered value space).
     ///
     /// # Panics
     /// Panics if a predicate mentions a variable not in this factor.
@@ -464,22 +807,31 @@ impl Factor {
             })
             .collect();
         let a = self.arity();
-        let keep = |row: &[Value]| {
+        let domain = &self.domain;
+        let keep = |row: &[u32]| {
             resolved.iter().all(|(p, pos)| {
                 p.eval(|v| {
                     let vi = p.variables().iter().position(|w| *w == v).expect("own var");
-                    row[pos[vi]]
+                    domain.value(row[pos[vi]])
                 })
             })
         };
-        let mut out = Factor::with_capacity(self.vars.clone(), self.len());
+        let mut codes = Vec::with_capacity(self.codes.len());
+        let mut weights = Vec::with_capacity(self.weights.len());
         for i in 0..self.len() {
-            let row = &self.data[i * a..(i + 1) * a];
+            let row = &self.codes[i * a..(i + 1) * a];
             if keep(row) {
-                out.add_row(row, self.weights[i], Semiring::Counting);
+                codes.extend_from_slice(row);
+                weights.push(self.weights[i]);
             }
         }
-        *self = out;
+        // Rows were already distinct, so filtering needs no re-aggregation;
+        // all caches are invalidated by the mutation.
+        self.codes = codes;
+        self.weights = weights;
+        self.decoded = OnceLock::new();
+        self.joins = Mutex::new(Vec::new());
+        self.order = OnceLock::new();
     }
 
     /// Clamps all annotations to 1 (converts a counting factor to Boolean).
@@ -488,10 +840,6 @@ impl Factor {
         for w in out.weights.iter_mut() {
             *w = 1;
         }
-        // Direct weight mutation: the cached order (had clone carried one)
-        // would no longer be descending, which the branch-and-bound's
-        // early-exit pruning relies on.
-        out.order = OnceLock::new();
         out
     }
 
@@ -505,6 +853,12 @@ impl Factor {
             idx.sort_by_key(|&i| std::cmp::Reverse(self.weights[i as usize]));
             idx.into_boxed_slice()
         })
+    }
+
+    /// Number of distinct key sets with a retained join index (testing).
+    #[cfg(test)]
+    fn retained_join_indexes(&self) -> usize {
+        self.joins.lock().expect("join index lock poisoned").len()
     }
 }
 
@@ -595,6 +949,29 @@ mod tests {
     }
 
     #[test]
+    fn join_within_one_domain_and_across_domains_agree() {
+        // Derivatives of one factor share its domain (pointer-equal fast
+        // path); independently built factors with overlapping value sets
+        // take the merge path. Both must produce the same join.
+        let base = fx(
+            &[0, 1, 2],
+            &[(&[1, 2, 7], 1), (&[1, 3, 8], 2), (&[2, 3, 7], 1)],
+        );
+        let a = base.eliminate(&[VarId(2)], Semiring::Counting);
+        let b = base.eliminate(&[VarId(0)], Semiring::Counting);
+        assert!(Arc::ptr_eq(a.domain(), b.domain()));
+        let shared = a.join(&b, Semiring::Counting);
+        let a2 = fx(&[0, 1], &[(&[1, 2], 1), (&[1, 3], 2), (&[2, 3], 1)]);
+        let b2 = fx(&[1, 2], &[(&[2, 7], 1), (&[3, 8], 2), (&[3, 7], 1)]);
+        assert!(!Arc::ptr_eq(a2.domain(), b2.domain()));
+        let merged = a2.join(&b2, Semiring::Counting);
+        assert_eq!(shared.len(), merged.len());
+        for (row, w) in shared.iter() {
+            assert_eq!(weight_at(&merged, row), w);
+        }
+    }
+
+    #[test]
     fn eliminate_sums() {
         let f = fx(&[0, 1], &[(&[1, 10], 2), (&[1, 20], 3), (&[2, 30], 4)]);
         let g = f.eliminate(&[VarId(1)], Semiring::Counting);
@@ -608,6 +985,16 @@ mod tests {
         let f = fx(&[0, 1], &[(&[1, 10], 1), (&[1, 20], 1)]);
         let g = f.to_boolean().eliminate(&[VarId(1)], Semiring::Boolean);
         assert_eq!(g.total(), 1);
+    }
+
+    #[test]
+    fn eliminate_boolean_clamps_counting_weights() {
+        // A Counting-weighted factor eliminated in the Boolean semiring
+        // clamps every contribution (the Section 6 projection path).
+        let f = fx(&[0, 1], &[(&[1, 10], 5), (&[2, 20], 3)]);
+        let g = f.eliminate(&[VarId(1)], Semiring::Boolean);
+        assert_eq!(weight_at(&g, &[v(1)]), 1);
+        assert_eq!(weight_at(&g, &[v(2)]), 1);
     }
 
     #[test]
@@ -626,6 +1013,28 @@ mod tests {
     }
 
     #[test]
+    fn wide_aggregation_paths_dedup() {
+        // Exercise every packing tier of the sort-based aggregation:
+        // arity 3–4 (u128 keys) and arity ≥ 5 (index permutation).
+        let rows: Vec<(Vec<Value>, u128)> = (0..40i64)
+            .map(|i| (vec![v(i % 2), v(i % 3), v(i % 2), v(0), v(i % 3)], 1))
+            .collect();
+        let f = Factor::from_rows(
+            (0..5).map(VarId).collect(),
+            rows.clone(),
+            Semiring::Counting,
+        );
+        assert_eq!(f.total(), 40);
+        assert_eq!(f.len(), 6); // (i % 2, i % 3) combinations
+        let g = f.eliminate(&[VarId(3)], Semiring::Counting); // arity-4 output
+        assert_eq!(g.total(), 40);
+        assert_eq!(g.len(), 6);
+        let h = g.eliminate(&[VarId(2), VarId(4)], Semiring::Counting);
+        assert_eq!(h.total(), 40);
+        assert_eq!(h.len(), 6);
+    }
+
+    #[test]
     fn filter_applies_predicates() {
         let mut f = fx(&[0, 1], &[(&[1, 1], 1), (&[1, 2], 1), (&[2, 1], 1)]);
         f.filter(&[Predicate::neq(VarId(0), VarId(1))]);
@@ -637,6 +1046,20 @@ mod tests {
             Term::Const(v(3)),
         )]);
         assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn filter_compares_values_not_codes() {
+        // Codes are assigned in interning order (here 5 → 0, 1 → 1), so a
+        // code-space comparison would invert this predicate.
+        let mut f = fx(&[0], &[(&[5], 1), (&[1], 1)]);
+        f.filter(&[Predicate::new(
+            Term::Var(VarId(0)),
+            CmpOp::Lt,
+            Term::Const(v(3)),
+        )]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(weight_at(&f, &[v(1)]), 1);
     }
 
     #[test]
@@ -676,6 +1099,28 @@ mod tests {
     }
 
     #[test]
+    fn join_index_is_retained_per_key_set() {
+        let base = fx(
+            &[0, 1, 2],
+            &[(&[1, 2, 7], 1), (&[1, 3, 8], 2), (&[2, 3, 7], 1)],
+        );
+        let big = base.eliminate(&[], Semiring::Counting); // clone, shared domain
+        let small = base.eliminate(&[VarId(2)], Semiring::Counting);
+        assert_eq!(small.retained_join_indexes(), 0);
+        // `small` is the build side (fewer or equal rows): its index on
+        // {x0, x1} materializes once and is reused by the second join.
+        let j1 = small.join(&big, Semiring::Counting);
+        assert_eq!(small.retained_join_indexes(), 1);
+        let j2 = small.join(&big, Semiring::Counting);
+        assert_eq!(small.retained_join_indexes(), 1);
+        assert_eq!(j1.len(), j2.len());
+        // A different key set gets its own retained index.
+        let other = base.eliminate(&[VarId(1)], Semiring::Counting);
+        let _ = small.join(&other, Semiring::Counting);
+        assert_eq!(small.retained_join_indexes(), 2);
+    }
+
+    #[test]
     fn merge_columns_identity_and_collapse() {
         let f = fx(&[0, 1], &[(&[1, 1], 2), (&[1, 2], 1), (&[3, 3], 1)]);
         let n = 4;
@@ -703,8 +1148,53 @@ mod tests {
     }
 
     #[test]
+    fn mentions_is_constant_time_through_id_127() {
+        // The u128 bitset covers ids 0–127 (boundary cases 63, 64, 127);
+        // ids ≥ 128 fall back to the linear scan and still answer right.
+        let vars = vec![VarId(63), VarId(64), VarId(127), VarId(130)];
+        let f = Factor::from_rows(
+            vars.clone(),
+            [(vec![v(1), v(2), v(3), v(4)], 1)],
+            Semiring::Counting,
+        );
+        for v in &vars {
+            assert!(f.mentions(*v), "var {v:?}");
+        }
+        assert!(!f.mentions(VarId(62)));
+        assert!(!f.mentions(VarId(65)));
+        assert!(!f.mentions(VarId(126)));
+        assert!(!f.mentions(VarId(128)));
+        assert_eq!(vars_mask(&vars), (1 << 63) | (1 << 64) | (1 << 127));
+    }
+
+    #[test]
+    fn high_var_ids_keep_kernel_semantics() {
+        // Join + eliminate across the former u64-mask boundary: with the
+        // old 64-bit mask, `mentions(VarId(64))` silently degraded and the
+        // shared variable below would still be found by the fallback scan,
+        // but `vars_mask`-based predicate routing lost it. Pin the u128
+        // behavior end to end.
+        let a = Factor::from_rows(
+            vec![VarId(63), VarId(64)],
+            [(vec![v(1), v(2)], 1), (vec![v(1), v(3)], 2)],
+            Semiring::Counting,
+        );
+        let b = Factor::from_rows(
+            vec![VarId(64), VarId(127)],
+            [(vec![v(2), v(9)], 3), (vec![v(3), v(9)], 1)],
+            Semiring::Counting,
+        );
+        let j = a.join_eliminate(&b, &[VarId(64)], Semiring::Counting);
+        assert_eq!(j.vars(), &[VarId(63), VarId(127)]);
+        assert_eq!(weight_at(&j, &[v(1), v(9)]), 5);
+        let g = j.eliminate(&[VarId(127)], Semiring::Counting);
+        assert_eq!(g.vars(), &[VarId(63)]);
+        assert_eq!(g.total(), 5);
+    }
+
+    #[test]
     fn large_factor_roundtrip() {
-        // Exercise the flat storage + collision chains a bit harder.
+        // Exercise the flat storage + sort-based aggregation a bit harder.
         let rows: Vec<(Vec<Value>, u128)> = (0..10_000i64)
             .map(|i| (vec![v(i % 500), v(i / 500)], 1))
             .collect();

@@ -44,6 +44,14 @@
 //! (width · base rows, largest first) and worker threads pull the next
 //! class off a shared atomic index, so no thread strands behind a chunk of
 //! expensive subsets the way a fixed chunking would.
+//!
+//! Under both layers sits the columnar factor kernel (see
+//! [`crate::factor`]): all subsets of a family evaluate against one frozen
+//! evaluation domain, memoized `Arc<Factor>`s carry their retained join
+//! indexes and cached weight orders across subsets *and* threads, and each
+//! worker reuses its own thread-local scratch arena — so the steady state
+//! of a family evaluation probes shared indexes instead of rebuilding
+//! them and allocates only the factors it actually retains.
 
 use crate::error::EvalError;
 use crate::evaluator::Evaluator;

@@ -13,8 +13,11 @@
 //!
 //! This crate provides:
 //!
-//! * [`Factor`] — annotated relations (rows → counts) with hash joins,
-//!   semiring elimination and predicate filtering;
+//! * [`Factor`] — annotated relations (rows → counts) in a columnar,
+//!   dictionary-code-compressed layout: hash joins with retained build
+//!   indexes, sort-based semiring elimination, predicate filtering, and
+//!   per-thread scratch arenas (see [`factor`] and the private `domain`
+//!   module);
 //! * [`Evaluator`] — the FAQ-style bucket-elimination engine computing
 //!   `|q(I)|`, `T_E(I)` and boundary count factors, with predicate-aware
 //!   bucket widening (every predicate is applied before its last variable
@@ -32,6 +35,7 @@
 //!   the oracle for inequality/comparison systems.
 
 pub mod active_domain;
+pub(crate) mod domain;
 pub mod error;
 pub mod evaluator;
 pub mod factor;

@@ -149,6 +149,153 @@ pub fn t_e(query: &ConjunctiveQuery, db: &Database, subset: &[usize]) -> Result<
     }
 }
 
+/// Value-level reference implementations of the factor-kernel operations
+/// (`join`, `join_eliminate`, `eliminate`, `merge_columns`), in the same
+/// "obviously correct, exponentially slower" spirit as the rest of this
+/// module. The differential property suite pits the columnar,
+/// code-compressed kernel of [`crate::factor`] against these on random
+/// duplicate-heavy inputs in both semirings.
+pub mod factor_ref {
+    use crate::factor::Semiring;
+    use dpcq_query::VarId;
+    use dpcq_relation::Value;
+    use std::collections::BTreeMap;
+
+    /// An annotated relation in its simplest form: sorted distinct rows
+    /// mapped to their semiring annotation.
+    pub type RefRows = BTreeMap<Vec<Value>, u128>;
+
+    /// Normalizes raw `(row, weight)` pairs: zero weights drop, duplicate
+    /// rows combine with the semiring's `+` (Boolean clamps).
+    pub fn normalize<I>(rows: I, semiring: Semiring) -> RefRows
+    where
+        I: IntoIterator<Item = (Vec<Value>, u128)>,
+    {
+        let mut out = RefRows::new();
+        for (row, w) in rows {
+            if w == 0 {
+                continue;
+            }
+            let w = semiring.lift(w);
+            match out.entry(row) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(w);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let cur = *e.get();
+                    *e.get_mut() = semiring.add(cur, w);
+                }
+            }
+        }
+        out
+    }
+
+    /// Output variable list of a natural join: `a`'s columns then `b`'s
+    /// non-shared columns, minus `drop` (matching [`crate::Factor::join`]).
+    pub fn join_vars(a: &[VarId], b: &[VarId], drop: &[VarId]) -> Vec<VarId> {
+        a.iter()
+            .copied()
+            .chain(b.iter().copied().filter(|v| !a.contains(v)))
+            .filter(|v| !drop.contains(v))
+            .collect()
+    }
+
+    /// Nested-loop natural join with fused elimination of `drop`.
+    pub fn join_eliminate(
+        a_vars: &[VarId],
+        a: &RefRows,
+        b_vars: &[VarId],
+        b: &RefRows,
+        drop: &[VarId],
+        semiring: Semiring,
+    ) -> RefRows {
+        let out_vars = join_vars(a_vars, b_vars, drop);
+        let mut raw: Vec<(Vec<Value>, u128)> = Vec::new();
+        for (ra, &wa) in a {
+            'rows: for (rb, &wb) in b {
+                for (i, v) in b_vars.iter().enumerate() {
+                    if let Some(j) = a_vars.iter().position(|w| w == v) {
+                        if ra[j] != rb[i] {
+                            continue 'rows;
+                        }
+                    }
+                }
+                let out: Vec<Value> = out_vars
+                    .iter()
+                    .map(|v| {
+                        if let Some(j) = a_vars.iter().position(|w| w == v) {
+                            ra[j]
+                        } else {
+                            let j = b_vars.iter().position(|w| w == v).expect("var in b");
+                            rb[j]
+                        }
+                    })
+                    .collect();
+                raw.push((out, semiring.mul(wa, wb)));
+            }
+        }
+        normalize(raw, semiring)
+    }
+
+    /// Semiring projection: drops the given columns, combining collapsing
+    /// rows with the semiring's `+`.
+    pub fn eliminate(
+        vars: &[VarId],
+        rows: &RefRows,
+        drop: &[VarId],
+        semiring: Semiring,
+    ) -> RefRows {
+        let keep: Vec<usize> = (0..vars.len())
+            .filter(|&i| !drop.contains(&vars[i]))
+            .collect();
+        normalize(
+            rows.iter()
+                .map(|(r, &w)| (keep.iter().map(|&i| r[i]).collect(), w)),
+            semiring,
+        )
+    }
+
+    /// Output variable list of [`merge_columns`].
+    pub fn merge_vars(vars: &[VarId], rep: &[usize]) -> Vec<VarId> {
+        let mut out: Vec<VarId> = Vec::new();
+        for v in vars {
+            let r = VarId(rep[v.0]);
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Column substitution per a union-find representative table: columns
+    /// of one class must agree (else the row drops) and collapse into one.
+    pub fn merge_columns(
+        vars: &[VarId],
+        rows: &RefRows,
+        rep: &[usize],
+        semiring: Semiring,
+    ) -> RefRows {
+        let out_vars = merge_vars(vars, rep);
+        let mut raw: Vec<(Vec<Value>, u128)> = Vec::new();
+        'rows: for (r, &w) in rows {
+            let mut merged: Vec<Option<Value>> = vec![None; out_vars.len()];
+            for (i, v) in vars.iter().enumerate() {
+                let p = out_vars
+                    .iter()
+                    .position(|w| *w == VarId(rep[v.0]))
+                    .expect("representative present");
+                match merged[p] {
+                    None => merged[p] = Some(r[i]),
+                    Some(prev) if prev != r[i] => continue 'rows,
+                    Some(_) => {}
+                }
+            }
+            raw.push((merged.into_iter().map(|m| m.expect("filled")).collect(), w));
+        }
+        normalize(raw, semiring)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

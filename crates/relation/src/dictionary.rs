@@ -1,6 +1,7 @@
 //! Dictionary encoding of non-integer source data into the [`Value`] space.
 
 use crate::{FxHashMap, Value};
+use std::sync::Arc;
 
 /// A bidirectional mapping between strings and dense integer codes.
 ///
@@ -8,10 +9,13 @@ use crate::{FxHashMap, Value};
 /// carry string keys (author names, labels). `Dictionary` assigns each
 /// distinct string a dense code `0, 1, 2, …` so relations can be loaded as
 /// integer tuples and decoded back for display.
+///
+/// Both directions share one `Arc<str>` per distinct string, so encoding a
+/// fresh string costs exactly one string allocation.
 #[derive(Clone, Default, Debug)]
 pub struct Dictionary {
-    to_code: FxHashMap<String, i64>,
-    to_str: Vec<String>,
+    to_code: FxHashMap<Arc<str>, i64>,
+    to_str: Vec<Arc<str>>,
 }
 
 impl Dictionary {
@@ -26,8 +30,9 @@ impl Dictionary {
             return Value(c);
         }
         let c = self.to_str.len() as i64;
-        self.to_code.insert(s.to_string(), c);
-        self.to_str.push(s.to_string());
+        let shared: Arc<str> = Arc::from(s);
+        self.to_code.insert(Arc::clone(&shared), c);
+        self.to_str.push(shared);
         Value(c)
     }
 
@@ -41,7 +46,7 @@ impl Dictionary {
         usize::try_from(v.0)
             .ok()
             .and_then(|i| self.to_str.get(i))
-            .map(String::as_str)
+            .map(AsRef::as_ref)
     }
 
     /// Number of distinct strings seen.
@@ -76,6 +81,22 @@ mod tests {
         assert_eq!(d.decode(a), Some("x"));
         assert_eq!(d.decode(Value(99)), None);
         assert_eq!(d.decode(Value(-1)), None);
+    }
+
+    #[test]
+    fn encode_preserves_len_and_shares_storage() {
+        let mut d = Dictionary::new();
+        for s in ["a", "b", "a", "c", "b", "a"] {
+            d.encode(s);
+        }
+        // One entry per distinct string in both directions.
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.to_code.len(), d.to_str.len());
+        // Both directions share one allocation per string (the map key and
+        // the decode slot are the same `Arc<str>`): 2 strong refs each.
+        for s in &d.to_str {
+            assert_eq!(Arc::strong_count(s), 2);
+        }
     }
 
     #[test]

@@ -93,6 +93,18 @@ pub fn hash_row(row: &[crate::Value]) -> u64 {
     h.finish()
 }
 
+/// Hashes a row of dense dictionary codes (the `u32`-compressed rows of
+/// the columnar factor kernel) without boxing or widening.
+#[inline]
+pub fn hash_codes(codes: &[u32]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(codes.len());
+    for &c in codes {
+        h.write_u32(c);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +128,13 @@ mod tests {
     #[test]
     fn length_sensitive() {
         assert_ne!(hash_row(&[Value(0)]), hash_row(&[Value(0), Value(0)]));
+    }
+
+    #[test]
+    fn code_hash_is_deterministic_and_length_sensitive() {
+        assert_eq!(hash_codes(&[1, 2, 3]), hash_codes(&[1, 2, 3]));
+        assert_ne!(hash_codes(&[1, 2]), hash_codes(&[2, 1]));
+        assert_ne!(hash_codes(&[0]), hash_codes(&[0, 0]));
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //!    to [`dpcq_eval::FamilyEvaluator`], which shares base factors and
 //!    common sub-eliminations across the subsets through a memo store,
 //!    collapses isomorphic residuals to one evaluation, and fans the
-//!    remaining work out to work-stealing threads.
+//!    remaining work out to work-stealing threads. One
+//!    [`dpcq_eval::Evaluator`] therefore serves the whole family: its
+//!    columnar kernel interns every instance value into one frozen code
+//!    domain at construction, and all of the family's joins, retained
+//!    join indexes, and scratch arenas ride on that single evaluator —
+//!    constructing a fresh evaluator per subset would forfeit all of it.
 
 use crate::error::SensitivityError;
 use dpcq_eval::{active_domain, Evaluator, FamilyEvaluator};

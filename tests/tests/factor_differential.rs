@@ -1,0 +1,240 @@
+//! Differential property suite for the columnar factor kernel.
+//!
+//! Pits `dpcq_eval`'s code-compressed, sort-aggregating [`Factor`] kernel
+//! (`join`, `join_eliminate`, `eliminate`, `merge_columns` substitution)
+//! against the value-level reference implementations in
+//! [`dpcq::eval::naive::factor_ref`] — nested loops over `BTreeMap`s,
+//! obviously correct — on random, duplicate-heavy inputs in both
+//! semirings, including variable ids across the old 64-bit mask boundary
+//! (63 / 64 / 127) so the widened `u128` bitset is exercised end to end.
+
+use dpcq::eval::naive::factor_ref as reference;
+use dpcq::eval::{Factor, Semiring};
+use dpcq::query::VarId;
+use dpcq::relation::Value;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Variable pools: the third crosses the old `u64` mask boundary.
+fn pool(which: u8) -> Vec<usize> {
+    match which % 3 {
+        0 => vec![0, 1, 2, 3, 4],
+        1 => vec![2, 0, 5, 1],
+        _ => vec![63, 64, 127, 0],
+    }
+}
+
+/// The pool members selected by `mask` (first member if none).
+fn select(pool: &[usize], mask: u8) -> Vec<usize> {
+    let s: Vec<usize> = pool
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, &v)| v)
+        .collect();
+    if s.is_empty() {
+        vec![pool[0]]
+    } else {
+        s
+    }
+}
+
+fn semiring(which: u8) -> Semiring {
+    if which & 1 == 0 {
+        Semiring::Counting
+    } else {
+        Semiring::Boolean
+    }
+}
+
+/// Builds a kernel factor and its reference rows from flat raw data:
+/// row `i` is the next `arity` values, weighted by `weights[i]` (zero
+/// weights and duplicate rows are part of the point).
+fn build(
+    var_ids: &[usize],
+    flat: &[i64],
+    weights: &[u8],
+    sr: Semiring,
+) -> (Vec<VarId>, Factor, reference::RefRows) {
+    let arity = var_ids.len();
+    let n = weights.len().min(flat.len() / arity);
+    let vids: Vec<VarId> = var_ids.iter().map(|&i| VarId(i)).collect();
+    let rows: Vec<(Vec<Value>, u128)> = (0..n)
+        .map(|i| {
+            (
+                flat[i * arity..(i + 1) * arity]
+                    .iter()
+                    .map(|&x| Value(x))
+                    .collect(),
+                weights[i] as u128,
+            )
+        })
+        .collect();
+    let f = Factor::from_rows(vids.clone(), rows.clone(), sr);
+    let r = reference::normalize(rows, sr);
+    (vids, f, r)
+}
+
+fn as_map(f: &Factor) -> BTreeMap<Vec<Value>, u128> {
+    f.iter().map(|(r, w)| (r.to_vec(), w)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn from_rows_matches_normalize(
+        p in 0u8..3,
+        vmask in 1u8..32,
+        flat in prop::collection::vec(0i64..3, 0..90),
+        weights in prop::collection::vec(0u8..4, 0..18),
+        sr in 0u8..2,
+    ) {
+        let sr = semiring(sr);
+        let vars = select(&pool(p), vmask);
+        let (_, f, r) = build(&vars, &flat, &weights, sr);
+        prop_assert_eq!(as_map(&f), r.clone());
+        let total = r.values().try_fold(0u128, |a, &w| a.checked_add(w)).unwrap();
+        prop_assert_eq!(f.total(), total);
+        prop_assert_eq!(f.max_annotation(), r.values().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn join_and_join_eliminate_match_reference(
+        p in 0u8..3,
+        amask in 1u8..32,
+        bmask in 1u8..32,
+        dmask in 0u8..64,
+        aflat in prop::collection::vec(0i64..3, 0..60),
+        bflat in prop::collection::vec(0i64..3, 0..60),
+        aw in prop::collection::vec(0u8..4, 0..14),
+        bw in prop::collection::vec(0u8..4, 0..14),
+        sr in 0u8..2,
+    ) {
+        let sr = semiring(sr);
+        let pl = pool(p);
+        let (avars, fa, ra) = build(&select(&pl, amask), &aflat, &aw, sr);
+        let (bvars, fb, rb) = build(&select(&pl, bmask), &bflat, &bw, sr);
+        // `drop` is a subset of the union (plus possibly-absent vars,
+        // which both sides must ignore).
+        let union: Vec<VarId> = reference::join_vars(&avars, &bvars, &[]);
+        let drop: Vec<VarId> = union
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| dmask & (1 << (i % 6)) != 0)
+            .map(|(_, &v)| v)
+            .chain([VarId(7)])
+            .collect();
+
+        let j = fa.join(&fb, sr);
+        let rj = reference::join_eliminate(&avars, &ra, &bvars, &rb, &[], sr);
+        prop_assert_eq!(j.vars().to_vec(), reference::join_vars(&avars, &bvars, &[]));
+        prop_assert_eq!(as_map(&j), rj);
+
+        let je = fa.join_eliminate(&fb, &drop, sr);
+        let rje = reference::join_eliminate(&avars, &ra, &bvars, &rb, &drop, sr);
+        prop_assert_eq!(je.vars().to_vec(), reference::join_vars(&avars, &bvars, &drop));
+        prop_assert_eq!(as_map(&je), rje);
+    }
+
+    #[test]
+    fn eliminate_matches_reference(
+        p in 0u8..3,
+        vmask in 1u8..32,
+        dmask in 0u8..32,
+        flat in prop::collection::vec(0i64..3, 0..90),
+        weights in prop::collection::vec(0u8..4, 0..18),
+        sr in 0u8..2,
+    ) {
+        let sr = semiring(sr);
+        let vars = select(&pool(p), vmask);
+        let (vids, f, r) = build(&vars, &flat, &weights, sr);
+        let drop: Vec<VarId> = vids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| dmask & (1 << i) != 0)
+            .map(|(_, &v)| v)
+            .chain([VarId(9)])
+            .collect();
+        let g = f.eliminate(&drop, sr);
+        let rg = reference::eliminate(&vids, &r, &drop, sr);
+        prop_assert_eq!(as_map(&g), rg);
+    }
+
+    #[test]
+    fn merge_columns_matches_reference(
+        vmask in 1u8..32,
+        rep_raw in prop::collection::vec(0usize..6, 6..7),
+        flat in prop::collection::vec(0i64..3, 0..90),
+        weights in prop::collection::vec(0u8..4, 0..18),
+        sr in 0u8..2,
+    ) {
+        let sr = semiring(sr);
+        // Low-id pool only: `rep` is indexed by variable id.
+        let vars = select(&pool(0), vmask);
+        let (vids, f, r) = build(&vars, &flat, &weights, sr);
+        let rep: Vec<usize> = rep_raw.clone();
+        let g = f.merge_columns(&rep, sr);
+        let rg = reference::merge_columns(&vids, &r, &rep, sr);
+        prop_assert_eq!(g.vars().to_vec(), reference::merge_vars(&vids, &rep));
+        prop_assert_eq!(as_map(&g), rg);
+    }
+
+    #[test]
+    fn staged_join_then_eliminate_matches_fused(
+        p in 0u8..3,
+        amask in 1u8..32,
+        bmask in 1u8..32,
+        dmask in 0u8..64,
+        aflat in prop::collection::vec(0i64..3, 0..60),
+        bflat in prop::collection::vec(0i64..3, 0..60),
+        aw in prop::collection::vec(0u8..4, 0..14),
+        bw in prop::collection::vec(0u8..4, 0..14),
+        sr in 0u8..2,
+    ) {
+        // Internal consistency: the fused path must equal join + eliminate
+        // run through the kernel itself (not just the reference).
+        let sr = semiring(sr);
+        let pl = pool(p);
+        let (avars, fa, _) = build(&select(&pl, amask), &aflat, &aw, sr);
+        let (bvars, fb, _) = build(&select(&pl, bmask), &bflat, &bw, sr);
+        let union: Vec<VarId> = reference::join_vars(&avars, &bvars, &[]);
+        let drop: Vec<VarId> = union
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| dmask & (1 << (i % 6)) != 0)
+            .map(|(_, &v)| v)
+            .collect();
+        let fused = fa.join_eliminate(&fb, &drop, sr);
+        let staged = fa.join(&fb, sr).eliminate(&drop, sr);
+        prop_assert_eq!(as_map(&fused), as_map(&staged));
+    }
+}
+
+#[test]
+fn deterministic_spot_check_duplicate_heavy() {
+    // A fixed case with every interesting ingredient at once: duplicates,
+    // zero weights, Boolean clamping, and a cross-boundary variable id.
+    let vars = [0usize, 64];
+    let rows: Vec<(Vec<Value>, u128)> = vec![
+        (vec![Value(1), Value(2)], 3),
+        (vec![Value(1), Value(2)], 0),
+        (vec![Value(1), Value(2)], 2),
+        (vec![Value(2), Value(2)], 1),
+        (vec![Value(2), Value(1)], 4),
+    ];
+    for sr in [Semiring::Counting, Semiring::Boolean] {
+        let (vids, f, r) = {
+            let vids: Vec<VarId> = vars.iter().map(|&i| VarId(i)).collect();
+            let f = Factor::from_rows(vids.clone(), rows.clone(), sr);
+            let r = reference::normalize(rows.clone(), sr);
+            (vids, f, r)
+        };
+        assert_eq!(as_map(&f), r);
+        let g = f.eliminate(&[VarId(64)], sr);
+        assert_eq!(
+            as_map(&g),
+            reference::eliminate(&vids, &r, &[VarId(64)], sr)
+        );
+    }
+}
