@@ -1,13 +1,15 @@
 //! The high-level release engine: query in, ε-DP noisy count out.
 
-use dpcq_eval::Evaluator;
+use dpcq_eval::{Evaluator, FamilyCache, FamilyStats};
 use dpcq_noise::{LaplaceMechanism, Release, SmoothCauchyMechanism};
 use dpcq_query::{ConjunctiveQuery, Policy};
-use dpcq_relation::Database;
+use dpcq_relation::{Database, FxHashMap, Value};
 use dpcq_sensitivity::{
     elastic_sensitivity, gs_bound, residual_sensitivity_report, RsParams, SensitivityError,
 };
 use rand::Rng;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
 
 /// Which sensitivity calibrates the noise.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -37,13 +39,84 @@ impl SensitivityMethod {
     }
 }
 
+/// Cap on distinct query shapes holding an engine-owned
+/// [`FamilyCache`] simultaneously (each holds memoized factors, which
+/// are memory-heavy on large instances).
+const MAX_QUERY_CACHES: usize = 256;
+
+impl FromStr for SensitivityMethod {
+    type Err = String;
+
+    /// Parses a method name. Round-trips [`SensitivityMethod::name`]; the
+    /// short form `global` is accepted as an alias for `global-laplace`
+    /// (the CLI's historical spelling).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "residual" => Ok(SensitivityMethod::Residual),
+            "elastic" => Ok(SensitivityMethod::Elastic),
+            "global-laplace" | "global" => Ok(SensitivityMethod::GlobalLaplace),
+            other => Err(format!(
+                "unknown sensitivity method `{other}` (expected residual | elastic | global-laplace)"
+            )),
+        }
+    }
+}
+
+/// The deterministic half of a release (exact count + calibrated
+/// sensitivity), awaiting its noise draw. Produced by
+/// [`PrivateEngine::prepare_release`]; `sample` is cheap and
+/// side-effect-free on the engine, so callers can scope RNG access
+/// tightly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PendingRelease {
+    method: SensitivityMethod,
+    epsilon: f64,
+    count: f64,
+    sensitivity: f64,
+}
+
+impl PendingRelease {
+    /// The sensitivity the noise will be calibrated to.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// Draws the noise and finalizes the release. Equivalent to what
+    /// [`PrivateEngine::release_with_epsilon`] would have returned with
+    /// the same `rng` state.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Release {
+        match self.method {
+            SensitivityMethod::Residual | SensitivityMethod::Elastic => {
+                SmoothCauchyMechanism::new(self.epsilon).release(self.count, self.sensitivity, rng)
+            }
+            SensitivityMethod::GlobalLaplace => {
+                LaplaceMechanism::new(self.epsilon).release(self.count, self.sensitivity, rng)
+            }
+        }
+    }
+}
+
 /// A database bound to a privacy policy and budget, answering counting
 /// CQs with calibrated noise.
 ///
 /// The engine recomputes the sensitivity per query (the paper's setting:
 /// one-shot releases; composition across queries is the caller's
 /// responsibility — see the README's "multiple queries" note and the
-/// paper's Section 8).
+/// paper's Section 8). Budget *accounting* across queries and principals
+/// lives one layer up, in `dpcq-server`.
+///
+/// ## Mutation and invalidation
+///
+/// The database is mutable through [`PrivateEngine::insert_tuple`] /
+/// [`PrivateEngine::remove_tuple`]. Each residual-sensitivity release
+/// evaluates its `T` family against an engine-owned [`FamilyCache`] keyed
+/// by the query, so repeated releases of the same query shape skip factor
+/// building and residual evaluation entirely. Every effective mutation
+/// bumps a [generation counter](PrivateEngine::generation) and drops all
+/// of those caches — a cache is only sound while the instance it was
+/// filled on is byte-identical (see [`FamilyCache`]). Consumers that cache
+/// *results* derived from this engine (e.g. `dpcq-server`'s release
+/// cache) key their entries by the generation for the same reason.
 #[derive(Debug)]
 pub struct PrivateEngine {
     db: Database,
@@ -52,6 +125,12 @@ pub struct PrivateEngine {
     /// Worker threads for the residual `T`-family (see
     /// [`RsParams::threads`]); defaults to the machine's parallelism.
     threads: usize,
+    /// Bumped on every effective mutation; identifies the database state.
+    generation: u64,
+    /// Per-query `T`-family caches, shared across releases of the same
+    /// query shape and dropped wholesale on mutation. Keyed by the
+    /// query's canonical rendering ([`ConjunctiveQuery`]'s `Display`).
+    caches: Mutex<FxHashMap<String, Arc<FamilyCache>>>,
 }
 
 impl PrivateEngine {
@@ -67,6 +146,8 @@ impl PrivateEngine {
             policy,
             epsilon,
             threads: dpcq_sensitivity::prep::default_threads(),
+            generation: 0,
+            caches: Mutex::new(FxHashMap::default()),
         }
     }
 
@@ -99,6 +180,80 @@ impl PrivateEngine {
         self.epsilon
     }
 
+    /// The database generation: 0 at construction, bumped by every
+    /// effective mutation. Two calls observing the same generation saw a
+    /// byte-identical instance, which is what makes replaying cached
+    /// results sound.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Inserts a tuple into `relation` (created at the row's arity if
+    /// absent). Returns `true` if the tuple was new; an effective insert
+    /// bumps the generation and invalidates all release-evaluation caches.
+    pub fn insert_tuple(&mut self, relation: &str, row: &[Value]) -> bool {
+        let changed = self.db.insert_tuple(relation, row);
+        if changed {
+            self.invalidate();
+        }
+        changed
+    }
+
+    /// Removes a tuple from `relation`. Returns `true` if it was present;
+    /// an effective removal bumps the generation and invalidates all
+    /// release-evaluation caches.
+    pub fn remove_tuple(&mut self, relation: &str, row: &[Value]) -> bool {
+        let changed = self.db.remove_tuple(relation, row);
+        if changed {
+            self.invalidate();
+        }
+        changed
+    }
+
+    /// The database changed: no cache filled against the previous
+    /// generation may ever be read again.
+    fn invalidate(&mut self) {
+        self.generation += 1;
+        self.caches
+            .get_mut()
+            .expect("family cache lock poisoned")
+            .clear();
+    }
+
+    /// The engine-owned `T`-family cache for `query`, created on first
+    /// use. Valid only for the current generation — which is enforced by
+    /// construction: mutation clears the map before anyone can observe
+    /// the new generation.
+    ///
+    /// The map is bounded: past [`MAX_QUERY_CACHES`] distinct query
+    /// shapes (an adversarial or very diverse workload), new shapes get
+    /// a fresh uncached `FamilyCache` per release instead of growing the
+    /// map without limit — correctness is unaffected, only reuse.
+    fn family_cache(&self, query: &ConjunctiveQuery) -> Arc<FamilyCache> {
+        let mut caches = self.caches.lock().expect("family cache lock poisoned");
+        let key = query.to_string();
+        if let Some(cache) = caches.get(&key) {
+            return Arc::clone(cache);
+        }
+        if caches.len() >= MAX_QUERY_CACHES {
+            return Arc::new(FamilyCache::new());
+        }
+        Arc::clone(caches.entry(key).or_default())
+    }
+
+    /// Cache-effectiveness counters of the engine-owned `T`-family cache
+    /// for `query` (zeros if the query has not been released since the
+    /// last mutation). The `factor_misses` delta across two releases is
+    /// the number of factors the second one actually built.
+    pub fn family_stats(&self, query: &ConjunctiveQuery) -> FamilyStats {
+        self.caches
+            .lock()
+            .expect("family cache lock poisoned")
+            .get(&query.to_string())
+            .map(|c| c.stats())
+            .unwrap_or_default()
+    }
+
     /// The exact (non-private) count `|q(I)|` — for experiments and error
     /// measurement only.
     pub fn true_count(&self, query: &ConjunctiveQuery) -> Result<u128, SensitivityError> {
@@ -122,30 +277,73 @@ impl PrivateEngine {
         method: SensitivityMethod,
         rng: &mut R,
     ) -> Result<Release, SensitivityError> {
+        self.release_with_epsilon(query, method, self.epsilon, rng)
+    }
+
+    /// [`PrivateEngine::release_with`] at an explicit privacy budget
+    /// (overriding the engine's per-release ε for this one release).
+    /// The batch path splits the engine ε through here, and `dpcq-server`
+    /// uses it for per-request budgets drawn from a principal's ledger.
+    ///
+    /// Residual-sensitivity releases evaluate against the engine-owned
+    /// per-query [`FamilyCache`], so repeated releases of one query shape
+    /// — at *any* ε, the `T` values are β-independent — share all factor
+    /// building and residual evaluation until the next mutation.
+    pub fn release_with_epsilon<R: Rng + ?Sized>(
+        &self,
+        query: &ConjunctiveQuery,
+        method: SensitivityMethod,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Result<Release, SensitivityError> {
+        Ok(self.prepare_release(query, method, epsilon)?.sample(rng))
+    }
+
+    /// The deterministic half of a release: exact count plus calibrated
+    /// sensitivity, with the noise draw deferred to
+    /// [`PendingRelease::sample`]. Callers that serialize RNG access
+    /// (e.g. a server sharing one seeded noise stream) prepare outside
+    /// their RNG lock — the expensive evaluation — and hold the lock only
+    /// for the sampling instant.
+    pub fn prepare_release(
+        &self,
+        query: &ConjunctiveQuery,
+        method: SensitivityMethod,
+        epsilon: f64,
+    ) -> Result<PendingRelease, SensitivityError> {
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         let count = self.true_count(query)? as f64;
-        match method {
+        let sensitivity = match method {
             SensitivityMethod::Residual => {
-                let mech = SmoothCauchyMechanism::new(self.epsilon);
-                let rs = residual_sensitivity_report(
+                let beta = SmoothCauchyMechanism::new(epsilon).beta();
+                residual_sensitivity_report(
                     query,
                     &self.db,
                     &self.policy,
-                    &RsParams::new(mech.beta()).with_threads(self.threads),
-                )?;
-                Ok(mech.release(count, rs.value, rng))
+                    &RsParams::new(beta)
+                        .with_threads(self.threads)
+                        .with_shared_cache(self.family_cache(query)),
+                )?
+                .value
             }
             SensitivityMethod::Elastic => {
-                let mech = SmoothCauchyMechanism::new(self.epsilon);
-                let es = elastic_sensitivity(query, &self.db, &self.policy, mech.beta())?;
-                Ok(mech.release(count, es, rng))
+                let beta = SmoothCauchyMechanism::new(epsilon).beta();
+                elastic_sensitivity(query, &self.db, &self.policy, beta)?
             }
             SensitivityMethod::GlobalLaplace => {
-                let mech = LaplaceMechanism::new(self.epsilon);
                 let n = self.db.total_tuples() as f64;
-                let gs = gs_bound(query, &self.policy).evaluate(n);
-                Ok(mech.release(count, gs, rng))
+                gs_bound(query, &self.policy).evaluate(n)
             }
-        }
+        };
+        Ok(PendingRelease {
+            method,
+            epsilon,
+            count,
+            sensitivity,
+        })
     }
 
     /// Releases a batch of queries under **sequential composition**: the
@@ -154,24 +352,19 @@ impl PrivateEngine {
     /// This is the standard-composition baseline the paper's Section 8
     /// calls out: answering `k` CQs this way costs an `O(k)` factor in
     /// per-query error; improving on it for CQs is an open problem.
+    /// Same-shape queries within the batch share the engine's `T`-family
+    /// caches, so only the noise (and the β-dependent decayed maximum) is
+    /// recomputed per entry.
     pub fn release_batch<R: Rng + ?Sized>(
         &self,
         queries: &[&ConjunctiveQuery],
         method: SensitivityMethod,
         rng: &mut R,
     ) -> Result<Vec<Release>, SensitivityError> {
-        if queries.is_empty() {
-            return Ok(Vec::new());
-        }
-        let per_query = PrivateEngine {
-            db: self.db.clone(),
-            policy: self.policy.clone(),
-            epsilon: self.epsilon / queries.len() as f64,
-            threads: self.threads,
-        };
+        let per_query_epsilon = self.epsilon / queries.len().max(1) as f64;
         queries
             .iter()
-            .map(|q| per_query.release_with(q, method, rng))
+            .map(|q| self.release_with_epsilon(q, method, per_query_epsilon, rng))
             .collect()
     }
 
@@ -187,7 +380,9 @@ impl PrivateEngine {
             query,
             &self.db,
             &self.policy,
-            &RsParams::new(beta).with_threads(self.threads),
+            &RsParams::new(beta)
+                .with_threads(self.threads)
+                .with_shared_cache(self.family_cache(query)),
         )?
         .value;
         let es = elastic_sensitivity(query, &self.db, &self.policy, beta)?;
@@ -322,6 +517,83 @@ mod tests {
             .unwrap();
         // Same sensitivity, same noise stream: identical releases.
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sensitivity_method_from_str_roundtrips_name() {
+        for m in [
+            SensitivityMethod::Residual,
+            SensitivityMethod::Elastic,
+            SensitivityMethod::GlobalLaplace,
+        ] {
+            assert_eq!(m.name().parse::<SensitivityMethod>().unwrap(), m);
+        }
+        // CLI alias.
+        assert_eq!(
+            "global".parse::<SensitivityMethod>().unwrap(),
+            SensitivityMethod::GlobalLaplace
+        );
+        let err = "residualish".parse::<SensitivityMethod>().unwrap_err();
+        assert!(err.contains("residualish"), "{err}");
+        assert!("".parse::<SensitivityMethod>().is_err());
+        assert!("RESIDUAL".parse::<SensitivityMethod>().is_err());
+    }
+
+    #[test]
+    fn second_release_reuses_the_family_cache() {
+        // The acceptance check for the engine-owned store: the second
+        // release of a same-shape query builds zero new factors and
+        // computes zero new residual values.
+        let engine = PrivateEngine::new(sym_db(), Policy::all_private(), 1.0);
+        let q = triangle();
+        let mut rng = StdRng::seed_from_u64(31);
+        engine.release(&q, &mut rng).unwrap();
+        let first = engine.family_stats(&q);
+        assert!(first.factor_misses > 0, "stats {first:?}");
+        assert!(first.values_computed > 0, "stats {first:?}");
+        engine.release(&q, &mut rng).unwrap();
+        let second = engine.family_stats(&q);
+        assert_eq!(second.factor_misses, first.factor_misses);
+        assert_eq!(second.values_computed, first.values_computed);
+        assert!(second.value_hits > first.value_hits);
+        // A *different* ε still reuses the β-independent T values.
+        engine
+            .release_with_epsilon(&q, SensitivityMethod::Residual, 0.25, &mut rng)
+            .unwrap();
+        assert_eq!(engine.family_stats(&q).factor_misses, first.factor_misses);
+    }
+
+    #[test]
+    fn mutation_bumps_generation_and_invalidates_caches() {
+        let mut engine = PrivateEngine::new(sym_db(), Policy::all_private(), 1.0);
+        let q = triangle();
+        assert_eq!(engine.generation(), 0);
+        assert_eq!(engine.true_count(&q).unwrap(), 12);
+        engine.release(&q, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert!(engine.family_stats(&q).values_computed > 0);
+
+        // A no-op insert (duplicate tuple) must not invalidate anything.
+        assert!(!engine.insert_tuple("Edge", &[Value(1), Value(2)]));
+        assert_eq!(engine.generation(), 0);
+        assert!(engine.family_stats(&q).values_computed > 0);
+
+        // An effective insert bumps the generation and clears the caches.
+        assert!(engine.insert_tuple("Edge", &[Value(1), Value(4)]));
+        assert!(engine.insert_tuple("Edge", &[Value(4), Value(1)]));
+        assert_eq!(engine.generation(), 2);
+        assert_eq!(engine.family_stats(&q), FamilyStats::default());
+        // Adding {1,4} completes K4: 4 triangles × 6 orderings.
+        assert_eq!(engine.true_count(&q).unwrap(), 24);
+        engine.release(&q, &mut StdRng::seed_from_u64(2)).unwrap();
+        assert!(engine.family_stats(&q).values_computed > 0);
+
+        // Removal reverts the count and invalidates again.
+        assert!(engine.remove_tuple("Edge", &[Value(1), Value(4)]));
+        assert!(engine.remove_tuple("Edge", &[Value(4), Value(1)]));
+        assert!(!engine.remove_tuple("Edge", &[Value(9), Value(9)]));
+        assert_eq!(engine.generation(), 4);
+        assert_eq!(engine.true_count(&q).unwrap(), 12);
+        assert_eq!(engine.family_stats(&q), FamilyStats::default());
     }
 
     #[test]

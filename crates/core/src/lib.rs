@@ -33,6 +33,30 @@
 //! assert!(release.expected_error > 0.0);
 //! ```
 //!
+//! ## Serving
+//!
+//! One [`PrivateEngine`] answers a *stream* of queries, not just one:
+//!
+//! * **Mutable databases.** [`PrivateEngine::insert_tuple`] /
+//!   [`PrivateEngine::remove_tuple`] update the instance in place. Every
+//!   effective mutation bumps [`PrivateEngine::generation`] and drops all
+//!   evaluation caches — results are only ever reused against a
+//!   byte-identical instance.
+//! * **A cross-release memo store.** Residual-sensitivity releases
+//!   evaluate their `T` family against an engine-owned
+//!   [`eval::FamilyCache`] keyed by the query, so the second release of a
+//!   same-shape query (at any ε — the `T` values are β-independent)
+//!   rebuilds no factors and recomputes no residuals
+//!   ([`PrivateEngine::family_stats`] exposes the counters).
+//! * **Budgets and caching live one layer up**, in `dpcq-server`: a
+//!   per-principal ε ledger enforcing sequential composition under
+//!   concurrency (atomic reserve → evaluate → commit/refund), plus a
+//!   release cache that replays repeated identical requests **without
+//!   spending budget** — re-publishing an already-published noisy answer
+//!   is post-processing, which DP grants for free. The `dpcq serve`
+//!   subcommand exposes all of it over newline-delimited JSON TCP; see
+//!   the `dpcq_server` crate docs for the wire protocol.
+//!
 //! ## Crate map
 //!
 //! | Crate | Contents |
@@ -43,6 +67,8 @@
 //! | [`sensitivity`] | `LS`, `GS` (AGM), `SS`, **`RS`**, `ES`, lower bounds |
 //! | [`noise`] | Laplace & general-Cauchy samplers, ε-DP mechanisms |
 //! | [`graph`] | generators, SNAP stand-ins, Figure-2 queries, closed-form SS |
+//! | `dpcq-server` | concurrent serving: budget ledgers, release cache, ndjson TCP |
+//! | `dpcq-wire` | dependency-free JSON shared by the wire protocol and bench artifacts |
 
 pub use dpcq_eval as eval;
 pub use dpcq_graph as graph;
@@ -53,11 +79,11 @@ pub use dpcq_sensitivity as sensitivity;
 
 pub mod engine;
 
-pub use engine::{PrivateEngine, SensitivityMethod};
+pub use engine::{PendingRelease, PrivateEngine, SensitivityMethod};
 
 /// The items most programs need.
 pub mod prelude {
-    pub use crate::engine::{PrivateEngine, SensitivityMethod};
+    pub use crate::engine::{PendingRelease, PrivateEngine, SensitivityMethod};
     pub use dpcq_noise::Release;
     pub use dpcq_query::{parse_query, CqBuilder, Policy};
     pub use dpcq_relation::{Database, Relation, Value};

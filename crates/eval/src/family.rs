@@ -192,7 +192,8 @@ pub(crate) fn cached(
     }
 }
 
-/// Cache-effectiveness counters of a [`FamilyEvaluator`].
+/// Cache-effectiveness counters of a [`FamilyEvaluator`] /
+/// [`FamilyCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FamilyStats {
     /// Intermediate-factor cache hits.
@@ -205,14 +206,50 @@ pub struct FamilyStats {
     pub value_hits: u64,
 }
 
+/// The shareable cache state of a [`FamilyEvaluator`]: the intermediate-
+/// factor memo store plus the residual-isomorphism value cache.
+///
+/// Both caches are pure functions of `(query, database)`: a [`Sig`] keys a
+/// factor by query structure only, and a canonical subset key determines a
+/// `T` value only together with the instance it was computed on. A
+/// `FamilyCache` may therefore be **reused across evaluators — and hence
+/// across releases — only while both the query and the database are
+/// byte-identical**. Owners that mutate the database (e.g.
+/// `PrivateEngine`'s tuple mutations) must drop the cache on every
+/// mutation; a generation counter bumped alongside the mutation is the
+/// conventional way to key that invalidation.
+#[derive(Debug, Default)]
+pub struct FamilyCache {
+    store: FactorStore,
+    values: Mutex<FxHashMap<Vec<u64>, u128>>,
+    value_hits: AtomicU64,
+}
+
+impl FamilyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        FamilyCache::default()
+    }
+
+    /// Cache-effectiveness counters accumulated over every evaluator that
+    /// shared this cache.
+    pub fn stats(&self) -> FamilyStats {
+        let (factor_hits, factor_misses) = self.store.counters();
+        FamilyStats {
+            factor_hits,
+            factor_misses,
+            values_computed: self.values.lock().expect("value cache lock poisoned").len() as u64,
+            value_hits: self.value_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Evaluates `T_F` for whole subset families with shared intermediates and
 /// work-stealing parallelism. See the module docs for the design.
 #[derive(Debug)]
 pub struct FamilyEvaluator<'e> {
     ev: &'e Evaluator<'e>,
-    store: FactorStore,
-    values: Mutex<FxHashMap<Vec<u64>, u128>>,
-    value_hits: AtomicU64,
+    cache: Arc<FamilyCache>,
     /// Per-atom column permutations under which the atom's stored
     /// relation is invariant (always at least the identity).
     syms: Vec<Vec<Vec<u8>>>,
@@ -223,18 +260,34 @@ impl<'e> FamilyEvaluator<'e> {
     /// relation's column symmetries once (exact row-set checks) so the
     /// isomorphism keys can exploit e.g. symmetric edge relations.
     pub fn new(ev: &'e Evaluator<'e>) -> Self {
+        FamilyEvaluator::with_cache(ev, Arc::new(FamilyCache::new()))
+    }
+
+    /// Wraps an evaluator around an existing [`FamilyCache`], so several
+    /// evaluations over the **same query and identical database** — e.g.
+    /// repeated releases or a β sweep — share one memo store and value
+    /// cache. Factors cached by a previous evaluator carry their own code
+    /// domain, and the kernel reconciles foreign domains at join time, so
+    /// reuse across evaluator instances is transparent.
+    ///
+    /// Reusing a cache after the database changed is **unsound** (stale
+    /// factors and `T` values would be served); see [`FamilyCache`].
+    pub fn with_cache(ev: &'e Evaluator<'e>, cache: Arc<FamilyCache>) -> Self {
         FamilyEvaluator {
             syms: column_symmetries(ev.query(), ev.database()),
             ev,
-            store: FactorStore::new(),
-            values: Mutex::new(FxHashMap::default()),
-            value_hits: AtomicU64::new(0),
+            cache,
         }
     }
 
     /// The wrapped evaluator.
     pub fn evaluator(&self) -> &Evaluator<'e> {
         self.ev
+    }
+
+    /// The cache this evaluator reads and fills.
+    pub fn cache(&self) -> &Arc<FamilyCache> {
+        &self.cache
     }
 
     /// `T_E(I)` for one subset, sharing intermediates with every previous
@@ -249,16 +302,18 @@ impl<'e> FamilyEvaluator<'e> {
     /// ordering minimization per representative would double that work).
     fn t_e_keyed(&self, key: Vec<u64>, subset: &[usize]) -> Result<u128, EvalError> {
         if let Some(&v) = self
+            .cache
             .values
             .lock()
             .expect("value cache lock poisoned")
             .get(&key)
         {
-            self.value_hits.fetch_add(1, Ordering::Relaxed);
+            self.cache.value_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v);
         }
-        let v = self.ev.t_e_memo(Some(&self.store), subset)?;
-        self.values
+        let v = self.ev.t_e_memo(Some(&self.cache.store), subset)?;
+        self.cache
+            .values
             .lock()
             .expect("value cache lock poisoned")
             .insert(key, v);
@@ -347,15 +402,10 @@ impl<'e> FamilyEvaluator<'e> {
             .collect())
     }
 
-    /// Cache-effectiveness counters.
+    /// Cache-effectiveness counters (of the underlying [`FamilyCache`],
+    /// accumulated across every evaluator sharing it).
     pub fn stats(&self) -> FamilyStats {
-        let (factor_hits, factor_misses) = self.store.counters();
-        FamilyStats {
-            factor_hits,
-            factor_misses,
-            values_computed: self.values.lock().expect("value cache lock poisoned").len() as u64,
-            value_hits: self.value_hits.load(Ordering::Relaxed),
-        }
+        self.cache.stats()
     }
 
     /// Crude per-subset cost estimate used only for scheduling:
@@ -742,6 +792,38 @@ mod tests {
         // and the second t_family call is answered from the value cache.
         assert!(stats.values_computed <= 5, "stats {stats:?}");
         assert!(stats.value_hits >= stats.values_computed, "stats {stats:?}");
+    }
+
+    #[test]
+    fn cache_shared_across_evaluator_instances() {
+        // The engine-owned-store scenario: a second release builds a fresh
+        // Evaluator over the *identical* database and answers the whole
+        // family from the shared cache without recomputing anything.
+        let q = parse_query("Q(*) :- Edge(a,b), Edge(b,c), Edge(a,c)").unwrap();
+        let db = k4_db();
+        let fam: BTreeSet<Vec<usize>> = [vec![], vec![0], vec![1], vec![2], vec![0, 1], vec![0, 2]]
+            .into_iter()
+            .collect();
+        let cache = Arc::new(FamilyCache::new());
+        let first = {
+            let ev = Evaluator::new(&q, &db).unwrap();
+            let fe = FamilyEvaluator::with_cache(&ev, Arc::clone(&cache));
+            fe.t_family(&fam, 1).unwrap()
+        };
+        let after_first = cache.stats();
+        assert!(after_first.factor_misses > 0);
+        assert!(after_first.values_computed > 0);
+        let second = {
+            let ev = Evaluator::new(&q, &db).unwrap();
+            let fe = FamilyEvaluator::with_cache(&ev, Arc::clone(&cache));
+            fe.t_family(&fam, 1).unwrap()
+        };
+        assert_eq!(first, second);
+        let after_second = cache.stats();
+        // No new residual values, no new factors: pure cache replay.
+        assert_eq!(after_second.values_computed, after_first.values_computed);
+        assert_eq!(after_second.factor_misses, after_first.factor_misses);
+        assert!(after_second.value_hits > after_first.value_hits);
     }
 
     #[test]

@@ -47,4 +47,4 @@ pub mod order_csp;
 pub use error::EvalError;
 pub use evaluator::Evaluator;
 pub use factor::{Factor, Semiring};
-pub use family::{FamilyEvaluator, FamilyStats};
+pub use family::{FamilyCache, FamilyEvaluator, FamilyStats};

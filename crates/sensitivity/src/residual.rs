@@ -22,10 +22,13 @@
 //! `O(1)`-neighborhood optimal (Theorem 1.1).
 
 use crate::error::SensitivityError;
-use crate::prep::{compute_t_values, required_subsets, Prepared, TValues, DEFAULT_DOMAIN_LIMIT};
-use dpcq_eval::Evaluator;
+use crate::prep::{
+    compute_t_values_with, required_subsets, Prepared, TValues, DEFAULT_DOMAIN_LIMIT,
+};
+use dpcq_eval::{Evaluator, FamilyCache, FamilyEvaluator};
 use dpcq_query::{analysis, ConjunctiveQuery, Policy};
 use dpcq_relation::Database;
+use std::sync::Arc;
 
 /// Tuning knobs for residual-sensitivity computation.
 #[derive(Clone, Debug)]
@@ -36,6 +39,12 @@ pub struct RsParams {
     pub domain_limit: usize,
     /// Worker threads for the `T_F` family (1 = serial).
     pub threads: usize,
+    /// An externally owned [`FamilyCache`] to evaluate the `T` family
+    /// against (`None` = a fresh per-call cache). Callers that release the
+    /// same query repeatedly over an unchanged database (an engine, a β
+    /// sweep) pass the same cache each time and skip all recomputation;
+    /// they must stop reusing it the moment the database changes.
+    pub shared: Option<Arc<FamilyCache>>,
 }
 
 impl RsParams {
@@ -46,6 +55,7 @@ impl RsParams {
             beta,
             domain_limit: DEFAULT_DOMAIN_LIMIT,
             threads: crate::prep::default_threads(),
+            shared: None,
         }
     }
 
@@ -53,6 +63,13 @@ impl RsParams {
     /// `T` family (1 = serial; still shares intermediates).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// The same parameters evaluating through `cache` (see
+    /// [`RsParams::shared`] for the reuse contract).
+    pub fn with_shared_cache(mut self, cache: Arc<FamilyCache>) -> Self {
+        self.shared = Some(cache);
         self
     }
 
@@ -116,7 +133,15 @@ pub fn residual_sensitivity_report(
 
     let family = required_subsets(q, pol);
     let ev = Evaluator::new(q, d)?;
-    let t = compute_t_values(&ev, &family, params.threads)?;
+    // When the caller owns a cache (engine-held store, β sweep), thread it
+    // in; the prepared query/database are deterministic functions of the
+    // inputs, so cache entries stay consistent across calls as long as the
+    // caller honors the FamilyCache reuse contract.
+    let fe = match &params.shared {
+        Some(cache) => FamilyEvaluator::with_cache(&ev, Arc::clone(cache)),
+        None => FamilyEvaluator::new(&ev),
+    };
+    let t = compute_t_values_with(&fe, &family, params.threads)?;
 
     let m_p = pol.num_private_groups(q);
     let k_max = k_cutoff(m_p, q.max_copies(), params.beta);

@@ -1,0 +1,375 @@
+//! `dpcq` — command-line private counting for conjunctive queries.
+//!
+//! ```text
+//! # Private triangle count over a SNAP-format edge list:
+//! dpcq --query "Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), \
+//!               x1 != x2, x2 != x3, x1 != x3" \
+//!      --edges ca-GrQc.txt --epsilon 1.0
+//!
+//! # Multi-relation CSV tables with a selective policy:
+//! dpcq --query "Q(*) :- Visit(p,h,d), Staff(s,h), d < 50" \
+//!      --table Visit=visits.csv --table Staff=staff.csv \
+//!      --private Visit,Staff --method residual --seed 7
+//!
+//! # Serve a database over newline-delimited JSON TCP:
+//! dpcq serve --addr 127.0.0.1:4547 --edges ca-GrQc.txt --budget 3.0
+//!
+//! # Drive a running server (one request line, prints the response):
+//! dpcq request --addr 127.0.0.1:4547 \
+//!      --json '{"op":"release","query":"Q(*) :- Edge(x,y)","epsilon":1.0}'
+//! ```
+//!
+//! One-shot flags: `--query <text>` (required), `--edges <path>` (loads a
+//! symmetric `Edge` relation), `--table NAME=<csv path>` (repeatable;
+//! integer CSV rows), `--private a,b` (default: all), `--epsilon <f>`
+//! (default 1.0), `--method residual|elastic|global-laplace` (default
+//! residual), `--seed <n>`, `--show-truth` (prints the exact count — for
+//! debugging, not for publication!).
+
+use dpcq::graph::io::read_edge_list_file;
+use dpcq::prelude::*;
+use dpcq_server::{Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    ExitCode::FAILURE
+}
+
+const HELP: &str = "\
+dpcq — differentially private conjunctive-query counting
+
+USAGE:
+  dpcq --query <text> (--edges <path> | --table NAME=<csv> ...) [options]
+  dpcq serve --addr HOST:PORT (--edges <path> | --table NAME=<csv> ...) [options]
+  dpcq request --addr HOST:PORT --json '<request object>'
+
+ONE-SHOT OPTIONS:
+  --query <text>        datalog-style query, e.g. \"Q(*) :- Edge(x,y), x != y\"
+  --edges <path>        SNAP edge list loaded as a symmetric relation `Edge`
+  --table NAME=<path>   CSV of integer rows loaded as relation NAME (repeatable)
+  --private a,b         comma-separated private relations (default: all)
+  --epsilon <float>     privacy budget per release (default 1.0)
+  --method <name>       residual | elastic | global-laplace (default residual)
+  --seed <int>          RNG seed (default: entropy)
+  --show-truth          also print the exact count (debugging only)
+  --help                this text
+
+SERVE OPTIONS (newline-delimited JSON over TCP; see the dpcq_server docs):
+  --addr HOST:PORT      listen address (default 127.0.0.1:4547)
+  --edges/--table/--private   as above
+  --epsilon <float>     default per-release ε for requests without one (1.0)
+  --budget <float>      total ε per principal (default: unmetered)
+  --threads <int>       worker threads per residual release
+  --seed <int>          noise RNG seed (deterministic sessions; tests only)
+
+REQUEST OPTIONS:
+  --addr HOST:PORT      server address (default 127.0.0.1:4547)
+  --json <object>       one request frame, e.g. '{\"op\":\"stats\"}'
+                        exit: 0 on ok:true, 2 on ok:false, 1 on transport error
+";
+
+/// `--key value` / `--switch` argument cracker shared by the subcommands.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Only listed flags are accepted: a typo in a privacy-critical flag
+    /// (`--bugdet 3.0`) must be an error, never a silent fallback to the
+    /// default.
+    fn parse(
+        argv: &[String],
+        value_names: &[&str],
+        switch_names: &[&str],
+    ) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut switches = Vec::new();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let Some(key) = flag.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{flag}`"));
+            };
+            if switch_names.contains(&key) {
+                switches.push(key.to_string());
+            } else if value_names.contains(&key) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} expects a value"))?;
+                pairs.push((key.to_string(), value.clone()));
+            } else {
+                return Err(format!("unknown flag `--{key}`"));
+            }
+        }
+        Ok(Flags { pairs, switches })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.pairs
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} value `{v}`")),
+        }
+    }
+}
+
+/// Loads `--edges` / `--table` data (shared by one-shot and serve).
+fn load_database(flags: &Flags) -> Result<Database, String> {
+    let mut db = Database::new();
+    if let Some(path) = flags.get("edges") {
+        let g = read_edge_list_file(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        eprintln!(
+            "loaded {path}: {} vertices, {} undirected edges",
+            g.num_vertices(),
+            g.num_edges()
+        );
+        db = g.to_database();
+    }
+    for spec in flags.get_all("table") {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or("--table expects NAME=path.csv")?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut rows = 0usize;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let row: Result<Vec<Value>, _> = line
+                .split(',')
+                .map(|c| c.trim().parse::<i64>().map(Value))
+                .collect();
+            match row {
+                Ok(r) => {
+                    db.insert_tuple(name, &r);
+                    rows += 1;
+                }
+                Err(_) => return Err(format!("{path}: non-integer row `{line}`")),
+            }
+        }
+        eprintln!("loaded {name} from {path}: {rows} rows");
+    }
+    if db.num_relations() == 0 {
+        return Err("no data: pass --edges or --table".into());
+    }
+    Ok(db)
+}
+
+fn policy_from(flags: &Flags) -> Policy {
+    match flags.get("private") {
+        Some(spec) => Policy::private(
+            spec.split(',')
+                .map(|s| s.trim().to_string())
+                .collect::<Vec<_>>(),
+        ),
+        None => Policy::all_private(),
+    }
+}
+
+fn seed_from(flags: &Flags) -> Result<Option<u64>, String> {
+    match flags.get("seed") {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("bad --seed value `{v}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    match argv.first().map(String::as_str) {
+        Some("serve") => serve_main(&argv[1..]),
+        Some("request") => request_main(&argv[1..]),
+        _ => oneshot_main(&argv),
+    }
+}
+
+fn oneshot_main(argv: &[String]) -> ExitCode {
+    let flags = match Flags::parse(
+        argv,
+        &[
+            "query", "edges", "table", "private", "epsilon", "method", "seed",
+        ],
+        &["show-truth"],
+    ) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(query_text) = flags.get("query") else {
+        return fail("--query is required");
+    };
+    let query = match parse_query(query_text) {
+        Ok(q) => q,
+        Err(e) => return fail(&format!("query does not parse: {e}")),
+    };
+    let db = match load_database(&flags) {
+        Ok(db) => db,
+        Err(e) => return fail(&e),
+    };
+    let epsilon = match flags.get_parsed("epsilon", 1.0f64) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let sens_method: SensitivityMethod = match flags.get("method").unwrap_or("residual").parse() {
+        Ok(m) => m,
+        Err(e) => return fail(&e),
+    };
+    let seed = match seed_from(&flags) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+
+    let engine = PrivateEngine::new(db, policy_from(&flags), epsilon);
+    let mut rng = match seed {
+        Some(s) => StdRng::seed_from_u64(s),
+        None => StdRng::from_entropy(),
+    };
+    if flags.has("show-truth") {
+        match engine.true_count(&query) {
+            Ok(c) => eprintln!("true count (debug): {c}"),
+            Err(e) => return fail(&format!("evaluation failed: {e}")),
+        }
+    }
+    match engine.release_with(&query, sens_method, &mut rng) {
+        Ok(release) => {
+            println!("{release}");
+            eprintln!(
+                "method = {}, sensitivity = {:.3}, noise scale = {:.3}",
+                sens_method.name(),
+                release.sensitivity,
+                release.scale
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("release failed: {e}")),
+    }
+}
+
+fn serve_main(argv: &[String]) -> ExitCode {
+    let flags = match Flags::parse(
+        argv,
+        &[
+            "addr", "edges", "table", "private", "epsilon", "budget", "threads", "seed",
+        ],
+        &[],
+    ) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let db = match load_database(&flags) {
+        Ok(db) => db,
+        Err(e) => return fail(&e),
+    };
+    let default_epsilon = match flags.get_parsed("epsilon", 1.0f64) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let default_budget = match flags.get_parsed("budget", f64::INFINITY) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let seed = match seed_from(&flags) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let mut engine = PrivateEngine::new(db, policy_from(&flags), default_epsilon);
+    match flags.get_parsed("threads", 0usize) {
+        Ok(0) => {}
+        Ok(t) => engine = engine.with_threads(t),
+        Err(e) => return fail(&e),
+    }
+
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:4547");
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
+    };
+    let bound = listener
+        .local_addr()
+        .map_or(addr.to_string(), |a| a.to_string());
+    let server = Arc::new(Server::new(
+        engine,
+        ServerConfig {
+            default_epsilon,
+            default_budget,
+            seed,
+        },
+    ));
+    eprintln!("dpcq serving on {bound} (ndjson; send {{\"op\":\"shutdown\"}} to stop)");
+    match server.serve(listener) {
+        Ok(()) => {
+            eprintln!("dpcq server on {bound} shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("serve failed: {e}")),
+    }
+}
+
+fn request_main(argv: &[String]) -> ExitCode {
+    let flags = match Flags::parse(argv, &["addr", "json"], &[]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(json) = flags.get("json") else {
+        return fail("--json is required");
+    };
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:4547");
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("socket error: {e}")),
+    });
+    let mut writer = stream;
+    if let Err(e) = writeln!(writer, "{}", json.trim()) {
+        return fail(&format!("write failed: {e}"));
+    }
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => fail("server closed the connection without answering"),
+        Err(e) => fail(&format!("read failed: {e}")),
+        Ok(_) => {
+            println!("{}", line.trim_end());
+            // Exit 2 on a well-formed error response so shell pipelines can
+            // distinguish "request refused" from "transport broken".
+            if line.contains("\"ok\":true") {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            }
+        }
+    }
+}

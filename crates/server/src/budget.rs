@@ -1,0 +1,436 @@
+//! Per-principal ε ledgers enforcing sequential composition under
+//! concurrency.
+//!
+//! Differential privacy composes sequentially: a principal who receives
+//! `k` releases at budgets `ε₁…ε_k` has learned at most `Σεᵢ` of privacy
+//! loss. The accountant enforces a per-principal cap on that sum with a
+//! **reserve → evaluate → commit/refund** protocol:
+//!
+//! 1. [`BudgetAccountant::reserve`] atomically moves `ε` from the
+//!    principal's remaining budget into a pending reservation, failing if
+//!    `spent + reserved + ε` would exceed the cap. Because the check and
+//!    the reservation happen under one lock, two racing requests can
+//!    never *both* squeeze through a gap that only fits one — the classic
+//!    check-then-act overspend is impossible by construction.
+//! 2. The caller evaluates the release while holding the [`Reservation`].
+//! 3. On success the reservation is [committed](Reservation::commit)
+//!    (`reserved → spent`, the loss really happened); on failure it is
+//!    refunded. Refund is the **`Drop` default**, so an evaluation error
+//!    propagating with `?` can never leak budget: a reservation that goes
+//!    out of scope uncommitted puts its ε back.
+//!
+//! A failed release refunds only because a release that *produced no
+//! output* leaked nothing. A release whose noisy answer was produced but
+//! not delivered (e.g. the connection died) must still be treated as
+//! spent — the server commits before writing to the socket.
+
+use dpcq::relation::FxHashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Tolerance for floating-point drift in ledger arithmetic: a reserve
+/// that overshoots the cap by less than this is considered exact. With
+/// budgets and ε values in sensible ranges (≤ 10⁶, ≥ 10⁻⁶) the drift of
+/// a running sum stays far below it.
+const SLACK: f64 = 1e-9;
+
+/// One principal's ledger.
+#[derive(Clone, Copy, Debug)]
+struct Ledger {
+    /// The total ε this principal may ever consume.
+    budget: f64,
+    /// ε consumed by committed releases.
+    spent: f64,
+    /// ε held by in-flight reservations.
+    reserved: f64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    default_budget: f64,
+    ledgers: Mutex<FxHashMap<String, Ledger>>,
+}
+
+/// Why a reservation was refused.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BudgetError {
+    /// The requested ε does not fit the principal's remaining budget.
+    Exhausted {
+        /// The principal whose ledger refused.
+        principal: String,
+        /// The ε that was requested.
+        requested: f64,
+        /// The ε still available (budget − spent − reserved).
+        remaining: f64,
+    },
+    /// The requested ε is not a positive finite number.
+    InvalidEpsilon(f64),
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::Exhausted {
+                principal,
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "budget exhausted for `{principal}`: requested ε = {requested}, remaining = {remaining}"
+            ),
+            BudgetError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be positive and finite, got {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// A thread-safe per-principal ε ledger. Clones share the same ledgers.
+#[derive(Clone, Debug)]
+pub struct BudgetAccountant {
+    inner: Arc<Inner>,
+}
+
+impl BudgetAccountant {
+    /// An accountant giving every new principal `default_budget` total ε
+    /// (`f64::INFINITY` = unmetered).
+    pub fn new(default_budget: f64) -> Self {
+        assert!(
+            default_budget >= 0.0 && !default_budget.is_nan(),
+            "budget must be non-negative"
+        );
+        BudgetAccountant {
+            inner: Arc::new(Inner {
+                default_budget,
+                ledgers: Mutex::new(FxHashMap::default()),
+            }),
+        }
+    }
+
+    fn with_ledger<R>(&self, principal: &str, f: impl FnOnce(&mut Ledger) -> R) -> R {
+        let mut ledgers = self.inner.ledgers.lock().expect("budget lock poisoned");
+        let ledger = ledgers
+            .entry(principal.to_string())
+            .or_insert_with(|| Ledger {
+                budget: self.inner.default_budget,
+                spent: 0.0,
+                reserved: 0.0,
+            });
+        f(ledger)
+    }
+
+    /// Overrides one principal's total budget (past spending is kept; a
+    /// cap below `spent + reserved` simply leaves no remaining budget).
+    pub fn set_budget(&self, principal: &str, budget: f64) {
+        assert!(
+            budget >= 0.0 && !budget.is_nan(),
+            "budget must be non-negative"
+        );
+        self.with_ledger(principal, |l| l.budget = budget);
+    }
+
+    /// Atomically reserves `epsilon` from `principal`'s remaining budget.
+    /// The returned [`Reservation`] refunds on drop unless
+    /// [committed](Reservation::commit).
+    pub fn reserve(&self, principal: &str, epsilon: f64) -> Result<Reservation, BudgetError> {
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(BudgetError::InvalidEpsilon(epsilon));
+        }
+        self.with_ledger(principal, |l| {
+            if l.spent + l.reserved + epsilon > l.budget + SLACK {
+                return Err(BudgetError::Exhausted {
+                    principal: principal.to_string(),
+                    requested: epsilon,
+                    remaining: (l.budget - l.spent - l.reserved).max(0.0),
+                });
+            }
+            l.reserved += epsilon;
+            Ok(())
+        })?;
+        Ok(Reservation {
+            inner: Arc::clone(&self.inner),
+            principal: principal.to_string(),
+            epsilon,
+            committed: false,
+        })
+    }
+
+    /// The principal's total budget (the default if never touched).
+    pub fn budget(&self, principal: &str) -> f64 {
+        self.with_ledger(principal, |l| l.budget)
+    }
+
+    /// ε committed so far.
+    pub fn spent(&self, principal: &str) -> f64 {
+        self.with_ledger(principal, |l| l.spent)
+    }
+
+    /// ε still available: `budget − spent − reserved`, clamped at 0.
+    pub fn remaining(&self, principal: &str) -> f64 {
+        self.with_ledger(principal, |l| (l.budget - l.spent - l.reserved).max(0.0))
+    }
+
+    /// Number of principals with a ledger.
+    pub fn num_principals(&self) -> usize {
+        self.inner
+            .ledgers
+            .lock()
+            .expect("budget lock poisoned")
+            .len()
+    }
+}
+
+/// ε held out of a principal's budget while a release is evaluated.
+/// Dropped uncommitted (evaluation failed, caller bailed early, a `?`
+/// propagated), it refunds; [`Reservation::commit`] makes the spend
+/// permanent.
+#[must_use = "an unused reservation refunds immediately; commit() it after a successful release"]
+#[derive(Debug)]
+pub struct Reservation {
+    inner: Arc<Inner>,
+    principal: String,
+    epsilon: f64,
+    committed: bool,
+}
+
+impl Reservation {
+    /// The reserved ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Converts the reservation into permanent spending.
+    pub fn commit(mut self) {
+        let mut ledgers = self.inner.ledgers.lock().expect("budget lock poisoned");
+        let ledger = ledgers
+            .get_mut(&self.principal)
+            .expect("reservation implies a ledger");
+        ledger.reserved = (ledger.reserved - self.epsilon).max(0.0);
+        ledger.spent += self.epsilon;
+        self.committed = true;
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        if self.committed {
+            return;
+        }
+        let mut ledgers = self.inner.ledgers.lock().expect("budget lock poisoned");
+        let ledger = ledgers
+            .get_mut(&self.principal)
+            .expect("reservation implies a ledger");
+        ledger.reserved = (ledger.reserved - self.epsilon).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn reserve_commit_spends() {
+        let acct = BudgetAccountant::new(1.0);
+        let r = acct.reserve("alice", 0.4).unwrap();
+        assert_eq!(acct.remaining("alice"), 0.6);
+        assert_eq!(acct.spent("alice"), 0.0);
+        r.commit();
+        assert_eq!(acct.spent("alice"), 0.4);
+        assert_eq!(acct.remaining("alice"), 0.6);
+        assert_eq!(acct.num_principals(), 1);
+    }
+
+    #[test]
+    fn drop_refunds() {
+        let acct = BudgetAccountant::new(1.0);
+        {
+            let _r = acct.reserve("alice", 0.7).unwrap();
+            assert!(acct.remaining("alice") < 0.5);
+        }
+        assert_eq!(acct.remaining("alice"), 1.0);
+        assert_eq!(acct.spent("alice"), 0.0);
+    }
+
+    #[test]
+    fn exhaustion_reports_remaining_and_spends_nothing() {
+        let acct = BudgetAccountant::new(1.0);
+        acct.reserve("alice", 0.75).unwrap().commit();
+        let err = acct.reserve("alice", 0.5).unwrap_err();
+        match err {
+            BudgetError::Exhausted {
+                principal,
+                requested,
+                remaining,
+            } => {
+                assert_eq!(principal, "alice");
+                assert_eq!(requested, 0.5);
+                assert!((remaining - 0.25).abs() < 1e-12);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // A failed reserve must not change the ledger.
+        assert_eq!(acct.spent("alice"), 0.75);
+        assert!((acct.remaining("alice") - 0.25).abs() < 1e-12);
+        // The remaining budget is still usable.
+        acct.reserve("alice", 0.25).unwrap().commit();
+        assert!(acct.reserve("alice", 1e-3).is_err());
+    }
+
+    #[test]
+    fn principals_are_independent() {
+        let acct = BudgetAccountant::new(1.0);
+        acct.reserve("alice", 1.0).unwrap().commit();
+        assert!(acct.reserve("alice", 0.1).is_err());
+        acct.reserve("bob", 0.1).unwrap().commit();
+        assert_eq!(acct.num_principals(), 2);
+    }
+
+    #[test]
+    fn invalid_epsilons_are_rejected() {
+        let acct = BudgetAccountant::new(1.0);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = acct.reserve("alice", bad).unwrap_err();
+            assert!(matches!(err, BudgetError::InvalidEpsilon(_)), "{bad}");
+        }
+        // Rejected before the ledger is even touched.
+        assert_eq!(acct.num_principals(), 0);
+        assert_eq!(acct.spent("alice"), 0.0);
+    }
+
+    #[test]
+    fn infinite_default_budget_is_unmetered() {
+        let acct = BudgetAccountant::new(f64::INFINITY);
+        for _ in 0..100 {
+            acct.reserve("alice", 1e6).unwrap().commit();
+        }
+        assert_eq!(acct.remaining("alice"), f64::INFINITY);
+        assert_eq!(acct.spent("alice"), 1e8);
+    }
+
+    #[test]
+    fn set_budget_overrides() {
+        let acct = BudgetAccountant::new(1.0);
+        acct.set_budget("alice", 2.0);
+        acct.reserve("alice", 1.5).unwrap().commit();
+        assert!((acct.remaining("alice") - 0.5).abs() < 1e-12);
+        // Capping below spent leaves zero remaining, never negative.
+        acct.set_budget("alice", 1.0);
+        assert_eq!(acct.remaining("alice"), 0.0);
+        assert!(acct.reserve("alice", 0.1).is_err());
+    }
+
+    /// The headline concurrency property: with `budget / ε = 50` slots
+    /// and many more racing attempts, exactly the committed reservations
+    /// are spent and the ledger never exceeds its cap — no interleaving
+    /// of reserve/commit/refund can overspend.
+    #[test]
+    fn racing_threads_never_overspend_and_refund_on_error() {
+        const THREADS: usize = 8;
+        const ATTEMPTS: usize = 60;
+        const EPS: f64 = 0.02;
+        let budget = 1.0; // 50 slots < 8 × 60 attempts
+        let acct = BudgetAccountant::new(budget);
+        let committed = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let acct = acct.clone();
+                let committed = &committed;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(t as u64);
+                    for _ in 0..ATTEMPTS {
+                        match acct.reserve("shared", EPS) {
+                            Err(_) => {}
+                            Ok(r) => {
+                                // A third of "evaluations" fail → refund
+                                // by drop; the rest commit.
+                                if rng.gen_range(0..3) == 0 {
+                                    drop(r);
+                                } else {
+                                    r.commit();
+                                    committed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let committed = committed.load(Ordering::Relaxed) as f64;
+        let spent = acct.spent("shared");
+        assert!((spent - committed * EPS).abs() < 1e-9, "spent {spent}");
+        assert!(spent <= budget + 1e-9, "overspent: {spent} > {budget}");
+        // Everything reserved was either committed or refunded.
+        assert!(
+            (acct.remaining("shared") - (budget - spent)).abs() < 1e-9,
+            "reservation leak: remaining {} vs {}",
+            acct.remaining("shared"),
+            budget - spent
+        );
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Ledger ops as data, interpreted against a reference model.
+        #[derive(Debug, Clone)]
+        enum Op {
+            /// Reserve this many milli-ε and commit.
+            Spend(u32),
+            /// Reserve and drop (refund).
+            Abort(u32),
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (1u32..400).prop_map(Op::Spend),
+                (1u32..400).prop_map(Op::Abort),
+            ]
+        }
+
+        proptest! {
+            /// Sequential model equivalence: spent equals the sum of the
+            /// committed reservations the model admits, and never exceeds
+            /// the budget, under any op sequence.
+            #[test]
+            fn ledger_matches_integer_model(ops in proptest::collection::vec(arb_op(), 0..60)) {
+                let budget_milli: u64 = 1000;
+                let acct = BudgetAccountant::new(budget_milli as f64 / 1000.0);
+                let mut model_spent_milli: u64 = 0;
+                for op in ops {
+                    match op {
+                        Op::Spend(m) => {
+                            let eps = m as f64 / 1000.0;
+                            match acct.reserve("p", eps) {
+                                Ok(r) => {
+                                    r.commit();
+                                    model_spent_milli += m as u64;
+                                    prop_assert!(model_spent_milli <= budget_milli);
+                                }
+                                Err(_) => {
+                                    // The accountant may only refuse when
+                                    // the model says it does not fit.
+                                    prop_assert!(model_spent_milli + m as u64 > budget_milli);
+                                }
+                            }
+                        }
+                        Op::Abort(m) => {
+                            let eps = m as f64 / 1000.0;
+                            if let Ok(r) = acct.reserve("p", eps) {
+                                drop(r);
+                            }
+                        }
+                    }
+                    let spent = acct.spent("p");
+                    let model = model_spent_milli as f64 / 1000.0;
+                    prop_assert!((spent - model).abs() < 1e-9, "spent {} vs model {}", spent, model);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Caching released answers for budget-free replay.
+//!
+//! A differentially private release is **post-processing-proof**: once the
+//! noisy value `M(I)` has been published, handing the *same* value out
+//! again — to the same principal or anyone else — reveals nothing beyond
+//! the first release, so it costs zero additional budget (the
+//! post-processing property of DP; see Dwork & Roth, Prop. 2.1). The
+//! server therefore memoizes every successful release under the key
+//!
+//! ```text
+//! (canonical query text, sensitivity method, ε bits, db generation)
+//! ```
+//!
+//! and replays cache hits without touching the budget ledger. Every key
+//! component is load-bearing:
+//!
+//! * **canonical query** — the parsed query re-rendered, so textual
+//!   variants (whitespace, variable spelling) of one query share an entry;
+//! * **method + ε** (exact bit pattern) — a different mechanism or budget
+//!   is a different random variable and must be sampled fresh;
+//! * **generation** — a release is a function of the instance; after a
+//!   mutation the old answer is about a database that no longer exists.
+//!   Mutations call [`ReleaseCache::retain_generation`] to drop the dead
+//!   entries.
+
+use dpcq::noise::Release;
+use dpcq::relation::FxHashMap;
+use dpcq::SensitivityMethod;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The identity of one releasable answer.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ReleaseKey {
+    /// Canonical (re-rendered) query text.
+    pub query: String,
+    /// The sensitivity method's stable name.
+    pub method: &'static str,
+    /// The release ε, keyed by exact bit pattern.
+    pub epsilon_bits: u64,
+    /// The database generation the answer was computed against.
+    pub generation: u64,
+}
+
+impl ReleaseKey {
+    /// Builds a key from the release parameters.
+    pub fn new(
+        canonical_query: &str,
+        method: SensitivityMethod,
+        epsilon: f64,
+        generation: u64,
+    ) -> Self {
+        ReleaseKey {
+            query: canonical_query.to_string(),
+            method: method.name(),
+            epsilon_bits: epsilon.to_bits(),
+            generation,
+        }
+    }
+}
+
+/// Bound on live entries: a client iterating distinct ε values (every
+/// bit pattern is its own key) must not grow the map forever. Crossing
+/// the bound evicts the whole map — coarse, but sound (a miss only
+/// costs recomputation plus that request's budget) and cheap.
+const MAX_ENTRIES: usize = 4096;
+
+/// A concurrent map from [`ReleaseKey`] to the released answer.
+#[derive(Debug, Default)]
+pub struct ReleaseCache {
+    map: Mutex<FxHashMap<ReleaseKey, Release>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ReleaseCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ReleaseCache::default()
+    }
+
+    /// The cached release for `key`, if any (counts a hit or miss).
+    pub fn get(&self, key: &ReleaseKey) -> Option<Release> {
+        let out = self
+            .map
+            .lock()
+            .expect("release cache lock poisoned")
+            .get(key)
+            .copied();
+        match out {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+
+    /// Stores a successful release. Two racing computations of the same
+    /// key keep the first insert, so later hits replay one consistent
+    /// answer. Crossing [`MAX_ENTRIES`] evicts everything first (see
+    /// its docs).
+    pub fn put(&self, key: ReleaseKey, release: Release) {
+        let mut map = self.map.lock().expect("release cache lock poisoned");
+        if map.len() >= MAX_ENTRIES && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.entry(key).or_insert(release);
+    }
+
+    /// Drops every entry not computed against `generation` (called after
+    /// a mutation with the new generation).
+    pub fn retain_generation(&self, generation: u64) {
+        self.map
+            .lock()
+            .expect("release cache lock poisoned")
+            .retain(|k, _| k.generation == generation);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("release cache lock poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn release(value: f64) -> Release {
+        Release {
+            value,
+            sensitivity: 1.0,
+            scale: 2.0,
+            epsilon: 0.5,
+            expected_error: 2.0,
+        }
+    }
+
+    #[test]
+    fn hit_replays_the_stored_release() {
+        let cache = ReleaseCache::new();
+        let key = ReleaseKey::new("Q(*) :- Edge(x, y)", SensitivityMethod::Residual, 0.5, 0);
+        assert_eq!(cache.get(&key), None);
+        cache.put(key.clone(), release(41.5));
+        assert_eq!(cache.get(&key).unwrap().value, 41.5);
+        assert_eq!(cache.counters(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn key_components_all_distinguish() {
+        let base = ReleaseKey::new("Q(*) :- Edge(x, y)", SensitivityMethod::Residual, 0.5, 0);
+        let cache = ReleaseCache::new();
+        cache.put(base.clone(), release(1.0));
+        for other in [
+            ReleaseKey::new("Q(*) :- Edge(x, x)", SensitivityMethod::Residual, 0.5, 0),
+            ReleaseKey::new("Q(*) :- Edge(x, y)", SensitivityMethod::Elastic, 0.5, 0),
+            ReleaseKey::new("Q(*) :- Edge(x, y)", SensitivityMethod::Residual, 0.25, 0),
+            ReleaseKey::new("Q(*) :- Edge(x, y)", SensitivityMethod::Residual, 0.5, 1),
+        ] {
+            assert_ne!(base, other);
+            assert_eq!(cache.get(&other), None);
+        }
+    }
+
+    #[test]
+    fn first_insert_wins_races() {
+        let cache = ReleaseCache::new();
+        let key = ReleaseKey::new("q", SensitivityMethod::Residual, 1.0, 0);
+        cache.put(key.clone(), release(1.0));
+        cache.put(key.clone(), release(2.0));
+        assert_eq!(cache.get(&key).unwrap().value, 1.0);
+    }
+
+    #[test]
+    fn retain_generation_drops_stale_entries() {
+        let cache = ReleaseCache::new();
+        let old = ReleaseKey::new("q", SensitivityMethod::Residual, 1.0, 0);
+        let new = ReleaseKey::new("q", SensitivityMethod::Residual, 1.0, 1);
+        cache.put(old.clone(), release(1.0));
+        cache.put(new.clone(), release(2.0));
+        cache.retain_generation(1);
+        assert_eq!(cache.get(&old), None);
+        assert_eq!(cache.get(&new).unwrap().value, 2.0);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+}

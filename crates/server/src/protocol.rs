@@ -1,0 +1,611 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Each frame is one JSON object on one line (`\n`-terminated; interior
+//! newlines are escaped by the JSON grammar). Every request may carry an
+//! integer `"id"`, echoed verbatim in the response so clients can match
+//! pipelined frames. Every response carries `"ok"`; failures are
+//! `{"ok": false, "error": "..."}` and never change server state.
+//!
+//! ## Requests
+//!
+//! ```text
+//! {"op":"release","query":"Q(*) :- Edge(x,y)","principal":"alice",
+//!  "method":"residual","epsilon":0.5,"id":1}
+//! {"op":"batch","requests":[{...release...},{...release...}]}
+//! {"op":"insert","relation":"Edge","tuple":[1,4]}
+//! {"op":"remove","relation":"Edge","tuple":[1,4]}
+//! {"op":"budget","principal":"alice"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! `release` defaults: `principal` = `"default"`, `method` = `"residual"`
+//! (any [`SensitivityMethod::name`], plus the `global` alias), `epsilon` =
+//! the server's configured default. `batch` accepts only `release`
+//! sub-requests (mutations order-depend; a batch is one unordered group).
+//!
+//! ## Responses
+//!
+//! ```text
+//! {"id":1,"ok":true,"op":"release","value":12.4,"epsilon":0.5,
+//!  "sensitivity":3.1,"scale":31.2,"expected_error":31.2,
+//!  "method":"residual","cached":false,"generation":0,"remaining":1.5}
+//! {"ok":true,"op":"insert","changed":true,"generation":3}
+//! {"ok":true,"op":"budget","principal":"alice","budget":2.0,
+//!  "spent":0.5,"remaining":1.5}
+//! {"ok":true,"op":"stats","generation":3,"release_cache_entries":2,
+//!  "release_cache_hits":5,"release_cache_misses":7,"principals":2}
+//! {"ok":true,"op":"batch","responses":[{...},{...}]}
+//! {"ok":true,"op":"shutdown"}
+//! ```
+//!
+//! `remaining`/`budget` render as `null` when infinite (unmetered).
+
+use dpcq::noise::Release;
+use dpcq::SensitivityMethod;
+use dpcq_wire::Json;
+
+/// One private-release request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReleaseRequest {
+    /// Client correlation id, echoed in the response.
+    pub id: Option<i64>,
+    /// The budget ledger this release draws from.
+    pub principal: String,
+    /// The conjunctive query, in the datalog-style surface syntax.
+    pub query: String,
+    /// Which sensitivity calibrates the noise.
+    pub method: SensitivityMethod,
+    /// Per-release ε (`None` = the server's configured default).
+    pub epsilon: Option<f64>,
+}
+
+/// A parsed protocol request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Release one noisy count.
+    Release(ReleaseRequest),
+    /// Release several counts as one group (evaluated under a single
+    /// database snapshot, grouped by query shape for store sharing).
+    Batch {
+        /// Client correlation id.
+        id: Option<i64>,
+        /// The grouped release requests.
+        requests: Vec<ReleaseRequest>,
+    },
+    /// Insert a tuple (mutation; bumps the generation if effective).
+    Insert {
+        /// Client correlation id.
+        id: Option<i64>,
+        /// Target relation (created at the tuple's arity if absent).
+        relation: String,
+        /// The tuple values.
+        tuple: Vec<i64>,
+    },
+    /// Remove a tuple (mutation; bumps the generation if effective).
+    Remove {
+        /// Client correlation id.
+        id: Option<i64>,
+        /// Target relation.
+        relation: String,
+        /// The tuple values.
+        tuple: Vec<i64>,
+    },
+    /// Read a principal's ledger.
+    Budget {
+        /// Client correlation id.
+        id: Option<i64>,
+        /// The principal to look up.
+        principal: String,
+    },
+    /// Read server counters.
+    Stats {
+        /// Client correlation id.
+        id: Option<i64>,
+    },
+    /// Stop accepting connections and return from `serve`.
+    Shutdown {
+        /// Client correlation id.
+        id: Option<i64>,
+    },
+}
+
+fn get_str(obj: &Json, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string `{key}`"))
+}
+
+fn get_id(obj: &Json) -> Result<Option<i64>, String> {
+    match obj.get("id") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Int(i)) => i64::try_from(*i)
+            .map(Some)
+            .map_err(|_| "id out of range".into()),
+        Some(_) => Err("`id` must be an integer".into()),
+    }
+}
+
+fn parse_release(obj: &Json) -> Result<ReleaseRequest, String> {
+    let method = match obj.get("method") {
+        None | Some(Json::Null) => SensitivityMethod::Residual,
+        Some(m) => m
+            .as_str()
+            .ok_or_else(|| "`method` must be a string".to_string())?
+            .parse()?,
+    };
+    let epsilon = match obj.get("epsilon") {
+        None | Some(Json::Null) => None,
+        Some(e) => Some(
+            e.as_f64()
+                .ok_or_else(|| "`epsilon` must be a number".to_string())?,
+        ),
+    };
+    let principal = match obj.get("principal") {
+        None | Some(Json::Null) => "default".to_string(),
+        Some(p) => p
+            .as_str()
+            .ok_or_else(|| "`principal` must be a string".to_string())?
+            .to_string(),
+    };
+    Ok(ReleaseRequest {
+        id: get_id(obj)?,
+        principal,
+        query: get_str(obj, "query")?,
+        method,
+        epsilon,
+    })
+}
+
+fn parse_tuple(obj: &Json) -> Result<Vec<i64>, String> {
+    let items = obj
+        .get("tuple")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing or non-array `tuple`".to_string())?;
+    if items.is_empty() {
+        return Err("`tuple` must be non-empty".into());
+    }
+    items
+        .iter()
+        .map(|v| match v {
+            Json::Int(i) => i64::try_from(*i).map_err(|_| "tuple value out of i64 range".into()),
+            _ => Err("`tuple` values must be integers".to_string()),
+        })
+        .collect()
+}
+
+impl Request {
+    /// Parses one protocol frame.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let obj = Json::parse(line)?;
+        Request::from_json(&obj)
+    }
+
+    /// Parses a request from its JSON object form.
+    pub fn from_json(obj: &Json) -> Result<Request, String> {
+        let op = get_str(obj, "op")?;
+        let id = get_id(obj)?;
+        match op.as_str() {
+            "release" => Ok(Request::Release(parse_release(obj)?)),
+            "batch" => {
+                let items = obj
+                    .get("requests")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| "missing or non-array `requests`".to_string())?;
+                let requests = items
+                    .iter()
+                    .map(|item| {
+                        if item
+                            .get("op")
+                            .is_some_and(|o| o.as_str() != Some("release"))
+                        {
+                            return Err("batch entries must be release requests".to_string());
+                        }
+                        parse_release(item)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Batch { id, requests })
+            }
+            "insert" => Ok(Request::Insert {
+                id,
+                relation: get_str(obj, "relation")?,
+                tuple: parse_tuple(obj)?,
+            }),
+            "remove" => Ok(Request::Remove {
+                id,
+                relation: get_str(obj, "relation")?,
+                tuple: parse_tuple(obj)?,
+            }),
+            "budget" => Ok(Request::Budget {
+                id,
+                principal: get_str(obj, "principal")?,
+            }),
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}
+
+/// A protocol response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A released (or cache-replayed) noisy count.
+    Release {
+        /// Echoed request id.
+        id: Option<i64>,
+        /// The method that calibrated the noise.
+        method: SensitivityMethod,
+        /// The released answer.
+        release: Release,
+        /// Whether the answer was replayed from the release cache
+        /// (budget-free; see `cache` module docs).
+        cached: bool,
+        /// The database generation the answer was computed against.
+        generation: u64,
+        /// The principal's remaining ε (`None` = unmetered).
+        remaining: Option<f64>,
+    },
+    /// Outcome of a mutation.
+    Updated {
+        /// Echoed request id.
+        id: Option<i64>,
+        /// `"insert"` or `"remove"`.
+        op: &'static str,
+        /// Whether the database actually changed.
+        changed: bool,
+        /// The generation after the mutation.
+        generation: u64,
+    },
+    /// A principal's ledger.
+    Budget {
+        /// Echoed request id.
+        id: Option<i64>,
+        /// The principal.
+        principal: String,
+        /// Total budget (`None` = infinite).
+        budget: Option<f64>,
+        /// ε committed so far.
+        spent: f64,
+        /// ε remaining (`None` = infinite).
+        remaining: Option<f64>,
+    },
+    /// Server counters.
+    Stats {
+        /// Echoed request id.
+        id: Option<i64>,
+        /// Current database generation.
+        generation: u64,
+        /// Live release-cache entries.
+        release_cache_entries: usize,
+        /// Release-cache hits so far.
+        release_cache_hits: u64,
+        /// Release-cache misses so far.
+        release_cache_misses: u64,
+        /// Principals with a budget ledger.
+        principals: usize,
+    },
+    /// Responses of a batch, in request order.
+    Batch {
+        /// Echoed request id.
+        id: Option<i64>,
+        /// Per-entry responses (release or error), in request order.
+        responses: Vec<Response>,
+    },
+    /// Shutdown acknowledged.
+    Shutdown {
+        /// Echoed request id.
+        id: Option<i64>,
+    },
+    /// The request failed; no state changed.
+    Error {
+        /// Echoed request id.
+        id: Option<i64>,
+        /// Human-readable cause.
+        error: String,
+    },
+}
+
+/// `null` for non-finite (unmetered) budget figures.
+fn opt_num(v: Option<f64>) -> Json {
+    match v {
+        Some(x) if x.is_finite() => Json::Num(x),
+        _ => Json::Null,
+    }
+}
+
+fn with_id(id: Option<i64>, mut fields: Vec<(String, Json)>) -> Json {
+    if let Some(id) = id {
+        fields.insert(0, ("id".to_string(), Json::Int(id as i128)));
+    }
+    Json::Obj(fields)
+}
+
+fn field(k: &str, v: Json) -> (String, Json) {
+    (k.to_string(), v)
+}
+
+impl Response {
+    /// The response's JSON object form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Release {
+                id,
+                method,
+                release,
+                cached,
+                generation,
+                remaining,
+            } => with_id(
+                *id,
+                vec![
+                    field("ok", Json::Bool(true)),
+                    field("op", Json::Str("release".into())),
+                    field("value", Json::Num(release.value)),
+                    field("epsilon", Json::Num(release.epsilon)),
+                    field("sensitivity", Json::Num(release.sensitivity)),
+                    field("scale", Json::Num(release.scale)),
+                    field("expected_error", Json::Num(release.expected_error)),
+                    field("method", Json::Str(method.name().into())),
+                    field("cached", Json::Bool(*cached)),
+                    field("generation", Json::Int(*generation as i128)),
+                    field("remaining", opt_num(*remaining)),
+                ],
+            ),
+            Response::Updated {
+                id,
+                op,
+                changed,
+                generation,
+            } => with_id(
+                *id,
+                vec![
+                    field("ok", Json::Bool(true)),
+                    field("op", Json::Str((*op).into())),
+                    field("changed", Json::Bool(*changed)),
+                    field("generation", Json::Int(*generation as i128)),
+                ],
+            ),
+            Response::Budget {
+                id,
+                principal,
+                budget,
+                spent,
+                remaining,
+            } => with_id(
+                *id,
+                vec![
+                    field("ok", Json::Bool(true)),
+                    field("op", Json::Str("budget".into())),
+                    field("principal", Json::Str(principal.clone())),
+                    field("budget", opt_num(*budget)),
+                    field("spent", Json::Num(*spent)),
+                    field("remaining", opt_num(*remaining)),
+                ],
+            ),
+            Response::Stats {
+                id,
+                generation,
+                release_cache_entries,
+                release_cache_hits,
+                release_cache_misses,
+                principals,
+            } => with_id(
+                *id,
+                vec![
+                    field("ok", Json::Bool(true)),
+                    field("op", Json::Str("stats".into())),
+                    field("generation", Json::Int(*generation as i128)),
+                    field(
+                        "release_cache_entries",
+                        Json::Int(*release_cache_entries as i128),
+                    ),
+                    field("release_cache_hits", Json::Int(*release_cache_hits as i128)),
+                    field(
+                        "release_cache_misses",
+                        Json::Int(*release_cache_misses as i128),
+                    ),
+                    field("principals", Json::Int(*principals as i128)),
+                ],
+            ),
+            Response::Batch { id, responses } => with_id(
+                *id,
+                vec![
+                    field("ok", Json::Bool(true)),
+                    field("op", Json::Str("batch".into())),
+                    field(
+                        "responses",
+                        Json::Arr(responses.iter().map(Response::to_json).collect()),
+                    ),
+                ],
+            ),
+            Response::Shutdown { id } => with_id(
+                *id,
+                vec![
+                    field("ok", Json::Bool(true)),
+                    field("op", Json::Str("shutdown".into())),
+                ],
+            ),
+            Response::Error { id, error } => with_id(
+                *id,
+                vec![
+                    field("ok", Json::Bool(false)),
+                    field("error", Json::Str(error.clone())),
+                ],
+            ),
+        }
+    }
+
+    /// The response as one protocol frame (no trailing newline).
+    pub fn render_line(&self) -> String {
+        self.to_json().render_compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_release_with_defaults() {
+        let r = Request::parse_line(r#"{"op":"release","query":"Q(*) :- Edge(x,y)"}"#).unwrap();
+        match r {
+            Request::Release(r) => {
+                assert_eq!(r.id, None);
+                assert_eq!(r.principal, "default");
+                assert_eq!(r.method, SensitivityMethod::Residual);
+                assert_eq!(r.epsilon, None);
+                assert_eq!(r.query, "Q(*) :- Edge(x,y)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_release_with_everything() {
+        let r = Request::parse_line(
+            r#"{"op":"release","query":"q","principal":"alice","method":"elastic","epsilon":0.5,"id":9}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Release(r) => {
+                assert_eq!(r.id, Some(9));
+                assert_eq!(r.principal, "alice");
+                assert_eq!(r.method, SensitivityMethod::Elastic);
+                assert_eq!(r.epsilon, Some(0.5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mutations_and_admin_ops() {
+        assert_eq!(
+            Request::parse_line(r#"{"op":"insert","relation":"Edge","tuple":[1,4]}"#).unwrap(),
+            Request::Insert {
+                id: None,
+                relation: "Edge".into(),
+                tuple: vec![1, 4]
+            }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op":"remove","relation":"Edge","tuple":[-1,2],"id":3}"#)
+                .unwrap(),
+            Request::Remove {
+                id: Some(3),
+                relation: "Edge".into(),
+                tuple: vec![-1, 2]
+            }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op":"budget","principal":"alice"}"#).unwrap(),
+            Request::Budget {
+                id: None,
+                principal: "alice".into()
+            }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats { id: None }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op":"shutdown","id":1}"#).unwrap(),
+            Request::Shutdown { id: Some(1) }
+        );
+    }
+
+    #[test]
+    fn parses_batches_of_releases_only() {
+        let r = Request::parse_line(
+            r#"{"op":"batch","id":5,"requests":[{"query":"a"},{"op":"release","query":"b"}]}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Batch { id, requests } => {
+                assert_eq!(id, Some(5));
+                assert_eq!(requests.len(), 2);
+                assert_eq!(requests[1].query, "b");
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = Request::parse_line(
+            r#"{"op":"batch","requests":[{"op":"insert","relation":"R","tuple":[1]}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("release"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        for bad in [
+            "",
+            "not json",
+            "[]",
+            r#"{"op":"dance"}"#,
+            r#"{"op":"release"}"#,
+            r#"{"op":"release","query":7}"#,
+            r#"{"op":"release","query":"q","method":"sideways"}"#,
+            r#"{"op":"release","query":"q","epsilon":"lots"}"#,
+            r#"{"op":"release","query":"q","id":"seven"}"#,
+            r#"{"op":"insert","relation":"R","tuple":[]}"#,
+            r#"{"op":"insert","relation":"R","tuple":[1.5]}"#,
+            r#"{"op":"insert","tuple":[1]}"#,
+            r#"{"op":"budget"}"#,
+        ] {
+            assert!(Request::parse_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn responses_render_as_single_line_json() {
+        let rel = Release {
+            value: 12.5,
+            sensitivity: 3.0,
+            scale: 30.0,
+            epsilon: 1.0,
+            expected_error: 30.0,
+        };
+        let resp = Response::Release {
+            id: Some(2),
+            method: SensitivityMethod::Residual,
+            release: rel,
+            cached: true,
+            generation: 4,
+            remaining: None,
+        };
+        let line = resp.render_line();
+        assert!(!line.contains('\n'));
+        let parsed = dpcq_wire::Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("id").and_then(Json::as_i128), Some(2));
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(parsed.get("value").and_then(Json::as_f64), Some(12.5));
+        assert_eq!(parsed.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(parsed.get("generation").and_then(Json::as_i128), Some(4));
+        assert_eq!(parsed.get("remaining"), Some(&Json::Null));
+
+        let err = Response::Error {
+            id: None,
+            error: "nope".into(),
+        };
+        let parsed = dpcq_wire::Json::parse(&err.render_line()).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(parsed.get("error").and_then(Json::as_str), Some("nope"));
+        assert_eq!(parsed.get("id"), None);
+    }
+
+    #[test]
+    fn batch_response_nests() {
+        let resp = Response::Batch {
+            id: Some(1),
+            responses: vec![Response::Error {
+                id: Some(2),
+                error: "x".into(),
+            }],
+        };
+        let parsed = dpcq_wire::Json::parse(&resp.render_line()).unwrap();
+        let inner = parsed.get("responses").and_then(Json::as_array).unwrap();
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner[0].get("ok").and_then(Json::as_bool), Some(false));
+    }
+}

@@ -1,0 +1,689 @@
+//! The serving front-end: request handling, concurrency, and the TCP
+//! accept loop.
+//!
+//! ## Concurrency model
+//!
+//! The [`PrivateEngine`] sits behind an `RwLock`. Releases take the read
+//! lock — many evaluate concurrently, and all of them share the engine's
+//! per-query `T`-family stores — while mutations take the write lock,
+//! bump the engine generation, and purge the release cache. Holding the
+//! read lock across an entire release pins the generation: an answer is
+//! always computed against, and cached under, one consistent database
+//! state.
+//!
+//! Budget is accounted *around* evaluation (reserve → evaluate →
+//! commit/refund; see the `budget` module): a racing pair of requests
+//! can never jointly overspend, and a failed evaluation refunds in full.
+//! Cache hits never touch the ledger — replaying a published answer is
+//! post-processing (see the `cache` module).
+//!
+//! Noise comes from one seeded RNG behind a mutex, taken only for the
+//! sampling instants. A fixed seed makes a single-connection session
+//! fully deterministic (the integration tests and the CI smoke test rely
+//! on this); concurrent sessions interleave their draws arbitrarily but
+//! each draw is still a fresh sample — determinism is a replay
+//! convenience, never a privacy requirement.
+//!
+//! ## Batching
+//!
+//! A `batch` request evaluates all entries under one engine read lock
+//! (one database snapshot) and *groups same-shape queries* so that a
+//! shape's entries run back-to-back: the first entry warms the engine's
+//! family store, the rest replay it at distinct ε values without
+//! rebuilding a single factor. Responses come back in request order.
+
+use crate::budget::BudgetAccountant;
+use crate::cache::{ReleaseCache, ReleaseKey};
+use crate::protocol::{ReleaseRequest, Request, Response};
+use dpcq::prelude::*;
+use dpcq::relation::FxHashMap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Serving-policy knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// ε for release requests that don't specify one.
+    pub default_epsilon: f64,
+    /// Total ε granted to each principal (`f64::INFINITY` = unmetered).
+    pub default_budget: f64,
+    /// Noise RNG seed (`None` = OS entropy). Fixed seeds make single-
+    /// connection sessions deterministic — for tests and demos only.
+    pub seed: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            default_epsilon: 1.0,
+            default_budget: f64::INFINITY,
+            seed: None,
+        }
+    }
+}
+
+/// A concurrent serving layer over one [`PrivateEngine`].
+///
+/// Use in-process through [`Server::handle`] /
+/// [`Server::handle_line`], or over TCP through [`Server::serve`].
+#[derive(Debug)]
+pub struct Server {
+    engine: RwLock<PrivateEngine>,
+    budget: BudgetAccountant,
+    cache: ReleaseCache,
+    rng: Mutex<StdRng>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    /// The bound TCP address while `serve` runs (used to wake the accept
+    /// loop on shutdown).
+    bound: Mutex<Option<SocketAddr>>,
+}
+
+impl Server {
+    /// Wraps an engine. The engine's own per-release ε is superseded by
+    /// per-request ε (or `config.default_epsilon`); its policy, threads,
+    /// and database carry over.
+    pub fn new(engine: PrivateEngine, config: ServerConfig) -> Self {
+        assert!(
+            config.default_epsilon > 0.0 && config.default_epsilon.is_finite(),
+            "default epsilon must be positive"
+        );
+        let rng = match config.seed {
+            Some(s) => StdRng::seed_from_u64(s),
+            None => StdRng::from_entropy(),
+        };
+        Server {
+            engine: RwLock::new(engine),
+            budget: BudgetAccountant::new(config.default_budget),
+            cache: ReleaseCache::new(),
+            rng: Mutex::new(rng),
+            config,
+            shutdown: AtomicBool::new(false),
+            bound: Mutex::new(None),
+        }
+    }
+
+    /// The budget ledgers (for out-of-band configuration, e.g. the CLI
+    /// granting a principal a custom budget).
+    pub fn budget(&self) -> &BudgetAccountant {
+        &self.budget
+    }
+
+    /// Whether a shutdown request has been handled.
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Handles one request against current server state.
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Release(r) => {
+                let engine = self.engine.read().expect("engine lock poisoned");
+                self.handle_release(&engine, &r)
+            }
+            Request::Batch { id, requests } => {
+                // One read lock = one database snapshot for the whole
+                // group; same-shape queries run consecutively so later
+                // ones hit the warmed family store.
+                let engine = self.engine.read().expect("engine lock poisoned");
+                let mut first_of_shape: FxHashMap<&str, usize> = FxHashMap::default();
+                for (i, r) in requests.iter().enumerate() {
+                    first_of_shape.entry(r.query.as_str()).or_insert(i);
+                }
+                let mut order: Vec<usize> = (0..requests.len()).collect();
+                order.sort_by_key(|&i| (first_of_shape[requests[i].query.as_str()], i));
+                let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
+                for i in order {
+                    responses[i] = Some(self.handle_release(&engine, &requests[i]));
+                }
+                Response::Batch {
+                    id,
+                    responses: responses
+                        .into_iter()
+                        .map(|r| r.expect("every entry handled"))
+                        .collect(),
+                }
+            }
+            Request::Insert {
+                id,
+                relation,
+                tuple,
+            } => self.handle_mutation(id, "insert", &relation, &tuple),
+            Request::Remove {
+                id,
+                relation,
+                tuple,
+            } => self.handle_mutation(id, "remove", &relation, &tuple),
+            Request::Budget { id, principal } => Response::Budget {
+                id,
+                budget: finite(self.budget.budget(&principal)),
+                spent: self.budget.spent(&principal),
+                remaining: finite(self.budget.remaining(&principal)),
+                principal,
+            },
+            Request::Stats { id } => {
+                let engine = self.engine.read().expect("engine lock poisoned");
+                let (hits, misses) = self.cache.counters();
+                Response::Stats {
+                    id,
+                    generation: engine.generation(),
+                    release_cache_entries: self.cache.len(),
+                    release_cache_hits: hits,
+                    release_cache_misses: misses,
+                    principals: self.budget.num_principals(),
+                }
+            }
+            Request::Shutdown { id } => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                self.wake_listener();
+                Response::Shutdown { id }
+            }
+        }
+    }
+
+    /// Handles one protocol frame: parse, dispatch, render. Parse errors
+    /// come back as error frames (with no id — an unparseable frame has
+    /// no trustworthy id).
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match Request::parse_line(line) {
+            Ok(req) => self.handle(req),
+            Err(error) => Response::Error { id: None, error },
+        };
+        response.render_line()
+    }
+
+    fn handle_release(&self, engine: &PrivateEngine, r: &ReleaseRequest) -> Response {
+        let err = |error: String| Response::Error { id: r.id, error };
+        let epsilon = r.epsilon.unwrap_or(self.config.default_epsilon);
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return err(format!(
+                "epsilon must be positive and finite, got {epsilon}"
+            ));
+        }
+        let query = match parse_query(&r.query) {
+            Ok(q) => q,
+            Err(e) => return err(format!("query does not parse: {e}")),
+        };
+        // Key by the *re-rendered* query so textual variants of one query
+        // share a cache entry.
+        let generation = engine.generation();
+        let key = ReleaseKey::new(&query.to_string(), r.method, epsilon, generation);
+        if let Some(release) = self.cache.get(&key) {
+            return Response::Release {
+                id: r.id,
+                method: r.method,
+                release,
+                cached: true,
+                generation,
+                remaining: finite(self.budget.remaining(&r.principal)),
+            };
+        }
+        let reservation = match self.budget.reserve(&r.principal, epsilon) {
+            Ok(res) => res,
+            Err(e) => return err(e.to_string()),
+        };
+        // The expensive deterministic half (count + sensitivity) runs
+        // outside the RNG lock so concurrent releases evaluate in
+        // parallel; the lock is held only for the sampling instant.
+        match engine.prepare_release(&query, r.method, epsilon) {
+            Ok(pending) => {
+                let release = {
+                    let mut rng = self.rng.lock().expect("rng lock poisoned");
+                    pending.sample(&mut *rng)
+                };
+                // Commit before answering: once the noisy value exists it
+                // counts as spent even if the client never reads it.
+                reservation.commit();
+                self.cache.put(key, release);
+                Response::Release {
+                    id: r.id,
+                    method: r.method,
+                    release,
+                    cached: false,
+                    generation,
+                    remaining: finite(self.budget.remaining(&r.principal)),
+                }
+            }
+            // `reservation` drops here → automatic refund: a failed
+            // evaluation released nothing.
+            Err(e) => err(format!("release failed: {e}")),
+        }
+    }
+
+    fn handle_mutation(
+        &self,
+        id: Option<i64>,
+        op: &'static str,
+        relation: &str,
+        tuple: &[i64],
+    ) -> Response {
+        let row: Vec<Value> = tuple.iter().map(|&v| Value(v)).collect();
+        let mut engine = self.engine.write().expect("engine lock poisoned");
+        if let Some(rel) = engine.database().relation(relation) {
+            if rel.arity() != row.len() {
+                return Response::Error {
+                    id,
+                    error: format!(
+                        "arity mismatch: `{relation}` stores {}-tuples, got {}",
+                        rel.arity(),
+                        row.len()
+                    ),
+                };
+            }
+        }
+        let changed = match op {
+            "insert" => engine.insert_tuple(relation, &row),
+            _ => engine.remove_tuple(relation, &row),
+        };
+        let generation = engine.generation();
+        if changed {
+            // The engine dropped its family caches; drop the now-stale
+            // released answers too.
+            self.cache.retain_generation(generation);
+        }
+        Response::Updated {
+            id,
+            op,
+            changed,
+            generation,
+        }
+    }
+
+    /// Serves newline-delimited JSON over TCP until a `shutdown` request
+    /// arrives: one thread per connection, one response line per request
+    /// line. Connection reads poll with a short timeout so every thread
+    /// observes shutdown promptly; `serve` joins them all before
+    /// returning, which guarantees in-flight responses (including the
+    /// shutdown acknowledgement itself) are flushed before the caller can
+    /// exit the process.
+    pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
+        *self.bound.lock().expect("bound lock poisoned") = listener.local_addr().ok();
+        let mut workers = Vec::new();
+        for stream in listener.incoming() {
+            if self.is_shut_down() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            // Reap finished connections as we go so a long-lived server
+            // holds handles only for the live ones.
+            workers.retain(|w: &std::thread::JoinHandle<()>| !w.is_finished());
+            let server = Arc::clone(self);
+            workers.push(std::thread::spawn(move || server.serve_connection(stream)));
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        *self.bound.lock().expect("bound lock poisoned") = None;
+        Ok(())
+    }
+
+    fn serve_connection(&self, stream: TcpStream) {
+        // Poll-timeout reads: an idle connection wakes every interval to
+        // check the shutdown flag instead of blocking forever (which
+        // would make the serve-side join hang on idle clients).
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        let mut line = String::new();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break, // EOF: client hung up
+                Ok(_) => {
+                    let frame = line.trim();
+                    if !frame.is_empty() {
+                        let out = self.handle_line(frame);
+                        if writeln!(writer, "{out}")
+                            .and_then(|()| writer.flush())
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    if self.is_shut_down() {
+                        break;
+                    }
+                    line.clear();
+                }
+                // Timeout mid-wait: partially read bytes (if any) stay in
+                // `line` and the next round appends the rest.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if self.is_shut_down() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Unblocks the accept loop after the shutdown flag is set (a no-op
+    /// when not serving TCP).
+    fn wake_listener(&self) {
+        let addr = *self.bound.lock().expect("bound lock poisoned");
+        if let Some(addr) = addr {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+        }
+    }
+}
+
+/// Finite values only (`None` = infinite, rendered as JSON `null`).
+fn finite(v: f64) -> Option<f64> {
+    v.is_finite().then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpcq::SensitivityMethod;
+
+    fn sym_db() -> Database {
+        let mut db = Database::new();
+        for (u, v) in [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4)] {
+            db.insert_tuple("Edge", &[Value(u), Value(v)]);
+            db.insert_tuple("Edge", &[Value(v), Value(u)]);
+        }
+        db
+    }
+
+    fn test_server(budget: f64) -> Server {
+        Server::new(
+            PrivateEngine::new(sym_db(), Policy::all_private(), 1.0).with_threads(1),
+            ServerConfig {
+                default_epsilon: 1.0,
+                default_budget: budget,
+                seed: Some(42),
+            },
+        )
+    }
+
+    fn release_req(query: &str, principal: &str, epsilon: Option<f64>) -> Request {
+        Request::Release(ReleaseRequest {
+            id: None,
+            principal: principal.into(),
+            query: query.into(),
+            method: SensitivityMethod::Residual,
+            epsilon,
+        })
+    }
+
+    const TRIANGLE: &str =
+        "Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), x1 != x2, x2 != x3, x1 != x3";
+
+    #[test]
+    fn release_spends_and_repeat_is_cached_and_free() {
+        let server = test_server(1.5);
+        let first = server.handle(release_req(TRIANGLE, "alice", Some(1.0)));
+        let Response::Release {
+            release: r1,
+            cached: c1,
+            remaining: rem1,
+            ..
+        } = first
+        else {
+            panic!("{first:?}")
+        };
+        assert!(!c1);
+        assert!((rem1.unwrap() - 0.5).abs() < 1e-9);
+
+        // Identical request (even from another principal): replayed
+        // bit-for-bit, no budget movement anywhere.
+        for principal in ["alice", "bob"] {
+            let again = server.handle(release_req(TRIANGLE, principal, Some(1.0)));
+            let Response::Release {
+                release: r2,
+                cached: c2,
+                ..
+            } = again
+            else {
+                panic!("{again:?}")
+            };
+            assert!(c2);
+            assert_eq!(r1, r2);
+        }
+        assert_eq!(server.budget().spent("bob"), 0.0);
+        assert!((server.budget().spent("alice") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn textual_query_variants_share_one_cache_entry() {
+        let server = test_server(f64::INFINITY);
+        let a = server.handle(release_req("Q(*) :- Edge(x, y)", "p", Some(0.5)));
+        let b = server.handle(release_req("Q(*):-Edge( x ,y )", "p", Some(0.5)));
+        match (a, b) {
+            (
+                Response::Release {
+                    release: ra,
+                    cached: false,
+                    ..
+                },
+                Response::Release {
+                    release: rb,
+                    cached: true,
+                    ..
+                },
+            ) => assert_eq!(ra, rb),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_rejects_without_spending() {
+        let server = test_server(0.75);
+        let ok = server.handle(release_req(TRIANGLE, "alice", Some(0.5)));
+        assert!(matches!(ok, Response::Release { .. }), "{ok:?}");
+        let too_much = server.handle(release_req("Q(*) :- Edge(a,b)", "alice", Some(0.5)));
+        let Response::Error { error, .. } = too_much else {
+            panic!("{too_much:?}")
+        };
+        assert!(error.contains("budget exhausted"), "{error}");
+        assert!((server.budget().spent("alice") - 0.5).abs() < 1e-9);
+        // The remaining 0.25 still works.
+        let fits = server.handle(release_req("Q(*) :- Edge(a,b)", "alice", Some(0.25)));
+        assert!(matches!(fits, Response::Release { .. }), "{fits:?}");
+    }
+
+    #[test]
+    fn failed_release_refunds() {
+        let server = test_server(1.0);
+        // Unknown relation → evaluation error → full refund.
+        let r = server.handle(release_req("Q(*) :- Nope(x, y)", "alice", Some(0.5)));
+        assert!(matches!(r, Response::Error { .. }), "{r:?}");
+        assert_eq!(server.budget().spent("alice"), 0.0);
+        assert_eq!(server.budget().remaining("alice"), 1.0);
+    }
+
+    #[test]
+    fn mutation_invalidates_the_release_cache() {
+        let server = test_server(f64::INFINITY);
+        let q = "Q(*) :- Edge(x, y)";
+        let first = server.handle(release_req(q, "p", Some(1.0)));
+        let Response::Release {
+            release: r1,
+            generation: g1,
+            ..
+        } = first
+        else {
+            panic!("{first:?}")
+        };
+        assert_eq!(g1, 0);
+
+        // A no-op insert (tuple already present) invalidates nothing.
+        let noop = server.handle(Request::Insert {
+            id: None,
+            relation: "Edge".into(),
+            tuple: vec![1, 2],
+        });
+        assert!(
+            matches!(
+                noop,
+                Response::Updated {
+                    changed: false,
+                    generation: 0,
+                    ..
+                }
+            ),
+            "{noop:?}"
+        );
+        let still = server.handle(release_req(q, "p", Some(1.0)));
+        assert!(matches!(still, Response::Release { cached: true, .. }));
+
+        // An effective insert bumps the generation; the next release
+        // recomputes against the new instance.
+        let ins = server.handle(Request::Insert {
+            id: None,
+            relation: "Edge".into(),
+            tuple: vec![9, 10],
+        });
+        let Response::Updated {
+            changed: true,
+            generation: g2,
+            ..
+        } = ins
+        else {
+            panic!("{ins:?}")
+        };
+        assert_eq!(g2, 1);
+        let after = server.handle(release_req(q, "p", Some(1.0)));
+        let Response::Release {
+            release: r2,
+            cached,
+            generation,
+            ..
+        } = after
+        else {
+            panic!("{after:?}")
+        };
+        assert!(!cached);
+        assert_eq!(generation, 1);
+        assert_ne!(r1, r2); // 21 edges now, and a fresh noise draw
+
+        // Removing the tuple again restores the count but NOT the old
+        // cache entry (generation 2 ≠ 0): answers never travel backwards.
+        let rm = server.handle(Request::Remove {
+            id: None,
+            relation: "Edge".into(),
+            tuple: vec![9, 10],
+        });
+        assert!(matches!(
+            rm,
+            Response::Updated {
+                changed: true,
+                generation: 2,
+                ..
+            }
+        ));
+        let fresh = server.handle(release_req(q, "p", Some(1.0)));
+        assert!(matches!(fresh, Response::Release { cached: false, .. }));
+    }
+
+    #[test]
+    fn mutation_arity_mismatch_is_rejected() {
+        let server = test_server(f64::INFINITY);
+        let r = server.handle(Request::Insert {
+            id: Some(4),
+            relation: "Edge".into(),
+            tuple: vec![1, 2, 3],
+        });
+        let Response::Error { id, error } = r else {
+            panic!("{r:?}")
+        };
+        assert_eq!(id, Some(4));
+        assert!(error.contains("arity"), "{error}");
+        // Nothing changed.
+        let stats = server.handle(Request::Stats { id: None });
+        assert!(matches!(stats, Response::Stats { generation: 0, .. }));
+    }
+
+    #[test]
+    fn batch_groups_same_shape_queries_and_preserves_order() {
+        let server = test_server(f64::INFINITY);
+        let entry = |query: &str, id: i64, epsilon: f64| ReleaseRequest {
+            id: Some(id),
+            principal: "p".into(),
+            query: query.into(),
+            method: SensitivityMethod::Residual,
+            epsilon: Some(epsilon),
+        };
+        // Interleaved shapes; distinct ε so nothing is answer-cached.
+        let batch = Request::Batch {
+            id: Some(100),
+            requests: vec![
+                entry(TRIANGLE, 0, 0.11),
+                entry("Q(*) :- Edge(a,b)", 1, 0.12),
+                entry(TRIANGLE, 2, 0.13),
+                entry("Q(*) :- Edge(a,b)", 3, 0.14),
+            ],
+        };
+        let resp = server.handle(batch);
+        let Response::Batch { id, responses } = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(id, Some(100));
+        assert_eq!(responses.len(), 4);
+        for (i, r) in responses.iter().enumerate() {
+            let Response::Release { id, cached, .. } = r else {
+                panic!("entry {i}: {r:?}")
+            };
+            assert_eq!(*id, Some(i as i64), "order preserved");
+            assert!(!cached);
+        }
+        // 4 × distinct ε committed.
+        assert!((server.budget().spent("p") - 0.5).abs() < 1e-9);
+        // The family store was shared: the triangle shape was built once.
+        let q = parse_query(TRIANGLE).unwrap();
+        let engine = server.engine.read().unwrap();
+        let stats = engine.family_stats(&q);
+        assert!(stats.value_hits > 0, "stats {stats:?}");
+    }
+
+    #[test]
+    fn handle_line_end_to_end() {
+        let server = test_server(2.0);
+        let line = format!(
+            r#"{{"op":"release","query":"{}","principal":"alice","epsilon":0.5,"id":1}}"#,
+            "Q(*) :- Edge(x, y)"
+        );
+        let out = server.handle_line(&line);
+        let parsed = dpcq_wire::Json::parse(&out).unwrap();
+        assert_eq!(
+            parsed.get("ok").and_then(dpcq_wire::Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(parsed.get("id").and_then(dpcq_wire::Json::as_i128), Some(1));
+        let bad = server.handle_line("{{nope");
+        assert!(bad.contains("\"ok\":false"), "{bad}");
+        // Stats reflect the session.
+        let stats = server.handle_line(r#"{"op":"stats"}"#);
+        let parsed = dpcq_wire::Json::parse(&stats).unwrap();
+        assert_eq!(
+            parsed
+                .get("release_cache_entries")
+                .and_then(dpcq_wire::Json::as_i128),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn shutdown_sets_the_flag() {
+        let server = test_server(1.0);
+        assert!(!server.is_shut_down());
+        let r = server.handle(Request::Shutdown { id: Some(7) });
+        assert!(matches!(r, Response::Shutdown { id: Some(7) }));
+        assert!(server.is_shut_down());
+    }
+}

@@ -1,0 +1,534 @@
+//! # dpcq-wire — a minimal, dependency-free JSON document model
+//!
+//! One implementation serves every place the workspace speaks JSON: the
+//! machine-readable benchmark artifacts (`BENCH_te.json`, written and
+//! re-read by `dpcq-bench`'s `bench_json --check`/`--compare`) and the
+//! newline-delimited wire protocol of `dpcq-server`. The container this
+//! workspace builds in has no crates.io access, so this stays a small
+//! hand-rolled tree model rather than a serde stand-in.
+//!
+//! Two renderers cover both consumers:
+//!
+//! * [`Json::render`] — pretty-printed with a trailing newline, for
+//!   human-diffable committed artifacts;
+//! * [`Json::render_compact`] — single-line, no interior newlines (string
+//!   newlines are escaped by the grammar), for newline-delimited protocol
+//!   frames.
+//!
+//! [`Json::parse`] reads both forms.
+
+/// A minimal JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (benchmark medians in ns are exact integers).
+    Int(i128),
+    /// A float; non-finite values render as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object field list.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Parses a JSON document (the counterpart of [`Json::render`] /
+    /// [`Json::render_compact`]). Numbers without fraction or exponent
+    /// parse as [`Json::Int`].
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of [`Json::Int`] / [`Json::Num`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of [`Json::Int`].
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view of [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view of [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view of [`Json::Arr`].
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object-entry view of [`Json::Obj`].
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn escape(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn write_num(f: f64, out: &mut String) {
+        // Keep a decimal point on integral floats so a parse round-trip
+        // preserves the Int/Num distinction.
+        if f.is_finite() && f.fract() == 0.0 && f.abs() < 1e15 {
+            out.push_str(&format!("{f:.1}"));
+        } else if f.is_finite() {
+            out.push_str(&format!("{f}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+
+    fn write(&self, indent: usize, out: &mut String) {
+        let pad = |n: usize, out: &mut String| out.push_str(&"  ".repeat(n));
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(f) => Json::write_num(*f, out),
+            Json::Str(s) => Json::escape(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(indent + 1, out);
+                    item.write(indent + 1, out);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(indent, out);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(indent + 1, out);
+                    Json::escape(k, out);
+                    out.push_str(": ");
+                    v.write(indent + 1, out);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(indent, out);
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(f) => Json::write_num(*f, out),
+            Json::Str(s) => Json::escape(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::escape(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders the document (pretty-printed, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(0, &mut out);
+        out.push('\n');
+        out
+    }
+
+    /// Renders the document on a single line with no interior newlines —
+    /// a valid frame for newline-delimited protocols (string contents are
+    /// escaped by the JSON grammar, so the only `\n` a consumer sees is
+    /// the frame delimiter the caller appends).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+}
+
+/// Recursive-descent parser behind [`Json::parse`].
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                    }
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated utf-8".to_string())?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if text.is_empty() || text == "-" {
+            return Err(format!("expected a value at byte {start}"));
+        }
+        if fractional {
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number `{text}`: {e}"))
+        } else {
+            text.parse::<i128>()
+                .map(Json::Int)
+                .map_err(|e| format!("bad number `{text}`: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> Json {
+        Json::obj([
+            ("name", Json::Str("a \"b\"\nç".into())),
+            ("n", Json::Int(-42)),
+            ("big", Json::Int(14219838995)),
+            ("ratio", Json::Num(2.5)),
+            ("exp", Json::Num(1.5e-3)),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+            ("items", Json::Arr(vec![Json::Int(1), Json::Null])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+            (
+                "nested",
+                Json::obj([("floors", Json::obj([("x", Json::Num(2.0))]))]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn parse_roundtrips_rendered_documents() {
+        let doc = sample_doc();
+        let parsed = Json::parse(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.get("n").and_then(Json::as_i128), Some(-42));
+        assert_eq!(parsed.get("ratio").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(
+            parsed.get("name").and_then(Json::as_str),
+            Some("a \"b\"\nç")
+        );
+        assert_eq!(
+            parsed.get("items").and_then(Json::as_array).unwrap().len(),
+            2
+        );
+        let floors = parsed.get("nested").and_then(|n| n.get("floors")).unwrap();
+        assert_eq!(floors.entries().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn parse_roundtrips_compact_documents() {
+        let doc = sample_doc();
+        let line = doc.render_compact();
+        // A protocol frame: single line, even with embedded string newlines.
+        assert!(!line.contains('\n'));
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+    }
+
+    #[test]
+    fn compact_and_pretty_agree() {
+        let doc = sample_doc();
+        assert_eq!(
+            Json::parse(&doc.render()).unwrap(),
+            Json::parse(&doc.render_compact()).unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nulls").is_err());
+    }
+
+    #[test]
+    fn parse_unicode_escape() {
+        let v = Json::parse("\"a\\u0041\\t\"").unwrap();
+        assert_eq!(v.as_str(), Some("aA\t"));
+    }
+
+    #[test]
+    fn renders_and_escapes() {
+        let doc = Json::obj([
+            ("name", Json::Str("a \"b\"\n".into())),
+            ("n", Json::Int(42)),
+            ("ratio", Json::Num(2.5)),
+            ("nan", Json::Num(f64::NAN)),
+            ("flag", Json::Bool(true)),
+            ("items", Json::Arr(vec![Json::Int(1), Json::Null])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = doc.render();
+        assert!(s.contains("\"a \\\"b\\\"\\n\""));
+        assert!(s.contains("\"n\": 42"));
+        assert!(s.contains("\"ratio\": 2.5"));
+        assert!(s.contains("\"nan\": null"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+        let c = doc.render_compact();
+        assert!(c.contains("\"n\":42"));
+        assert!(c.contains("\"nan\":null"));
+    }
+
+    #[test]
+    fn bool_view() {
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::Int(1).as_bool(), None);
+    }
+}
