@@ -22,6 +22,17 @@
 //! family) so scratch-reuse regressions are visible even on hosts whose
 //! wall-clock is noisy.
 //!
+//! The artifact's `cache` section (schema v3) comes from a **mutation
+//! serving workload**: an interleaved insert/release script on a
+//! two-relation database driven through a real `dpcq_server::Server`
+//! twice — once with the default read-set-scoped invalidation and once
+//! against the wholesale-invalidation oracle — recording release-cache
+//! hit rates, scoped retention counters, and the number of `T`-family
+//! factors each mode actually built. The counters are deterministic
+//! (seeded server, fixed script), so unlike the timing medians they are
+//! comparable across hosts; the run aborts if scoping ever fails to beat
+//! wholesale on cache hits.
+//!
 //! Usage: `bench_json [--quick] [--threads N] [--reps N] [--seed N]
 //! [--out PATH] [--check] [--baseline PATH] [--compare PATH]`.
 //!
@@ -35,10 +46,13 @@
 
 use dpcq::eval::{Evaluator, FamilyEvaluator};
 use dpcq::graph::queries;
+use dpcq::prelude::PrivateEngine;
 use dpcq::query::{parse_query, ConjunctiveQuery, Policy};
 use dpcq::relation::{Database, Value};
 use dpcq::sensitivity::prep::{default_threads, required_subsets};
+use dpcq::SensitivityMethod;
 use dpcq_bench::{current_thread_allocs, fmt_secs, median_ns, time, Args, Json, Table};
+use dpcq_server::{ReleaseRequest, Request, Response, Server, ServerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -162,6 +176,227 @@ fn workloads(quick: bool, seed: u64) -> Vec<Workload> {
             floors: &[("multithread_vs_1thread", 1.1)],
         },
     ]
+}
+
+// --- mutation serving workload (the v3 `cache` section) -----------------
+
+/// Counter deltas of one mode's run of the mutation serving script.
+struct CacheRun {
+    elapsed: Duration,
+    release_cache_hits: u64,
+    release_cache_misses: u64,
+    scoped_retained: u64,
+    scoped_dropped: u64,
+    /// `T`-family factors built for `Q_R` across the whole script
+    /// (accumulated across invalidation resets).
+    qr_factors_built: u64,
+    /// Residual values computed for `Q_R` across the whole script.
+    qr_values_computed: u64,
+}
+
+/// A two-relation symmetric-graph database: `R` (the retained side's read
+/// set) and `S` (the mutated side's).
+fn two_relation_db(rng: &mut StdRng, nodes: i64, edges: usize) -> Database {
+    let mut db = Database::new();
+    for rel in ["R", "S"] {
+        db.create_relation(rel, 2);
+        for _ in 0..edges {
+            let u = rng.gen_range(0..nodes);
+            let v = rng.gen_range(0..nodes);
+            if u != v {
+                db.insert_tuple(rel, &[Value(u), Value(v)]);
+                db.insert_tuple(rel, &[Value(v), Value(u)]);
+            }
+        }
+    }
+    db
+}
+
+/// Drives the interleaved insert/release script against one server mode
+/// and reports its counters. The script warms releases for a triangle
+/// over `R` and a triangle over `S`, then per round inserts one fresh
+/// tuple into `S` and re-requests both releases at their original ε —
+/// the regime scoped invalidation exists for: every `Q_R` re-request is
+/// a free cache replay under scoping and a full recomputation under
+/// wholesale invalidation.
+fn run_cache_script(engine: PrivateEngine, rounds: usize) -> CacheRun {
+    let q_r_text = "Q(*) :- R(x,y), R(y,z), R(x,z)";
+    let q_s_text = "Q(*) :- S(x,y), S(y,z), S(x,z)";
+    let q_r = parse_query(q_r_text).expect("workload query parses");
+    let server = Server::new(
+        engine,
+        ServerConfig {
+            default_epsilon: 1.0,
+            default_budget: f64::INFINITY,
+            seed: Some(7),
+        },
+    );
+    let release = |q: &str| {
+        let resp = server.handle(Request::Release(ReleaseRequest {
+            id: None,
+            principal: "bench".into(),
+            query: q.into(),
+            method: SensitivityMethod::Residual,
+            epsilon: Some(0.5),
+        }));
+        assert!(
+            matches!(resp, Response::Release { .. }),
+            "workload release failed: {resp:?}"
+        );
+    };
+    // `family_stats` restarts from zero whenever a shape's cache is
+    // dropped, so a single running total cannot be read off at the end;
+    // instead measure each `Q_R` release's own contribution (no
+    // invalidation can interleave within one in-process release).
+    let mut qr_factors_built = 0u64;
+    let mut qr_values_computed = 0u64;
+    let mut release_qr_measured = || {
+        let before = server.engine().family_stats(&q_r);
+        release(q_r_text);
+        let after = server.engine().family_stats(&q_r);
+        qr_factors_built += after.factor_misses - before.factor_misses;
+        qr_values_computed += after.values_computed - before.values_computed;
+    };
+
+    let start = std::time::Instant::now();
+    release_qr_measured();
+    release(q_s_text);
+    for i in 0..rounds {
+        let resp = server.handle(Request::Insert {
+            id: None,
+            relation: "S".into(),
+            tuple: vec![1_000 + i as i64, 2_000 + i as i64],
+        });
+        assert!(
+            matches!(resp, Response::Updated { changed: true, .. }),
+            "workload insert failed: {resp:?}"
+        );
+        release_qr_measured();
+        release(q_s_text);
+    }
+    let elapsed = start.elapsed();
+
+    let stats = server.handle(Request::Stats { id: None });
+    let Response::Stats {
+        release_cache_hits,
+        release_cache_misses,
+        cache_scoped_hits,
+        cache_scoped_misses,
+        ..
+    } = stats
+    else {
+        panic!("stats failed: {stats:?}")
+    };
+    CacheRun {
+        elapsed,
+        release_cache_hits,
+        release_cache_misses,
+        scoped_retained: cache_scoped_hits,
+        scoped_dropped: cache_scoped_misses,
+        qr_factors_built,
+        qr_values_computed,
+    }
+}
+
+/// The v3 `cache` section: one deterministic mutation serving script, run
+/// under scoped and wholesale invalidation.
+fn cache_section(quick: bool, seed: u64, table: &mut Table) -> Json {
+    let rounds = if quick { 6 } else { 16 };
+    let (nodes, edges) = if quick { (60, 200) } else { (120, 600) };
+    let db = |seed: u64| two_relation_db(&mut StdRng::seed_from_u64(seed), nodes, edges);
+    let scoped = run_cache_script(
+        PrivateEngine::new(db(seed), Policy::all_private(), 1.0).with_threads(1),
+        rounds,
+    );
+    let wholesale = run_cache_script(
+        PrivateEngine::new(db(seed), Policy::all_private(), 1.0)
+            .with_threads(1)
+            .with_wholesale_invalidation(),
+        rounds,
+    );
+    // Deterministic non-regression gate: scoping must actually retain
+    // the cross-relation answers wholesale invalidation loses.
+    assert!(
+        scoped.release_cache_hits > wholesale.release_cache_hits,
+        "scoped invalidation stopped retaining cross-relation answers \
+         (scoped hits {}, wholesale hits {})",
+        scoped.release_cache_hits,
+        wholesale.release_cache_hits,
+    );
+    assert!(
+        scoped.qr_factors_built < wholesale.qr_factors_built,
+        "scoped invalidation stopped retaining the family cache \
+         (scoped built {}, wholesale built {})",
+        scoped.qr_factors_built,
+        wholesale.qr_factors_built,
+    );
+
+    let hit_rate = |r: &CacheRun| {
+        let total = r.release_cache_hits + r.release_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            r.release_cache_hits as f64 / total as f64
+        }
+    };
+    let mode_entry = |r: &CacheRun| {
+        Json::obj([
+            ("elapsed_ms", Json::Num(r.elapsed.as_secs_f64() * 1e3)),
+            (
+                "release_cache_hits",
+                Json::Int(r.release_cache_hits as i128),
+            ),
+            (
+                "release_cache_misses",
+                Json::Int(r.release_cache_misses as i128),
+            ),
+            ("release_cache_hit_rate", Json::Num(hit_rate(r))),
+            ("scoped_retained", Json::Int(r.scoped_retained as i128)),
+            ("scoped_dropped", Json::Int(r.scoped_dropped as i128)),
+            ("qr_factors_built", Json::Int(r.qr_factors_built as i128)),
+            (
+                "qr_values_computed",
+                Json::Int(r.qr_values_computed as i128),
+            ),
+        ])
+    };
+    for (mode, r) in [("scoped", &scoped), ("wholesale", &wholesale)] {
+        table.row(vec![
+            format!("mutation_serving/{mode}"),
+            (2 * (rounds + 1)).to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            fmt_secs(r.elapsed),
+            "-".to_string(),
+            format!("{:.0}% hit", 100.0 * hit_rate(r)),
+            format!("{} factors", r.qr_factors_built),
+        ]);
+    }
+    Json::obj([
+        (
+            "workload",
+            Json::Str("two_relation_mutation_serving".into()),
+        ),
+        (
+            "relations",
+            Json::Arr(vec![Json::Str("R".into()), Json::Str("S".into())]),
+        ),
+        ("mutations", Json::Int(rounds as i128)),
+        ("releases", Json::Int((2 * (rounds + 1)) as i128)),
+        (
+            "note",
+            Json::Str(
+                "interleaved insert-into-S / release(Q_R, Q_S) script over one \
+                 seeded server; scoped = read-set version stamps, wholesale = \
+                 drop-everything oracle. Counters are deterministic; elapsed is \
+                 host-dependent."
+                    .into(),
+            ),
+        ),
+        ("scoped", mode_entry(&scoped)),
+        ("wholesale", mode_entry(&wholesale)),
+    ])
 }
 
 /// `(subset, value)` pairs in family order, for cross-strategy checking.
@@ -383,8 +618,10 @@ fn main() {
         entries.push(Json::obj(fields));
     }
 
+    let cache = cache_section(quick, seed, &mut table);
+
     let doc = Json::obj([
-        ("schema", Json::Str("dpcq-bench-te/v2".to_string())),
+        ("schema", Json::Str("dpcq-bench-te/v3".to_string())),
         ("quick", Json::Bool(quick)),
         ("reps", Json::Int(reps as i128)),
         ("threads", Json::Int(threads as i128)),
@@ -401,6 +638,7 @@ fn main() {
             ),
         ),
         ("workloads", Json::Arr(entries)),
+        ("cache", cache),
     ]);
     std::fs::write(&out_path, doc.render()).expect("write benchmark artifact");
     println!("{}", table.render());

@@ -3,7 +3,7 @@
 use dpcq_eval::{Evaluator, FamilyCache, FamilyStats};
 use dpcq_noise::{LaplaceMechanism, Release, SmoothCauchyMechanism};
 use dpcq_query::{ConjunctiveQuery, Policy};
-use dpcq_relation::{Database, FxHashMap, Value};
+use dpcq_relation::{Database, FxHashMap, RelationVersion, Value, VersionStamp};
 use dpcq_sensitivity::{
     elastic_sensitivity, gs_bound, residual_sensitivity_report, RsParams, SensitivityError,
 };
@@ -67,18 +67,29 @@ impl FromStr for SensitivityMethod {
 /// [`PrivateEngine::prepare_release`]; `sample` is cheap and
 /// side-effect-free on the engine, so callers can scope RNG access
 /// tightly.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PendingRelease {
     method: SensitivityMethod,
     epsilon: f64,
     count: f64,
     sensitivity: f64,
+    stamp: VersionStamp,
 }
 
 impl PendingRelease {
     /// The sensitivity the noise will be calibrated to.
     pub fn sensitivity(&self) -> f64 {
         self.sensitivity
+    }
+
+    /// The read-set [`VersionStamp`] the deterministic half was computed
+    /// against (see [`PrivateEngine::read_set_stamp`]). A pending release
+    /// — and anything derived from it, e.g. a server's cached answer — is
+    /// valid exactly as long as the engine still reports this stamp for
+    /// the same query and method; mutations of relations outside the
+    /// read set leave it valid.
+    pub fn stamp(&self) -> &VersionStamp {
+        &self.stamp
     }
 
     /// Draws the noise and finalizes the release. Equivalent to what
@@ -105,18 +116,34 @@ impl PendingRelease {
 /// paper's Section 8). Budget *accounting* across queries and principals
 /// lives one layer up, in `dpcq-server`.
 ///
-/// ## Mutation and invalidation
+/// ## Mutation and scoped invalidation
 ///
 /// The database is mutable through [`PrivateEngine::insert_tuple`] /
 /// [`PrivateEngine::remove_tuple`]. Each residual-sensitivity release
 /// evaluates its `T` family against an engine-owned [`FamilyCache`] keyed
 /// by the query, so repeated releases of the same query shape skip factor
-/// building and residual evaluation entirely. Every effective mutation
-/// bumps a [generation counter](PrivateEngine::generation) and drops all
-/// of those caches — a cache is only sound while the instance it was
-/// filled on is byte-identical (see [`FamilyCache`]). Consumers that cache
-/// *results* derived from this engine (e.g. `dpcq-server`'s release
-/// cache) key their entries by the generation for the same reason.
+/// building and residual evaluation entirely.
+///
+/// Invalidation is scoped by **per-relation version vectors** (see
+/// `dpcq_relation::version`). Every release-relevant cached artifact is a
+/// pure function of the relations the query's atoms mention — its *read
+/// set*, derived from the query's self-join groups — so an effective
+/// mutation of relation `S`:
+///
+/// * bumps only `S`'s [`RelationVersion`] (visible through
+///   [`PrivateEngine::relation_versions`]);
+/// * drops only the per-shape `FamilyCache`s whose read set contains `S`
+///   — shapes over other relations keep their factors, residual values,
+///   and [`PrivateEngine::family_stats`] counters;
+/// * changes only the [`PrivateEngine::read_set_stamp`] of queries
+///   mentioning `S`, which is what downstream result caches (e.g.
+///   `dpcq-server`'s release cache) key their entries by.
+///
+/// Each retained `FamilyCache` also records the stamp it was built
+/// against and is revalidated on reuse ([`FamilyCache::is_valid_for`]).
+/// [`PrivateEngine::generation`] remains as the derived total of the
+/// version vector (one tick per effective mutation) for wire
+/// compatibility and coarse "did anything change" checks.
 #[derive(Debug)]
 pub struct PrivateEngine {
     db: Database,
@@ -125,12 +152,29 @@ pub struct PrivateEngine {
     /// Worker threads for the residual `T`-family (see
     /// [`RsParams::threads`]); defaults to the machine's parallelism.
     threads: usize,
-    /// Bumped on every effective mutation; identifies the database state.
-    generation: u64,
+    /// The database's full version vector at engine construction.
+    /// Versions the engine reports are relative to it, so
+    /// [`PrivateEngine::generation`] starts at 0 regardless of how the
+    /// database was populated before being handed over.
+    base: VersionStamp,
+    /// Whether mutations invalidate per read set (the default) or drop
+    /// everything (the wholesale oracle for differential testing; see
+    /// [`PrivateEngine::with_wholesale_invalidation`]).
+    scoped: bool,
     /// Per-query `T`-family caches, shared across releases of the same
-    /// query shape and dropped wholesale on mutation. Keyed by the
-    /// query's canonical rendering ([`ConjunctiveQuery`]'s `Display`).
-    caches: Mutex<FxHashMap<String, Arc<FamilyCache>>>,
+    /// query shape; a mutation drops exactly the entries whose read set
+    /// contains the touched relation. Keyed by the query's canonical
+    /// rendering ([`ConjunctiveQuery`]'s `Display`).
+    caches: Mutex<FxHashMap<String, ShapeCache>>,
+}
+
+/// One query shape's cache slot: the relations it reads (for scoped
+/// invalidation) and the stamped [`FamilyCache`] shared by its releases.
+#[derive(Debug)]
+struct ShapeCache {
+    /// Sorted relation names the shape's atoms mention.
+    read_set: Vec<String>,
+    cache: Arc<FamilyCache>,
 }
 
 impl PrivateEngine {
@@ -141,14 +185,34 @@ impl PrivateEngine {
             epsilon > 0.0 && epsilon.is_finite(),
             "epsilon must be positive"
         );
+        let base = db.stamp_all();
         PrivateEngine {
             db,
             policy,
             epsilon,
             threads: dpcq_sensitivity::prep::default_threads(),
-            generation: 0,
+            base,
+            scoped: true,
             caches: Mutex::new(FxHashMap::default()),
         }
+    }
+
+    /// Switches the engine to **wholesale invalidation**: every effective
+    /// mutation drops every cache and dirties every read-set stamp, as if
+    /// all queries read all relations. Observationally this must be
+    /// indistinguishable from the default scoped invalidation (it only
+    /// discards more); it exists as the differential-testing oracle the
+    /// scoped path is checked against, and for benchmarks quantifying
+    /// what scoping saves.
+    pub fn with_wholesale_invalidation(mut self) -> Self {
+        self.scoped = false;
+        self
+    }
+
+    /// Whether mutations invalidate per read set (`true`, the default)
+    /// or wholesale (the testing oracle).
+    pub fn scoped_invalidation(&self) -> bool {
+        self.scoped
     }
 
     /// The same engine with an explicit worker-thread count for residual-
@@ -181,76 +245,169 @@ impl PrivateEngine {
     }
 
     /// The database generation: 0 at construction, bumped by every
-    /// effective mutation. Two calls observing the same generation saw a
-    /// byte-identical instance, which is what makes replaying cached
-    /// results sound.
+    /// effective mutation. Since PR 5 this is the **derived total of the
+    /// per-relation version vector** (the sum of
+    /// [`PrivateEngine::relation_versions`]), kept for wire compatibility
+    /// and coarse change detection: two calls observing the same
+    /// generation saw a byte-identical instance. The converse
+    /// granularity — *which* relations changed — is what
+    /// [`PrivateEngine::read_set_stamp`] exposes.
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.db
+            .relation_names()
+            .map(|n| self.relation_version(n))
+            .sum()
+    }
+
+    /// `relation`'s mutation count since engine construction (0 for
+    /// untouched and unknown relations).
+    pub fn relation_version(&self, relation: &str) -> RelationVersion {
+        self.db
+            .version_of(relation)
+            .saturating_sub(self.base.version_of(relation).unwrap_or(0))
+    }
+
+    /// Every stored relation's version since engine construction, in
+    /// name order — the engine's full version vector (reported by the
+    /// server's `stats` op as `relation_versions`).
+    pub fn relation_versions(&self) -> Vec<(String, RelationVersion)> {
+        self.db
+            .relation_names()
+            .map(|n| (n.to_string(), self.relation_version(n)))
+            .collect()
+    }
+
+    /// The relations `query`'s atoms mention (its *read set*), sorted and
+    /// deduplicated — derived from the query's self-join groups. Every
+    /// engine-cached artifact for the query is a pure function of these
+    /// relations' contents (plus the policy, which is fixed).
+    pub fn read_set(&self, query: &ConjunctiveQuery) -> Vec<String> {
+        query
+            .self_join_groups()
+            .into_iter()
+            .map(|g| g.relation)
+            .collect()
+    }
+
+    /// The [`VersionStamp`] a release of `query` under `method` depends
+    /// on: the version vector restricted to the query's read set — except
+    /// for [`SensitivityMethod::GlobalLaplace`], whose noise scale is
+    /// calibrated at `N = |I|` (the total tuple count across **all**
+    /// relations), so its stamp covers the whole database. Result caches
+    /// key replayable answers by this stamp: equal stamps guarantee the
+    /// deterministic half of the release is byte-identical.
+    ///
+    /// Under [wholesale
+    /// invalidation](PrivateEngine::with_wholesale_invalidation) every
+    /// method stamps the whole database.
+    pub fn read_set_stamp(
+        &self,
+        query: &ConjunctiveQuery,
+        method: SensitivityMethod,
+    ) -> VersionStamp {
+        if !self.scoped || method == SensitivityMethod::GlobalLaplace {
+            self.stamp_over(self.db.relation_names().map(str::to_string).collect())
+        } else {
+            self.stamp_over(self.read_set(query))
+        }
+    }
+
+    /// The engine-relative stamp over `names` (absolute database
+    /// versions re-based against the construction snapshot).
+    fn stamp_over(&self, names: Vec<String>) -> VersionStamp {
+        VersionStamp::new(names.into_iter().map(|n| {
+            let v = self.relation_version(&n);
+            (n, v)
+        }))
     }
 
     /// Inserts a tuple into `relation` (created at the row's arity if
     /// absent). Returns `true` if the tuple was new; an effective insert
-    /// bumps the generation and invalidates all release-evaluation caches.
+    /// bumps `relation`'s version and invalidates exactly the evaluation
+    /// caches whose read set contains `relation`.
     pub fn insert_tuple(&mut self, relation: &str, row: &[Value]) -> bool {
         let changed = self.db.insert_tuple(relation, row);
         if changed {
-            self.invalidate();
+            self.invalidate(relation);
         }
         changed
     }
 
     /// Removes a tuple from `relation`. Returns `true` if it was present;
-    /// an effective removal bumps the generation and invalidates all
-    /// release-evaluation caches.
+    /// an effective removal bumps `relation`'s version and invalidates
+    /// exactly the evaluation caches whose read set contains `relation`.
     pub fn remove_tuple(&mut self, relation: &str, row: &[Value]) -> bool {
         let changed = self.db.remove_tuple(relation, row);
         if changed {
-            self.invalidate();
+            self.invalidate(relation);
         }
         changed
     }
 
-    /// The database changed: no cache filled against the previous
-    /// generation may ever be read again.
-    fn invalidate(&mut self) {
-        self.generation += 1;
-        self.caches
-            .get_mut()
-            .expect("family cache lock poisoned")
-            .clear();
+    /// `relation` changed: drop the shapes that read it. Shapes over
+    /// other relations keep their caches — their read-set stamps are
+    /// unaffected, so everything memoized for them is still exact.
+    fn invalidate(&mut self, relation: &str) {
+        let caches = self.caches.get_mut().expect("family cache lock poisoned");
+        if self.scoped {
+            caches.retain(|_, e| !e.read_set.iter().any(|r| r == relation));
+        } else {
+            caches.clear();
+        }
     }
 
     /// The engine-owned `T`-family cache for `query`, created on first
-    /// use. Valid only for the current generation — which is enforced by
-    /// construction: mutation clears the map before anyone can observe
-    /// the new generation.
+    /// use and stamped with the query's current read-set versions.
+    /// Mutation drops dirty shapes before anyone can observe the new
+    /// stamp; on top of that, a held entry is revalidated against the
+    /// current stamp here, so even an entry that somehow outlived its
+    /// validity window (the map is shared behind `Arc`s) is rebuilt
+    /// rather than trusted.
     ///
     /// The map is bounded: past [`MAX_QUERY_CACHES`] distinct query
     /// shapes (an adversarial or very diverse workload), new shapes get
     /// a fresh uncached `FamilyCache` per release instead of growing the
     /// map without limit — correctness is unaffected, only reuse.
     fn family_cache(&self, query: &ConjunctiveQuery) -> Arc<FamilyCache> {
-        let mut caches = self.caches.lock().expect("family cache lock poisoned");
         let key = query.to_string();
-        if let Some(cache) = caches.get(&key) {
-            return Arc::clone(cache);
+        let read_set = if self.scoped {
+            self.read_set(query)
+        } else {
+            self.db.relation_names().map(str::to_string).collect()
+        };
+        let stamp = self.stamp_over(read_set.clone());
+        let mut caches = self.caches.lock().expect("family cache lock poisoned");
+        if let Some(entry) = caches.get(&key) {
+            if entry.cache.is_valid_for(&stamp) {
+                return Arc::clone(&entry.cache);
+            }
         }
-        if caches.len() >= MAX_QUERY_CACHES {
-            return Arc::new(FamilyCache::new());
+        let cache = Arc::new(FamilyCache::for_stamp(stamp));
+        if caches.len() >= MAX_QUERY_CACHES && !caches.contains_key(&key) {
+            return cache;
         }
-        Arc::clone(caches.entry(key).or_default())
+        caches.insert(
+            key,
+            ShapeCache {
+                read_set,
+                cache: Arc::clone(&cache),
+            },
+        );
+        cache
     }
 
     /// Cache-effectiveness counters of the engine-owned `T`-family cache
     /// for `query` (zeros if the query has not been released since the
-    /// last mutation). The `factor_misses` delta across two releases is
-    /// the number of factors the second one actually built.
+    /// last mutation *of a relation in its read set* — mutations of other
+    /// relations leave the counters, like the cache, intact). The
+    /// `factor_misses` delta across two releases is the number of factors
+    /// the second one actually built.
     pub fn family_stats(&self, query: &ConjunctiveQuery) -> FamilyStats {
         self.caches
             .lock()
             .expect("family cache lock poisoned")
             .get(&query.to_string())
-            .map(|c| c.stats())
+            .map(|e| e.cache.stats())
             .unwrap_or_default()
     }
 
@@ -343,6 +500,7 @@ impl PrivateEngine {
             epsilon,
             count,
             sensitivity,
+            stamp: self.read_set_stamp(query, method),
         })
     }
 
@@ -594,6 +752,137 @@ mod tests {
         assert_eq!(engine.generation(), 4);
         assert_eq!(engine.true_count(&q).unwrap(), 12);
         assert_eq!(engine.family_stats(&q), FamilyStats::default());
+    }
+
+    /// A database over two unrelated relations: `Edge` (the triangle
+    /// query's read set) and `Tag`, which no triangle release touches.
+    fn two_relation_db() -> Database {
+        let mut db = sym_db();
+        for v in [10, 20, 30] {
+            db.insert_tuple("Tag", &[Value(v), Value(v + 1)]);
+        }
+        db
+    }
+
+    #[test]
+    fn unrelated_mutation_retains_family_caches_and_stats() {
+        // The PR-4 behavior this fixes: any effective mutation bumped the
+        // generation AND dropped every cache, even for relations no
+        // registered query mentions. Scoped invalidation must keep the
+        // triangle shape's counters (and memoized work) across `Tag`
+        // mutations.
+        let mut engine = PrivateEngine::new(two_relation_db(), Policy::all_private(), 1.0);
+        let q = triangle();
+        engine.release(&q, &mut StdRng::seed_from_u64(1)).unwrap();
+        let warmed = engine.family_stats(&q);
+        assert!(warmed.factor_misses > 0 && warmed.values_computed > 0);
+
+        assert!(engine.insert_tuple("Tag", &[Value(40), Value(41)]));
+        assert!(engine.remove_tuple("Tag", &[Value(40), Value(41)]));
+        assert_eq!(engine.generation(), 2, "mutations still tick the total");
+        assert_eq!(
+            engine.family_stats(&q),
+            warmed,
+            "Tag mutations must not touch the Edge-only shape"
+        );
+
+        // And the retained cache is actually *used*: the next release
+        // builds zero new factors and computes zero new residuals.
+        engine.release(&q, &mut StdRng::seed_from_u64(2)).unwrap();
+        let after = engine.family_stats(&q);
+        assert_eq!(after.factor_misses, warmed.factor_misses);
+        assert_eq!(after.values_computed, warmed.values_computed);
+        assert!(after.value_hits > warmed.value_hits);
+
+        // A read-set mutation still invalidates.
+        assert!(engine.insert_tuple("Edge", &[Value(8), Value(9)]));
+        assert_eq!(engine.family_stats(&q), FamilyStats::default());
+    }
+
+    #[test]
+    fn relation_versions_and_read_set_stamps() {
+        let mut engine = PrivateEngine::new(two_relation_db(), Policy::all_private(), 1.0);
+        let q = triangle();
+        assert_eq!(engine.read_set(&q), vec!["Edge".to_string()]);
+        assert_eq!(
+            engine.relation_versions(),
+            vec![("Edge".to_string(), 0), ("Tag".to_string(), 0)]
+        );
+
+        let before = engine.read_set_stamp(&q, SensitivityMethod::Residual);
+        assert_eq!(before.to_string(), "{Edge@0}");
+        assert!(engine.insert_tuple("Tag", &[Value(50), Value(51)]));
+        // Residual/elastic stamps cover only the read set…
+        assert_eq!(
+            engine.read_set_stamp(&q, SensitivityMethod::Residual),
+            before
+        );
+        assert_eq!(
+            engine.read_set_stamp(&q, SensitivityMethod::Elastic),
+            before
+        );
+        // …but GlobalLaplace calibrates at N = |I|, which any relation
+        // moves, so its stamp spans the whole database.
+        let gl = engine.read_set_stamp(&q, SensitivityMethod::GlobalLaplace);
+        assert_eq!(gl.to_string(), "{Edge@0, Tag@1}");
+        assert!(engine.insert_tuple("Edge", &[Value(7), Value(8)]));
+        assert_ne!(
+            engine.read_set_stamp(&q, SensitivityMethod::Residual),
+            before
+        );
+        assert_eq!(
+            engine.relation_versions(),
+            vec![("Edge".to_string(), 1), ("Tag".to_string(), 1)]
+        );
+        assert_eq!(engine.generation(), 2);
+    }
+
+    #[test]
+    fn pending_release_carries_its_stamp() {
+        let engine = PrivateEngine::new(two_relation_db(), Policy::all_private(), 1.0);
+        let q = triangle();
+        let pending = engine
+            .prepare_release(&q, SensitivityMethod::Residual, 1.0)
+            .unwrap();
+        assert_eq!(
+            pending.stamp(),
+            &engine.read_set_stamp(&q, SensitivityMethod::Residual)
+        );
+        assert!(pending.stamp().mentions("Edge"));
+        assert!(!pending.stamp().mentions("Tag"));
+    }
+
+    #[test]
+    fn wholesale_oracle_drops_everything_but_agrees_observationally() {
+        let mut scoped = PrivateEngine::new(two_relation_db(), Policy::all_private(), 1.0);
+        let mut wholesale = PrivateEngine::new(two_relation_db(), Policy::all_private(), 1.0)
+            .with_wholesale_invalidation();
+        assert!(scoped.scoped_invalidation());
+        assert!(!wholesale.scoped_invalidation());
+        let q = triangle();
+        for e in [&scoped, &wholesale] {
+            e.release(&q, &mut StdRng::seed_from_u64(3)).unwrap();
+        }
+        assert!(scoped.insert_tuple("Tag", &[Value(60), Value(61)]));
+        assert!(wholesale.insert_tuple("Tag", &[Value(60), Value(61)]));
+        // The oracle forgot the unrelated shape; the scoped engine kept it.
+        assert_eq!(wholesale.family_stats(&q), FamilyStats::default());
+        assert!(scoped.family_stats(&q).values_computed > 0);
+        // Observational equivalence: identical releases either way.
+        let a = scoped.release(&q, &mut StdRng::seed_from_u64(4)).unwrap();
+        let b = wholesale
+            .release(&q, &mut StdRng::seed_from_u64(4))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generation_starts_at_zero_over_prepopulated_databases() {
+        // sym_db() is built through versioned Database mutations; the
+        // engine re-bases at construction so its generation is 0.
+        let engine = PrivateEngine::new(sym_db(), Policy::all_private(), 1.0);
+        assert_eq!(engine.generation(), 0);
+        assert!(engine.relation_versions().iter().all(|(_, v)| *v == 0));
     }
 
     #[test]

@@ -37,16 +37,23 @@
 //!
 //! One [`PrivateEngine`] answers a *stream* of queries, not just one:
 //!
-//! * **Mutable databases.** [`PrivateEngine::insert_tuple`] /
-//!   [`PrivateEngine::remove_tuple`] update the instance in place. Every
-//!   effective mutation bumps [`PrivateEngine::generation`] and drops all
-//!   evaluation caches — results are only ever reused against a
-//!   byte-identical instance.
+//! * **Mutable databases with per-relation versioning.**
+//!   [`PrivateEngine::insert_tuple`] / [`PrivateEngine::remove_tuple`]
+//!   update the instance in place. Every effective mutation bumps the
+//!   touched relation's version counter
+//!   ([`PrivateEngine::relation_versions`]); a query's cached state is
+//!   keyed by its **read-set stamp**
+//!   ([`PrivateEngine::read_set_stamp`]) — the version vector restricted
+//!   to the relations its answer depends on — so results are reused
+//!   exactly while those relations are byte-identical, and mutations of
+//!   other relations invalidate nothing. [`PrivateEngine::generation`]
+//!   remains as the vector's derived total.
 //! * **A cross-release memo store.** Residual-sensitivity releases
 //!   evaluate their `T` family against an engine-owned
-//!   [`eval::FamilyCache`] keyed by the query, so the second release of a
-//!   same-shape query (at any ε — the `T` values are β-independent)
-//!   rebuilds no factors and recomputes no residuals
+//!   [`eval::FamilyCache`] keyed by the query and stamped with its read
+//!   set, so the second release of a same-shape query (at any ε — the
+//!   `T` values are β-independent), even after mutations of unrelated
+//!   relations, rebuilds no factors and recomputes no residuals
 //!   ([`PrivateEngine::family_stats`] exposes the counters).
 //! * **Budgets and caching live one layer up**, in `dpcq-server`: a
 //!   per-principal ε ledger enforcing sequential composition under

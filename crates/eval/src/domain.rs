@@ -10,6 +10,24 @@
 //! thread. Codes decode back to values only at the consumer boundary
 //! (`Factor::row`/`Factor::iter`, predicate evaluation, witnesses).
 //!
+//! ## Reconciling frozen domains across mutations
+//!
+//! The freeze is per-`Evaluator`, not per-database-lifetime. When tuples
+//! are inserted *after* a domain was frozen — e.g. an engine retains a
+//! [`crate::FamilyCache`] across a mutation of a relation its query does
+//! not mention — factors memoized earlier keep their old (smaller)
+//! domain while a fresh evaluator over the mutated database interns the
+//! new values into a new one. The kernel reconciles the two at join
+//! time: a join between factors whose domains are not pointer-equal
+//! clones the larger side's domain, interns the other side's values into
+//! it, and re-encodes that side's codes once (`Factor::join_core`).
+//! Equality of codes is therefore only ever compared within one merged
+//! domain, and values unknown to the older factor simply never match its
+//! rows — exactly the semantics the raw values would have had. This is
+//! the documented reuse path for caches retained across unrelated
+//! mutations; caches whose *own* read-set relations changed are retired
+//! by their stamps instead (see [`crate::FamilyCache`]).
+//!
 //! [`Scratch`] is the kernel's per-thread arena: the unaggregated output
 //! rows, sort-key buffers, and probe-key buffer every kernel call needs.
 //! It lives in a thread local, so the steady state of a long release —

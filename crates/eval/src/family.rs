@@ -57,7 +57,7 @@ use crate::error::EvalError;
 use crate::evaluator::Evaluator;
 use crate::factor::Factor;
 use dpcq_query::{ConjunctiveQuery, Predicate, Term, VarId};
-use dpcq_relation::FxHashMap;
+use dpcq_relation::{FxHashMap, VersionStamp};
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -209,26 +209,76 @@ pub struct FamilyStats {
 /// The shareable cache state of a [`FamilyEvaluator`]: the intermediate-
 /// factor memo store plus the residual-isomorphism value cache.
 ///
-/// Both caches are pure functions of `(query, database)`: a [`Sig`] keys a
-/// factor by query structure only, and a canonical subset key determines a
-/// `T` value only together with the instance it was computed on. A
-/// `FamilyCache` may therefore be **reused across evaluators — and hence
-/// across releases — only while both the query and the database are
-/// byte-identical**. Owners that mutate the database (e.g.
-/// `PrivateEngine`'s tuple mutations) must drop the cache on every
-/// mutation; a generation counter bumped alongside the mutation is the
-/// conventional way to key that invalidation.
+/// Both caches are pure functions of `(query, read-set contents)`: a
+/// [`Sig`] keys a factor by query structure only, a canonical subset key
+/// determines a `T` value only together with the instance it was computed
+/// on, and both depend on the instance **only through the relations the
+/// query's atoms mention** (its *read set* — atom factors, boundary
+/// counts, and the column symmetries folded into the canonical keys are
+/// all built from those relations alone). A `FamilyCache` may therefore
+/// be reused across evaluators — and hence across releases — **while the
+/// query and the read-set relations are byte-identical**; mutations of
+/// other relations are irrelevant to it.
+///
+/// [`FamilyCache::for_stamp`] records the read set's
+/// [`VersionStamp`] at build time so owners can *revalidate* a shared
+/// `Arc` cache ([`FamilyCache::is_valid_for`]) instead of unconditionally
+/// rebuilding: `PrivateEngine` keeps one stamped cache per query shape,
+/// drops a shape only when a mutation touches its read set, and checks
+/// the stamp again on every reuse as a second line of defense.
+///
+/// ## Reuse after unrelated mutations: the domain reconcile path
+///
+/// A cache retained across a mutation of an *unrelated* relation is
+/// content-valid, but its memoized factors carry the frozen code
+/// [`Domain`](crate::domain) of the evaluator that built them — and a
+/// *fresh* evaluator over the mutated database interns a (possibly
+/// larger) domain that includes any newly inserted values. The two meet
+/// inside the columnar kernel: a join between factors with different
+/// domains merges them and re-encodes one side once (see
+/// `Factor::join_core`), so cached factors combine with newly built ones
+/// transparently. Cached `T` *values* are plain numbers and need no
+/// reconciliation at all.
 #[derive(Debug, Default)]
 pub struct FamilyCache {
     store: FactorStore,
     values: Mutex<FxHashMap<Vec<u64>, u128>>,
     value_hits: AtomicU64,
+    /// The read-set stamp the cache was built against (`None` for caches
+    /// whose validity is managed entirely by the caller, e.g. β sweeps
+    /// over one immutable database).
+    stamp: Option<VersionStamp>,
 }
 
 impl FamilyCache {
-    /// An empty cache.
+    /// An empty cache with no recorded stamp: the caller owns validity
+    /// (it must not reuse the cache after any read-set relation changed).
     pub fn new() -> Self {
         FamilyCache::default()
+    }
+
+    /// An empty cache recording the read-set [`VersionStamp`] it is about
+    /// to be filled against, enabling [`FamilyCache::is_valid_for`]
+    /// revalidation on later reuse.
+    pub fn for_stamp(stamp: VersionStamp) -> Self {
+        FamilyCache {
+            stamp: Some(stamp),
+            ..FamilyCache::default()
+        }
+    }
+
+    /// The recorded build stamp, if any.
+    pub fn stamp(&self) -> Option<&VersionStamp> {
+        self.stamp.as_ref()
+    }
+
+    /// Whether the cache may be reused against a database whose read set
+    /// currently stamps as `current`: true iff the cache recorded a stamp
+    /// and it matches. Unstamped caches always report `false` here —
+    /// their owners opted into manual validity management and cannot be
+    /// revalidated mechanically.
+    pub fn is_valid_for(&self, current: &VersionStamp) -> bool {
+        self.stamp.as_ref() == Some(current)
     }
 
     /// Cache-effectiveness counters accumulated over every evaluator that
@@ -264,14 +314,18 @@ impl<'e> FamilyEvaluator<'e> {
     }
 
     /// Wraps an evaluator around an existing [`FamilyCache`], so several
-    /// evaluations over the **same query and identical database** — e.g.
-    /// repeated releases or a β sweep — share one memo store and value
-    /// cache. Factors cached by a previous evaluator carry their own code
-    /// domain, and the kernel reconciles foreign domains at join time, so
-    /// reuse across evaluator instances is transparent.
+    /// evaluations over the **same query and identical read-set
+    /// relations** — e.g. repeated releases or a β sweep — share one memo
+    /// store and value cache. Factors cached by a previous evaluator
+    /// carry their own code domain, and the kernel reconciles foreign
+    /// domains at join time, so reuse across evaluator instances (even
+    /// across mutations of relations the query does not mention) is
+    /// transparent; see [`FamilyCache`] for the reconcile path.
     ///
-    /// Reusing a cache after the database changed is **unsound** (stale
-    /// factors and `T` values would be served); see [`FamilyCache`].
+    /// Reusing a cache after a **read-set** relation changed is unsound
+    /// (stale factors and `T` values would be served); owners either drop
+    /// the cache when such a mutation happens or revalidate its recorded
+    /// stamp with [`FamilyCache::is_valid_for`].
     pub fn with_cache(ev: &'e Evaluator<'e>, cache: Arc<FamilyCache>) -> Self {
         FamilyEvaluator {
             syms: column_symmetries(ev.query(), ev.database()),
@@ -824,6 +878,25 @@ mod tests {
         assert_eq!(after_second.values_computed, after_first.values_computed);
         assert_eq!(after_second.factor_misses, after_first.factor_misses);
         assert!(after_second.value_hits > after_first.value_hits);
+    }
+
+    #[test]
+    fn stamped_cache_revalidates_only_against_its_own_stamp() {
+        let stamp = |pairs: &[(&str, u64)]| {
+            VersionStamp::new(pairs.iter().map(|&(n, v)| (n.to_string(), v)))
+        };
+        let built_at = stamp(&[("Edge", 3)]);
+        let cache = FamilyCache::for_stamp(built_at.clone());
+        assert_eq!(cache.stamp(), Some(&built_at));
+        assert!(cache.is_valid_for(&built_at));
+        // Any movement of a read-set relation retires the cache…
+        assert!(!cache.is_valid_for(&stamp(&[("Edge", 4)])));
+        // …and so does a different read set, even at equal versions.
+        assert!(!cache.is_valid_for(&stamp(&[("Edge", 3), ("S", 0)])));
+        // Unstamped caches opt out of mechanical revalidation.
+        let manual = FamilyCache::new();
+        assert_eq!(manual.stamp(), None);
+        assert!(!manual.is_valid_for(&built_at));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Database instances: named collections of physical relations.
 
+use crate::version::{RelationVersion, VersionStamp};
 use crate::{Relation, Value};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -12,9 +13,30 @@ use std::fmt;
 /// (per-atom renamings used when a query contains self-joins). `Database`
 /// stores only physical instances; the logical view lives in `dpcq-query` /
 /// `dpcq-eval`.
-#[derive(Clone, Default, PartialEq, Eq)]
+///
+/// ## Version vector
+///
+/// Alongside each relation the database keeps a monotone
+/// [`RelationVersion`] counter (see the [`crate::version`] module):
+///
+/// * [`Database::insert_tuple`] / [`Database::remove_tuple`] bump the
+///   touched relation's counter **only when the mutation is effective**
+///   (the tuple was actually added / removed);
+/// * [`Database::insert_relation`], [`Database::create_relation`] and
+///   [`Database::relation_mut`] bump **conservatively** — they hand out
+///   (or replace) whole relation values, so the database must assume the
+///   contents changed.
+///
+/// [`Database::stamp`] fingerprints the vector restricted to a read set;
+/// caching layers key derived results by it so a mutation of one relation
+/// retires only the results whose read set contains it. Versions are
+/// bookkeeping, not data: they are ignored by `==` (equality is
+/// structural over the stored relations) and carried along by `Clone`.
+#[derive(Clone, Default)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    /// Per-relation mutation counters; names absent here are at version 0.
+    versions: BTreeMap<String, RelationVersion>,
 }
 
 impl Database {
@@ -23,15 +45,24 @@ impl Database {
         Database::default()
     }
 
-    /// Inserts (or replaces) a relation instance under `name`.
+    fn bump(&mut self, name: &str) {
+        *self.versions.entry(name.to_string()).or_insert(0) += 1;
+    }
+
+    /// Inserts (or replaces) a relation instance under `name`. Bumps the
+    /// relation's version (the contents are assumed to have changed).
     pub fn insert_relation(&mut self, name: impl Into<String>, rel: Relation) -> Option<Relation> {
-        self.relations.insert(name.into(), rel)
+        let name = name.into();
+        self.bump(&name);
+        self.relations.insert(name, rel)
     }
 
     /// Convenience: creates an empty relation of the given arity under
-    /// `name` and returns a mutable reference to it.
+    /// `name` and returns a mutable reference to it. Bumps the relation's
+    /// version conservatively (the caller holds mutable access).
     pub fn create_relation(&mut self, name: impl Into<String>, arity: usize) -> &mut Relation {
         let name = name.into();
+        self.bump(&name);
         self.relations
             .entry(name)
             .or_insert_with(|| Relation::new(arity))
@@ -42,8 +73,13 @@ impl Database {
         self.relations.get(name)
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup. Bumps the relation's version conservatively when
+    /// the relation exists (the caller holds mutable access; the database
+    /// cannot see whether it is used).
     pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        if self.relations.contains_key(name) {
+            self.bump(name);
+        }
         self.relations.get_mut(name)
     }
 
@@ -73,17 +109,51 @@ impl Database {
     }
 
     /// Inserts a tuple into the named relation, creating the relation with
-    /// the row's arity if absent. Returns `true` if the tuple was new.
+    /// the row's arity if absent. Returns `true` if the tuple was new; an
+    /// effective insert bumps the relation's version.
     pub fn insert_tuple(&mut self, name: &str, row: &[Value]) -> bool {
-        self.relations
+        let changed = self
+            .relations
             .entry(name.to_string())
             .or_insert_with(|| Relation::new(row.len()))
-            .insert(row)
+            .insert(row);
+        if changed {
+            self.bump(name);
+        }
+        changed
     }
 
-    /// Removes a tuple from the named relation. Returns `true` if present.
+    /// Removes a tuple from the named relation. Returns `true` if present;
+    /// an effective removal bumps the relation's version.
     pub fn remove_tuple(&mut self, name: &str, row: &[Value]) -> bool {
-        self.relations.get_mut(name).is_some_and(|r| r.remove(row))
+        let changed = self.relations.get_mut(name).is_some_and(|r| r.remove(row));
+        if changed {
+            self.bump(name);
+        }
+        changed
+    }
+
+    /// The current [`RelationVersion`] of `name` (0 if never mutated —
+    /// including for relations that do not exist).
+    pub fn version_of(&self, name: &str) -> RelationVersion {
+        self.versions.get(name).copied().unwrap_or(0)
+    }
+
+    /// The version vector restricted to `names` (a read set): the
+    /// [`VersionStamp`] caching layers key derived results by. Names that
+    /// do not (yet) exist stamp at version 0, so a stamp taken before a
+    /// relation is first created still differs from one taken after.
+    pub fn stamp<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> VersionStamp {
+        VersionStamp::new(
+            names
+                .into_iter()
+                .map(|n| (n.to_string(), self.version_of(n))),
+        )
+    }
+
+    /// The full version vector, over every relation currently stored.
+    pub fn stamp_all(&self) -> VersionStamp {
+        self.stamp(self.relation_names())
     }
 
     /// The set of integers appearing anywhere in the listed relations
@@ -102,6 +172,17 @@ impl Database {
         vs
     }
 }
+
+/// Structural equality over the stored relations; version counters are
+/// bookkeeping and do not participate (two databases holding the same
+/// tuples compare equal regardless of their mutation histories).
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.relations == other.relations
+    }
+}
+
+impl Eq for Database {}
 
 impl fmt::Debug for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -166,5 +247,77 @@ mod tests {
         assert_eq!(a, b);
         b.insert_tuple("R", &vals![2, 2]);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn equality_ignores_versions() {
+        let mut a = Database::new();
+        a.insert_tuple("R", &vals![1, 2]);
+        let mut b = Database::new();
+        b.insert_tuple("R", &vals![1, 2]);
+        // Different mutation histories, same contents.
+        b.insert_tuple("R", &vals![3, 4]);
+        b.remove_tuple("R", &vals![3, 4]);
+        assert_ne!(a.version_of("R"), b.version_of("R"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn effective_mutations_bump_only_the_touched_relation() {
+        let mut db = Database::new();
+        db.insert_tuple("R", &vals![1, 2]);
+        db.insert_tuple("S", &vals![7]);
+        let (r0, s0) = (db.version_of("R"), db.version_of("S"));
+        // No-op insert and removal: no bumps anywhere.
+        db.insert_tuple("R", &vals![1, 2]);
+        db.remove_tuple("R", &vals![9, 9]);
+        db.remove_tuple("Missing", &vals![1]);
+        assert_eq!((db.version_of("R"), db.version_of("S")), (r0, s0));
+        // Effective insert into S bumps S only.
+        db.insert_tuple("S", &vals![8]);
+        assert_eq!(db.version_of("R"), r0);
+        assert_eq!(db.version_of("S"), s0 + 1);
+        // Effective removal from R bumps R only.
+        db.remove_tuple("R", &vals![1, 2]);
+        assert_eq!(db.version_of("R"), r0 + 1);
+        assert_eq!(db.version_of("S"), s0 + 1);
+        // Absent relations sit at version 0.
+        assert_eq!(db.version_of("Missing"), 0);
+    }
+
+    #[test]
+    fn whole_relation_access_bumps_conservatively() {
+        let mut db = Database::new();
+        db.create_relation("R", 2);
+        let v1 = db.version_of("R");
+        assert!(v1 > 0, "create_relation must bump");
+        assert!(db.relation_mut("R").is_some());
+        assert_eq!(db.version_of("R"), v1 + 1, "relation_mut must bump");
+        assert!(db.relation_mut("Missing").is_none());
+        assert_eq!(db.version_of("Missing"), 0, "missing lookup must not");
+        db.insert_relation("R", Relation::new(2));
+        assert_eq!(db.version_of("R"), v1 + 2, "insert_relation must bump");
+        // Read-only access never bumps.
+        let _ = db.relation("R");
+        let _ = db.stamp_all();
+        assert_eq!(db.version_of("R"), v1 + 2);
+    }
+
+    #[test]
+    fn stamps_fingerprint_read_sets() {
+        let mut db = Database::new();
+        db.insert_tuple("R", &vals![1, 2]);
+        db.insert_tuple("S", &vals![7]);
+        let r_before = db.stamp(["R"]);
+        let s_before = db.stamp(["S"]);
+        let all_before = db.stamp_all();
+        db.insert_tuple("S", &vals![8]);
+        // R's stamp is untouched; S's and the full stamp moved.
+        assert_eq!(db.stamp(["R"]), r_before);
+        assert_ne!(db.stamp(["S"]), s_before);
+        assert_ne!(db.stamp_all(), all_before);
+        // Stamps are order-insensitive and cover absent names at 0.
+        assert_eq!(db.stamp(["S", "R"]), db.stamp(["R", "S"]));
+        assert_eq!(db.stamp(["Nope"]).version_of("Nope"), Some(0));
     }
 }

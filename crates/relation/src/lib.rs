@@ -15,6 +15,10 @@
 //! * [`Database`] — a named collection of physical relation instances `I`.
 //! * [`distance`] — the tuple-DP distance `d(I, I')` (minimum number of
 //!   insert/delete/substitute steps), per relation and per database.
+//! * [`version`] — per-relation [`RelationVersion`] counters and
+//!   [`VersionStamp`] read-set fingerprints, the keys the caching layers
+//!   upstack (eval memo stores, the server's release cache) use to scope
+//!   invalidation to the relations a mutation actually touched.
 //! * [`fxhash`] — a fast FxHash-style hasher used throughout the workspace
 //!   for integer-keyed hash maps (implemented in-tree; see DESIGN.md).
 
@@ -24,6 +28,7 @@ pub mod distance;
 pub mod fxhash;
 pub mod relation;
 pub mod value;
+pub mod version;
 
 pub use database::Database;
 pub use dictionary::Dictionary;
@@ -31,3 +36,4 @@ pub use distance::{database_distance, relation_distance, set_difference_sizes};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use relation::Relation;
 pub use value::Value;
+pub use version::{RelationVersion, VersionStamp};

@@ -1,0 +1,149 @@
+//! Per-relation version vectors and read-set stamps.
+//!
+//! A [`Database`](crate::Database) carries one monotone
+//! [`RelationVersion`] counter per relation name, bumped by every
+//! mutation that (possibly) changes that relation's contents and by
+//! nothing else. The vector of all counters is a *version vector* in the
+//! distributed-systems sense: it orders database states per relation
+//! rather than globally, which is exactly the grain at which cached
+//! derived results stay valid — a `T`-family factor store, a residual
+//! value cache, or a released noisy answer for a query `q` is a pure
+//! function of the relations `q`'s atoms mention (its *read set*), so a
+//! mutation of any *other* relation cannot invalidate it.
+//!
+//! A [`VersionStamp`] is the version vector restricted to a read set: a
+//! sorted `(name, version)` fingerprint. Two stamps over the same read
+//! set are equal iff none of those relations was mutated in between,
+//! which makes the stamp a sound cache key: key derived results by
+//! `(inputs, stamp)` and they survive every mutation outside their read
+//! set, while any mutation inside it changes the stamp and retires them.
+//!
+//! Worked example (two relations): with `R@0, S@0`, a release of
+//! `Q_R(*) :- R(x,y)` is stamped `{R@0}` and one of `Q_S(*) :- S(x,y)`
+//! is stamped `{S@0}`. Inserting a tuple into `S` moves the vector to
+//! `R@0, S@1`: `Q_S`'s stamp is now `{S@1}` (its cached results are
+//! stale), but `Q_R`'s stamp is still `{R@0}` — everything cached for it
+//! replays untouched.
+
+use std::fmt;
+
+/// A per-relation mutation counter. `0` until the relation is first
+/// mutated; every effective mutation adds one. Versions are local to one
+/// [`Database`](crate::Database) value (clones carry their counters
+/// along but advance independently afterwards).
+pub type RelationVersion = u64;
+
+/// The version vector restricted to a set of relation names: a sorted,
+/// deduplicated `(name, version)` fingerprint.
+///
+/// Built by [`Database::stamp`](crate::Database::stamp) /
+/// [`Database::stamp_all`](crate::Database::stamp_all) (or
+/// [`VersionStamp::new`] from explicit pairs, which callers use to
+/// re-base versions). Equality is the whole point: two stamps taken over
+/// the same read set from the same database are equal iff no relation in
+/// the read set was mutated between them.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VersionStamp {
+    /// Sorted by name, one entry per name.
+    pairs: Vec<(String, RelationVersion)>,
+}
+
+impl VersionStamp {
+    /// A stamp from explicit `(name, version)` pairs. Pairs are sorted by
+    /// name; duplicate names keep the first version listed.
+    pub fn new(pairs: impl IntoIterator<Item = (String, RelationVersion)>) -> Self {
+        let mut pairs: Vec<(String, RelationVersion)> = pairs.into_iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        pairs.dedup_by(|a, b| a.0 == b.0);
+        VersionStamp { pairs }
+    }
+
+    /// The empty stamp (an empty read set).
+    pub fn empty() -> Self {
+        VersionStamp::default()
+    }
+
+    /// The recorded version of `name`, or `None` if the stamp's read set
+    /// does not contain it.
+    pub fn version_of(&self, name: &str) -> Option<RelationVersion> {
+        self.pairs
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+
+    /// Whether `name` is part of the stamp's read set.
+    pub fn mentions(&self, name: &str) -> bool {
+        self.version_of(name).is_some()
+    }
+
+    /// The `(name, version)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, RelationVersion)> {
+        self.pairs.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of relations in the read set.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the read set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+impl fmt::Display for VersionStamp {
+    /// `{R@0, S@2}` — the notation used throughout the caching docs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}@{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_dedups_by_name() {
+        let s = VersionStamp::new([
+            ("S".to_string(), 2),
+            ("R".to_string(), 0),
+            ("S".to_string(), 9),
+        ]);
+        assert_eq!(s.len(), 2);
+        let pairs: Vec<(&str, RelationVersion)> = s.iter().collect();
+        assert_eq!(pairs, vec![("R", 0), ("S", 2)]);
+        assert_eq!(s.version_of("R"), Some(0));
+        assert_eq!(s.version_of("S"), Some(2));
+        assert_eq!(s.version_of("T"), None);
+        assert!(s.mentions("S"));
+        assert!(!s.mentions("T"));
+    }
+
+    #[test]
+    fn equality_is_per_name_version() {
+        let a = VersionStamp::new([("R".to_string(), 0), ("S".to_string(), 1)]);
+        let b = VersionStamp::new([("S".to_string(), 1), ("R".to_string(), 0)]);
+        let c = VersionStamp::new([("R".to_string(), 0), ("S".to_string(), 2)]);
+        let d = VersionStamp::new([("R".to_string(), 0)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn empty_and_display() {
+        assert!(VersionStamp::empty().is_empty());
+        assert_eq!(VersionStamp::empty().to_string(), "{}");
+        let s = VersionStamp::new([("S".to_string(), 1), ("R".to_string(), 0)]);
+        assert_eq!(s.to_string(), "{R@0, S@1}");
+    }
+}

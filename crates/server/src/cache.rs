@@ -1,30 +1,76 @@
-//! Caching released answers for budget-free replay.
+//! Caching released answers for budget-free replay, scoped by read-set
+//! version stamps.
+//!
+//! ## Why replay is budget-free
 //!
 //! A differentially private release is **post-processing-proof**: once the
 //! noisy value `M(I)` has been published, handing the *same* value out
 //! again — to the same principal or anyone else — reveals nothing beyond
 //! the first release, so it costs zero additional budget (the
 //! post-processing property of DP; see Dwork & Roth, Prop. 2.1). The
-//! server therefore memoizes every successful release under the key
+//! server therefore memoizes every successful release and replays cache
+//! hits without touching the budget ledger. (Fresh noise would actually
+//! be *worse*: independent draws average toward the true count.)
+//!
+//! ## What a stamp is, and why it is the right key
+//!
+//! Replay is only sound while the stored answer is still an answer
+//! *about the current database*. The blunt key for that is a global
+//! generation counter — but it retires every cached answer on every
+//! mutation, even answers whose queries never look at the mutated
+//! relation. The precise key is the **read-set version stamp**
+//! (`dpcq::relation::VersionStamp`): the engine keeps one monotone
+//! version counter per relation, and a query's stamp is the sorted
+//! `(name, version)` vector restricted to the relations the release
+//! actually depends on — the query's atoms' relations for
+//! residual/elastic sensitivity, every relation for global-Laplace
+//! (whose scale is calibrated at the total tuple count `N`). The
+//! deterministic half of a release (exact count + sensitivity) is a pure
+//! function of those relations, so **equal stamps ⇒ byte-identical
+//! deterministic half ⇒ the stored noisy answer is replayable**.
+//!
+//! Each entry is keyed by
 //!
 //! ```text
-//! (canonical query text, sensitivity method, ε bits, db generation)
+//! (canonical query text, sensitivity method, ε bits, read-set stamp)
 //! ```
 //!
-//! and replays cache hits without touching the budget ledger. Every key
-//! component is load-bearing:
+//! Every component is load-bearing:
 //!
 //! * **canonical query** — the parsed query re-rendered, so textual
 //!   variants (whitespace, variable spelling) of one query share an entry;
 //! * **method + ε** (exact bit pattern) — a different mechanism or budget
 //!   is a different random variable and must be sampled fresh;
-//! * **generation** — a release is a function of the instance; after a
-//!   mutation the old answer is about a database that no longer exists.
-//!   Mutations call [`ReleaseCache::retain_generation`] to drop the dead
-//!   entries.
+//! * **stamp** — pins the contents of exactly the relations the answer
+//!   depends on, and nothing else.
+//!
+//! ## Worked example (two relations)
+//!
+//! With versions `{R@0, S@0}`, warm two releases:
+//!
+//! ```text
+//! Q_R(*) :- R(x,y)   cached under (Q_R, residual, ε, {R@0})
+//! Q_S(*) :- S(x,y)   cached under (Q_S, residual, ε, {S@0})
+//! ```
+//!
+//! An insert into `S` moves the vector to `{R@0, S@1}` and the mutation
+//! path calls [`ReleaseCache::invalidate_relation`]`("S", 1)`:
+//!
+//! * `Q_S`'s entry mentions `S` at the stale version 0 → dropped; the
+//!   next `Q_S` request recomputes (and pays ε) under its new stamp
+//!   `{S@1}`.
+//! * `Q_R`'s entry does not mention `S` → retained; the next `Q_R`
+//!   request still keys to `(Q_R, residual, ε, {R@0})` and replays
+//!   bit-identically at **zero additional ε**.
+//!
+//! A generation-keyed cache would have dropped both. The per-pass
+//! retained/dropped counts are exported as the *scoped invalidation*
+//! hit/miss counters ([`ReleaseCache::scoped_counters`], surfaced by the
+//! `stats` op): every scoped hit is an entry wholesale invalidation
+//! would have destroyed.
 
 use dpcq::noise::Release;
-use dpcq::relation::FxHashMap;
+use dpcq::relation::{FxHashMap, RelationVersion, VersionStamp};
 use dpcq::SensitivityMethod;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -38,8 +84,9 @@ pub struct ReleaseKey {
     pub method: &'static str,
     /// The release ε, keyed by exact bit pattern.
     pub epsilon_bits: u64,
-    /// The database generation the answer was computed against.
-    pub generation: u64,
+    /// The read-set version stamp the answer was computed against
+    /// (`PrivateEngine::read_set_stamp` for this query and method).
+    pub stamp: VersionStamp,
 }
 
 impl ReleaseKey {
@@ -48,13 +95,13 @@ impl ReleaseKey {
         canonical_query: &str,
         method: SensitivityMethod,
         epsilon: f64,
-        generation: u64,
+        stamp: VersionStamp,
     ) -> Self {
         ReleaseKey {
             query: canonical_query.to_string(),
             method: method.name(),
             epsilon_bits: epsilon.to_bits(),
-            generation,
+            stamp,
         }
     }
 }
@@ -71,6 +118,12 @@ pub struct ReleaseCache {
     map: Mutex<FxHashMap<ReleaseKey, Release>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Entries retained across scoped invalidation passes (each one a
+    /// replayable answer wholesale invalidation would have dropped).
+    scoped_hits: AtomicU64,
+    /// Entries dropped by scoped invalidation passes (their stamps
+    /// mentioned the mutated relation at a stale version).
+    scoped_misses: AtomicU64,
 }
 
 impl ReleaseCache {
@@ -106,13 +159,34 @@ impl ReleaseCache {
         map.entry(key).or_insert(release);
     }
 
-    /// Drops every entry not computed against `generation` (called after
-    /// a mutation with the new generation).
-    pub fn retain_generation(&self, generation: u64) {
-        self.map
-            .lock()
-            .expect("release cache lock poisoned")
-            .retain(|k, _| k.generation == generation);
+    /// Scoped invalidation after an effective mutation of `relation`
+    /// (now at version `current`): drops exactly the entries whose stamp
+    /// mentions `relation` at any other (necessarily stale) version.
+    /// Entries whose read set does not contain `relation` are untouched —
+    /// their stamps still describe the current database.
+    ///
+    /// The one exception is global-Laplace entries, which are dropped on
+    /// **every** effective mutation regardless of their stamp: their
+    /// noise scale is calibrated at the total tuple count `N`, so any
+    /// mutation stales them — and an entry whose stamp predates a
+    /// later-created relation would otherwise be unreachable forever (no
+    /// future full-database stamp can match it again) yet never retired,
+    /// leaking map space and inflating the scoped-hit counter.
+    ///
+    /// The pass's survivors and casualties are accumulated into the
+    /// scoped hit/miss counters ([`ReleaseCache::scoped_counters`]).
+    pub fn invalidate_relation(&self, relation: &str, current: RelationVersion) {
+        let global = SensitivityMethod::GlobalLaplace.name();
+        let mut map = self.map.lock().expect("release cache lock poisoned");
+        let before = map.len();
+        map.retain(|k, _| {
+            k.method != global && k.stamp.version_of(relation).is_none_or(|v| v == current)
+        });
+        let dropped = (before - map.len()) as u64;
+        let retained = map.len() as u64;
+        drop(map);
+        self.scoped_misses.fetch_add(dropped, Ordering::Relaxed);
+        self.scoped_hits.fetch_add(retained, Ordering::Relaxed);
     }
 
     /// Number of live entries.
@@ -132,6 +206,17 @@ impl ReleaseCache {
             self.misses.load(Ordering::Relaxed),
         )
     }
+
+    /// `(scoped hits, scoped misses)`: across all invalidation passes,
+    /// how many entries survived because their read set excluded the
+    /// mutated relation vs. how many were dropped. Under wholesale
+    /// invalidation the hit count would be identically zero.
+    pub fn scoped_counters(&self) -> (u64, u64) {
+        (
+            self.scoped_hits.load(Ordering::Relaxed),
+            self.scoped_misses.load(Ordering::Relaxed),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -148,10 +233,19 @@ mod tests {
         }
     }
 
+    fn stamp(pairs: &[(&str, RelationVersion)]) -> VersionStamp {
+        VersionStamp::new(pairs.iter().map(|&(n, v)| (n.to_string(), v)))
+    }
+
     #[test]
     fn hit_replays_the_stored_release() {
         let cache = ReleaseCache::new();
-        let key = ReleaseKey::new("Q(*) :- Edge(x, y)", SensitivityMethod::Residual, 0.5, 0);
+        let key = ReleaseKey::new(
+            "Q(*) :- Edge(x, y)",
+            SensitivityMethod::Residual,
+            0.5,
+            stamp(&[("Edge", 0)]),
+        );
         assert_eq!(cache.get(&key), None);
         cache.put(key.clone(), release(41.5));
         assert_eq!(cache.get(&key).unwrap().value, 41.5);
@@ -161,14 +255,45 @@ mod tests {
 
     #[test]
     fn key_components_all_distinguish() {
-        let base = ReleaseKey::new("Q(*) :- Edge(x, y)", SensitivityMethod::Residual, 0.5, 0);
+        let base = ReleaseKey::new(
+            "Q(*) :- Edge(x, y)",
+            SensitivityMethod::Residual,
+            0.5,
+            stamp(&[("Edge", 0)]),
+        );
         let cache = ReleaseCache::new();
         cache.put(base.clone(), release(1.0));
         for other in [
-            ReleaseKey::new("Q(*) :- Edge(x, x)", SensitivityMethod::Residual, 0.5, 0),
-            ReleaseKey::new("Q(*) :- Edge(x, y)", SensitivityMethod::Elastic, 0.5, 0),
-            ReleaseKey::new("Q(*) :- Edge(x, y)", SensitivityMethod::Residual, 0.25, 0),
-            ReleaseKey::new("Q(*) :- Edge(x, y)", SensitivityMethod::Residual, 0.5, 1),
+            ReleaseKey::new(
+                "Q(*) :- Edge(x, x)",
+                SensitivityMethod::Residual,
+                0.5,
+                stamp(&[("Edge", 0)]),
+            ),
+            ReleaseKey::new(
+                "Q(*) :- Edge(x, y)",
+                SensitivityMethod::Elastic,
+                0.5,
+                stamp(&[("Edge", 0)]),
+            ),
+            ReleaseKey::new(
+                "Q(*) :- Edge(x, y)",
+                SensitivityMethod::Residual,
+                0.25,
+                stamp(&[("Edge", 0)]),
+            ),
+            ReleaseKey::new(
+                "Q(*) :- Edge(x, y)",
+                SensitivityMethod::Residual,
+                0.5,
+                stamp(&[("Edge", 1)]),
+            ),
+            ReleaseKey::new(
+                "Q(*) :- Edge(x, y)",
+                SensitivityMethod::Residual,
+                0.5,
+                stamp(&[("Edge", 0), ("S", 0)]),
+            ),
         ] {
             assert_ne!(base, other);
             assert_eq!(cache.get(&other), None);
@@ -178,23 +303,96 @@ mod tests {
     #[test]
     fn first_insert_wins_races() {
         let cache = ReleaseCache::new();
-        let key = ReleaseKey::new("q", SensitivityMethod::Residual, 1.0, 0);
+        let key = ReleaseKey::new("q", SensitivityMethod::Residual, 1.0, stamp(&[("R", 0)]));
         cache.put(key.clone(), release(1.0));
         cache.put(key.clone(), release(2.0));
         assert_eq!(cache.get(&key).unwrap().value, 1.0);
     }
 
     #[test]
-    fn retain_generation_drops_stale_entries() {
+    fn invalidation_is_scoped_to_the_mutated_relation() {
+        // The module-doc example, verbatim: Q_R over R, Q_S over S; an
+        // insert into S kills only Q_S's entry.
         let cache = ReleaseCache::new();
-        let old = ReleaseKey::new("q", SensitivityMethod::Residual, 1.0, 0);
-        let new = ReleaseKey::new("q", SensitivityMethod::Residual, 1.0, 1);
-        cache.put(old.clone(), release(1.0));
-        cache.put(new.clone(), release(2.0));
-        cache.retain_generation(1);
-        assert_eq!(cache.get(&old), None);
-        assert_eq!(cache.get(&new).unwrap().value, 2.0);
+        let q_r = ReleaseKey::new(
+            "Q(*) :- R(x, y)",
+            SensitivityMethod::Residual,
+            1.0,
+            stamp(&[("R", 0)]),
+        );
+        let q_s = ReleaseKey::new(
+            "Q(*) :- S(x, y)",
+            SensitivityMethod::Residual,
+            1.0,
+            stamp(&[("S", 0)]),
+        );
+        cache.put(q_r.clone(), release(1.0));
+        cache.put(q_s.clone(), release(2.0));
+        cache.invalidate_relation("S", 1);
+        assert_eq!(cache.get(&q_r).unwrap().value, 1.0, "R-only entry lives");
+        assert_eq!(cache.get(&q_s), None, "S entry died");
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+        assert_eq!(cache.scoped_counters(), (1, 1));
+    }
+
+    #[test]
+    fn entries_at_the_current_version_survive_invalidation() {
+        // A racing release computed against the *new* version must not be
+        // destroyed by the invalidation pass for that same version.
+        let cache = ReleaseCache::new();
+        let fresh = ReleaseKey::new("q", SensitivityMethod::Residual, 1.0, stamp(&[("S", 2)]));
+        let stale = ReleaseKey::new("q", SensitivityMethod::Residual, 0.5, stamp(&[("S", 1)]));
+        cache.put(fresh.clone(), release(1.0));
+        cache.put(stale.clone(), release(2.0));
+        cache.invalidate_relation("S", 2);
+        assert_eq!(cache.get(&fresh).unwrap().value, 1.0);
+        assert_eq!(cache.get(&stale), None);
+    }
+
+    #[test]
+    fn global_laplace_entries_die_on_any_mutation() {
+        // GL noise is calibrated at N = |I|: every effective mutation
+        // stales every GL entry — including ones whose stamp predates a
+        // later-created relation and therefore does not mention it (left
+        // in place, such an entry could never be hit again but would be
+        // re-counted as a scoped hit on every pass).
+        let cache = ReleaseCache::new();
+        let gl = ReleaseKey::new(
+            "Q(*) :- R(x, y)",
+            SensitivityMethod::GlobalLaplace,
+            1.0,
+            stamp(&[("R", 0)]), // taken before `New` existed
+        );
+        let rs = ReleaseKey::new(
+            "Q(*) :- R(x, y)",
+            SensitivityMethod::Residual,
+            1.0,
+            stamp(&[("R", 0)]),
+        );
+        cache.put(gl.clone(), release(1.0));
+        cache.put(rs.clone(), release(2.0));
+        cache.invalidate_relation("New", 1);
+        assert_eq!(cache.get(&gl), None, "GL entry must die: N changed");
+        assert_eq!(cache.get(&rs).unwrap().value, 2.0, "RS entry unaffected");
+        assert_eq!(cache.scoped_counters(), (1, 1));
+    }
+
+    #[test]
+    fn multi_relation_stamps_invalidate_on_any_member() {
+        // A join over R and S dies on a mutation of either.
+        let cache = ReleaseCache::new();
+        let join = ReleaseKey::new(
+            "Q(*) :- R(x,y), S(y,z)",
+            SensitivityMethod::Residual,
+            1.0,
+            stamp(&[("R", 0), ("S", 0)]),
+        );
+        cache.put(join.clone(), release(3.0));
+        cache.invalidate_relation("T", 1);
+        assert_eq!(cache.len(), 1, "unrelated relation: retained");
+        cache.invalidate_relation("R", 1);
+        assert_eq!(cache.len(), 0, "read-set member: dropped");
+        assert_eq!(cache.scoped_counters(), (1, 1));
     }
 }

@@ -9,15 +9,21 @@
 //!   reserve → evaluate → commit/refund protocol. Racing requests can
 //!   never jointly overspend; failed evaluations refund automatically
 //!   (refund is the `Drop` default of a [`Reservation`]).
-//! * **Mutable databases** — tuple inserts/removals go through the
-//!   engine behind an `RwLock`, bump its generation counter, and
-//!   invalidate both the engine's `T`-family memo stores and this
-//!   crate's release cache.
+//! * **Mutable databases with scoped invalidation** — tuple
+//!   inserts/removals go through the engine behind an `RwLock` and bump
+//!   the touched relation's version counter. Invalidation follows the
+//!   per-relation version vector: only the engine `T`-family stores and
+//!   release-cache entries whose *read set* contains the mutated
+//!   relation are dropped; everything cached for queries over other
+//!   relations stays warm and replayable.
 //! * **[`ReleaseCache`]** — released answers keyed by
-//!   `(canonical query, method, ε, generation)`. A repeated identical
-//!   request replays the stored noisy answer at **zero additional
-//!   budget**: re-publishing a published value is post-processing, which
-//!   differential privacy lets you do for free.
+//!   `(canonical query, method, ε, read-set version stamp)`. A repeated
+//!   identical request replays the stored noisy answer at **zero
+//!   additional budget**: re-publishing a published value is
+//!   post-processing, which differential privacy lets you do for free —
+//!   and the stamp keeps that replay alive across mutations of relations
+//!   the query never reads (see the [`cache`] module for the worked
+//!   example).
 //! * **Request batching** — a `batch` frame evaluates its releases under
 //!   one database snapshot, grouped by query shape so the engine-owned
 //!   family store is warmed once per shape and replayed for the rest.

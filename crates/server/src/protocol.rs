@@ -33,13 +33,20 @@
 //! {"ok":true,"op":"insert","changed":true,"generation":3}
 //! {"ok":true,"op":"budget","principal":"alice","budget":2.0,
 //!  "spent":0.5,"remaining":1.5}
-//! {"ok":true,"op":"stats","generation":3,"release_cache_entries":2,
-//!  "release_cache_hits":5,"release_cache_misses":7,"principals":2}
+//! {"ok":true,"op":"stats","generation":3,
+//!  "relation_versions":{"Edge":3,"Tag":0},"release_cache_entries":2,
+//!  "release_cache_hits":5,"release_cache_misses":7,
+//!  "cache_scoped_hits":4,"cache_scoped_misses":1,"principals":2}
 //! {"ok":true,"op":"batch","responses":[{...},{...}]}
 //! {"ok":true,"op":"shutdown"}
 //! ```
 //!
 //! `remaining`/`budget` render as `null` when infinite (unmetered).
+//! `stats.generation` is the derived total of `relation_versions` (one
+//! tick per effective mutation); `cache_scoped_{hits,misses}` count, over
+//! all mutations so far, the release-cache entries retained vs. dropped
+//! by read-set-scoped invalidation (see the `cache` module — scoped hits
+//! are replayable answers a wholesale purge would have destroyed).
 
 use dpcq::noise::Release;
 use dpcq::SensitivityMethod;
@@ -275,14 +282,23 @@ pub enum Response {
     Stats {
         /// Echoed request id.
         id: Option<i64>,
-        /// Current database generation.
+        /// Current database generation (the derived total of
+        /// `relation_versions`).
         generation: u64,
+        /// Per-relation mutation counts since the server started, in
+        /// name order.
+        relation_versions: Vec<(String, u64)>,
         /// Live release-cache entries.
         release_cache_entries: usize,
         /// Release-cache hits so far.
         release_cache_hits: u64,
         /// Release-cache misses so far.
         release_cache_misses: u64,
+        /// Release-cache entries retained by scoped invalidation passes
+        /// (answers a wholesale purge would have dropped).
+        cache_scoped_hits: u64,
+        /// Release-cache entries dropped by scoped invalidation passes.
+        cache_scoped_misses: u64,
         /// Principals with a budget ledger.
         principals: usize,
     },
@@ -387,9 +403,12 @@ impl Response {
             Response::Stats {
                 id,
                 generation,
+                relation_versions,
                 release_cache_entries,
                 release_cache_hits,
                 release_cache_misses,
+                cache_scoped_hits,
+                cache_scoped_misses,
                 principals,
             } => with_id(
                 *id,
@@ -398,6 +417,15 @@ impl Response {
                     field("op", Json::Str("stats".into())),
                     field("generation", Json::Int(*generation as i128)),
                     field(
+                        "relation_versions",
+                        Json::Obj(
+                            relation_versions
+                                .iter()
+                                .map(|(n, v)| (n.clone(), Json::Int(*v as i128)))
+                                .collect(),
+                        ),
+                    ),
+                    field(
                         "release_cache_entries",
                         Json::Int(*release_cache_entries as i128),
                     ),
@@ -405,6 +433,11 @@ impl Response {
                     field(
                         "release_cache_misses",
                         Json::Int(*release_cache_misses as i128),
+                    ),
+                    field("cache_scoped_hits", Json::Int(*cache_scoped_hits as i128)),
+                    field(
+                        "cache_scoped_misses",
+                        Json::Int(*cache_scoped_misses as i128),
                     ),
                     field("principals", Json::Int(*principals as i128)),
                 ],
@@ -592,6 +625,52 @@ mod tests {
         assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(parsed.get("error").and_then(Json::as_str), Some("nope"));
         assert_eq!(parsed.get("id"), None);
+    }
+
+    #[test]
+    fn stats_response_round_trips_version_vector_and_scoped_counters() {
+        let resp = Response::Stats {
+            id: Some(6),
+            generation: 3,
+            relation_versions: vec![("Edge".to_string(), 3), ("Tag".to_string(), 0)],
+            release_cache_entries: 2,
+            release_cache_hits: 5,
+            release_cache_misses: 7,
+            cache_scoped_hits: 4,
+            cache_scoped_misses: 1,
+            principals: 2,
+        };
+        let line = resp.render_line();
+        assert!(!line.contains('\n'));
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("generation").and_then(Json::as_i128), Some(3));
+        let versions = parsed.get("relation_versions").unwrap();
+        assert_eq!(versions.get("Edge").and_then(Json::as_i128), Some(3));
+        assert_eq!(versions.get("Tag").and_then(Json::as_i128), Some(0));
+        assert_eq!(
+            versions.entries().map(<[(String, Json)]>::len),
+            Some(2),
+            "exactly the reported relations"
+        );
+        assert_eq!(
+            parsed.get("cache_scoped_hits").and_then(Json::as_i128),
+            Some(4)
+        );
+        assert_eq!(
+            parsed.get("cache_scoped_misses").and_then(Json::as_i128),
+            Some(1)
+        );
+        // Generation stays the derived total of the version vector.
+        let total: i128 = versions
+            .entries()
+            .unwrap()
+            .iter()
+            .filter_map(|(_, v)| v.as_i128())
+            .sum();
+        assert_eq!(
+            parsed.get("generation").and_then(Json::as_i128),
+            Some(total)
+        );
     }
 
     #[test]

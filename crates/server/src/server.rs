@@ -6,10 +6,13 @@
 //! The [`PrivateEngine`] sits behind an `RwLock`. Releases take the read
 //! lock — many evaluate concurrently, and all of them share the engine's
 //! per-query `T`-family stores — while mutations take the write lock,
-//! bump the engine generation, and purge the release cache. Holding the
-//! read lock across an entire release pins the generation: an answer is
-//! always computed against, and cached under, one consistent database
-//! state.
+//! bump the touched relation's version, and purge exactly the release-
+//! cache entries whose read-set stamp mentions that relation (see the
+//! `cache` module). Holding the read lock across an entire release pins
+//! the version vector: an answer is always computed against, and cached
+//! under, one consistent database state, and the mutation path holds the
+//! write lock across both the engine mutation and the cache purge so no
+//! release can slip a stale answer in between.
 //!
 //! Budget is accounted *around* evaluation (reserve → evaluate →
 //! commit/refund; see the `budget` module): a racing pair of requests
@@ -114,6 +117,13 @@ impl Server {
         &self.budget
     }
 
+    /// Read access to the wrapped engine (a shared lock: releases keep
+    /// flowing, mutations wait). For observability — family-cache
+    /// counters, version vectors — in tests and benchmarks.
+    pub fn engine(&self) -> std::sync::RwLockReadGuard<'_, PrivateEngine> {
+        self.engine.read().expect("engine lock poisoned")
+    }
+
     /// Whether a shutdown request has been handled.
     pub fn is_shut_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
@@ -169,12 +179,16 @@ impl Server {
             Request::Stats { id } => {
                 let engine = self.engine.read().expect("engine lock poisoned");
                 let (hits, misses) = self.cache.counters();
+                let (scoped_hits, scoped_misses) = self.cache.scoped_counters();
                 Response::Stats {
                     id,
                     generation: engine.generation(),
+                    relation_versions: engine.relation_versions(),
                     release_cache_entries: self.cache.len(),
                     release_cache_hits: hits,
                     release_cache_misses: misses,
+                    cache_scoped_hits: scoped_hits,
+                    cache_scoped_misses: scoped_misses,
                     principals: self.budget.num_principals(),
                 }
             }
@@ -210,9 +224,11 @@ impl Server {
             Err(e) => return err(format!("query does not parse: {e}")),
         };
         // Key by the *re-rendered* query so textual variants of one query
-        // share a cache entry.
+        // share a cache entry, and by the read-set version stamp so the
+        // entry survives mutations of relations this release never reads.
         let generation = engine.generation();
-        let key = ReleaseKey::new(&query.to_string(), r.method, epsilon, generation);
+        let stamp = engine.read_set_stamp(&query, r.method);
+        let key = ReleaseKey::new(&query.to_string(), r.method, epsilon, stamp);
         if let Some(release) = self.cache.get(&key) {
             return Response::Release {
                 id: r.id,
@@ -282,9 +298,13 @@ impl Server {
         };
         let generation = engine.generation();
         if changed {
-            // The engine dropped its family caches; drop the now-stale
-            // released answers too.
-            self.cache.retain_generation(generation);
+            // The engine dropped the family caches whose read set
+            // contains `relation`; drop the released answers stamped
+            // against its old versions too. Answers whose stamps do not
+            // mention `relation` stay replayable (still under the write
+            // lock, so no release interleaves).
+            self.cache
+                .invalidate_relation(relation, engine.relation_version(relation));
         }
         Response::Updated {
             id,
@@ -589,6 +609,114 @@ mod tests {
         ));
         let fresh = server.handle(release_req(q, "p", Some(1.0)));
         assert!(matches!(fresh, Response::Release { cached: false, .. }));
+    }
+
+    /// The headline scoped-invalidation scenario, in-process: two
+    /// relations, one query over each; a mutation of `S` must leave
+    /// `Q_R`'s cached release replaying bit-identically at zero
+    /// additional ε and its family cache fully warm (0 new factors, 0 new
+    /// residuals), while `Q_S` recomputes under its new stamp.
+    #[test]
+    fn mutation_of_one_relation_retains_the_other_relations_caches() {
+        let mut db = Database::new();
+        for (u, v) in [(1, 2), (2, 3), (1, 3), (3, 4)] {
+            db.insert_tuple("R", &[Value(u), Value(v)]);
+            db.insert_tuple("R", &[Value(v), Value(u)]);
+            db.insert_tuple("S", &[Value(10 * u), Value(10 * v)]);
+        }
+        let server = Server::new(
+            PrivateEngine::new(db, Policy::all_private(), 1.0).with_threads(1),
+            ServerConfig {
+                default_epsilon: 1.0,
+                default_budget: f64::INFINITY,
+                seed: Some(99),
+            },
+        );
+        let q_r_text = "Q(*) :- R(x,y), R(y,z)";
+        let q_s_text = "Q(*) :- S(x,y), S(y,z)";
+        let release = |q: &str| server.handle(release_req(q, "p", Some(0.5)));
+        let unwrap_release = |resp: Response| -> (Release, bool) {
+            match resp {
+                Response::Release {
+                    release, cached, ..
+                } => (release, cached),
+                other => panic!("{other:?}"),
+            }
+        };
+
+        // Warm both shapes.
+        let (r1, c1) = unwrap_release(release(q_r_text));
+        let (s1, _) = unwrap_release(release(q_s_text));
+        assert!(!c1);
+        let q_r = parse_query(q_r_text).unwrap();
+        let q_s = parse_query(q_s_text).unwrap();
+        let warmed_r = server.engine().family_stats(&q_r);
+        let warmed_s = server.engine().family_stats(&q_s);
+        assert!(warmed_r.factor_misses > 0 && warmed_r.values_computed > 0);
+        assert!(warmed_s.values_computed > 0);
+        let spent_before = server.budget().spent("p");
+
+        // Mutate S only.
+        let upd = server.handle(Request::Insert {
+            id: None,
+            relation: "S".into(),
+            tuple: vec![50, 60],
+        });
+        assert!(matches!(
+            upd,
+            Response::Updated {
+                changed: true,
+                generation: 1,
+                ..
+            }
+        ));
+
+        // Q_R: replayed bit-identically, zero additional ε, zero new work.
+        let (r2, c2) = unwrap_release(release(q_r_text));
+        assert!(c2, "R-only answer must survive the S mutation");
+        assert_eq!(r1, r2, "replay must be bit-identical");
+        assert_eq!(server.budget().spent("p"), spent_before, "replay is free");
+        let after_r = server.engine().family_stats(&q_r);
+        assert_eq!(
+            after_r.factor_misses, warmed_r.factor_misses,
+            "0 new factors"
+        );
+        assert_eq!(
+            after_r.values_computed, warmed_r.values_computed,
+            "0 new residuals"
+        );
+
+        // Q_S: stamped anew, recomputed from scratch, ε spent.
+        let (s2, c3) = unwrap_release(release(q_s_text));
+        assert!(!c3, "S answer must recompute under its new stamp");
+        assert_ne!(s1, s2);
+        assert!(server.budget().spent("p") > spent_before);
+        let after_s = server.engine().family_stats(&q_s);
+        assert!(
+            after_s.values_computed > 0 && after_s.value_hits < warmed_s.value_hits
+                || after_s.value_hits == 0,
+            "S shape was rebuilt: {after_s:?}"
+        );
+
+        // Stats tell the same story over the typed surface.
+        let stats = server.handle(Request::Stats { id: None });
+        let Response::Stats {
+            generation,
+            relation_versions,
+            cache_scoped_hits,
+            cache_scoped_misses,
+            ..
+        } = stats
+        else {
+            panic!("{stats:?}")
+        };
+        assert_eq!(generation, 1);
+        assert_eq!(
+            relation_versions,
+            vec![("R".to_string(), 0), ("S".to_string(), 1)]
+        );
+        assert_eq!(cache_scoped_hits, 1, "Q_R's entry survived");
+        assert_eq!(cache_scoped_misses, 1, "Q_S's entry was dropped");
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   newlines are escaped by the grammar), for newline-delimited protocol
 //!   frames.
 //!
-//! [`Json::parse`] reads both forms.
+//! [`Json::parse`] reads both forms. Protocol frames with nested objects
+//! — e.g. the `stats` response's `relation_versions` version vector —
+//! round-trip through `render_compact` → `parse` unchanged (pinned by
+//! tests here and in `dpcq_server::protocol`).
 
 /// A minimal JSON document.
 #[derive(Clone, Debug, PartialEq)]
@@ -485,6 +488,42 @@ mod tests {
             Json::parse(&doc.render()).unwrap(),
             Json::parse(&doc.render_compact()).unwrap()
         );
+    }
+
+    #[test]
+    fn stats_shaped_frame_round_trips() {
+        // The `dpcq_server` stats response shape: a nested version-vector
+        // object keyed by relation names plus scoped-invalidation
+        // counters. Pinned here (in addition to the protocol-level test)
+        // so the wire layer cannot silently drop or reorder the nested
+        // object a monitoring client keys on.
+        let frame = Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("stats".into())),
+            ("generation", Json::Int(3)),
+            (
+                "relation_versions",
+                Json::Obj(vec![
+                    ("Edge".to_string(), Json::Int(3)),
+                    ("Tag".to_string(), Json::Int(0)),
+                ]),
+            ),
+            ("cache_scoped_hits", Json::Int(4)),
+            ("cache_scoped_misses", Json::Int(1)),
+        ]);
+        let line = frame.render_compact();
+        assert!(!line.contains('\n'));
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed, frame);
+        let versions = parsed.get("relation_versions").unwrap();
+        assert_eq!(versions.get("Edge").and_then(Json::as_i128), Some(3));
+        assert_eq!(versions.get("Tag").and_then(Json::as_i128), Some(0));
+        assert_eq!(
+            parsed.get("cache_scoped_hits").and_then(Json::as_i128),
+            Some(4)
+        );
+        // The pretty renderer parses back to the same tree too.
+        assert_eq!(Json::parse(&frame.render()).unwrap(), frame);
     }
 
     #[test]

@@ -184,6 +184,111 @@ fn serving_story_over_a_real_socket() {
     assert!(server.is_shut_down());
 }
 
+/// The headline scoped-invalidation story over a real socket: warm
+/// releases for `Q_R` (mentions only `R`) and `Q_S` (mentions only `S`),
+/// insert into `S`, and check that `Q_R`'s cached answer replays
+/// bit-identically at zero additional ε while `Q_S` recomputes under its
+/// new read-set stamp. The in-process twin (which can additionally see
+/// the family-cache counters) lives in `dpcq_server::server::tests`.
+#[test]
+fn cross_relation_retention_over_a_real_socket() {
+    let mut db = Database::new();
+    for (u, v) in [(1, 2), (2, 3), (1, 3), (3, 4)] {
+        db.insert_tuple("R", &[Value(u), Value(v)]);
+        db.insert_tuple("R", &[Value(v), Value(u)]);
+        db.insert_tuple("S", &[Value(10 * u), Value(10 * v)]);
+    }
+    let server = Arc::new(Server::new(
+        PrivateEngine::new(db, Policy::all_private(), 1.0).with_threads(1),
+        ServerConfig {
+            default_epsilon: 1.0,
+            default_budget: f64::INFINITY,
+            seed: Some(77),
+        },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let serve_thread = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.serve(listener).expect("serve"))
+    };
+    let mut client = Client::connect(addr);
+    let q_r = r#"{"op":"release","query":"Q(*) :- R(x,y), R(y,z)","principal":"p","epsilon":0.5}"#;
+    let q_s = r#"{"op":"release","query":"Q(*) :- S(x,y), S(y,z)","principal":"p","epsilon":0.5}"#;
+
+    // Warm both shapes.
+    let (_, r1) = client.roundtrip(q_r);
+    let (_, s1) = client.roundtrip(q_s);
+    for warm in [&r1, &s1] {
+        assert_ok(warm);
+        assert_eq!(warm.get("cached").and_then(Json::as_bool), Some(false));
+    }
+    let (_, budget) = client.roundtrip(r#"{"op":"budget","principal":"p"}"#);
+    let spent_before = f64_of(&budget, "spent");
+    assert!((spent_before - 1.0).abs() < 1e-9);
+
+    // Mutate S only.
+    let (_, upd) = client.roundtrip(r#"{"op":"insert","relation":"S","tuple":[50,60]}"#);
+    assert_ok(&upd);
+    assert_eq!(upd.get("changed").and_then(Json::as_bool), Some(true));
+    assert_eq!(upd.get("generation").and_then(Json::as_i128), Some(1));
+
+    // Q_R: served from the cache, every payload field bit-identical,
+    // zero additional ε.
+    let (_, r2) = client.roundtrip(q_r);
+    assert_ok(&r2);
+    assert_eq!(
+        r2.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "{r2:?}"
+    );
+    for key in ["value", "epsilon", "sensitivity", "scale", "expected_error"] {
+        assert_eq!(
+            f64_of(&r1, key).to_bits(),
+            f64_of(&r2, key).to_bits(),
+            "replay differs in `{key}`"
+        );
+    }
+    let (_, budget) = client.roundtrip(r#"{"op":"budget","principal":"p"}"#);
+    assert!(
+        (f64_of(&budget, "spent") - spent_before).abs() < 1e-9,
+        "replay must be budget-free"
+    );
+
+    // Q_S: recomputed under its new stamp — fresh noise, ε spent.
+    let (_, s2) = client.roundtrip(q_s);
+    assert_ok(&s2);
+    assert_eq!(s2.get("cached").and_then(Json::as_bool), Some(false));
+    assert_ne!(
+        f64_of(&s1, "value").to_bits(),
+        f64_of(&s2, "value").to_bits()
+    );
+    let (_, budget) = client.roundtrip(r#"{"op":"budget","principal":"p"}"#);
+    assert!((f64_of(&budget, "spent") - 1.5).abs() < 1e-9);
+
+    // The stats frame reports the version vector and the scoped
+    // retention that made the replay possible.
+    let (_, stats) = client.roundtrip(r#"{"op":"stats"}"#);
+    assert_ok(&stats);
+    assert_eq!(stats.get("generation").and_then(Json::as_i128), Some(1));
+    let versions = stats.get("relation_versions").expect("version vector");
+    assert_eq!(versions.get("R").and_then(Json::as_i128), Some(0));
+    assert_eq!(versions.get("S").and_then(Json::as_i128), Some(1));
+    assert_eq!(
+        stats.get("cache_scoped_hits").and_then(Json::as_i128),
+        Some(1),
+        "Q_R's entry survived the S mutation"
+    );
+    assert_eq!(
+        stats.get("cache_scoped_misses").and_then(Json::as_i128),
+        Some(1),
+        "Q_S's entry was dropped"
+    );
+
+    client.roundtrip(r#"{"op":"shutdown"}"#);
+    serve_thread.join().expect("serve exits");
+}
+
 #[test]
 fn determinism_across_identical_servers() {
     // Two servers with the same seed and the same request stream produce
