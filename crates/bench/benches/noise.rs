@@ -1,7 +1,7 @@
 //! Sampling throughput for the noise distributions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dpcq::noise::{GeneralCauchy, Laplace, SmoothCauchyMechanism};
+use dpcq::noise::{GeneralCauchy, Laplace, RawAnswer, SmoothCauchyMechanism};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,7 +20,7 @@ fn bench_noise(c: &mut Criterion) {
     });
     group.bench_function("smooth_release", |b| {
         let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| mech.release(1000.0, 25.0, &mut rng))
+        b.iter(|| mech.release(RawAnswer::new(1000), 25.0, &mut rng))
     });
     group.finish();
 }

@@ -1,7 +1,7 @@
 //! The high-level release engine: query in, ε-DP noisy count out.
 
 use dpcq_eval::{Evaluator, FamilyCache, FamilyStats};
-use dpcq_noise::{LaplaceMechanism, Release, SmoothCauchyMechanism};
+use dpcq_noise::{LaplaceMechanism, RawAnswer, Release, SmoothCauchyMechanism};
 use dpcq_query::{ConjunctiveQuery, Policy};
 use dpcq_relation::{Database, FxHashMap, RelationVersion, Value, VersionStamp};
 use dpcq_sensitivity::{
@@ -71,7 +71,11 @@ impl FromStr for SensitivityMethod {
 pub struct PendingRelease {
     method: SensitivityMethod,
     epsilon: f64,
-    count: f64,
+    /// The exact count, taint-typed: it can only leave this struct
+    /// through a mechanism in `noise::mechanism` (see `noise::taint` and
+    /// rule R1 of `dpa check`). `RawAnswer`'s `Debug` impl redacts it, so
+    /// even a logged `PendingRelease` cannot leak the raw answer.
+    count: RawAnswer,
     sensitivity: f64,
     stamp: VersionStamp,
 }
@@ -472,7 +476,10 @@ impl PrivateEngine {
             epsilon > 0.0 && epsilon.is_finite(),
             "epsilon must be positive"
         );
-        let count = self.true_count(query)? as f64;
+        // Taint the exact count the moment it exists: from here to the
+        // noise draw it travels as `RawAnswer`, which nothing outside the
+        // mechanism layer can unwrap.
+        let count = RawAnswer::new(self.true_count(query)?);
         let sensitivity = match method {
             SensitivityMethod::Residual => {
                 let beta = SmoothCauchyMechanism::new(epsilon).beta();
@@ -587,7 +594,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let r = engine.release(&q, &mut rng).unwrap();
         assert!(r.expected_error > 0.0);
-        assert!(r.value.is_finite());
+        assert!(r.value.get().is_finite());
         assert_eq!(r.epsilon, 1.0);
     }
 
@@ -624,7 +631,7 @@ mod tests {
             SensitivityMethod::GlobalLaplace,
         ] {
             let r = engine.release_with(&q, m, &mut rng).unwrap();
-            assert!(r.value.is_finite(), "{m:?}");
+            assert!(r.value.get().is_finite(), "{m:?}");
             assert!(r.sensitivity >= 0.0);
         }
     }
@@ -658,7 +665,7 @@ mod tests {
         let q = triangle();
         let mut rng = StdRng::seed_from_u64(4);
         let r = engine.release(&q, &mut rng).unwrap();
-        assert_eq!(r.value, 12.0);
+        assert_eq!(r.value.get(), 12.0);
         assert_eq!(r.expected_error, 0.0);
     }
 

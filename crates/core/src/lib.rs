@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # dpcq — a nearly instance-optimal DP mechanism for conjunctive queries
 //!
 //! A complete Rust implementation of

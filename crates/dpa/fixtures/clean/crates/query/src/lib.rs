@@ -1,0 +1,16 @@
+#![deny(unsafe_code)]
+//! FIXTURE (clean): a minimal compliant crate — the deny attribute is
+//! present, no tainted identifiers, no panicking operators, and test
+//! code may do what it likes. `dpa check` must exit zero.
+
+pub fn double(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(Some(super::double(2)).unwrap(), 4);
+    }
+}

@@ -1,0 +1,10 @@
+//! FIXTURE (missing_deny): a crate root without `#![deny(unsafe_code)]`
+//! and a stray `unsafe` block outside the audited files. `dpa check`
+//! must flag both (rule R4) and exit non-zero.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    #[allow(unsafe_code)]
+    unsafe {
+        *bytes.as_ptr()
+    }
+}

@@ -1,0 +1,12 @@
+#![deny(unsafe_code)]
+//! FIXTURE (raw_leak): a handler serializes the exact count instead of
+//! the noisy release — the leak the taint types exist to prevent.
+//! `dpa check --root …/raw_leak` must flag the `RawAnswer` uses below
+//! (rule R1) and exit non-zero.
+
+pub struct RawAnswer(pub u128);
+
+pub fn render_debug_line(count: RawAnswer) -> String {
+    // Planted violation: an exact count formatted for the wire.
+    format!("{{\"value\":{}}}", count.0)
+}

@@ -1,0 +1,5 @@
+#![deny(unsafe_code)]
+//! FIXTURE (request_unwrap): crate root; the violations live in
+//! `server.rs`.
+
+pub mod server;

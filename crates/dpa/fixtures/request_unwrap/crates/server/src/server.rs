@@ -1,0 +1,12 @@
+//! FIXTURE (request_unwrap): panicking operators inside the server's
+//! request path. A panic here poisons the engine lock and strands any
+//! in-flight reservation. `dpa check` must flag every site below
+//! (rule R3) and exit non-zero.
+
+pub fn handle(req: Request) -> Response {
+    let engine = req.engine.read().expect("engine lock poisoned");
+    match req.op {
+        Op::Release => engine.release(req.query.unwrap()),
+        Op::Stats => panic!("stats not implemented"),
+    }
+}

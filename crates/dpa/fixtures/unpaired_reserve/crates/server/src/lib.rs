@@ -1,0 +1,25 @@
+#![deny(unsafe_code)]
+//! FIXTURE (unpaired_reserve): budget is reserved but the reservation
+//! is discarded or never committed — either a free query (refund after
+//! the answer shipped) or ε burned with no answer. `dpa check` must
+//! flag all three patterns below (rule R2) and exit non-zero.
+
+use crate::budget::{BudgetAccountant, Mechanism};
+
+pub fn discarded_guard(acct: &BudgetAccountant) {
+    // Planted violation: the guard drops (and refunds) immediately.
+    let _ = acct.reserve("alice", 0.1);
+}
+
+pub fn bare_discard(acct: &BudgetAccountant) {
+    // Planted violation: result never bound at all.
+    acct.reserve("alice", 0.1);
+}
+
+pub fn free_query(acct: &BudgetAccountant, mech: &Mechanism) -> f64 {
+    // Planted violation: reserves and samples, never commits — the
+    // refund-on-drop guard fires after the noisy answer already shipped.
+    let guard = acct.reserve("alice", 0.1);
+    let noisy = mech.sample(guard.epsilon());
+    noisy
+}

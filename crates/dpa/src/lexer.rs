@@ -1,0 +1,454 @@
+//! A small, purpose-built Rust lexer.
+//!
+//! `dpa` deliberately does not parse Rust — it lexes it. Every rule in
+//! [`crate::rules`] is expressible over the token stream (identifier
+//! whitelists, adjacency patterns like `ident (`, balanced-brace item
+//! skipping), and a lexer is something we can vendor in ~300 lines with
+//! zero dependencies, per the workspace's vendor policy. The trade-off
+//! is honesty about precision: rules are lexical approximations, tuned
+//! to have no false positives on this workspace (see
+//! `docs/INVARIANTS.md`).
+//!
+//! What the lexer gets right, because the rules depend on it:
+//!
+//! * **Comments** (line, nested block) and **string/char literals**
+//!   (including raw strings `r#"…"#` and byte strings) produce no
+//!   identifier tokens — `// don't log RawAnswer` must not trip R1.
+//! * **Lifetimes vs. char literals**: `'a` is one token, `'a'` is a
+//!   literal.
+//! * Compound identifiers are single tokens: `unwrap_or_else` never
+//!   matches a rule looking for `unwrap`.
+
+/// What a token is; rules match on kind + text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `RawAnswer`, …).
+    Ident,
+    /// A lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// String, char, byte, or numeric literal. Text is not preserved —
+    /// no rule looks inside literals, and dropping the bodies keeps
+    /// rule data (which names forbidden identifiers in strings) from
+    /// matching itself.
+    Literal,
+    /// A single punctuation character: `(`, `!`, `#`, `:`, ….
+    Punct(char),
+}
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Identifier/lifetime text; empty for literals and punctuation.
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Lexes `source` into tokens, skipping whitespace and comments.
+///
+/// Unterminated constructs (block comment, string) consume to EOF
+/// rather than erroring: `dpa` runs on code that `rustc` also compiles,
+/// so malformed files will fail the build anyway.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                'r' | 'b' if self.starts_raw_or_byte_string() => self.raw_or_byte_string(line),
+                '\'' => self.quote(line),
+                _ if c == '_' || c.is_alphanumeric() => self.word(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), String::new(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\n' {
+                break;
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// At a `"`: consume an ordinary string literal with `\` escapes.
+    fn string_literal(&mut self, line: u32) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    /// Does the cursor start `r"`, `r#`, `b"`, `b'`, `br"`, or `br#`?
+    /// (Otherwise `r`/`b` begin an ordinary identifier.)
+    fn starts_raw_or_byte_string(&self) -> bool {
+        let (mut i, first) = (1usize, self.peek(0));
+        if first == Some('b') && self.peek(1) == Some('r') {
+            i = 2;
+        }
+        match (first, self.peek(i)) {
+            (Some('r') | Some('b'), Some('"') | Some('#')) => {
+                // `r#ident` is a raw identifier, not a raw string: a `#`
+                // must be followed (eventually) by `"` through more `#`s.
+                let mut j = i;
+                while self.peek(j) == Some('#') {
+                    j += 1;
+                }
+                self.peek(j) == Some('"')
+            }
+            (Some('b'), Some('\'')) => true,
+            _ => false,
+        }
+    }
+
+    fn raw_or_byte_string(&mut self, line: u32) {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        if self.peek(0) == Some('\'') {
+            // b'x' byte literal: same shape as a char literal.
+            self.bump();
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokenKind::Literal, String::new(), line);
+            return;
+        }
+        if self.peek(0) == Some('r') {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening `"`
+        'body: loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break 'body;
+                    }
+                }
+                Some(_) => {}
+                None => break 'body,
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    /// At a `'`: lifetime (`'a`) or char literal (`'a'`, `'\n'`).
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        let is_lifetime =
+            matches!(next, Some(c) if c == '_' || c.is_alphabetic()) && self.peek(2) != Some('\'');
+        if is_lifetime {
+            self.bump();
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            self.bump();
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokenKind::Literal, String::new(), line);
+        }
+    }
+
+    /// At an identifier or number start.
+    fn word(&mut self, line: u32) {
+        let starts_number = self.peek(0).is_some_and(|c| c.is_ascii_digit());
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else if starts_number && c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // `1.5` is one literal; `1..n` leaves the dots alone.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if starts_number {
+            self.push(TokenKind::Literal, String::new(), line);
+        } else {
+            self.push(TokenKind::Ident, text, line);
+        }
+    }
+}
+
+/// Removes every item annotated `#[cfg(test)]` from the token stream.
+///
+/// Rules govern production code; test modules are free to call
+/// `unwrap()` and to mint `RawAnswer`s for fixtures. An annotated item
+/// is skipped through its balanced `{ … }` block (modules, functions)
+/// or trailing `;` (use declarations), whichever comes first at nesting
+/// depth zero. Other attributes between the `cfg` and the item (e.g.
+/// `#[test]`, doc comments) are skipped with it.
+pub fn strip_cfg_test(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            i += 7; // consume `# [ cfg ( test ) ]`
+            i = skip_item(tokens, i);
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Is `tokens[i..]` exactly `# [ cfg ( test ) ]`?
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let t = |k: usize| tokens.get(i + k);
+    matches!(
+        (t(0), t(1), t(2), t(3), t(4), t(5), t(6)),
+        (Some(a), Some(b), Some(c), Some(d), Some(e), Some(f), Some(g))
+            if a.is_punct('#')
+                && b.is_punct('[')
+                && c.is_ident("cfg")
+                && d.is_punct('(')
+                && e.is_ident("test")
+                && f.is_punct(')')
+                && g.is_punct(']')
+    )
+}
+
+/// Skips one item starting at `i`: through a balanced top-level
+/// `{ … }`, or to a `;` at depth zero. Attributes (`#[…]`) before the
+/// item are consumed along the way.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('{') | TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct('}') | TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 && tokens[i].is_punct('}') {
+                    return i + 1;
+                }
+            }
+            TokenKind::Punct(';') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r###"
+            // RawAnswer in a line comment
+            /* RawAnswer /* nested */ still hidden */
+            let a = "RawAnswer in a string";
+            let b = r#"RawAnswer in a raw string"#;
+            let c = 'R';
+        "###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "RawAnswer"), "{ids:?}");
+        assert_eq!(ids, ["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let literals = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn compound_identifiers_stay_whole() {
+        let ids = idents("x.unwrap_or_else(f); y.unwrap();");
+        assert_eq!(ids, ["x", "unwrap_or_else", "f", "y", "unwrap"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_lex_as_literals_without_eating_ranges() {
+        let toks = lex("1.5 + x[1..2]");
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                TokenKind::Literal,
+                TokenKind::Punct('+'),
+                TokenKind::Ident,
+                TokenKind::Punct('['),
+                TokenKind::Literal,
+                TokenKind::Punct('.'),
+                TokenKind::Punct('.'),
+                TokenKind::Literal,
+                TokenKind::Punct(']'),
+            ]
+        );
+    }
+
+    #[test]
+    fn strip_cfg_test_removes_test_modules_and_functions() {
+        let src = r#"
+            pub fn keep() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn uses_unwrap() { x.unwrap(); }
+            }
+            pub fn also_keep() {}
+            #[cfg(test)]
+            use std::mem::forget;
+        "#;
+        let kept = strip_cfg_test(&lex(src));
+        let ids: Vec<_> = kept
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"keep") && ids.contains(&"also_keep"));
+        assert!(!ids.contains(&"unwrap") && !ids.contains(&"forget"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let ids = idents("let r#fn = 1; let rate = 2;");
+        assert!(ids.contains(&"fn".to_string()) || ids.contains(&"r".to_string()));
+        assert!(ids.contains(&"rate".to_string()));
+    }
+}

@@ -1,0 +1,147 @@
+#![deny(unsafe_code)]
+//! `dpa` — the DP-invariant static analyzer for this workspace.
+//!
+//! `rustc` proves the memory-safety half of the serving story; nothing
+//! proves the *privacy* half. `dpa check` closes that gap for the two
+//! invariants every release depends on:
+//!
+//! 1. **Noise before wire** — no raw (un-noised) count reaches a
+//!    serializer. Enforced by the `RawAnswer`/`Released` taint newtypes
+//!    in `dpcq-noise` plus rule R1, which confines the `RawAnswer`
+//!    identifier to the modules allowed to handle exact counts.
+//! 2. **Budget before noise** — every sampled release is paid for
+//!    exactly once. Enforced by the `Reservation` drop guard plus rules
+//!    R2 (reservations are bound and committed) and R3 (the request
+//!    path cannot panic past a reservation).
+//!
+//! The analyzer is deliberately boring: a ~300-line lexer
+//! ([`lexer`]), a rule table ([`rules::TOKEN_RULES`]), and three
+//! structural passes. No `syn`, no dependencies — it must keep working
+//! in the same offline sandbox the rest of the workspace builds in.
+//! See `docs/INVARIANTS.md` for the rule catalogue and the precision
+//! contract, and `crates/dpa/fixtures/` for seeded violations that the
+//! self-tests require `dpa` to catch.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::Violation;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A workspace source file: its root-relative `/`-separated path (what
+/// rules match on) and its absolute location.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    pub rel: String,
+    pub abs: PathBuf,
+}
+
+/// Collects the files `dpa check` governs: `crates/*/src/**/*.rs` and
+/// `tests/src/**/*.rs` under `root`, sorted for deterministic output.
+///
+/// Everything else is out of scope by construction: `vendor/` (foreign
+/// code), `benches/`/`examples/`/`tests/` target directories (not
+/// production), and `crates/dpa/fixtures/` (deliberate violations).
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                let prefix = format!("crates/{}/src", entry.file_name().to_string_lossy());
+                walk_rs(&src, &prefix, &mut files)?;
+            }
+        }
+    }
+    let tests_src = root.join("tests").join("src");
+    if tests_src.is_dir() {
+        walk_rs(&tests_src, "tests/src", &mut files)?;
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, prefix: &str, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            walk_rs(&path, &format!("{prefix}/{name}"), out)?;
+        } else if name.ends_with(".rs") {
+            out.push(SourceFile {
+                rel: format!("{prefix}/{name}"),
+                abs: path,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full rule set over the workspace at `root`. An empty vector
+/// means the workspace upholds every checked invariant.
+pub fn run_check(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for file in collect_sources(root)? {
+        let source = fs::read_to_string(&file.abs)?;
+        let tokens = lexer::lex(&source);
+        // R4's attribute check sees the raw stream; everything else
+        // governs production code only.
+        rules::check_deny_unsafe_attr(&file.rel, &tokens, &mut violations);
+        let stripped = lexer::strip_cfg_test(&tokens);
+        rules::check_token_rules(&file.rel, &stripped, &mut violations);
+        rules::check_reserve_discipline(&file.rel, &stripped, &mut violations);
+        rules::check_reserve_commit_pairing(&file.rel, &stripped, &mut violations);
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The analyzer's own workspace is in scope — and must be clean.
+    #[test]
+    fn the_real_workspace_passes() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf)
+            .expect("workspace root");
+        let violations = run_check(&root).expect("scan workspace");
+        assert!(
+            violations.is_empty(),
+            "workspace should be clean:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn scan_scope_includes_all_crates_and_skips_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf)
+            .expect("workspace root");
+        let files = collect_sources(&root).expect("collect");
+        let rels: Vec<&str> = files.iter().map(|f| f.rel.as_str()).collect();
+        assert!(rels.contains(&"crates/noise/src/taint.rs"));
+        assert!(rels.contains(&"crates/server/src/server.rs"));
+        assert!(rels.contains(&"crates/dpa/src/rules.rs"));
+        assert!(rels.contains(&"tests/src/lib.rs"));
+        assert!(
+            rels.iter()
+                .all(|r| !r.contains("fixtures") && !r.starts_with("vendor")),
+            "{rels:?}"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+#![deny(unsafe_code)]
+//! `dpa check [--root DIR]` — scan the workspace for DP-invariant
+//! violations.
+//!
+//! Exit codes: `0` clean, `1` violations found (one `file:line`
+//! diagnostic per line on stdout), `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dpa check [--root DIR]\n\n\
+    Statically checks the workspace's differential-privacy invariants:\n\
+    R1 taint (RawAnswer confined, Released minted only by mechanisms),\n\
+    R2 budget pairing (reservations bound and committed),\n\
+    R3 panic-free request handling,\n\
+    R4 unsafe discipline (#![deny(unsafe_code)] in crate roots).\n";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("check") => {}
+        Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+    let mut root = PathBuf::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root requires a directory\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match dpa::run_check(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("dpa: workspace clean (R1–R4 hold)");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("dpa: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("dpa: failed to scan {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! The DP-invariant rule set, expressed as data over token streams.
+//!
+//! Four rule families guard the two invariants the whole workspace
+//! hangs on — *noise before wire* and *budget before noise*:
+//!
+//! * **R1 (taint)** — the `RawAnswer` identifier may appear only in the
+//!   modules allowed to wrap/unwrap exact counts, and `Released` values
+//!   may be constructed only by the noise mechanisms.
+//! * **R2 (budget pairing)** — a `reserve` result must be bound and
+//!   must reach `commit` (or rely on the refund-on-drop guard); the
+//!   escape hatches that defeat the guard (`mem::forget`,
+//!   `ManuallyDrop`, `let _ =`) are banned outright.
+//! * **R3 (no panics in request handling)** — the server's request path
+//!   converts failures into error responses that refund the
+//!   reservation; `unwrap`/`expect`/`panic!` there would poison locks
+//!   and strand budget.
+//! * **R4 (unsafe discipline)** — `#![deny(unsafe_code)]` in every
+//!   crate root, with `unsafe` itself allowed only in the explicitly
+//!   audited allocation-counting bench shim and `relation::fxhash`.
+//!
+//! Rules are *lexical approximations*, chosen so that idiomatic
+//! compliant code never trips them (see `docs/INVARIANTS.md` for the
+//! precision contract and how to add a rule). Test code is exempt:
+//! the caller strips `#[cfg(test)]` items before handing us tokens.
+
+use crate::lexer::{Token, TokenKind};
+use std::fmt;
+
+/// One rule violation, reported as `file:line: [rule] message`.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How a [`TokenRule`] recognizes its identifier.
+#[derive(Clone, Copy, Debug)]
+pub enum Matcher {
+    /// Any appearance of the identifier.
+    Ident,
+    /// Identifier immediately followed by `(` — a call or tuple-struct
+    /// construction. `unwrap_or_else` is a different identifier and
+    /// never matches a rule for `unwrap`.
+    Call,
+    /// Identifier immediately followed by `(`, or by `::new` — a
+    /// constructor, spelled either way.
+    Construct,
+    /// Identifier immediately followed by `!` — a macro invocation.
+    Macro,
+}
+
+/// Where a rule applies. Paths are workspace-relative, `/`-separated;
+/// an entry ending in `/` matches the whole subtree.
+#[derive(Clone, Copy, Debug)]
+pub enum Scope {
+    /// Applies everywhere in the scan set.
+    All,
+    /// Applies only to the listed files.
+    Only(&'static [&'static str]),
+    /// Applies everywhere except the listed files/subtrees.
+    Except(&'static [&'static str]),
+}
+
+impl Scope {
+    fn applies_to(self, file: &str) -> bool {
+        fn listed(list: &[&str], file: &str) -> bool {
+            list.iter().any(|p| {
+                if p.ends_with('/') {
+                    file.starts_with(p)
+                } else {
+                    file == *p
+                }
+            })
+        }
+        match self {
+            Scope::All => true,
+            Scope::Only(list) => listed(list, file),
+            Scope::Except(list) => !listed(list, file),
+        }
+    }
+}
+
+/// A declarative token-pattern rule: in files where `scope` applies,
+/// any `matcher`-match of `ident` is a violation.
+pub struct TokenRule {
+    pub id: &'static str,
+    pub ident: &'static str,
+    pub matcher: Matcher,
+    pub scope: Scope,
+    pub message: &'static str,
+}
+
+/// The modules allowed to name `RawAnswer` — where counts are tainted
+/// (noise crate root re-exports, mechanism unwraps) and the one engine
+/// module that wraps the evaluator's output.
+const RAW_ANSWER_MODULES: &[&str] = &[
+    "crates/noise/src/taint.rs",
+    "crates/noise/src/mechanism.rs",
+    "crates/noise/src/lib.rs",
+    "crates/core/src/engine.rs",
+];
+
+/// The only modules that may construct a `Released` value.
+const RELEASE_MINTERS: &[&str] = &["crates/noise/src/taint.rs", "crates/noise/src/mechanism.rs"];
+
+/// The server's request-handling path (R3 scope).
+const REQUEST_PATH: &[&str] = &[
+    "crates/server/src/server.rs",
+    "crates/server/src/protocol.rs",
+];
+
+/// Audited `unsafe` sites: the hash kernel and the bench crate's
+/// allocation-counting `GlobalAlloc` shim.
+const UNSAFE_ALLOWED: &[&str] = &["crates/relation/src/fxhash.rs", "crates/bench/"];
+
+/// The whole rule table. `dpa check` is this data plus three structural
+/// passes ([`check_reserve_discipline`], [`check_reserve_commit_pairing`],
+/// [`check_deny_unsafe_attr`]).
+pub const TOKEN_RULES: &[TokenRule] = &[
+    TokenRule {
+        id: "R1",
+        ident: "RawAnswer",
+        matcher: Matcher::Ident,
+        scope: Scope::Except(RAW_ANSWER_MODULES),
+        message: "`RawAnswer` (an exact, un-noised count) must not escape \
+                  noise::{taint,mechanism} / core::engine",
+    },
+    TokenRule {
+        id: "R1",
+        ident: "Released",
+        matcher: Matcher::Construct,
+        scope: Scope::Except(RELEASE_MINTERS),
+        message: "only noise::mechanism may construct `Released`; \
+                  everything else post-processes existing releases",
+    },
+    TokenRule {
+        id: "R2",
+        ident: "forget",
+        matcher: Matcher::Call,
+        scope: Scope::All,
+        message: "`mem::forget` defeats the reservation refund-on-drop guard",
+    },
+    TokenRule {
+        id: "R2",
+        ident: "ManuallyDrop",
+        matcher: Matcher::Ident,
+        scope: Scope::All,
+        message: "`ManuallyDrop` defeats the reservation refund-on-drop guard",
+    },
+    TokenRule {
+        id: "R3",
+        ident: "unwrap",
+        matcher: Matcher::Call,
+        scope: Scope::Only(REQUEST_PATH),
+        message: "no `unwrap()` in request handling: convert to an error \
+                  response so the reservation refunds",
+    },
+    TokenRule {
+        id: "R3",
+        ident: "expect",
+        matcher: Matcher::Call,
+        scope: Scope::Only(REQUEST_PATH),
+        message: "no `expect()` in request handling: convert to an error \
+                  response so the reservation refunds",
+    },
+    TokenRule {
+        id: "R3",
+        ident: "panic",
+        matcher: Matcher::Macro,
+        scope: Scope::Only(REQUEST_PATH),
+        message: "no `panic!` in request handling: a panic poisons the \
+                  engine lock and strands in-flight budget",
+    },
+    TokenRule {
+        id: "R3",
+        ident: "unreachable",
+        matcher: Matcher::Macro,
+        scope: Scope::Only(REQUEST_PATH),
+        message: "no `unreachable!` in request handling",
+    },
+    TokenRule {
+        id: "R3",
+        ident: "todo",
+        matcher: Matcher::Macro,
+        scope: Scope::Only(REQUEST_PATH),
+        message: "no `todo!` in request handling",
+    },
+    TokenRule {
+        id: "R3",
+        ident: "unimplemented",
+        matcher: Matcher::Macro,
+        scope: Scope::Only(REQUEST_PATH),
+        message: "no `unimplemented!` in request handling",
+    },
+    TokenRule {
+        id: "R4",
+        ident: "unsafe",
+        matcher: Matcher::Ident,
+        scope: Scope::Except(UNSAFE_ALLOWED),
+        message: "`unsafe` is allowed only in relation::fxhash and the \
+                  bench allocation shim",
+    },
+];
+
+/// Crate roots that must carry `#![deny(unsafe_code)]`. The bench crate
+/// is exempt: it hosts the audited `GlobalAlloc` shim.
+const DENY_UNSAFE_EXEMPT: &[&str] = &["crates/bench/src/lib.rs"];
+
+/// Runs every token-pattern rule over one (test-stripped) file.
+pub fn check_token_rules(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    for rule in TOKEN_RULES {
+        if !rule.scope.applies_to(file) {
+            continue;
+        }
+        for (i, tok) in tokens.iter().enumerate() {
+            if !tok.is_ident(rule.ident) {
+                continue;
+            }
+            let hit = match rule.matcher {
+                Matcher::Ident => true,
+                Matcher::Call => next_is_punct(tokens, i, '('),
+                Matcher::Macro => next_is_punct(tokens, i, '!'),
+                Matcher::Construct => {
+                    next_is_punct(tokens, i, '(')
+                        || (next_is_punct(tokens, i, ':')
+                            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                            && tokens.get(i + 3).is_some_and(|t| t.is_ident("new")))
+                }
+            };
+            if hit {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: tok.line,
+                    rule: rule.id,
+                    message: rule.message.to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn next_is_punct(tokens: &[Token], i: usize, c: char) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is_punct(c))
+}
+
+/// Do these tokens name the budget API at all? The R2 structural
+/// passes key `reserve`/`commit` to `BudgetAccountant` reservations;
+/// files that never mention the API (where `reserve` could only be
+/// `Vec::reserve` and friends) are out of scope.
+fn mentions_budget_api(tokens: &[Token]) -> bool {
+    tokens
+        .iter()
+        .any(|t| t.is_ident("BudgetAccountant") || t.is_ident("Reservation"))
+}
+
+/// R2, part one: a `reserve(…)` result must be **bound**. The refund
+/// guard lives in the returned `Reservation`; discarding it with
+/// `let _ = …` or a bare expression statement drops (and refunds) it
+/// before the ε is ever used, which is always a bug.
+///
+/// Statements are approximated as token runs between `;`, `{`, and `}`.
+/// A statement containing a `reserve(` call passes if it shows any sign
+/// of consuming the result: a binding or assignment (`=`), error
+/// propagation (`?`), `return`, a `match`/`if` scrutinee, or an
+/// immediate `commit`. Signatures (`fn reserve(…)`) are declarations,
+/// not calls.
+pub fn check_reserve_discipline(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    if !mentions_budget_api(tokens) {
+        return;
+    }
+    for stmt in tokens.split(|t| {
+        matches!(
+            t.kind,
+            TokenKind::Punct(';') | TokenKind::Punct('{') | TokenKind::Punct('}')
+        )
+    }) {
+        let Some(call_at) = stmt
+            .iter()
+            .position(|t| t.is_ident("reserve"))
+            .filter(|&i| next_is_punct(stmt, i, '('))
+        else {
+            continue;
+        };
+        if stmt[..call_at].iter().any(|t| t.is_ident("fn")) {
+            continue; // `fn reserve(…)` — the definition, not a call
+        }
+        let line = stmt[call_at].line;
+        let discarded_underscore = stmt.len() >= 3
+            && stmt[0].is_ident("let")
+            && stmt[1].is_ident("_")
+            && stmt[2].is_punct('=');
+        let consumed = stmt.iter().any(|t| {
+            t.is_punct('=')
+                || t.is_punct('?')
+                || t.is_ident("return")
+                || t.is_ident("match")
+                || t.is_ident("if")
+                || t.is_ident("commit")
+        });
+        if discarded_underscore {
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: "R2",
+                message: "`let _ = …reserve(…)` drops the reservation guard \
+                          immediately; bind it and commit or let errors refund"
+                    .to_string(),
+            });
+        } else if !consumed {
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: "R2",
+                message: "`reserve(…)` result discarded; bind the reservation \
+                          so it can commit (or refund on drop)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R2, part two: a function that both reserves budget and samples noise
+/// must contain a `commit` — otherwise every release it performs is
+/// refunded after the noisy answer already shipped, i.e. a free query.
+pub fn check_reserve_commit_pairing(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    if !mentions_budget_api(tokens) {
+        return;
+    }
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let fn_line = tokens[i].line;
+        let fn_name = tokens
+            .get(i + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        // Find the body's opening brace: the first `{` at bracket depth
+        // zero after the signature (skipping parenthesized args and any
+        // bracketed generics).
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let body_open = loop {
+            match tokens.get(j) {
+                None => break None,
+                Some(t) if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') => depth += 1,
+                Some(t) if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') => {
+                    depth = depth.saturating_sub(1)
+                }
+                Some(t) if t.is_punct('{') && depth == 0 => break Some(j),
+                Some(t) if t.is_punct(';') && depth == 0 => break None, // trait method decl
+                Some(_) => {}
+            }
+            j += 1;
+        };
+        let Some(open) = body_open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        // Body extent: balanced braces.
+        let mut brace = 0usize;
+        let mut end = open;
+        while end < tokens.len() {
+            if tokens[end].is_punct('{') {
+                brace += 1;
+            } else if tokens[end].is_punct('}') {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            }
+            end += 1;
+        }
+        let body = &tokens[open..=end.min(tokens.len() - 1)];
+        let has = |name: &str, then: char| {
+            body.iter()
+                .enumerate()
+                .any(|(k, t)| t.is_ident(name) && next_is_punct(body, k, then))
+        };
+        if has("reserve", '(') && has("sample", '(') && !body.iter().any(|t| t.is_ident("commit")) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: fn_line,
+                rule: "R2",
+                message: format!(
+                    "fn `{fn_name}` reserves budget and samples noise but never \
+                     commits: the reservation refunds after the answer ships"
+                ),
+            });
+        }
+        i += 1;
+    }
+}
+
+/// Is `file` a crate root (`crates/<name>/src/lib.rs` or
+/// `tests/src/lib.rs`)?
+fn is_crate_root(file: &str) -> bool {
+    if file == "tests/src/lib.rs" {
+        return true;
+    }
+    file.strip_prefix("crates/")
+        .and_then(|rest| rest.split_once('/'))
+        .is_some_and(|(_, tail)| tail == "src/lib.rs")
+}
+
+/// R4: every crate root must open with `#![deny(unsafe_code)]`, so a
+/// future `unsafe` block is a *compile* error, not just a dpa finding.
+/// Runs on the unstripped token stream (the attribute precedes any
+/// test module anyway).
+pub fn check_deny_unsafe_attr(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    if !is_crate_root(file) || DENY_UNSAFE_EXEMPT.contains(&file) {
+        return;
+    }
+    let found = tokens.windows(7).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("deny")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+    });
+    if !found {
+        out.push(Violation {
+            file: file.to_string(),
+            line: 1,
+            rule: "R4",
+            message: "crate root is missing `#![deny(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_cfg_test};
+
+    fn violations_in(file: &str, src: &str) -> Vec<Violation> {
+        let tokens = strip_cfg_test(&lex(src));
+        let mut out = Vec::new();
+        check_token_rules(file, &tokens, &mut out);
+        check_reserve_discipline(file, &tokens, &mut out);
+        check_reserve_commit_pairing(file, &tokens, &mut out);
+        out
+    }
+
+    #[test]
+    fn r1_raw_answer_flagged_outside_whitelist() {
+        let src = "pub fn leak(r: RawAnswer) -> u128 { r.count() }";
+        let v = violations_in("crates/server/src/cache.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "R1");
+        assert_eq!(v[0].line, 1);
+        // Same tokens inside the whitelist are clean.
+        assert!(violations_in("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r1_released_type_use_is_fine_but_construction_is_not() {
+        let typed = "pub fn ship(v: Released) -> f64 { v.get() }";
+        assert!(violations_in("crates/wire/src/lib.rs", typed).is_empty());
+        let minted = "pub fn fake() -> Released { Released(0.0) }";
+        let v = violations_in("crates/wire/src/lib.rs", minted);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R1");
+        let pathy = "pub fn fake() -> Released { Released::new(0.0) }";
+        assert_eq!(violations_in("crates/wire/src/lib.rs", pathy).len(), 1);
+    }
+
+    #[test]
+    fn r2_ignores_vec_reserve_in_files_without_budget_api() {
+        // `Vec::reserve` in the eval kernels must not trip R2: the file
+        // never names `BudgetAccountant`/`Reservation`.
+        let src = "fn grow(pairs: &mut Vec<u64>, n: usize) { pairs.reserve(n); }";
+        assert!(violations_in("crates/eval/src/factor.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_fn_reserve_definition_is_not_a_call() {
+        let src = r#"
+            impl BudgetAccountant {
+                pub fn reserve(&self, principal: &str, epsilon: f64) -> Result<Reservation, E> {
+                    self.with_ledger(principal, make)
+                }
+            }
+        "#;
+        assert!(violations_in("crates/server/src/budget.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_discarded_reservations_flagged() {
+        let dropped = "fn f(a: &BudgetAccountant) { let _ = a.reserve(p, e); }";
+        let v = violations_in("crates/server/src/budget.rs", dropped);
+        assert!(v.iter().any(|v| v.rule == "R2"), "{v:?}");
+
+        let bare = "fn f(a: &BudgetAccountant) { a.reserve(p, e); }";
+        let v = violations_in("crates/server/src/budget.rs", bare);
+        assert!(v.iter().any(|v| v.rule == "R2"), "{v:?}");
+
+        let bound =
+            "fn f(a: &BudgetAccountant) -> R<()> { let r = a.reserve(p, e)?; r.commit(); Ok(()) }";
+        assert!(violations_in("crates/server/src/budget.rs", bound).is_empty());
+    }
+
+    #[test]
+    fn r2_reserve_plus_sample_requires_commit() {
+        let free_query = r#"
+            fn respond(a: &BudgetAccountant, m: &Mech) -> f64 {
+                let guard = a.reserve(p, e);
+                if guard.is_err() { return 0.0; }
+                m.sample(rng)
+            }
+        "#;
+        let v = violations_in("crates/server/src/server.rs", free_query);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == "R2" && v.message.contains("respond")),
+            "{v:?}"
+        );
+
+        let paired = r#"
+            fn respond(a: &BudgetAccountant, m: &Mech) -> f64 {
+                let guard = a.reserve(p, e).unwrap_or_else(die);
+                let v = m.sample(rng);
+                guard.commit();
+                v
+            }
+        "#;
+        let v = violations_in("crates/server/src/budget.rs", paired);
+        assert!(v.iter().all(|v| v.rule != "R2"), "{v:?}");
+    }
+
+    #[test]
+    fn r3_panics_flagged_only_in_request_path() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let v = violations_in("crates/server/src/server.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "R3");
+        assert!(violations_in("crates/eval/src/lib.rs", src).is_empty());
+
+        let mac = "fn f() { panic!(\"boom\") }";
+        assert_eq!(
+            violations_in("crates/server/src/protocol.rs", mac)[0].rule,
+            "R3"
+        );
+        // `unwrap_or_else` and field access `x.expect_me` are different
+        // identifiers / not calls.
+        let fine = "fn f(x: R) -> u32 { x.unwrap_or_else(|_| 0) }";
+        assert!(violations_in("crates/server/src/server.rs", fine).is_empty());
+    }
+
+    #[test]
+    fn r3_test_modules_are_exempt() {
+        let src = r#"
+            pub fn handler() -> u32 { 1 }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { assert_eq!(super::handler(), Some(1).unwrap()); }
+            }
+        "#;
+        assert!(violations_in("crates/server/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r4_unsafe_flagged_outside_allowed_files() {
+        let src = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let v = violations_in("crates/relation/src/bitset.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "R4");
+        assert!(violations_in("crates/relation/src/fxhash.rs", src).is_empty());
+        assert!(violations_in("crates/bench/src/alloc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r4_crate_roots_need_the_deny_attr() {
+        let mut out = Vec::new();
+        check_deny_unsafe_attr("crates/query/src/lib.rs", &lex("pub fn f() {}"), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "R4");
+
+        let mut out = Vec::new();
+        check_deny_unsafe_attr(
+            "crates/query/src/lib.rs",
+            &lex("#![deny(unsafe_code)]\npub fn f() {}"),
+            &mut out,
+        );
+        assert!(out.is_empty());
+
+        // Non-roots and the bench exemption are skipped.
+        let mut out = Vec::new();
+        check_deny_unsafe_attr("crates/query/src/parse.rs", &lex("fn f() {}"), &mut out);
+        check_deny_unsafe_attr("crates/bench/src/lib.rs", &lex("fn f() {}"), &mut out);
+        assert!(out.is_empty());
+    }
+}

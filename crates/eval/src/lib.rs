@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # dpcq-eval — join evaluation and `T_E` computation
 //!
 //! The sensitivity machinery of Dong & Yi (PODS 2022) reduces to evaluating

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # dpcq-graph — graph substrate for the paper's evaluation
 //!
 //! Section 7 evaluates residual sensitivity on sub-graph counting queries

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # dpcq-noise — noise distributions and DP release mechanisms
 //!
 //! All mechanisms in the paper are *sensitivity-calibrated additive noise*
@@ -16,11 +17,20 @@
 //!
 //! Every sampler takes an explicit `&mut impl Rng` so callers control
 //! determinism.
+//!
+//! The [`taint`] module supplies the workspace's **taint newtypes**:
+//! [`RawAnswer`] (an exact count — radioactive until noised) and
+//! [`Released`] (a noisy value only [`mechanism`] can mint). The `dpa`
+//! static analyzer pins the `RawAnswer` identifier to this crate and
+//! `core::engine`, making "noise before wire" machine-checked; see
+//! `docs/INVARIANTS.md`.
 
 pub mod cauchy;
 pub mod laplace;
 pub mod mechanism;
+pub mod taint;
 
 pub use cauchy::GeneralCauchy;
 pub use laplace::Laplace;
 pub use mechanism::{LaplaceMechanism, Release, SmoothCauchyMechanism};
+pub use taint::{RawAnswer, Released};

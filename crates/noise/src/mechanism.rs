@@ -1,15 +1,24 @@
 //! ε-DP release mechanisms (Section 2.3 wiring).
+//!
+//! This module is the **only** place in the workspace where a
+//! [`RawAnswer`] (an exact count) becomes a [`Released`] (a noisy,
+//! publishable value). Both mechanisms take the tainted count type and
+//! return a [`Release`] whose `value` field is the sanitized type —
+//! "noise before wire" is enforced by construction; see `noise::taint`
+//! and `docs/INVARIANTS.md`.
 
 use crate::cauchy::GeneralCauchy;
 use crate::laplace::Laplace;
+use crate::taint::{RawAnswer, Released};
 use rand::Rng;
 use std::fmt;
 
 /// The outcome of one private release.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Release {
-    /// The noisy answer.
-    pub value: f64,
+    /// The noisy answer — [`Released`], so it provably passed through a
+    /// mechanism in this module.
+    pub value: Released,
     /// The sensitivity the noise was calibrated to.
     pub sensitivity: f64,
     /// The noise scale actually used.
@@ -51,7 +60,7 @@ impl LaplaceMechanism {
     /// Releases `count` with noise calibrated to `global_sensitivity`.
     pub fn release<R: Rng + ?Sized>(
         &self,
-        count: f64,
+        count: RawAnswer,
         global_sensitivity: f64,
         rng: &mut R,
     ) -> Release {
@@ -59,7 +68,7 @@ impl LaplaceMechanism {
         let scale = global_sensitivity / self.epsilon;
         let dist = Laplace::new(scale);
         Release {
-            value: count + dist.sample(rng),
+            value: Released::new(count.as_f64() + dist.sample(rng)),
             sensitivity: global_sensitivity,
             scale,
             epsilon: self.epsilon,
@@ -109,7 +118,7 @@ impl SmoothCauchyMechanism {
     /// `smooth_sensitivity` (computed at *this mechanism's* `β`).
     pub fn release<R: Rng + ?Sized>(
         &self,
-        count: f64,
+        count: RawAnswer,
         smooth_sensitivity: f64,
         rng: &mut R,
     ) -> Release {
@@ -117,7 +126,7 @@ impl SmoothCauchyMechanism {
         let scale = smooth_sensitivity / self.beta;
         let dist = GeneralCauchy::new(scale);
         Release {
-            value: count + dist.sample(rng),
+            value: Released::new(count.as_f64() + dist.sample(rng)),
             sensitivity: smooth_sensitivity,
             scale,
             epsilon: self.epsilon,
@@ -138,7 +147,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 100_000;
         let mean: f64 = (0..n)
-            .map(|_| m.release(100.0, 2.0, &mut rng).value)
+            .map(|_| m.release(RawAnswer::new(100), 2.0, &mut rng).value.get())
             .sum::<f64>()
             / n as f64;
         assert!((mean - 100.0).abs() < 0.1, "mean {mean}");
@@ -148,7 +157,7 @@ mod tests {
     fn laplace_error_formula() {
         let m = LaplaceMechanism::new(0.5);
         let mut rng = StdRng::seed_from_u64(4);
-        let r = m.release(0.0, 3.0, &mut rng);
+        let r = m.release(RawAnswer::new(0), 3.0, &mut rng);
         assert_eq!(r.scale, 6.0);
         assert!((r.expected_error - 6.0 * 2f64.sqrt()).abs() < 1e-12);
     }
@@ -158,7 +167,7 @@ mod tests {
         let m = SmoothCauchyMechanism::new(1.0);
         assert_eq!(m.beta(), 0.1);
         let mut rng = StdRng::seed_from_u64(5);
-        let r = m.release(50.0, 5.0, &mut rng);
+        let r = m.release(RawAnswer::new(50), 5.0, &mut rng);
         // scale = S/β = 50; Err = 10·S/ε = 50.
         assert_eq!(r.scale, 50.0);
         assert_eq!(r.expected_error, 50.0);
@@ -172,7 +181,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let n = 50_000;
         let above = (0..n)
-            .filter(|_| m.release(42.0, 1.0, &mut rng).value > 42.0)
+            .filter(|_| m.release(RawAnswer::new(42), 1.0, &mut rng).value.get() > 42.0)
             .count();
         let frac = above as f64 / n as f64;
         assert!(
@@ -185,15 +194,15 @@ mod tests {
     fn zero_sensitivity_releases_exactly() {
         let m = SmoothCauchyMechanism::new(1.0);
         let mut rng = StdRng::seed_from_u64(7);
-        let r = m.release(9.0, 0.0, &mut rng);
-        assert_eq!(r.value, 9.0);
+        let r = m.release(RawAnswer::new(9), 0.0, &mut rng);
+        assert_eq!(r.value.get(), 9.0);
         assert_eq!(r.expected_error, 0.0);
     }
 
     #[test]
     fn display_is_readable() {
         let r = Release {
-            value: 12.5,
+            value: Released::new(12.5),
             sensitivity: 1.0,
             scale: 2.0,
             epsilon: 1.0,

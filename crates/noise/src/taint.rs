@@ -1,0 +1,140 @@
+//! Taint newtypes making "noise before wire" a property of the type
+//! system instead of a reviewing convention.
+//!
+//! The entire privacy guarantee of this workspace collapses if a single
+//! code path ships a raw (un-noised) query answer to a client. Two
+//! newtypes make that a *type error* on the happy path and a
+//! machine-checked lint (`dpa check`, rule R1) everywhere else:
+//!
+//! * [`RawAnswer`] — an exact query count. **Tainted**: wrapping a count
+//!   is always safe (it only *adds* protection), but the value inside is
+//!   radioactive — it must reach a mechanism in [`crate::mechanism`]
+//!   before anything serializes it. Its `Debug` impl redacts the count so
+//!   a stray `{:?}` in a log line cannot leak it, and the unwrapping
+//!   accessors are the only way back to a number.
+//! * [`Released`] — a noisy answer that has passed through an ε-DP
+//!   mechanism. **Sanitized**: reading it anywhere is fine (it is the
+//!   published value; post-processing is free), but *constructing* one is
+//!   only possible inside this crate ([`Released::new`] is `pub(crate)`),
+//!   and by module discipline only [`crate::mechanism`] does.
+//!
+//! The static analyzer (`crates/dpa`) enforces the cross-crate half that
+//! Rust visibility cannot: the `RawAnswer` identifier may appear only in
+//! this module, `noise::mechanism`, the `noise` crate root (re-export),
+//! and `core::engine` — so no handler, cache, or wire encoder can even
+//! *name* the type that holds an exact count.
+
+use std::fmt;
+
+/// An exact (un-noised) query answer `|q(I)|`.
+///
+/// Wrap as early as possible — the engine wraps the evaluator's count the
+/// moment it is computed — and unwrap as late as possible: only an ε-DP
+/// mechanism ([`crate::mechanism`]) or the engine's explicitly
+/// non-private debugging surface may look inside.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RawAnswer(u128);
+
+impl RawAnswer {
+    /// Taints `count`. Safe to call anywhere: wrapping only restricts
+    /// what can happen to the value afterwards.
+    pub const fn new(count: u128) -> Self {
+        RawAnswer(count)
+    }
+
+    /// The exact count, as the `f64` a mechanism adds noise to.
+    ///
+    /// **Unwrapping taint.** Callers outside `noise::mechanism` and
+    /// `core::engine` are rejected by `dpa check` (rule R1).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// The exact count.
+    ///
+    /// **Unwrapping taint.** Same discipline as [`RawAnswer::as_f64`].
+    pub const fn count(self) -> u128 {
+        self.0
+    }
+}
+
+impl From<u128> for RawAnswer {
+    fn from(count: u128) -> Self {
+        RawAnswer(count)
+    }
+}
+
+impl From<u64> for RawAnswer {
+    fn from(count: u64) -> Self {
+        RawAnswer(count as u128)
+    }
+}
+
+/// Redacted: a raw answer must not leak through debug logging. The count
+/// is recoverable only through the explicit unwrapping accessors.
+impl fmt::Debug for RawAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RawAnswer(<redacted>)")
+    }
+}
+
+/// A noisy answer produced by an ε-DP mechanism — the only `f64` the wire
+/// layer and the server's protocol encoder may serialize as a query
+/// answer.
+///
+/// There is no public constructor: a `Released` value exists if and only
+/// if some mechanism in [`crate::mechanism`] drew calibrated noise for
+/// it. Reading ([`Released::get`]) is unrestricted — a published value is
+/// public, and replaying or transforming it is post-processing.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Released(f64);
+
+impl Released {
+    /// Only `noise::mechanism` constructs released values (enforced
+    /// in-crate by `pub(crate)`, cross-module by `dpa check` rule R1).
+    pub(crate) const fn new(value: f64) -> Self {
+        Released(value)
+    }
+
+    /// The released (noisy) value.
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Released {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_answer_wraps_and_unwraps_exactly() {
+        let raw = RawAnswer::new(12);
+        assert_eq!(raw.count(), 12);
+        assert_eq!(raw.as_f64(), 12.0);
+        assert_eq!(RawAnswer::from(7u64), RawAnswer::new(7));
+        assert_eq!(RawAnswer::from(7u128), RawAnswer::new(7));
+    }
+
+    #[test]
+    fn raw_answer_debug_redacts_the_count() {
+        let shown = format!("{:?}", RawAnswer::new(123_456));
+        assert!(!shown.contains("123"), "leaked: {shown}");
+        assert!(shown.contains("redacted"));
+    }
+
+    #[test]
+    fn released_reads_and_compares() {
+        let a = Released::new(1.5);
+        let b = Released::new(2.5);
+        assert_eq!(a.get(), 1.5);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "1.5");
+        assert_eq!(format!("{:.2}", a), "1.50");
+    }
+}

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # dpcq-query — conjunctive queries, predicates and privacy policies
 //!
 //! Implements the query model of Dong & Yi (PODS 2022), Sections 2.1, 5, 6:

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # dpcq-relation — relational substrate
 //!
 //! This crate provides the data model underlying the `dpcq` differential

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # dpcq-sensitivity — sensitivity measures for conjunctive queries
 //!
 //! The paper's core machinery (Dong & Yi, PODS 2022):

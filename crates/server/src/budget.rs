@@ -128,7 +128,10 @@ impl BudgetAccountant {
             budget >= 0.0 && !budget.is_nan(),
             "budget must be non-negative"
         );
-        self.with_ledger(principal, |l| l.budget = budget);
+        // ε already consumed (or promised to in-flight reservations)
+        // cannot be revoked: clamp so `remaining()` never goes negative
+        // and outstanding reservations stay payable.
+        self.with_ledger(principal, |l| l.budget = budget.max(l.spent + l.reserved));
     }
 
     /// Atomically reserves `epsilon` from `principal`'s remaining budget.
@@ -322,6 +325,31 @@ mod tests {
         acct.set_budget("alice", 1.0);
         assert_eq!(acct.remaining("alice"), 0.0);
         assert!(acct.reserve("alice", 0.1).is_err());
+    }
+
+    /// Lowering a budget below what is already spent (or reserved) clamps
+    /// to the consumed amount instead of making `remaining()` underflow
+    /// negative — spent ε cannot be revoked.
+    #[test]
+    fn set_budget_clamps_at_spent_plus_reserved() {
+        let acct = BudgetAccountant::new(10.0);
+        acct.reserve("alice", 4.0).unwrap().commit();
+        let held = acct.reserve("alice", 2.0).unwrap();
+
+        // 4.0 spent + 2.0 reserved: a cap of 1.0 clamps to 6.0.
+        acct.set_budget("alice", 1.0);
+        assert_eq!(acct.budget("alice"), 6.0);
+        assert_eq!(acct.remaining("alice"), 0.0);
+        assert!(acct.reserve("alice", 1e-6).is_err());
+
+        // The outstanding reservation is still payable in full.
+        held.commit();
+        assert_eq!(acct.spent("alice"), 6.0);
+        assert_eq!(acct.remaining("alice"), 0.0);
+
+        // Raising the cap afterwards works normally.
+        acct.set_budget("alice", 7.5);
+        assert!((acct.remaining("alice") - 1.5).abs() < 1e-12);
     }
 
     /// The headline concurrency property: with `budget / ε = 50` slots

@@ -222,15 +222,19 @@ impl ReleaseCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpcq::noise::{LaplaceMechanism, RawAnswer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
-    fn release(value: f64) -> Release {
-        Release {
-            value,
-            sensitivity: 1.0,
-            scale: 2.0,
-            epsilon: 0.5,
-            expected_error: 2.0,
-        }
+    /// A deterministic `Release` fixture: zero sensitivity means zero
+    /// noise, so the released value equals `count` exactly. (Releases are
+    /// only mintable through a mechanism — the taint discipline.)
+    fn release(count: u64) -> Release {
+        LaplaceMechanism::new(0.5).release(
+            RawAnswer::from(count),
+            0.0,
+            &mut StdRng::seed_from_u64(0),
+        )
     }
 
     fn stamp(pairs: &[(&str, RelationVersion)]) -> VersionStamp {
@@ -247,8 +251,8 @@ mod tests {
             stamp(&[("Edge", 0)]),
         );
         assert_eq!(cache.get(&key), None);
-        cache.put(key.clone(), release(41.5));
-        assert_eq!(cache.get(&key).unwrap().value, 41.5);
+        cache.put(key.clone(), release(41));
+        assert_eq!(cache.get(&key).unwrap().value.get(), 41.0);
         assert_eq!(cache.counters(), (1, 1));
         assert_eq!(cache.len(), 1);
     }
@@ -262,7 +266,7 @@ mod tests {
             stamp(&[("Edge", 0)]),
         );
         let cache = ReleaseCache::new();
-        cache.put(base.clone(), release(1.0));
+        cache.put(base.clone(), release(1));
         for other in [
             ReleaseKey::new(
                 "Q(*) :- Edge(x, x)",
@@ -304,9 +308,9 @@ mod tests {
     fn first_insert_wins_races() {
         let cache = ReleaseCache::new();
         let key = ReleaseKey::new("q", SensitivityMethod::Residual, 1.0, stamp(&[("R", 0)]));
-        cache.put(key.clone(), release(1.0));
-        cache.put(key.clone(), release(2.0));
-        assert_eq!(cache.get(&key).unwrap().value, 1.0);
+        cache.put(key.clone(), release(1));
+        cache.put(key.clone(), release(2));
+        assert_eq!(cache.get(&key).unwrap().value.get(), 1.0);
     }
 
     #[test]
@@ -326,10 +330,14 @@ mod tests {
             1.0,
             stamp(&[("S", 0)]),
         );
-        cache.put(q_r.clone(), release(1.0));
-        cache.put(q_s.clone(), release(2.0));
+        cache.put(q_r.clone(), release(1));
+        cache.put(q_s.clone(), release(2));
         cache.invalidate_relation("S", 1);
-        assert_eq!(cache.get(&q_r).unwrap().value, 1.0, "R-only entry lives");
+        assert_eq!(
+            cache.get(&q_r).unwrap().value.get(),
+            1.0,
+            "R-only entry lives"
+        );
         assert_eq!(cache.get(&q_s), None, "S entry died");
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
@@ -343,10 +351,10 @@ mod tests {
         let cache = ReleaseCache::new();
         let fresh = ReleaseKey::new("q", SensitivityMethod::Residual, 1.0, stamp(&[("S", 2)]));
         let stale = ReleaseKey::new("q", SensitivityMethod::Residual, 0.5, stamp(&[("S", 1)]));
-        cache.put(fresh.clone(), release(1.0));
-        cache.put(stale.clone(), release(2.0));
+        cache.put(fresh.clone(), release(1));
+        cache.put(stale.clone(), release(2));
         cache.invalidate_relation("S", 2);
-        assert_eq!(cache.get(&fresh).unwrap().value, 1.0);
+        assert_eq!(cache.get(&fresh).unwrap().value.get(), 1.0);
         assert_eq!(cache.get(&stale), None);
     }
 
@@ -370,11 +378,15 @@ mod tests {
             1.0,
             stamp(&[("R", 0)]),
         );
-        cache.put(gl.clone(), release(1.0));
-        cache.put(rs.clone(), release(2.0));
+        cache.put(gl.clone(), release(1));
+        cache.put(rs.clone(), release(2));
         cache.invalidate_relation("New", 1);
         assert_eq!(cache.get(&gl), None, "GL entry must die: N changed");
-        assert_eq!(cache.get(&rs).unwrap().value, 2.0, "RS entry unaffected");
+        assert_eq!(
+            cache.get(&rs).unwrap().value.get(),
+            2.0,
+            "RS entry unaffected"
+        );
         assert_eq!(cache.scoped_counters(), (1, 1));
     }
 
@@ -388,7 +400,7 @@ mod tests {
             1.0,
             stamp(&[("R", 0), ("S", 0)]),
         );
-        cache.put(join.clone(), release(3.0));
+        cache.put(join.clone(), release(3));
         cache.invalidate_relation("T", 1);
         assert_eq!(cache.len(), 1, "unrelated relation: retained");
         cache.invalidate_relation("R", 1);

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # dpcq-server — a concurrent serving layer for private query release
 //!
 //! The core engine ([`dpcq::PrivateEngine`]) answers one query at a time

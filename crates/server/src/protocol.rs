@@ -358,7 +358,9 @@ impl Response {
                 vec![
                     field("ok", Json::Bool(true)),
                     field("op", Json::Str("release".into())),
-                    field("value", Json::Num(release.value)),
+                    // The only value the wire ever carries is a `Released`
+                    // (noise already applied); see `noise::taint`.
+                    field("value", Json::Num(release.value.get())),
                     field("epsilon", Json::Num(release.epsilon)),
                     field("sensitivity", Json::Num(release.sensitivity)),
                     field("scale", Json::Num(release.scale)),
@@ -479,6 +481,9 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpcq::noise::{RawAnswer, SmoothCauchyMechanism};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn parses_release_with_defaults() {
@@ -592,13 +597,11 @@ mod tests {
 
     #[test]
     fn responses_render_as_single_line_json() {
-        let rel = Release {
-            value: 12.5,
-            sensitivity: 3.0,
-            scale: 30.0,
-            epsilon: 1.0,
-            expected_error: 30.0,
-        };
+        // `Release` values are only mintable through a mechanism (the
+        // taint discipline), so the fixture draws a real one.
+        let mut rng = StdRng::seed_from_u64(5);
+        let rel = SmoothCauchyMechanism::new(1.0).release(RawAnswer::new(12), 3.0, &mut rng);
+        assert_eq!(rel.scale, 30.0);
         let resp = Response::Release {
             id: Some(2),
             method: SensitivityMethod::Residual,
@@ -612,7 +615,10 @@ mod tests {
         let parsed = dpcq_wire::Json::parse(&line).unwrap();
         assert_eq!(parsed.get("id").and_then(Json::as_i128), Some(2));
         assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
-        assert_eq!(parsed.get("value").and_then(Json::as_f64), Some(12.5));
+        assert_eq!(
+            parsed.get("value").and_then(Json::as_f64),
+            Some(rel.value.get())
+        );
         assert_eq!(parsed.get("cached").and_then(Json::as_bool), Some(true));
         assert_eq!(parsed.get("generation").and_then(Json::as_i128), Some(4));
         assert_eq!(parsed.get("remaining"), Some(&Json::Null));

@@ -45,7 +45,7 @@ use rand::SeedableRng;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard};
 use std::time::Duration;
 
 /// Serving-policy knobs.
@@ -117,11 +117,24 @@ impl Server {
         &self.budget
     }
 
+    /// The engine read lock, or an error message for the client. A
+    /// poisoned lock means another handler panicked mid-request; the
+    /// request path never trusts such state — it reports an internal
+    /// error instead of panicking in turn (dpa rule R3: no
+    /// `unwrap`/`expect`/`panic!` in request handling).
+    fn read_engine(&self) -> Result<RwLockReadGuard<'_, PrivateEngine>, String> {
+        self.engine
+            .read()
+            .map_err(|_| "internal error: engine state poisoned".to_string())
+    }
+
     /// Read access to the wrapped engine (a shared lock: releases keep
     /// flowing, mutations wait). For observability — family-cache
-    /// counters, version vectors — in tests and benchmarks.
-    pub fn engine(&self) -> std::sync::RwLockReadGuard<'_, PrivateEngine> {
-        self.engine.read().expect("engine lock poisoned")
+    /// counters, version vectors — in tests and benchmarks. Poisoning is
+    /// recovered here: observability reads are non-private and best
+    /// effort.
+    pub fn engine(&self) -> RwLockReadGuard<'_, PrivateEngine> {
+        self.engine.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Whether a shutdown request has been handled.
@@ -132,31 +145,34 @@ impl Server {
     /// Handles one request against current server state.
     pub fn handle(&self, request: Request) -> Response {
         match request {
-            Request::Release(r) => {
-                let engine = self.engine.read().expect("engine lock poisoned");
-                self.handle_release(&engine, &r)
-            }
+            Request::Release(r) => match self.read_engine() {
+                Ok(engine) => self.handle_release(&engine, &r),
+                Err(error) => Response::Error { id: r.id, error },
+            },
             Request::Batch { id, requests } => {
                 // One read lock = one database snapshot for the whole
                 // group; same-shape queries run consecutively so later
                 // ones hit the warmed family store.
-                let engine = self.engine.read().expect("engine lock poisoned");
+                let engine = match self.read_engine() {
+                    Ok(engine) => engine,
+                    Err(error) => return Response::Error { id, error },
+                };
                 let mut first_of_shape: FxHashMap<&str, usize> = FxHashMap::default();
                 for (i, r) in requests.iter().enumerate() {
                     first_of_shape.entry(r.query.as_str()).or_insert(i);
                 }
                 let mut order: Vec<usize> = (0..requests.len()).collect();
                 order.sort_by_key(|&i| (first_of_shape[requests[i].query.as_str()], i));
-                let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
-                for i in order {
-                    responses[i] = Some(self.handle_release(&engine, &requests[i]));
-                }
+                // Evaluate in shape-grouped order, then restore request
+                // order for the response.
+                let mut indexed: Vec<(usize, Response)> = order
+                    .into_iter()
+                    .map(|i| (i, self.handle_release(&engine, &requests[i])))
+                    .collect();
+                indexed.sort_by_key(|&(i, _)| i);
                 Response::Batch {
                     id,
-                    responses: responses
-                        .into_iter()
-                        .map(|r| r.expect("every entry handled"))
-                        .collect(),
+                    responses: indexed.into_iter().map(|(_, r)| r).collect(),
                 }
             }
             Request::Insert {
@@ -177,7 +193,10 @@ impl Server {
                 principal,
             },
             Request::Stats { id } => {
-                let engine = self.engine.read().expect("engine lock poisoned");
+                let engine = match self.read_engine() {
+                    Ok(engine) => engine,
+                    Err(error) => return Response::Error { id, error },
+                };
                 let (hits, misses) = self.cache.counters();
                 let (scoped_hits, scoped_misses) = self.cache.scoped_counters();
                 Response::Stats {
@@ -248,10 +267,13 @@ impl Server {
         // parallel; the lock is held only for the sampling instant.
         match engine.prepare_release(&query, r.method, epsilon) {
             Ok(pending) => {
-                let release = {
-                    let mut rng = self.rng.lock().expect("rng lock poisoned");
-                    pending.sample(&mut *rng)
+                // A poisoned RNG lock aborts the request; `reservation`
+                // drops on the early return, refunding the reserved ε.
+                let Ok(mut rng) = self.rng.lock() else {
+                    return err("internal error: noise RNG poisoned".into());
                 };
+                let release = pending.sample(&mut *rng);
+                drop(rng);
                 // Commit before answering: once the noisy value exists it
                 // counts as spent even if the client never reads it.
                 reservation.commit();
@@ -279,7 +301,12 @@ impl Server {
         tuple: &[i64],
     ) -> Response {
         let row: Vec<Value> = tuple.iter().map(|&v| Value(v)).collect();
-        let mut engine = self.engine.write().expect("engine lock poisoned");
+        let Ok(mut engine) = self.engine.write() else {
+            return Response::Error {
+                id,
+                error: "internal error: engine state poisoned".into(),
+            };
+        };
         if let Some(rel) = engine.database().relation(relation) {
             if rel.arity() != row.len() {
                 return Response::Error {
@@ -322,7 +349,7 @@ impl Server {
     /// shutdown acknowledgement itself) are flushed before the caller can
     /// exit the process.
     pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
-        *self.bound.lock().expect("bound lock poisoned") = listener.local_addr().ok();
+        *self.bound.lock().unwrap_or_else(PoisonError::into_inner) = listener.local_addr().ok();
         let mut workers = Vec::new();
         for stream in listener.incoming() {
             if self.is_shut_down() {
@@ -338,7 +365,7 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
-        *self.bound.lock().expect("bound lock poisoned") = None;
+        *self.bound.lock().unwrap_or_else(PoisonError::into_inner) = None;
         Ok(())
     }
 
@@ -394,7 +421,7 @@ impl Server {
     /// Unblocks the accept loop after the shutdown flag is set (a no-op
     /// when not serving TCP).
     fn wake_listener(&self) {
-        let addr = *self.bound.lock().expect("bound lock poisoned");
+        let addr = *self.bound.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(addr) = addr {
             let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
         }

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # dpcq-wire — a minimal, dependency-free JSON document model
 //!
 //! One implementation serves every place the workspace speaks JSON: the

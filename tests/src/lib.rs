@@ -1,1 +1,2 @@
+#![deny(unsafe_code)]
 //! Integration-test-only crate; see tests/tests/*.rs.

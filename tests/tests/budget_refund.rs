@@ -1,0 +1,206 @@
+//! Property test for the "budget before noise" invariant: on *every*
+//! error path between `BudgetAccountant::reserve` and the response, the
+//! reservation's refund-on-drop guard must fire — `spent(principal)` is
+//! unchanged by a failed request, and no reservation is left stranded
+//! (`remaining == budget − spent` after every single operation).
+//!
+//! Errors are injected at each fallible point of the in-process request
+//! path:
+//!
+//! * before `reserve` — malformed frame, unparsable query, invalid ε;
+//! * at `reserve` — a request larger than the remaining budget;
+//! * after `reserve` — a query over an unknown relation, which reserves
+//!   first and only then fails inside `prepare_release`;
+//! * outside release handling entirely — an arity-mismatched insert.
+//!
+//! A success is only counted as spend when the server says it actually
+//! sampled (`cached: false`); byte-identical cached replays are free.
+
+use dpcq::prelude::*;
+use dpcq_server::{Server, ServerConfig};
+use dpcq_wire::Json;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const PRINCIPALS: [&str; 2] = ["alice", "bob"];
+const BUDGET: f64 = 2.0;
+const QUERIES: [&str; 3] = [
+    "Q(*) :- Edge(x, y)",
+    "Q(*) :- Edge(x, y), Edge(y, z)",
+    "Q(*) :- Edge(x, y), Edge(y, z), x != z",
+];
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// A well-formed release; spends iff not served from cache.
+    Good {
+        who: usize,
+        query: usize,
+        step_eps: bool,
+    },
+    /// Query text that does not parse — fails before `reserve`.
+    BadParse { who: usize },
+    /// ε ≤ 0 — rejected before `reserve`.
+    BadEpsilon { who: usize },
+    /// ε far beyond the budget — `reserve` itself refuses.
+    Exhaust { who: usize },
+    /// References a relation the database lacks — reserves, then fails
+    /// inside `prepare_release`, exercising refund-on-drop.
+    UnknownRelation { who: usize },
+    /// A frame that is not even JSON.
+    Garbage,
+    /// Insert with the wrong arity — errors on the mutation path.
+    BadInsert,
+    /// A valid insert: bumps versions, must never touch any ledger.
+    GoodInsert { a: i64, b: i64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..2, 0usize..3, 0usize..2).prop_map(|(who, query, s)| Op::Good {
+                who,
+                query,
+                step_eps: s == 1
+            }),
+            (0usize..2).prop_map(|who| Op::BadParse { who }),
+            (0usize..2).prop_map(|who| Op::BadEpsilon { who }),
+            (0usize..2).prop_map(|who| Op::Exhaust { who }),
+            (0usize..2).prop_map(|who| Op::UnknownRelation { who }),
+            Just(Op::Garbage),
+            Just(Op::BadInsert),
+            (0i64..6, 0i64..6).prop_map(|(a, b)| Op::GoodInsert { a, b }),
+        ],
+        1..24,
+    )
+}
+
+fn test_server() -> Server {
+    let mut db = Database::new();
+    for (u, v) in [(1, 2), (2, 3), (1, 3), (3, 4)] {
+        db.insert_tuple("Edge", &[Value(u), Value(v)]);
+        db.insert_tuple("Edge", &[Value(v), Value(u)]);
+    }
+    Server::new(
+        PrivateEngine::new(db, Policy::all_private(), 1.0).with_threads(1),
+        ServerConfig {
+            default_epsilon: 0.05,
+            default_budget: BUDGET,
+            seed: Some(2022),
+        },
+    )
+}
+
+fn release_frame(who: usize, query: &str, epsilon: f64) -> String {
+    format!(
+        r#"{{"op":"release","query":"{query}","principal":"{}","epsilon":{epsilon}}}"#,
+        PRINCIPALS[who]
+    )
+}
+
+/// Is this response an error frame?
+fn is_error(json: &Json) -> bool {
+    json.get("ok").and_then(Json::as_bool) == Some(false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn failed_requests_never_move_spent_and_never_strand_reservations(ops in arb_ops()) {
+        let server = test_server();
+        let mut model: HashMap<&str, f64> = PRINCIPALS.iter().map(|p| (*p, 0.0)).collect();
+
+        for (i, op) in ops.iter().enumerate() {
+            // ε varies by step when `step_eps` so repeated queries miss
+            // the release cache (the key includes ε) and spend again.
+            let eps = 0.01 + 0.003 * i as f64;
+            let (who, frame) = match *op {
+                Op::Good { who, query, step_eps } => {
+                    let e = if step_eps { eps } else { 0.05 };
+                    (Some(who), release_frame(who, QUERIES[query], e))
+                }
+                Op::BadParse { who } => {
+                    (Some(who), release_frame(who, "Q(*) :- not datalog ???", 0.05))
+                }
+                Op::BadEpsilon { who } => (Some(who), release_frame(who, QUERIES[0], -0.5)),
+                Op::Exhaust { who } => (Some(who), release_frame(who, QUERIES[0], BUDGET * 50.0)),
+                Op::UnknownRelation { who } => {
+                    (Some(who), release_frame(who, "Q(*) :- Ghost(x, y)", 0.05))
+                }
+                Op::Garbage => (None, "this is not even json".to_string()),
+                Op::BadInsert => (
+                    None,
+                    r#"{"op":"insert","relation":"Edge","tuple":[1,2,3]}"#.to_string(),
+                ),
+                Op::GoodInsert { a, b } => (
+                    None,
+                    format!(r#"{{"op":"insert","relation":"Edge","tuple":[{a},{b}]}}"#),
+                ),
+            };
+
+            let spent_before: Vec<f64> = PRINCIPALS.iter().map(|p| server.budget().spent(p)).collect();
+            let line = server.handle_line(&frame);
+            let json = Json::parse(&line).expect("response is JSON");
+
+            if is_error(&json) {
+                // The heart of the property: an error response leaves
+                // every ledger exactly where it was.
+                for (p, before) in PRINCIPALS.iter().zip(&spent_before) {
+                    prop_assert_eq!(
+                        server.budget().spent(p), *before,
+                        "spent({}) moved across error `{}`", p, line
+                    );
+                }
+            } else if let (Some(who), Some(false)) =
+                (who, json.get("cached").and_then(Json::as_bool))
+            {
+                let charged = json.get("epsilon").and_then(Json::as_f64)
+                    .expect("release responses carry epsilon");
+                *model.get_mut(PRINCIPALS[who]).expect("principal") += charged;
+            }
+
+            // No stranded reservations, ever: once a request returns,
+            // remaining must be exactly budget − spent for everyone.
+            for p in PRINCIPALS {
+                let (budget, spent) = (server.budget().budget(p), server.budget().spent(p));
+                let remaining = server.budget().remaining(p);
+                prop_assert!(
+                    (remaining - (budget - spent).max(0.0)).abs() < 1e-12,
+                    "reservation stranded for {p}: remaining {remaining}, budget {budget}, spent {spent}"
+                );
+                prop_assert!(
+                    (spent - model[p]).abs() < 1e-9,
+                    "ledger for {p} diverged from model: {spent} vs {}", model[p]
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic companion to the property: the unknown-relation probe
+/// must fail *after* `reserve` (inside `prepare_release` — the response
+/// carries the engine's "release failed" marker), and the dropped
+/// reservation must refund to the exact pre-request ledger state.
+#[test]
+fn unknown_relation_fails_post_reserve_and_refunds() {
+    let server = test_server();
+    let ok = server.handle_line(&release_frame(0, QUERIES[0], 0.25));
+    assert!(!is_error(&Json::parse(&ok).expect("json")), "{ok}");
+    let spent = server.budget().spent(PRINCIPALS[0]);
+    assert!((spent - 0.25).abs() < 1e-12);
+
+    let line = server.handle_line(&release_frame(0, "Q(*) :- Ghost(x, y)", 0.5));
+    let json = Json::parse(&line).expect("json");
+    assert!(is_error(&json), "{line}");
+    let error = json
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("error text");
+    assert!(
+        error.contains("release failed"),
+        "expected the post-reserve failure marker, got `{error}`"
+    );
+    assert_eq!(server.budget().spent(PRINCIPALS[0]), spent);
+    assert!((server.budget().remaining(PRINCIPALS[0]) - (BUDGET - spent)).abs() < 1e-12);
+}

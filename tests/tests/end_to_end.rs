@@ -73,7 +73,7 @@ fn releases_have_expected_shape() {
     // Median of noisy releases tracks the true count (unbiased, symmetric
     // noise); 200 samples keep the test fast but stable with this seed.
     let mut samples: Vec<f64> = (0..200)
-        .map(|_| engine.release(&q, &mut rng).unwrap().value)
+        .map(|_| engine.release(&q, &mut rng).unwrap().value.get())
         .collect();
     samples.sort_by(f64::total_cmp);
     let median = samples[samples.len() / 2];
@@ -113,7 +113,7 @@ fn comparison_predicates_roundtrip_through_engine() {
     let mut rng = StdRng::seed_from_u64(5);
     let release = engine.release(&q, &mut rng).unwrap();
     assert!(release.sensitivity > 0.0);
-    assert!(release.value.is_finite());
+    assert!(release.value.get().is_finite());
     // Truth must match a hand-computed count: joins (x,y),(y,z) with x<z.
     let mut manual = 0u128;
     let rows = [(1, 5), (2, 4), (3, 3), (4, 2), (5, 1), (2, 9)];
