@@ -172,6 +172,33 @@ pub struct PrivateEngine {
     caches: Mutex<FxHashMap<String, ShapeCache>>,
 }
 
+/// A portable image of one relation for durability snapshots: name,
+/// arity, the **engine-relative** version counter, and every row as raw
+/// integers. Produced by [`PrivateEngine::export_image`], consumed by
+/// [`PrivateEngine::from_image`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationImage {
+    /// Relation name.
+    pub name: String,
+    /// Column count (kept even when `rows` is empty, so empty relations
+    /// survive a round-trip with their arity intact).
+    pub arity: usize,
+    /// The engine-relative version ([`PrivateEngine::relation_version`])
+    /// at export time. Restoring it keeps version stamps — and therefore
+    /// release-cache keys — stable across a restart.
+    pub version: RelationVersion,
+    /// Every tuple, one `Vec<i64>` of length `arity` per row.
+    pub rows: Vec<Vec<i64>>,
+}
+
+/// A full database image for durability snapshots, in relation-name
+/// order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DatabaseImage {
+    /// One image per stored relation, sorted by name.
+    pub relations: Vec<RelationImage>,
+}
+
 /// One query shape's cache slot: the relations it reads (for scoped
 /// invalidation) and the stamped [`FamilyCache`] shared by its releases.
 #[derive(Debug)]
@@ -199,6 +226,61 @@ impl PrivateEngine {
             scoped: true,
             caches: Mutex::new(FxHashMap::default()),
         }
+    }
+
+    /// Rebuilds an engine from a snapshot image, preserving the crashed
+    /// instance's version counters: after recovery,
+    /// [`PrivateEngine::relation_version`] reports exactly the persisted
+    /// values (the base stamp is empty rather than re-zeroed at
+    /// construction), so stamped cache keys taken before the crash still
+    /// match. Shape caches start cold — they are derived state and are
+    /// rebuilt on demand.
+    pub fn from_image(image: &DatabaseImage, policy: Policy, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
+        let mut db = Database::new();
+        for rel in &image.relations {
+            db.create_relation(&rel.name, rel.arity);
+            for row in &rel.rows {
+                let vals: Vec<Value> = row.iter().copied().map(Value).collect();
+                db.insert_tuple(&rel.name, &vals);
+            }
+        }
+        // The rebuild above bumped versions incidentally; overwrite with
+        // the persisted counters now that the contents are in place.
+        for rel in &image.relations {
+            db.restore_version(&rel.name, rel.version);
+        }
+        PrivateEngine {
+            db,
+            policy,
+            epsilon,
+            threads: dpcq_sensitivity::prep::default_threads(),
+            base: VersionStamp::empty(),
+            scoped: true,
+            caches: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Exports the database for a durability snapshot: every relation's
+    /// rows plus its engine-relative version, in name order.
+    pub fn export_image(&self) -> DatabaseImage {
+        let relations = self
+            .db
+            .iter()
+            .map(|(name, rel)| RelationImage {
+                name: name.to_string(),
+                arity: rel.arity(),
+                version: self.relation_version(name),
+                rows: rel
+                    .iter()
+                    .map(|row| row.iter().map(|v| v.0).collect())
+                    .collect(),
+            })
+            .collect();
+        DatabaseImage { relations }
     }
 
     /// Switches the engine to **wholesale invalidation**: every effective
@@ -605,6 +687,50 @@ mod tests {
         let a = engine.release(&q, &mut StdRng::seed_from_u64(9)).unwrap();
         let b = engine.release(&q, &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn image_round_trip_preserves_contents_versions_and_stamps() {
+        let mut engine = PrivateEngine::new(sym_db(), Policy::all_private(), 1.0);
+        let q = triangle();
+        // Mutate so the version vector is non-trivial before export.
+        assert!(engine.insert_tuple("Edge", &[Value(90), Value(91)]));
+        assert!(engine.remove_tuple("Edge", &[Value(90), Value(91)]));
+        let stamp = engine.read_set_stamp(&q, SensitivityMethod::Residual);
+
+        let image = engine.export_image();
+        let recovered = PrivateEngine::from_image(&image, Policy::all_private(), 1.0);
+        assert_eq!(recovered.database(), engine.database());
+        assert_eq!(recovered.relation_versions(), engine.relation_versions());
+        assert_eq!(recovered.generation(), engine.generation());
+        // Cache keys built from stamps before the crash still match.
+        assert_eq!(
+            recovered.read_set_stamp(&q, SensitivityMethod::Residual),
+            stamp
+        );
+        // Releases still work and versions keep rising from where they were.
+        let v = recovered.relation_version("Edge");
+        let mut recovered = recovered;
+        assert!(recovered.insert_tuple("Edge", &[Value(92), Value(93)]));
+        assert_eq!(recovered.relation_version("Edge"), v + 1);
+        let r = recovered
+            .release(&q, &mut StdRng::seed_from_u64(13))
+            .unwrap();
+        assert!(r.value.get().is_finite());
+    }
+
+    #[test]
+    fn image_keeps_empty_relations_and_their_arity() {
+        let mut db = Database::new();
+        db.create_relation("Empty", 3);
+        db.insert_tuple("Full", &[Value(1)]);
+        let engine = PrivateEngine::new(db, Policy::all_private(), 1.0);
+        let image = engine.export_image();
+        assert_eq!(image.relations.len(), 2);
+        let recovered = PrivateEngine::from_image(&image, Policy::all_private(), 1.0);
+        let empty = recovered.database().relation("Empty").unwrap();
+        assert_eq!((empty.arity(), empty.len()), (3, 0));
+        assert_eq!(recovered.database(), engine.database());
     }
 
     #[test]

@@ -87,7 +87,7 @@ pub use dpcq_sensitivity as sensitivity;
 
 pub mod engine;
 
-pub use engine::{PendingRelease, PrivateEngine, SensitivityMethod};
+pub use engine::{DatabaseImage, PendingRelease, PrivateEngine, RelationImage, SensitivityMethod};
 
 /// The items most programs need.
 pub mod prelude {

@@ -1,0 +1,37 @@
+//! FIXTURE (unlogged_commit): durable serving code that debits the
+//! ledger before (or without) making the matching WAL record durable.
+//! A crash between the in-memory `commit()` and the WAL append forgets
+//! the debit while the noisy answer already shipped — a free query
+//! after every restart. `dpa check` must flag both planted sites
+//! (rule R2) and exit non-zero; the logged function must stay clean.
+
+use crate::budget::BudgetAccountant;
+use crate::durability::Durability;
+
+pub fn unlogged_commit(acct: &BudgetAccountant, durability: &Durability) -> Result<f64, String> {
+    let guard = acct.reserve("alice", 0.5).map_err(|e| e.to_string())?;
+    let noisy = draw_release(durability.seed());
+    // Planted violation: the ledger debit is never made durable at all.
+    guard.commit();
+    Ok(noisy)
+}
+
+pub fn logged_too_late(acct: &BudgetAccountant, durability: &Durability) -> Result<f64, String> {
+    let guard = acct.reserve("bob", 0.5).map_err(|e| e.to_string())?;
+    let noisy = draw_release(durability.seed());
+    // Planted violation: the record becomes durable only after the
+    // in-memory debit — exactly the crash window the rule closes.
+    guard.commit();
+    durability.append(&encode(noisy)).map_err(|e| e.to_string())?;
+    Ok(noisy)
+}
+
+pub fn logged_commit(acct: &BudgetAccountant, durability: &Durability) -> Result<f64, String> {
+    let guard = acct.reserve("carol", 0.5).map_err(|e| e.to_string())?;
+    let noisy = draw_release(durability.seed());
+    // Compliant: write-ahead first, debit second. A crash before the
+    // append refunds; a crash after it replays the debit on recovery.
+    durability.log_commit(&encode(noisy)).map_err(|e| e.to_string())?;
+    guard.commit();
+    Ok(noisy)
+}

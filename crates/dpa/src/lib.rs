@@ -12,10 +12,12 @@
 //! 2. **Budget before noise** — every sampled release is paid for
 //!    exactly once. Enforced by the `Reservation` drop guard plus rules
 //!    R2 (reservations are bound and committed) and R3 (the request
-//!    path cannot panic past a reservation).
+//!    path cannot panic past a reservation). In durable serving code R2
+//!    also requires the WAL append *before* the commit, so a crash can
+//!    never forget a debit whose answer already shipped.
 //!
 //! The analyzer is deliberately boring: a ~300-line lexer
-//! ([`lexer`]), a rule table ([`rules::TOKEN_RULES`]), and three
+//! ([`lexer`]), a rule table ([`rules::TOKEN_RULES`]), and four
 //! structural passes. No `syn`, no dependencies — it must keep working
 //! in the same offline sandbox the rest of the workspace builds in.
 //! See `docs/INVARIANTS.md` for the rule catalogue and the precision
@@ -96,6 +98,7 @@ pub fn run_check(root: &Path) -> io::Result<Vec<Violation>> {
         rules::check_token_rules(&file.rel, &stripped, &mut violations);
         rules::check_reserve_discipline(&file.rel, &stripped, &mut violations);
         rules::check_reserve_commit_pairing(&file.rel, &stripped, &mut violations);
+        rules::check_wal_before_commit(&file.rel, &stripped, &mut violations);
     }
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(violations)

@@ -9,7 +9,9 @@
 //! * **R2 (budget pairing)** — a `reserve` result must be bound and
 //!   must reach `commit` (or rely on the refund-on-drop guard); the
 //!   escape hatches that defeat the guard (`mem::forget`,
-//!   `ManuallyDrop`, `let _ =`) are banned outright.
+//!   `ManuallyDrop`, `let _ =`) are banned outright. In durable serving
+//!   code, `commit` must additionally be preceded in-function by a WAL
+//!   append so a crash can never forget a debit whose answer shipped.
 //! * **R3 (no panics in request handling)** — the server's request path
 //!   converts failures into error responses that refund the
 //!   reservation; `unwrap`/`expect`/`panic!` there would poison locks
@@ -126,9 +128,9 @@ const REQUEST_PATH: &[&str] = &[
 /// allocation-counting `GlobalAlloc` shim.
 const UNSAFE_ALLOWED: &[&str] = &["crates/relation/src/fxhash.rs", "crates/bench/"];
 
-/// The whole rule table. `dpa check` is this data plus three structural
+/// The whole rule table. `dpa check` is this data plus four structural
 /// passes ([`check_reserve_discipline`], [`check_reserve_commit_pairing`],
-/// [`check_deny_unsafe_attr`]).
+/// [`check_wal_before_commit`], [`check_deny_unsafe_attr`]).
 pub const TOKEN_RULES: &[TokenRule] = &[
     TokenRule {
         id: "R1",
@@ -339,21 +341,94 @@ pub fn check_reserve_commit_pairing(file: &str, tokens: &[Token], out: &mut Vec<
     if !mentions_budget_api(tokens) {
         return;
     }
+    for (at, open, end) in fn_bodies(tokens) {
+        let fn_line = tokens[at].line;
+        let fn_name = tokens
+            .get(at + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        let body = &tokens[open..=end];
+        let has = |name: &str, then: char| {
+            body.iter()
+                .enumerate()
+                .any(|(k, t)| t.is_ident(name) && next_is_punct(body, k, then))
+        };
+        if has("reserve", '(') && has("sample", '(') && !body.iter().any(|t| t.is_ident("commit")) {
+            out.push(Violation {
+                file: file.to_string(),
+                line: fn_line,
+                rule: "R2",
+                message: format!(
+                    "fn `{fn_name}` reserves budget and samples noise but never \
+                     commits: the reservation refunds after the answer ships"
+                ),
+            });
+        }
+    }
+}
+
+/// R2, part three (durability): in a file that handles both budget and
+/// durable state, a function that calls `commit(…)` must first append
+/// the matching ledger record to the WAL (`log_commit(…)` or a raw
+/// `append(…)`) **earlier in the same function**. Committing before the
+/// record is durable opens a crash window where ε was debited in memory,
+/// the answer shipped, and the restart forgets the debit — a free query
+/// after every crash.
+///
+/// Gated to files that (a) live in the serving layer, (b) name the
+/// budget API, and (c) name `Wal` or `Durability` — in-memory code paths
+/// and the store crate itself (which has no budget to mis-order) stay
+/// out of scope, as does `Reservation::commit`'s own definition.
+pub fn check_wal_before_commit(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    if !file.starts_with("crates/server/src/") || !mentions_budget_api(tokens) {
+        return;
+    }
+    if !tokens
+        .iter()
+        .any(|t| t.is_ident("Wal") || t.is_ident("Durability"))
+    {
+        return;
+    }
+    for (_, open, end) in fn_bodies(tokens) {
+        let body = &tokens[open..=end];
+        let mut logged_at: Option<usize> = None;
+        for (k, tok) in body.iter().enumerate() {
+            if (tok.is_ident("log_commit") || tok.is_ident("append")) && next_is_punct(body, k, '(')
+            {
+                logged_at.get_or_insert(k);
+            }
+            if tok.is_ident("commit")
+                && next_is_punct(body, k, '(')
+                && !(k > 0 && body[k - 1].is_ident("fn"))
+                && logged_at.is_none_or(|at| at > k)
+            {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: tok.line,
+                    rule: "R2",
+                    message: "`commit()` without a preceding WAL `log_commit`/`append` \
+                              in this function: a crash between them forgets the debit \
+                              and replays the release for free"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `(fn keyword, open brace, close brace)` token indices of every `fn`
+/// with a body. The opening brace is the first `{` at bracket depth zero
+/// after the signature (skipping parenthesized args and any bracketed
+/// generics); bodiless trait method declarations are skipped.
+fn fn_bodies(tokens: &[Token]) -> Vec<(usize, usize, usize)> {
+    let mut bodies = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
         if !tokens[i].is_ident("fn") {
             i += 1;
             continue;
         }
-        let fn_line = tokens[i].line;
-        let fn_name = tokens
-            .get(i + 1)
-            .filter(|t| t.kind == TokenKind::Ident)
-            .map(|t| t.text.clone())
-            .unwrap_or_default();
-        // Find the body's opening brace: the first `{` at bracket depth
-        // zero after the signature (skipping parenthesized args and any
-        // bracketed generics).
         let mut j = i + 1;
         let mut depth = 0usize;
         let body_open = loop {
@@ -373,7 +448,6 @@ pub fn check_reserve_commit_pairing(file: &str, tokens: &[Token], out: &mut Vec<
             i = j.max(i + 1);
             continue;
         };
-        // Body extent: balanced braces.
         let mut brace = 0usize;
         let mut end = open;
         while end < tokens.len() {
@@ -387,25 +461,10 @@ pub fn check_reserve_commit_pairing(file: &str, tokens: &[Token], out: &mut Vec<
             }
             end += 1;
         }
-        let body = &tokens[open..=end.min(tokens.len() - 1)];
-        let has = |name: &str, then: char| {
-            body.iter()
-                .enumerate()
-                .any(|(k, t)| t.is_ident(name) && next_is_punct(body, k, then))
-        };
-        if has("reserve", '(') && has("sample", '(') && !body.iter().any(|t| t.is_ident("commit")) {
-            out.push(Violation {
-                file: file.to_string(),
-                line: fn_line,
-                rule: "R2",
-                message: format!(
-                    "fn `{fn_name}` reserves budget and samples noise but never \
-                     commits: the reservation refunds after the answer ships"
-                ),
-            });
-        }
+        bodies.push((i, open, end.min(tokens.len() - 1)));
         i += 1;
     }
+    bodies
 }
 
 /// Is `file` a crate root (`crates/<name>/src/lib.rs` or
@@ -457,6 +516,7 @@ mod tests {
         check_token_rules(file, &tokens, &mut out);
         check_reserve_discipline(file, &tokens, &mut out);
         check_reserve_commit_pairing(file, &tokens, &mut out);
+        check_wal_before_commit(file, &tokens, &mut out);
         out
     }
 
@@ -544,6 +604,82 @@ mod tests {
         "#;
         let v = violations_in("crates/server/src/budget.rs", paired);
         assert!(v.iter().all(|v| v.rule != "R2"), "{v:?}");
+    }
+
+    #[test]
+    fn r2_unlogged_commit_flagged_in_durable_serving_code() {
+        // A commit with no WAL append anywhere in the function.
+        let unlogged = r#"
+            fn respond(a: &BudgetAccountant, wal: &Wal) -> f64 {
+                let r = a.reserve(p, e).map_err(fail)?;
+                let v = noisy();
+                r.commit();
+                v
+            }
+        "#;
+        let v = violations_in("crates/server/src/server.rs", unlogged);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == "R2" && v.message.contains("log_commit")),
+            "{v:?}"
+        );
+
+        // The append must come BEFORE the commit, not after.
+        let late = r#"
+            fn respond(a: &BudgetAccountant, wal: &Wal) -> f64 {
+                let r = a.reserve(p, e).map_err(fail)?;
+                r.commit();
+                wal.append(&record).map_err(fail)?;
+                noisy()
+            }
+        "#;
+        let v = violations_in("crates/server/src/server.rs", late);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == "R2" && v.message.contains("log_commit")),
+            "{v:?}"
+        );
+
+        // Logged first: clean (either spelling).
+        for logger in ["durability.log_commit(&record)?", "wal.append(&bytes)?"] {
+            let logged = format!(
+                r#"
+                fn respond(a: &BudgetAccountant, durability: &Durability) -> f64 {{
+                    let r = a.reserve(p, e).map_err(fail)?;
+                    {logger};
+                    r.commit();
+                    noisy()
+                }}
+            "#
+            );
+            let v = violations_in("crates/server/src/server.rs", &logged);
+            assert!(v.iter().all(|v| !v.message.contains("log_commit")), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn r2_wal_gate_skips_in_memory_and_foreign_code() {
+        // No `Wal`/`Durability` mention: the in-memory server commits
+        // without logging, by design.
+        let in_memory = r#"
+            fn respond(a: &BudgetAccountant) -> f64 {
+                let r = a.reserve(p, e).map_err(fail)?;
+                r.commit();
+                noisy()
+            }
+        "#;
+        assert!(violations_in("crates/server/src/server.rs", in_memory).is_empty());
+
+        // `Reservation::commit`'s own definition is not a call site, and
+        // files outside the serving layer are out of scope entirely.
+        let definition = r#"
+            impl Reservation {
+                pub fn commit(mut self) { self.done = true; }
+            }
+        "#;
+        assert!(violations_in("crates/server/src/budget.rs", definition).is_empty());
+        let elsewhere = "fn f(a: &BudgetAccountant, w: &Wal) { tx.commit(); }";
+        assert!(violations_in("crates/store/src/wal.rs", elsewhere).is_empty());
     }
 
     #[test]

@@ -74,6 +74,29 @@ fn unpaired_reserve_fixture_fails_on_all_three_patterns() {
 }
 
 #[test]
+fn unlogged_commit_fixture_fails_on_both_crash_windows() {
+    let out = dpa_check(&fixture("unlogged_commit"));
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    let r2: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("[R2]") && l.contains("log_commit"))
+        .collect();
+    assert_eq!(
+        r2.len(),
+        2,
+        "want the never-logged and the logged-too-late commits:\n{text}"
+    );
+    assert!(
+        r2.iter()
+            .all(|l| l.starts_with("crates/server/src/server.rs:")),
+        "{text}"
+    );
+    // The compliant write-ahead function stays clean.
+    assert!(!text.contains("logged_commit"), "{text}");
+}
+
+#[test]
 fn request_unwrap_fixture_fails_in_the_server_path() {
     let out = dpa_check(&fixture("request_unwrap"));
     assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));

@@ -30,6 +30,32 @@ pub struct Release {
     pub expected_error: f64,
 }
 
+impl Release {
+    /// Reconstructs a release from fields persisted by a durability log.
+    ///
+    /// This is pure post-processing: `value` must be a noisy answer that
+    /// was *already published* by one of the mechanisms below (and paid
+    /// for from a budget ledger) before being written to stable storage.
+    /// Replaying it after a restart reveals nothing new and costs zero ε.
+    /// It deliberately lives in this module so [`Released::new`] stays
+    /// confined to the mechanism files (invariant R1).
+    pub fn from_persisted(
+        value: f64,
+        sensitivity: f64,
+        scale: f64,
+        epsilon: f64,
+        expected_error: f64,
+    ) -> Self {
+        Release {
+            value: Released::new(value),
+            sensitivity,
+            scale,
+            epsilon,
+            expected_error,
+        }
+    }
+}
+
 impl fmt::Display for Release {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -197,6 +223,25 @@ mod tests {
         let r = m.release(RawAnswer::new(9), 0.0, &mut rng);
         assert_eq!(r.value.get(), 9.0);
         assert_eq!(r.expected_error, 0.0);
+    }
+
+    #[test]
+    fn from_persisted_round_trips_a_real_release_bit_for_bit() {
+        let m = SmoothCauchyMechanism::new(2.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let original = m.release(RawAnswer::new(7), 1.5, &mut rng);
+        let replayed = Release::from_persisted(
+            f64::from_bits(original.value.get().to_bits()),
+            original.sensitivity,
+            original.scale,
+            original.epsilon,
+            original.expected_error,
+        );
+        assert_eq!(replayed, original);
+        assert_eq!(
+            replayed.value.get().to_bits(),
+            original.value.get().to_bits()
+        );
     }
 
     #[test]

@@ -133,6 +133,15 @@ impl Database {
         changed
     }
 
+    /// Recovery-only: overwrites `name`'s version counter with a value
+    /// restored from a durable snapshot, so version stamps (and therefore
+    /// cache keys) survive a restart. Normal mutation paths must use the
+    /// implicit bumps; calling this on a live database invalidates the
+    /// monotonicity that scoped cache invalidation relies on.
+    pub fn restore_version(&mut self, name: &str, version: RelationVersion) {
+        self.versions.insert(name.to_string(), version);
+    }
+
     /// The current [`RelationVersion`] of `name` (0 if never mutated —
     /// including for relations that do not exist).
     pub fn version_of(&self, name: &str) -> RelationVersion {
@@ -301,6 +310,22 @@ mod tests {
         let _ = db.relation("R");
         let _ = db.stamp_all();
         assert_eq!(db.version_of("R"), v1 + 2);
+    }
+
+    #[test]
+    fn restore_version_overwrites_and_resumes_bumping() {
+        let mut db = Database::new();
+        db.insert_tuple("R", &vals![1, 2]);
+        // Snapshot import: put the counter exactly where the crashed
+        // instance left it, even if the rebuild itself bumped it.
+        db.restore_version("R", 41);
+        assert_eq!(db.version_of("R"), 41);
+        assert_eq!(db.stamp(["R"]).version_of("R"), Some(41));
+        db.insert_tuple("R", &vals![3, 4]);
+        assert_eq!(db.version_of("R"), 42, "bumping resumes from restored");
+        // Restoring an untouched name just pins it.
+        db.restore_version("Fresh", 7);
+        assert_eq!(db.version_of("Fresh"), 7);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //!      --table Visit=visits.csv --table Staff=staff.csv \
 //!      --private Visit,Staff --method residual --seed 7
 //!
-//! # Serve a database over newline-delimited JSON TCP:
-//! dpcq serve --addr 127.0.0.1:4547 --edges ca-GrQc.txt --budget 3.0
+//! # Serve a database over newline-delimited JSON TCP (durable state in
+//! # ./state — budgets, mutations and cached releases survive kill -9):
+//! dpcq serve --addr 127.0.0.1:4547 --edges ca-GrQc.txt --budget 3.0 \
+//!      --data-dir ./state
 //!
 //! # Drive a running server (one request line, prints the response):
 //! dpcq request --addr 127.0.0.1:4547 \
@@ -68,6 +70,9 @@ SERVE OPTIONS (newline-delimited JSON over TCP; see the dpcq_server docs):
   --budget <float>      total ε per principal (default: unmetered)
   --threads <int>       worker threads per residual release
   --seed <int>          noise RNG seed (deterministic sessions; tests only)
+  --data-dir <path>     durable state directory (WAL + snapshots); budgets,
+                        databases and cached releases survive crashes and
+                        restarts. Omit for a purely in-memory server.
 
 REQUEST OPTIONS:
   --addr HOST:PORT      server address (default 127.0.0.1:4547)
@@ -280,7 +285,7 @@ fn serve_main(argv: &[String]) -> ExitCode {
     let flags = match Flags::parse(
         argv,
         &[
-            "addr", "edges", "table", "private", "epsilon", "budget", "threads", "seed",
+            "addr", "edges", "table", "private", "epsilon", "budget", "threads", "seed", "data-dir",
         ],
         &[],
     ) {
@@ -318,14 +323,21 @@ fn serve_main(argv: &[String]) -> ExitCode {
     let bound = listener
         .local_addr()
         .map_or(addr.to_string(), |a| a.to_string());
-    let server = Arc::new(Server::new(
-        engine,
-        ServerConfig {
-            default_epsilon,
-            default_budget,
-            seed,
+    let config = ServerConfig {
+        default_epsilon,
+        default_budget,
+        seed,
+    };
+    let server = match flags.get("data-dir") {
+        Some(dir) => match Server::recover(engine, config, std::path::Path::new(dir)) {
+            Ok(s) => {
+                eprintln!("dpcq durable state in {dir}");
+                Arc::new(s)
+            }
+            Err(e) => return fail(&format!("cannot recover {dir}: {e}")),
         },
-    ));
+        None => Arc::new(Server::new(engine, config)),
+    };
     eprintln!("dpcq serving on {bound} (ndjson; send {{\"op\":\"shutdown\"}} to stop)");
     match server.serve(listener) {
         Ok(()) => {

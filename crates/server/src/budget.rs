@@ -160,6 +160,33 @@ impl BudgetAccountant {
         })
     }
 
+    /// Every principal's committed spend, in name order — the part of the
+    /// ledger that must survive a crash. In-flight reservations are
+    /// deliberately absent: a reservation that never committed produced no
+    /// output, so its refund-on-restart is exactly the in-memory refund-
+    /// on-drop semantics.
+    pub fn committed_spend_snapshot(&self) -> Vec<(String, f64)> {
+        let ledgers = self.inner.ledgers.lock().expect("budget lock poisoned");
+        let mut spend: Vec<(String, f64)> =
+            ledgers.iter().map(|(p, l)| (p.clone(), l.spent)).collect();
+        spend.sort_by(|a, b| a.0.cmp(&b.0));
+        spend
+    }
+
+    /// Recovery-only: sets `principal`'s committed spend to an absolute
+    /// value replayed from a durable ledger. The budget cap stays at its
+    /// configured value — if the restored spend meets or exceeds it,
+    /// [`BudgetAccountant::remaining`] clamps at zero and further
+    /// reservations are refused, which is precisely the monotonicity that
+    /// sequential composition demands across restarts.
+    pub fn restore_spent(&self, principal: &str, spent: f64) {
+        assert!(
+            spent >= 0.0 && !spent.is_nan(),
+            "restored spend must be non-negative"
+        );
+        self.with_ledger(principal, |l| l.spent = spent);
+    }
+
     /// The principal's total budget (the default if never touched).
     pub fn budget(&self, principal: &str) -> f64 {
         self.with_ledger(principal, |l| l.budget)
@@ -350,6 +377,59 @@ mod tests {
         // Raising the cap afterwards works normally.
         acct.set_budget("alice", 7.5);
         assert!((acct.remaining("alice") - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn committed_spend_snapshot_reports_commits_only_in_name_order() {
+        let acct = BudgetAccountant::new(10.0);
+        assert!(acct.committed_spend_snapshot().is_empty());
+        acct.reserve("zoe", 1.5).unwrap().commit();
+        acct.reserve("abe", 0.5).unwrap().commit();
+        let _held = acct.reserve("abe", 3.0).unwrap();
+        let _untouched = acct.budget("mia"); // ledger exists, spend 0
+        assert_eq!(
+            acct.committed_spend_snapshot(),
+            vec![
+                ("abe".to_string(), 0.5),
+                ("mia".to_string(), 0.0),
+                ("zoe".to_string(), 1.5),
+            ],
+            "reserved-but-uncommitted ε must not appear as spend"
+        );
+    }
+
+    /// The `set_budget` clamp (`spent + reserved`) must hold against
+    /// *restored* state exactly as it does against organically accumulated
+    /// spend: recovery writes spend directly, and a later cap change may
+    /// not revoke it.
+    #[test]
+    fn set_budget_clamp_holds_against_restored_spend() {
+        let acct = BudgetAccountant::new(1.0);
+        // Recovered from a durable ledger: more spend than today's default.
+        acct.restore_spent("alice", 5.0);
+        assert_eq!(acct.spent("alice"), 5.0);
+        assert_eq!(acct.remaining("alice"), 0.0);
+        assert!(acct.reserve("alice", 0.1).is_err());
+
+        // Lowering the cap below restored spend clamps to it.
+        acct.set_budget("alice", 2.0);
+        assert_eq!(acct.budget("alice"), 5.0);
+        assert_eq!(acct.remaining("alice"), 0.0);
+
+        // With a live reservation on top, the clamp covers both parts.
+        acct.set_budget("alice", 7.0);
+        let held = acct.reserve("alice", 1.5).unwrap();
+        acct.set_budget("alice", 0.0);
+        assert_eq!(acct.budget("alice"), 6.5);
+        held.commit();
+        assert_eq!(acct.spent("alice"), 6.5);
+        assert_eq!(acct.remaining("alice"), 0.0);
+
+        // Raising it re-opens headroom over the restored spend.
+        acct.set_budget("alice", 8.0);
+        assert!((acct.remaining("alice") - 1.5).abs() < 1e-12);
+        acct.reserve("alice", 1.0).unwrap().commit();
+        assert!((acct.spent("alice") - 7.5).abs() < 1e-12);
     }
 
     /// The headline concurrency property: with `budget / ε = 50` slots

@@ -189,6 +189,23 @@ impl ReleaseCache {
         self.scoped_hits.fetch_add(retained, Ordering::Relaxed);
     }
 
+    /// Every live entry, for durability snapshots. Sorted by key fields
+    /// (query, method, ε bits, stamp rendering) so snapshot bytes are
+    /// deterministic for a given cache state. Counters are untouched —
+    /// exporting is not a lookup.
+    pub fn entries(&self) -> Vec<(ReleaseKey, Release)> {
+        let map = self.map.lock().expect("release cache lock poisoned");
+        let mut entries: Vec<(ReleaseKey, Release)> =
+            map.iter().map(|(k, r)| (k.clone(), *r)).collect();
+        drop(map);
+        entries.sort_by(|(a, _), (b, _)| {
+            (a.query.as_str(), a.method, a.epsilon_bits)
+                .cmp(&(b.query.as_str(), b.method, b.epsilon_bits))
+                .then_with(|| a.stamp.to_string().cmp(&b.stamp.to_string()))
+        });
+        entries
+    }
+
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.map.lock().expect("release cache lock poisoned").len()
@@ -388,6 +405,27 @@ mod tests {
             "RS entry unaffected"
         );
         assert_eq!(cache.scoped_counters(), (1, 1));
+    }
+
+    #[test]
+    fn entries_export_is_sorted_and_counter_silent() {
+        let cache = ReleaseCache::new();
+        let b = ReleaseKey::new("b", SensitivityMethod::Residual, 1.0, stamp(&[("R", 0)]));
+        let a = ReleaseKey::new("a", SensitivityMethod::Residual, 1.0, stamp(&[("R", 0)]));
+        cache.put(b.clone(), release(2));
+        cache.put(a.clone(), release(1));
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, a);
+        assert_eq!(entries[1].0, b);
+        assert_eq!(entries[0].1.value.get(), 1.0);
+        assert_eq!(cache.counters(), (0, 0), "export must not count lookups");
+        // Re-inserting an export into a fresh cache replays identically.
+        let restored = ReleaseCache::new();
+        for (k, r) in entries {
+            restored.put(k, r);
+        }
+        assert_eq!(restored.get(&a).unwrap(), cache.get(&a).unwrap());
     }
 
     #[test]

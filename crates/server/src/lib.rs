@@ -28,6 +28,13 @@
 //! * **Request batching** — a `batch` frame evaluates its releases under
 //!   one database snapshot, grouped by query shape so the engine-owned
 //!   family store is warmed once per shape and replayed for the rest.
+//! * **[`Durability`]** (opt-in via `Server::recover` / `dpcq serve
+//!   --data-dir`) — budget debits, effective mutations, and cached
+//!   releases are written ahead to a checksummed WAL (fsynced before the
+//!   response ships) with periodic atomic snapshots. After `kill -9`,
+//!   recovery restores spent ε exactly and replays cached answers
+//!   bit-identically at zero additional budget — a crash can never turn
+//!   into a free query (see the [`durability`] module docs).
 //!
 //! ## Interfaces
 //!
@@ -50,10 +57,12 @@
 
 pub mod budget;
 pub mod cache;
+pub mod durability;
 pub mod protocol;
 pub mod server;
 
 pub use budget::{BudgetAccountant, BudgetError, Reservation};
 pub use cache::{ReleaseCache, ReleaseKey};
+pub use durability::{Durability, DurabilityStats, DurableRecord};
 pub use protocol::{ReleaseRequest, Request, Response};
 pub use server::{Server, ServerConfig};

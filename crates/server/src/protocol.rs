@@ -36,11 +36,15 @@
 //! {"ok":true,"op":"stats","generation":3,
 //!  "relation_versions":{"Edge":3,"Tag":0},"release_cache_entries":2,
 //!  "release_cache_hits":5,"release_cache_misses":7,
-//!  "cache_scoped_hits":4,"cache_scoped_misses":1,"principals":2}
+//!  "cache_scoped_hits":4,"cache_scoped_misses":1,"principals":2,
+//!  "durability":{"wal_records":12,"wal_bytes":980,
+//!                "last_snapshot_generation":2,"recovered":true}}
 //! {"ok":true,"op":"batch","responses":[{...},{...}]}
 //! {"ok":true,"op":"shutdown"}
 //! ```
 //!
+//! `stats.durability` appears only on servers running with `--data-dir`
+//! (in-memory servers omit the field, keeping the legacy frame shape).
 //! `remaining`/`budget` render as `null` when infinite (unmetered).
 //! `stats.generation` is the derived total of `relation_versions` (one
 //! tick per effective mutation); `cache_scoped_{hits,misses}` count, over
@@ -48,6 +52,7 @@
 //! by read-set-scoped invalidation (see the `cache` module — scoped hits
 //! are replayable answers a wholesale purge would have destroyed).
 
+use crate::durability::DurabilityStats;
 use dpcq::noise::Release;
 use dpcq::SensitivityMethod;
 use dpcq_wire::Json;
@@ -301,6 +306,11 @@ pub enum Response {
         cache_scoped_misses: u64,
         /// Principals with a budget ledger.
         principals: usize,
+        /// Durability counters (`None` when the server runs in-memory).
+        /// Rendered as a nested `"durability"` object; the field is
+        /// omitted entirely for in-memory servers so existing clients
+        /// see an unchanged frame.
+        durability: Option<DurabilityStats>,
     },
     /// Responses of a batch, in request order.
     Batch {
@@ -412,9 +422,9 @@ impl Response {
                 cache_scoped_hits,
                 cache_scoped_misses,
                 principals,
-            } => with_id(
-                *id,
-                vec![
+                durability,
+            } => {
+                let mut fields = vec![
                     field("ok", Json::Bool(true)),
                     field("op", Json::Str("stats".into())),
                     field("generation", Json::Int(*generation as i128)),
@@ -442,8 +452,23 @@ impl Response {
                         Json::Int(*cache_scoped_misses as i128),
                     ),
                     field("principals", Json::Int(*principals as i128)),
-                ],
-            ),
+                ];
+                if let Some(d) = durability {
+                    fields.push(field(
+                        "durability",
+                        Json::Obj(vec![
+                            field("wal_records", Json::Int(d.wal_records as i128)),
+                            field("wal_bytes", Json::Int(d.wal_bytes as i128)),
+                            field(
+                                "last_snapshot_generation",
+                                Json::Int(d.last_snapshot_generation as i128),
+                            ),
+                            field("recovered", Json::Bool(d.recovered)),
+                        ]),
+                    ));
+                }
+                with_id(*id, fields)
+            }
             Response::Batch { id, responses } => with_id(
                 *id,
                 vec![
@@ -645,10 +670,16 @@ mod tests {
             cache_scoped_hits: 4,
             cache_scoped_misses: 1,
             principals: 2,
+            durability: None,
         };
         let line = resp.render_line();
         assert!(!line.contains('\n'));
         let parsed = Json::parse(&line).unwrap();
+        assert_eq!(
+            parsed.get("durability"),
+            None,
+            "in-memory servers keep the legacy frame shape"
+        );
         assert_eq!(parsed.get("generation").and_then(Json::as_i128), Some(3));
         let versions = parsed.get("relation_versions").unwrap();
         assert_eq!(versions.get("Edge").and_then(Json::as_i128), Some(3));
@@ -676,6 +707,54 @@ mod tests {
         assert_eq!(
             parsed.get("generation").and_then(Json::as_i128),
             Some(total)
+        );
+    }
+
+    #[test]
+    fn stats_response_round_trips_the_durability_section() {
+        let resp = Response::Stats {
+            id: None,
+            generation: 0,
+            relation_versions: vec![],
+            release_cache_entries: 0,
+            release_cache_hits: 0,
+            release_cache_misses: 0,
+            cache_scoped_hits: 0,
+            cache_scoped_misses: 0,
+            principals: 0,
+            durability: Some(DurabilityStats {
+                wal_records: 12,
+                wal_bytes: 980,
+                last_snapshot_generation: 2,
+                recovered: true,
+            }),
+        };
+        let line = resp.render_line();
+        assert!(!line.contains('\n'));
+        let parsed = Json::parse(&line).unwrap();
+        let durability = parsed.get("durability").expect("durability section");
+        assert_eq!(
+            durability.get("wal_records").and_then(Json::as_i128),
+            Some(12)
+        );
+        assert_eq!(
+            durability.get("wal_bytes").and_then(Json::as_i128),
+            Some(980)
+        );
+        assert_eq!(
+            durability
+                .get("last_snapshot_generation")
+                .and_then(Json::as_i128),
+            Some(2)
+        );
+        assert_eq!(
+            durability.get("recovered").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            durability.entries().map(<[(String, Json)]>::len),
+            Some(4),
+            "exactly the documented durability counters"
         );
     }
 

@@ -37,13 +37,16 @@
 
 use crate::budget::BudgetAccountant;
 use crate::cache::{ReleaseCache, ReleaseKey};
+use crate::durability::{Durability, DurableRecord};
 use crate::protocol::{ReleaseRequest, Request, Response};
 use dpcq::prelude::*;
 use dpcq::relation::FxHashMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard};
 use std::time::Duration;
@@ -81,6 +84,11 @@ pub struct Server {
     cache: ReleaseCache,
     rng: Mutex<StdRng>,
     config: ServerConfig,
+    /// `Some` when running with a data directory: committed releases and
+    /// effective mutations are logged before the response flushes, and
+    /// periodic snapshots bound replay time. `None` = today's in-memory
+    /// behavior.
+    durability: Option<Durability>,
     shutdown: AtomicBool,
     /// The bound TCP address while `serve` runs (used to wake the accept
     /// loop on shutdown).
@@ -92,6 +100,15 @@ impl Server {
     /// per-request ε (or `config.default_epsilon`); its policy, threads,
     /// and database carry over.
     pub fn new(engine: PrivateEngine, config: ServerConfig) -> Self {
+        Server::build(engine, config, None, ReleaseCache::new())
+    }
+
+    fn build(
+        engine: PrivateEngine,
+        config: ServerConfig,
+        durability: Option<Durability>,
+        cache: ReleaseCache,
+    ) -> Self {
         assert!(
             config.default_epsilon > 0.0 && config.default_epsilon.is_finite(),
             "default epsilon must be positive"
@@ -103,12 +120,90 @@ impl Server {
         Server {
             engine: RwLock::new(engine),
             budget: BudgetAccountant::new(config.default_budget),
-            cache: ReleaseCache::new(),
+            cache,
             rng: Mutex::new(rng),
             config,
+            durability,
             shutdown: AtomicBool::new(false),
             bound: Mutex::new(None),
         }
+    }
+
+    /// A durable server over `data_dir`: loads the snapshot (if any),
+    /// replays the WAL over it, and keeps logging from there.
+    ///
+    /// After recovery every principal's spent ε is exactly the committed
+    /// pre-crash spend (reservations that never committed are refunded by
+    /// omission), the database carries its pre-crash contents *and*
+    /// per-relation versions, and every pre-crash cached release replays
+    /// bit-identically at zero ε.
+    ///
+    /// `engine` supplies the policy, threads, and — only when the data
+    /// directory has no snapshot yet (first boot) — the initial database.
+    /// A first boot writes a snapshot immediately, so from then on the
+    /// data directory owns the database and the operator's data files are
+    /// only a bootstrap.
+    pub fn recover(
+        engine: PrivateEngine,
+        config: ServerConfig,
+        data_dir: &Path,
+    ) -> Result<Self, String> {
+        let (durability, snapshot, records) = Durability::open(data_dir)?;
+        let first_boot = snapshot.is_none();
+        let cache = ReleaseCache::new();
+        let mut spend: BTreeMap<String, f64> = BTreeMap::new();
+        let mut engine = match &snapshot {
+            Some(snap) => {
+                for (principal, spent) in &snap.spend {
+                    spend.insert(principal.clone(), *spent);
+                }
+                for (key, release) in &snap.cache {
+                    cache.put(key.clone(), *release);
+                }
+                PrivateEngine::from_image(&snap.database, engine.policy().clone(), engine.epsilon())
+                    .with_threads(engine.threads())
+            }
+            None => engine,
+        };
+        // Replay in log order so interleaved mutations invalidate exactly
+        // the cache entries they invalidated before the crash.
+        for record in records {
+            match record {
+                DurableRecord::Mutation {
+                    insert,
+                    relation,
+                    tuple,
+                } => {
+                    let row: Vec<Value> = tuple.iter().copied().map(Value).collect();
+                    let changed = if insert {
+                        engine.insert_tuple(&relation, &row)
+                    } else {
+                        engine.remove_tuple(&relation, &row)
+                    };
+                    if changed {
+                        cache.invalidate_relation(&relation, engine.relation_version(&relation));
+                    }
+                }
+                DurableRecord::Release {
+                    principal,
+                    key,
+                    release,
+                } => {
+                    *spend.entry(principal).or_insert(0.0) += f64::from_bits(key.epsilon_bits);
+                    cache.put(key, release);
+                }
+            }
+        }
+        let server = Server::build(engine, config, Some(durability), cache);
+        for (principal, spent) in spend {
+            server.budget.restore_spent(&principal, spent);
+        }
+        if first_boot {
+            // Pin the bootstrap database: from here on, recovery never
+            // depends on the operator's data files being unchanged.
+            server.snapshot()?;
+        }
+        Ok(server)
     }
 
     /// The budget ledgers (for out-of-band configuration, e.g. the CLI
@@ -144,6 +239,14 @@ impl Server {
 
     /// Handles one request against current server state.
     pub fn handle(&self, request: Request) -> Response {
+        let response = self.dispatch(request);
+        // Snapshot checks run after the dispatch guards are released (a
+        // snapshot takes the engine *write* lock).
+        self.maybe_snapshot();
+        response
+    }
+
+    fn dispatch(&self, request: Request) -> Response {
         match request {
             Request::Release(r) => match self.read_engine() {
                 Ok(engine) => self.handle_release(&engine, &r),
@@ -209,6 +312,7 @@ impl Server {
                     cache_scoped_hits: scoped_hits,
                     cache_scoped_misses: scoped_misses,
                     principals: self.budget.num_principals(),
+                    durability: self.durability.as_ref().map(Durability::stats),
                 }
             }
             Request::Shutdown { id } => {
@@ -274,6 +378,21 @@ impl Server {
                 };
                 let release = pending.sample(&mut *rng);
                 drop(rng);
+                // Durable mode: the ledger record — spend and cache entry
+                // in one atomic record — must be fsynced before the commit
+                // below, and therefore before the response can flush. On a
+                // log failure `reservation` drops on the early return,
+                // refunding: the client got no answer, so nothing leaked.
+                if let Some(durability) = &self.durability {
+                    let record = DurableRecord::Release {
+                        principal: r.principal.clone(),
+                        key: key.clone(),
+                        release,
+                    };
+                    if let Err(e) = durability.log_commit(&record) {
+                        return err(format!("durability: {e}"));
+                    }
+                }
                 // Commit before answering: once the noisy value exists it
                 // counts as spent even if the client never reads it.
                 reservation.commit();
@@ -317,6 +436,31 @@ impl Server {
                         row.len()
                     ),
                 };
+            }
+        }
+        // Durable mode logs write-ahead, and only *effective* mutations:
+        // replay then performs exactly the version bumps the crashed
+        // instance performed, so stamps (and cache keys) reproduce
+        // bit-for-bit. Arity was checked above, so `contains` is safe.
+        if let Some(durability) = &self.durability {
+            let effective = match (op, engine.database().relation(relation)) {
+                ("insert", Some(rel)) => !rel.contains(&row),
+                ("insert", None) => true,
+                (_, Some(rel)) => rel.contains(&row),
+                (_, None) => false,
+            };
+            if effective {
+                let record = DurableRecord::Mutation {
+                    insert: op == "insert",
+                    relation: relation.to_string(),
+                    tuple: tuple.to_vec(),
+                };
+                if let Err(e) = durability.log_mutation(&record) {
+                    return Response::Error {
+                        id,
+                        error: format!("durability: {e}"),
+                    };
+                }
             }
         }
         let changed = match op {
@@ -414,6 +558,43 @@ impl Server {
                     }
                 }
                 Err(_) => break,
+            }
+        }
+    }
+
+    /// Writes a durability snapshot now; a no-op for in-memory servers.
+    ///
+    /// Holds the engine **write** lock across the export *and* the
+    /// snapshot write: releases commit (ledger + WAL + cache) under the
+    /// read lock and mutations log/apply under the write lock, so
+    /// exclusive access here is a consistent cut — the image and the
+    /// WAL's covered sequence number describe the same instant.
+    pub fn snapshot(&self) -> Result<(), String> {
+        let Some(durability) = &self.durability else {
+            return Ok(());
+        };
+        let Ok(engine) = self.engine.write() else {
+            return Err("internal error: engine state poisoned".into());
+        };
+        let result = durability.write_snapshot(
+            self.budget.committed_spend_snapshot(),
+            engine.export_image(),
+            self.cache.entries(),
+        );
+        drop(engine);
+        result
+    }
+
+    fn maybe_snapshot(&self) {
+        let due = self
+            .durability
+            .as_ref()
+            .is_some_and(Durability::should_snapshot);
+        if due {
+            if let Err(e) = self.snapshot() {
+                // Serving continues: the WAL still holds every record, so
+                // durability is intact — only replay time grows.
+                eprintln!("dpcq: snapshot failed: {e}");
             }
         }
     }
@@ -840,5 +1021,167 @@ mod tests {
         let r = server.handle(Request::Shutdown { id: Some(7) });
         assert!(matches!(r, Response::Shutdown { id: Some(7) }));
         assert!(server.is_shut_down());
+    }
+
+    fn temp_data_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("dpcq-server-test-{}-{tag}-{n}", std::process::id()))
+    }
+
+    fn durable_server(budget: f64, dir: &Path) -> Server {
+        Server::recover(
+            PrivateEngine::new(sym_db(), Policy::all_private(), 1.0).with_threads(1),
+            ServerConfig {
+                default_epsilon: 1.0,
+                default_budget: budget,
+                seed: Some(42),
+            },
+            dir,
+        )
+        .expect("recover")
+    }
+
+    /// The tentpole, in-process: spend budget, mutate, cache a release,
+    /// then drop the server without any shutdown handshake (the
+    /// in-process analogue of `kill -9` — nothing is flushed at drop;
+    /// every byte the recovery sees was already fsynced at commit time).
+    /// Recovery must restore the ledger exactly, replay the cached
+    /// answer bit-for-bit at zero ε, and keep enforcing the budget.
+    #[test]
+    fn durable_server_recovers_ledgers_cache_and_database_after_restart() {
+        let dir = temp_data_dir("recover");
+        let (r1, r2, spent_before);
+        {
+            let server = durable_server(2.0, &dir);
+            // Fresh directory: nothing recovered yet.
+            let stats = server.handle(Request::Stats { id: None });
+            let Response::Stats {
+                durability: Some(d),
+                ..
+            } = stats
+            else {
+                panic!("{stats:?}")
+            };
+            assert!(!d.recovered, "a fresh data dir recovers nothing");
+
+            let ins = server.handle(Request::Insert {
+                id: None,
+                relation: "Edge".into(),
+                tuple: vec![9, 10],
+            });
+            assert!(matches!(ins, Response::Updated { changed: true, .. }));
+            let first = server.handle(release_req(TRIANGLE, "alice", Some(0.75)));
+            let Response::Release {
+                release,
+                cached: false,
+                ..
+            } = first
+            else {
+                panic!("{first:?}")
+            };
+            r1 = release;
+            let second = server.handle(release_req("Q(*) :- Edge(a,b)", "alice", Some(0.25)));
+            let Response::Release {
+                release,
+                cached: false,
+                ..
+            } = second
+            else {
+                panic!("{second:?}")
+            };
+            r2 = release;
+            spent_before = server.budget().spent("alice");
+            assert!((spent_before - 1.0).abs() < 1e-9);
+        }
+
+        let server = durable_server(2.0, &dir);
+        // Ledger: restored to the committed spend, bit-for-bit.
+        assert_eq!(server.budget().spent("alice"), spent_before);
+        // Cache: both pre-crash answers replay bit-identically for free.
+        for (query, expected) in [(TRIANGLE, r1), ("Q(*) :- Edge(a,b)", r2)] {
+            let again = server.handle(release_req(
+                query,
+                "alice",
+                Some(f64::from_bits(expected.epsilon.to_bits())),
+            ));
+            let Response::Release {
+                release,
+                cached: true,
+                ..
+            } = again
+            else {
+                panic!("{again:?}")
+            };
+            assert_eq!(release, expected, "replay must be bit-identical");
+        }
+        assert_eq!(
+            server.budget().spent("alice"),
+            spent_before,
+            "replay is free"
+        );
+        // Budget: still enforced against the restored ledger.
+        let over = server.handle(release_req(
+            "Q(*) :- Edge(a,b), Edge(b,c)",
+            "alice",
+            Some(1.5),
+        ));
+        let Response::Error { error, .. } = over else {
+            panic!("{over:?}")
+        };
+        assert!(error.contains("budget exhausted"), "{error}");
+        // Database: the pre-crash mutation survived (version vector too).
+        let stats = server.handle(Request::Stats { id: None });
+        let Response::Stats {
+            relation_versions,
+            durability: Some(d),
+            ..
+        } = stats
+        else {
+            panic!("{stats:?}")
+        };
+        assert_eq!(relation_versions, vec![("Edge".to_string(), 1)]);
+        assert!(d.recovered);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explicit_snapshot_compacts_the_wal_and_recovery_reads_it() {
+        let dir = temp_data_dir("snapshot");
+        let r1;
+        {
+            let server = durable_server(1.0, &dir);
+            let first = server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+            let Response::Release { release, .. } = first else {
+                panic!("{first:?}")
+            };
+            r1 = release;
+            server.snapshot().expect("snapshot");
+            let stats = server.handle(Request::Stats { id: None });
+            let Response::Stats {
+                durability: Some(d),
+                ..
+            } = stats
+            else {
+                panic!("{stats:?}")
+            };
+            assert_eq!(d.wal_records, 0, "a snapshot truncates the WAL");
+            assert!(d.last_snapshot_generation >= 2, "{d:?}");
+        }
+        // Everything now lives in the snapshot alone.
+        let server = durable_server(1.0, &dir);
+        assert_eq!(server.budget().spent("p"), 0.5);
+        let again = server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+        let Response::Release {
+            release,
+            cached: true,
+            ..
+        } = again
+        else {
+            panic!("{again:?}")
+        };
+        assert_eq!(release, r1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,235 @@
+//! Crash-recovery integration test: a real `dpcq serve --data-dir`
+//! process is SIGKILLed mid-workload (no shutdown handshake, no flush),
+//! restarted on the same directory, and must come back with
+//!
+//! * the spent budget exactly equal to the committed pre-crash spend,
+//! * every pre-crash cached release replaying bit-identically at zero ε,
+//! * over-budget requests still rejected against the restored ledger.
+//!
+//! Everything is exercised over the real TCP socket — the same surface
+//! the CI smoke test drives with shell tools.
+
+#![cfg(unix)]
+
+use dpcq_wire::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const TRIANGLE: &str =
+    "Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), x1 != x2, x2 != x3, x1 != x3";
+
+fn temp_base(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dpcq-crash-test-{}-{tag}", std::process::id()))
+}
+
+/// A serve process plus the address it bound.
+struct Served {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_server(table: &Path, data_dir: &Path) -> Served {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dpcq"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--table",
+            &format!("Edge={}", table.display()),
+            "--budget",
+            "2.0",
+            "--data-dir",
+            &data_dir.display().to_string(),
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dpcq serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before binding")
+            .expect("read server stderr");
+        if let Some(rest) = line.strip_prefix("dpcq serving on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("bound addr")
+                .to_string();
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    Served { child, addr }
+}
+
+/// One request frame in, one response frame out, parsed.
+fn request(addr: &str, frame: &str) -> Json {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone socket");
+    writeln!(writer, "{frame}").expect("send frame");
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .expect("read response");
+    Json::parse(&line).unwrap_or_else(|e| panic!("bad response `{line}`: {e}"))
+}
+
+fn release_frame(query: &str, epsilon: f64) -> String {
+    format!(r#"{{"op":"release","query":"{query}","principal":"alice","epsilon":{epsilon}}}"#)
+}
+
+fn f64_field(obj: &Json, key: &str) -> f64 {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric `{key}` in {obj:?}"))
+}
+
+#[test]
+fn sigkilled_server_recovers_budgets_and_replays_cached_releases() {
+    let base = temp_base("sigkill");
+    std::fs::create_dir_all(&base).expect("mk temp base");
+    let table = base.join("edges.csv");
+    let rows: String = [
+        (1, 2),
+        (2, 1),
+        (2, 3),
+        (3, 2),
+        (1, 3),
+        (3, 1),
+        (3, 4),
+        (4, 3),
+    ]
+    .iter()
+    .map(|(u, v)| format!("{u},{v}\n"))
+    .collect();
+    std::fs::write(&table, rows).expect("write table");
+    let data_dir = base.join("state");
+
+    // --- First life: spend budget, mutate, cache releases, then SIGKILL.
+    let mut served = spawn_server(&table, &data_dir);
+    let stats = request(&served.addr, r#"{"op":"stats"}"#);
+    let durability = stats.get("durability").expect("durable server");
+    assert_eq!(
+        durability.get("recovered").and_then(Json::as_bool),
+        Some(false),
+        "fresh data dir: {stats:?}"
+    );
+
+    let ins = request(
+        &served.addr,
+        r#"{"op":"insert","relation":"Edge","tuple":[4,1]}"#,
+    );
+    assert_eq!(ins.get("changed").and_then(Json::as_bool), Some(true));
+
+    let first = request(&served.addr, &release_frame(TRIANGLE, 0.75));
+    assert_eq!(
+        first.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{first:?}"
+    );
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    let value_before = f64_field(&first, "value");
+
+    let second = request(&served.addr, &release_frame("Q(*) :- Edge(a,b)", 0.25));
+    assert_eq!(
+        second.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{second:?}"
+    );
+    let second_value = f64_field(&second, "value");
+
+    let ledger = request(&served.addr, r#"{"op":"budget","principal":"alice"}"#);
+    let spent_before = f64_field(&ledger, "spent");
+    assert!((spent_before - 1.0).abs() < 1e-9, "{ledger:?}");
+
+    // SIGKILL: no shutdown frame, no flush — the WAL alone must carry it.
+    served.child.kill().expect("kill -9");
+    served.child.wait().expect("reap");
+
+    // --- Second life: same directory, everything restored.
+    let mut served = spawn_server(&table, &data_dir);
+
+    let ledger = request(&served.addr, r#"{"op":"budget","principal":"alice"}"#);
+    let spent_after = f64_field(&ledger, "spent");
+    assert_eq!(
+        spent_after.to_bits(),
+        spent_before.to_bits(),
+        "restored spend must equal the committed pre-crash spend exactly"
+    );
+
+    let replay = request(&served.addr, &release_frame(TRIANGLE, 0.75));
+    assert_eq!(
+        replay.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "{replay:?}"
+    );
+    assert_eq!(
+        f64_field(&replay, "value").to_bits(),
+        value_before.to_bits(),
+        "cached release must replay bit-identically"
+    );
+    let replay2 = request(&served.addr, &release_frame("Q(*) :- Edge(a,b)", 0.25));
+    assert_eq!(
+        replay2.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "{replay2:?}"
+    );
+    assert_eq!(
+        f64_field(&replay2, "value").to_bits(),
+        second_value.to_bits()
+    );
+
+    // Replays were free: spend unmoved.
+    let ledger = request(&served.addr, r#"{"op":"budget","principal":"alice"}"#);
+    assert_eq!(
+        f64_field(&ledger, "spent").to_bits(),
+        spent_before.to_bits()
+    );
+
+    // The restored ledger still gates: 1.5 > the remaining 1.0.
+    let over = request(
+        &served.addr,
+        &release_frame("Q(*) :- Edge(a,b), Edge(b,c)", 1.5),
+    );
+    assert_eq!(
+        over.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "{over:?}"
+    );
+    assert!(
+        over.get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("budget exhausted")),
+        "{over:?}"
+    );
+
+    let stats = request(&served.addr, r#"{"op":"stats"}"#);
+    let durability = stats.get("durability").expect("durable server");
+    assert_eq!(
+        durability.get("recovered").and_then(Json::as_bool),
+        Some(true),
+        "{stats:?}"
+    );
+    // The pre-crash mutation survived too.
+    assert_eq!(
+        stats
+            .get("relation_versions")
+            .and_then(|v| v.get("Edge"))
+            .and_then(Json::as_i128),
+        Some(1),
+        "{stats:?}"
+    );
+
+    let bye = request(&served.addr, r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));
+    served.child.wait().expect("clean shutdown");
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -1,0 +1,29 @@
+#![deny(unsafe_code)]
+//! # dpcq-store — durability primitives
+//!
+//! Std-only storage layer behind `dpcq serve --data-dir`: a single-file
+//! append-only [`Wal`] plus atomic [`snapshot`] helpers. The server's
+//! differential-privacy accounting only composes if committed ε-spend is
+//! monotone across the server's *whole lifetime* — including crashes — so
+//! every committed release and every effective mutation is logged here
+//! before the response flushes, and recovery replays the log over the
+//! latest snapshot.
+//!
+//! * [`wal`] — length-prefixed, CRC-checksummed records appended with
+//!   write-then-fsync; recovery scans the file and truncates a torn tail,
+//!   dropping only records that were never acknowledged.
+//! * [`snapshot`] — write-to-temp + fsync + rename + directory fsync, so a
+//!   crash leaves either the old image or the new one, never a mix.
+//! * [`codec`] — a tiny little-endian byte codec ([`ByteWriter`] /
+//!   [`ByteReader`]); floats travel as `f64::to_bits` so replayed noise is
+//!   bit-identical.
+//!
+//! The crate knows nothing about queries, budgets, or caches: payloads are
+//! opaque bytes. `dpcq-server` defines the record schema on top.
+
+pub mod codec;
+pub mod snapshot;
+pub mod wal;
+
+pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use wal::{Wal, WalRecord, WalRecovery};

@@ -1,0 +1,89 @@
+//! Atomic snapshot files.
+//!
+//! A snapshot bounds WAL replay time: the server periodically writes a
+//! full image (ledger + database + release cache) and then truncates the
+//! log. The write must be all-or-nothing — a half-written snapshot that
+//! replaced the old one would lose committed ε-spend. The standard recipe:
+//! write to a temporary sibling, `fsync` it, `rename` over the target
+//! (atomic within a filesystem), then `fsync` the directory so the rename
+//! itself is durable.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Atomically replaces `path` with `bytes`. After `Ok`, a crash at any
+/// point leaves either the previous file (or absence) or the new bytes —
+/// never a prefix.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "snapshot path has no name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename in the directory entry. Opening a directory
+        // read-only for fsync is supported on the unix targets we serve
+        // from; elsewhere the open may fail and the rename is still atomic.
+        if let Ok(d) = File::open(dir) {
+            d.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads `path` if it exists; `Ok(None)` when absent (first boot).
+pub fn read_optional(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "dpcq_snap_test_{}_{tag}_{n}.bin",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn absent_snapshot_reads_as_none() {
+        let path = temp_path("absent");
+        assert_eq!(read_optional(&path).unwrap(), None);
+    }
+
+    #[test]
+    fn write_then_read_round_trips_and_overwrites() {
+        let path = temp_path("roundtrip");
+        write_atomic(&path, b"generation 1").unwrap();
+        assert_eq!(read_optional(&path).unwrap().unwrap(), b"generation 1");
+        write_atomic(&path, b"generation 2").unwrap();
+        assert_eq!(read_optional(&path).unwrap().unwrap(), b"generation 2");
+        // No temp file left behind.
+        let tmp = path.with_file_name({
+            let mut n = path.file_name().unwrap().to_os_string();
+            n.push(".tmp");
+            n
+        });
+        assert!(!tmp.exists());
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -528,6 +528,41 @@ mod tests {
     }
 
     #[test]
+    fn durability_shaped_frame_round_trips() {
+        // The durable-server stats extension: a nested `durability`
+        // object with mixed integer and boolean members. Pinned at the
+        // wire layer so the counters a crash-recovery smoke test greps
+        // for survive a render/parse round trip exactly.
+        let frame = Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("stats".into())),
+            (
+                "durability",
+                Json::obj([
+                    ("wal_records", Json::Int(12)),
+                    ("wal_bytes", Json::Int(980)),
+                    ("last_snapshot_generation", Json::Int(2)),
+                    ("recovered", Json::Bool(true)),
+                ]),
+            ),
+        ]);
+        let line = frame.render_compact();
+        assert!(!line.contains('\n'));
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed, frame);
+        let durability = parsed.get("durability").unwrap();
+        assert_eq!(
+            durability.get("wal_records").and_then(Json::as_i128),
+            Some(12)
+        );
+        assert_eq!(
+            durability.get("recovered").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(Json::parse(&frame.render()).unwrap(), frame);
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(Json::parse("").is_err());
         assert!(Json::parse("{").is_err());
