@@ -229,6 +229,7 @@ fn run_cache_script(engine: PrivateEngine, rounds: usize) -> CacheRun {
             default_epsilon: 1.0,
             default_budget: f64::INFINITY,
             seed: Some(7),
+            ..ServerConfig::default()
         },
     );
     let release = |q: &str| {
@@ -238,6 +239,7 @@ fn run_cache_script(engine: PrivateEngine, rounds: usize) -> CacheRun {
             query: q.into(),
             method: SensitivityMethod::Residual,
             epsilon: Some(0.5),
+            deadline_ms: None,
         }));
         assert!(
             matches!(resp, Response::Release { .. }),

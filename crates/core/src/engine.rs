@@ -1,6 +1,6 @@
 //! The high-level release engine: query in, ε-DP noisy count out.
 
-use dpcq_eval::{Evaluator, FamilyCache, FamilyStats};
+use dpcq_eval::{CancelToken, Evaluator, FamilyCache, FamilyStats};
 use dpcq_noise::{LaplaceMechanism, RawAnswer, Release, SmoothCauchyMechanism};
 use dpcq_query::{ConjunctiveQuery, Policy};
 use dpcq_relation::{Database, FxHashMap, RelationVersion, Value, VersionStamp};
@@ -554,6 +554,26 @@ impl PrivateEngine {
         method: SensitivityMethod,
         epsilon: f64,
     ) -> Result<PendingRelease, SensitivityError> {
+        self.prepare_release_with_cancel(query, method, epsilon, CancelToken::never())
+    }
+
+    /// [`PrivateEngine::prepare_release`] under a cooperative
+    /// [`CancelToken`] — a serving deadline. The token is consulted at
+    /// the residual family evaluator's class-pickup checkpoints; a trip
+    /// aborts with `SensitivityError::Eval(EvalError::Cancelled)` having
+    /// released no information (the elastic and global-Laplace paths run
+    /// in low polynomial time and carry no checkpoints, so only residual
+    /// evaluations — the ones with up-to-`2^n` residual subsets — can
+    /// actually be interrupted). Work memoized before the trip stays in
+    /// the engine-owned [`FamilyCache`], so a retried request resumes
+    /// where the deadline struck.
+    pub fn prepare_release_with_cancel(
+        &self,
+        query: &ConjunctiveQuery,
+        method: SensitivityMethod,
+        epsilon: f64,
+        cancel: CancelToken,
+    ) -> Result<PendingRelease, SensitivityError> {
         assert!(
             epsilon > 0.0 && epsilon.is_finite(),
             "epsilon must be positive"
@@ -571,7 +591,8 @@ impl PrivateEngine {
                     &self.policy,
                     &RsParams::new(beta)
                         .with_threads(self.threads)
-                        .with_shared_cache(self.family_cache(query)),
+                        .with_shared_cache(self.family_cache(query))
+                        .with_cancel(cancel),
                 )?
                 .value
             }
@@ -643,7 +664,58 @@ impl PrivateEngine {
             ),
         ])
     }
+
+    /// A cheap, admission-time upper-bound proxy for the work
+    /// [`PrivateEngine::prepare_release`] would perform, in abstract
+    /// "cost units" (a class count × factor-size bound, never a wall
+    /// clock). Computable without touching the budget or evaluating
+    /// anything heavier than the residual-subset closure, so a server
+    /// can reject an over-ceiling request before any ε moves:
+    ///
+    /// * `GlobalLaplace` reads only instance cardinalities — cost is
+    ///   the total row count.
+    /// * `Elastic` does one polynomial pass over the atoms — cost is
+    ///   `num_vars × rows`.
+    /// * `Residual` evaluates one `T_E` per required residual subset,
+    ///   each an FAQ evaluation bounded by the factor size — cost is
+    ///   `classes × num_vars × rows`. The class count is exact (the
+    ///   `required_subsets` closure) while the private-atom count stays
+    ///   small; past [`EXACT_COST_ATOMS`] atoms enumerating the subsets
+    ///   would itself be the 2^n blow-up we are guarding against, so
+    ///   the estimate saturates at the `2^n` bound instead.
+    pub fn estimate_release_cost(
+        &self,
+        query: &ConjunctiveQuery,
+        method: SensitivityMethod,
+    ) -> u128 {
+        let width = query.num_vars().max(1) as u128;
+        let rows: u128 = query
+            .atoms()
+            .iter()
+            .map(|a| self.db.relation(&a.relation).map_or(0, |r| r.len()) as u128)
+            .sum();
+        let unit = width.saturating_mul(rows.max(1));
+        match method {
+            SensitivityMethod::GlobalLaplace => rows.max(1),
+            SensitivityMethod::Elastic => unit,
+            SensitivityMethod::Residual => {
+                let n = self.policy.num_private_atoms(query);
+                let classes = if n <= EXACT_COST_ATOMS {
+                    dpcq_sensitivity::prep::required_subsets(query, &self.policy)
+                        .len()
+                        .max(1) as u128
+                } else {
+                    1u128.checked_shl(n as u32).unwrap_or(u128::MAX)
+                };
+                classes.saturating_mul(unit)
+            }
+        }
+    }
 }
+
+/// Private-atom count above which [`PrivateEngine::estimate_release_cost`]
+/// stops enumerating the residual-subset closure and saturates at `2^n`.
+const EXACT_COST_ATOMS: usize = 12;
 
 #[cfg(test)]
 mod tests {
@@ -665,6 +737,63 @@ mod tests {
     fn triangle() -> ConjunctiveQuery {
         parse_query("Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), x1 != x2, x2 != x3, x1 != x3")
             .unwrap()
+    }
+
+    #[test]
+    fn tripped_cancel_token_aborts_prepare_before_any_spend() {
+        let engine = PrivateEngine::new(sym_db(), Policy::all_private(), 1.0);
+        let q = triangle();
+        let expired = CancelToken::with_deadline(
+            std::time::Instant::now() - std::time::Duration::from_secs(1),
+        );
+        let err = engine
+            .prepare_release_with_cancel(&q, SensitivityMethod::Residual, 1.0, expired)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SensitivityError::Eval(dpcq_eval::EvalError::Cancelled)
+        ));
+        // A live token on the same engine still completes: the abort left
+        // nothing behind that poisons a retry.
+        let pending = engine
+            .prepare_release_with_cancel(&q, SensitivityMethod::Residual, 1.0, CancelToken::never())
+            .unwrap();
+        assert!(pending.sensitivity.is_finite());
+    }
+
+    #[test]
+    fn cost_estimates_order_methods_by_work() {
+        let engine = PrivateEngine::new(sym_db(), Policy::all_private(), 1.0);
+        let q = triangle();
+        let gl = engine.estimate_release_cost(&q, SensitivityMethod::GlobalLaplace);
+        let es = engine.estimate_release_cost(&q, SensitivityMethod::Elastic);
+        let rs = engine.estimate_release_cost(&q, SensitivityMethod::Residual);
+        assert!(gl >= 1);
+        // Elastic scales the row mass by width; residual multiplies on the
+        // class count — each tier dominates the previous one.
+        assert!(es >= gl);
+        assert!(rs > es);
+        // The triangle has 3 private atoms → 7 non-empty residual subsets.
+        assert_eq!(rs, es * 7);
+    }
+
+    #[test]
+    fn cost_estimate_grows_with_the_instance() {
+        let q = triangle();
+        let small = PrivateEngine::new(sym_db(), Policy::all_private(), 1.0);
+        let mut big_db = sym_db();
+        for (u, v) in [(5, 6), (6, 7), (5, 7)] {
+            big_db.insert_tuple("Edge", &[Value(u), Value(v)]);
+            big_db.insert_tuple("Edge", &[Value(v), Value(u)]);
+        }
+        let big = PrivateEngine::new(big_db, Policy::all_private(), 1.0);
+        for m in [
+            SensitivityMethod::GlobalLaplace,
+            SensitivityMethod::Elastic,
+            SensitivityMethod::Residual,
+        ] {
+            assert!(big.estimate_release_cost(&q, m) > small.estimate_release_cost(&q, m));
+        }
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //! * **R4 (unsafe discipline)** — `#![deny(unsafe_code)]` in every
 //!   crate root, with `unsafe` itself allowed only in the explicitly
 //!   audited allocation-counting bench shim and `relation::fxhash`.
+//! * **R5 (failpoint containment)** — the deterministic fault-injection
+//!   facility (`dpcq_store::faults`) may be *armed* only from its own
+//!   module (production code paths being scanned here must never
+//!   schedule a fault), and its site probes (`should_fail`,
+//!   `check_fault`) may appear only at the audited instrumentation
+//!   points. Test code is stripped before scanning and the `failpoints`
+//!   cargo feature is enabled only through dev-dependencies, so release
+//!   builds compile the probes to constants — R5 guards the remaining
+//!   gap: non-test code growing an arming call or an unreviewed site.
 //!
 //! Rules are *lexical approximations*, chosen so that idiomatic
 //! compliant code never trips them (see `docs/INVARIANTS.md` for the
@@ -128,6 +137,21 @@ const REQUEST_PATH: &[&str] = &[
 /// allocation-counting `GlobalAlloc` shim.
 const UNSAFE_ALLOWED: &[&str] = &["crates/relation/src/fxhash.rs", "crates/bench/"];
 
+/// The one module that may arm, seed, or clear failpoints (R5). Tests
+/// arm them too, but test code is stripped before scanning; integration
+/// tests under `crates/*/tests/` are outside the scan set entirely.
+const FAILPOINT_ARMING_ALLOWED: &[&str] = &["crates/store/src/faults.rs"];
+
+/// The audited failpoint *sites* (R5): WAL append/fsync, snapshot
+/// rename, the server's reservation-to-commit window and socket write.
+/// A new site means a new entry here — deliberately a reviewed change.
+const FAILPOINT_SITES_ALLOWED: &[&str] = &[
+    "crates/store/src/faults.rs",
+    "crates/store/src/wal.rs",
+    "crates/store/src/snapshot.rs",
+    "crates/server/src/server.rs",
+];
+
 /// The whole rule table. `dpa check` is this data plus four structural
 /// passes ([`check_reserve_discipline`], [`check_reserve_commit_pairing`],
 /// [`check_wal_before_commit`], [`check_deny_unsafe_attr`]).
@@ -206,6 +230,50 @@ pub const TOKEN_RULES: &[TokenRule] = &[
         matcher: Matcher::Macro,
         scope: Scope::Only(REQUEST_PATH),
         message: "no `unimplemented!` in request handling",
+    },
+    TokenRule {
+        id: "R5",
+        ident: "arm_failpoint",
+        matcher: Matcher::Call,
+        scope: Scope::Except(FAILPOINT_ARMING_ALLOWED),
+        message: "failpoints may be armed only from store::faults (tests \
+                  are stripped before scanning): production code must \
+                  never schedule a fault",
+    },
+    TokenRule {
+        id: "R5",
+        ident: "arm_failpoint_nth",
+        matcher: Matcher::Call,
+        scope: Scope::Except(FAILPOINT_ARMING_ALLOWED),
+        message: "failpoints may be armed only from store::faults (tests \
+                  are stripped before scanning): production code must \
+                  never schedule a fault",
+    },
+    TokenRule {
+        id: "R5",
+        ident: "seed_failpoints",
+        matcher: Matcher::Call,
+        scope: Scope::Except(FAILPOINT_ARMING_ALLOWED),
+        message: "failpoint schedules may be seeded only from store::faults \
+                  (tests are stripped before scanning)",
+    },
+    TokenRule {
+        id: "R5",
+        ident: "should_fail",
+        matcher: Matcher::Call,
+        scope: Scope::Except(FAILPOINT_SITES_ALLOWED),
+        message: "`faults::should_fail` probes belong only at the audited \
+                  failpoint sites; add the file to FAILPOINT_SITES_ALLOWED \
+                  to introduce a new one",
+    },
+    TokenRule {
+        id: "R5",
+        ident: "check_fault",
+        matcher: Matcher::Call,
+        scope: Scope::Except(FAILPOINT_SITES_ALLOWED),
+        message: "`faults::check_fault` probes belong only at the audited \
+                  failpoint sites; add the file to FAILPOINT_SITES_ALLOWED \
+                  to introduce a new one",
     },
     TokenRule {
         id: "R4",
@@ -712,6 +780,49 @@ mod tests {
             }
         "#;
         assert!(violations_in("crates/server/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_arming_flagged_outside_faults_module() {
+        let armed = "fn sabotage() { dpcq_store::faults::arm_failpoint(\"wal.append.write\"); }";
+        let v = violations_in("crates/server/src/server.rs", armed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R5");
+        assert!(violations_in("crates/store/src/faults.rs", armed).is_empty());
+
+        let seeded = "fn chaos() { seed_failpoints(42, 100); }";
+        assert_eq!(
+            violations_in("crates/store/src/wal.rs", seeded)[0].rule,
+            "R5"
+        );
+
+        // Arming from a test module is stripped before scanning.
+        let in_test = r#"
+            pub fn handler() -> u32 { 1 }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { crate::faults::arm_failpoint("wal.append.write"); }
+            }
+        "#;
+        assert!(violations_in("crates/store/src/wal.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn r5_site_probes_allowed_only_at_audited_sites() {
+        let probe = "fn f() -> io::Result<()> { crate::faults::check_fault(\"site\") }";
+        assert!(violations_in("crates/store/src/wal.rs", probe).is_empty());
+        assert!(violations_in("crates/store/src/snapshot.rs", probe).is_empty());
+        let v = violations_in("crates/server/src/durability.rs", probe);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R5");
+
+        let gate = "fn f() -> bool { dpcq_store::faults::should_fail(\"x\") }";
+        assert!(violations_in("crates/server/src/server.rs", gate).is_empty());
+        assert_eq!(
+            violations_in("crates/core/src/engine.rs", gate)[0].rule,
+            "R5"
+        );
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Cooperative cancellation for long evaluations.
+//!
+//! A `T`-family evaluation can cover up to `2^n` residual subsets; a
+//! serving deadline must be able to stop it *between* units of work
+//! without poisoning any shared state. [`CancelToken`] is the handle:
+//! cheap to copy, checked at the family evaluator's class-pickup
+//! checkpoints (see [`crate::FamilyEvaluator::t_family_with_cancel`]),
+//! and surfaced as [`EvalError::Cancelled`] so callers can distinguish a
+//! deadline from a real evaluation failure.
+//!
+//! Cancellation is *cooperative and coarse*: a token is only consulted
+//! before each isomorphism class is picked up, so a single enormous
+//! class can still overrun its deadline — but every already-memoized
+//! factor and value computed before the trip remains valid and is
+//! reused by a retry.
+
+use crate::error::EvalError;
+use std::time::Instant;
+
+/// A copyable cancellation handle carrying an optional deadline.
+///
+/// [`CancelToken::never`] (the [`Default`]) never cancels and costs one
+/// branch per checkpoint.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CancelToken {
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never cancels.
+    pub fn never() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that cancels once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Whether the token has tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Checkpoint form: `Err(EvalError::Cancelled)` once tripped.
+    pub fn check(&self) -> Result<(), EvalError> {
+        if self.is_cancelled() {
+            Err(EvalError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn never_token_never_trips() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        let t = CancelToken::with_deadline(Instant::now());
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(EvalError::Cancelled));
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip_yet() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+    }
+}

@@ -43,6 +43,10 @@ pub enum EvalError {
         /// The configured limit.
         limit: usize,
     },
+    /// A cooperative [`CancelToken`](crate::CancelToken) tripped at an
+    /// evaluation checkpoint — typically a per-request deadline. The
+    /// evaluation produced no result and may simply be retried.
+    Cancelled,
 }
 
 impl fmt::Display for EvalError {
@@ -71,6 +75,9 @@ impl fmt::Display for EvalError {
                 f,
                 "general-predicate search over {size} rows exceeds the limit {limit}"
             ),
+            EvalError::Cancelled => {
+                write!(f, "evaluation cancelled: deadline exceeded")
+            }
         }
     }
 }

@@ -53,6 +53,7 @@
 //! of a family evaluation probes shared indexes instead of rebuilding
 //! them and allocates only the factors it actually retains.
 
+use crate::cancel::CancelToken;
 use crate::error::EvalError;
 use crate::evaluator::Evaluator;
 use crate::factor::Factor;
@@ -386,6 +387,21 @@ impl<'e> FamilyEvaluator<'e> {
         family: &BTreeSet<Vec<usize>>,
         threads: usize,
     ) -> Result<Vec<(Vec<usize>, u128)>, EvalError> {
+        self.t_family_with_cancel(family, threads, CancelToken::never())
+    }
+
+    /// [`FamilyEvaluator::t_family`] under a cooperative [`CancelToken`]:
+    /// the token is checked before each isomorphism class is picked up
+    /// (serially and by every work-stealing worker), and a trip surfaces
+    /// as [`EvalError::Cancelled`]. Everything memoized before the trip
+    /// stays in the shared cache, so a retry resumes rather than
+    /// restarts.
+    pub fn t_family_with_cancel(
+        &self,
+        family: &BTreeSet<Vec<usize>>,
+        threads: usize,
+        cancel: CancelToken,
+    ) -> Result<Vec<(Vec<usize>, u128)>, EvalError> {
         let subsets: Vec<&Vec<usize>> = family.iter().collect();
         if subsets.is_empty() {
             return Ok(Vec::new());
@@ -421,6 +437,7 @@ impl<'e> FamilyEvaluator<'e> {
             Mutex::new(vec![None; classes.len()]);
         if threads <= 1 {
             for &ci in &order {
+                cancel.check()?;
                 let v = self.t_e_keyed(class_keys[ci].clone(), subsets[classes[ci][0]]);
                 results.lock().expect("result lock poisoned")[ci] = Some(v);
             }
@@ -429,6 +446,13 @@ impl<'e> FamilyEvaluator<'e> {
             std::thread::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|| loop {
+                        // Deadline checkpoint: a tripped token stops every
+                        // worker before its next class pickup; classes
+                        // already in flight run to completion (and stay
+                        // cached).
+                        if cancel.is_cancelled() {
+                            break;
+                        }
                         let k = next.fetch_add(1, Ordering::Relaxed);
                         if k >= order.len() {
                             break;
@@ -444,7 +468,9 @@ impl<'e> FamilyEvaluator<'e> {
         let results = results.into_inner().expect("result lock poisoned");
         let mut value_of: Vec<Option<u128>> = vec![None; subsets.len()];
         for (ci, members) in classes.iter().enumerate() {
-            let v = results[ci].clone().expect("every class was evaluated")?;
+            // A `None` slot means a worker observed the cancellation after
+            // this class was handed out but before anyone evaluated it.
+            let v = results[ci].clone().ok_or(EvalError::Cancelled)??;
             for &m in members {
                 value_of[m] = Some(v);
             }
@@ -897,6 +923,30 @@ mod tests {
         let manual = FamilyCache::new();
         assert_eq!(manual.stamp(), None);
         assert!(!manual.is_valid_for(&built_at));
+    }
+
+    #[test]
+    fn tripped_token_cancels_before_any_class_is_evaluated() {
+        let q = parse_query("Q(*) :- Edge(a,b), Edge(b,c), Edge(a,c)").unwrap();
+        let db = k4_db();
+        let ev = Evaluator::new(&q, &db).unwrap();
+        let fam: BTreeSet<Vec<usize>> = [vec![], vec![0], vec![0, 1]].into_iter().collect();
+        let fe = FamilyEvaluator::new(&ev);
+        let expired = CancelToken::with_deadline(std::time::Instant::now());
+        for threads in [1, 4] {
+            assert_eq!(
+                fe.t_family_with_cancel(&fam, threads, expired),
+                Err(EvalError::Cancelled),
+                "threads = {threads}"
+            );
+        }
+        assert_eq!(fe.stats().values_computed, 0, "no class was picked up");
+        // A live token behaves exactly like plain `t_family`, and the
+        // cancelled attempts left the cache usable.
+        let got = fe
+            .t_family_with_cancel(&fam, 2, CancelToken::never())
+            .unwrap();
+        assert_eq!(got, fe.t_family(&fam, 1).unwrap());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //!   the oracle for inequality/comparison systems.
 
 pub mod active_domain;
+pub mod cancel;
 pub(crate) mod domain;
 pub mod error;
 pub mod evaluator;
@@ -45,6 +46,7 @@ pub mod generic;
 pub mod naive;
 pub mod order_csp;
 
+pub use cancel::CancelToken;
 pub use error::EvalError;
 pub use evaluator::Evaluator;
 pub use factor::{Factor, Semiring};

@@ -20,7 +20,7 @@
 //!    constructing a fresh evaluator per subset would forfeit all of it.
 
 use crate::error::SensitivityError;
-use dpcq_eval::{active_domain, Evaluator, FamilyEvaluator};
+use dpcq_eval::{active_domain, CancelToken, Evaluator, FamilyEvaluator};
 use dpcq_query::{ConjunctiveQuery, Policy};
 use dpcq_relation::{Database, FxHashMap};
 use std::collections::BTreeSet;
@@ -164,8 +164,22 @@ pub fn compute_t_values_with(
     family: &BTreeSet<Vec<usize>>,
     threads: usize,
 ) -> Result<TValues, SensitivityError> {
+    compute_t_values_cancellable(fe, family, threads, CancelToken::never())
+}
+
+/// [`compute_t_values_with`] under a cooperative [`CancelToken`]: a
+/// tripped token (e.g. a serving deadline) surfaces as
+/// `SensitivityError::Eval(EvalError::Cancelled)` between residual
+/// classes, and everything memoized up to the trip stays in the shared
+/// evaluator's cache for the retry.
+pub fn compute_t_values_cancellable(
+    fe: &FamilyEvaluator<'_>,
+    family: &BTreeSet<Vec<usize>>,
+    threads: usize,
+    cancel: CancelToken,
+) -> Result<TValues, SensitivityError> {
     let mut map = FxHashMap::default();
-    for (subset, value) in fe.t_family(family, threads)? {
+    for (subset, value) in fe.t_family_with_cancel(family, threads, cancel)? {
         map.insert(subset, value);
     }
     Ok(TValues { map })

@@ -23,9 +23,9 @@
 
 use crate::error::SensitivityError;
 use crate::prep::{
-    compute_t_values_with, required_subsets, Prepared, TValues, DEFAULT_DOMAIN_LIMIT,
+    compute_t_values_cancellable, required_subsets, Prepared, TValues, DEFAULT_DOMAIN_LIMIT,
 };
-use dpcq_eval::{Evaluator, FamilyCache, FamilyEvaluator};
+use dpcq_eval::{CancelToken, Evaluator, FamilyCache, FamilyEvaluator};
 use dpcq_query::{analysis, ConjunctiveQuery, Policy};
 use dpcq_relation::Database;
 use std::sync::Arc;
@@ -45,6 +45,9 @@ pub struct RsParams {
     /// sweep) pass the same cache each time and skip all recomputation;
     /// they must stop reusing it the moment the database changes.
     pub shared: Option<Arc<FamilyCache>>,
+    /// Cooperative cancellation, checked between residual classes (a
+    /// serving deadline); the default never cancels.
+    pub cancel: CancelToken,
 }
 
 impl RsParams {
@@ -56,6 +59,7 @@ impl RsParams {
             domain_limit: DEFAULT_DOMAIN_LIMIT,
             threads: crate::prep::default_threads(),
             shared: None,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -70,6 +74,14 @@ impl RsParams {
     /// [`RsParams::shared`] for the reuse contract).
     pub fn with_shared_cache(mut self, cache: Arc<FamilyCache>) -> Self {
         self.shared = Some(cache);
+        self
+    }
+
+    /// The same parameters under a cooperative [`CancelToken`]: a trip
+    /// between residual classes aborts the computation with
+    /// `SensitivityError::Eval(EvalError::Cancelled)`.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -141,7 +153,7 @@ pub fn residual_sensitivity_report(
         Some(cache) => FamilyEvaluator::with_cache(&ev, Arc::clone(cache)),
         None => FamilyEvaluator::new(&ev),
     };
-    let t = compute_t_values_with(&fe, &family, params.threads)?;
+    let t = compute_t_values_cancellable(&fe, &family, params.threads, params.cancel)?;
 
     let m_p = pol.num_private_groups(q);
     let k_max = k_cutoff(m_p, q.max_copies(), params.beta);
@@ -442,6 +454,21 @@ mod tests {
             assert_eq!(v, report.value, "beta {beta}");
             assert_eq!(k, report.argmax_k, "beta {beta}");
         }
+    }
+
+    #[test]
+    fn tripped_cancel_token_aborts_with_cancelled() {
+        let q = triangle_query();
+        let db = sym_db(&[[1, 2], [2, 3], [1, 3]]);
+        let params =
+            RsParams::new(0.1).with_cancel(CancelToken::with_deadline(std::time::Instant::now()));
+        let err =
+            residual_sensitivity_report(&q, &db, &Policy::all_private(), &params).unwrap_err();
+        assert_eq!(
+            err,
+            SensitivityError::Eval(dpcq_eval::EvalError::Cancelled),
+            "{err}"
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ use dpcq::graph::io::read_edge_list_file;
 use dpcq::prelude::*;
 use dpcq_server::{Server, ServerConfig};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
@@ -73,11 +73,28 @@ SERVE OPTIONS (newline-delimited JSON over TCP; see the dpcq_server docs):
   --data-dir <path>     durable state directory (WAL + snapshots); budgets,
                         databases and cached releases survive crashes and
                         restarts. Omit for a purely in-memory server.
+  --max-inflight <int>  fresh releases evaluating at once (default 64);
+                        overflow is shed with a retryable `overloaded` frame
+                        before any budget moves. Cache replays always answer.
+  --max-connections <int>  concurrent TCP connections (default 256); overflow
+                        gets one `overloaded` frame and the socket closes
+  --max-cost <int>      per-request ceiling on the pre-evaluation cost
+                        estimate (classes x width x rows; default: unlimited)
+  --deadline-ms <int>   default evaluation deadline per release; a timed-out
+                        release refunds its ε in full (default: none)
+  --retry-after-ms <int>  back-off hint in `overloaded` frames (default 100)
 
 REQUEST OPTIONS:
   --addr HOST:PORT      server address (default 127.0.0.1:4547)
   --json <object>       one request frame, e.g. '{\"op\":\"stats\"}'
                         exit: 0 on ok:true, 2 on ok:false, 1 on transport error
+  --retry <int>         extra attempts (default 0) on `overloaded` frames and
+                        transport errors, with jittered exponential back-off
+                        seeded by the server's retry_after_ms hint. Safe to
+                        repeat: an overloaded frame means admission was refused
+                        before any ε was reserved, and a release that did
+                        commit replays from the cache at zero additional ε —
+                        so a retried frame never double-spends.
 ";
 
 /// `--key value` / `--switch` argument cracker shared by the subcommands.
@@ -285,7 +302,20 @@ fn serve_main(argv: &[String]) -> ExitCode {
     let flags = match Flags::parse(
         argv,
         &[
-            "addr", "edges", "table", "private", "epsilon", "budget", "threads", "seed", "data-dir",
+            "addr",
+            "edges",
+            "table",
+            "private",
+            "epsilon",
+            "budget",
+            "threads",
+            "seed",
+            "data-dir",
+            "max-inflight",
+            "max-connections",
+            "max-cost",
+            "deadline-ms",
+            "retry-after-ms",
         ],
         &[],
     ) {
@@ -323,10 +353,44 @@ fn serve_main(argv: &[String]) -> ExitCode {
     let bound = listener
         .local_addr()
         .map_or(addr.to_string(), |a| a.to_string());
+    let defaults = ServerConfig::default();
+    let max_inflight_releases =
+        match flags.get_parsed("max-inflight", defaults.max_inflight_releases) {
+            Ok(v) => v,
+            Err(e) => return fail(&e),
+        };
+    let max_connections = match flags.get_parsed("max-connections", defaults.max_connections) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
+    let max_request_cost = match flags.get("max-cost") {
+        None => None,
+        Some(v) => match v.parse::<u128>() {
+            Ok(c) => Some(c),
+            Err(_) => return fail(&format!("bad --max-cost value `{v}`")),
+        },
+    };
+    let default_deadline_ms = match flags.get("deadline-ms") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Some(ms),
+            Err(_) => return fail(&format!("bad --deadline-ms value `{v}`")),
+        },
+    };
+    let retry_after_ms = match flags.get_parsed("retry-after-ms", defaults.retry_after_ms) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
+    };
     let config = ServerConfig {
         default_epsilon,
         default_budget,
         seed,
+        max_inflight_releases,
+        max_connections,
+        max_request_cost,
+        default_deadline_ms,
+        retry_after_ms,
+        ..defaults
     };
     let server = match flags.get("data-dir") {
         Some(dir) => match Server::recover(engine, config, std::path::Path::new(dir)) {
@@ -348,40 +412,110 @@ fn serve_main(argv: &[String]) -> ExitCode {
     }
 }
 
+/// One request attempt: a fresh connection, one frame out, one line back.
+enum Attempt {
+    /// A response frame arrived (ok or refused).
+    Answered(String),
+    /// No response: connect/write/read failed or the server hung up.
+    Transport(String),
+}
+
+fn attempt_request(addr: &str, json: &str) -> Attempt {
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return Attempt::Transport(format!("cannot connect to {addr}: {e}")),
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => return Attempt::Transport(format!("socket error: {e}")),
+    });
+    let mut writer = stream;
+    if let Err(e) = writeln!(writer, "{}", json.trim()) {
+        return Attempt::Transport(format!("write failed: {e}"));
+    }
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => Attempt::Transport("server closed the connection without answering".into()),
+        Err(e) => Attempt::Transport(format!("read failed: {e}")),
+        Ok(_) => Attempt::Answered(line.trim_end().to_string()),
+    }
+}
+
+/// Why retrying is safe (the idempotency argument, also in the README):
+/// an `overloaded` frame is sent *before* the server reserves any ε, so
+/// a shed request provably moved no budget. A transport failure after
+/// the frame was sent is ambiguous — the release may have committed —
+/// but a committed release lives in the server's release cache keyed by
+/// (query, method, ε, read-set stamp), so the retried identical frame
+/// replays it bit-for-bit at zero additional ε. Either way the retry
+/// cannot double-spend; at worst it burns one cache lookup.
 fn request_main(argv: &[String]) -> ExitCode {
-    let flags = match Flags::parse(argv, &["addr", "json"], &[]) {
+    let flags = match Flags::parse(argv, &["addr", "json", "retry"], &[]) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
     let Some(json) = flags.get("json") else {
         return fail("--json is required");
     };
-    let addr = flags.get("addr").unwrap_or("127.0.0.1:4547");
-    let stream = match TcpStream::connect(addr) {
-        Ok(s) => s,
-        Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+    let retries = match flags.get_parsed("retry", 0u32) {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
     };
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(e) => return fail(&format!("socket error: {e}")),
-    });
-    let mut writer = stream;
-    if let Err(e) = writeln!(writer, "{}", json.trim()) {
-        return fail(&format!("write failed: {e}"));
-    }
-    let mut line = String::new();
-    match reader.read_line(&mut line) {
-        Ok(0) => fail("server closed the connection without answering"),
-        Err(e) => fail(&format!("read failed: {e}")),
-        Ok(_) => {
-            println!("{}", line.trim_end());
-            // Exit 2 on a well-formed error response so shell pipelines can
-            // distinguish "request refused" from "transport broken".
-            if line.contains("\"ok\":true") {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(2)
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:4547");
+    let mut rng = StdRng::from_entropy();
+    let mut last_transport_error = String::new();
+    for attempt in 0..=retries {
+        let (retryable, backoff_hint_ms) = match attempt_request(addr, json) {
+            Attempt::Answered(line) => {
+                let parsed = dpcq_wire::Json::parse(&line).ok();
+                let overloaded = parsed
+                    .as_ref()
+                    .and_then(|p| p.get("overloaded"))
+                    .and_then(dpcq_wire::Json::as_bool)
+                    .unwrap_or(false);
+                if !(overloaded && attempt < retries) {
+                    println!("{line}");
+                    // Exit 2 on a well-formed error response so shell
+                    // pipelines can distinguish "request refused" from
+                    // "transport broken".
+                    let ok = parsed
+                        .as_ref()
+                        .and_then(|p| p.get("ok"))
+                        .and_then(dpcq_wire::Json::as_bool)
+                        .unwrap_or(false);
+                    return if ok {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(2)
+                    };
+                }
+                let hint = parsed
+                    .as_ref()
+                    .and_then(|p| p.get("retry_after_ms"))
+                    .and_then(dpcq_wire::Json::as_i128)
+                    .and_then(|v| u64::try_from(v).ok())
+                    .unwrap_or(100);
+                (true, hint)
             }
+            Attempt::Transport(e) => {
+                last_transport_error = e;
+                (attempt < retries, 100)
+            }
+        };
+        if !retryable {
+            break;
         }
+        // Jittered exponential back-off: hint × 2^attempt, plus up to
+        // half of itself in jitter so a flock of shed clients does not
+        // return in lock-step and shed again.
+        let base = backoff_hint_ms.saturating_mul(1u64 << attempt.min(16));
+        let wait = base + rng.gen_range(0..=base / 2);
+        eprintln!(
+            "dpcq: attempt {} of {} backing off {wait} ms",
+            attempt + 1,
+            retries + 1
+        );
+        std::thread::sleep(std::time::Duration::from_millis(wait));
     }
+    fail(&last_transport_error)
 }

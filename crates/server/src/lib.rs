@@ -64,5 +64,5 @@ pub mod server;
 pub use budget::{BudgetAccountant, BudgetError, Reservation};
 pub use cache::{ReleaseCache, ReleaseKey};
 pub use durability::{Durability, DurabilityStats, DurableRecord};
-pub use protocol::{ReleaseRequest, Request, Response};
+pub use protocol::{OverloadStats, ReleaseRequest, Request, Response};
 pub use server::{Server, ServerConfig};

@@ -23,6 +23,8 @@
 //! (any [`SensitivityMethod::name`], plus the `global` alias), `epsilon` =
 //! the server's configured default. `batch` accepts only `release`
 //! sub-requests (mutations order-depend; a batch is one unordered group).
+//! `release` may also carry `"deadline_ms"` (non-negative integer): a
+//! per-request evaluation deadline, overriding the server default.
 //!
 //! ## Responses
 //!
@@ -41,8 +43,15 @@
 //!                "last_snapshot_generation":2,"recovered":true}}
 //! {"ok":true,"op":"batch","responses":[{...},{...}]}
 //! {"ok":true,"op":"shutdown"}
+//! {"ok":false,"error":"server overloaded; retry after 100 ms",
+//!  "overloaded":true,"retry_after_ms":100}
 //! ```
 //!
+//! The `"overloaded"` frame is the retryable shed response: the server
+//! refused admission **before reserving any ε**, so a client may resend
+//! the identical frame after `retry_after_ms` with no budget consequence
+//! (see `README.md` § Overload & failure semantics). `stats.overload`
+//! carries the shed/timeout counters and is always present.
 //! `stats.durability` appears only on servers running with `--data-dir`
 //! (in-memory servers omit the field, keeping the legacy frame shape).
 //! `remaining`/`budget` render as `null` when infinite (unmetered).
@@ -57,6 +66,23 @@ use dpcq::noise::Release;
 use dpcq::SensitivityMethod;
 use dpcq_wire::Json;
 
+/// Overload-control counters, rendered as the always-present nested
+/// `"overload"` object of a stats frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Requests refused at admission because the in-flight or
+    /// server-wide cost gate was full (capacity shedding).
+    pub shed_requests: u64,
+    /// Releases aborted at an evaluation checkpoint by their deadline
+    /// (ε refunded; see invariant O2).
+    pub deadline_timeouts: u64,
+    /// Requests refused because their pre-evaluation cost estimate
+    /// exceeded the per-request ceiling.
+    pub cost_rejected: u64,
+    /// Releases currently being evaluated (point-in-time gauge).
+    pub inflight: u64,
+}
+
 /// One private-release request.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReleaseRequest {
@@ -70,6 +96,11 @@ pub struct ReleaseRequest {
     pub method: SensitivityMethod,
     /// Per-release ε (`None` = the server's configured default).
     pub epsilon: Option<f64>,
+    /// Evaluation deadline in milliseconds (`None` = the server's
+    /// configured default, which may itself be "none"). `0` means the
+    /// deadline has already passed — useful for deterministic timeout
+    /// tests, and harmless in production since no ε moves on a timeout.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A parsed protocol request.
@@ -161,12 +192,20 @@ fn parse_release(obj: &Json) -> Result<ReleaseRequest, String> {
             .ok_or_else(|| "`principal` must be a string".to_string())?
             .to_string(),
     };
+    let deadline_ms = match obj.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(Json::Int(i)) => {
+            Some(u64::try_from(*i).map_err(|_| "`deadline_ms` must be a non-negative integer")?)
+        }
+        Some(_) => return Err("`deadline_ms` must be a non-negative integer".into()),
+    };
     Ok(ReleaseRequest {
         id: get_id(obj)?,
         principal,
         query: get_str(obj, "query")?,
         method,
         epsilon,
+        deadline_ms,
     })
 }
 
@@ -311,6 +350,10 @@ pub enum Response {
         /// omitted entirely for in-memory servers so existing clients
         /// see an unchanged frame.
         durability: Option<DurabilityStats>,
+        /// Overload-control counters, rendered as a nested `"overload"`
+        /// object (always present — a server with no gates configured
+        /// reports zeros).
+        overload: OverloadStats,
     },
     /// Responses of a batch, in request order.
     Batch {
@@ -323,6 +366,17 @@ pub enum Response {
     Shutdown {
         /// Echoed request id.
         id: Option<i64>,
+    },
+    /// The server refused admission (capacity or cost gate). No state
+    /// changed and **no ε was reserved**; the identical request may be
+    /// retried after `retry_after_ms` (invariant O1 — shedding happens
+    /// strictly before budget motion, so a retry is idempotent with
+    /// respect to the ledger).
+    Overloaded {
+        /// Echoed request id.
+        id: Option<i64>,
+        /// Suggested client back-off, in milliseconds.
+        retry_after_ms: u64,
     },
     /// The request failed; no state changed.
     Error {
@@ -423,6 +477,7 @@ impl Response {
                 cache_scoped_misses,
                 principals,
                 durability,
+                overload,
             } => {
                 let mut fields = vec![
                     field("ok", Json::Bool(true)),
@@ -452,6 +507,18 @@ impl Response {
                         Json::Int(*cache_scoped_misses as i128),
                     ),
                     field("principals", Json::Int(*principals as i128)),
+                    field(
+                        "overload",
+                        Json::Obj(vec![
+                            field("shed_requests", Json::Int(overload.shed_requests as i128)),
+                            field(
+                                "deadline_timeouts",
+                                Json::Int(overload.deadline_timeouts as i128),
+                            ),
+                            field("cost_rejected", Json::Int(overload.cost_rejected as i128)),
+                            field("inflight", Json::Int(overload.inflight as i128)),
+                        ]),
+                    ),
                 ];
                 if let Some(d) = durability {
                     fields.push(field(
@@ -487,6 +554,20 @@ impl Response {
                     field("op", Json::Str("shutdown".into())),
                 ],
             ),
+            Response::Overloaded { id, retry_after_ms } => with_id(
+                *id,
+                vec![
+                    field("ok", Json::Bool(false)),
+                    field(
+                        "error",
+                        Json::Str(format!(
+                            "server overloaded; retry after {retry_after_ms} ms"
+                        )),
+                    ),
+                    field("overloaded", Json::Bool(true)),
+                    field("retry_after_ms", Json::Int(*retry_after_ms as i128)),
+                ],
+            ),
             Response::Error { id, error } => with_id(
                 *id,
                 vec![
@@ -519,6 +600,7 @@ mod tests {
                 assert_eq!(r.principal, "default");
                 assert_eq!(r.method, SensitivityMethod::Residual);
                 assert_eq!(r.epsilon, None);
+                assert_eq!(r.deadline_ms, None);
                 assert_eq!(r.query, "Q(*) :- Edge(x,y)");
             }
             other => panic!("{other:?}"),
@@ -528,7 +610,7 @@ mod tests {
     #[test]
     fn parses_release_with_everything() {
         let r = Request::parse_line(
-            r#"{"op":"release","query":"q","principal":"alice","method":"elastic","epsilon":0.5,"id":9}"#,
+            r#"{"op":"release","query":"q","principal":"alice","method":"elastic","epsilon":0.5,"deadline_ms":250,"id":9}"#,
         )
         .unwrap();
         match r {
@@ -537,6 +619,7 @@ mod tests {
                 assert_eq!(r.principal, "alice");
                 assert_eq!(r.method, SensitivityMethod::Elastic);
                 assert_eq!(r.epsilon, Some(0.5));
+                assert_eq!(r.deadline_ms, Some(250));
             }
             other => panic!("{other:?}"),
         }
@@ -611,6 +694,9 @@ mod tests {
             r#"{"op":"release","query":"q","method":"sideways"}"#,
             r#"{"op":"release","query":"q","epsilon":"lots"}"#,
             r#"{"op":"release","query":"q","id":"seven"}"#,
+            r#"{"op":"release","query":"q","deadline_ms":-5}"#,
+            r#"{"op":"release","query":"q","deadline_ms":"fast"}"#,
+            r#"{"op":"release","query":"q","deadline_ms":1.5}"#,
             r#"{"op":"insert","relation":"R","tuple":[]}"#,
             r#"{"op":"insert","relation":"R","tuple":[1.5]}"#,
             r#"{"op":"insert","tuple":[1]}"#,
@@ -671,6 +757,7 @@ mod tests {
             cache_scoped_misses: 1,
             principals: 2,
             durability: None,
+            overload: OverloadStats::default(),
         };
         let line = resp.render_line();
         assert!(!line.contains('\n'));
@@ -722,6 +809,7 @@ mod tests {
             cache_scoped_hits: 0,
             cache_scoped_misses: 0,
             principals: 0,
+            overload: OverloadStats::default(),
             durability: Some(DurabilityStats {
                 wal_records: 12,
                 wal_bytes: 980,
@@ -755,6 +843,69 @@ mod tests {
             durability.entries().map(<[(String, Json)]>::len),
             Some(4),
             "exactly the documented durability counters"
+        );
+    }
+
+    #[test]
+    fn overloaded_response_is_retryable_and_machine_readable() {
+        let resp = Response::Overloaded {
+            id: Some(7),
+            retry_after_ms: 150,
+        };
+        let line = resp.render_line();
+        assert!(!line.contains('\n'));
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("id").and_then(Json::as_i128), Some(7));
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(parsed.get("overloaded").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            parsed.get("retry_after_ms").and_then(Json::as_i128),
+            Some(150)
+        );
+        let err = parsed.get("error").and_then(Json::as_str).unwrap();
+        assert!(err.contains("overloaded"), "{err}");
+        assert!(err.contains("150"), "{err}");
+    }
+
+    #[test]
+    fn stats_response_round_trips_the_overload_section() {
+        let resp = Response::Stats {
+            id: None,
+            generation: 0,
+            relation_versions: vec![],
+            release_cache_entries: 0,
+            release_cache_hits: 0,
+            release_cache_misses: 0,
+            cache_scoped_hits: 0,
+            cache_scoped_misses: 0,
+            principals: 0,
+            durability: None,
+            overload: OverloadStats {
+                shed_requests: 9,
+                deadline_timeouts: 2,
+                cost_rejected: 5,
+                inflight: 1,
+            },
+        };
+        let parsed = Json::parse(&resp.render_line()).unwrap();
+        let overload = parsed.get("overload").expect("overload section");
+        assert_eq!(
+            overload.get("shed_requests").and_then(Json::as_i128),
+            Some(9)
+        );
+        assert_eq!(
+            overload.get("deadline_timeouts").and_then(Json::as_i128),
+            Some(2)
+        );
+        assert_eq!(
+            overload.get("cost_rejected").and_then(Json::as_i128),
+            Some(5)
+        );
+        assert_eq!(overload.get("inflight").and_then(Json::as_i128), Some(1));
+        assert_eq!(
+            overload.entries().map(<[(String, Json)]>::len),
+            Some(4),
+            "exactly the documented overload counters"
         );
     }
 

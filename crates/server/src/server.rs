@@ -38,18 +38,20 @@
 use crate::budget::BudgetAccountant;
 use crate::cache::{ReleaseCache, ReleaseKey};
 use crate::durability::{Durability, DurableRecord};
-use crate::protocol::{ReleaseRequest, Request, Response};
+use crate::protocol::{OverloadStats, ReleaseRequest, Request, Response};
+use dpcq::eval::{CancelToken, EvalError};
 use dpcq::prelude::*;
 use dpcq::relation::FxHashMap;
+use dpcq::sensitivity::SensitivityError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Serving-policy knobs.
 #[derive(Clone, Debug)]
@@ -61,6 +63,31 @@ pub struct ServerConfig {
     /// Noise RNG seed (`None` = OS entropy). Fixed seeds make single-
     /// connection sessions deterministic — for tests and demos only.
     pub seed: Option<u64>,
+    /// Fresh (non-replay) releases evaluating at once; admission beyond
+    /// this sheds with an `overloaded` frame. Cache replays are never
+    /// gated (invariant O3), so a saturated server degrades to a
+    /// read-only replay tier instead of going dark.
+    pub max_inflight_releases: usize,
+    /// Concurrent TCP connections; the accept loop answers overflow
+    /// with one `overloaded` frame and closes instead of spawning a
+    /// thread.
+    pub max_connections: usize,
+    /// Per-request ceiling on the pre-evaluation cost estimate
+    /// ([`PrivateEngine::estimate_release_cost`]); `None` = unlimited.
+    pub max_request_cost: Option<u128>,
+    /// Server-wide ceiling on the summed cost of in-flight releases;
+    /// `None` = unlimited. One release always runs even above the
+    /// ceiling (no starvation) — the per-request ceiling is the tool
+    /// for rejecting individually outsized queries.
+    pub max_server_cost: Option<u128>,
+    /// Default evaluation deadline for releases that don't carry their
+    /// own `deadline_ms`; `None` = no deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// Back-off hint carried in `overloaded` frames.
+    pub retry_after_ms: u64,
+    /// Socket write timeout: a client that stops draining its socket
+    /// stalls only its own connection thread, and only this long.
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -69,7 +96,49 @@ impl Default for ServerConfig {
             default_epsilon: 1.0,
             default_budget: f64::INFINITY,
             seed: None,
+            max_inflight_releases: 64,
+            max_connections: 256,
+            max_request_cost: None,
+            max_server_cost: None,
+            default_deadline_ms: None,
+            retry_after_ms: 100,
+            write_timeout_ms: 10_000,
         }
+    }
+}
+
+/// Overload-control state: admission gauges and shed/timeout counters.
+/// All atomics — read on the release fast path, never behind a lock.
+#[derive(Debug, Default)]
+struct OverloadState {
+    /// Fresh releases currently evaluating.
+    inflight: AtomicUsize,
+    /// Summed cost estimate of in-flight releases (saturated to u64).
+    inflight_cost: AtomicU64,
+    /// Live TCP connections.
+    connections: AtomicUsize,
+    /// Requests refused by the capacity gates.
+    shed_requests: AtomicU64,
+    /// Releases aborted by their deadline (ε refunded).
+    deadline_timeouts: AtomicU64,
+    /// Requests refused by the per-request cost ceiling.
+    cost_rejected: AtomicU64,
+}
+
+/// RAII admission slot: holds one `inflight` unit and this release's
+/// cost share, returned on drop — every exit path (answer, error,
+/// timeout, panic unwind) releases capacity exactly once.
+struct AdmissionPermit<'a> {
+    overload: &'a OverloadState,
+    cost: u64,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.overload.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.overload
+            .inflight_cost
+            .fetch_sub(self.cost, Ordering::SeqCst);
     }
 }
 
@@ -89,6 +158,7 @@ pub struct Server {
     /// periodic snapshots bound replay time. `None` = today's in-memory
     /// behavior.
     durability: Option<Durability>,
+    overload: OverloadState,
     shutdown: AtomicBool,
     /// The bound TCP address while `serve` runs (used to wake the accept
     /// loop on shutdown).
@@ -124,6 +194,7 @@ impl Server {
             rng: Mutex::new(rng),
             config,
             durability,
+            overload: OverloadState::default(),
             shutdown: AtomicBool::new(false),
             bound: Mutex::new(None),
         }
@@ -212,15 +283,51 @@ impl Server {
         &self.budget
     }
 
-    /// The engine read lock, or an error message for the client. A
-    /// poisoned lock means another handler panicked mid-request; the
-    /// request path never trusts such state — it reports an internal
-    /// error instead of panicking in turn (dpa rule R3: no
-    /// `unwrap`/`expect`/`panic!` in request handling).
-    fn read_engine(&self) -> Result<RwLockReadGuard<'_, PrivateEngine>, String> {
-        self.engine
-            .read()
-            .map_err(|_| "internal error: engine state poisoned".to_string())
+    /// The engine read lock. A poisoned lock means another handler
+    /// panicked while holding it; recovery via
+    /// `PoisonError::into_inner` is sound here because every mutating
+    /// path validates before it applies (arity checks precede tuple
+    /// ops; the cache purge is a single pass) — a panic cannot leave a
+    /// torn database, so the poison flag carries no information the
+    /// invariants don't already guarantee. Refusing would instead turn
+    /// one panicked request into a permanently unavailable server
+    /// (every later request failing on the same flag). The request
+    /// path still never `unwrap`s into a panic of its own (dpa rule
+    /// R3: `into_inner` recovery is the one sanctioned form).
+    fn read_engine(&self) -> RwLockReadGuard<'_, PrivateEngine> {
+        self.engine.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admission gate for one fresh release of estimated `cost`:
+    /// reserves an in-flight slot and the cost share, or refuses when
+    /// either the slot gate or the server-wide cost ceiling is full.
+    /// Cost accounting saturates to `u64`; the first release through
+    /// an idle gate is always admitted (the per-request ceiling, not
+    /// this one, rejects individually outsized queries) so a high
+    /// ceiling can never starve the server outright.
+    fn try_admit(&self, cost: u128) -> Option<AdmissionPermit<'_>> {
+        let cost64 = u64::try_from(cost).unwrap_or(u64::MAX);
+        let slots = self.overload.inflight.fetch_add(1, Ordering::SeqCst);
+        let in_cost = self
+            .overload
+            .inflight_cost
+            .fetch_add(cost64, Ordering::SeqCst);
+        // Construct the permit *before* checking: its Drop is the one
+        // place that undoes the increments, on rejection and on every
+        // later exit path alike.
+        let permit = AdmissionPermit {
+            overload: &self.overload,
+            cost: cost64,
+        };
+        if slots >= self.config.max_inflight_releases {
+            return None;
+        }
+        if let Some(max) = self.config.max_server_cost {
+            if in_cost > 0 && (in_cost as u128).saturating_add(cost) > max {
+                return None;
+            }
+        }
+        Some(permit)
     }
 
     /// Read access to the wrapped engine (a shared lock: releases keep
@@ -248,18 +355,15 @@ impl Server {
 
     fn dispatch(&self, request: Request) -> Response {
         match request {
-            Request::Release(r) => match self.read_engine() {
-                Ok(engine) => self.handle_release(&engine, &r),
-                Err(error) => Response::Error { id: r.id, error },
-            },
+            Request::Release(r) => {
+                let engine = self.read_engine();
+                self.handle_release(&engine, &r)
+            }
             Request::Batch { id, requests } => {
                 // One read lock = one database snapshot for the whole
                 // group; same-shape queries run consecutively so later
                 // ones hit the warmed family store.
-                let engine = match self.read_engine() {
-                    Ok(engine) => engine,
-                    Err(error) => return Response::Error { id, error },
-                };
+                let engine = self.read_engine();
                 let mut first_of_shape: FxHashMap<&str, usize> = FxHashMap::default();
                 for (i, r) in requests.iter().enumerate() {
                     first_of_shape.entry(r.query.as_str()).or_insert(i);
@@ -296,10 +400,7 @@ impl Server {
                 principal,
             },
             Request::Stats { id } => {
-                let engine = match self.read_engine() {
-                    Ok(engine) => engine,
-                    Err(error) => return Response::Error { id, error },
-                };
+                let engine = self.read_engine();
                 let (hits, misses) = self.cache.counters();
                 let (scoped_hits, scoped_misses) = self.cache.scoped_counters();
                 Response::Stats {
@@ -313,6 +414,12 @@ impl Server {
                     cache_scoped_misses: scoped_misses,
                     principals: self.budget.num_principals(),
                     durability: self.durability.as_ref().map(Durability::stats),
+                    overload: OverloadStats {
+                        shed_requests: self.overload.shed_requests.load(Ordering::SeqCst),
+                        deadline_timeouts: self.overload.deadline_timeouts.load(Ordering::SeqCst),
+                        cost_rejected: self.overload.cost_rejected.load(Ordering::SeqCst),
+                        inflight: self.overload.inflight.load(Ordering::SeqCst) as u64,
+                    },
                 }
             }
             Request::Shutdown { id } => {
@@ -353,6 +460,9 @@ impl Server {
         let stamp = engine.read_set_stamp(&query, r.method);
         let key = ReleaseKey::new(&query.to_string(), r.method, epsilon, stamp);
         if let Some(release) = self.cache.get(&key) {
+            // Replays are budget-free post-processing and bypass every
+            // gate below (invariant O3): a saturated or cost-capped
+            // server still answers everything it has already published.
             return Response::Release {
                 id: r.id,
                 method: r.method,
@@ -362,6 +472,30 @@ impl Server {
                 remaining: finite(self.budget.remaining(&r.principal)),
             };
         }
+        // Admission control runs strictly before the ε reservation
+        // (invariant O1): a shed request provably moved no budget, which
+        // is what makes the client's retry idempotent.
+        let cost = engine.estimate_release_cost(&query, r.method);
+        if self.config.max_request_cost.is_some_and(|max| cost > max) {
+            self.overload.cost_rejected.fetch_add(1, Ordering::SeqCst);
+            return Response::Overloaded {
+                id: r.id,
+                retry_after_ms: self.config.retry_after_ms,
+            };
+        }
+        let Some(_permit) = self.try_admit(cost) else {
+            self.overload.shed_requests.fetch_add(1, Ordering::SeqCst);
+            return Response::Overloaded {
+                id: r.id,
+                retry_after_ms: self.config.retry_after_ms,
+            };
+        };
+        // The deadline clock starts at admission, not at reservation:
+        // everything from here on is work the deadline is meant to bound.
+        let cancel = match r.deadline_ms.or(self.config.default_deadline_ms) {
+            Some(ms) => CancelToken::with_deadline(Instant::now() + Duration::from_millis(ms)),
+            None => CancelToken::never(),
+        };
         let reservation = match self.budget.reserve(&r.principal, epsilon) {
             Ok(res) => res,
             Err(e) => return err(e.to_string()),
@@ -369,8 +503,15 @@ impl Server {
         // The expensive deterministic half (count + sensitivity) runs
         // outside the RNG lock so concurrent releases evaluate in
         // parallel; the lock is held only for the sampling instant.
-        match engine.prepare_release(&query, r.method, epsilon) {
+        match engine.prepare_release_with_cancel(&query, r.method, epsilon, cancel) {
             Ok(pending) => {
+                // Chaos tests inject here — after the reservation, before
+                // the commit — to prove the refund path releases exactly
+                // the reserved ε (compiled to a constant `false` outside
+                // failpoint builds).
+                if dpcq_store::faults::should_fail("server.lock.rng") {
+                    return err("internal error: injected fault before noise sampling".into());
+                }
                 // A poisoned RNG lock aborts the request; `reservation`
                 // drops on the early return, refunding the reserved ε.
                 let Ok(mut rng) = self.rng.lock() else {
@@ -406,6 +547,19 @@ impl Server {
                     remaining: finite(self.budget.remaining(&r.principal)),
                 }
             }
+            // The deadline tripped at an evaluation checkpoint:
+            // `reservation` drops on this arm → full refund (invariant
+            // O2 — a timed-out request spent nothing), and work memoized
+            // before the trip stays cached for a retry.
+            Err(SensitivityError::Eval(EvalError::Cancelled)) => {
+                self.overload
+                    .deadline_timeouts
+                    .fetch_add(1, Ordering::SeqCst);
+                err(
+                    "release timed out: deadline exceeded before evaluation finished (ε refunded)"
+                        .into(),
+                )
+            }
             // `reservation` drops here → automatic refund: a failed
             // evaluation released nothing.
             Err(e) => err(format!("release failed: {e}")),
@@ -420,12 +574,10 @@ impl Server {
         tuple: &[i64],
     ) -> Response {
         let row: Vec<Value> = tuple.iter().map(|&v| Value(v)).collect();
-        let Ok(mut engine) = self.engine.write() else {
-            return Response::Error {
-                id,
-                error: "internal error: engine state poisoned".into(),
-            };
-        };
+        // Poison recovery: same argument as `read_engine` — validation
+        // precedes every state change, so a panicked handler left
+        // nothing torn.
+        let mut engine = self.engine.write().unwrap_or_else(PoisonError::into_inner);
         if let Some(rel) = engine.database().relation(relation) {
             if rel.arity() != row.len() {
                 return Response::Error {
@@ -499,12 +651,32 @@ impl Server {
             if self.is_shut_down() {
                 break;
             }
-            let Ok(stream) = stream else { continue };
+            let Ok(mut stream) = stream else { continue };
             // Reap finished connections as we go so a long-lived server
             // holds handles only for the live ones.
             workers.retain(|w: &std::thread::JoinHandle<()>| !w.is_finished());
+            // Bounded accept: past the connection cap the listener
+            // answers with one retryable `overloaded` frame and closes —
+            // no thread is spawned, so a connection flood cannot exhaust
+            // the process (threads are the scarce resource here).
+            if self.overload.connections.load(Ordering::SeqCst) >= self.config.max_connections {
+                self.overload.shed_requests.fetch_add(1, Ordering::SeqCst);
+                let frame = Response::Overloaded {
+                    id: None,
+                    retry_after_ms: self.config.retry_after_ms,
+                }
+                .render_line();
+                let _ = stream
+                    .set_write_timeout(Some(Duration::from_millis(self.config.write_timeout_ms)));
+                let _ = writeln!(stream, "{frame}");
+                continue;
+            }
+            self.overload.connections.fetch_add(1, Ordering::SeqCst);
             let server = Arc::clone(self);
-            workers.push(std::thread::spawn(move || server.serve_connection(stream)));
+            workers.push(std::thread::spawn(move || {
+                server.serve_connection(stream);
+                server.overload.connections.fetch_sub(1, Ordering::SeqCst);
+            }));
         }
         for worker in workers {
             let _ = worker.join();
@@ -516,13 +688,18 @@ impl Server {
     fn serve_connection(&self, stream: TcpStream) {
         // Poll-timeout reads: an idle connection wakes every interval to
         // check the shutdown flag instead of blocking forever (which
-        // would make the serve-side join hang on idle clients).
+        // would make the serve-side join hang on idle clients). Writes
+        // time out too: a client that stops draining its socket blocks
+        // only this thread, and only `write_timeout_ms` per frame —
+        // combined with the fixed-capacity buffer below, a slow reader
+        // can pin at most one buffered frame of memory.
         let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(self.config.write_timeout_ms)));
         let Ok(read_half) = stream.try_clone() else {
             return;
         };
         let mut reader = BufReader::new(read_half);
-        let mut writer = BufWriter::new(stream);
+        let mut writer = BufWriter::with_capacity(64 * 1024, stream);
         let mut line = String::new();
         loop {
             match reader.read_line(&mut line) {
@@ -531,7 +708,13 @@ impl Server {
                     let frame = line.trim();
                     if !frame.is_empty() {
                         let out = self.handle_line(frame);
-                        if writeln!(writer, "{out}")
+                        // `server.socket.write`: chaos tests sever the
+                        // connection mid-response to prove that a frame
+                        // the client never saw still committed exactly
+                        // what it logged (at-most-once visibility,
+                        // exactly-once accounting).
+                        if dpcq_store::faults::check_fault("server.socket.write")
+                            .and_then(|()| writeln!(writer, "{out}"))
                             .and_then(|()| writer.flush())
                             .is_err()
                         {
@@ -573,9 +756,7 @@ impl Server {
         let Some(durability) = &self.durability else {
             return Ok(());
         };
-        let Ok(engine) = self.engine.write() else {
-            return Err("internal error: engine state poisoned".into());
-        };
+        let engine = self.engine.write().unwrap_or_else(PoisonError::into_inner);
         let result = durability.write_snapshot(
             self.budget.committed_spend_snapshot(),
             engine.export_image(),
@@ -617,6 +798,7 @@ fn finite(v: f64) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpcq::noise::{RawAnswer, SmoothCauchyMechanism};
     use dpcq::SensitivityMethod;
 
     fn sym_db() -> Database {
@@ -635,6 +817,7 @@ mod tests {
                 default_epsilon: 1.0,
                 default_budget: budget,
                 seed: Some(42),
+                ..ServerConfig::default()
             },
         )
     }
@@ -646,6 +829,7 @@ mod tests {
             query: query.into(),
             method: SensitivityMethod::Residual,
             epsilon,
+            deadline_ms: None,
         })
     }
 
@@ -838,6 +1022,7 @@ mod tests {
                 default_epsilon: 1.0,
                 default_budget: f64::INFINITY,
                 seed: Some(99),
+                ..ServerConfig::default()
             },
         );
         let q_r_text = "Q(*) :- R(x,y), R(y,z)";
@@ -954,6 +1139,7 @@ mod tests {
             query: query.into(),
             method: SensitivityMethod::Residual,
             epsilon: Some(epsilon),
+            deadline_ms: None,
         };
         // Interleaved shapes; distinct ε so nothing is answer-cached.
         let batch = Request::Batch {
@@ -1023,6 +1209,196 @@ mod tests {
         assert!(server.is_shut_down());
     }
 
+    fn overload_stats(server: &Server) -> OverloadStats {
+        let stats = server.handle(Request::Stats { id: None });
+        let Response::Stats { overload, .. } = stats else {
+            panic!("{stats:?}")
+        };
+        overload
+    }
+
+    fn gated_server(config: ServerConfig) -> Server {
+        Server::new(
+            PrivateEngine::new(sym_db(), Policy::all_private(), 1.0).with_threads(1),
+            config,
+        )
+    }
+
+    #[test]
+    fn admission_gate_caps_slots_and_cost_and_releases_on_drop() {
+        let server = gated_server(ServerConfig {
+            max_inflight_releases: 2,
+            max_server_cost: Some(10),
+            seed: Some(1),
+            ..ServerConfig::default()
+        });
+        let p1 = server.try_admit(6).expect("idle gate admits");
+        assert!(
+            server.try_admit(6).is_none(),
+            "6 + 6 exceeds the server cost ceiling"
+        );
+        let p2 = server.try_admit(4).expect("6 + 4 fits exactly");
+        assert!(server.try_admit(0).is_none(), "both slots are taken");
+        drop(p1);
+        let p3 = server.try_admit(1).expect("slot and cost freed by drop");
+        drop(p2);
+        drop(p3);
+        assert_eq!(server.overload.inflight.load(Ordering::SeqCst), 0);
+        assert_eq!(server.overload.inflight_cost.load(Ordering::SeqCst), 0);
+        // An idle gate admits even an over-ceiling request: the server
+        // ceiling throttles concurrency, it never starves the server.
+        let huge = server
+            .try_admit(u128::MAX)
+            .expect("idle gate admits anything");
+        drop(huge);
+        assert_eq!(server.overload.inflight_cost.load(Ordering::SeqCst), 0);
+    }
+
+    /// Tentpole: a saturated server sheds fresh work with a retryable
+    /// frame — before any ε moves — while the replay tier keeps
+    /// answering everything already published (invariants O1 and O3).
+    #[test]
+    fn saturated_server_sheds_fresh_work_but_still_replays_from_cache() {
+        let server = gated_server(ServerConfig {
+            max_inflight_releases: 0,
+            seed: Some(7),
+            ..ServerConfig::default()
+        });
+        let shed = server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+        let Response::Overloaded { retry_after_ms, .. } = shed else {
+            panic!("{shed:?}")
+        };
+        assert_eq!(retry_after_ms, 100);
+        assert_eq!(server.budget().spent("p"), 0.0, "shedding moved no ε");
+        // Stand-in for answers published before saturation: seed the
+        // release cache under the exact key the handler derives.
+        let q = parse_query(TRIANGLE).unwrap();
+        let stamp = server
+            .engine()
+            .read_set_stamp(&q, SensitivityMethod::Residual);
+        let key = ReleaseKey::new(&q.to_string(), SensitivityMethod::Residual, 0.5, stamp);
+        let mut rng = StdRng::seed_from_u64(3);
+        let published = SmoothCauchyMechanism::new(0.5).release(RawAnswer::new(12), 3.0, &mut rng);
+        server.cache.put(key, published);
+        let replay = server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+        let Response::Release {
+            release,
+            cached: true,
+            ..
+        } = replay
+        else {
+            panic!("{replay:?}")
+        };
+        assert_eq!(release, published, "replay tier answers bit-identically");
+        assert_eq!(server.budget().spent("p"), 0.0, "replay is free");
+        let overload = overload_stats(&server);
+        assert_eq!(overload.shed_requests, 1);
+        assert_eq!(overload.inflight, 0);
+    }
+
+    #[test]
+    fn over_ceiling_request_is_cost_rejected_before_any_spend() {
+        let server = gated_server(ServerConfig {
+            max_request_cost: Some(0),
+            seed: Some(7),
+            ..ServerConfig::default()
+        });
+        let r = server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+        assert!(matches!(r, Response::Overloaded { .. }), "{r:?}");
+        assert_eq!(server.budget().spent("p"), 0.0);
+        let overload = overload_stats(&server);
+        assert_eq!(overload.cost_rejected, 1);
+        assert_eq!(overload.shed_requests, 0, "cost rejection is not a shed");
+    }
+
+    #[test]
+    fn expired_deadline_times_out_refunds_and_the_retry_succeeds() {
+        let server = test_server(1.0);
+        let timed_out = |id: i64| {
+            Request::Release(ReleaseRequest {
+                id: Some(id),
+                principal: "p".into(),
+                query: TRIANGLE.into(),
+                method: SensitivityMethod::Residual,
+                epsilon: Some(0.5),
+                deadline_ms: Some(0),
+            })
+        };
+        let r = server.handle(timed_out(1));
+        let Response::Error { id, error } = r else {
+            panic!("{r:?}")
+        };
+        assert_eq!(id, Some(1));
+        assert!(error.contains("timed out"), "{error}");
+        assert_eq!(server.budget().spent("p"), 0.0, "timeout refunded in full");
+        assert_eq!(overload_stats(&server).deadline_timeouts, 1);
+        // The same query without a deadline completes and spends: the
+        // timeout left the server fully serviceable.
+        let ok = server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+        assert!(
+            matches!(ok, Response::Release { cached: false, .. }),
+            "{ok:?}"
+        );
+        assert!((server.budget().spent("p") - 0.5).abs() < 1e-9);
+    }
+
+    /// Satellite 3: a handler that panics while holding the engine
+    /// *write* lock poisons it; the next request must recover the lock
+    /// (validation-before-mutation means nothing is torn), answer, and
+    /// spend — one panicked request never bricks the server.
+    #[test]
+    fn poisoned_engine_lock_recovers_and_the_next_release_spends() {
+        let server = test_server(1.0);
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = server.engine.write().unwrap();
+            panic!("handler panicked mid-request");
+        }));
+        assert!(poisoned.is_err());
+        assert!(
+            server.engine.is_poisoned(),
+            "the write-guard panic poisoned"
+        );
+        let ok = server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+        assert!(
+            matches!(ok, Response::Release { cached: false, .. }),
+            "{ok:?}"
+        );
+        assert!((server.budget().spent("p") - 0.5).abs() < 1e-9);
+        // Mutations recover too.
+        let upd = server.handle(Request::Insert {
+            id: None,
+            relation: "Edge".into(),
+            tuple: vec![70, 71],
+        });
+        assert!(
+            matches!(upd, Response::Updated { changed: true, .. }),
+            "{upd:?}"
+        );
+    }
+
+    /// The `server.lock.rng` failpoint sits between the ε reservation
+    /// and the commit: firing it must refund exactly the reserved ε,
+    /// and the next (unfaulted) request must succeed.
+    #[test]
+    fn injected_fault_between_reservation_and_commit_refunds() {
+        dpcq_store::faults::with_exclusive(|| {
+            let server = test_server(1.0);
+            dpcq_store::faults::arm_failpoint("server.lock.rng");
+            let r = server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+            let Response::Error { error, .. } = r else {
+                panic!("{r:?}")
+            };
+            assert!(error.contains("injected fault"), "{error}");
+            assert_eq!(server.budget().spent("p"), 0.0, "reservation refunded");
+            let ok = server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+            assert!(
+                matches!(ok, Response::Release { cached: false, .. }),
+                "{ok:?}"
+            );
+            assert!((server.budget().spent("p") - 0.5).abs() < 1e-9);
+        });
+    }
+
     fn temp_data_dir(tag: &str) -> std::path::PathBuf {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -1037,6 +1413,7 @@ mod tests {
                 default_epsilon: 1.0,
                 default_budget: budget,
                 seed: Some(42),
+                ..ServerConfig::default()
             },
             dir,
         )

@@ -1,0 +1,295 @@
+//! Deterministic failpoint chaos suite (the tentpole's acceptance
+//! test): a durable in-process server runs a serving script while one
+//! injected fault fires at every audited site × every hit ordinal, and
+//! after every single run the accounting identities must hold *exactly*:
+//!
+//! * `spent == budget − remaining` for every principal — no ε leaked,
+//!   none double-spent, no reservation stranded by the fault;
+//! * reopening the data directory restores the committed spend
+//!   **bit-for-bit** (failed WAL appends are void: the record the
+//!   client never got an answer for is not replayed as a debit);
+//! * every release the client *did* see acknowledged replays from the
+//!   recovered cache bit-identically at zero additional ε.
+//!
+//! A seeded proptest then sweeps random scripts × random fault
+//! schedules over the same invariants. The `failpoints` cargo feature
+//! reaches this binary through the dev-dependency on `dpcq-store`, so
+//! the sites are live here while `cargo build --release` compiles them
+//! to constants.
+
+use dpcq::prelude::*;
+use dpcq_server::{Request, Response, Server, ServerConfig};
+use dpcq_store::faults;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+const Q_EDGE: &str = "Q(*) :- Edge(x,y)";
+const Q_PATH: &str = "Q(*) :- Edge(x,y), Edge(y,z)";
+const TRIANGLE: &str =
+    "Q(*) :- Edge(x1,x2), Edge(x2,x3), Edge(x1,x3), x1 != x2, x2 != x3, x1 != x3";
+const BUDGET: f64 = 100.0;
+
+fn sym_db() -> Database {
+    let mut db = Database::new();
+    for (u, v) in [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4)] {
+        db.insert_tuple("Edge", &[Value(u), Value(v)]);
+        db.insert_tuple("Edge", &[Value(v), Value(u)]);
+    }
+    db
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("dpcq-chaos-{}-{tag}-{n}", std::process::id()))
+}
+
+fn durable_server(dir: &Path) -> Server {
+    Server::recover(
+        PrivateEngine::new(sym_db(), Policy::all_private(), 1.0).with_threads(1),
+        ServerConfig {
+            default_budget: BUDGET,
+            seed: Some(11),
+            ..ServerConfig::default()
+        },
+        dir,
+    )
+    .expect("recover")
+}
+
+/// One step of a serving script.
+#[derive(Clone, Debug)]
+enum Op {
+    Release { query: &'static str, epsilon: f64 },
+    Insert(i64, i64),
+    Remove(i64, i64),
+    Snapshot,
+}
+
+fn release_req(query: &str, epsilon: f64) -> Request {
+    Request::Release(dpcq_server::ReleaseRequest {
+        id: None,
+        principal: "p".into(),
+        query: query.into(),
+        method: dpcq::SensitivityMethod::Residual,
+        epsilon: Some(epsilon),
+        deadline_ms: None,
+    })
+}
+
+/// An acknowledged (fresh, committed) release the client saw.
+#[derive(Clone, Debug)]
+struct Acked {
+    query: &'static str,
+    epsilon: f64,
+    value_bits: u64,
+}
+
+/// Runs `script` against `server`, returning the still-cache-live
+/// releases the client saw acknowledged and the total ε all
+/// acknowledgements debit. Injected faults surface as error frames —
+/// fine; the ledger only owes what was acknowledged. An *effective*
+/// mutation (`changed: true`) bumps the Edge version and invalidates
+/// every earlier cached answer (all script queries read Edge), so those
+/// entries leave the replay set but stay in the debt.
+fn run_script(server: &Server, script: &[Op]) -> (Vec<Acked>, f64) {
+    let mut acked: Vec<Acked> = Vec::new();
+    let mut owed = 0.0f64;
+    for op in script {
+        match *op {
+            Op::Release { query, epsilon } => {
+                let resp = server.handle(release_req(query, epsilon));
+                if let Response::Release {
+                    release, cached, ..
+                } = resp
+                {
+                    if !cached {
+                        owed += epsilon;
+                        acked.push(Acked {
+                            query,
+                            epsilon,
+                            value_bits: release.value.get().to_bits(),
+                        });
+                    }
+                }
+            }
+            Op::Insert(u, v) => {
+                let resp = server.handle(Request::Insert {
+                    id: None,
+                    relation: "Edge".into(),
+                    tuple: vec![u, v],
+                });
+                if matches!(resp, Response::Updated { changed: true, .. }) {
+                    acked.clear();
+                }
+            }
+            Op::Remove(u, v) => {
+                let resp = server.handle(Request::Remove {
+                    id: None,
+                    relation: "Edge".into(),
+                    tuple: vec![u, v],
+                });
+                if matches!(resp, Response::Updated { changed: true, .. }) {
+                    acked.clear();
+                }
+            }
+            Op::Snapshot => {
+                // May fail under an injected snapshot.rename fault; the
+                // WAL still carries everything (the server logs and
+                // keeps serving).
+                let _ = server.snapshot();
+            }
+        }
+    }
+    (acked, owed)
+}
+
+/// The exact-accounting invariant: no leak, no double spend, ledger
+/// algebra closed.
+fn assert_accounting(server: &Server, owed: f64, context: &str) {
+    let spent = server.budget().spent("p");
+    let remaining = server.budget().remaining("p");
+    assert!(
+        (spent - owed).abs() < 1e-9,
+        "{context}: spent {spent} != acknowledged {owed}"
+    );
+    assert!(
+        (spent - (BUDGET - remaining)).abs() < 1e-9,
+        "{context}: spent {spent} != budget - remaining {}",
+        BUDGET - remaining
+    );
+}
+
+/// Recovery invariants: bit-exact spend restoration and bit-identical
+/// zero-ε replay of everything acknowledged.
+fn assert_recovery(dir: &Path, pre_spent_bits: u64, acked: &[Acked], context: &str) {
+    let server = durable_server(dir);
+    let spent = server.budget().spent("p");
+    assert_eq!(
+        spent.to_bits(),
+        pre_spent_bits,
+        "{context}: recovered spend must equal the committed spend bit-for-bit"
+    );
+    for a in acked {
+        let resp = server.handle(release_req(a.query, a.epsilon));
+        let Response::Release {
+            release,
+            cached: true,
+            ..
+        } = resp
+        else {
+            panic!("{context}: acked release {a:?} must replay from cache, got {resp:?}");
+        };
+        assert_eq!(
+            release.value.get().to_bits(),
+            a.value_bits,
+            "{context}: replay of {a:?} must be bit-identical"
+        );
+    }
+    assert_eq!(
+        server.budget().spent("p").to_bits(),
+        pre_spent_bits,
+        "{context}: replays are free"
+    );
+}
+
+/// The fixed serving script the exhaustive sweep drives: enough WAL
+/// appends (two mutations + four fresh releases), an explicit snapshot,
+/// and a post-snapshot release so every audited site has hits to fault.
+fn sweep_script() -> Vec<Op> {
+    vec![
+        Op::Release {
+            query: Q_EDGE,
+            epsilon: 0.25,
+        },
+        Op::Insert(9, 10),
+        Op::Release {
+            query: TRIANGLE,
+            epsilon: 0.5,
+        },
+        Op::Snapshot,
+        Op::Release {
+            query: Q_PATH,
+            epsilon: 0.125,
+        },
+        Op::Remove(9, 10),
+        Op::Release {
+            query: Q_EDGE,
+            epsilon: 0.75,
+        },
+    ]
+}
+
+/// Fail at every audited site × every hit ordinal of the fixed script.
+/// `MAX_ORDINAL` comfortably exceeds the script's hit count per site,
+/// so late ordinals double as fault-free control runs.
+#[test]
+fn every_site_and_ordinal_preserves_exact_accounting_and_recovery() {
+    const SITES: &[&str] = &[
+        "wal.append.write",
+        "wal.append.fsync",
+        "snapshot.rename",
+        "server.lock.rng",
+    ];
+    const MAX_ORDINAL: u64 = 8;
+    for site in SITES {
+        for nth in 1..=MAX_ORDINAL {
+            faults::with_exclusive(|| {
+                let context = format!("site `{site}` hit {nth}");
+                let dir = temp_dir("sweep");
+                let server = durable_server(&dir);
+                faults::arm_failpoint_nth(site, nth);
+                let (acked, owed) = run_script(&server, &sweep_script());
+                assert_accounting(&server, owed, &context);
+                let pre_spent_bits = server.budget().spent("p").to_bits();
+                drop(server);
+                // Recovery itself must see no faults: the schedule dies
+                // with the run it sabotaged.
+                faults::clear_failpoints();
+                assert_recovery(&dir, pre_spent_bits, &acked, &context);
+                std::fs::remove_dir_all(&dir).ok();
+            });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random serving scripts × seeded random fault schedules: the same
+    /// accounting and recovery invariants, off the beaten path.
+    #[test]
+    fn random_scripts_survive_seeded_fault_schedules(
+        steps in prop::collection::vec((0u8..6, 0u8..4, 0u8..16), 3..12),
+        fault_seed in 0u64..1_000,
+        one_in in 2u64..6,
+    ) {
+        faults::with_exclusive(|| {
+            let script: Vec<Op> = steps
+                .iter()
+                .map(|&(kind, qi, t)| match kind {
+                    0..=2 => Op::Release {
+                        query: [Q_EDGE, Q_PATH, TRIANGLE][(qi % 3) as usize],
+                        // Distinct dyadic ε per step index so repeats of a
+                        // query may be cache hits (same ε) or fresh work.
+                        epsilon: 0.25 + f64::from(qi) / 8.0,
+                    },
+                    3 => Op::Insert(i64::from(t) + 20, i64::from(t) + 21),
+                    4 => Op::Remove(i64::from(t) + 20, i64::from(t) + 21),
+                    _ => Op::Snapshot,
+                })
+                .collect();
+            let dir = temp_dir("prop");
+            let server = durable_server(&dir);
+            faults::seed_failpoints(fault_seed, one_in);
+            let (acked, owed) = run_script(&server, &script);
+            assert_accounting(&server, owed, "random script");
+            let pre_spent_bits = server.budget().spent("p").to_bits();
+            drop(server);
+            faults::clear_failpoints();
+            assert_recovery(&dir, pre_spent_bits, &acked, "random script");
+            std::fs::remove_dir_all(&dir).ok();
+        });
+    }
+}

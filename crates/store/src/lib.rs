@@ -20,8 +20,14 @@
 //!
 //! The crate knows nothing about queries, budgets, or caches: payloads are
 //! opaque bytes. `dpcq-server` defines the record schema on top.
+//!
+//! Under the `failpoints` cargo feature (test builds only — it is wired
+//! through dev-dependencies), [`faults`] provides named deterministic
+//! failure-injection sites in the WAL and snapshot paths so chaos tests
+//! can prove the accounting survives every mid-operation fault.
 
 pub mod codec;
+pub mod faults;
 pub mod snapshot;
 pub mod wal;
 

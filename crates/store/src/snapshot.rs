@@ -28,6 +28,7 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
         f.write_all(bytes)?;
         f.sync_all()?;
     }
+    crate::faults::check_fault("snapshot.rename")?;
     fs::rename(&tmp, path)?;
     if let Some(dir) = path.parent() {
         // Persist the rename in the directory entry. Opening a directory
@@ -68,6 +69,23 @@ mod tests {
     fn absent_snapshot_reads_as_none() {
         let path = temp_path("absent");
         assert_eq!(read_optional(&path).unwrap(), None);
+    }
+
+    #[test]
+    fn failed_rename_preserves_the_previous_snapshot() {
+        let path = temp_path("failpoint");
+        write_atomic(&path, b"old image").unwrap();
+        crate::faults::with_exclusive(|| {
+            crate::faults::arm_failpoint("snapshot.rename");
+            let e = write_atomic(&path, b"new image").unwrap_err();
+            assert!(e.to_string().contains("snapshot.rename"), "{e}");
+        });
+        // The target still holds the old image, whole.
+        assert_eq!(read_optional(&path).unwrap().unwrap(), b"old image");
+        // And a later attempt succeeds.
+        write_atomic(&path, b"new image").unwrap();
+        assert_eq!(read_optional(&path).unwrap().unwrap(), b"new image");
+        fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -114,6 +114,11 @@ impl Wal {
 
     /// Appends one record and `fsync`s it. Returns the assigned sequence
     /// number. The record is durable when this returns `Ok`.
+    ///
+    /// On `Err` the append is *void*: the file is rolled back to its
+    /// pre-append length (best effort), so a failed write or fsync never
+    /// leaves a record behind that the caller refused to acknowledge,
+    /// and the sequence number is not consumed.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
         let seq = self.next_seq;
         let mut record = Vec::with_capacity(HEADER + payload.len());
@@ -123,12 +128,30 @@ impl Wal {
         body.extend_from_slice(payload);
         record.extend_from_slice(&crc32(&body).to_le_bytes());
         record.extend_from_slice(&body);
-        self.file.write_all(&record)?;
-        self.file.sync_data()?;
+        if let Err(e) = self.write_record(&record) {
+            // Void the append: without the rollback, a record whose
+            // fsync failed could survive in the page cache and replay a
+            // debit whose response was an error, or a half-written one
+            // could make the *next* append's bytes unparseable.
+            let _ = self.file.set_len(self.bytes);
+            let _ = self.file.seek(SeekFrom::Start(self.bytes));
+            let _ = self.file.sync_data();
+            return Err(e);
+        }
         self.next_seq += 1;
         self.records += 1;
         self.bytes += record.len() as u64;
         Ok(seq)
+    }
+
+    /// The fallible body of [`Wal::append`]: write, then fsync, with a
+    /// failpoint site ahead of each (`wal.append.write`,
+    /// `wal.append.fsync`) so chaos tests can fail either step.
+    fn write_record(&mut self, record: &[u8]) -> io::Result<()> {
+        crate::faults::check_fault("wal.append.write")?;
+        self.file.write_all(record)?;
+        crate::faults::check_fault("wal.append.fsync")?;
+        self.file.sync_data()
     }
 
     /// Discards every record (after the caller has snapshotted them).
@@ -292,6 +315,38 @@ mod tests {
         let (_, rec) = Wal::open(&path).unwrap();
         assert_eq!(rec.records.len(), 1);
         assert_eq!(rec.records[0].seq, 3);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_append_is_void_and_the_log_stays_usable() {
+        let path = temp_path("failpoint");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"durable one").unwrap();
+
+        crate::faults::with_exclusive(|| {
+            // Fail the fsync: bytes may have been written, but the
+            // append must roll them back and not consume the seq.
+            crate::faults::arm_failpoint("wal.append.fsync");
+            let e = wal.append(b"never acknowledged").unwrap_err();
+            assert!(e.to_string().contains("wal.append.fsync"), "{e}");
+            assert_eq!(wal.records(), 1);
+            assert_eq!(wal.next_seq(), 2);
+
+            // Fail the write outright too.
+            crate::faults::arm_failpoint("wal.append.write");
+            wal.append(b"also dropped").unwrap_err();
+            assert_eq!(crate::faults::fault_hits("wal.append.write"), 2);
+        });
+
+        // The log is intact and appends keep working with dense seqs.
+        wal.append(b"durable two").unwrap();
+        let (_, rec) = Wal::open(&path).unwrap();
+        assert!(!rec.truncated_tail);
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[0].payload, b"durable one");
+        assert_eq!(rec.records[1].payload, b"durable two");
+        assert_eq!(rec.records[1].seq, 2);
         fs::remove_file(&path).unwrap();
     }
 

@@ -563,6 +563,59 @@ mod tests {
     }
 
     #[test]
+    fn overload_shaped_frames_round_trip() {
+        // The overload-control surface: the retryable shed frame a
+        // client's back-off loop keys on, and the nested `overload`
+        // counter object in stats. Pinned at the wire layer so neither
+        // the `overloaded` marker nor `retry_after_ms` can be silently
+        // dropped or retyped.
+        let shed = Json::obj([
+            ("ok", Json::Bool(false)),
+            (
+                "error",
+                Json::Str("server overloaded; retry after 100 ms".into()),
+            ),
+            ("overloaded", Json::Bool(true)),
+            ("retry_after_ms", Json::Int(100)),
+        ]);
+        let line = shed.render_compact();
+        assert!(!line.contains('\n'));
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed, shed);
+        assert_eq!(parsed.get("overloaded").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            parsed.get("retry_after_ms").and_then(Json::as_i128),
+            Some(100)
+        );
+
+        let stats = Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("stats".into())),
+            (
+                "overload",
+                Json::obj([
+                    ("shed_requests", Json::Int(9)),
+                    ("deadline_timeouts", Json::Int(2)),
+                    ("cost_rejected", Json::Int(5)),
+                    ("inflight", Json::Int(1)),
+                ]),
+            ),
+        ]);
+        let parsed = Json::parse(&stats.render_compact()).unwrap();
+        assert_eq!(parsed, stats);
+        let overload = parsed.get("overload").unwrap();
+        assert_eq!(
+            overload.get("shed_requests").and_then(Json::as_i128),
+            Some(9)
+        );
+        assert_eq!(
+            overload.get("deadline_timeouts").and_then(Json::as_i128),
+            Some(2)
+        );
+        assert_eq!(Json::parse(&stats.render()).unwrap(), stats);
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(Json::parse("").is_err());
         assert!(Json::parse("{").is_err());

@@ -87,6 +87,7 @@ fn test_server() -> Server {
             default_epsilon: 0.05,
             default_budget: BUDGET,
             seed: Some(2022),
+            ..ServerConfig::default()
         },
     )
 }

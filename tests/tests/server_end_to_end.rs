@@ -74,6 +74,7 @@ fn serving_story_over_a_real_socket() {
             default_epsilon: 1.0,
             default_budget: 1.25,
             seed: Some(7),
+            ..ServerConfig::default()
         },
     ));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
@@ -204,6 +205,7 @@ fn cross_relation_retention_over_a_real_socket() {
             default_epsilon: 1.0,
             default_budget: f64::INFINITY,
             seed: Some(77),
+            ..ServerConfig::default()
         },
     ));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
@@ -302,6 +304,7 @@ fn determinism_across_identical_servers() {
                 default_epsilon: 1.0,
                 default_budget: f64::INFINITY,
                 seed: Some(1234),
+                ..ServerConfig::default()
             },
         ));
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
@@ -344,6 +347,7 @@ fn batched_releases_share_the_family_store() {
             default_epsilon: 1.0,
             default_budget: 2.0,
             seed: Some(5),
+            ..ServerConfig::default()
         },
     );
     let frame = format!(

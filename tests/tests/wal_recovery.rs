@@ -75,6 +75,7 @@ fn recover(dir: &Path, seed: u64) -> Server {
             default_epsilon: 1.0,
             default_budget: f64::INFINITY,
             seed: Some(seed),
+            ..ServerConfig::default()
         },
         dir,
     )
@@ -183,6 +184,7 @@ fn check_recovery(dir: &Path, expected: &Checkpoint, context: &str) {
             query: QUERIES[query].into(),
             method: SensitivityMethod::Residual,
             epsilon: Some(f64::from_bits(eps_bits)),
+            deadline_ms: None,
         }));
         let Response::Release {
             release,
@@ -274,6 +276,7 @@ proptest! {
                         query: QUERIES[query].into(),
                         method: SensitivityMethod::Residual,
                         epsilon: Some(epsilon),
+                        deadline_ms: None,
                     }));
                     let Response::Release { release, .. } = resp else {
                         panic!("{resp:?}")
