@@ -33,8 +33,17 @@
 //! comparable across hosts; the run aborts if scoping ever fails to beat
 //! wholesale on cache hits.
 //!
+//! The `serving` section times the same deterministic serving script
+//! end-to-end through `Server::handle` and records this build's
+//! `obs_enabled` flag. `--overhead PATH` skips benching, re-times the
+//! serving script under the current build, and hard-fails if its median
+//! exceeds the artifact at `PATH` by more than 3% — the CI gate that an
+//! instrumented (`obs`) build stays within budget of a compiled-out
+//! (`--no-default-features`) baseline.
+//!
 //! Usage: `bench_json [--quick] [--threads N] [--reps N] [--seed N]
-//! [--out PATH] [--check] [--baseline PATH] [--compare PATH]`.
+//! [--out PATH] [--check] [--baseline PATH] [--compare PATH]
+//! [--overhead PATH]`.
 //!
 //! Each workload entry embeds its `tracked_floors` (speedup floors).
 //! `--check` compares a fresh run against the floors committed in
@@ -240,6 +249,7 @@ fn run_cache_script(engine: PrivateEngine, rounds: usize) -> CacheRun {
             method: SensitivityMethod::Residual,
             epsilon: Some(0.5),
             deadline_ms: None,
+            trace: false,
         }));
         assert!(
             matches!(resp, Response::Release { .. }),
@@ -401,6 +411,52 @@ fn cache_section(quick: bool, seed: u64, table: &mut Table) -> Json {
     ])
 }
 
+/// The telemetry overhead budget enforced by `--overhead`: an
+/// instrumented serving build may cost at most 3% over compiled-out.
+const OBS_OVERHEAD_BUDGET: f64 = 1.03;
+
+/// The `serving` section: the deterministic mutation serving script the
+/// cache section uses, timed end-to-end through `Server::handle` for
+/// `reps` repetitions. Its median is what the `--overhead` gate compares
+/// between an instrumented (`obs`) and a compiled-out build — every
+/// stage span, counter bump and gauge update in the request lifecycle
+/// sits on this path.
+fn serving_section(quick: bool, seed: u64, reps: usize, table: Option<&mut Table>) -> Json {
+    let rounds = if quick { 6 } else { 16 };
+    let (nodes, edges) = if quick { (60, 200) } else { (120, 600) };
+    let times: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let db = two_relation_db(&mut StdRng::seed_from_u64(seed), nodes, edges);
+            let engine = PrivateEngine::new(db, Policy::all_private(), 1.0).with_threads(1);
+            run_cache_script(engine, rounds).elapsed
+        })
+        .collect();
+    let med = median_ns(&times);
+    if let Some(table) = table {
+        table.row(vec![
+            "serving_overhead_probe".to_string(),
+            (2 * (rounds + 1)).to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            fmt_secs(Duration::from_nanos(med as u64)),
+            "-".to_string(),
+            format!("obs={}", cfg!(feature = "obs")),
+            "-".to_string(),
+        ]);
+    }
+    Json::obj([
+        (
+            "workload",
+            Json::Str("two_relation_mutation_serving".into()),
+        ),
+        ("reps", Json::Int(reps as i128)),
+        ("rounds", Json::Int(rounds as i128)),
+        ("median_ns", Json::Int(med as i128)),
+        ("obs_enabled", Json::Bool(cfg!(feature = "obs"))),
+    ])
+}
+
 /// `(subset, value)` pairs in family order, for cross-strategy checking.
 type Values = Vec<(Vec<usize>, u128)>;
 
@@ -508,6 +564,59 @@ fn main() {
             std::process::exit(1);
         }
         println!("check: all tracked floors hold");
+        return;
+    }
+
+    // Overhead gate: re-time the serving script under this build and
+    // compare its median against the artifact at PATH (a compiled-out
+    // baseline run). Hard budget: OBS_OVERHEAD_BUDGET on the median.
+    if let Some(base_path) = args.get("overhead") {
+        let base = load_json(base_path, "overhead baseline");
+        let base_serving = base
+            .get("serving")
+            .unwrap_or_else(|| panic!("baseline `{base_path}` has no `serving` section"));
+        let base_ns = base_serving
+            .get("median_ns")
+            .and_then(Json::as_i128)
+            .expect("baseline serving.median_ns");
+        let base_obs = base_serving
+            .get("obs_enabled")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        if base_obs || !cfg!(feature = "obs") {
+            eprintln!(
+                "warning: overhead gate expects a compiled-out baseline and an \
+                 instrumented fresh build (baseline obs_enabled={base_obs}, \
+                 fresh obs_enabled={})",
+                cfg!(feature = "obs")
+            );
+        }
+        let quick = args.has("quick");
+        let reps = args.get_usize("reps", if quick { 5 } else { 7 });
+        let seed = args.get_usize("seed", 42) as u64;
+        let fresh = serving_section(quick, seed, reps, None);
+        let fresh_ns = fresh
+            .get("median_ns")
+            .and_then(Json::as_i128)
+            .expect("fresh serving median");
+        let ratio = fresh_ns as f64 / base_ns.max(1) as f64;
+        println!(
+            "overhead: serving median {fresh_ns} ns (obs={}) vs baseline {base_ns} ns \
+             (obs={base_obs}): {ratio:.3}x",
+            cfg!(feature = "obs")
+        );
+        if ratio > OBS_OVERHEAD_BUDGET {
+            eprintln!(
+                "OVERHEAD CHECK FAILED: {ratio:.3}x > {OBS_OVERHEAD_BUDGET:.2}x \
+                 budget — telemetry is taxing the serving path"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "overhead: telemetry tax {:.1}% within the {:.0}% budget",
+            (ratio - 1.0) * 100.0,
+            (OBS_OVERHEAD_BUDGET - 1.0) * 100.0
+        );
         return;
     }
 
@@ -621,6 +730,7 @@ fn main() {
     }
 
     let cache = cache_section(quick, seed, &mut table);
+    let serving = serving_section(quick, seed, reps, Some(&mut table));
 
     let doc = Json::obj([
         ("schema", Json::Str("dpcq-bench-te/v3".to_string())),
@@ -630,6 +740,7 @@ fn main() {
         ("host_parallelism", Json::Int(default_threads() as i128)),
         ("seed", Json::Int(seed as i128)),
         ("alloc_counting", Json::Bool(dpcq_bench::ALLOC_COUNTING)),
+        ("obs_enabled", Json::Bool(cfg!(feature = "obs"))),
         (
             "baseline",
             Json::Str(
@@ -641,6 +752,7 @@ fn main() {
         ),
         ("workloads", Json::Arr(entries)),
         ("cache", cache),
+        ("serving", serving),
     ]);
     std::fs::write(&out_path, doc.render()).expect("write benchmark artifact");
     println!("{}", table.render());

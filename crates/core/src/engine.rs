@@ -465,9 +465,11 @@ impl PrivateEngine {
         let mut caches = self.caches.lock().expect("family cache lock poisoned");
         if let Some(entry) = caches.get(&key) {
             if entry.cache.is_valid_for(&stamp) {
+                dpcq_obs::cache_access(dpcq_obs::CacheKind::Shape, true);
                 return Arc::clone(&entry.cache);
             }
         }
+        dpcq_obs::cache_access(dpcq_obs::CacheKind::Shape, false);
         let cache = Arc::new(FamilyCache::for_stamp(stamp));
         if caches.len() >= MAX_QUERY_CACHES && !caches.contains_key(&key) {
             return cache;

@@ -1,0 +1,13 @@
+//! FIXTURE (metrics_leak), half two: an instrumentation site passes an
+//! exact count into the telemetry registry. This file stands in for
+//! `crates/core/src/engine.rs`, which is *allowed* to name `RawAnswer`
+//! (R1 whitelist) — so the only thing standing between the count and a
+//! Prometheus scrape is the R6 call-site rule, which must flag the
+//! flow below.
+
+pub fn release(q: &str) -> f64 {
+    let raw = evaluate(q);
+    // Planted violation: the un-noised count, exported as a "metric".
+    dpcq_obs::observe_stage_ns(dpcq_obs::Stage::Sample, RawAnswer::new(raw).count() as u64);
+    noise(raw)
+}

@@ -1,0 +1,14 @@
+#![deny(unsafe_code)]
+//! FIXTURE (metrics_leak), half one: the telemetry crate grows an API
+//! that names the released type. Even storing a post-DP value in the
+//! registry breaks the P1 contract (telemetry is timings, counts and
+//! ε totals only) — and naming the type is the first step. `dpa check
+//! --root …/metrics_leak` must flag both uses below (rule R6) and exit
+//! non-zero.
+
+pub struct Released(pub f64);
+
+pub fn record_answer(v: Released) {
+    // Planted violation: an answer value headed for a metric.
+    let _ = v.0;
+}

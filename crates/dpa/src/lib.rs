@@ -15,9 +15,13 @@
 //!    path cannot panic past a reservation). In durable serving code R2
 //!    also requires the WAL append *before* the commit, so a crash can
 //!    never forget a debit whose answer already shipped.
+//! 3. **Telemetry carries no data** — metrics and traces record
+//!    timings, counts and ε totals only. Enforced by rule R6: the
+//!    taint types are unnameable in the telemetry crate, and no
+//!    `dpcq_obs::` call site may pass an answer-derived identifier.
 //!
 //! The analyzer is deliberately boring: a ~300-line lexer
-//! ([`lexer`]), a rule table ([`rules::TOKEN_RULES`]), and four
+//! ([`lexer`]), a rule table ([`rules::TOKEN_RULES`]), and five
 //! structural passes. No `syn`, no dependencies — it must keep working
 //! in the same offline sandbox the rest of the workspace builds in.
 //! See `docs/INVARIANTS.md` for the rule catalogue and the precision
@@ -99,6 +103,7 @@ pub fn run_check(root: &Path) -> io::Result<Vec<Violation>> {
         rules::check_reserve_discipline(&file.rel, &stripped, &mut violations);
         rules::check_reserve_commit_pairing(&file.rel, &stripped, &mut violations);
         rules::check_wal_before_commit(&file.rel, &stripped, &mut violations);
+        rules::check_obs_call_taint(&file.rel, &stripped, &mut violations);
     }
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(violations)

@@ -49,7 +49,7 @@ fn main() -> ExitCode {
 
     match dpa::run_check(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("dpa: workspace clean (R1–R5 hold)");
+            println!("dpa: workspace clean (R1–R6 hold)");
             ExitCode::SUCCESS
         }
         Ok(violations) => {

@@ -28,6 +28,12 @@
 //!   cargo feature is enabled only through dev-dependencies, so release
 //!   builds compile the probes to constants — R5 guards the remaining
 //!   gap: non-test code growing an arming call or an unreviewed site.
+//! * **R6 (telemetry taint)** — observability records timings, counts
+//!   and ε totals, never data. The telemetry crate (`crates/obs/`) may
+//!   not even *name* `RawAnswer` or `Released`, and at every
+//!   instrumentation site a `dpcq_obs::…(…)` call's arguments must be
+//!   free of both identifiers — the lexical shadow of the type-level
+//!   rule that no answer-derived value flows into a metric or trace.
 //!
 //! Rules are *lexical approximations*, chosen so that idiomatic
 //! compliant code never trips them (see `docs/INVARIANTS.md` for the
@@ -137,6 +143,11 @@ const REQUEST_PATH: &[&str] = &[
 /// allocation-counting `GlobalAlloc` shim.
 const UNSAFE_ALLOWED: &[&str] = &["crates/relation/src/fxhash.rs", "crates/bench/"];
 
+/// The telemetry crate (R6): timings, counts and ε totals only — the
+/// taint types must be unnameable here, so not even a `Debug` format of
+/// an answer can reach a metric label or trace entry.
+const OBS_CRATE: &[&str] = &["crates/obs/"];
+
 /// The one module that may arm, seed, or clear failpoints (R5). Tests
 /// arm them too, but test code is stripped before scanning; integration
 /// tests under `crates/*/tests/` are outside the scan set entirely.
@@ -152,9 +163,10 @@ const FAILPOINT_SITES_ALLOWED: &[&str] = &[
     "crates/server/src/server.rs",
 ];
 
-/// The whole rule table. `dpa check` is this data plus four structural
+/// The whole rule table. `dpa check` is this data plus five structural
 /// passes ([`check_reserve_discipline`], [`check_reserve_commit_pairing`],
-/// [`check_wal_before_commit`], [`check_deny_unsafe_attr`]).
+/// [`check_wal_before_commit`], [`check_deny_unsafe_attr`],
+/// [`check_obs_call_taint`]).
 pub const TOKEN_RULES: &[TokenRule] = &[
     TokenRule {
         id: "R1",
@@ -282,6 +294,22 @@ pub const TOKEN_RULES: &[TokenRule] = &[
         scope: Scope::Except(UNSAFE_ALLOWED),
         message: "`unsafe` is allowed only in relation::fxhash and the \
                   bench allocation shim",
+    },
+    TokenRule {
+        id: "R6",
+        ident: "RawAnswer",
+        matcher: Matcher::Ident,
+        scope: Scope::Only(OBS_CRATE),
+        message: "the telemetry crate must not name `RawAnswer`: metrics \
+                  and traces record timings, counts and ε totals only (P1)",
+    },
+    TokenRule {
+        id: "R6",
+        ident: "Released",
+        matcher: Matcher::Ident,
+        scope: Scope::Only(OBS_CRATE),
+        message: "the telemetry crate must not name `Released`: metrics \
+                  and traces record timings, counts and ε totals only (P1)",
     },
 ];
 
@@ -485,6 +513,82 @@ pub fn check_wal_before_commit(file: &str, tokens: &[Token], out: &mut Vec<Viola
     }
 }
 
+/// R6, call-site half: at every instrumentation point, the arguments of
+/// a `dpcq_obs::…(…)` call must not contain the `RawAnswer` or
+/// `Released` identifiers. The registry's API takes only enums and
+/// plain integers, so compliant call sites never need either name —
+/// an appearance means someone is deriving a metric or trace value
+/// from an answer (e.g. `dpcq_obs::observe_stage_ns(s, raw.count())`
+/// spelled through the taint type), which R6 exists to forbid.
+///
+/// Lexical approximation: find `dpcq_obs ::`, walk to the first `(` of
+/// that call expression, and scan the balanced-paren argument region
+/// for the tainted identifiers. Values laundered through a local
+/// binding first are caught by the type-level taint (`RawAnswer` has no
+/// numeric accessors outside the whitelisted modules) plus R1.
+pub fn check_obs_call_taint(file: &str, tokens: &[Token], out: &mut Vec<Violation>) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let pathy = tokens[i].is_ident("dpcq_obs")
+            && next_is_punct(tokens, i, ':')
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'));
+        if !pathy {
+            i += 1;
+            continue;
+        }
+        // Walk the path segments to this call's opening paren; a
+        // statement boundary first means a non-call use (imports,
+        // type positions) — out of scope.
+        let mut j = i + 3;
+        let open = loop {
+            match tokens.get(j) {
+                None => break None,
+                Some(t) if t.is_punct('(') => break Some(j),
+                Some(t)
+                    if t.is_punct(';')
+                        || t.is_punct('{')
+                        || t.is_punct('}')
+                        || t.is_punct(',')
+                        || t.is_punct(')') =>
+                {
+                    break None;
+                }
+                Some(_) => j += 1,
+            }
+        };
+        let Some(open) = open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut k = open;
+        while let Some(t) = tokens.get(k) {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("RawAnswer") || t.is_ident("Released") {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: "R6",
+                    message: format!(
+                        "`{}` flows into a `dpcq_obs::` call: telemetry records \
+                         timings, counts and ε totals, never answer-derived \
+                         values (P1–P3)",
+                        t.text
+                    ),
+                });
+            }
+            k += 1;
+        }
+        i = k.max(i + 1);
+    }
+}
+
 /// `(fn keyword, open brace, close brace)` token indices of every `fn`
 /// with a body. The opening brace is the first `{` at bracket depth zero
 /// after the signature (skipping parenthesized args and any bracketed
@@ -585,6 +689,7 @@ mod tests {
         check_reserve_discipline(file, &tokens, &mut out);
         check_reserve_commit_pairing(file, &tokens, &mut out);
         check_wal_before_commit(file, &tokens, &mut out);
+        check_obs_call_taint(file, &tokens, &mut out);
         out
     }
 
@@ -823,6 +928,54 @@ mod tests {
             violations_in("crates/core/src/engine.rs", gate)[0].rule,
             "R5"
         );
+    }
+
+    #[test]
+    fn r6_obs_crate_must_not_name_taint_types() {
+        let raw = "pub fn snoop(r: &RawAnswer) -> u64 { 0 }";
+        let v = violations_in("crates/obs/src/lib.rs", raw);
+        assert!(v.iter().any(|v| v.rule == "R6"), "{v:?}");
+
+        let rel = "pub fn label(v: Released) {}";
+        let v = violations_in("crates/obs/src/hist.rs", rel);
+        assert!(v.iter().any(|v| v.rule == "R6"), "{v:?}");
+
+        // Outside the telemetry crate, *typing* a Released value is
+        // ordinary post-processing — R6's name ban does not apply.
+        assert!(violations_in("crates/server/src/cache.rs", rel)
+            .iter()
+            .all(|v| v.rule != "R6"));
+    }
+
+    #[test]
+    fn r6_tainted_values_cannot_flow_into_telemetry_calls() {
+        // `crates/core/src/engine.rs` may name RawAnswer (R1 whitelist),
+        // so the only finding here is the R6 call-site flow.
+        let leak = "fn f(q: &Query) { \
+                    dpcq_obs::observe_stage_ns(dpcq_obs::Stage::Sample, \
+                    RawAnswer::new(3).count() as u64); }";
+        let v = violations_in("crates/core/src/engine.rs", leak);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "R6");
+        assert!(v[0].message.contains("RawAnswer"), "{}", v[0].message);
+
+        // `Released` laundered into a telemetry argument is flagged even
+        // where the identifier itself is otherwise legal.
+        let rel = "fn g(v: f64) { dpcq_obs::emit(Released::get(&v)); }";
+        let v = violations_in("crates/server/src/cache.rs", rel);
+        assert!(v.iter().any(|v| v.rule == "R6"), "{v:?}");
+
+        // Compliant instrumentation — enums and integers — is clean,
+        // including nested `dpcq_obs::` paths in argument position.
+        let clean = "fn f() { \
+                     let _s = dpcq_obs::Span::enter(dpcq_obs::Stage::Sample); \
+                     dpcq_obs::observe_stage_ns(dpcq_obs::Stage::Flush, 12); \
+                     dpcq_obs::cache_access(dpcq_obs::CacheKind::Release, true); }";
+        assert!(violations_in("crates/core/src/engine.rs", clean).is_empty());
+
+        // Non-call uses of the path (imports, types) are out of scope.
+        let import = "use dpcq_obs::Stage; fn f(s: dpcq_obs::Trace) {}";
+        assert!(violations_in("crates/core/src/engine.rs", import).is_empty());
     }
 
     #[test]

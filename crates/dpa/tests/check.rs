@@ -112,6 +112,26 @@ fn request_unwrap_fixture_fails_in_the_server_path() {
 }
 
 #[test]
+fn metrics_leak_fixture_fails_in_both_halves() {
+    let out = dpa_check(&fixture("metrics_leak"));
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    let r6: Vec<&str> = text.lines().filter(|l| l.contains("[R6]")).collect();
+    // The obs crate naming `Released` (twice) and the engine flowing a
+    // `RawAnswer` into a `dpcq_obs::` call.
+    assert!(r6.len() >= 3, "{text}");
+    assert!(
+        r6.iter().any(|l| l.starts_with("crates/obs/src/lib.rs:")),
+        "{text}"
+    );
+    assert!(
+        r6.iter()
+            .any(|l| l.starts_with("crates/core/src/engine.rs:") && l.contains("RawAnswer")),
+        "{text}"
+    );
+}
+
+#[test]
 fn missing_deny_fixture_fails_on_attr_and_unsafe() {
     let out = dpa_check(&fixture("missing_deny"));
     assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));

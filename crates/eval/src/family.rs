@@ -163,10 +163,15 @@ impl FactorStore {
         let shard = self.shard(&sig);
         if let Some(f) = shard.lock().expect("factor cache lock poisoned").get(&sig) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            dpcq_obs::cache_access(dpcq_obs::CacheKind::Factor, true);
             return Arc::clone(f);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let f = Arc::new(compute());
+        dpcq_obs::cache_access(dpcq_obs::CacheKind::Factor, false);
+        let f = {
+            let _span = dpcq_obs::Span::enter(dpcq_obs::Stage::FactorBuild);
+            Arc::new(compute())
+        };
         let mut guard = shard.lock().expect("factor cache lock poisoned");
         Arc::clone(guard.entry(sig).or_insert(f))
     }
@@ -364,8 +369,10 @@ impl<'e> FamilyEvaluator<'e> {
             .get(&key)
         {
             self.cache.value_hits.fetch_add(1, Ordering::Relaxed);
+            dpcq_obs::cache_access(dpcq_obs::CacheKind::Value, true);
             return Ok(v);
         }
+        dpcq_obs::cache_access(dpcq_obs::CacheKind::Value, false);
         let v = self.ev.t_e_memo(Some(&self.cache.store), subset)?;
         self.cache
             .values
@@ -437,7 +444,9 @@ impl<'e> FamilyEvaluator<'e> {
             Mutex::new(vec![None; classes.len()]);
         if threads <= 1 {
             for &ci in &order {
-                cancel.check()?;
+                cancel.check().inspect_err(|_| {
+                    dpcq_obs::inc_event(dpcq_obs::Event::CancelTrip);
+                })?;
                 let v = self.t_e_keyed(class_keys[ci].clone(), subsets[classes[ci][0]]);
                 results.lock().expect("result lock poisoned")[ci] = Some(v);
             }
@@ -457,6 +466,7 @@ impl<'e> FamilyEvaluator<'e> {
                         if k >= order.len() {
                             break;
                         }
+                        dpcq_obs::inc_event(dpcq_obs::Event::WorkSteal);
                         let ci = order[k];
                         let v = self.t_e_keyed(class_keys[ci].clone(), subsets[classes[ci][0]]);
                         results.lock().expect("result lock poisoned")[ci] = Some(v);
@@ -470,7 +480,10 @@ impl<'e> FamilyEvaluator<'e> {
         for (ci, members) in classes.iter().enumerate() {
             // A `None` slot means a worker observed the cancellation after
             // this class was handed out but before anyone evaluated it.
-            let v = results[ci].clone().ok_or(EvalError::Cancelled)??;
+            let v = results[ci]
+                .clone()
+                .ok_or(EvalError::Cancelled)
+                .inspect_err(|_| dpcq_obs::inc_event(dpcq_obs::Event::CancelTrip))??;
             for &m in members {
                 value_of[m] = Some(v);
             }

@@ -1,0 +1,340 @@
+//! Prometheus text exposition (format version 0.0.4) of a registry
+//! [`Snapshot`].
+//!
+//! Series names and label sets are fixed at compile time — every label
+//! value comes from an enum's `name()` — so the exposition can never
+//! carry a query-dependent string (invariant P1). Durations are
+//! exported in seconds, the convention Prometheus histograms expect.
+
+use crate::Snapshot;
+use std::fmt::Write;
+
+/// Formats a nanosecond quantity as seconds for a sample value or an
+/// `le` label (`1000 ns` → `"0.000001"`, `u64::MAX` → `"+Inf"`).
+fn secs(ns: u64) -> String {
+    if ns == u64::MAX {
+        "+Inf".to_string()
+    } else {
+        format!("{}", ns as f64 / 1e9)
+    }
+}
+
+/// Renders `snapshot` in Prometheus text format. Every registered
+/// series appears, zeros included, so scrapes see a stable shape.
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+
+    let _ = writeln!(
+        w,
+        "# HELP dpcq_uptime_seconds Seconds since the telemetry registry came up."
+    );
+    let _ = writeln!(w, "# TYPE dpcq_uptime_seconds gauge");
+    let _ = writeln!(w, "dpcq_uptime_seconds {}", snapshot.uptime_ms as f64 / 1e3);
+
+    let _ = writeln!(
+        w,
+        "# HELP dpcq_requests_total Wire requests received, by op."
+    );
+    let _ = writeln!(w, "# TYPE dpcq_requests_total counter");
+    for (op, n) in &snapshot.requests {
+        let _ = writeln!(w, "dpcq_requests_total{{op=\"{op}\"}} {n}");
+    }
+
+    let _ = writeln!(
+        w,
+        "# HELP dpcq_errors_total Requests answered with an error frame."
+    );
+    let _ = writeln!(w, "# TYPE dpcq_errors_total counter");
+    let _ = writeln!(w, "dpcq_errors_total {}", snapshot.errors_total);
+
+    let _ = writeln!(
+        w,
+        "# HELP dpcq_cache_hits_total Cache lookups answered from the cache, by kind."
+    );
+    let _ = writeln!(w, "# TYPE dpcq_cache_hits_total counter");
+    for c in &snapshot.caches {
+        let _ = writeln!(
+            w,
+            "dpcq_cache_hits_total{{cache=\"{}\"}} {}",
+            c.name, c.hits
+        );
+    }
+    let _ = writeln!(
+        w,
+        "# HELP dpcq_cache_misses_total Cache lookups that were not, by kind."
+    );
+    let _ = writeln!(w, "# TYPE dpcq_cache_misses_total counter");
+    for c in &snapshot.caches {
+        let _ = writeln!(
+            w,
+            "dpcq_cache_misses_total{{cache=\"{}\"}} {}",
+            c.name, c.misses
+        );
+    }
+
+    let _ = writeln!(w, "# HELP dpcq_events_total Counted serving events.");
+    let _ = writeln!(w, "# TYPE dpcq_events_total counter");
+    for (event, n) in &snapshot.events {
+        let _ = writeln!(w, "dpcq_events_total{{event=\"{event}\"}} {n}");
+    }
+
+    for (gauge, v) in &snapshot.gauges {
+        let _ = writeln!(w, "# HELP dpcq_{gauge} Current {gauge} gauge.");
+        let _ = writeln!(w, "# TYPE dpcq_{gauge} gauge");
+        let _ = writeln!(w, "dpcq_{gauge} {v}");
+    }
+
+    let _ = writeln!(
+        w,
+        "# HELP dpcq_epsilon_spent_total Cumulative committed privacy budget."
+    );
+    let _ = writeln!(w, "# TYPE dpcq_epsilon_spent_total counter");
+    let _ = writeln!(w, "dpcq_epsilon_spent_total {}", snapshot.epsilon_spent);
+
+    let _ = writeln!(
+        w,
+        "# HELP dpcq_stage_seconds Request-lifecycle stage latency."
+    );
+    let _ = writeln!(w, "# TYPE dpcq_stage_seconds histogram");
+    for s in &snapshot.stages {
+        for &(bound, cum) in &s.cumulative {
+            let _ = writeln!(
+                w,
+                "dpcq_stage_seconds_bucket{{stage=\"{}\",le=\"{}\"}} {cum}",
+                s.stage,
+                secs(bound)
+            );
+        }
+        let _ = writeln!(
+            w,
+            "dpcq_stage_seconds_sum{{stage=\"{}\"}} {}",
+            s.stage,
+            s.sum_ns as f64 / 1e9
+        );
+        let _ = writeln!(
+            w,
+            "dpcq_stage_seconds_count{{stage=\"{}\"}} {}",
+            s.stage, s.count
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::{CacheCounters, StageSnapshot};
+    use std::collections::HashMap;
+
+    /// One parsed sample line: series name, sorted labels, value text.
+    struct Sample {
+        name: String,
+        labels: Vec<(String, String)>,
+        value: f64,
+    }
+
+    fn is_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    /// A strict parser for the subset of the exposition format this
+    /// crate emits; panics (failing the test) on anything malformed.
+    fn parse(text: &str) -> Vec<Sample> {
+        let mut samples = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# ") {
+                let (kind, body) = rest.split_once(' ').expect("comment has a body");
+                assert!(kind == "HELP" || kind == "TYPE", "unknown comment {line:?}");
+                let (name, tail) = body.split_once(' ').expect("comment names a series");
+                assert!(is_name(name), "bad series name in {line:?}");
+                if kind == "TYPE" {
+                    assert!(
+                        ["counter", "gauge", "histogram"].contains(&tail),
+                        "bad type in {line:?}"
+                    );
+                }
+                continue;
+            }
+            assert!(!line.trim().is_empty(), "blank line in exposition");
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            let value: f64 = if value == "+Inf" {
+                f64::INFINITY
+            } else {
+                value
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad value in {line:?}"))
+            };
+            let (name, labels) = match series.split_once('{') {
+                None => (series.to_string(), Vec::new()),
+                Some((name, rest)) => {
+                    let inner = rest.strip_suffix('}').expect("labels close");
+                    let labels = inner
+                        .split(',')
+                        .map(|pair| {
+                            let (k, v) = pair.split_once('=').expect("label has a value");
+                            let v = v
+                                .strip_prefix('"')
+                                .and_then(|v| v.strip_suffix('"'))
+                                .expect("label value is quoted");
+                            assert!(is_name(k), "bad label name in {line:?}");
+                            assert!(
+                                !v.contains(['"', '\\', '\n']),
+                                "unescaped label value in {line:?}"
+                            );
+                            (k.to_string(), v.to_string())
+                        })
+                        .collect();
+                    (name.to_string(), labels)
+                }
+            };
+            assert!(is_name(&name), "bad series name in {line:?}");
+            samples.push(Sample {
+                name,
+                labels,
+                value,
+            });
+        }
+        samples
+    }
+
+    /// Beyond per-line syntax: every histogram series must have
+    /// non-decreasing cumulative buckets ending at `+Inf`, with the
+    /// `+Inf` bucket equal to its `_count`.
+    fn assert_well_formed(text: &str) {
+        let samples = parse(text);
+        assert!(!samples.is_empty());
+        let mut buckets: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+        let mut counts: HashMap<String, f64> = HashMap::new();
+        for s in &samples {
+            let stage = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "stage")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            if s.name == "dpcq_stage_seconds_bucket" {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| {
+                        if v == "+Inf" {
+                            f64::INFINITY
+                        } else {
+                            v.parse().unwrap()
+                        }
+                    })
+                    .expect("bucket has le");
+                buckets.entry(stage).or_default().push((le, s.value));
+            } else if s.name == "dpcq_stage_seconds_count" {
+                counts.insert(stage, s.value);
+            }
+        }
+        assert_eq!(buckets.len(), counts.len());
+        for (stage, series) in &buckets {
+            assert!(
+                series
+                    .windows(2)
+                    .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+                "stage {stage}: buckets out of order or non-monotone"
+            );
+            let (le, last) = *series.last().unwrap();
+            assert_eq!(le, f64::INFINITY, "stage {stage}: missing +Inf bucket");
+            assert_eq!(
+                Some(&last),
+                counts.get(stage),
+                "stage {stage}: +Inf ≠ _count"
+            );
+        }
+    }
+
+    fn stage_snapshot(stage: &'static str, samples: &[u64]) -> StageSnapshot {
+        let h = Histogram::new();
+        for &ns in samples {
+            h.observe_ns(ns);
+        }
+        let s = h.snapshot();
+        StageSnapshot {
+            stage,
+            count: s.count(),
+            sum_ns: s.sum_ns,
+            cumulative: s.cumulative(),
+        }
+    }
+
+    fn populated() -> Snapshot {
+        Snapshot {
+            uptime_ms: 12_500,
+            requests: vec![("release", 41), ("stats", 2)],
+            errors_total: 3,
+            caches: vec![
+                CacheCounters {
+                    name: "release",
+                    hits: 7,
+                    misses: 4,
+                },
+                CacheCounters {
+                    name: "factor",
+                    hits: 100,
+                    misses: 25,
+                },
+            ],
+            events: vec![("shed", 0), ("work_steal", 9)],
+            gauges: vec![("inflight", 2), ("connections", 5)],
+            epsilon_spent: 3.75,
+            stages: vec![
+                stage_snapshot("prepare", &[900, 40_000, 40_000, 7_000_000]),
+                stage_snapshot("sample", &[1_500]),
+                stage_snapshot("flush", &[]),
+            ],
+        }
+    }
+
+    #[test]
+    fn exposition_parses_back_for_every_registered_series() {
+        let text = render_prometheus(&populated());
+        assert_well_formed(&text);
+        assert!(text.contains("dpcq_requests_total{op=\"release\"} 41"));
+        assert!(text.contains("dpcq_cache_hits_total{cache=\"release\"} 7"));
+        assert!(text.contains("dpcq_errors_total 3"));
+        assert!(text.contains("dpcq_epsilon_spent_total 3.75"));
+        assert!(text.contains("dpcq_uptime_seconds 12.5"));
+        assert!(text.contains("dpcq_inflight 2"));
+        assert!(text.contains("dpcq_stage_seconds_bucket{stage=\"prepare\",le=\"0.000001\"} 1"));
+        assert!(text.contains("dpcq_stage_seconds_bucket{stage=\"prepare\",le=\"+Inf\"} 4"));
+        assert!(text.contains("dpcq_stage_seconds_count{stage=\"prepare\"} 4"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_well_formed() {
+        assert_well_formed(&render_prometheus(&Snapshot::default()));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn live_registry_exposition_is_well_formed() {
+        crate::inc_request(crate::Op::Release);
+        crate::observe_stage_ns(crate::Stage::Prepare, 123_456);
+        crate::add_epsilon_spent(0.5);
+        let text = crate::prometheus_text();
+        assert_well_formed(&text);
+        for series in [
+            "dpcq_requests_total",
+            "dpcq_errors_total",
+            "dpcq_cache_hits_total",
+            "dpcq_cache_misses_total",
+            "dpcq_events_total",
+            "dpcq_epsilon_spent_total",
+            "dpcq_stage_seconds_bucket",
+        ] {
+            assert!(text.contains(series), "missing {series}:\n{text}");
+        }
+    }
+}

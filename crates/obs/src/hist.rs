@@ -1,0 +1,225 @@
+//! Fixed log-bucket latency histograms.
+//!
+//! A histogram is an array of atomic bucket counters plus an atomic
+//! nanosecond sum — no locks, no allocation after construction, and a
+//! single `fetch_add` pair per observation, so it is safe to put on the
+//! hottest serving paths. Bucket bounds are fixed powers of two starting
+//! at 1 µs ([`Histogram::bound_ns`]): every histogram in the process
+//! shares the same bounds, which is what makes [`Histogram::merge_from`]
+//! a plain bucketwise addition (and therefore associative and
+//! commutative — the property the self-tests pin down).
+//!
+//! Observations record only *durations*. Nothing query- or
+//! data-dependent enters a histogram; see the crate docs for the
+//! telemetry-privacy contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of finite bucket bounds: `1 µs · 2^i` for `i in 0..BUCKETS`
+/// (the top finite bound is ≈ 33.6 s); one extra overflow slot catches
+/// everything above it.
+pub const BUCKETS: usize = 26;
+
+/// A fixed-bound log-bucket histogram of nanosecond durations.
+#[derive(Debug)]
+pub struct Histogram {
+    /// `counts[i]` observations fell in `(bound(i-1), bound(i)]`;
+    /// `counts[BUCKETS]` is the overflow (`+Inf`) slot.
+    counts: [AtomicU64; BUCKETS + 1],
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The `i`-th finite upper bound in nanoseconds: `1000 · 2^i`.
+    pub const fn bound_ns(i: usize) -> u64 {
+        1000u64 << i
+    }
+
+    /// The bucket index an observation of `ns` lands in (the smallest
+    /// bound that contains it, or the overflow slot).
+    fn index(ns: u64) -> usize {
+        let mut i = 0;
+        while i < BUCKETS && ns > Self::bound_ns(i) {
+            i += 1;
+        }
+        i
+    }
+
+    /// Records one duration.
+    pub fn observe_ns(&self, ns: u64) {
+        self.counts[Self::index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Adds every bucket and the sum of `other` into `self`. Sound
+    /// because all histograms share the same fixed bounds.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter().zip(&other.counts) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters. Buckets and sum are read
+    /// individually (telemetry tolerates a snapshot racing an
+    /// observation); the total count is derived from the buckets, so
+    /// `count == cumulative +Inf` holds by construction.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of one [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) counts, `BUCKETS + 1` entries with
+    /// the overflow slot last.
+    pub counts: Vec<u64>,
+    /// Sum of every observed duration, in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Prometheus-style cumulative buckets: `(upper bound in ns,
+    /// observations ≤ bound)` pairs, finite bounds first, then the
+    /// `+Inf` slot encoded as `u64::MAX`. Cumulative counts are
+    /// non-decreasing and the last equals [`HistogramSnapshot::count`].
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut running = 0u64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                running += c;
+                let bound = if i < BUCKETS {
+                    Histogram::bound_ns(i)
+                } else {
+                    u64::MAX
+                };
+                (bound, running)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bounds_double_from_one_microsecond() {
+        assert_eq!(Histogram::bound_ns(0), 1_000);
+        assert_eq!(Histogram::bound_ns(1), 2_000);
+        assert_eq!(Histogram::bound_ns(10), 1_024_000);
+        assert!(Histogram::bound_ns(BUCKETS - 1) > 30_000_000_000);
+    }
+
+    #[test]
+    fn observations_land_in_the_smallest_containing_bucket() {
+        let h = Histogram::new();
+        h.observe_ns(0);
+        h.observe_ns(1_000); // exactly the first bound: inclusive
+        h.observe_ns(1_001); // just past it: next bucket
+        h.observe_ns(u64::MAX); // overflow slot
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 2);
+        assert_eq!(s.counts[1], 1);
+        assert_eq!(s.counts[BUCKETS], 1);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum_ns, 2_001u64.wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn cumulative_ends_at_the_total_count() {
+        let h = Histogram::new();
+        for ns in [10, 5_000, 5_000, 80_000_000, u64::MAX / 2] {
+            h.observe_ns(ns);
+        }
+        let s = h.snapshot();
+        let cum = s.cumulative();
+        assert_eq!(cum.len(), BUCKETS + 1);
+        assert_eq!(cum.last().unwrap(), &(u64::MAX, 5));
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+    }
+
+    fn from_samples(samples: &[u64]) -> Histogram {
+        let h = Histogram::new();
+        for &ns in samples {
+            h.observe_ns(ns);
+        }
+        h
+    }
+
+    proptest! {
+        #[test]
+        fn buckets_are_monotone_and_account_for_every_sample(
+            samples in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+        ) {
+            let s = from_samples(&samples).snapshot();
+            prop_assert_eq!(s.count(), samples.len() as u64);
+            prop_assert_eq!(s.sum_ns, samples.iter().sum::<u64>());
+            let cum = s.cumulative();
+            for w in cum.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1, "cumulative counts decrease");
+            }
+            prop_assert_eq!(cum.last().unwrap().1, s.count());
+        }
+
+        #[test]
+        fn merge_is_associative_and_commutative(
+            a in proptest::collection::vec(0u64..1u64 << 40, 0..32),
+            b in proptest::collection::vec(0u64..1u64 << 40, 0..32),
+            c in proptest::collection::vec(0u64..1u64 << 40, 0..32),
+        ) {
+            // (a ⊕ b) ⊕ c
+            let left = from_samples(&a);
+            left.merge_from(&from_samples(&b));
+            left.merge_from(&from_samples(&c));
+            // a ⊕ (b ⊕ c)
+            let bc = from_samples(&b);
+            bc.merge_from(&from_samples(&c));
+            let right = from_samples(&a);
+            right.merge_from(&bc);
+            prop_assert_eq!(left.snapshot(), right.snapshot());
+            // b ⊕ a
+            let swapped = from_samples(&b);
+            swapped.merge_from(&from_samples(&a));
+            let ab = from_samples(&a);
+            ab.merge_from(&from_samples(&b));
+            prop_assert_eq!(ab.snapshot(), swapped.snapshot());
+            // And a merge equals observing the concatenation directly.
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            all.extend_from_slice(&c);
+            prop_assert_eq!(left.snapshot(), from_samples(&all).snapshot());
+        }
+    }
+}

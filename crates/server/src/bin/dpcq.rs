@@ -83,11 +83,18 @@ SERVE OPTIONS (newline-delimited JSON over TCP; see the dpcq_server docs):
   --deadline-ms <int>   default evaluation deadline per release; a timed-out
                         release refunds its ε in full (default: none)
   --retry-after-ms <int>  back-off hint in `overloaded` frames (default 100)
+  --metrics-addr HOST:PORT  serve the telemetry registry as Prometheus text
+                        on a sidecar port (timings, counts and ε totals
+                        only — never query answers). Off by default.
+  --slow-ms <int>       log releases slower than this to stderr with their
+                        per-stage breakdown (default: off)
 
 REQUEST OPTIONS:
   --addr HOST:PORT      server address (default 127.0.0.1:4547)
   --json <object>       one request frame, e.g. '{\"op\":\"stats\"}'
                         exit: 0 on ok:true, 2 on ok:false, 1 on transport error
+  --trace               ask for a per-stage timing breakdown in the response
+                        (adds \"trace\":true to the frame; release ops only)
   --retry <int>         extra attempts (default 0) on `overloaded` frames and
                         transport errors, with jittered exponential back-off
                         seeded by the server's retry_after_ms hint. Safe to
@@ -316,6 +323,8 @@ fn serve_main(argv: &[String]) -> ExitCode {
             "max-cost",
             "deadline-ms",
             "retry-after-ms",
+            "metrics-addr",
+            "slow-ms",
         ],
         &[],
     ) {
@@ -381,6 +390,14 @@ fn serve_main(argv: &[String]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return fail(&e),
     };
+    let metrics_addr = flags.get("metrics-addr").map(str::to_string);
+    let slow_ms = match flags.get("slow-ms") {
+        None => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Some(ms),
+            Err(_) => return fail(&format!("bad --slow-ms value `{v}`")),
+        },
+    };
     let config = ServerConfig {
         default_epsilon,
         default_budget,
@@ -390,6 +407,8 @@ fn serve_main(argv: &[String]) -> ExitCode {
         max_request_cost,
         default_deadline_ms,
         retry_after_ms,
+        metrics_addr,
+        slow_ms,
         ..defaults
     };
     let server = match flags.get("data-dir") {
@@ -450,13 +469,29 @@ fn attempt_request(addr: &str, json: &str) -> Attempt {
 /// replays it bit-for-bit at zero additional ε. Either way the retry
 /// cannot double-spend; at worst it burns one cache lookup.
 fn request_main(argv: &[String]) -> ExitCode {
-    let flags = match Flags::parse(argv, &["addr", "json", "retry"], &[]) {
+    let flags = match Flags::parse(argv, &["addr", "json", "retry"], &["trace"]) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
     let Some(json) = flags.get("json") else {
         return fail("--json is required");
     };
+    // `--trace` injects `"trace":true` into the frame; the server echoes
+    // a per-stage timing breakdown (post-processing-safe: timings
+    // describe server work, never the released value).
+    let json = if flags.has("trace") {
+        match dpcq_wire::Json::parse(json) {
+            Ok(dpcq_wire::Json::Obj(mut fields)) => {
+                fields.retain(|(k, _)| k != "trace");
+                fields.push(("trace".to_string(), dpcq_wire::Json::Bool(true)));
+                dpcq_wire::Json::Obj(fields).render_compact()
+            }
+            _ => return fail("--trace requires --json to be a JSON object"),
+        }
+    } else {
+        json.to_string()
+    };
+    let json = json.as_str();
     let retries = match flags.get_parsed("retry", 0u32) {
         Ok(v) => v,
         Err(e) => return fail(&e),

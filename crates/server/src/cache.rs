@@ -144,6 +144,7 @@ impl ReleaseCache {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
+        dpcq_obs::cache_access(dpcq_obs::CacheKind::Release, out.is_some());
         out
     }
 
@@ -187,6 +188,7 @@ impl ReleaseCache {
         drop(map);
         self.scoped_misses.fetch_add(dropped, Ordering::Relaxed);
         self.scoped_hits.fetch_add(retained, Ordering::Relaxed);
+        dpcq_obs::cache_add(dpcq_obs::CacheKind::Scoped, retained, dropped);
     }
 
     /// Every live entry, for durability snapshots. Sorted by key fields

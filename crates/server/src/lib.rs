@@ -58,6 +58,7 @@
 pub mod budget;
 pub mod cache;
 pub mod durability;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 

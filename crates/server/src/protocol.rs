@@ -16,6 +16,7 @@
 //! {"op":"remove","relation":"Edge","tuple":[1,4]}
 //! {"op":"budget","principal":"alice"}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -24,7 +25,10 @@
 //! the server's configured default. `batch` accepts only `release`
 //! sub-requests (mutations order-depend; a batch is one unordered group).
 //! `release` may also carry `"deadline_ms"` (non-negative integer): a
-//! per-request evaluation deadline, overriding the server default.
+//! per-request evaluation deadline, overriding the server default — and
+//! `"trace": true` to request a per-stage timing breakdown in the
+//! response (timings are post-processing of the release decision, never
+//! of the data; see `docs/INVARIANTS.md` § Telemetry privacy).
 //!
 //! ## Responses
 //!
@@ -60,6 +64,12 @@
 //! all mutations so far, the release-cache entries retained vs. dropped
 //! by read-set-scoped invalidation (see the `cache` module — scoped hits
 //! are replayable answers a wholesale purge would have destroyed).
+//! `stats.requests_total` (per-op counts), `stats.errors_total`, and
+//! `stats.uptime_ms` are sourced from the telemetry registry and match
+//! the `metrics` op / Prometheus endpoint exactly; with telemetry
+//! compiled out they report zeros. The `metrics` op returns the whole
+//! registry snapshot as one JSON object (the same numbers the
+//! `--metrics-addr` endpoint renders as Prometheus text).
 
 use crate::durability::DurabilityStats;
 use dpcq::noise::Release;
@@ -101,6 +111,11 @@ pub struct ReleaseRequest {
     /// deadline has already passed — useful for deterministic timeout
     /// tests, and harmless in production since no ε moves on a timeout.
     pub deadline_ms: Option<u64>,
+    /// Whether the response should carry a per-stage timing breakdown
+    /// (`"trace"` field). Timings describe the server's work, not the
+    /// data: emitting them alongside a released value is post-processing
+    /// (invariant P3).
+    pub trace: bool,
 }
 
 /// A parsed protocol request.
@@ -143,6 +158,11 @@ pub enum Request {
     },
     /// Read server counters.
     Stats {
+        /// Client correlation id.
+        id: Option<i64>,
+    },
+    /// Read the full telemetry-registry snapshot.
+    Metrics {
         /// Client correlation id.
         id: Option<i64>,
     },
@@ -199,6 +219,11 @@ fn parse_release(obj: &Json) -> Result<ReleaseRequest, String> {
         }
         Some(_) => return Err("`deadline_ms` must be a non-negative integer".into()),
     };
+    let trace = match obj.get("trace") {
+        None | Some(Json::Null) => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err("`trace` must be a boolean".into()),
+    };
     Ok(ReleaseRequest {
         id: get_id(obj)?,
         principal,
@@ -206,6 +231,7 @@ fn parse_release(obj: &Json) -> Result<ReleaseRequest, String> {
         method,
         epsilon,
         deadline_ms,
+        trace,
     })
 }
 
@@ -273,6 +299,7 @@ impl Request {
                 principal: get_str(obj, "principal")?,
             }),
             "stats" => Ok(Request::Stats { id }),
+            "metrics" => Ok(Request::Metrics { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
             other => Err(format!("unknown op `{other}`")),
         }
@@ -297,6 +324,13 @@ pub enum Response {
         generation: u64,
         /// The principal's remaining ε (`None` = unmetered).
         remaining: Option<f64>,
+        /// Per-stage timing breakdown (`Some` only when the request asked
+        /// for one with `"trace": true`): `(stage name, µs)` in execution
+        /// order. Durations are server work measurements — publishing
+        /// them next to a released value is post-processing (invariant
+        /// P3). A cache replay traces only the stages it ran (admission
+        /// and evaluation are bypassed).
+        trace: Option<Vec<(&'static str, u64)>>,
     },
     /// Outcome of a mutation.
     Updated {
@@ -345,6 +379,14 @@ pub enum Response {
         cache_scoped_misses: u64,
         /// Principals with a budget ledger.
         principals: usize,
+        /// Requests handled so far, by op name — from the telemetry
+        /// registry (zeros with telemetry compiled out).
+        requests_total: Vec<(&'static str, u64)>,
+        /// Error responses produced so far (same source).
+        errors_total: u64,
+        /// Milliseconds since the registry was initialized (server
+        /// construction).
+        uptime_ms: u64,
         /// Durability counters (`None` when the server runs in-memory).
         /// Rendered as a nested `"durability"` object; the field is
         /// omitted entirely for in-memory servers so existing clients
@@ -361,6 +403,15 @@ pub enum Response {
         id: Option<i64>,
         /// Per-entry responses (release or error), in request order.
         responses: Vec<Response>,
+    },
+    /// The telemetry-registry snapshot, as one JSON object.
+    Metrics {
+        /// Echoed request id.
+        id: Option<i64>,
+        /// The registry rendered to JSON (counters, gauges, ε total,
+        /// per-stage histograms) — the same numbers the Prometheus
+        /// endpoint exposes as text.
+        metrics: Json,
     },
     /// Shutdown acknowledged.
     Shutdown {
@@ -417,9 +468,9 @@ impl Response {
                 cached,
                 generation,
                 remaining,
-            } => with_id(
-                *id,
-                vec![
+                trace,
+            } => {
+                let mut fields = vec![
                     field("ok", Json::Bool(true)),
                     field("op", Json::Str("release".into())),
                     // The only value the wire ever carries is a `Released`
@@ -433,8 +484,20 @@ impl Response {
                     field("cached", Json::Bool(*cached)),
                     field("generation", Json::Int(*generation as i128)),
                     field("remaining", opt_num(*remaining)),
-                ],
-            ),
+                ];
+                if let Some(stages) = trace {
+                    fields.push(field(
+                        "trace",
+                        Json::Obj(
+                            stages
+                                .iter()
+                                .map(|&(name, us)| (name.to_string(), Json::Int(us as i128)))
+                                .collect(),
+                        ),
+                    ));
+                }
+                with_id(*id, fields)
+            }
             Response::Updated {
                 id,
                 op,
@@ -476,6 +539,9 @@ impl Response {
                 cache_scoped_hits,
                 cache_scoped_misses,
                 principals,
+                requests_total,
+                errors_total,
+                uptime_ms,
                 durability,
                 overload,
             } => {
@@ -507,6 +573,17 @@ impl Response {
                         Json::Int(*cache_scoped_misses as i128),
                     ),
                     field("principals", Json::Int(*principals as i128)),
+                    field(
+                        "requests_total",
+                        Json::Obj(
+                            requests_total
+                                .iter()
+                                .map(|&(op, n)| (op.to_string(), Json::Int(n as i128)))
+                                .collect(),
+                        ),
+                    ),
+                    field("errors_total", Json::Int(*errors_total as i128)),
+                    field("uptime_ms", Json::Int(*uptime_ms as i128)),
                     field(
                         "overload",
                         Json::Obj(vec![
@@ -545,6 +622,14 @@ impl Response {
                         "responses",
                         Json::Arr(responses.iter().map(Response::to_json).collect()),
                     ),
+                ],
+            ),
+            Response::Metrics { id, metrics } => with_id(
+                *id,
+                vec![
+                    field("ok", Json::Bool(true)),
+                    field("op", Json::Str("metrics".into())),
+                    field("metrics", metrics.clone()),
                 ],
             ),
             Response::Shutdown { id } => with_id(
@@ -601,6 +686,7 @@ mod tests {
                 assert_eq!(r.method, SensitivityMethod::Residual);
                 assert_eq!(r.epsilon, None);
                 assert_eq!(r.deadline_ms, None);
+                assert!(!r.trace);
                 assert_eq!(r.query, "Q(*) :- Edge(x,y)");
             }
             other => panic!("{other:?}"),
@@ -610,7 +696,7 @@ mod tests {
     #[test]
     fn parses_release_with_everything() {
         let r = Request::parse_line(
-            r#"{"op":"release","query":"q","principal":"alice","method":"elastic","epsilon":0.5,"deadline_ms":250,"id":9}"#,
+            r#"{"op":"release","query":"q","principal":"alice","method":"elastic","epsilon":0.5,"deadline_ms":250,"trace":true,"id":9}"#,
         )
         .unwrap();
         match r {
@@ -620,6 +706,7 @@ mod tests {
                 assert_eq!(r.method, SensitivityMethod::Elastic);
                 assert_eq!(r.epsilon, Some(0.5));
                 assert_eq!(r.deadline_ms, Some(250));
+                assert!(r.trace);
             }
             other => panic!("{other:?}"),
         }
@@ -654,6 +741,10 @@ mod tests {
         assert_eq!(
             Request::parse_line(r#"{"op":"stats"}"#).unwrap(),
             Request::Stats { id: None }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op":"metrics","id":8}"#).unwrap(),
+            Request::Metrics { id: Some(8) }
         );
         assert_eq!(
             Request::parse_line(r#"{"op":"shutdown","id":1}"#).unwrap(),
@@ -697,6 +788,8 @@ mod tests {
             r#"{"op":"release","query":"q","deadline_ms":-5}"#,
             r#"{"op":"release","query":"q","deadline_ms":"fast"}"#,
             r#"{"op":"release","query":"q","deadline_ms":1.5}"#,
+            r#"{"op":"release","query":"q","trace":"yes"}"#,
+            r#"{"op":"release","query":"q","trace":1}"#,
             r#"{"op":"insert","relation":"R","tuple":[]}"#,
             r#"{"op":"insert","relation":"R","tuple":[1.5]}"#,
             r#"{"op":"insert","tuple":[1]}"#,
@@ -720,6 +813,7 @@ mod tests {
             cached: true,
             generation: 4,
             remaining: None,
+            trace: None,
         };
         let line = resp.render_line();
         assert!(!line.contains('\n'));
@@ -733,6 +827,7 @@ mod tests {
         assert_eq!(parsed.get("cached").and_then(Json::as_bool), Some(true));
         assert_eq!(parsed.get("generation").and_then(Json::as_i128), Some(4));
         assert_eq!(parsed.get("remaining"), Some(&Json::Null));
+        assert_eq!(parsed.get("trace"), None, "untraced frames stay unchanged");
 
         let err = Response::Error {
             id: None,
@@ -756,6 +851,9 @@ mod tests {
             cache_scoped_hits: 4,
             cache_scoped_misses: 1,
             principals: 2,
+            requests_total: vec![("release", 12), ("stats", 1)],
+            errors_total: 3,
+            uptime_ms: 4500,
             durability: None,
             overload: OverloadStats::default(),
         };
@@ -809,6 +907,9 @@ mod tests {
             cache_scoped_hits: 0,
             cache_scoped_misses: 0,
             principals: 0,
+            requests_total: vec![],
+            errors_total: 0,
+            uptime_ms: 0,
             overload: OverloadStats::default(),
             durability: Some(DurabilityStats {
                 wal_records: 12,
@@ -879,6 +980,9 @@ mod tests {
             cache_scoped_hits: 0,
             cache_scoped_misses: 0,
             principals: 0,
+            requests_total: vec![],
+            errors_total: 0,
+            uptime_ms: 0,
             durability: None,
             overload: OverloadStats {
                 shed_requests: 9,
@@ -907,6 +1011,82 @@ mod tests {
             Some(4),
             "exactly the documented overload counters"
         );
+    }
+
+    #[test]
+    fn stats_response_round_trips_the_telemetry_fields() {
+        let resp = Response::Stats {
+            id: None,
+            generation: 0,
+            relation_versions: vec![],
+            release_cache_entries: 0,
+            release_cache_hits: 0,
+            release_cache_misses: 0,
+            cache_scoped_hits: 0,
+            cache_scoped_misses: 0,
+            principals: 0,
+            requests_total: vec![("release", 12), ("insert", 2), ("stats", 1)],
+            errors_total: 3,
+            uptime_ms: 4500,
+            durability: None,
+            overload: OverloadStats::default(),
+        };
+        let parsed = Json::parse(&resp.render_line()).unwrap();
+        let requests = parsed.get("requests_total").expect("requests_total");
+        assert_eq!(requests.get("release").and_then(Json::as_i128), Some(12));
+        assert_eq!(requests.get("insert").and_then(Json::as_i128), Some(2));
+        assert_eq!(requests.get("stats").and_then(Json::as_i128), Some(1));
+        assert_eq!(
+            requests.entries().map(<[(String, Json)]>::len),
+            Some(3),
+            "exactly the reported ops"
+        );
+        assert_eq!(parsed.get("errors_total").and_then(Json::as_i128), Some(3));
+        assert_eq!(parsed.get("uptime_ms").and_then(Json::as_i128), Some(4500));
+    }
+
+    #[test]
+    fn traced_release_renders_stage_breakdown_in_order() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rel = SmoothCauchyMechanism::new(1.0).release(RawAnswer::new(12), 3.0, &mut rng);
+        let resp = Response::Release {
+            id: Some(3),
+            method: SensitivityMethod::Residual,
+            release: rel,
+            cached: false,
+            generation: 0,
+            remaining: None,
+            trace: Some(vec![("admission", 2), ("reserve", 1), ("prepare", 950)]),
+        };
+        let parsed = Json::parse(&resp.render_line()).unwrap();
+        let trace = parsed.get("trace").expect("trace section");
+        assert_eq!(trace.get("admission").and_then(Json::as_i128), Some(2));
+        assert_eq!(trace.get("prepare").and_then(Json::as_i128), Some(950));
+        let names: Vec<&str> = trace
+            .entries()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            ["admission", "reserve", "prepare"],
+            "execution order preserved"
+        );
+    }
+
+    #[test]
+    fn metrics_response_wraps_the_registry_object() {
+        let resp = Response::Metrics {
+            id: Some(11),
+            metrics: Json::Obj(vec![("errors_total".to_string(), Json::Int(0))]),
+        };
+        let parsed = Json::parse(&resp.render_line()).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(parsed.get("op").and_then(Json::as_str), Some("metrics"));
+        assert_eq!(parsed.get("id").and_then(Json::as_i128), Some(11));
+        let metrics = parsed.get("metrics").expect("metrics object");
+        assert_eq!(metrics.get("errors_total").and_then(Json::as_i128), Some(0));
     }
 
     #[test]

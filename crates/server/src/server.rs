@@ -88,6 +88,17 @@ pub struct ServerConfig {
     /// Socket write timeout: a client that stops draining its socket
     /// stalls only its own connection thread, and only this long.
     pub write_timeout_ms: u64,
+    /// `Some(host:port)` = serve the telemetry registry as Prometheus
+    /// text over plain HTTP from a sidecar thread while `serve` runs
+    /// (`dpcq serve --metrics-addr`). The endpoint exports timings,
+    /// counts, and ε totals only (invariants P1–P3).
+    pub metrics_addr: Option<String>,
+    /// `Some(n)` = log any release whose traced stages sum to ≥ `n`
+    /// milliseconds to stderr, with the per-stage breakdown. The line
+    /// includes the query text — analyst input that already crossed the
+    /// wire — and never any released value. Requires the default `obs`
+    /// feature (with telemetry compiled out no durations exist to sum).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +114,8 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             retry_after_ms: 100,
             write_timeout_ms: 10_000,
+            metrics_addr: None,
+            slow_ms: None,
         }
     }
 }
@@ -139,6 +152,7 @@ impl Drop for AdmissionPermit<'_> {
         self.overload
             .inflight_cost
             .fetch_sub(self.cost, Ordering::SeqCst);
+        dpcq_obs::gauge_add(dpcq_obs::GaugeId::Inflight, -1);
     }
 }
 
@@ -163,6 +177,9 @@ pub struct Server {
     /// The bound TCP address while `serve` runs (used to wake the accept
     /// loop on shutdown).
     bound: Mutex<Option<SocketAddr>>,
+    /// The metrics endpoint's bound address while `serve` runs with
+    /// `metrics_addr` configured (tests bind port 0 and read this).
+    metrics_bound: Mutex<Option<SocketAddr>>,
 }
 
 impl Server {
@@ -187,6 +204,8 @@ impl Server {
             Some(s) => StdRng::seed_from_u64(s),
             None => StdRng::from_entropy(),
         };
+        // Anchor the registry's uptime clock at server construction.
+        dpcq_obs::init();
         Server {
             engine: RwLock::new(engine),
             budget: BudgetAccountant::new(config.default_budget),
@@ -197,6 +216,7 @@ impl Server {
             overload: OverloadState::default(),
             shutdown: AtomicBool::new(false),
             bound: Mutex::new(None),
+            metrics_bound: Mutex::new(None),
         }
     }
 
@@ -308,6 +328,7 @@ impl Server {
     fn try_admit(&self, cost: u128) -> Option<AdmissionPermit<'_>> {
         let cost64 = u64::try_from(cost).unwrap_or(u64::MAX);
         let slots = self.overload.inflight.fetch_add(1, Ordering::SeqCst);
+        dpcq_obs::gauge_add(dpcq_obs::GaugeId::Inflight, 1);
         let in_cost = self
             .overload
             .inflight_cost
@@ -354,6 +375,22 @@ impl Server {
     }
 
     fn dispatch(&self, request: Request) -> Response {
+        dpcq_obs::inc_request(match &request {
+            Request::Release(_) => dpcq_obs::Op::Release,
+            Request::Batch { .. } => dpcq_obs::Op::Batch,
+            Request::Insert { .. } => dpcq_obs::Op::Insert,
+            Request::Remove { .. } => dpcq_obs::Op::Remove,
+            Request::Budget { .. } => dpcq_obs::Op::Budget,
+            Request::Stats { .. } => dpcq_obs::Op::Stats,
+            Request::Metrics { .. } => dpcq_obs::Op::Metrics,
+            Request::Shutdown { .. } => dpcq_obs::Op::Shutdown,
+        });
+        let response = self.dispatch_request(request);
+        count_error_frames(&response);
+        response
+    }
+
+    fn dispatch_request(&self, request: Request) -> Response {
         match request {
             Request::Release(r) => {
                 let engine = self.read_engine();
@@ -403,6 +440,10 @@ impl Server {
                 let engine = self.read_engine();
                 let (hits, misses) = self.cache.counters();
                 let (scoped_hits, scoped_misses) = self.cache.scoped_counters();
+                // Telemetry-sourced fields come from the same registry
+                // snapshot the `metrics` op and the Prometheus endpoint
+                // read, so the three surfaces always agree.
+                let obs = dpcq_obs::snapshot();
                 Response::Stats {
                     id,
                     generation: engine.generation(),
@@ -413,6 +454,9 @@ impl Server {
                     cache_scoped_hits: scoped_hits,
                     cache_scoped_misses: scoped_misses,
                     principals: self.budget.num_principals(),
+                    requests_total: obs.requests,
+                    errors_total: obs.errors_total,
+                    uptime_ms: obs.uptime_ms,
                     durability: self.durability.as_ref().map(Durability::stats),
                     overload: OverloadStats {
                         shed_requests: self.overload.shed_requests.load(Ordering::SeqCst),
@@ -422,6 +466,10 @@ impl Server {
                     },
                 }
             }
+            Request::Metrics { id } => Response::Metrics {
+                id,
+                metrics: crate::metrics::snapshot_json(&dpcq_obs::snapshot()),
+            },
             Request::Shutdown { id } => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 self.wake_listener();
@@ -441,7 +489,52 @@ impl Server {
         response.render_line()
     }
 
+    /// One release: runs the traced inner path, then post-processes the
+    /// collected stage timings — echoed in the response when the request
+    /// asked (`"trace": true`), logged to stderr when the total crosses
+    /// `--slow-ms`. Timings describe server work, never data (P3).
     fn handle_release(&self, engine: &PrivateEngine, r: &ReleaseRequest) -> Response {
+        let mut trace = dpcq_obs::Trace::new();
+        let mut response = self.release_traced(engine, r, &mut trace);
+        if let Some(ms) = self.config.slow_ms {
+            let total_ns = trace.total_ns();
+            if total_ns >= ms.saturating_mul(1_000_000) {
+                dpcq_obs::inc_event(dpcq_obs::Event::SlowQuery);
+                let stages: Vec<String> = trace
+                    .entries()
+                    .iter()
+                    .map(|&(stage, ns)| format!("{}={}us", stage.name(), ns / 1_000))
+                    .collect();
+                // The query text is analyst input that already crossed
+                // the wire; no released value appears here.
+                eprintln!(
+                    "dpcq: slow query ({} ms >= {ms} ms) query={:?} {}",
+                    total_ns / 1_000_000,
+                    r.query,
+                    stages.join(" ")
+                );
+            }
+        }
+        if r.trace {
+            if let Response::Release { trace: slot, .. } = &mut response {
+                *slot = Some(
+                    trace
+                        .entries()
+                        .iter()
+                        .map(|&(stage, ns)| (stage.name(), ns / 1_000))
+                        .collect(),
+                );
+            }
+        }
+        response
+    }
+
+    fn release_traced(
+        &self,
+        engine: &PrivateEngine,
+        r: &ReleaseRequest,
+        trace: &mut dpcq_obs::Trace,
+    ) -> Response {
         let err = |error: String| Response::Error { id: r.id, error };
         let epsilon = r.epsilon.unwrap_or(self.config.default_epsilon);
         if !(epsilon > 0.0 && epsilon.is_finite()) {
@@ -470,14 +563,17 @@ impl Server {
                 cached: true,
                 generation,
                 remaining: finite(self.budget.remaining(&r.principal)),
+                trace: None,
             };
         }
         // Admission control runs strictly before the ε reservation
         // (invariant O1): a shed request provably moved no budget, which
         // is what makes the client's retry idempotent.
+        let admission = trace.span(dpcq_obs::Stage::Admission);
         let cost = engine.estimate_release_cost(&query, r.method);
         if self.config.max_request_cost.is_some_and(|max| cost > max) {
             self.overload.cost_rejected.fetch_add(1, Ordering::SeqCst);
+            dpcq_obs::inc_event(dpcq_obs::Event::CostRejected);
             return Response::Overloaded {
                 id: r.id,
                 retry_after_ms: self.config.retry_after_ms,
@@ -485,25 +581,33 @@ impl Server {
         }
         let Some(_permit) = self.try_admit(cost) else {
             self.overload.shed_requests.fetch_add(1, Ordering::SeqCst);
+            dpcq_obs::inc_event(dpcq_obs::Event::Shed);
             return Response::Overloaded {
                 id: r.id,
                 retry_after_ms: self.config.retry_after_ms,
             };
         };
+        drop(admission);
         // The deadline clock starts at admission, not at reservation:
         // everything from here on is work the deadline is meant to bound.
         let cancel = match r.deadline_ms.or(self.config.default_deadline_ms) {
             Some(ms) => CancelToken::with_deadline(Instant::now() + Duration::from_millis(ms)),
             None => CancelToken::never(),
         };
-        let reservation = match self.budget.reserve(&r.principal, epsilon) {
-            Ok(res) => res,
-            Err(e) => return err(e.to_string()),
+        let reservation = {
+            let _reserve = trace.span(dpcq_obs::Stage::Reserve);
+            match self.budget.reserve(&r.principal, epsilon) {
+                Ok(res) => res,
+                Err(e) => return err(e.to_string()),
+            }
         };
         // The expensive deterministic half (count + sensitivity) runs
         // outside the RNG lock so concurrent releases evaluate in
         // parallel; the lock is held only for the sampling instant.
-        match engine.prepare_release_with_cancel(&query, r.method, epsilon, cancel) {
+        let prepare = trace.span(dpcq_obs::Stage::Prepare);
+        let prepared = engine.prepare_release_with_cancel(&query, r.method, epsilon, cancel);
+        drop(prepare);
+        match prepared {
             Ok(pending) => {
                 // Chaos tests inject here — after the reservation, before
                 // the commit — to prove the refund path releases exactly
@@ -512,6 +616,7 @@ impl Server {
                 if dpcq_store::faults::should_fail("server.lock.rng") {
                     return err("internal error: injected fault before noise sampling".into());
                 }
+                let sample = trace.span(dpcq_obs::Stage::Sample);
                 // A poisoned RNG lock aborts the request; `reservation`
                 // drops on the early return, refunding the reserved ε.
                 let Ok(mut rng) = self.rng.lock() else {
@@ -519,6 +624,7 @@ impl Server {
                 };
                 let release = pending.sample(&mut *rng);
                 drop(rng);
+                drop(sample);
                 // Durable mode: the ledger record — spend and cache entry
                 // in one atomic record — must be fsynced before the commit
                 // below, and therefore before the response can flush. On a
@@ -530,6 +636,7 @@ impl Server {
                         key: key.clone(),
                         release,
                     };
+                    let _wal = trace.span(dpcq_obs::Stage::WalAppend);
                     if let Err(e) = durability.log_commit(&record) {
                         return err(format!("durability: {e}"));
                     }
@@ -537,6 +644,7 @@ impl Server {
                 // Commit before answering: once the noisy value exists it
                 // counts as spent even if the client never reads it.
                 reservation.commit();
+                dpcq_obs::add_epsilon_spent(epsilon);
                 self.cache.put(key, release);
                 Response::Release {
                     id: r.id,
@@ -545,6 +653,7 @@ impl Server {
                     cached: false,
                     generation,
                     remaining: finite(self.budget.remaining(&r.principal)),
+                    trace: None,
                 }
             }
             // The deadline tripped at an evaluation checkpoint:
@@ -555,6 +664,7 @@ impl Server {
                 self.overload
                     .deadline_timeouts
                     .fetch_add(1, Ordering::SeqCst);
+                dpcq_obs::inc_event(dpcq_obs::Event::DeadlineTimeout);
                 err(
                     "release timed out: deadline exceeded before evaluation finished (ε refunded)"
                         .into(),
@@ -607,6 +717,7 @@ impl Server {
                     relation: relation.to_string(),
                     tuple: tuple.to_vec(),
                 };
+                let _wal = dpcq_obs::Span::enter(dpcq_obs::Stage::WalAppend);
                 if let Err(e) = durability.log_mutation(&record) {
                     return Response::Error {
                         id,
@@ -646,6 +757,20 @@ impl Server {
     /// exit the process.
     pub fn serve(self: &Arc<Self>, listener: TcpListener) -> std::io::Result<()> {
         *self.bound.lock().unwrap_or_else(PoisonError::into_inner) = listener.local_addr().ok();
+        if let Some(addr) = self.config.metrics_addr.clone() {
+            match crate::metrics::spawn_exporter(Arc::clone(self), &addr) {
+                Ok(bound) => {
+                    eprintln!("dpcq metrics on {bound} (Prometheus text)");
+                    *self
+                        .metrics_bound
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) = Some(bound);
+                }
+                // Telemetry is best effort: a busy metrics port must not
+                // take the serving path down with it.
+                Err(e) => eprintln!("dpcq: metrics endpoint failed to bind {addr}: {e}"),
+            }
+        }
         let mut workers = Vec::new();
         for stream in listener.incoming() {
             if self.is_shut_down() {
@@ -661,6 +786,7 @@ impl Server {
             // the process (threads are the scarce resource here).
             if self.overload.connections.load(Ordering::SeqCst) >= self.config.max_connections {
                 self.overload.shed_requests.fetch_add(1, Ordering::SeqCst);
+                dpcq_obs::inc_event(dpcq_obs::Event::Shed);
                 let frame = Response::Overloaded {
                     id: None,
                     retry_after_ms: self.config.retry_after_ms,
@@ -672,17 +798,32 @@ impl Server {
                 continue;
             }
             self.overload.connections.fetch_add(1, Ordering::SeqCst);
+            dpcq_obs::gauge_add(dpcq_obs::GaugeId::Connections, 1);
             let server = Arc::clone(self);
             workers.push(std::thread::spawn(move || {
                 server.serve_connection(stream);
                 server.overload.connections.fetch_sub(1, Ordering::SeqCst);
+                dpcq_obs::gauge_add(dpcq_obs::GaugeId::Connections, -1);
             }));
         }
         for worker in workers {
             let _ = worker.join();
         }
         *self.bound.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        *self
+            .metrics_bound
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = None;
         Ok(())
+    }
+
+    /// The metrics endpoint's bound address, while `serve` runs with
+    /// `metrics_addr` configured (tests bind port 0 and poll this).
+    pub fn metrics_bound(&self) -> Option<SocketAddr> {
+        *self
+            .metrics_bound
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     fn serve_connection(&self, stream: TcpStream) {
@@ -713,11 +854,13 @@ impl Server {
                         // the client never saw still committed exactly
                         // what it logged (at-most-once visibility,
                         // exactly-once accounting).
-                        if dpcq_store::faults::check_fault("server.socket.write")
-                            .and_then(|()| writeln!(writer, "{out}"))
-                            .and_then(|()| writer.flush())
-                            .is_err()
-                        {
+                        let flushed = {
+                            let _flush = dpcq_obs::Span::enter(dpcq_obs::Stage::Flush);
+                            dpcq_store::faults::check_fault("server.socket.write")
+                                .and_then(|()| writeln!(writer, "{out}"))
+                                .and_then(|()| writer.flush())
+                        };
+                        if flushed.is_err() {
                             break;
                         }
                     }
@@ -795,6 +938,16 @@ fn finite(v: f64) -> Option<f64> {
     v.is_finite().then_some(v)
 }
 
+/// Mirrors every error frame in a response (batch entries included)
+/// into the telemetry error counter.
+fn count_error_frames(response: &Response) {
+    match response {
+        Response::Error { .. } | Response::Overloaded { .. } => dpcq_obs::inc_error(),
+        Response::Batch { responses, .. } => responses.iter().for_each(count_error_frames),
+        _ => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -830,6 +983,7 @@ mod tests {
             method: SensitivityMethod::Residual,
             epsilon,
             deadline_ms: None,
+            trace: false,
         })
     }
 
@@ -1140,6 +1294,7 @@ mod tests {
             method: SensitivityMethod::Residual,
             epsilon: Some(epsilon),
             deadline_ms: None,
+            trace: false,
         };
         // Interleaved shapes; distinct ε so nothing is answer-cached.
         let batch = Request::Batch {
@@ -1322,6 +1477,7 @@ mod tests {
                 method: SensitivityMethod::Residual,
                 epsilon: Some(0.5),
                 deadline_ms: Some(0),
+                trace: false,
             })
         };
         let r = server.handle(timed_out(1));
@@ -1560,5 +1716,171 @@ mod tests {
         };
         assert_eq!(release, r1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_op_returns_the_registry_as_json() {
+        let server = test_server(1.0);
+        let r = server.handle(Request::Metrics { id: Some(3) });
+        let Response::Metrics {
+            id: Some(3),
+            metrics,
+        } = r
+        else {
+            panic!("{r:?}")
+        };
+        for section in [
+            "uptime_ms",
+            "requests_total",
+            "errors_total",
+            "cache_hits_total",
+            "events_total",
+            "epsilon_spent_total",
+            "stages",
+        ] {
+            assert!(metrics.get(section).is_some(), "missing `{section}`");
+        }
+    }
+
+    /// `"trace": true` echoes the per-stage breakdown; a plain request
+    /// carries no trace field, and a cached replay's trace is empty
+    /// (the replay path records no stages — it bypasses all of them).
+    #[cfg(feature = "obs")]
+    #[test]
+    fn traced_release_reports_stage_timings_and_untraced_does_not() {
+        let server = test_server(f64::INFINITY);
+        let traced = |query: &str| {
+            Request::Release(ReleaseRequest {
+                id: None,
+                principal: "p".into(),
+                query: query.into(),
+                method: SensitivityMethod::Residual,
+                epsilon: Some(0.5),
+                deadline_ms: None,
+                trace: true,
+            })
+        };
+        let fresh = server.handle(traced(TRIANGLE));
+        let Response::Release {
+            trace: Some(stages),
+            cached: false,
+            ..
+        } = fresh
+        else {
+            panic!("{fresh:?}")
+        };
+        let names: Vec<&str> = stages.iter().map(|&(n, _)| n).collect();
+        for expected in ["admission", "reserve", "prepare", "sample"] {
+            assert!(names.contains(&expected), "missing stage {expected}");
+        }
+        assert!(
+            !names.contains(&"wal_append"),
+            "non-durable server records no WAL stage"
+        );
+        let plain = server.handle(release_req("Q(*) :- Edge(a,b)", "p", Some(0.5)));
+        let Response::Release { trace: None, .. } = plain else {
+            panic!("{plain:?}")
+        };
+        let replay = server.handle(traced(TRIANGLE));
+        let Response::Release {
+            trace: Some(stages),
+            cached: true,
+            ..
+        } = replay
+        else {
+            panic!("{replay:?}")
+        };
+        assert!(stages.is_empty(), "{stages:?}");
+    }
+
+    /// The stats frame's telemetry fields read the same global registry
+    /// the `metrics` op and the Prometheus endpoint render. Counters are
+    /// process-global (tests run concurrently), so the assertions are
+    /// monotone deltas, never exact equalities.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn stats_telemetry_fields_come_from_the_registry() {
+        let count = |table: &[(&'static str, u64)], op: &str| {
+            table.iter().find(|&&(n, _)| n == op).map_or(0, |&(_, c)| c)
+        };
+        let before = dpcq_obs::snapshot();
+        let server = test_server(f64::INFINITY);
+        server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+        server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+        let bad = server.handle(release_req("Q(*) :- Nope(x)", "p", Some(0.5)));
+        assert!(matches!(bad, Response::Error { .. }));
+        let stats = server.handle(Request::Stats { id: None });
+        let Response::Stats {
+            requests_total,
+            errors_total,
+            uptime_ms,
+            ..
+        } = stats
+        else {
+            panic!("{stats:?}")
+        };
+        assert!(
+            count(&requests_total, "release") >= count(&before.requests, "release") + 3,
+            "{requests_total:?}"
+        );
+        assert!(count(&requests_total, "stats") > count(&before.requests, "stats"));
+        assert!(errors_total > before.errors_total);
+        assert!(uptime_ms >= before.uptime_ms);
+    }
+
+    /// `--metrics-addr`: `serve` spawns the Prometheus sidecar, the
+    /// bound address is discoverable, a scrape returns the exposition
+    /// with the headline series, and shutdown retires it.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn serve_exposes_prometheus_metrics_on_the_sidecar_port() {
+        use std::io::Read as _;
+        let server = Arc::new(gated_server(ServerConfig {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            seed: Some(11),
+            ..ServerConfig::default()
+        }));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let serve_thread = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve(listener))
+        };
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let maddr = loop {
+            if let Some(a) = server.metrics_bound() {
+                break a;
+            }
+            assert!(Instant::now() < deadline, "metrics endpoint never bound");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        // One fresh release and one cached replay move the counters the
+        // scrape must report (the registry is global: in-process handles
+        // and socket frames land in the same place).
+        server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+        server.handle(release_req(TRIANGLE, "p", Some(0.5)));
+        let mut stream = TcpStream::connect(maddr).expect("connect metrics");
+        write!(stream, "GET /metrics HTTP/1.0\r\n\r\n").expect("send scrape");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read scrape");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response:?}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        for series in [
+            "dpcq_requests_total{op=\"release\"}",
+            "dpcq_stage_seconds_bucket{stage=\"sample\"",
+            "dpcq_cache_hits_total{cache=\"release\"}",
+            "dpcq_uptime_seconds",
+        ] {
+            assert!(response.contains(series), "missing `{series}`");
+        }
+        server.handle(Request::Shutdown { id: None });
+        serve_thread
+            .join()
+            .expect("serve thread exits")
+            .expect("serve ok");
+        assert_eq!(
+            server.metrics_bound(),
+            None,
+            "shutdown retires the endpoint"
+        );
     }
 }

@@ -75,6 +75,7 @@ fn release_req(query: &str, epsilon: f64) -> Request {
         method: dpcq::SensitivityMethod::Residual,
         epsilon: Some(epsilon),
         deadline_ms: None,
+        trace: false,
     })
 }
 

@@ -16,6 +16,7 @@ use std::path::Path;
 /// point leaves either the previous file (or absence) or the new bytes —
 /// never a prefix.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let _span = dpcq_obs::Span::enter(dpcq_obs::Stage::SnapshotWrite);
     let file_name = path
         .file_name()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "snapshot path has no name"))?;

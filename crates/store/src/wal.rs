@@ -151,6 +151,7 @@ impl Wal {
         crate::faults::check_fault("wal.append.write")?;
         self.file.write_all(record)?;
         crate::faults::check_fault("wal.append.fsync")?;
+        let _fsync = dpcq_obs::Span::enter(dpcq_obs::Stage::WalFsync);
         self.file.sync_data()
     }
 

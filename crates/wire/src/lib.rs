@@ -616,6 +616,71 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_shaped_frames_round_trip() {
+        // The observability surface: the stats frame's registry-sourced
+        // counters (requests by op) and a traced release's per-stage
+        // breakdown. Pinned at the wire layer so a dashboard keying on
+        // `requests_total.release` or `trace.sample` cannot be broken by
+        // a silent reorder or retype.
+        let stats = Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("stats".into())),
+            (
+                "requests_total",
+                Json::Obj(vec![
+                    ("release".to_string(), Json::Int(41)),
+                    ("batch".to_string(), Json::Int(2)),
+                    ("stats".to_string(), Json::Int(7)),
+                ]),
+            ),
+            ("errors_total", Json::Int(3)),
+            ("uptime_ms", Json::Int(91_250)),
+        ]);
+        let line = stats.render_compact();
+        assert!(!line.contains('\n'));
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed, stats);
+        let requests = parsed.get("requests_total").unwrap();
+        assert_eq!(requests.get("release").and_then(Json::as_i128), Some(41));
+        assert_eq!(parsed.get("errors_total").and_then(Json::as_i128), Some(3));
+        assert_eq!(
+            parsed.get("uptime_ms").and_then(Json::as_i128),
+            Some(91_250)
+        );
+        assert_eq!(Json::parse(&stats.render()).unwrap(), stats);
+
+        let traced = Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("release".into())),
+            ("value", Json::Num(26.5)),
+            ("cached", Json::Bool(false)),
+            (
+                "trace",
+                Json::Obj(vec![
+                    ("admission".to_string(), Json::Int(38)),
+                    ("reserve".to_string(), Json::Int(11)),
+                    ("prepare".to_string(), Json::Int(469)),
+                    ("sample".to_string(), Json::Int(8)),
+                ]),
+            ),
+        ]);
+        let parsed = Json::parse(&traced.render_compact()).unwrap();
+        assert_eq!(parsed, traced);
+        let trace = parsed.get("trace").unwrap();
+        // Stage order is meaningful (wall-clock order); `entries` must
+        // preserve it.
+        let stages: Vec<&str> = trace
+            .entries()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(stages, ["admission", "reserve", "prepare", "sample"]);
+        assert_eq!(trace.get("sample").and_then(Json::as_i128), Some(8));
+        assert_eq!(Json::parse(&traced.render()).unwrap(), traced);
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(Json::parse("").is_err());
         assert!(Json::parse("{").is_err());

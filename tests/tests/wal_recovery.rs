@@ -185,6 +185,7 @@ fn check_recovery(dir: &Path, expected: &Checkpoint, context: &str) {
             method: SensitivityMethod::Residual,
             epsilon: Some(f64::from_bits(eps_bits)),
             deadline_ms: None,
+            trace: false,
         }));
         let Response::Release {
             release,
@@ -277,6 +278,7 @@ proptest! {
                         method: SensitivityMethod::Residual,
                         epsilon: Some(epsilon),
                         deadline_ms: None,
+                        trace: false,
                     }));
                     let Response::Release { release, .. } = resp else {
                         panic!("{resp:?}")
