@@ -22,7 +22,14 @@
 //! family) so scratch-reuse regressions are visible even on hosts whose
 //! wall-clock is noisy.
 //!
-//! The artifact's `cache` section (schema v3) comes from a **mutation
+//! The `mutation_serving_incremental` workload entry (schema v4) drives
+//! a 95%-read/5%-write triangle serving script through a real `Server`
+//! twice — under semi-naive delta maintenance and under the
+//! wholesale-rebuild oracle (`with_wholesale_invalidation`) — asserting
+//! the two released value streams bit-identical each rep and tracking
+//! the `incremental_vs_rebuild` speedup floor.
+//!
+//! The artifact's `cache` section comes from a **mutation
 //! serving workload**: an interleaved insert/release script on a
 //! two-relation database driven through a real `dpcq_server::Server`
 //! twice — once with the default read-set-scoped invalidation and once
@@ -49,7 +56,9 @@
 //! `--check` compares a fresh run against the floors committed in
 //! `--baseline` (default `BENCH_te.json`) and exits non-zero on any
 //! regression; multithread floors are skipped when the measured host has
-//! `host_parallelism == 1`. `--compare PATH` skips benching and checks an
+//! `host_parallelism == 1` — each skip prints a
+//! `skipped (host_parallelism=N)` line and is recorded in the workload's
+//! `skipped_floors` artifact field. `--compare PATH` skips benching and checks an
 //! already-written fresh artifact instead (the CI wiring: bench once,
 //! upload, then compare against the committed baseline).
 
@@ -411,6 +420,224 @@ fn cache_section(quick: bool, seed: u64, table: &mut Table) -> Json {
     ])
 }
 
+// --- incremental mutation serving workload (delta maintenance) ----------
+
+/// One mode's run of the 95%-read/5%-write incremental serving script.
+struct IncrementalRun {
+    elapsed: Duration,
+    /// Released value bit patterns in request order — the two modes must
+    /// agree exactly (delta maintenance is bit-for-bit with rebuild).
+    value_bits: Vec<u64>,
+    release_cache_hits: u64,
+    /// `(delta_applied, delta_fallback, delta_rows)` engine counters.
+    delta: (u64, u64, u64),
+}
+
+/// Drives the 95%-read/5%-write serving script against one engine mode:
+/// after one warming release, each round is 1 mutation of `Edge`
+/// (alternating an effective insert of a fresh edge and the remove of the
+/// previous round's edge) followed by 19 re-releases of a triangle over
+/// `Edge` — 5% writes. Every mutation dirties the single shape's read
+/// set, so the first post-write release recomputes in both modes; under
+/// delta maintenance that recomputation finds the `FamilyCache` patched
+/// in place (factors probed, `T` values re-derived, count served through
+/// the cache), under the wholesale oracle it rebuilds the whole family
+/// and recounts from scratch.
+fn run_incremental_script(engine: PrivateEngine, rounds: usize, reads: usize) -> IncrementalRun {
+    let q = "Q(*) :- Edge(x,y), Edge(y,z), Edge(x,z)";
+    let server = Server::new(
+        engine,
+        ServerConfig {
+            default_epsilon: 1.0,
+            default_budget: f64::INFINITY,
+            seed: Some(7),
+            ..ServerConfig::default()
+        },
+    );
+    let mut value_bits: Vec<u64> = Vec::new();
+    let release = |value_bits: &mut Vec<u64>| {
+        let resp = server.handle(Request::Release(ReleaseRequest {
+            id: None,
+            principal: "bench".into(),
+            query: q.into(),
+            method: SensitivityMethod::Residual,
+            epsilon: Some(0.5),
+            deadline_ms: None,
+            trace: false,
+        }));
+        match resp {
+            Response::Release { release, .. } => value_bits.push(release.value.get().to_bits()),
+            other => panic!("workload release failed: {other:?}"),
+        }
+    };
+    release(&mut value_bits);
+    let start = std::time::Instant::now();
+    for i in 0..rounds {
+        // Fresh endpoints on even rounds (the edge cannot pre-exist, so
+        // the insert is effective and grows the frozen domain — the
+        // reconcile path stays on the patched-seed route); odd rounds
+        // remove it again (an effective remove), so both delta signs and
+        // a stable database size are exercised.
+        let tuple = vec![100_000 + (i as i64 / 2), 200_000 + (i as i64 / 2)];
+        let resp = if i % 2 == 0 {
+            server.handle(Request::Insert {
+                id: None,
+                relation: "Edge".into(),
+                tuple,
+            })
+        } else {
+            server.handle(Request::Remove {
+                id: None,
+                relation: "Edge".into(),
+                tuple,
+            })
+        };
+        assert!(
+            matches!(resp, Response::Updated { changed: true, .. }),
+            "workload mutation failed: {resp:?}"
+        );
+        for _ in 0..reads {
+            release(&mut value_bits);
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let stats = server.handle(Request::Stats { id: None });
+    let Response::Stats {
+        release_cache_hits,
+        delta,
+        ..
+    } = stats
+    else {
+        panic!("stats failed: {stats:?}")
+    };
+    IncrementalRun {
+        elapsed,
+        value_bits,
+        release_cache_hits,
+        delta,
+    }
+}
+
+/// The `mutation_serving_incremental` workload entry: the 95/5 script
+/// timed under delta maintenance and under the wholesale-rebuild oracle,
+/// with the tracked `incremental_vs_rebuild` speedup floor. Both modes'
+/// released value streams are asserted bit-identical every rep (the
+/// differential gate, riding along with the timing).
+fn incremental_entry(quick: bool, seed: u64, reps: usize, table: &mut Table) -> Json {
+    let rounds = if quick { 4 } else { 10 };
+    let reads = 19; // 1 write + 19 reads per round = 5% writes
+                    // Same graph in quick mode: the ratio is the tracked metric, and a
+                    // smaller instance compresses it (fixed per-request serving cost
+                    // dominates the rebuild the floor is about).
+    let (nodes, edges) = (200, 2_000);
+    let build = |wholesale: bool| {
+        let db = incremental_graph_db(&mut StdRng::seed_from_u64(seed), nodes, edges);
+        let engine = PrivateEngine::new(db, Policy::all_private(), 1.0).with_threads(1);
+        if wholesale {
+            engine.with_wholesale_invalidation()
+        } else {
+            engine
+        }
+    };
+    let mut inc_t: Vec<Duration> = Vec::new();
+    let mut whole_t: Vec<Duration> = Vec::new();
+    let mut inc_last: Option<IncrementalRun> = None;
+    let mut whole_last: Option<IncrementalRun> = None;
+    for _ in 0..reps {
+        let inc = run_incremental_script(build(false), rounds, reads);
+        let whole = run_incremental_script(build(true), rounds, reads);
+        assert_eq!(
+            inc.value_bits, whole.value_bits,
+            "incremental released values diverged from rebuild"
+        );
+        let (applied, fallback, _) = inc.delta;
+        assert_eq!(
+            (applied, fallback),
+            (rounds as u64, 0),
+            "incremental mode fell off the delta path"
+        );
+        assert_eq!(whole.delta, (0, 0, 0), "wholesale oracle ran deltas");
+        inc_t.push(inc.elapsed);
+        whole_t.push(whole.elapsed);
+        inc_last = Some(inc);
+        whole_last = Some(whole);
+    }
+    let (inc, whole) = (inc_last.expect("reps >= 1"), whole_last.expect("reps >= 1"));
+    let inc_ns = median_ns(&inc_t);
+    let whole_ns = median_ns(&whole_t);
+    let speedup = whole_ns as f64 / inc_ns.max(1) as f64;
+    let ops = 1 + rounds * (1 + reads);
+    for (mode, ns, r) in [("incremental", inc_ns, &inc), ("rebuild", whole_ns, &whole)] {
+        table.row(vec![
+            format!("mutation_serving_incremental/{mode}"),
+            ops.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            fmt_secs(Duration::from_nanos(ns as u64)),
+            "-".to_string(),
+            if mode == "incremental" {
+                format!("{speedup:.2}x vs rebuild")
+            } else {
+                "-".to_string()
+            },
+            format!("delta {:?}", r.delta),
+        ]);
+    }
+    Json::obj([
+        ("workload", Json::Str("mutation_serving_incremental".into())),
+        ("rounds", Json::Int(rounds as i128)),
+        ("reads_per_round", Json::Int(reads as i128)),
+        ("requests", Json::Int(ops as i128)),
+        ("incremental_median_ns", Json::Int(inc_ns as i128)),
+        ("rebuild_median_ns", Json::Int(whole_ns as i128)),
+        ("speedup_incremental_vs_rebuild", Json::Num(speedup)),
+        ("delta_applied", Json::Int(inc.delta.0 as i128)),
+        ("delta_fallback", Json::Int(inc.delta.1 as i128)),
+        ("delta_rows", Json::Int(inc.delta.2 as i128)),
+        (
+            "incremental_release_cache_hits",
+            Json::Int(inc.release_cache_hits as i128),
+        ),
+        (
+            "rebuild_release_cache_hits",
+            Json::Int(whole.release_cache_hits as i128),
+        ),
+        (
+            "tracked_floors",
+            Json::obj([("incremental_vs_rebuild", Json::Num(3.0))]),
+        ),
+        (
+            "note",
+            Json::Str(
+                "95%-read/5%-write triangle-over-Edge script through a seeded \
+                 Server; incremental = semi-naive delta maintenance of the \
+                 shape's FamilyCache, rebuild = wholesale-invalidation oracle. \
+                 Released value streams are asserted bit-identical."
+                    .into(),
+            ),
+        ),
+    ])
+}
+
+/// A single-relation symmetric graph for the incremental workload (the
+/// cache section's `two_relation_db` carries a second relation the
+/// triangle never reads; here every mutation dirties the one shape).
+fn incremental_graph_db(rng: &mut StdRng, nodes: i64, edges: usize) -> Database {
+    let mut db = Database::new();
+    db.create_relation("Edge", 2);
+    for _ in 0..edges {
+        let u = rng.gen_range(0..nodes);
+        let v = rng.gen_range(0..nodes);
+        if u != v {
+            db.insert_tuple("Edge", &[Value(u), Value(v)]);
+            db.insert_tuple("Edge", &[Value(v), Value(u)]);
+        }
+    }
+    db
+}
+
 /// The telemetry overhead budget enforced by `--overhead`: an
 /// instrumented serving build may cost at most 3% over compiled-out.
 const OBS_OVERHEAD_BUDGET: f64 = 1.03;
@@ -494,6 +721,15 @@ fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64) {
     (out, current_thread_allocs().saturating_sub(before))
 }
 
+/// Whether `metric`'s floor cannot be meaningfully checked on a host
+/// with `host_parallelism` cores. One rule today: thread-scaling floors
+/// need more than one core. Skips are *reported* — `--check` prints a
+/// `skipped (host_parallelism=N)` line per floor and the artifact
+/// records them per workload under `skipped_floors` — never silent.
+fn floor_skipped(metric: &str, host_parallelism: i128) -> bool {
+    metric == "multithread_vs_1thread" && host_parallelism <= 1
+}
+
 /// Verifies the fresh run's speedups against the baseline's committed
 /// `tracked_floors`. Multithread floors are skipped on 1-CPU fresh hosts.
 fn check_floors(baseline: &Json, fresh: &Json) -> bool {
@@ -528,8 +764,8 @@ fn check_floors(baseline: &Json, fresh: &Json) -> bool {
             let Some(floor) = floor.as_f64() else {
                 continue;
             };
-            if metric == "multithread_vs_1thread" && fresh_host <= 1 {
-                println!("check: {name} {metric} floor skipped (host_parallelism == 1)");
+            if floor_skipped(metric, fresh_host) {
+                println!("check: {name} {metric} skipped (host_parallelism={fresh_host})");
                 continue;
             }
             let field = format!("speedup_{metric}");
@@ -722,6 +958,15 @@ fn main() {
                 Json::obj(w.floors.iter().map(|&(k, v)| (k, Json::Num(v)))),
             ),
         ];
+        let skipped: Vec<Json> = w
+            .floors
+            .iter()
+            .filter(|&&(m, _)| floor_skipped(m, default_threads() as i128))
+            .map(|&(m, _)| Json::Str(m.to_string()))
+            .collect();
+        if !skipped.is_empty() {
+            fields.push(("skipped_floors", Json::Arr(skipped)));
+        }
         if dpcq_bench::ALLOC_COUNTING {
             fields.push(("allocs_naive", Json::Int(allocs_naive as i128)));
             fields.push(("allocs_family_1thread", Json::Int(allocs_fam1 as i128)));
@@ -729,11 +974,13 @@ fn main() {
         entries.push(Json::obj(fields));
     }
 
+    entries.push(incremental_entry(quick, seed, reps, &mut table));
+
     let cache = cache_section(quick, seed, &mut table);
     let serving = serving_section(quick, seed, reps, Some(&mut table));
 
     let doc = Json::obj([
-        ("schema", Json::Str("dpcq-bench-te/v3".to_string())),
+        ("schema", Json::Str("dpcq-bench-te/v4".to_string())),
         ("quick", Json::Bool(quick)),
         ("reps", Json::Int(reps as i128)),
         ("threads", Json::Int(threads as i128)),

@@ -1,6 +1,6 @@
 //! The high-level release engine: query in, ε-DP noisy count out.
 
-use dpcq_eval::{CancelToken, Evaluator, FamilyCache, FamilyStats};
+use dpcq_eval::{CancelToken, DeltaOutcome, Evaluator, FamilyCache, FamilyEvaluator, FamilyStats};
 use dpcq_noise::{LaplaceMechanism, RawAnswer, Release, SmoothCauchyMechanism};
 use dpcq_query::{ConjunctiveQuery, Policy};
 use dpcq_relation::{Database, FxHashMap, RelationVersion, Value, VersionStamp};
@@ -9,6 +9,7 @@ use dpcq_sensitivity::{
 };
 use rand::Rng;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Which sensitivity calibrates the noise.
@@ -166,10 +167,18 @@ pub struct PrivateEngine {
     /// [`PrivateEngine::with_wholesale_invalidation`]).
     scoped: bool,
     /// Per-query `T`-family caches, shared across releases of the same
-    /// query shape; a mutation drops exactly the entries whose read set
-    /// contains the touched relation. Keyed by the query's canonical
-    /// rendering ([`ConjunctiveQuery`]'s `Display`).
+    /// query shape; a mutation routes the entries whose read set contains
+    /// the touched relation through semi-naive delta maintenance
+    /// ([`FamilyCache::apply_delta`]), dropping only those that cannot be
+    /// patched. Keyed by the query's canonical rendering
+    /// ([`ConjunctiveQuery`]'s `Display`).
     caches: Mutex<FxHashMap<String, ShapeCache>>,
+    /// Engine-global delta counters (successful passes / fallbacks
+    /// including wholesale drops of dirty shapes / patched rows). Unlike
+    /// the per-cache [`FamilyStats`] these survive cache retirement.
+    delta_applied: AtomicU64,
+    delta_fallback: AtomicU64,
+    delta_rows: AtomicU64,
 }
 
 /// A portable image of one relation for durability snapshots: name,
@@ -200,11 +209,16 @@ pub struct DatabaseImage {
 }
 
 /// One query shape's cache slot: the relations it reads (for scoped
-/// invalidation) and the stamped [`FamilyCache`] shared by its releases.
+/// invalidation), the query itself (delta maintenance re-stages mutated
+/// tuples against its atoms), and the stamped [`FamilyCache`] shared by
+/// its releases.
 #[derive(Debug)]
 struct ShapeCache {
     /// Sorted relation names the shape's atoms mention.
     read_set: Vec<String>,
+    /// The parsed query the cache serves (equal to the map key's
+    /// rendering).
+    query: ConjunctiveQuery,
     cache: Arc<FamilyCache>,
 }
 
@@ -225,6 +239,9 @@ impl PrivateEngine {
             base,
             scoped: true,
             caches: Mutex::new(FxHashMap::default()),
+            delta_applied: AtomicU64::new(0),
+            delta_fallback: AtomicU64::new(0),
+            delta_rows: AtomicU64::new(0),
         }
     }
 
@@ -261,6 +278,9 @@ impl PrivateEngine {
             base: VersionStamp::empty(),
             scoped: true,
             caches: Mutex::new(FxHashMap::default()),
+            delta_applied: AtomicU64::new(0),
+            delta_fallback: AtomicU64::new(0),
+            delta_rows: AtomicU64::new(0),
         }
     }
 
@@ -409,37 +429,146 @@ impl PrivateEngine {
 
     /// Inserts a tuple into `relation` (created at the row's arity if
     /// absent). Returns `true` if the tuple was new; an effective insert
-    /// bumps `relation`'s version and invalidates exactly the evaluation
-    /// caches whose read set contains `relation`.
+    /// bumps `relation`'s version and routes the evaluation caches whose
+    /// read set contains `relation` through delta maintenance.
     pub fn insert_tuple(&mut self, relation: &str, row: &[Value]) -> bool {
-        let changed = self.db.insert_tuple(relation, row);
-        if changed {
-            self.invalidate(relation);
-        }
-        changed
+        self.insert_tuples(relation, std::slice::from_ref(&row.to_vec())) == 1
     }
 
     /// Removes a tuple from `relation`. Returns `true` if it was present;
-    /// an effective removal bumps `relation`'s version and invalidates
-    /// exactly the evaluation caches whose read set contains `relation`.
+    /// an effective removal bumps `relation`'s version and routes the
+    /// evaluation caches whose read set contains `relation` through delta
+    /// maintenance.
     pub fn remove_tuple(&mut self, relation: &str, row: &[Value]) -> bool {
-        let changed = self.db.remove_tuple(relation, row);
-        if changed {
-            self.invalidate(relation);
-        }
-        changed
+        self.remove_tuples(relation, std::slice::from_ref(&row.to_vec())) == 1
     }
 
-    /// `relation` changed: drop the shapes that read it. Shapes over
-    /// other relations keep their caches — their read-set stamps are
-    /// unaffected, so everything memoized for them is still exact.
-    fn invalidate(&mut self, relation: &str) {
-        let caches = self.caches.get_mut().expect("family cache lock poisoned");
-        if self.scoped {
-            caches.retain(|_, e| !e.read_set.iter().any(|r| r == relation));
-        } else {
-            caches.clear();
+    /// Inserts a batch of tuples into `relation` under **one** cache
+    /// maintenance pass: N tuples cost one semi-naive delta per dirty
+    /// shape instead of N. Returns the number of *effective* inserts
+    /// (tuples not already present, after deduplicating the batch);
+    /// `relation`'s version advances by that count, so read-set stamps
+    /// agree with N repeated single inserts.
+    pub fn insert_tuples(&mut self, relation: &str, rows: &[Vec<Value>]) -> usize {
+        self.mutate_batch(relation, rows, true)
+    }
+
+    /// Removes a batch of tuples from `relation` under one cache
+    /// maintenance pass. Returns the number of effective removals
+    /// (tuples actually present, after deduplicating the batch).
+    pub fn remove_tuples(&mut self, relation: &str, rows: &[Vec<Value>]) -> usize {
+        self.mutate_batch(relation, rows, false)
+    }
+
+    fn mutate_batch(&mut self, relation: &str, rows: &[Vec<Value>], insert: bool) -> usize {
+        // Deduplicate (preserving order) and keep only effective tuples:
+        // the delta pass must see exactly the rows whose multiplicity
+        // changes, or a re-insert of a present tuple would double-count.
+        let mut effective: Vec<Vec<Value>> = Vec::new();
+        for row in rows {
+            if effective.iter().any(|r| r == row) {
+                continue;
+            }
+            let present = self
+                .db
+                .relation(relation)
+                .is_some_and(|rel| rel.contains(row));
+            if insert != present {
+                effective.push(row.clone());
+            }
         }
+        if effective.is_empty() {
+            return 0;
+        }
+
+        // Pre-mutation stamps of the dirty shapes: a cache may only be
+        // patched forward from a state it is currently valid for.
+        let pre: Vec<(String, VersionStamp)> = {
+            let caches = self.caches.lock().expect("family cache lock poisoned");
+            caches
+                .iter()
+                .filter(|(_, e)| e.read_set.iter().any(|r| r == relation))
+                .map(|(k, e)| (k.clone(), self.stamp_over(e.read_set.clone())))
+                .collect()
+        };
+
+        for row in &effective {
+            let changed = if insert {
+                self.db.insert_tuple(relation, row)
+            } else {
+                self.db.remove_tuple(relation, row)
+            };
+            debug_assert!(changed, "effectiveness was pre-checked");
+        }
+
+        self.absorb_mutation(relation, &effective, insert, &pre);
+        effective.len()
+    }
+
+    /// `relation` changed by `tuples` (all inserted or all removed):
+    /// patch the dirty shapes' caches in place by semi-naive deltas,
+    /// dropping only those that cannot be maintained — never seeded,
+    /// stale stamp, or a comparison-materialized shape (its cache was
+    /// built over a rewritten query/database the raw tuples do not map
+    /// onto). Shapes over other relations are untouched — their read-set
+    /// stamps are unaffected, so everything memoized for them is exact.
+    fn absorb_mutation(
+        &self,
+        relation: &str,
+        tuples: &[Vec<Value>],
+        insert: bool,
+        pre: &[(String, VersionStamp)],
+    ) {
+        if !self.scoped {
+            self.caches
+                .lock()
+                .expect("family cache lock poisoned")
+                .clear();
+            return;
+        }
+        let mut caches = self.caches.lock().expect("family cache lock poisoned");
+        for (key, pre_stamp) in pre {
+            let Some(entry) = caches.get(key) else {
+                continue;
+            };
+            let materialized = entry
+                .query
+                .predicates()
+                .iter()
+                .any(|p| p.is_comparison() && !p.variables().is_empty());
+            let keep = !materialized && entry.cache.is_valid_for(pre_stamp) && {
+                let post = self.stamp_over(entry.read_set.clone());
+                match entry
+                    .cache
+                    .apply_delta(&entry.query, relation, tuples, insert, Some(post))
+                {
+                    DeltaOutcome::Applied { rows } => {
+                        self.delta_applied.fetch_add(1, Ordering::Relaxed);
+                        self.delta_rows.fetch_add(rows, Ordering::Relaxed);
+                        true
+                    }
+                    DeltaOutcome::Fallback => false,
+                }
+            };
+            if !keep {
+                self.delta_fallback.fetch_add(1, Ordering::Relaxed);
+                caches.remove(key);
+            }
+        }
+    }
+
+    /// Engine-global delta-maintenance counters as
+    /// `(applied, fallback, rows)`: successful in-place passes, fallbacks
+    /// (wholesale drops of dirty shapes, for whatever reason), and total
+    /// signed rows merged into retained factors. Unlike
+    /// [`PrivateEngine::family_stats`] these survive cache retirement,
+    /// so a server can report them monotonically.
+    pub fn delta_stats(&self) -> (u64, u64, u64) {
+        (
+            self.delta_applied.load(Ordering::Relaxed),
+            self.delta_fallback.load(Ordering::Relaxed),
+            self.delta_rows.load(Ordering::Relaxed),
+        )
     }
 
     /// The engine-owned `T`-family cache for `query`, created on first
@@ -478,6 +607,7 @@ impl PrivateEngine {
             key,
             ShapeCache {
                 read_set,
+                query: query.clone(),
                 cache: Arc::clone(&cache),
             },
         );
@@ -500,9 +630,41 @@ impl PrivateEngine {
     }
 
     /// The exact (non-private) count `|q(I)|` — for experiments and error
-    /// measurement only.
+    /// measurement only. Always evaluates from scratch; the serving path
+    /// uses [`PrivateEngine::counted`] instead.
     pub fn true_count(&self, query: &ConjunctiveQuery) -> Result<u128, SensitivityError> {
         Ok(Evaluator::new(query, &self.db)?.count()?)
+    }
+
+    /// `|q(I)|` through the engine-owned `T`-family cache: for a full,
+    /// comparison-free query, the count is `T_E` at `E = ` all atoms
+    /// (empty boundary), so it lands in the same memo store the residual
+    /// pass fills — and after a mutation it is *patched* rather than
+    /// recomputed. Anything the family machinery cannot cover (projected
+    /// queries, materialized comparisons, zero atoms, an unscoped engine)
+    /// falls back to a from-scratch [`PrivateEngine::true_count`].
+    fn counted(&self, query: &ConjunctiveQuery) -> Result<u128, SensitivityError> {
+        let cacheable = self.scoped
+            && query.is_full()
+            && query.num_atoms() > 0
+            && !query
+                .predicates()
+                .iter()
+                .any(|p| p.is_comparison() && !p.variables().is_empty());
+        if !cacheable {
+            return self.true_count(query);
+        }
+        let cache = self.family_cache(query);
+        let seeds = cache
+            .seed_factors()
+            .filter(|s| s.len() == query.num_atoms());
+        let ev = match seeds {
+            Some(s) => Evaluator::with_seed_factors(query, &self.db, s)?,
+            None => Evaluator::new(query, &self.db)?,
+        };
+        let fe = FamilyEvaluator::with_cache(&ev, cache);
+        let all: Vec<usize> = (0..query.num_atoms()).collect();
+        Ok(fe.t_e(&all)?)
     }
 
     /// Releases `|q(I)|` under ε-DP with the default (residual
@@ -583,7 +745,7 @@ impl PrivateEngine {
         // Taint the exact count the moment it exists: from here to the
         // noise draw it travels as `RawAnswer`, which nothing outside the
         // mechanism layer can unwrap.
-        let count = RawAnswer::new(self.true_count(query)?);
+        let count = RawAnswer::new(self.counted(query)?);
         let sensitivity = match method {
             SensitivityMethod::Residual => {
                 let beta = SmoothCauchyMechanism::new(epsilon).beta();
@@ -986,36 +1148,51 @@ mod tests {
     }
 
     #[test]
-    fn mutation_bumps_generation_and_invalidates_caches() {
+    fn mutation_bumps_generation_and_patches_caches() {
         let mut engine = PrivateEngine::new(sym_db(), Policy::all_private(), 1.0);
         let q = triangle();
         assert_eq!(engine.generation(), 0);
         assert_eq!(engine.true_count(&q).unwrap(), 12);
         engine.release(&q, &mut StdRng::seed_from_u64(1)).unwrap();
-        assert!(engine.family_stats(&q).values_computed > 0);
+        let warmed = engine.family_stats(&q);
+        assert!(warmed.values_computed > 0);
 
-        // A no-op insert (duplicate tuple) must not invalidate anything.
+        // A no-op insert (duplicate tuple) must not touch anything.
         assert!(!engine.insert_tuple("Edge", &[Value(1), Value(2)]));
         assert_eq!(engine.generation(), 0);
-        assert!(engine.family_stats(&q).values_computed > 0);
+        assert_eq!(engine.family_stats(&q), warmed);
 
-        // An effective insert bumps the generation and clears the caches.
+        // An effective insert bumps the generation and *patches* the
+        // shape's cache in place: memoized factors survive (no new
+        // factor misses), only the residual value cache is rebuilt.
         assert!(engine.insert_tuple("Edge", &[Value(1), Value(4)]));
         assert!(engine.insert_tuple("Edge", &[Value(4), Value(1)]));
         assert_eq!(engine.generation(), 2);
-        assert_eq!(engine.family_stats(&q), FamilyStats::default());
+        let patched = engine.family_stats(&q);
+        assert_eq!(patched.delta_applied, 2, "stats {patched:?}");
+        assert_eq!(patched.factor_misses, warmed.factor_misses);
+        assert_eq!(patched.values_computed, 0, "stats {patched:?}");
         // Adding {1,4} completes K4: 4 triangles × 6 orderings.
         assert_eq!(engine.true_count(&q).unwrap(), 24);
         engine.release(&q, &mut StdRng::seed_from_u64(2)).unwrap();
         assert!(engine.family_stats(&q).values_computed > 0);
 
-        // Removal reverts the count and invalidates again.
+        // Removal reverts the count, again by an in-place delta.
         assert!(engine.remove_tuple("Edge", &[Value(1), Value(4)]));
         assert!(engine.remove_tuple("Edge", &[Value(4), Value(1)]));
         assert!(!engine.remove_tuple("Edge", &[Value(9), Value(9)]));
         assert_eq!(engine.generation(), 4);
         assert_eq!(engine.true_count(&q).unwrap(), 12);
-        assert_eq!(engine.family_stats(&q), FamilyStats::default());
+        assert_eq!(engine.family_stats(&q).delta_applied, 4);
+        assert_eq!(engine.delta_stats(), (4, 0, engine.delta_stats().2));
+
+        // The patched engine is observationally identical to one built
+        // fresh over the (equal) final database.
+        let fresh = PrivateEngine::new(sym_db(), Policy::all_private(), 1.0);
+        assert_eq!(
+            engine.release(&q, &mut StdRng::seed_from_u64(7)).unwrap(),
+            fresh.release(&q, &mut StdRng::seed_from_u64(7)).unwrap(),
+        );
     }
 
     /// A database over two unrelated relations: `Edge` (the triangle
@@ -1058,9 +1235,13 @@ mod tests {
         assert_eq!(after.values_computed, warmed.values_computed);
         assert!(after.value_hits > warmed.value_hits);
 
-        // A read-set mutation still invalidates.
+        // A read-set mutation is absorbed as an in-place delta: the
+        // memoized factors survive, the residual value cache is rebuilt.
         assert!(engine.insert_tuple("Edge", &[Value(8), Value(9)]));
-        assert_eq!(engine.family_stats(&q), FamilyStats::default());
+        let after_delta = engine.family_stats(&q);
+        assert_eq!(after_delta.delta_applied, 1, "stats {after_delta:?}");
+        assert_eq!(after_delta.factor_misses, warmed.factor_misses);
+        assert_eq!(after_delta.values_computed, 0);
     }
 
     #[test]

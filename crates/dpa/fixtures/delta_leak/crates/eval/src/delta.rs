@@ -1,0 +1,21 @@
+//! FIXTURE (delta_leak): a delta pass that returns the exact
+//! post-mutation count alongside the patch — delta maintenance must stay
+//! strictly pre-noise (factor and `T`-value state only), so naming
+//! `RawAnswer` here is the leak rule R1 exists to catch. `dpa check
+//! --root …/delta_leak` must flag both uses below and exit non-zero.
+
+pub struct RawAnswer(pub u128);
+
+pub struct PatchedEntry {
+    pub rows: u64,
+    /// Planted violation: an exact, un-noised count riding out of the
+    /// delta layer, where only signed factor rows belong.
+    pub exact: RawAnswer,
+}
+
+pub fn apply_delta_with_count(rows: u64, total: u128) -> PatchedEntry {
+    PatchedEntry {
+        rows,
+        exact: RawAnswer(total),
+    }
+}

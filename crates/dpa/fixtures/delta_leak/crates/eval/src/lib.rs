@@ -1,0 +1,4 @@
+#![deny(unsafe_code)]
+//! FIXTURE (delta_leak): host crate for the planted `eval::delta` leak.
+
+pub mod delta;

@@ -55,6 +55,25 @@ fn raw_answer_leak_fixture_fails_with_file_line() {
 }
 
 #[test]
+fn delta_leak_fixture_fails_in_the_delta_module() {
+    // Delta maintenance (`eval::delta`) is strictly pre-noise: it patches
+    // factor and `T`-value state and must never name the taint types. R1
+    // whitelists only noise::{taint,mechanism,lib} and core::engine, so a
+    // `RawAnswer` surfacing in the delta layer is a finding.
+    let out = dpa_check(&fixture("delta_leak"));
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    let r1: Vec<&str> = text.lines().filter(|l| l.contains("[R1]")).collect();
+    assert!(r1.len() >= 2, "want both planted uses:\n{text}");
+    assert!(
+        r1.iter()
+            .all(|l| l.starts_with("crates/eval/src/delta.rs:")),
+        "{text}"
+    );
+    assert!(text.contains("RawAnswer"), "{text}");
+}
+
+#[test]
 fn unpaired_reserve_fixture_fails_on_all_three_patterns() {
     let out = dpa_check(&fixture("unpaired_reserve"));
     assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));

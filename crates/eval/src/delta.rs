@@ -1,0 +1,253 @@
+//! Semi-naive delta maintenance for memoized `T`-family state.
+//!
+//! A cached [`Sig`] denotes
+//! `π^Σ_keep (σ_preds (⋈_{i ∈ atoms} Fᵢ))` with columns merged per `rep`
+//! (see [`crate::family`]) — an expression *multilinear* in the atom
+//! factors in the Counting semiring: joins distribute over bag union, and
+//! filter / column-merge / eliminate are row-wise linear maps. A batch
+//! mutation of relation `R` replaces every copy `Fᵢ` over `R` by
+//! `Fᵢ ± Δᵢ`, so the change to the cached factor expands semi-naively
+//! over the non-empty subsets `S` of the mutated copies:
+//!
+//! ```text
+//! Δ(sig) = Σ_{∅ ≠ S ⊆ copies} (±1)^{|S|} π^Σ_keep σ_preds ⋈ (Δᵢ if i ∈ S else Fᵢ)
+//! ```
+//!
+//! with coefficient `+1` for insert batches and `(−1)^{|S|}` for remove
+//! batches (each batch mutates in one direction, so no general signed
+//! algebra is needed: every term is an ordinary Counting join, only its
+//! *contribution* is signed). Each term joins the (tiny) delta-tuple
+//! factors against the retained build sides first, so its size is bounded
+//! by the delta's matches rather than the relation — the whole point of
+//! maintaining instead of rebuilding.
+//!
+//! The accumulated signed rows patch the stored factor copy-on-write
+//! through [`Factor::patch_signed`] (a sorted two-pointer merge; every
+//! aggregated factor is code-lexicographically sorted). When a delta
+//! would be larger than a rebuild — Boolean (set-semantics) entries,
+//! oversized intermediate joins, too many mutated copies, or arithmetic
+//! overflow — the entry is *evicted* instead and recomputed lazily from
+//! the patched seed factors, which is always consistent because the memo
+//! key determines the factor's content.
+//!
+//! Everything here operates strictly **pre-noise**: deltas touch factor
+//! and `T`-value state only, never `RawAnswer` / `Released` (see
+//! `docs/INVARIANTS.md`; dpa rule R1 covers this module).
+
+use crate::domain::Domain;
+use crate::factor::{Factor, Semiring};
+use crate::family::Sig;
+use dpcq_query::{ConjunctiveQuery, Term, VarId};
+use dpcq_relation::{FxHashMap, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Cap on the number of mutated-relation copies of one signature expanded
+/// semi-naively (`2^copies − 1` terms); entries joining more copies of the
+/// mutated relation are evicted instead.
+const MAX_DELTA_COPIES: usize = 10;
+
+/// Row cap for any intermediate while evaluating one delta term, relative
+/// to the stored factor: a delta outgrowing this is "larger than a
+/// rebuild" and the entry is evicted instead.
+fn row_limit(stored_rows: usize) -> usize {
+    4096 + stored_rows.saturating_mul(8)
+}
+
+/// A staged per-atom delta: the atom's variable order, flat code rows,
+/// and per-row weights — the raw-factor triple `Factor::from_coded`
+/// takes.
+pub(crate) type StagedDelta = (Vec<VarId>, Vec<u32>, Vec<u128>);
+
+/// Stages the delta rows of atom `atom_idx` for a batch of mutated
+/// tuples: exactly the constant-filtering / repeated-variable-unification
+/// row loop of `Evaluator::new`, applied to the batch instead of the
+/// stored relation. Tuples violating the atom's constraints contribute
+/// nothing (their delta is invisible to this atom). New values intern
+/// into `domain`, which must start as a copy of the shared patch domain
+/// so codes stay prefix-consistent with every retained factor.
+pub(crate) fn stage_atom_delta(
+    query: &ConjunctiveQuery,
+    atom_idx: usize,
+    tuples: &[Vec<Value>],
+    domain: &mut Domain,
+) -> StagedDelta {
+    let atom = &query.atoms()[atom_idx];
+    let vars = atom.variables();
+    let slots: Vec<Option<usize>> = atom
+        .terms
+        .iter()
+        .map(|t| {
+            t.as_var()
+                .map(|v| vars.iter().position(|w| *w == v).expect("var interned"))
+        })
+        .collect();
+    let mut codes: Vec<u32> = Vec::with_capacity(tuples.len() * vars.len());
+    let mut weights: Vec<u128> = Vec::with_capacity(tuples.len());
+    let mut bound: Vec<Option<Value>> = vec![None; vars.len()];
+    'rows: for row in tuples {
+        debug_assert_eq!(row.len(), atom.arity(), "delta tuple arity");
+        bound.fill(None);
+        for ((term, &val), slot) in atom.terms.iter().zip(row).zip(&slots) {
+            match term {
+                Term::Const(c) => {
+                    if *c != val {
+                        continue 'rows;
+                    }
+                }
+                Term::Var(_) => {
+                    let slot = slot.expect("variable term has a slot");
+                    match bound[slot] {
+                        None => bound[slot] = Some(val),
+                        Some(prev) if prev != val => continue 'rows,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        for b in &bound {
+            codes.push(domain.intern(b.expect("all bound")));
+        }
+        weights.push(1);
+    }
+    (vars, codes, weights)
+}
+
+/// The outcome of computing one cached entry's delta.
+pub(crate) enum SigDelta {
+    /// No mutated copy participates in this entry: it is already current.
+    Unaffected,
+    /// Signed row patch, sorted by row codes, zero deltas dropped.
+    Patch(Vec<(Box<[u32]>, i128)>),
+    /// Maintaining this entry would cost more than recomputing it (or is
+    /// unsound for its semiring): drop it and let it rebuild lazily.
+    Evict,
+}
+
+/// Computes the signed row delta of one memoized signature under a batch
+/// mutation, per the module-level expansion. `old_atoms` are the
+/// *pre-mutation* seed factors (indexed by query atom), `atom_deltas` the
+/// per-atom delta factors (`None` for atoms the batch does not reach).
+pub(crate) fn sig_delta(
+    query: &ConjunctiveQuery,
+    sig: &Sig,
+    stored: &Factor,
+    old_atoms: &[Arc<Factor>],
+    atom_deltas: &[Option<Arc<Factor>>],
+    insert: bool,
+) -> SigDelta {
+    let copies: Vec<usize> = sig
+        .atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| atom_deltas[a as usize].is_some())
+        .map(|(p, _)| p)
+        .collect();
+    if copies.is_empty() {
+        return SigDelta::Unaffected;
+    }
+    // Boolean (set-semantics) entries are not multilinear in the atoms;
+    // they cannot be patched by signed counting rows.
+    if sig.boolean || copies.len() > MAX_DELTA_COPIES {
+        return SigDelta::Evict;
+    }
+
+    let num_vars = query.num_vars();
+    let rep_table: Option<Vec<usize>> = (!sig.rep.is_empty()).then(|| {
+        let mut table: Vec<usize> = (0..num_vars).collect();
+        for &(v, r) in &sig.rep {
+            table[v as usize] = r as usize;
+        }
+        table
+    });
+    let keep: BTreeSet<VarId> = sig.keep.iter().map(|&k| VarId(k as usize)).collect();
+    let limit = row_limit(stored.len());
+    let stored_vars = stored.vars();
+
+    let mut acc: FxHashMap<Box<[u32]>, i128> = FxHashMap::default();
+    let mut in_subset = vec![false; sig.atoms.len()];
+    for mask in 1u32..(1u32 << copies.len()) {
+        let sign: i128 = if insert || mask.count_ones() % 2 == 0 {
+            1
+        } else {
+            -1
+        };
+        in_subset.fill(false);
+        for (k, &p) in copies.iter().enumerate() {
+            if mask & (1 << k) != 0 {
+                in_subset[p] = true;
+            }
+        }
+        // Delta factors first (they are small), then the retained sides,
+        // preferring joins that share a variable over cross products.
+        let mut parts: Vec<&Factor> = Vec::with_capacity(sig.atoms.len());
+        for (p, &a) in sig.atoms.iter().enumerate() {
+            if in_subset[p] {
+                parts.push(atom_deltas[a as usize].as_deref().expect("copy has delta"));
+            }
+        }
+        for (p, &a) in sig.atoms.iter().enumerate() {
+            if !in_subset[p] {
+                parts.push(&old_atoms[a as usize]);
+            }
+        }
+        let mut joined: Factor = parts[0].clone();
+        let mut remaining: Vec<&Factor> = parts[1..].to_vec();
+        while !remaining.is_empty() {
+            let pick = remaining
+                .iter()
+                .position(|f| f.vars().iter().any(|v| joined.mentions(*v)))
+                .unwrap_or(0);
+            let next = remaining.swap_remove(pick);
+            joined = joined.join(next, Semiring::Counting);
+            if joined.len() > limit {
+                return SigDelta::Evict;
+            }
+        }
+        // Predicates apply in the original variable space (before the
+        // column merge), exactly as the producers built the entry.
+        joined.filter(&sig.preds);
+        if let Some(table) = &rep_table {
+            joined = joined.merge_columns(table, Semiring::Counting);
+        }
+        let drop: Vec<VarId> = joined
+            .vars()
+            .iter()
+            .copied()
+            .filter(|v| !keep.contains(v))
+            .collect();
+        let joined = joined.eliminate(&drop, Semiring::Counting);
+        if joined.is_empty() {
+            continue;
+        }
+        // Accumulate keyed by the stored factor's column order.
+        if joined.vars().len() != stored_vars.len() {
+            return SigDelta::Evict;
+        }
+        let Some(perm) = stored_vars
+            .iter()
+            .map(|v| joined.vars().iter().position(|w| w == v))
+            .collect::<Option<Vec<usize>>>()
+        else {
+            return SigDelta::Evict;
+        };
+        let mut key_buf: Vec<u32> = vec![0; perm.len()];
+        for i in 0..joined.len() {
+            let row = joined.row_codes(i);
+            for (slot, &p) in key_buf.iter_mut().zip(&perm) {
+                *slot = row[p];
+            }
+            let Ok(w) = i128::try_from(joined.weight(i)) else {
+                return SigDelta::Evict;
+            };
+            let entry = acc.entry(key_buf.clone().into_boxed_slice()).or_insert(0);
+            let Some(next) = entry.checked_add(sign * w) else {
+                return SigDelta::Evict;
+            };
+            *entry = next;
+        }
+    }
+    let mut rows: Vec<(Box<[u32]>, i128)> = acc.into_iter().filter(|(_, d)| *d != 0).collect();
+    rows.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    SigDelta::Patch(rows)
+}

@@ -130,6 +130,39 @@ impl<'a> Evaluator<'a> {
         })
     }
 
+    /// Binds `query` to `db` around already-built per-atom base factors —
+    /// the delta-maintenance path: after `FamilyCache::apply_delta`
+    /// patched the retained factors, the next evaluator must reuse them
+    /// (and their patch domain) rather than re-stage from the relations,
+    /// both to skip the O(instance) rebuild and because a fresh staging
+    /// pass over the mutated database may intern codes in a different
+    /// order than the append-only patch domain.
+    ///
+    /// The caller asserts that `atom_factors` equals what
+    /// [`Evaluator::new`] would have built for `(query, db)` (same
+    /// content; the column order of atom `i` is always
+    /// `query.atoms()[i].variables()`, which both paths preserve).
+    pub fn with_seed_factors(
+        query: &'a ConjunctiveQuery,
+        db: &'a Database,
+        atom_factors: Vec<Arc<Factor>>,
+    ) -> Result<Self, EvalError> {
+        assert_eq!(
+            atom_factors.len(),
+            query.num_atoms(),
+            "one seed factor per query atom"
+        );
+        debug_assert!(atom_factors
+            .iter()
+            .zip(query.atoms())
+            .all(|(f, a)| f.vars() == a.variables()));
+        Ok(Evaluator {
+            query,
+            db,
+            atom_factors,
+        })
+    }
+
     /// The bound query.
     pub fn query(&self) -> &ConjunctiveQuery {
         self.query
@@ -314,6 +347,20 @@ impl<'a> Evaluator<'a> {
             }
             rep[x]
         }
+        // Canonical ingredients of the per-partition *final* signature:
+        // the joined-and-boundary-aggregated term below is itself a
+        // `Sig` (join the subset's atoms, filter the applied predicates,
+        // merge per `rep`, eliminate to the boundary representatives).
+        let mut atoms_key: Vec<u32> = subset.iter().map(|&i| i as u32).collect();
+        atoms_key.sort_unstable();
+        let mut applied_preds: Vec<Predicate> = base
+            .iter()
+            .flat_map(|tf| tf.preds.iter().copied())
+            .collect();
+        applied_preds.sort_unstable();
+        applied_preds.dedup();
+        let subset_vars: Vec<VarId> = self.query.subset_vars(subset).into_iter().collect();
+
         let mut partitions: dpcq_relation::FxHashMap<Vec<usize>, i128> =
             dpcq_relation::FxHashMap::default();
         for mask in 0u32..(1 << ie_pairs.len()) {
@@ -332,6 +379,7 @@ impl<'a> Evaluator<'a> {
             *partitions.entry(rep).or_insert(0) += sign;
         }
 
+        let single_partition = partitions.len() == 1;
         for (rep, coeff) in partitions {
             if coeff == 0 {
                 continue;
@@ -385,24 +433,56 @@ impl<'a> Evaluator<'a> {
                 self.query,
             );
             let fs: Vec<Arc<Factor>> = reduced.into_iter().map(|t| t.f).collect();
-            let combined = join_all(&fs, Semiring::Counting);
+            // The joined, boundary-aggregated term is itself a `Sig`:
+            // memoize it so re-deriving a `T` value over a warm store —
+            // in particular after a delta pass, which patches this entry
+            // like any other — costs a lookup plus a scan of boundary
+            // rows instead of a re-join of the residual.
+            let term = cached(
+                memo,
+                || Sig {
+                    atoms: atoms_key.clone(),
+                    keep: keep.iter().map(|v| v.0 as u32).collect(),
+                    boolean: false,
+                    preds: applied_preds.clone(),
+                    rep: restrict_rep(&rep, &subset_vars),
+                },
+                || {
+                    let combined = join_all(&fs, Semiring::Counting);
+                    let drop: Vec<VarId> = combined
+                        .vars()
+                        .iter()
+                        .copied()
+                        .filter(|v| !keep.contains(v))
+                        .collect();
+                    combined.eliminate(&drop, Semiring::Counting)
+                },
+            );
+
+            if single_partition && coeff == 1 {
+                // No surviving inclusion–exclusion terms (e.g. a
+                // predicate-free subset): the term already aggregates one
+                // row per boundary valuation, so `T` is its max weight —
+                // skip the signed hash-map accumulation entirely.
+                let max = (0..term.len()).map(|i| term.weight(i)).max().unwrap_or(0);
+                return Some(max);
+            }
 
             let positions: Vec<usize> = boundary_vec
                 .iter()
                 .map(|b| {
-                    combined
-                        .vars()
+                    term.vars()
                         .iter()
                         .position(|v| *v == VarId(rep[b.0]))
-                        .expect("boundary representative appears in combined factor")
+                        .expect("boundary representative appears in aggregated term")
                 })
                 .collect();
-            for i in 0..combined.len() {
-                let row = combined.row_codes(i);
+            for i in 0..term.len() {
+                let row = term.row_codes(i);
                 for (slot, &p) in key_buf.iter_mut().zip(&positions) {
                     *slot = row[p];
                 }
-                let w = i128::try_from(combined.weight(i)).expect("count fits in i128");
+                let w = i128::try_from(term.weight(i)).expect("count fits in i128");
                 *acc.entry(key_buf.clone().into_boxed_slice()).or_insert(0) += coeff * w;
             }
         }
@@ -856,15 +936,23 @@ fn max_product(factors: &[TF], preds: &[Predicate], num_vars: usize) -> Option<u
     for i in (0..factors.len()).rev() {
         suffix_max[i] = suffix_max[i + 1].checked_mul(factors[i].f.max_annotation())?;
     }
-    // The search binds dictionary codes (single-word equality); all the
-    // factors of one evaluation share a domain, decoded only when an order
-    // predicate needs the underlying values.
-    let domain = factors[0].f.domain();
+    // The search binds dictionary codes (single-word equality); the
+    // factors of one evaluation share a domain *up to prefix extension*
+    // (delta maintenance grows the patch domain append-only, so factors
+    // retained earlier carry prefixes of the longest one). Codes agree
+    // wherever they overlap; decode through the longest domain so every
+    // code resolves.
+    let domain = factors
+        .iter()
+        .map(|t| t.f.domain())
+        .max_by_key(|d| d.values().len())
+        .expect("non-empty factor list");
     debug_assert!(
-        factors
-            .iter()
-            .all(|t| std::sync::Arc::ptr_eq(t.f.domain(), domain)),
-        "max_product factors must share one evaluation domain"
+        factors.iter().all(|t| {
+            let d = t.f.domain();
+            domain.values()[..d.values().len()] == *d.values()
+        }),
+        "max_product factor domains must be prefix-consistent"
     );
 
     struct Search<'s> {

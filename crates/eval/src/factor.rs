@@ -333,7 +333,7 @@ impl Clone for Factor {
 
 impl Factor {
     /// Assembles a factor from already aggregated parts with fresh caches.
-    fn from_parts(
+    pub(crate) fn from_parts(
         vars: Vec<VarId>,
         domain: Arc<Domain>,
         codes: Vec<u32>,
@@ -853,6 +853,94 @@ impl Factor {
             idx.sort_by_key(|&i| std::cmp::Reverse(self.weights[i as usize]));
             idx.into_boxed_slice()
         })
+    }
+
+    /// Re-wraps the factor against `domain` without touching its rows.
+    /// Sound only when `domain` *extends* this factor's domain (every code
+    /// the rows mention decodes to the same value) — the delta-maintenance
+    /// path uses it when the shared patch domain grows.
+    pub(crate) fn with_domain(&self, domain: Arc<Domain>) -> Factor {
+        debug_assert!(
+            domain.values().len() >= self.domain.values().len()
+                && domain.values()[..self.domain.values().len()] == *self.domain.values(),
+            "with_domain requires a prefix-extending domain"
+        );
+        Factor::from_parts(
+            self.vars.clone(),
+            domain,
+            self.codes.clone(),
+            self.weights.clone(),
+        )
+    }
+
+    /// Applies a signed row delta copy-on-write: a two-pointer merge of the
+    /// stored rows with `delta`, both in code-lexicographic order (every
+    /// aggregated factor is stored sorted — the packed `u64`/`u128` sort
+    /// keys and the wide-row comparator all order rows lexicographically).
+    /// `delta` must be strictly sorted by row codes with no zero entries.
+    ///
+    /// Rows whose patched weight reaches zero drop out; a weight that
+    /// would go *negative* (or overflow `i128`) means the delta is
+    /// inconsistent with this factor, and the caller must fall back to
+    /// recomputation — `None` is returned. The result is wrapped against
+    /// `domain` (the possibly-grown shared patch domain).
+    pub(crate) fn patch_signed(
+        &self,
+        delta: &[(Box<[u32]>, i128)],
+        domain: Arc<Domain>,
+    ) -> Option<Factor> {
+        let arity = self.arity();
+        debug_assert!(delta.windows(2).all(|w| w[0].0 < w[1].0), "delta sorted");
+        let n = self.len();
+        let mut codes = Vec::with_capacity(self.codes.len() + delta.len() * arity);
+        let mut weights = Vec::with_capacity(n + delta.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < n || j < delta.len() {
+            let ord = if i == n {
+                std::cmp::Ordering::Greater
+            } else if j == delta.len() {
+                std::cmp::Ordering::Less
+            } else {
+                self.row_codes(i).cmp(&delta[j].0)
+            };
+            match ord {
+                std::cmp::Ordering::Less => {
+                    codes.extend_from_slice(self.row_codes(i));
+                    weights.push(self.weights[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    let (row, d) = &delta[j];
+                    if *d < 0 {
+                        return None; // removing a row that is not there
+                    }
+                    if *d > 0 {
+                        codes.extend_from_slice(row);
+                        weights.push(*d as u128);
+                    }
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let w = i128::try_from(self.weights[i]).ok()?;
+                    let next = w.checked_add(delta[j].1)?;
+                    if next < 0 {
+                        return None;
+                    }
+                    if next > 0 {
+                        codes.extend_from_slice(self.row_codes(i));
+                        weights.push(next as u128);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Some(Factor::from_parts(
+            self.vars.clone(),
+            domain,
+            codes,
+            weights,
+        ))
     }
 
     /// Number of distinct key sets with a retained join index (testing).

@@ -54,11 +54,13 @@
 //! them and allocates only the factors it actually retains.
 
 use crate::cancel::CancelToken;
+use crate::delta::{sig_delta, stage_atom_delta, SigDelta, StagedDelta};
+use crate::domain::Domain;
 use crate::error::EvalError;
 use crate::evaluator::Evaluator;
-use crate::factor::Factor;
+use crate::factor::{Factor, Semiring};
 use dpcq_query::{ConjunctiveQuery, Predicate, Term, VarId};
-use dpcq_relation::{FxHashMap, VersionStamp};
+use dpcq_relation::{FxHashMap, Value, VersionStamp};
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -210,6 +212,41 @@ pub struct FamilyStats {
     pub values_computed: u64,
     /// `T` lookups answered from the isomorphism value cache.
     pub value_hits: u64,
+    /// Successful [`FamilyCache::apply_delta`] passes.
+    pub delta_applied: u64,
+    /// Delta fallbacks: whole-cache refusals plus per-entry evictions
+    /// (entries whose delta would have cost more than a rebuild).
+    pub delta_fallback: u64,
+    /// Total signed rows merged into memoized factors by delta passes.
+    pub delta_rows: u64,
+}
+
+/// The outcome of [`FamilyCache::apply_delta`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// The cache was patched in place (possibly evicting some entries)
+    /// and is valid for the post-mutation instance.
+    Applied {
+        /// Signed rows merged into memoized factors.
+        rows: u64,
+    },
+    /// The cache could not be maintained incrementally (never seeded, or
+    /// query shape mismatch); the owner must retire it.
+    Fallback,
+}
+
+/// The delta-maintenance base state: the per-atom seed factors and the
+/// shared patch [`Domain`] every retained factor's codes are consistent
+/// with. Recorded on first use by an evaluator, patched in lockstep with
+/// the memo store by [`FamilyCache::apply_delta`].
+#[derive(Debug)]
+struct DeltaSeeds {
+    /// Pre-predicate base factor per query atom (what `Evaluator::new`
+    /// builds), in the patch domain.
+    atoms: Vec<Arc<Factor>>,
+    /// The evolving shared code domain: factors retained earlier carry
+    /// prefixes of it, so codes compare consistently across all of them.
+    domain: Arc<Domain>,
 }
 
 /// The shareable cache state of a [`FamilyEvaluator`]: the intermediate-
@@ -250,10 +287,17 @@ pub struct FamilyCache {
     store: FactorStore,
     values: Mutex<FxHashMap<Vec<u64>, u128>>,
     value_hits: AtomicU64,
-    /// The read-set stamp the cache was built against (`None` for caches
+    /// The read-set stamp the cache is valid for (`None` for caches
     /// whose validity is managed entirely by the caller, e.g. β sweeps
-    /// over one immutable database).
-    stamp: Option<VersionStamp>,
+    /// over one immutable database). Advanced by
+    /// [`FamilyCache::apply_delta`] when a mutation is absorbed in place.
+    stamp: Mutex<Option<VersionStamp>>,
+    /// Delta-maintenance base state, recorded by the first evaluator that
+    /// uses the cache (see [`FamilyCache::apply_delta`]).
+    seeds: Mutex<Option<DeltaSeeds>>,
+    delta_applied: AtomicU64,
+    delta_fallback: AtomicU64,
+    delta_rows: AtomicU64,
 }
 
 impl FamilyCache {
@@ -268,14 +312,14 @@ impl FamilyCache {
     /// revalidation on later reuse.
     pub fn for_stamp(stamp: VersionStamp) -> Self {
         FamilyCache {
-            stamp: Some(stamp),
+            stamp: Mutex::new(Some(stamp)),
             ..FamilyCache::default()
         }
     }
 
-    /// The recorded build stamp, if any.
-    pub fn stamp(&self) -> Option<&VersionStamp> {
-        self.stamp.as_ref()
+    /// The stamp the cache is currently valid for, if any.
+    pub fn stamp(&self) -> Option<VersionStamp> {
+        self.stamp.lock().expect("stamp lock poisoned").clone()
     }
 
     /// Whether the cache may be reused against a database whose read set
@@ -284,7 +328,234 @@ impl FamilyCache {
     /// their owners opted into manual validity management and cannot be
     /// revalidated mechanically.
     pub fn is_valid_for(&self, current: &VersionStamp) -> bool {
-        self.stamp.as_ref() == Some(current)
+        self.stamp.lock().expect("stamp lock poisoned").as_ref() == Some(current)
+    }
+
+    /// Records the delta-maintenance seeds from an evaluator's base atom
+    /// factors, once: the first evaluator to use the cache donates its
+    /// per-atom factors and frozen domain as the patch base. Later
+    /// evaluators over the identical read set build byte-identical
+    /// factors (interning is deterministic), so first-wins is safe.
+    pub(crate) fn maybe_seed(&self, ev: &Evaluator<'_>) {
+        let n = ev.query().num_atoms();
+        if n == 0 {
+            return;
+        }
+        let mut guard = self.seeds.lock().expect("delta seed lock poisoned");
+        if guard.is_some() {
+            return;
+        }
+        let atoms: Vec<Arc<Factor>> = (0..n).map(|i| ev.atom_factor_arc(i)).collect();
+        let domain = Arc::clone(atoms[0].domain());
+        *guard = Some(DeltaSeeds { atoms, domain });
+    }
+
+    /// The current per-atom seed factors, if the cache has been seeded —
+    /// the base a post-delta evaluator must be built from (fresh staging
+    /// over the mutated database may intern a differently ordered domain,
+    /// which would not be code-compatible with the patched factors).
+    pub fn seed_factors(&self) -> Option<Vec<Arc<Factor>>> {
+        self.seeds
+            .lock()
+            .expect("delta seed lock poisoned")
+            .as_ref()
+            .map(|s| s.atoms.clone())
+    }
+
+    /// Absorbs a batch mutation of `relation` (all `tuples` inserted, or
+    /// all removed, per `insert`) into the cached state **in place**:
+    /// seed atom factors and every memoized intermediate factor are
+    /// patched copy-on-write by their semi-naive deltas (see
+    /// [`crate::delta`]), entries whose delta would cost more than a
+    /// rebuild are evicted for lazy recomputation, and the residual value
+    /// cache is cleared (individual `T` values are cheap to re-derive
+    /// from the patched factors). On success the cache's stamp becomes
+    /// `new_stamp` and the cache is exactly what a rebuild against the
+    /// mutated read set would have produced.
+    ///
+    /// [`DeltaOutcome::Fallback`] (never seeded, query-shape mismatch, or
+    /// a seed patch failure) leaves the cache **untouched**; the owner
+    /// must retire it and rebuild wholesale.
+    ///
+    /// `tuples` must be deduplicated and *effective* (inserts absent
+    /// before the batch, removes present before it) — the engine's
+    /// mutation path guarantees this; a non-effective remove fails the
+    /// seed patch and falls back, a non-effective insert would
+    /// double-count.
+    ///
+    /// Deltas operate strictly pre-noise: only factor and `T`-value state
+    /// is touched, never `RawAnswer`/`Released` (see `docs/INVARIANTS.md`).
+    pub fn apply_delta(
+        &self,
+        query: &ConjunctiveQuery,
+        relation: &str,
+        tuples: &[Vec<Value>],
+        insert: bool,
+        new_stamp: Option<VersionStamp>,
+    ) -> DeltaOutcome {
+        let _span = dpcq_obs::Span::enter(dpcq_obs::Stage::DeltaApply);
+        let mut seeds_guard = self.seeds.lock().expect("delta seed lock poisoned");
+        let seeds = match seeds_guard.as_mut() {
+            Some(s) if s.atoms.len() == query.num_atoms() => s,
+            _ => {
+                self.delta_fallback.fetch_add(1, Ordering::Relaxed);
+                dpcq_obs::inc_event(dpcq_obs::Event::DeltaFallback);
+                return DeltaOutcome::Fallback;
+            }
+        };
+
+        // Stage the batch against each atom over a copy of the patch
+        // domain (append-only interning keeps existing codes stable).
+        let mut domain = (*seeds.domain).clone();
+        let mut staged: Vec<Option<StagedDelta>> = Vec::with_capacity(seeds.atoms.len());
+        for (i, atom) in query.atoms().iter().enumerate() {
+            if atom.relation == relation {
+                let (vars, codes, weights) = stage_atom_delta(query, i, tuples, &mut domain);
+                staged.push((!weights.is_empty()).then_some((vars, codes, weights)));
+            } else {
+                staged.push(None);
+            }
+        }
+        if staged.iter().all(Option::is_none) {
+            // The batch is invisible to every atom (absorbed by constant
+            // filters / repeated-variable constraints): all cached
+            // content — including `T` values — is already current.
+            *self.stamp.lock().expect("stamp lock poisoned") = new_stamp;
+            self.delta_applied.fetch_add(1, Ordering::Relaxed);
+            dpcq_obs::inc_event(dpcq_obs::Event::DeltaApplied);
+            return DeltaOutcome::Applied { rows: 0 };
+        }
+
+        let grown = domain.values().len() > seeds.domain.values().len();
+        let domain = if grown {
+            Arc::new(domain)
+        } else {
+            Arc::clone(&seeds.domain)
+        };
+
+        // Per-atom delta factors: ordinary non-negative Counting factors
+        // (the sign lives in the subset expansion / seed patch).
+        let atom_deltas: Vec<Option<Arc<Factor>>> = staged
+            .into_iter()
+            .map(|s| {
+                s.map(|(vars, codes, weights)| {
+                    Arc::new(Factor::from_coded(
+                        vars,
+                        Arc::clone(&domain),
+                        codes,
+                        weights,
+                        Semiring::Counting,
+                    ))
+                })
+            })
+            .collect();
+
+        // Patch the seeds first: a failure here (a remove of a tuple the
+        // seed does not hold, or weight overflow) must leave the cache
+        // untouched, so nothing is committed until every seed patched.
+        let sign: i128 = if insert { 1 } else { -1 };
+        let mut new_atoms: Vec<Arc<Factor>> = Vec::with_capacity(seeds.atoms.len());
+        let mut total_rows: u64 = 0;
+        for (old, delta) in seeds.atoms.iter().zip(&atom_deltas) {
+            let old_rewrapped;
+            let old: &Factor = if grown {
+                old_rewrapped = old.with_domain(Arc::clone(&domain));
+                &old_rewrapped
+            } else {
+                old
+            };
+            match delta {
+                None => new_atoms.push(Arc::new(old.clone())),
+                Some(d) => {
+                    let mut rows: Vec<(Box<[u32]>, i128)> = Vec::with_capacity(d.len());
+                    for r in 0..d.len() {
+                        let Ok(w) = i128::try_from(d.weight(r)) else {
+                            self.delta_fallback.fetch_add(1, Ordering::Relaxed);
+                            dpcq_obs::inc_event(dpcq_obs::Event::DeltaFallback);
+                            return DeltaOutcome::Fallback;
+                        };
+                        rows.push((d.row_codes(r).into(), sign * w));
+                    }
+                    if old.vars() != d.vars() {
+                        self.delta_fallback.fetch_add(1, Ordering::Relaxed);
+                        dpcq_obs::inc_event(dpcq_obs::Event::DeltaFallback);
+                        return DeltaOutcome::Fallback;
+                    }
+                    match old.patch_signed(&rows, Arc::clone(&domain)) {
+                        Some(f) => {
+                            total_rows += rows.len() as u64;
+                            new_atoms.push(Arc::new(f));
+                        }
+                        None => {
+                            self.delta_fallback.fetch_add(1, Ordering::Relaxed);
+                            dpcq_obs::inc_event(dpcq_obs::Event::DeltaFallback);
+                            return DeltaOutcome::Fallback;
+                        }
+                    }
+                }
+            }
+        }
+
+        // From here on failures are per-entry evictions, never wholesale:
+        // an evicted entry rebuilds lazily from the patched seeds, which
+        // is consistent because a `Sig` fully determines its content.
+        let old_atoms: Vec<Arc<Factor>> = if grown {
+            seeds
+                .atoms
+                .iter()
+                .map(|f| Arc::new(f.with_domain(Arc::clone(&domain))))
+                .collect()
+        } else {
+            seeds.atoms.clone()
+        };
+        let mut evicted: u64 = 0;
+        for shard in &self.store.shards {
+            let mut guard = shard.lock().expect("factor cache lock poisoned");
+            let sigs: Vec<Sig> = guard.keys().cloned().collect();
+            for sig in sigs {
+                let stored = Arc::clone(&guard[&sig]);
+                match sig_delta(query, &sig, &stored, &old_atoms, &atom_deltas, insert) {
+                    SigDelta::Unaffected => {
+                        if grown {
+                            guard.insert(sig, Arc::new(stored.with_domain(Arc::clone(&domain))));
+                        }
+                    }
+                    SigDelta::Patch(rows) => {
+                        match stored.patch_signed(&rows, Arc::clone(&domain)) {
+                            Some(f) => {
+                                total_rows += rows.len() as u64;
+                                guard.insert(sig, Arc::new(f));
+                            }
+                            None => {
+                                evicted += 1;
+                                guard.remove(&sig);
+                            }
+                        }
+                    }
+                    SigDelta::Evict => {
+                        evicted += 1;
+                        guard.remove(&sig);
+                    }
+                }
+            }
+        }
+
+        seeds.atoms = new_atoms;
+        seeds.domain = Arc::clone(&domain);
+        drop(seeds_guard);
+        // Residual values are instance-dependent scalars; recomputing them
+        // from the patched factors is cheap relative to guessing which
+        // isomorphism classes a delta reaches.
+        self.values
+            .lock()
+            .expect("value cache lock poisoned")
+            .clear();
+        *self.stamp.lock().expect("stamp lock poisoned") = new_stamp;
+        self.delta_applied.fetch_add(1, Ordering::Relaxed);
+        self.delta_rows.fetch_add(total_rows, Ordering::Relaxed);
+        self.delta_fallback.fetch_add(evicted, Ordering::Relaxed);
+        dpcq_obs::inc_event(dpcq_obs::Event::DeltaApplied);
+        DeltaOutcome::Applied { rows: total_rows }
     }
 
     /// Cache-effectiveness counters accumulated over every evaluator that
@@ -296,6 +567,9 @@ impl FamilyCache {
             factor_misses,
             values_computed: self.values.lock().expect("value cache lock poisoned").len() as u64,
             value_hits: self.value_hits.load(Ordering::Relaxed),
+            delta_applied: self.delta_applied.load(Ordering::Relaxed),
+            delta_fallback: self.delta_fallback.load(Ordering::Relaxed),
+            delta_rows: self.delta_rows.load(Ordering::Relaxed),
         }
     }
 }
@@ -333,6 +607,7 @@ impl<'e> FamilyEvaluator<'e> {
     /// the cache when such a mutation happens or revalidate its recorded
     /// stamp with [`FamilyCache::is_valid_for`].
     pub fn with_cache(ev: &'e Evaluator<'e>, cache: Arc<FamilyCache>) -> Self {
+        cache.maybe_seed(ev);
         FamilyEvaluator {
             syms: column_symmetries(ev.query(), ev.database()),
             ev,
@@ -920,13 +1195,68 @@ mod tests {
     }
 
     #[test]
+    fn apply_delta_matches_rebuild_for_insert_and_remove() {
+        let q = parse_query("Q(*) :- Edge(a,b), Edge(b,c), Edge(a,c)").unwrap();
+        let mut db = k4_db();
+        let fam: BTreeSet<Vec<usize>> = [
+            vec![],
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+            vec![0, 1, 2],
+        ]
+        .into_iter()
+        .collect();
+        let cache = Arc::new(FamilyCache::new());
+        {
+            let ev = Evaluator::new(&q, &db).unwrap();
+            let fe = FamilyEvaluator::with_cache(&ev, Arc::clone(&cache));
+            fe.t_family(&fam, 1).unwrap();
+        }
+        // Insert a batch introducing a brand-new domain value (4), then
+        // remove it again: both directions must agree with a rebuild.
+        let batch = vec![vec![Value(4), Value(0)], vec![Value(0), Value(4)]];
+        for (round, insert) in [(0, true), (1, false)] {
+            for t in &batch {
+                if insert {
+                    db.insert_tuple("Edge", t);
+                } else {
+                    db.remove_tuple("Edge", t);
+                }
+            }
+            let out = cache.apply_delta(&q, "Edge", &batch, insert, None);
+            assert!(
+                matches!(out, DeltaOutcome::Applied { .. }),
+                "round {round}: {out:?}"
+            );
+            let seeds = cache.seed_factors().unwrap();
+            let ev = Evaluator::with_seed_factors(&q, &db, seeds).unwrap();
+            let fe = FamilyEvaluator::with_cache(&ev, Arc::clone(&cache));
+            let fresh = Evaluator::new(&q, &db).unwrap();
+            for s in &fam {
+                assert_eq!(
+                    fe.t_e(s).unwrap(),
+                    fresh.t_e(s).unwrap(),
+                    "round {round}, subset {s:?}"
+                );
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.delta_applied, 2, "stats {stats:?}");
+        assert!(stats.delta_rows > 0, "stats {stats:?}");
+    }
+
+    #[test]
     fn stamped_cache_revalidates_only_against_its_own_stamp() {
         let stamp = |pairs: &[(&str, u64)]| {
             VersionStamp::new(pairs.iter().map(|&(n, v)| (n.to_string(), v)))
         };
         let built_at = stamp(&[("Edge", 3)]);
         let cache = FamilyCache::for_stamp(built_at.clone());
-        assert_eq!(cache.stamp(), Some(&built_at));
+        assert_eq!(cache.stamp(), Some(built_at.clone()));
         assert!(cache.is_valid_for(&built_at));
         // Any movement of a read-set relation retires the cache…
         assert!(!cache.is_valid_for(&stamp(&[("Edge", 4)])));

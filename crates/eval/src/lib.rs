@@ -37,6 +37,7 @@
 
 pub mod active_domain;
 pub mod cancel;
+pub(crate) mod delta;
 pub(crate) mod domain;
 pub mod error;
 pub mod evaluator;
@@ -50,4 +51,4 @@ pub use cancel::CancelToken;
 pub use error::EvalError;
 pub use evaluator::Evaluator;
 pub use factor::{Factor, Semiring};
-pub use family::{FamilyCache, FamilyEvaluator, FamilyStats};
+pub use family::{DeltaOutcome, FamilyCache, FamilyEvaluator, FamilyStats};

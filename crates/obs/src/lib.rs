@@ -49,6 +49,8 @@ pub enum Op {
     Batch,
     Insert,
     Remove,
+    InsertBatch,
+    RemoveBatch,
     Budget,
     Stats,
     Metrics,
@@ -57,11 +59,13 @@ pub enum Op {
 
 impl Op {
     /// Every op, in label order.
-    pub const ALL: [Op; 8] = [
+    pub const ALL: [Op; 10] = [
         Op::Release,
         Op::Batch,
         Op::Insert,
         Op::Remove,
+        Op::InsertBatch,
+        Op::RemoveBatch,
         Op::Budget,
         Op::Stats,
         Op::Metrics,
@@ -75,6 +79,8 @@ impl Op {
             Op::Batch => "batch",
             Op::Insert => "insert",
             Op::Remove => "remove",
+            Op::InsertBatch => "insert_batch",
+            Op::RemoveBatch => "remove_batch",
             Op::Budget => "budget",
             Op::Stats => "stats",
             Op::Metrics => "metrics",
@@ -104,11 +110,13 @@ pub enum Stage {
     SnapshotWrite,
     /// One intermediate-factor build inside the evaluation engine.
     FactorBuild,
+    /// One semi-naive delta pass patching a retained family cache.
+    DeltaApply,
 }
 
 impl Stage {
     /// Every stage, in label order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Admission,
         Stage::Reserve,
         Stage::Prepare,
@@ -118,6 +126,7 @@ impl Stage {
         Stage::Flush,
         Stage::SnapshotWrite,
         Stage::FactorBuild,
+        Stage::DeltaApply,
     ];
 
     /// The `stage` label value.
@@ -132,6 +141,7 @@ impl Stage {
             Stage::Flush => "flush",
             Stage::SnapshotWrite => "snapshot_write",
             Stage::FactorBuild => "factor_build",
+            Stage::DeltaApply => "delta_apply",
         }
     }
 }
@@ -190,17 +200,23 @@ pub enum Event {
     CancelTrip,
     /// Request that crossed the `--slow-ms` threshold.
     SlowQuery,
+    /// Mutation absorbed in place by a semi-naive delta pass.
+    DeltaApplied,
+    /// Delta pass refused wholesale (cache dropped and rebuilt).
+    DeltaFallback,
 }
 
 impl Event {
     /// Every event, in label order.
-    pub const ALL: [Event; 6] = [
+    pub const ALL: [Event; 8] = [
         Event::Shed,
         Event::DeadlineTimeout,
         Event::CostRejected,
         Event::WorkSteal,
         Event::CancelTrip,
         Event::SlowQuery,
+        Event::DeltaApplied,
+        Event::DeltaFallback,
     ];
 
     /// The `event` label value.
@@ -212,6 +228,8 @@ impl Event {
             Event::WorkSteal => "work_steal",
             Event::CancelTrip => "cancel_trip",
             Event::SlowQuery => "slow_query",
+            Event::DeltaApplied => "delta_applied",
+            Event::DeltaFallback => "delta_fallback",
         }
     }
 }
@@ -628,6 +646,13 @@ mod stub {
     /// The inert guard returned by [`Trace::span`].
     #[derive(Debug)]
     pub struct TraceSpan<'a>(PhantomData<&'a mut Trace>);
+
+    impl Drop for TraceSpan<'_> {
+        // No-op, but keeps the stub's drop semantics (and callers that
+        // end a span with an explicit `drop`) identical to the enabled
+        // build.
+        fn drop(&mut self) {}
+    }
 }
 
 #[cfg(not(feature = "enabled"))]

@@ -144,11 +144,26 @@ pub fn residual_sensitivity_report(
     let pol = &prep.policy;
 
     let family = required_subsets(q, pol);
-    let ev = Evaluator::new(q, d)?;
     // When the caller owns a cache (engine-held store, β sweep), thread it
     // in; the prepared query/database are deterministic functions of the
     // inputs, so cache entries stay consistent across calls as long as the
-    // caller honors the FamilyCache reuse contract.
+    // caller honors the FamilyCache reuse contract. A cache that has seen
+    // a delta pass also carries *seed* atom factors (patched in place on
+    // mutation); evaluating from those keeps every factor in one cache on
+    // one prefix-consistent domain — required for memo reuse after the
+    // domain grows — and skips re-scanning the base relations. Seeds are
+    // only sound when the cached query is the evaluated query, which a
+    // comparison materialization rewrite would break.
+    let seeds = match &params.shared {
+        Some(cache) if !prep.materialized => {
+            cache.seed_factors().filter(|s| s.len() == q.num_atoms())
+        }
+        _ => None,
+    };
+    let ev = match seeds {
+        Some(s) => Evaluator::with_seed_factors(q, d, s)?,
+        None => Evaluator::new(q, d)?,
+    };
     let fe = match &params.shared {
         Some(cache) => FamilyEvaluator::with_cache(&ev, Arc::clone(cache)),
         None => FamilyEvaluator::new(&ev),

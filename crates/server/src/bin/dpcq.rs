@@ -93,6 +93,11 @@ REQUEST OPTIONS:
   --addr HOST:PORT      server address (default 127.0.0.1:4547)
   --json <object>       one request frame, e.g. '{\"op\":\"stats\"}'
                         exit: 0 on ok:true, 2 on ok:false, 1 on transport error
+  --insert-batch <rel>  build an insert_batch frame for <rel> from --tuples
+  --remove-batch <rel>  build a remove_batch frame for <rel> from --tuples
+  --tuples <array>      the batch tuples, e.g. '[[1,2],[3,4]]' (the batch
+                        applies under one write lock, one WAL record, and one
+                        incremental cache-maintenance pass)
   --trace               ask for a per-stage timing breakdown in the response
                         (adds \"trace\":true to the frame; release ops only)
   --retry <int>         extra attempts (default 0) on `overloaded` frames and
@@ -469,12 +474,58 @@ fn attempt_request(addr: &str, json: &str) -> Attempt {
 /// replays it bit-for-bit at zero additional ε. Either way the retry
 /// cannot double-spend; at worst it burns one cache lookup.
 fn request_main(argv: &[String]) -> ExitCode {
-    let flags = match Flags::parse(argv, &["addr", "json", "retry"], &["trace"]) {
+    let flags = match Flags::parse(
+        argv,
+        &[
+            "addr",
+            "json",
+            "retry",
+            "insert-batch",
+            "remove-batch",
+            "tuples",
+        ],
+        &["trace"],
+    ) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
-    let Some(json) = flags.get("json") else {
-        return fail("--json is required");
+    // `--insert-batch REL --tuples [[..],..]` (or `--remove-batch`)
+    // builds the batch-mutation frame so callers don't hand-write JSON:
+    // N tuples apply under one server write lock, one WAL record, and
+    // one incremental cache-maintenance pass.
+    let built;
+    let json = match (
+        flags.get("json"),
+        flags.get("insert-batch"),
+        flags.get("remove-batch"),
+    ) {
+        (Some(json), None, None) => json,
+        (None, ins, rem) if ins.is_some() != rem.is_some() => {
+            let (op, relation) = match ins {
+                Some(r) => ("insert_batch", r),
+                None => ("remove_batch", rem.unwrap_or_default()),
+            };
+            let Some(tuples) = flags.get("tuples") else {
+                return fail("--tuples is required with --insert-batch/--remove-batch");
+            };
+            let parsed = match dpcq_wire::Json::parse(tuples) {
+                Ok(t @ dpcq_wire::Json::Arr(_)) => t,
+                _ => return fail("--tuples must be a JSON array of tuples, e.g. '[[1,2],[3,4]]'"),
+            };
+            built = dpcq_wire::Json::Obj(vec![
+                ("op".to_string(), dpcq_wire::Json::Str(op.to_string())),
+                (
+                    "relation".to_string(),
+                    dpcq_wire::Json::Str(relation.to_string()),
+                ),
+                ("tuples".to_string(), parsed),
+            ])
+            .render_compact();
+            built.as_str()
+        }
+        _ => return fail(
+            "exactly one of --json or --insert-batch/--remove-batch (with --tuples) is required",
+        ),
     };
     // `--trace` injects `"trace":true` into the frame; the server echoes
     // a per-stage timing breakdown (post-processing-safe: timings

@@ -56,6 +56,7 @@ const SNAPSHOT_VERSION: u32 = 1;
 
 const TAG_RELEASE: u8 = 1;
 const TAG_MUTATION: u8 = 2;
+const TAG_BATCH_MUTATION: u8 = 3;
 
 /// One durable event, encoded as one WAL record.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +78,20 @@ pub enum DurableRecord {
         relation: String,
         /// The tuple.
         tuple: Vec<i64>,
+    },
+    /// One batch mutation: N *effective* same-direction tuples applied
+    /// to one relation as a single logical event. Logged as one record
+    /// so replay re-applies the batch through the same batched engine
+    /// path (one cache-maintenance pass) the live server used — the
+    /// resulting versions match the live run tick-for-tick because only
+    /// effective tuples are logged.
+    BatchMutation {
+        /// `true` for insert, `false` for remove.
+        insert: bool,
+        /// The mutated relation.
+        relation: String,
+        /// The effective tuples, in application order.
+        tuples: Vec<Vec<i64>>,
     },
 }
 
@@ -117,6 +132,22 @@ impl DurableRecord {
                 w.u32(tuple.len() as u32);
                 for &v in tuple {
                     w.i64(v);
+                }
+            }
+            DurableRecord::BatchMutation {
+                insert,
+                relation,
+                tuples,
+            } => {
+                w.u8(TAG_BATCH_MUTATION);
+                w.u8(u8::from(*insert));
+                w.str(relation);
+                w.u32(tuples.len() as u32);
+                for tuple in tuples {
+                    w.u32(tuple.len() as u32);
+                    for &v in tuple {
+                        w.i64(v);
+                    }
                 }
             }
         }
@@ -182,6 +213,25 @@ impl DurableRecord {
                     insert,
                     relation,
                     tuple,
+                })
+            }
+            TAG_BATCH_MUTATION => {
+                let insert = r.u8().map_err(err)? != 0;
+                let relation = r.str().map_err(err)?;
+                let count = r.u32().map_err(err)?;
+                let mut tuples = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let len = r.u32().map_err(err)?;
+                    let mut tuple = Vec::with_capacity(len as usize);
+                    for _ in 0..len {
+                        tuple.push(r.i64().map_err(err)?);
+                    }
+                    tuples.push(tuple);
+                }
+                Ok(DurableRecord::BatchMutation {
+                    insert,
+                    relation,
+                    tuples,
                 })
             }
             other => Err(format!("unknown wal record tag {other}")),
@@ -301,7 +351,7 @@ impl Snapshot {
             }
             match DurableRecord::decode(&rec_bytes)? {
                 DurableRecord::Release { key, release, .. } => cache.push((key, release)),
-                DurableRecord::Mutation { .. } => {
+                DurableRecord::Mutation { .. } | DurableRecord::BatchMutation { .. } => {
                     return Err("bad snapshot: mutation record in cache section".to_string())
                 }
             }
@@ -508,6 +558,24 @@ mod tests {
                 insert: false,
                 relation: "Unit".to_string(),
                 tuple: vec![],
+            },
+        ] {
+            assert_eq!(DurableRecord::decode(&rec.encode()).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn batch_mutation_record_round_trips() {
+        for rec in [
+            DurableRecord::BatchMutation {
+                insert: true,
+                relation: "Edge".to_string(),
+                tuples: vec![vec![1, 2], vec![-3, 4]],
+            },
+            DurableRecord::BatchMutation {
+                insert: false,
+                relation: "Edge".to_string(),
+                tuples: vec![vec![7, 8]],
             },
         ] {
             assert_eq!(DurableRecord::decode(&rec.encode()).unwrap(), rec);

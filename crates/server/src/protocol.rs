@@ -14,6 +14,8 @@
 //! {"op":"batch","requests":[{...release...},{...release...}]}
 //! {"op":"insert","relation":"Edge","tuple":[1,4]}
 //! {"op":"remove","relation":"Edge","tuple":[1,4]}
+//! {"op":"insert_batch","relation":"Edge","tuples":[[1,4],[4,1]]}
+//! {"op":"remove_batch","relation":"Edge","tuples":[[1,4],[4,1]]}
 //! {"op":"budget","principal":"alice"}
 //! {"op":"stats"}
 //! {"op":"metrics"}
@@ -30,6 +32,15 @@
 //! response (timings are post-processing of the release decision, never
 //! of the data; see `docs/INVARIANTS.md` § Telemetry privacy).
 //!
+//! `insert_batch`/`remove_batch` apply N same-direction tuples to one
+//! relation as **one** mutation: one engine write lock, one durability
+//! record, and one incremental cache-maintenance pass (see README
+//! § Serving). The response reports how many tuples were *effective*
+//! (`"changed"` is a count; duplicates within the batch and no-op
+//! tuples are skipped), and the generation still advances once per
+//! effective tuple so read-set stamps match the equivalent single-op
+//! sequence.
+//!
 //! ## Responses
 //!
 //! ```text
@@ -37,6 +48,7 @@
 //!  "sensitivity":3.1,"scale":31.2,"expected_error":31.2,
 //!  "method":"residual","cached":false,"generation":0,"remaining":1.5}
 //! {"ok":true,"op":"insert","changed":true,"generation":3}
+//! {"ok":true,"op":"insert_batch","changed":2,"generation":5}
 //! {"ok":true,"op":"budget","principal":"alice","budget":2.0,
 //!  "spent":0.5,"remaining":1.5}
 //! {"ok":true,"op":"stats","generation":3,
@@ -149,6 +161,19 @@ pub enum Request {
         /// The tuple values.
         tuple: Vec<i64>,
     },
+    /// Insert or remove a batch of tuples into one relation as a single
+    /// mutation (one write lock, one durability record, one incremental
+    /// cache-maintenance pass).
+    MutateBatch {
+        /// Client correlation id.
+        id: Option<i64>,
+        /// Target relation.
+        relation: String,
+        /// The tuples (same direction for the whole batch).
+        tuples: Vec<Vec<i64>>,
+        /// `true` = insert, `false` = remove.
+        insert: bool,
+    },
     /// Read a principal's ledger.
     Budget {
         /// Client correlation id.
@@ -235,11 +260,7 @@ fn parse_release(obj: &Json) -> Result<ReleaseRequest, String> {
     })
 }
 
-fn parse_tuple(obj: &Json) -> Result<Vec<i64>, String> {
-    let items = obj
-        .get("tuple")
-        .and_then(Json::as_array)
-        .ok_or_else(|| "missing or non-array `tuple`".to_string())?;
+fn tuple_values(items: &[Json]) -> Result<Vec<i64>, String> {
     if items.is_empty() {
         return Err("`tuple` must be non-empty".into());
     }
@@ -248,6 +269,33 @@ fn parse_tuple(obj: &Json) -> Result<Vec<i64>, String> {
         .map(|v| match v {
             Json::Int(i) => i64::try_from(*i).map_err(|_| "tuple value out of i64 range".into()),
             _ => Err("`tuple` values must be integers".to_string()),
+        })
+        .collect()
+}
+
+fn parse_tuple(obj: &Json) -> Result<Vec<i64>, String> {
+    let items = obj
+        .get("tuple")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing or non-array `tuple`".to_string())?;
+    tuple_values(items)
+}
+
+fn parse_tuples(obj: &Json) -> Result<Vec<Vec<i64>>, String> {
+    let items = obj
+        .get("tuples")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing or non-array `tuples`".to_string())?;
+    if items.is_empty() {
+        return Err("`tuples` must be non-empty".into());
+    }
+    items
+        .iter()
+        .map(|row| {
+            tuple_values(
+                row.as_array()
+                    .ok_or_else(|| "`tuples` entries must be arrays".to_string())?,
+            )
         })
         .collect()
 }
@@ -294,6 +342,15 @@ impl Request {
                 relation: get_str(obj, "relation")?,
                 tuple: parse_tuple(obj)?,
             }),
+            // `batch_insert`/`batch_remove` are accepted as aliases.
+            "insert_batch" | "batch_insert" | "remove_batch" | "batch_remove" => {
+                Ok(Request::MutateBatch {
+                    id,
+                    relation: get_str(obj, "relation")?,
+                    tuples: parse_tuples(obj)?,
+                    insert: op.contains("insert"),
+                })
+            }
             "budget" => Ok(Request::Budget {
                 id,
                 principal: get_str(obj, "principal")?,
@@ -343,6 +400,17 @@ pub enum Response {
         /// The generation after the mutation.
         generation: u64,
     },
+    /// Outcome of a batch mutation.
+    UpdatedBatch {
+        /// Echoed request id.
+        id: Option<i64>,
+        /// `"insert_batch"` or `"remove_batch"`.
+        op: &'static str,
+        /// How many tuples were effective (deduplicated; no-ops skipped).
+        changed: usize,
+        /// The generation after the mutation.
+        generation: u64,
+    },
     /// A principal's ledger.
     Budget {
         /// Echoed request id.
@@ -379,6 +447,12 @@ pub enum Response {
         cache_scoped_misses: u64,
         /// Principals with a budget ledger.
         principals: usize,
+        /// Engine-global incremental-maintenance counters, rendered as a
+        /// nested `"delta"` object: `(applied, fallback, rows)` —
+        /// in-place semi-naive cache patches, wholesale drops of dirty
+        /// shapes, and total signed rows merged. Monotone across cache
+        /// retirement (unlike per-shape family stats).
+        delta: (u64, u64, u64),
         /// Requests handled so far, by op name — from the telemetry
         /// registry (zeros with telemetry compiled out).
         requests_total: Vec<(&'static str, u64)>,
@@ -512,6 +586,20 @@ impl Response {
                     field("generation", Json::Int(*generation as i128)),
                 ],
             ),
+            Response::UpdatedBatch {
+                id,
+                op,
+                changed,
+                generation,
+            } => with_id(
+                *id,
+                vec![
+                    field("ok", Json::Bool(true)),
+                    field("op", Json::Str((*op).into())),
+                    field("changed", Json::Int(*changed as i128)),
+                    field("generation", Json::Int(*generation as i128)),
+                ],
+            ),
             Response::Budget {
                 id,
                 principal,
@@ -539,6 +627,7 @@ impl Response {
                 cache_scoped_hits,
                 cache_scoped_misses,
                 principals,
+                delta,
                 requests_total,
                 errors_total,
                 uptime_ms,
@@ -573,6 +662,14 @@ impl Response {
                         Json::Int(*cache_scoped_misses as i128),
                     ),
                     field("principals", Json::Int(*principals as i128)),
+                    field(
+                        "delta",
+                        Json::Obj(vec![
+                            field("applied", Json::Int(delta.0 as i128)),
+                            field("fallback", Json::Int(delta.1 as i128)),
+                            field("rows", Json::Int(delta.2 as i128)),
+                        ]),
+                    ),
                     field(
                         "requests_total",
                         Json::Obj(
@@ -753,6 +850,92 @@ mod tests {
     }
 
     #[test]
+    fn parses_batch_mutations_and_aliases() {
+        let expected = Request::MutateBatch {
+            id: Some(2),
+            relation: "Edge".into(),
+            tuples: vec![vec![1, 4], vec![4, 1]],
+            insert: true,
+        };
+        for op in ["insert_batch", "batch_insert"] {
+            let frame =
+                format!(r#"{{"op":"{op}","relation":"Edge","tuples":[[1,4],[4,1]],"id":2}}"#);
+            assert_eq!(Request::parse_line(&frame).unwrap(), expected);
+        }
+        for op in ["remove_batch", "batch_remove"] {
+            let frame = format!(r#"{{"op":"{op}","relation":"Edge","tuples":[[7,8]]}}"#);
+            assert_eq!(
+                Request::parse_line(&frame).unwrap(),
+                Request::MutateBatch {
+                    id: None,
+                    relation: "Edge".into(),
+                    tuples: vec![vec![7, 8]],
+                    insert: false,
+                }
+            );
+        }
+        for bad in [
+            r#"{"op":"insert_batch","relation":"R"}"#,
+            r#"{"op":"insert_batch","relation":"R","tuples":[]}"#,
+            r#"{"op":"insert_batch","relation":"R","tuples":[1,2]}"#,
+            r#"{"op":"insert_batch","relation":"R","tuples":[[]]}"#,
+            r#"{"op":"insert_batch","relation":"R","tuples":[[1.5]]}"#,
+            r#"{"op":"insert_batch","tuples":[[1]]}"#,
+        ] {
+            assert!(Request::parse_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn batch_mutation_response_renders_the_effective_count() {
+        let resp = Response::UpdatedBatch {
+            id: Some(5),
+            op: "insert_batch",
+            changed: 2,
+            generation: 7,
+        };
+        let parsed = Json::parse(&resp.render_line()).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            parsed.get("op").and_then(Json::as_str),
+            Some("insert_batch")
+        );
+        assert_eq!(parsed.get("changed").and_then(Json::as_i128), Some(2));
+        assert_eq!(parsed.get("generation").and_then(Json::as_i128), Some(7));
+    }
+
+    #[test]
+    fn stats_response_round_trips_the_delta_section() {
+        let resp = Response::Stats {
+            id: None,
+            generation: 0,
+            relation_versions: vec![],
+            release_cache_entries: 0,
+            release_cache_hits: 0,
+            release_cache_misses: 0,
+            cache_scoped_hits: 0,
+            cache_scoped_misses: 0,
+            principals: 0,
+            delta: (4, 1, 96),
+            requests_total: vec![],
+            errors_total: 0,
+            uptime_ms: 0,
+            durability: None,
+            overload: OverloadStats::default(),
+        };
+        let parsed = Json::parse(&resp.render_line()).unwrap();
+        let delta = parsed.get("delta").expect("delta section");
+        assert_eq!(delta.get("applied").and_then(Json::as_i128), Some(4));
+        assert_eq!(delta.get("fallback").and_then(Json::as_i128), Some(1));
+        assert_eq!(delta.get("rows").and_then(Json::as_i128), Some(96));
+        assert_eq!(
+            delta.entries().map(<[(String, Json)]>::len),
+            Some(3),
+            "exactly the documented delta counters"
+        );
+    }
+
+    #[test]
     fn parses_batches_of_releases_only() {
         let r = Request::parse_line(
             r#"{"op":"batch","id":5,"requests":[{"query":"a"},{"op":"release","query":"b"}]}"#,
@@ -851,6 +1034,7 @@ mod tests {
             cache_scoped_hits: 4,
             cache_scoped_misses: 1,
             principals: 2,
+            delta: (0, 0, 0),
             requests_total: vec![("release", 12), ("stats", 1)],
             errors_total: 3,
             uptime_ms: 4500,
@@ -907,6 +1091,7 @@ mod tests {
             cache_scoped_hits: 0,
             cache_scoped_misses: 0,
             principals: 0,
+            delta: (0, 0, 0),
             requests_total: vec![],
             errors_total: 0,
             uptime_ms: 0,
@@ -980,6 +1165,7 @@ mod tests {
             cache_scoped_hits: 0,
             cache_scoped_misses: 0,
             principals: 0,
+            delta: (0, 0, 0),
             requests_total: vec![],
             errors_total: 0,
             uptime_ms: 0,
@@ -1025,6 +1211,7 @@ mod tests {
             cache_scoped_hits: 0,
             cache_scoped_misses: 0,
             principals: 0,
+            delta: (0, 0, 0),
             requests_total: vec![("release", 12), ("insert", 2), ("stats", 1)],
             errors_total: 3,
             uptime_ms: 4500,

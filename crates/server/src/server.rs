@@ -275,6 +275,28 @@ impl Server {
                         cache.invalidate_relation(&relation, engine.relation_version(&relation));
                     }
                 }
+                DurableRecord::BatchMutation {
+                    insert,
+                    relation,
+                    tuples,
+                } => {
+                    // Replay through the batched path the live server
+                    // used: only effective tuples were logged, so the
+                    // version advances by the batch size, reproducing
+                    // the live run's stamps.
+                    let rows: Vec<Vec<Value>> = tuples
+                        .iter()
+                        .map(|t| t.iter().copied().map(Value).collect())
+                        .collect();
+                    let changed = if insert {
+                        engine.insert_tuples(&relation, &rows)
+                    } else {
+                        engine.remove_tuples(&relation, &rows)
+                    };
+                    if changed > 0 {
+                        cache.invalidate_relation(&relation, engine.relation_version(&relation));
+                    }
+                }
                 DurableRecord::Release {
                     principal,
                     key,
@@ -380,6 +402,8 @@ impl Server {
             Request::Batch { .. } => dpcq_obs::Op::Batch,
             Request::Insert { .. } => dpcq_obs::Op::Insert,
             Request::Remove { .. } => dpcq_obs::Op::Remove,
+            Request::MutateBatch { insert: true, .. } => dpcq_obs::Op::InsertBatch,
+            Request::MutateBatch { insert: false, .. } => dpcq_obs::Op::RemoveBatch,
             Request::Budget { .. } => dpcq_obs::Op::Budget,
             Request::Stats { .. } => dpcq_obs::Op::Stats,
             Request::Metrics { .. } => dpcq_obs::Op::Metrics,
@@ -429,6 +453,12 @@ impl Server {
                 relation,
                 tuple,
             } => self.handle_mutation(id, "remove", &relation, &tuple),
+            Request::MutateBatch {
+                id,
+                relation,
+                tuples,
+                insert,
+            } => self.handle_batch_mutation(id, &relation, &tuples, insert),
             Request::Budget { id, principal } => Response::Budget {
                 id,
                 budget: finite(self.budget.budget(&principal)),
@@ -454,6 +484,7 @@ impl Server {
                     cache_scoped_hits: scoped_hits,
                     cache_scoped_misses: scoped_misses,
                     principals: self.budget.num_principals(),
+                    delta: engine.delta_stats(),
                     requests_total: obs.requests,
                     errors_total: obs.errors_total,
                     uptime_ms: obs.uptime_ms,
@@ -741,6 +772,91 @@ impl Server {
                 .invalidate_relation(relation, engine.relation_version(relation));
         }
         Response::Updated {
+            id,
+            op,
+            changed,
+            generation,
+        }
+    }
+
+    fn handle_batch_mutation(
+        &self,
+        id: Option<i64>,
+        relation: &str,
+        tuples: &[Vec<i64>],
+        insert: bool,
+    ) -> Response {
+        let op: &'static str = if insert {
+            "insert_batch"
+        } else {
+            "remove_batch"
+        };
+        let rows: Vec<Vec<Value>> = tuples
+            .iter()
+            .map(|t| t.iter().map(|&v| Value(v)).collect())
+            .collect();
+        // Poison recovery: same argument as `handle_mutation`.
+        let mut engine = self.engine.write().unwrap_or_else(PoisonError::into_inner);
+        let arity = engine
+            .database()
+            .relation(relation)
+            .map(|rel| rel.arity())
+            .unwrap_or_else(|| rows[0].len());
+        if let Some(bad) = rows.iter().find(|r| r.len() != arity) {
+            return Response::Error {
+                id,
+                error: format!(
+                    "arity mismatch: `{relation}` stores {arity}-tuples, got {}",
+                    bad.len()
+                ),
+            };
+        }
+        // The WAL is write-ahead and logs only effective tuples, so the
+        // batch's effective subset (deduplicated, no-ops dropped) is
+        // computed before the database changes — replay re-applies
+        // exactly this batch through the same batched engine path.
+        let mut effective: Vec<Vec<Value>> = Vec::new();
+        for row in &rows {
+            if effective.iter().any(|r| r == row) {
+                continue;
+            }
+            let present = engine
+                .database()
+                .relation(relation)
+                .is_some_and(|rel| rel.contains(row));
+            if insert != present {
+                effective.push(row.clone());
+            }
+        }
+        if let (Some(durability), false) = (&self.durability, effective.is_empty()) {
+            let record = DurableRecord::BatchMutation {
+                insert,
+                relation: relation.to_string(),
+                tuples: effective
+                    .iter()
+                    .map(|r| r.iter().map(|v| v.0).collect())
+                    .collect(),
+            };
+            let _wal = dpcq_obs::Span::enter(dpcq_obs::Stage::WalAppend);
+            if let Err(e) = durability.log_mutation(&record) {
+                return Response::Error {
+                    id,
+                    error: format!("durability: {e}"),
+                };
+            }
+        }
+        let changed = if insert {
+            engine.insert_tuples(relation, &effective)
+        } else {
+            engine.remove_tuples(relation, &effective)
+        };
+        debug_assert_eq!(changed, effective.len(), "effectiveness was pre-checked");
+        let generation = engine.generation();
+        if changed > 0 {
+            self.cache
+                .invalidate_relation(relation, engine.relation_version(relation));
+        }
+        Response::UpdatedBatch {
             id,
             op,
             changed,
@@ -1264,6 +1380,113 @@ mod tests {
         );
         assert_eq!(cache_scoped_hits, 1, "Q_R's entry survived");
         assert_eq!(cache_scoped_misses, 1, "Q_S's entry was dropped");
+    }
+
+    #[test]
+    fn batch_mutation_dedups_and_patches_in_one_pass() {
+        let server = test_server(f64::INFINITY);
+        let q = "Q(*) :- Edge(x, y)";
+        // Warm the shape so there is a cache to maintain.
+        let first = server.handle(release_req(q, "p", Some(1.0)));
+        assert!(matches!(first, Response::Release { cached: false, .. }));
+
+        // Duplicates and a no-op (already-present tuple) collapse: the
+        // batch of 4 is 2 effective inserts, absorbed by ONE delta pass.
+        let ins = server.handle(Request::MutateBatch {
+            id: Some(5),
+            relation: "Edge".into(),
+            tuples: vec![vec![90, 91], vec![90, 91], vec![1, 2], vec![91, 92]],
+            insert: true,
+        });
+        let Response::UpdatedBatch {
+            id,
+            op,
+            changed,
+            generation,
+        } = ins
+        else {
+            panic!("{ins:?}")
+        };
+        assert_eq!(id, Some(5));
+        assert_eq!(op, "insert_batch");
+        assert_eq!(changed, 2);
+        assert_eq!(generation, 2, "version advances once per effective tuple");
+        let (applied, fallback, _) = server.engine().delta_stats();
+        assert_eq!((applied, fallback), (1, 0), "one pass for the whole batch");
+
+        // A remove batch reverts through the same path; the absent tuple
+        // is a skipped no-op.
+        let rm = server.handle(Request::MutateBatch {
+            id: None,
+            relation: "Edge".into(),
+            tuples: vec![vec![90, 91], vec![91, 92], vec![777, 778]],
+            insert: false,
+        });
+        let Response::UpdatedBatch {
+            op,
+            changed,
+            generation,
+            ..
+        } = rm
+        else {
+            panic!("{rm:?}")
+        };
+        assert_eq!(op, "remove_batch");
+        assert_eq!(changed, 2);
+        assert_eq!(generation, 4);
+        assert_eq!(server.engine().delta_stats().0, 2);
+
+        // The patched cache still serves releases (fresh stamp → fresh
+        // answer, not a replay of the generation-0 entry).
+        let after = server.handle(release_req(q, "p", Some(1.0)));
+        assert!(matches!(after, Response::Release { cached: false, .. }));
+
+        // An all-no-op batch changes nothing and runs no delta pass.
+        let noop = server.handle(Request::MutateBatch {
+            id: None,
+            relation: "Edge".into(),
+            tuples: vec![vec![777, 778]],
+            insert: false,
+        });
+        assert!(
+            matches!(
+                noop,
+                Response::UpdatedBatch {
+                    changed: 0,
+                    generation: 4,
+                    ..
+                }
+            ),
+            "{noop:?}"
+        );
+        assert_eq!(server.engine().delta_stats().0, 2);
+
+        // The stats frame surfaces the delta counters.
+        let stats = server.handle(Request::Stats { id: None });
+        let Response::Stats { delta, .. } = stats else {
+            panic!("{stats:?}")
+        };
+        assert_eq!(delta.0, 2);
+        assert_eq!(delta.1, 0);
+        assert!(delta.2 > 0, "signed rows were merged: {delta:?}");
+    }
+
+    #[test]
+    fn batch_mutation_arity_mismatch_is_rejected() {
+        let server = test_server(f64::INFINITY);
+        let r = server.handle(Request::MutateBatch {
+            id: Some(4),
+            relation: "Edge".into(),
+            tuples: vec![vec![1, 2], vec![1, 2, 3]],
+            insert: true,
+        });
+        let Response::Error { id, error } = r else {
+            panic!("{r:?}")
+        };
+        assert_eq!(id, Some(4));
+        assert!(error.contains("arity"), "{error}");
+        let stats = server.handle(Request::Stats { id: None });
+        assert!(matches!(stats, Response::Stats { generation: 0, .. }));
     }
 
     #[test]

@@ -61,9 +61,16 @@ fn durable_server(dir: &Path) -> Server {
 /// One step of a serving script.
 #[derive(Clone, Debug)]
 enum Op {
-    Release { query: &'static str, epsilon: f64 },
+    Release {
+        query: &'static str,
+        epsilon: f64,
+    },
     Insert(i64, i64),
     Remove(i64, i64),
+    /// Batch mutation: both directed copies of one edge in one frame
+    /// (one WAL record, one cache-maintenance pass).
+    BatchInsert(i64, i64),
+    BatchRemove(i64, i64),
     Snapshot,
 }
 
@@ -132,6 +139,18 @@ fn run_script(server: &Server, script: &[Op]) -> (Vec<Acked>, f64) {
                     tuple: vec![u, v],
                 });
                 if matches!(resp, Response::Updated { changed: true, .. }) {
+                    acked.clear();
+                }
+            }
+            Op::BatchInsert(u, v) | Op::BatchRemove(u, v) => {
+                let insert = matches!(*op, Op::BatchInsert(..));
+                let resp = server.handle(Request::MutateBatch {
+                    id: None,
+                    relation: "Edge".into(),
+                    tuples: vec![vec![u, v], vec![v, u]],
+                    insert,
+                });
+                if matches!(resp, Response::UpdatedBatch { changed: 1.., .. }) {
                     acked.clear();
                 }
             }
@@ -215,9 +234,15 @@ fn sweep_script() -> Vec<Op> {
             epsilon: 0.125,
         },
         Op::Remove(9, 10),
+        Op::BatchInsert(11, 12),
         Op::Release {
             query: Q_EDGE,
             epsilon: 0.75,
+        },
+        Op::BatchRemove(11, 12),
+        Op::Release {
+            query: Q_EDGE,
+            epsilon: 0.375,
         },
     ]
 }
@@ -262,7 +287,7 @@ proptest! {
     /// accounting and recovery invariants, off the beaten path.
     #[test]
     fn random_scripts_survive_seeded_fault_schedules(
-        steps in prop::collection::vec((0u8..6, 0u8..4, 0u8..16), 3..12),
+        steps in prop::collection::vec((0u8..8, 0u8..4, 0u8..16), 3..12),
         fault_seed in 0u64..1_000,
         one_in in 2u64..6,
     ) {
@@ -278,6 +303,8 @@ proptest! {
                     },
                     3 => Op::Insert(i64::from(t) + 20, i64::from(t) + 21),
                     4 => Op::Remove(i64::from(t) + 20, i64::from(t) + 21),
+                    5 => Op::BatchInsert(i64::from(t) + 40, i64::from(t) + 41),
+                    6 => Op::BatchRemove(i64::from(t) + 40, i64::from(t) + 41),
                     _ => Op::Snapshot,
                 })
                 .collect();
